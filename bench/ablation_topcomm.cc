@@ -1,0 +1,55 @@
+// Ablation for §5.2's TopComm truncation: |TopComm(i)| trades prediction
+// accuracy against online cost. The paper fixes 5, citing [34] (users are
+// active in few communities). This bench sweeps the size and reports
+// diffusion AUC plus measured per-triple prediction latency.
+#include "common.h"
+#include "core/predictor.h"
+
+int main() {
+  using namespace cold;
+  bench::QuietLogs();
+  bench::PrintHeader("Ablation: |TopComm| sweep (accuracy vs online cost)");
+
+  data::SocialDataset dataset =
+      bench::GenerateBenchData(bench::BenchDataConfig());
+  data::RetweetSplit split = data::SplitRetweets(dataset, 0.2, 109, 0);
+  core::ColdEstimates est = bench::TrainCold(
+      bench::BenchColdConfig(), dataset.posts, &split.train_interactions);
+
+  // Pre-draw query triples for the latency measurement.
+  std::vector<std::tuple<text::UserId, text::UserId, text::PostId>> queries;
+  for (const data::RetweetTuple& tuple : split.test) {
+    for (text::UserId u : tuple.retweeters) {
+      queries.emplace_back(tuple.author, u, tuple.post);
+    }
+    for (text::UserId u : tuple.ignorers) {
+      queries.emplace_back(tuple.author, u, tuple.post);
+    }
+    if (queries.size() >= 2000) break;
+  }
+
+  std::printf("%-10s %12s %16s\n", "|TopComm|", "diff AUC", "latency (us)");
+  for (int size : {1, 2, 3, 5, 8}) {
+    core::ColdPredictor predictor(est, size);
+    double auc = bench::DiffusionAuc(
+        split.test, dataset.posts, [&](int a, int b, auto words) {
+          return predictor.DiffusionProbability(a, b, words);
+        });
+    Stopwatch watch;
+    double sink = 0.0;
+    const int reps = 5;
+    for (int r = 0; r < reps; ++r) {
+      for (const auto& [a, b, d] : queries) {
+        sink += predictor.DiffusionProbability(a, b, dataset.posts.words(d));
+      }
+    }
+    double micros = watch.ElapsedSeconds() * 1e6 /
+                    (static_cast<double>(queries.size()) * reps);
+    std::printf("%-10d %12.4f %16.3f\n", size, auc, micros);
+    if (sink < -1.0) std::printf("?");  // keep the measurement un-elided
+  }
+  std::printf(
+      "\n(expected: accuracy saturates by ~5 — users are active in few\n"
+      " communities [34] — while cost grows quadratically in the size)\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// §6.6 extension: user-level influence maximization with COLD-estimated
+// activation probabilities. Compares seed-selection strategies on the same
+// COLD diffusion graph (greedy marginal-gain vs out-degree vs PageRank vs
+// random) — the "COLD is complementary to influence-maximization works
+// [29, 13, 8]" claim made concrete.
+#include "apps/user_influence.h"
+#include "common.h"
+#include "core/predictor.h"
+#include "graph/pagerank.h"
+#include "util/math_util.h"
+
+int main() {
+  using namespace cold;
+  bench::QuietLogs();
+  bench::PrintHeader("§6.6: user-level influence maximization strategies");
+
+  data::SocialDataset dataset =
+      bench::GenerateBenchData(bench::BenchDataConfig());
+  core::ColdEstimates estimates = bench::TrainCold(
+      bench::BenchColdConfig(), dataset.posts, &dataset.interactions);
+  core::ColdPredictor predictor(estimates, 5);
+
+  // Campaign message: core words of the topic with the most interest mass.
+  int topic = 0;
+  double best_mass = -1.0;
+  for (int k = 0; k < estimates.K; ++k) {
+    double mass = 0.0;
+    for (int c = 0; c < estimates.C; ++c) mass += estimates.Theta(c, k);
+    if (mass > best_mass) {
+      best_mass = mass;
+      topic = k;
+    }
+  }
+  std::vector<text::WordId> message;
+  for (int w : estimates.TopWords(topic, 6)) {
+    message.push_back(static_cast<text::WordId>(w));
+  }
+
+  apps::UserDiffusionGraph graph = apps::BuildUserDiffusionGraph(
+      predictor, dataset.followers, message, /*gain=*/80.0);
+
+  const int budget = 5;
+  const int eval_trials = 2000;
+  RandomSampler eval_sampler(2026);
+  auto evaluate = [&](const std::vector<int>& seeds) {
+    return apps::ExpectedUserSpread(graph, seeds, eval_trials, &eval_sampler);
+  };
+
+  std::printf("%-12s %14s   seeds\n", "strategy", "E[spread]");
+  {
+    auto seeds = apps::GreedyUserSeeds(graph, budget, /*trials=*/300,
+                                       /*candidate_pool=*/40, 11);
+    std::printf("%-12s %14.2f  ", "greedy", evaluate(seeds));
+    for (int s : seeds) std::printf(" %d", s);
+    std::printf("\n");
+  }
+  {
+    auto seeds = apps::DegreeSeeds(graph, budget);
+    std::printf("%-12s %14.2f  ", "degree", evaluate(seeds));
+    for (int s : seeds) std::printf(" %d", s);
+    std::printf("\n");
+  }
+  {
+    auto pr = graph::PageRank(dataset.followers);
+    auto seeds = TopKIndices(pr, budget);
+    std::printf("%-12s %14.2f  ", "pagerank", evaluate(seeds));
+    for (int s : seeds) std::printf(" %d", s);
+    std::printf("\n");
+  }
+  {
+    RandomSampler pick(3);
+    auto seeds = pick.SampleWithoutReplacement(graph.num_users(), budget);
+    std::printf("%-12s %14.2f  ", "random", evaluate(seeds));
+    for (int s : seeds) std::printf(" %d", s);
+    std::printf("\n");
+  }
+  std::printf(
+      "\n(expected: greedy on the COLD graph >= structural heuristics >>\n"
+      " random — model-based influence strengths add value over topology)\n");
+  return 0;
+}

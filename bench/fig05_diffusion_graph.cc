@@ -1,0 +1,46 @@
+// Figure 5: community-level diffusion of one bursty topic — the topic's
+// word cloud, the most engaged communities with their interest pies and
+// per-community popularity timelines (psi), and the strongest zeta arcs.
+#include <cmath>
+
+#include "apps/diffusion_graph.h"
+#include "common.h"
+#include "util/math_util.h"
+
+int main() {
+  using namespace cold;
+  bench::QuietLogs();
+  bench::PrintHeader("Fig 5: community-level diffusion of a bursty topic");
+
+  data::SocialDataset dataset =
+      bench::GenerateBenchData(bench::BenchDataConfig());
+  core::ColdEstimates estimates = bench::TrainCold(
+      bench::BenchColdConfig(), dataset.posts, &dataset.interactions);
+
+  // Pick the topic whose community-level popularity is the spikiest
+  // (highest mean psi variance): the "Journey West"-style burst.
+  int best_topic = 0;
+  double best_spike = -1.0;
+  for (int k = 0; k < estimates.K; ++k) {
+    double spike = 0.0;
+    for (int c = 0; c < estimates.C; ++c) {
+      std::vector<double> series = estimates.PsiSeries(k, c);
+      spike += Variance(series);
+    }
+    if (spike > best_spike) {
+      best_spike = spike;
+      best_topic = k;
+    }
+  }
+
+  apps::TopicDiffusionSummary summary = apps::SummarizeTopicDiffusion(
+      estimates, best_topic, /*num_communities=*/6, /*num_arcs=*/8,
+      /*num_words=*/12);
+  std::printf("%s",
+              apps::RenderTopicDiffusion(summary, &dataset.vocabulary).c_str());
+  std::printf(
+      "\n(paper: the community most interested in the topic carries the\n"
+      " strongest outgoing influence arcs; timelines spike around the same\n"
+      " event inside interested communities)\n");
+  return 0;
+}

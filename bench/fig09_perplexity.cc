@@ -1,0 +1,83 @@
+// Figure 9: held-out perplexity vs number of topics K for COLD,
+// COLD-NoLink, EUTB and PMTLM (plus a per-word LDA ablation for the §3.5
+// single-topic-per-post design choice). Paper shape: COLD lowest, EUTB
+// close, PMTLM clearly worse (its single latent factor entangles
+// communities with topics).
+#include "baselines/eutb.h"
+#include "baselines/lda.h"
+#include "baselines/pmtlm.h"
+#include "common.h"
+#include "core/predictor.h"
+
+int main() {
+  using namespace cold;
+  bench::QuietLogs();
+  bench::PrintHeader("Fig 9: perplexity vs #topics (lower is better)");
+
+  data::SocialDataset dataset =
+      bench::GenerateBenchData(bench::BenchDataConfig());
+  const std::vector<int> topic_counts = {4, 8, 12, 16, 24};
+  const int folds = bench::NumFolds();
+
+  std::printf("%-14s", "K");
+  for (int k : topic_counts) std::printf(" %8d", k);
+  std::printf("\n");
+
+  std::vector<double> cold_row, nolink_row, eutb_row, pmtlm_row, lda_row;
+  for (int num_topics : topic_counts) {
+    double cold_perp = 0.0, nolink_perp = 0.0, eutb_perp = 0.0,
+           pmtlm_perp = 0.0, lda_perp = 0.0;
+    for (int fold = 0; fold < folds; ++fold) {
+      data::PostSplit split = data::SplitPosts(dataset.posts, 0.2, 71, fold);
+
+      core::ColdConfig cc = bench::BenchColdConfig(8, num_topics);
+      core::ColdEstimates est =
+          bench::TrainCold(cc, split.train, &dataset.interactions);
+      cold_perp += core::ColdPredictor(est).Perplexity(split.test);
+
+      cc.use_network = false;
+      core::ColdEstimates est_nl = bench::TrainCold(cc, split.train, nullptr);
+      nolink_perp += core::ColdPredictor(est_nl).Perplexity(split.test);
+
+      baselines::EutbConfig ec;
+      ec.num_topics = num_topics;
+      ec.alpha = 0.5;
+      ec.iterations = 80;
+      baselines::EutbModel eutb(ec, split.train);
+      if (!eutb.Train().ok()) return 1;
+      eutb_perp += eutb.Perplexity(split.test);
+
+      baselines::PmtlmConfig pc;
+      pc.num_factors = num_topics;
+      pc.alpha = 0.5;
+      pc.iterations = 80;
+      baselines::PmtlmModel pmtlm(pc, split.train, dataset.interactions);
+      if (!pmtlm.Train().ok()) return 1;
+      pmtlm_perp += pmtlm.Perplexity(split.test);
+
+      baselines::LdaConfig lc;
+      lc.num_topics = num_topics;
+      lc.alpha = 0.5;
+      lc.iterations = 80;
+      lc.document_unit = baselines::LdaDocumentUnit::kUserDocument;
+      baselines::LdaModel lda(lc, split.train);
+      if (!lda.Train().ok()) return 1;
+      lda_perp += lda.Perplexity(split.test);
+    }
+    cold_row.push_back(cold_perp / folds);
+    nolink_row.push_back(nolink_perp / folds);
+    eutb_row.push_back(eutb_perp / folds);
+    pmtlm_row.push_back(pmtlm_perp / folds);
+    lda_row.push_back(lda_perp / folds);
+  }
+
+  bench::PrintSeries("COLD", cold_row, "%8.1f");
+  bench::PrintSeries("COLD-NoLink", nolink_row, "%8.1f");
+  bench::PrintSeries("EUTB", eutb_row, "%8.1f");
+  bench::PrintSeries("PMTLM", pmtlm_row, "%8.1f");
+  bench::PrintSeries("LDA(per-word)", lda_row, "%8.1f");
+  std::printf(
+      "\n(paper shape: COLD <= EUTB << PMTLM; perplexity levels off with "
+      "larger K)\n");
+  return 0;
+}

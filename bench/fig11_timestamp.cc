@@ -1,0 +1,110 @@
+// Figure 11: time-stamp prediction accuracy as a function of the tolerance
+// range for COLD, COLD-NoLink, EUTB and Pipeline. Paper shape:
+// COLD > COLD-NoLink > EUTB >> Pipeline at every tolerance.
+#include <algorithm>
+
+#include "baselines/eutb.h"
+#include "baselines/pipeline.h"
+#include "common.h"
+#include "core/predictor.h"
+
+int main() {
+  using namespace cold;
+  bench::QuietLogs();
+  bench::PrintHeader("Fig 11: time-stamp prediction accuracy vs tolerance");
+
+  // Like Fig 7, community-specific temporal modeling needs dense psi
+  // estimates: double the users and keep K x T moderate so every active
+  // (topic, community) pair holds enough posts. Two folds smooth the
+  // single-split noise, which is comparable to the method gaps here.
+  data::SyntheticConfig data_config = bench::BenchDataConfig();
+  data_config.num_users *= 2;
+  data_config.num_topics = 8;
+  data_config.num_time_slices = 16;
+  data::SocialDataset dataset = bench::GenerateBenchData(data_config);
+  const int folds = std::max(2, bench::NumFolds());
+  const int num_topics = data_config.num_topics;
+  const int max_tolerance = 6;
+
+  std::vector<double> cold_curve(max_tolerance + 1, 0.0);
+  std::vector<double> nolink_curve(max_tolerance + 1, 0.0);
+  std::vector<double> eutb_curve(max_tolerance + 1, 0.0);
+  std::vector<double> pipeline_curve(max_tolerance + 1, 0.0);
+  auto add = [](std::vector<double>* acc, const std::vector<double>& v) {
+    for (size_t i = 0; i < acc->size(); ++i) (*acc)[i] += v[i];
+  };
+
+  for (int fold = 0; fold < folds; ++fold) {
+    data::PostSplit split = data::SplitPosts(dataset.posts, 0.2, 77, fold);
+
+    core::ColdEstimates est = bench::TrainCold(
+        bench::BenchColdConfig(8, num_topics), split.train,
+        &dataset.interactions);
+    core::ColdPredictor predictor(est);
+    add(&cold_curve,
+        bench::TimestampCurve(
+            split.test,
+            [&](auto words, text::UserId author) {
+              return predictor.PredictTimestamp(words, author);
+            },
+            max_tolerance));
+
+    core::ColdConfig nolink_config = bench::BenchColdConfig(8, num_topics);
+    nolink_config.use_network = false;
+    core::ColdEstimates est_nolink =
+        bench::TrainCold(nolink_config, split.train, nullptr);
+    core::ColdPredictor predictor_nolink(est_nolink);
+    add(&nolink_curve,
+        bench::TimestampCurve(
+            split.test,
+            [&](auto words, text::UserId author) {
+              return predictor_nolink.PredictTimestamp(words, author);
+            },
+            max_tolerance));
+
+    baselines::EutbConfig ec;
+    ec.num_topics = num_topics;
+    ec.alpha = 0.5;
+    ec.iterations = 80;
+    baselines::EutbModel eutb(ec, split.train);
+    if (!eutb.Train().ok()) return 1;
+    add(&eutb_curve,
+        bench::TimestampCurve(
+            split.test,
+            [&](auto words, text::UserId author) {
+              return eutb.PredictTimestamp(words, author);
+            },
+            max_tolerance));
+
+    baselines::PipelineConfig pc;
+    pc.mmsb.num_communities = 8;
+    pc.mmsb.rho = 0.5;
+    pc.mmsb.iterations = 60;
+    pc.tot.num_topics = num_topics;
+    pc.tot.alpha = 0.5;
+    pc.tot.iterations = 50;
+    baselines::PipelineModel pipeline(pc, split.train, dataset.interactions);
+    if (!pipeline.Train().ok()) return 1;
+    add(&pipeline_curve,
+        bench::TimestampCurve(
+            split.test,
+            [&](auto words, text::UserId author) {
+              return pipeline.PredictTimestamp(words, author);
+            },
+            max_tolerance));
+  }
+  for (auto* curve :
+       {&cold_curve, &nolink_curve, &eutb_curve, &pipeline_curve}) {
+    for (double& v : *curve) v /= folds;
+  }
+
+  std::printf("%-16s", "tolerance");
+  for (int tol = 0; tol <= max_tolerance; ++tol) std::printf("  %4d ", tol);
+  std::printf("\n");
+  bench::PrintSeries("COLD", cold_curve, "%.4f");
+  bench::PrintSeries("COLD-NoLink", nolink_curve, "%.4f");
+  bench::PrintSeries("EUTB", eutb_curve, "%.4f");
+  bench::PrintSeries("Pipeline", pipeline_curve, "%.4f");
+  std::printf("\n(paper shape: COLD > COLD-NoLink > EUTB >> Pipeline)\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Figure 15: online diffusion-prediction latency per (publisher, candidate,
+// message) triple, measured with google-benchmark. Paper shape: COLD's
+// compact community representation is the cheapest; TI pays for the
+// neighborhood walk, WTM for per-message TF-IDF feature construction.
+#include <benchmark/benchmark.h>
+
+#include "baselines/ti.h"
+#include "baselines/wtm.h"
+#include "common.h"
+#include "core/predictor.h"
+
+namespace {
+
+using namespace cold;
+
+struct PredictionBenchState {
+  data::SocialDataset dataset;
+  data::RetweetSplit split;
+  std::unique_ptr<core::ColdPredictor> cold_predictor;
+  std::unique_ptr<baselines::TiModel> ti;
+  std::unique_ptr<baselines::WtmModel> wtm;
+  // Pre-drawn query triples.
+  std::vector<std::tuple<text::UserId, text::UserId, text::PostId>> queries;
+};
+
+PredictionBenchState* State() {
+  static PredictionBenchState* state = [] {
+    bench::QuietLogs();
+    auto* s = new PredictionBenchState();
+    data::SyntheticConfig dc = bench::BenchDataConfig();
+    dc.num_users = std::max(200, dc.num_users / 2);  // trim setup time
+    s->dataset = bench::GenerateBenchData(dc);
+    s->split = data::SplitRetweets(s->dataset, 0.2, 83, 0);
+
+    core::ColdEstimates est =
+        bench::TrainCold(bench::BenchColdConfig(8, 12, 40), s->dataset.posts,
+                         &s->split.train_interactions);
+    s->cold_predictor = std::make_unique<core::ColdPredictor>(est, 5);
+
+    baselines::TiConfig tc;
+    tc.lda.num_topics = 12;
+    tc.lda.alpha = 0.5;
+    tc.lda.iterations = 40;
+    s->ti = std::make_unique<baselines::TiModel>(tc, s->dataset.posts,
+                                                 s->split.train);
+    if (!s->ti->Train().ok()) std::exit(1);
+
+    s->wtm = std::make_unique<baselines::WtmModel>(
+        baselines::WtmConfig{}, s->dataset.posts, s->split.train_interactions,
+        s->split.train);
+    if (!s->wtm->Train().ok()) std::exit(1);
+
+    for (const data::RetweetTuple& tuple : s->split.test) {
+      for (text::UserId u : tuple.retweeters) {
+        s->queries.emplace_back(tuple.author, u, tuple.post);
+      }
+      for (text::UserId u : tuple.ignorers) {
+        s->queries.emplace_back(tuple.author, u, tuple.post);
+      }
+      if (s->queries.size() >= 4096) break;
+    }
+    if (s->queries.empty()) std::exit(1);
+    return s;
+  }();
+  return state;
+}
+
+void BM_ColdPrediction(benchmark::State& bm) {
+  PredictionBenchState* s = State();
+  size_t q = 0;
+  for (auto _ : bm) {
+    const auto& [a, b, d] = s->queries[q++ % s->queries.size()];
+    benchmark::DoNotOptimize(s->cold_predictor->DiffusionProbability(
+        a, b, s->dataset.posts.words(d)));
+  }
+}
+BENCHMARK(BM_ColdPrediction);
+
+void BM_TiPrediction(benchmark::State& bm) {
+  PredictionBenchState* s = State();
+  size_t q = 0;
+  for (auto _ : bm) {
+    const auto& [a, b, d] = s->queries[q++ % s->queries.size()];
+    benchmark::DoNotOptimize(
+        s->ti->Score(a, b, s->dataset.posts.words(d)));
+  }
+}
+BENCHMARK(BM_TiPrediction);
+
+void BM_WtmPrediction(benchmark::State& bm) {
+  PredictionBenchState* s = State();
+  size_t q = 0;
+  for (auto _ : bm) {
+    const auto& [a, b, d] = s->queries[q++ % s->queries.size()];
+    benchmark::DoNotOptimize(
+        s->wtm->Score(a, b, s->dataset.posts.words(d)));
+  }
+}
+BENCHMARK(BM_WtmPrediction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

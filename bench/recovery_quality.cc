@@ -1,0 +1,73 @@
+// Ground-truth recovery study (only possible on the synthetic substitute —
+// the paper had no planted truth): how well do the extracted factors match
+// the planted ones as the model capacity (C, K) varies? Complements the
+// predictive sensitivity studies of Figs 17-19 with direct latent-space
+// measurements.
+#include "common.h"
+#include "eval/alignment.h"
+
+int main() {
+  using namespace cold;
+  bench::QuietLogs();
+  bench::PrintHeader(
+      "recovery: planted-vs-extracted latent quality across capacity");
+
+  data::SocialDataset dataset =
+      bench::GenerateBenchData(bench::BenchDataConfig());
+  // Planted sizes: C = 8, K = 12.
+
+  std::printf("%-10s %12s %12s %12s\n", "(C, K)", "phi cosine",
+              "theta cosine", "post NMI");
+  for (int C : {4, 8, 16}) {
+    for (int K : {6, 12, 20}) {
+      core::ColdConfig config = bench::BenchColdConfig(C, K, 100);
+      core::ColdGibbsSampler sampler(config, dataset.posts,
+                                     &dataset.interactions);
+      if (!sampler.Init().ok() || !sampler.Train().ok()) return 1;
+      core::ColdEstimates est = sampler.AveragedEstimates();
+
+      std::vector<std::vector<double>> learned_phi;
+      for (int k = 0; k < est.K; ++k) {
+        std::vector<double> row(static_cast<size_t>(est.V));
+        for (int v = 0; v < est.V; ++v) {
+          row[static_cast<size_t>(v)] = est.Phi(k, v);
+        }
+        learned_phi.push_back(std::move(row));
+      }
+      double phi_cos = eval::GreedyMatchedCosine(dataset.truth.phi,
+                                                 learned_phi);
+
+      // theta rows are only comparable after matching topics; remap the
+      // learned theta columns through the phi matching.
+      std::vector<int> topic_match =
+          eval::GreedyMatching(dataset.truth.phi, learned_phi);
+      std::vector<std::vector<double>> learned_theta;
+      for (int c = 0; c < est.C; ++c) {
+        std::vector<double> row(dataset.truth.theta[0].size(), 0.0);
+        for (size_t kt = 0; kt < row.size(); ++kt) {
+          int kl = kt < topic_match.size() ? topic_match[kt] : -1;
+          if (kl >= 0) row[kt] = est.Theta(c, kl);
+        }
+        learned_theta.push_back(std::move(row));
+      }
+      double theta_cos =
+          eval::GreedyMatchedCosine(dataset.truth.theta, learned_theta);
+
+      std::vector<int> planted(dataset.truth.post_community.begin(),
+                               dataset.truth.post_community.end());
+      std::vector<int> estimated(sampler.state().post_community.begin(),
+                                 sampler.state().post_community.end());
+      double nmi = eval::NormalizedMutualInformation(planted, estimated);
+
+      std::printf("(%2d, %2d)   %12.3f %12.3f %12.3f\n", C, K, phi_cos,
+                  theta_cos, nmi);
+    }
+  }
+  std::printf(
+      "\n(expected: phi cosine improves with K and saturates past the\n"
+      " planted 12; community NMI is modest at every C — with mixed\n"
+      " memberships and shared interests the per-post community label is\n"
+      " genuinely ambiguous, which is the robustness argument for\n"
+      " community-LEVEL aggregates over individual attribution)\n");
+  return 0;
+}

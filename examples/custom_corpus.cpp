@@ -1,0 +1,127 @@
+// Scenario: adopting the library on YOUR data. Raw posts arrive as
+// (author, hour, text) records and retweet events as (author, retweeter)
+// pairs; this example runs the full ingestion path — tokenizer with stop
+// words, vocabulary interning, PostStore/Digraph construction — then trains
+// a small COLD model and prints what it extracted.
+#include <cstdio>
+#include <string_view>
+
+#include "core/cold.h"
+#include "graph/digraph.h"
+#include "text/post_store.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+#include "util/logging.h"
+
+namespace {
+
+struct RawPost {
+  int author;
+  int hour;
+  std::string_view text;
+};
+
+// A miniature two-community corpus: users 0-2 talk football, users 3-5 talk
+// gadgets; the game chatter clusters in hours 0-2, the product-launch
+// chatter in hours 3-5.
+constexpr RawPost kRawPosts[] = {
+    {0, 0, "What a match! The striker scored twice tonight"},
+    {0, 1, "Penalty shootout drama, the keeper saved three!"},
+    {0, 2, "League table update: our club tops the table"},
+    {1, 0, "Coach says the midfield pressing won the match"},
+    {1, 1, "That offside call... referee needs glasses"},
+    {1, 2, "Transfer rumor: the striker might join our club"},
+    {2, 0, "Stadium was electric, best match of the season"},
+    {2, 1, "Fantasy league points from the striker, again"},
+    {2, 2, "Derby day! Match thread below"},
+    {3, 3, "The new phone benchmark results are insane"},
+    {3, 4, "Unboxing the phone today, camera looks stunning"},
+    {3, 5, "Battery life review: two days on one charge"},
+    {4, 3, "Chipset deep dive: the benchmark numbers explained"},
+    {4, 4, "Comparing camera sensors across flagship phones"},
+    {4, 5, "Firmware update improves the benchmark scores"},
+    {5, 3, "Preordered the phone, benchmark threads convinced me"},
+    {5, 4, "The camera app UI is finally fast"},
+    {5, 5, "Phone review roundup: battery and camera win"},
+};
+
+// Who retweeted whom (src = publisher, dst = retweeter).
+constexpr std::pair<int, int> kRetweets[] = {
+    {0, 1}, {0, 2}, {1, 0}, {1, 2}, {2, 1},
+    {3, 4}, {3, 5}, {4, 3}, {4, 5}, {5, 4},
+    {0, 3},  // one weak tie across the communities
+};
+
+}  // namespace
+
+int main() {
+  using namespace cold;
+  Logger::SetLevel(LogLevel::kWarning);
+
+  // 1. Tokenize and intern.
+  text::Tokenizer tokenizer;
+  tokenizer.AddDefaultStopWords();
+  text::Vocabulary vocabulary;
+  text::PostStore posts;
+  for (const RawPost& raw : kRawPosts) {
+    std::vector<text::WordId> ids;
+    for (const std::string& token : tokenizer.Tokenize(raw.text)) {
+      ids.push_back(vocabulary.Add(token));
+    }
+    posts.Add(raw.author, raw.hour, ids);
+  }
+  posts.Finalize(/*min_users=*/6, /*min_time_slices=*/6);
+  std::printf("ingested %d posts, %d users, vocabulary %d words\n",
+              posts.num_posts(), posts.num_users(), vocabulary.size());
+
+  // 2. Interaction network from retweet events.
+  graph::Digraph::Builder builder;
+  for (auto [src, dst] : kRetweets) {
+    if (auto st = builder.AddEdge(src, dst); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  graph::Digraph interactions =
+      std::move(builder).Build(/*num_nodes=*/6, /*dedupe=*/true);
+
+  // 3. Train a tiny COLD model.
+  core::ColdConfig config;
+  config.num_communities = 2;
+  config.num_topics = 2;
+  config.rho = 0.3;
+  config.alpha = 0.3;
+  config.iterations = 200;
+  config.burn_in = 150;
+  config.seed = 7;
+  core::ColdGibbsSampler sampler(config, posts, &interactions);
+  if (!sampler.Init().ok() || !sampler.Train().ok()) return 1;
+  core::ColdEstimates estimates = sampler.AveragedEstimates();
+
+  // 4. Inspect: the two topics should separate football from gadgets and
+  //    the memberships should split users 0-2 from 3-5.
+  for (int k = 0; k < estimates.K; ++k) {
+    std::printf("topic %d:", k);
+    for (int w : estimates.TopWords(k, 6)) {
+      std::printf(" %s", vocabulary.word(w).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("memberships (pi):\n");
+  for (int i = 0; i < estimates.U; ++i) {
+    std::printf("  user %d:", i);
+    for (int c = 0; c < estimates.C; ++c) {
+      std::printf(" %.2f", estimates.Pi(i, c));
+    }
+    std::printf("\n");
+  }
+  std::printf("temporal profile of each topic in its top community "
+              "(hours 0-5):\n");
+  for (int k = 0; k < estimates.K; ++k) {
+    int c = estimates.TopCommunitiesForTopic(k, 1)[0];
+    std::printf("  topic %d in community %d:", k, c);
+    for (double v : estimates.PsiSeries(k, c)) std::printf(" %.2f", v);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "apps/diffusion_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/math_util.h"
+
+namespace cold::apps {
+
+TopicDiffusionSummary SummarizeTopicDiffusion(
+    const core::ColdEstimates& estimates, int topic, int num_communities,
+    int num_arcs, int num_words) {
+  TopicDiffusionSummary summary;
+  summary.topic = topic;
+  summary.top_words = estimates.TopWords(topic, num_words);
+
+  std::vector<int> top_comms =
+      estimates.TopCommunitiesForTopic(topic, num_communities);
+  for (int c : top_comms) {
+    DiffusionNode node;
+    node.community = c;
+    std::vector<double> interests(static_cast<size_t>(estimates.K));
+    for (int k = 0; k < estimates.K; ++k) {
+      interests[static_cast<size_t>(k)] = estimates.Theta(c, k);
+    }
+    node.top_topics = cold::TopKIndices(interests, 5);
+    for (int k : node.top_topics) {
+      node.top_topic_weights.push_back(interests[static_cast<size_t>(k)]);
+    }
+    node.focus_interest = estimates.Theta(c, topic);
+    node.popularity = estimates.PsiSeries(topic, c);
+    summary.nodes.push_back(std::move(node));
+  }
+
+  std::vector<DiffusionArc> arcs;
+  for (int a : top_comms) {
+    for (int b : top_comms) {
+      if (a == b) continue;
+      arcs.push_back({a, b, estimates.Zeta(topic, a, b)});
+    }
+  }
+  std::sort(arcs.begin(), arcs.end(),
+            [](const DiffusionArc& x, const DiffusionArc& y) {
+              return x.strength > y.strength;
+            });
+  if (static_cast<int>(arcs.size()) > num_arcs) {
+    arcs.resize(static_cast<size_t>(num_arcs));
+  }
+  summary.arcs = std::move(arcs);
+  return summary;
+}
+
+namespace {
+// A coarse text sparkline over eight levels.
+std::string Sparkline(const std::vector<double>& series) {
+  static const char* kLevels = " .:-=+*#";
+  double peak = 1e-300;
+  for (double v : series) peak = std::max(peak, v);
+  std::string out;
+  for (double v : series) {
+    int level = static_cast<int>(std::floor(v / peak * 7.999));
+    out.push_back(kLevels[std::clamp(level, 0, 7)]);
+  }
+  return out;
+}
+}  // namespace
+
+std::string RenderTopicDiffusion(const TopicDiffusionSummary& summary,
+                                 const text::Vocabulary* vocabulary) {
+  std::ostringstream out;
+  out << "Topic " << summary.topic << " word cloud:";
+  for (int w : summary.top_words) {
+    out << ' ';
+    if (vocabulary != nullptr && w < vocabulary->size()) {
+      out << vocabulary->word(w);
+    } else {
+      out << "w" << w;
+    }
+  }
+  out << '\n';
+  for (const DiffusionNode& node : summary.nodes) {
+    out << "  community " << node.community << " (interest "
+        << node.focus_interest << ") pie:";
+    for (size_t i = 0; i < node.top_topics.size(); ++i) {
+      out << " k" << node.top_topics[i] << ":" << node.top_topic_weights[i];
+    }
+    out << "\n    popularity |" << Sparkline(node.popularity) << "|\n";
+  }
+  for (const DiffusionArc& arc : summary.arcs) {
+    out << "  arc " << arc.from_community << " -> " << arc.to_community
+        << " zeta=" << arc.strength << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace cold::apps

@@ -1,0 +1,55 @@
+// Fig-5 style topic diffusion summaries: for one topic, the most engaged
+// communities, their interest pies, their temporal popularity curves, and
+// the strongest zeta edges between them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cold_estimates.h"
+#include "text/vocabulary.h"
+
+namespace cold::apps {
+
+/// \brief One community node of the diffusion summary.
+struct DiffusionNode {
+  int community = -1;
+  /// Top-5 interested topics of the community (the "pie chart").
+  std::vector<int> top_topics;
+  std::vector<double> top_topic_weights;
+  /// The focal topic's interest level in this community.
+  double focus_interest = 0.0;
+  /// psi_kc series of the focal topic inside this community.
+  std::vector<double> popularity;
+};
+
+/// \brief One directed influence edge of the summary.
+struct DiffusionArc {
+  int from_community = -1;
+  int to_community = -1;
+  /// zeta_kcc' — drawn as edge thickness in Fig 5.
+  double strength = 0.0;
+};
+
+/// \brief A complete topic diffusion summary.
+struct TopicDiffusionSummary {
+  int topic = -1;
+  /// Top words of the topic (the word cloud).
+  std::vector<int> top_words;
+  std::vector<DiffusionNode> nodes;
+  std::vector<DiffusionArc> arcs;
+};
+
+/// \brief Extracts the Fig-5 summary: the `num_communities` communities
+/// most interested in `topic`, each with its top-5 topic pie and psi curve,
+/// and the `num_arcs` strongest zeta edges among them.
+TopicDiffusionSummary SummarizeTopicDiffusion(
+    const core::ColdEstimates& estimates, int topic, int num_communities = 6,
+    int num_arcs = 10, int num_words = 12);
+
+/// \brief Renders the summary as indented text (word list, per-node pies and
+/// sparkline-ish curves, arcs); `vocabulary` may be null to print word ids.
+std::string RenderTopicDiffusion(const TopicDiffusionSummary& summary,
+                                 const text::Vocabulary* vocabulary);
+
+}  // namespace cold::apps

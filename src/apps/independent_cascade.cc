@@ -1,0 +1,89 @@
+#include "apps/independent_cascade.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace cold::apps {
+
+int SimulateCascadeOnce(const DiffusionGraph& graph,
+                        const std::vector<int>& seeds,
+                        cold::RandomSampler* sampler) {
+  const int n = static_cast<int>(graph.size());
+  std::vector<char> active(static_cast<size_t>(n), 0);
+  std::deque<int> frontier;
+  int activated = 0;
+  for (int s : seeds) {
+    if (s >= 0 && s < n && !active[static_cast<size_t>(s)]) {
+      active[static_cast<size_t>(s)] = 1;
+      frontier.push_back(s);
+      ++activated;
+    }
+  }
+  while (!frontier.empty()) {
+    int u = frontier.front();
+    frontier.pop_front();
+    const auto& row = graph[static_cast<size_t>(u)];
+    for (int v = 0; v < n; ++v) {
+      if (v == u || active[static_cast<size_t>(v)]) continue;
+      if (sampler->Bernoulli(row[static_cast<size_t>(v)])) {
+        active[static_cast<size_t>(v)] = 1;
+        frontier.push_back(v);
+        ++activated;
+      }
+    }
+  }
+  return activated;
+}
+
+double ExpectedSpread(const DiffusionGraph& graph,
+                      const std::vector<int>& seeds, int trials,
+                      cold::RandomSampler* sampler) {
+  if (trials <= 0) return 0.0;
+  double total = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    total += SimulateCascadeOnce(graph, seeds, sampler);
+  }
+  return total / trials;
+}
+
+std::vector<double> SingleSeedInfluence(const DiffusionGraph& graph,
+                                        int trials, uint64_t seed) {
+  cold::RandomSampler sampler(seed, /*stream=*/17);
+  std::vector<double> influence(graph.size(), 0.0);
+  for (size_t u = 0; u < graph.size(); ++u) {
+    influence[u] =
+        ExpectedSpread(graph, {static_cast<int>(u)}, trials, &sampler);
+  }
+  return influence;
+}
+
+std::vector<int> GreedySeedSelection(const DiffusionGraph& graph, int budget,
+                                     int trials, uint64_t seed) {
+  cold::RandomSampler sampler(seed, /*stream=*/19);
+  const int n = static_cast<int>(graph.size());
+  std::vector<int> seeds;
+  std::vector<char> chosen(static_cast<size_t>(n), 0);
+  budget = std::min(budget, n);
+  double current_spread = 0.0;
+  for (int round = 0; round < budget; ++round) {
+    int best = -1;
+    double best_spread = current_spread;
+    for (int u = 0; u < n; ++u) {
+      if (chosen[static_cast<size_t>(u)]) continue;
+      std::vector<int> candidate = seeds;
+      candidate.push_back(u);
+      double spread = ExpectedSpread(graph, candidate, trials, &sampler);
+      if (spread > best_spread) {
+        best_spread = spread;
+        best = u;
+      }
+    }
+    if (best < 0) break;
+    seeds.push_back(best);
+    chosen[static_cast<size_t>(best)] = 1;
+    current_spread = best_spread;
+  }
+  return seeds;
+}
+
+}  // namespace cold::apps

@@ -1,0 +1,39 @@
+// Independent Cascade (Goldenberg et al. 2001) on the extracted
+// community-level diffusion graph, used to identify influential communities
+// (§6.6): each newly-activated node gets one chance to activate each
+// neighbor with the edge's probability.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cold::apps {
+
+/// \brief A dense probability-weighted directed graph: prob[u][v] is the
+/// activation probability of v by u. Diagonal entries are ignored.
+using DiffusionGraph = std::vector<std::vector<double>>;
+
+/// \brief One IC simulation from `seeds`; returns the activated set size
+/// (including seeds).
+int SimulateCascadeOnce(const DiffusionGraph& graph,
+                        const std::vector<int>& seeds,
+                        cold::RandomSampler* sampler);
+
+/// \brief Monte-Carlo estimate of the expected spread sigma(seeds) over
+/// `trials` simulations.
+double ExpectedSpread(const DiffusionGraph& graph,
+                      const std::vector<int>& seeds, int trials,
+                      cold::RandomSampler* sampler);
+
+/// \brief Influence degree of every node: expected spread with that single
+/// node as the seed set (§6.6's per-community influence degree).
+std::vector<double> SingleSeedInfluence(const DiffusionGraph& graph,
+                                        int trials, uint64_t seed);
+
+/// \brief Greedy influence maximization (Kempe et al. 2003): picks
+/// `budget` seeds maximizing marginal expected spread.
+std::vector<int> GreedySeedSelection(const DiffusionGraph& graph, int budget,
+                                     int trials, uint64_t seed);
+
+}  // namespace cold::apps

@@ -1,0 +1,105 @@
+#include "apps/influence.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cold::apps {
+
+DiffusionGraph BuildTopicDiffusionGraph(const core::ColdEstimates& estimates,
+                                        int topic, double max_edge_prob) {
+  const int C = estimates.C;
+  DiffusionGraph graph(static_cast<size_t>(C),
+                       std::vector<double>(static_cast<size_t>(C), 0.0));
+  double max_zeta = 0.0;
+  for (int c = 0; c < C; ++c) {
+    for (int c2 = 0; c2 < C; ++c2) {
+      if (c == c2) continue;
+      double z = estimates.Zeta(topic, c, c2);
+      graph[static_cast<size_t>(c)][static_cast<size_t>(c2)] = z;
+      max_zeta = std::max(max_zeta, z);
+    }
+  }
+  if (max_edge_prob > 0.0 && max_zeta > 0.0) {
+    double scale = max_edge_prob / max_zeta;
+    for (auto& row : graph) {
+      for (double& v : row) v = std::min(1.0, v * scale);
+    }
+  }
+  return graph;
+}
+
+std::vector<CommunityInfluence> RankCommunitiesByInfluence(
+    const core::ColdEstimates& estimates, int topic, int trials,
+    uint64_t seed) {
+  DiffusionGraph graph =
+      BuildTopicDiffusionGraph(estimates, topic, /*max_edge_prob=*/0.5);
+  std::vector<double> degrees = SingleSeedInfluence(graph, trials, seed);
+  std::vector<CommunityInfluence> ranked;
+  ranked.reserve(degrees.size());
+  for (size_t c = 0; c < degrees.size(); ++c) {
+    ranked.push_back({static_cast<int>(c), degrees[c],
+                      estimates.Theta(static_cast<int>(c), topic)});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const CommunityInfluence& a, const CommunityInfluence& b) {
+              return a.influence_degree > b.influence_degree;
+            });
+  return ranked;
+}
+
+std::vector<double> UserInfluenceDegrees(
+    const core::ColdEstimates& estimates,
+    const std::vector<CommunityInfluence>& community_influence) {
+  std::vector<double> by_community(static_cast<size_t>(estimates.C), 0.0);
+  for (const CommunityInfluence& ci : community_influence) {
+    by_community[static_cast<size_t>(ci.community)] = ci.influence_degree;
+  }
+  std::vector<double> user_influence(static_cast<size_t>(estimates.U), 0.0);
+  for (int i = 0; i < estimates.U; ++i) {
+    double total = 0.0;
+    for (int c = 0; c < estimates.C; ++c) {
+      total += estimates.Pi(i, c) * by_community[static_cast<size_t>(c)];
+    }
+    user_influence[static_cast<size_t>(i)] = total;
+  }
+  return user_influence;
+}
+
+std::vector<std::pair<double, double>> PentagonCoordinates(
+    const core::ColdEstimates& estimates,
+    const std::vector<CommunityInfluence>& ranked, int num_anchors) {
+  const int C = estimates.C;
+  num_anchors = std::max(2, num_anchors);
+  int named = std::min(num_anchors - 1, static_cast<int>(ranked.size()));
+
+  // Anchor polygon: unit circle, one vertex per top community, the last for
+  // "other communities".
+  std::vector<std::pair<double, double>> anchors;
+  for (int a = 0; a < num_anchors; ++a) {
+    double angle = 2.0 * M_PI * a / num_anchors + M_PI / 2.0;
+    anchors.emplace_back(std::cos(angle), std::sin(angle));
+  }
+  // Community -> anchor index (top communities get their own vertex, the
+  // rest share the final anchor).
+  std::vector<int> anchor_of(static_cast<size_t>(C), num_anchors - 1);
+  for (int a = 0; a < named; ++a) {
+    anchor_of[static_cast<size_t>(ranked[static_cast<size_t>(a)].community)] =
+        a;
+  }
+
+  std::vector<std::pair<double, double>> coords(
+      static_cast<size_t>(estimates.U));
+  for (int i = 0; i < estimates.U; ++i) {
+    double x = 0.0, y = 0.0;
+    for (int c = 0; c < C; ++c) {
+      const auto& anchor =
+          anchors[static_cast<size_t>(anchor_of[static_cast<size_t>(c)])];
+      x += estimates.Pi(i, c) * anchor.first;
+      y += estimates.Pi(i, c) * anchor.second;
+    }
+    coords[static_cast<size_t>(i)] = {x, y};
+  }
+  return coords;
+}
+
+}  // namespace cold::apps

@@ -1,0 +1,49 @@
+// Influential community and user identification on a topic (§6.6, Fig 16).
+#pragma once
+
+#include <vector>
+
+#include "core/cold_estimates.h"
+#include "apps/independent_cascade.h"
+
+namespace cold::apps {
+
+/// \brief Builds the community-level diffusion graph for topic k:
+/// edge weights zeta_kcc' = theta_ck * theta_c'k * eta_cc' (Eq. 4),
+/// optionally rescaled so the maximum edge equals `max_edge_prob` (keeps IC
+/// spreads informative when raw zetas are tiny).
+DiffusionGraph BuildTopicDiffusionGraph(const core::ColdEstimates& estimates,
+                                        int topic,
+                                        double max_edge_prob = 0.0);
+
+/// \brief A community ranked by influence degree on one topic.
+struct CommunityInfluence {
+  int community = -1;
+  /// Expected IC spread with this community as the single seed.
+  double influence_degree = 0.0;
+  /// The community's interest in the topic (theta_ck).
+  double topic_interest = 0.0;
+};
+
+/// \brief Ranks all communities by single-seed expected IC spread on the
+/// topic's diffusion graph (descending).
+std::vector<CommunityInfluence> RankCommunitiesByInfluence(
+    const core::ColdEstimates& estimates, int topic, int trials,
+    uint64_t seed);
+
+/// \brief Per-user influence degree on a topic: membership-weighted sum of
+/// community influence degrees (users inherit the influence of the
+/// communities they engage in, weighted by pi).
+std::vector<double> UserInfluenceDegrees(
+    const core::ColdEstimates& estimates,
+    const std::vector<CommunityInfluence>& community_influence);
+
+/// \brief Fig-16 pentagon coordinates: each user is placed at the
+/// pi-weighted convex combination of the anchor points of the top
+/// `num_anchors - 1` influential communities plus an "other communities"
+/// anchor. Returns (x, y) per user.
+std::vector<std::pair<double, double>> PentagonCoordinates(
+    const core::ColdEstimates& estimates,
+    const std::vector<CommunityInfluence>& ranked, int num_anchors = 5);
+
+}  // namespace cold::apps

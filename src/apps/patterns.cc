@@ -1,0 +1,161 @@
+#include "apps/patterns.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math_util.h"
+
+namespace cold::apps {
+
+std::vector<FluctuationPoint> FluctuationScatter(
+    const core::ColdEstimates& estimates) {
+  std::vector<FluctuationPoint> points;
+  points.reserve(static_cast<size_t>(estimates.K) * estimates.C);
+  for (int k = 0; k < estimates.K; ++k) {
+    for (int c = 0; c < estimates.C; ++c) {
+      std::vector<double> series = estimates.PsiSeries(k, c);
+      points.push_back(FluctuationPoint{
+          k, c, estimates.Theta(c, k), cold::Variance(series)});
+    }
+  }
+  return points;
+}
+
+std::vector<double> MeanFluctuationByInterestBin(
+    const std::vector<FluctuationPoint>& points,
+    const std::vector<double>& bin_edges) {
+  std::vector<double> sums(bin_edges.size(), 0.0);
+  std::vector<int> counts(bin_edges.size(), 0);
+  for (const FluctuationPoint& p : points) {
+    for (size_t b = 0; b < bin_edges.size(); ++b) {
+      double hi = (b + 1 < bin_edges.size()) ? bin_edges[b + 1]
+                                             : std::numeric_limits<double>::max();
+      if (p.interest >= bin_edges[b] && p.interest < hi) {
+        sums[b] += p.fluctuation;
+        counts[b]++;
+        break;
+      }
+    }
+  }
+  std::vector<double> means(bin_edges.size(), 0.0);
+  for (size_t b = 0; b < bin_edges.size(); ++b) {
+    means[b] = counts[b] > 0 ? sums[b] / counts[b] : 0.0;
+  }
+  return means;
+}
+
+std::vector<double> InterestCdf(const std::vector<FluctuationPoint>& points,
+                                const std::vector<double>& thresholds) {
+  std::vector<double> cdf(thresholds.size(), 0.0);
+  if (points.empty()) return cdf;
+  for (size_t i = 0; i < thresholds.size(); ++i) {
+    int count = 0;
+    for (const FluctuationPoint& p : points) {
+      if (p.interest <= thresholds[i]) ++count;
+    }
+    cdf[i] = static_cast<double>(count) / static_cast<double>(points.size());
+  }
+  return cdf;
+}
+
+InterestCategories CategorizeCommunities(const core::ColdEstimates& estimates,
+                                         int topic, int num_high,
+                                         double min_interest) {
+  std::vector<double> interest(static_cast<size_t>(estimates.C));
+  for (int c = 0; c < estimates.C; ++c) {
+    interest[static_cast<size_t>(c)] = estimates.Theta(c, topic);
+  }
+  std::vector<int> order = cold::TopKIndices(interest, estimates.C);
+
+  InterestCategories cats;
+  num_high = std::min(num_high, estimates.C);
+  double high_sum = 0.0, medium_sum = 0.0;
+  for (int rank = 0; rank < estimates.C; ++rank) {
+    int c = order[static_cast<size_t>(rank)];
+    double v = interest[static_cast<size_t>(c)];
+    if (rank < num_high) {
+      cats.high.push_back(c);
+      high_sum += v;
+    } else if (v >= min_interest) {
+      cats.medium.push_back(c);
+      medium_sum += v;
+    }
+  }
+  cats.high_mean_interest =
+      cats.high.empty() ? 0.0 : high_sum / static_cast<double>(cats.high.size());
+  cats.medium_mean_interest =
+      cats.medium.empty() ? 0.0
+                          : medium_sum / static_cast<double>(cats.medium.size());
+  return cats;
+}
+
+std::vector<double> PeakAlignedMedianCurve(
+    const core::ColdEstimates& estimates, int topic,
+    const std::vector<int>& communities) {
+  const int T = estimates.T;
+  std::vector<std::vector<double>> aligned;
+  aligned.reserve(communities.size());
+  for (int c : communities) {
+    std::vector<double> series = estimates.PsiSeries(topic, c);
+    double peak = *std::max_element(series.begin(), series.end());
+    if (peak <= 0.0) continue;
+    for (double& v : series) v /= peak;
+    aligned.push_back(std::move(series));
+  }
+  std::vector<double> median_curve(static_cast<size_t>(T), 0.0);
+  if (aligned.empty()) return median_curve;
+  std::vector<double> column(aligned.size());
+  for (int t = 0; t < T; ++t) {
+    for (size_t i = 0; i < aligned.size(); ++i) {
+      column[i] = aligned[i][static_cast<size_t>(t)];
+    }
+    median_curve[static_cast<size_t>(t)] = cold::Median(column);
+  }
+  return median_curve;
+}
+
+namespace {
+int PeakIndex(const std::vector<double>& curve) {
+  return static_cast<int>(
+      std::max_element(curve.begin(), curve.end()) - curve.begin());
+}
+
+double CenterOfMass(const std::vector<double>& curve) {
+  double mass = 0.0, moment = 0.0;
+  for (size_t t = 0; t < curve.size(); ++t) {
+    mass += curve[t];
+    moment += static_cast<double>(t) * curve[t];
+  }
+  return mass > 0.0 ? moment / mass : 0.0;
+}
+
+int HalfLifeAfterPeak(const std::vector<double>& curve) {
+  int peak = PeakIndex(curve);
+  double half = curve[static_cast<size_t>(peak)] * 0.5;
+  int t = peak;
+  while (t + 1 < static_cast<int>(curve.size()) &&
+         curve[static_cast<size_t>(t) + 1] >= half) {
+    ++t;
+  }
+  return t - peak;
+}
+}  // namespace
+
+TimeLagResult MeasureTimeLag(const core::ColdEstimates& estimates, int topic,
+                             int num_high, double min_interest) {
+  InterestCategories cats =
+      CategorizeCommunities(estimates, topic, num_high, min_interest);
+  TimeLagResult result;
+  result.high_curve = PeakAlignedMedianCurve(estimates, topic, cats.high);
+  result.medium_curve = PeakAlignedMedianCurve(estimates, topic, cats.medium);
+  result.high_peak_time = PeakIndex(result.high_curve);
+  result.medium_peak_time = PeakIndex(result.medium_curve);
+  result.lag = result.medium_peak_time - result.high_peak_time;
+  result.mass_lag =
+      CenterOfMass(result.medium_curve) - CenterOfMass(result.high_curve);
+  result.high_half_life = HalfLifeAfterPeak(result.high_curve);
+  result.medium_half_life = HalfLifeAfterPeak(result.medium_curve);
+  return result;
+}
+
+}  // namespace cold::apps

@@ -1,0 +1,85 @@
+// Diffusion-pattern analytics of §5.3: the fluctuation-vs-interest
+// correlation (Fig 6) and the popularity time lag between highly- and
+// medium-interested communities (Fig 7).
+#pragma once
+
+#include <vector>
+
+#include "core/cold_estimates.h"
+
+namespace cold::apps {
+
+/// \brief One (topic, community) point of the Fig-6 scatter.
+struct FluctuationPoint {
+  int topic = -1;
+  int community = -1;
+  /// theta_ck — the community's interest in the topic (x-axis, log scale).
+  double interest = 0.0;
+  /// Variance of the psi_kc values over time slices — the fluctuation
+  /// intensity of the topic's popularity inside the community (y-axis).
+  double fluctuation = 0.0;
+};
+
+/// \brief All (k, c) points for the fluctuation scatter.
+std::vector<FluctuationPoint> FluctuationScatter(
+    const core::ColdEstimates& estimates);
+
+/// \brief Mean fluctuation binned by interest decade (for summarizing the
+/// Fig-6 shape: fluctuation peaks at moderate interest). `bin_edges` are
+/// ascending interest thresholds; returns one mean per bin
+/// [edge_i, edge_{i+1}).
+std::vector<double> MeanFluctuationByInterestBin(
+    const std::vector<FluctuationPoint>& points,
+    const std::vector<double>& bin_edges);
+
+/// \brief Empirical CDF of the interest values at the given thresholds.
+std::vector<double> InterestCdf(const std::vector<FluctuationPoint>& points,
+                                const std::vector<double>& thresholds);
+
+/// \brief Community categories for the Fig-7 lag analysis (§5.3): the
+/// top-`num_high` communities by theta_ck are "highly interested"; the rest
+/// above `min_interest` are "medium"; communities below are dropped.
+struct InterestCategories {
+  std::vector<int> high;
+  std::vector<int> medium;
+  double high_mean_interest = 0.0;
+  double medium_mean_interest = 0.0;
+};
+
+InterestCategories CategorizeCommunities(const core::ColdEstimates& estimates,
+                                         int topic, int num_high = 10,
+                                         double min_interest = 1e-4);
+
+/// \brief Peak-aligned median popularity curve (the "median topic dynamic
+/// curve" of [16] as used in §5.3): every community's psi_kc series is
+/// scaled so its peak equals 1, then the median across communities is taken
+/// at each time stamp.
+std::vector<double> PeakAlignedMedianCurve(
+    const core::ColdEstimates& estimates, int topic,
+    const std::vector<int>& communities);
+
+/// \brief Result of the Fig-7 time-lag measurement.
+struct TimeLagResult {
+  std::vector<double> high_curve;
+  std::vector<double> medium_curve;
+  /// Peak positions of the two median curves.
+  int high_peak_time = 0;
+  int medium_peak_time = 0;
+  /// medium_peak_time - high_peak_time: positive means the topic reaches
+  /// medium-interest communities later.
+  int lag = 0;
+  /// Center-of-mass lag (expected time of the medium curve minus that of
+  /// the high curve) — robust to peak-location noise in sparse psi
+  /// estimates.
+  double mass_lag = 0.0;
+  /// Post-peak persistence: number of slices each curve stays above half
+  /// its peak (durability, "popularity lasts longer").
+  int high_half_life = 0;
+  int medium_half_life = 0;
+};
+
+/// \brief Full Fig-7 analysis for one topic.
+TimeLagResult MeasureTimeLag(const core::ColdEstimates& estimates, int topic,
+                             int num_high = 10, double min_interest = 1e-4);
+
+}  // namespace cold::apps

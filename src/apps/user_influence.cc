@@ -1,0 +1,107 @@
+#include "apps/user_influence.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/math_util.h"
+
+namespace cold::apps {
+
+UserDiffusionGraph BuildUserDiffusionGraph(
+    const core::ColdPredictor& predictor, const graph::Digraph& followers,
+    std::span<const text::WordId> message, double gain) {
+  UserDiffusionGraph graph;
+  graph.adjacency.resize(static_cast<size_t>(followers.num_nodes()));
+  for (graph::NodeId i = 0; i < followers.num_nodes(); ++i) {
+    for (graph::EdgeId e : followers.out_edges(i)) {
+      int f = followers.edge(e).dst;
+      double p = std::min(
+          1.0, gain * predictor.DiffusionProbability(i, f, message));
+      graph.adjacency[static_cast<size_t>(i)].push_back({f, p});
+    }
+  }
+  return graph;
+}
+
+int SimulateUserCascadeOnce(const UserDiffusionGraph& graph,
+                            const std::vector<int>& seeds,
+                            cold::RandomSampler* sampler) {
+  std::vector<char> active(graph.adjacency.size(), 0);
+  std::deque<int> frontier;
+  int activated = 0;
+  for (int s : seeds) {
+    if (s >= 0 && s < graph.num_users() && !active[static_cast<size_t>(s)]) {
+      active[static_cast<size_t>(s)] = 1;
+      frontier.push_back(s);
+      ++activated;
+    }
+  }
+  while (!frontier.empty()) {
+    int u = frontier.front();
+    frontier.pop_front();
+    for (const UserDiffusionGraph::Arc& arc :
+         graph.adjacency[static_cast<size_t>(u)]) {
+      if (active[static_cast<size_t>(arc.target)]) continue;
+      if (sampler->Bernoulli(arc.probability)) {
+        active[static_cast<size_t>(arc.target)] = 1;
+        frontier.push_back(arc.target);
+        ++activated;
+      }
+    }
+  }
+  return activated;
+}
+
+double ExpectedUserSpread(const UserDiffusionGraph& graph,
+                          const std::vector<int>& seeds, int trials,
+                          cold::RandomSampler* sampler) {
+  if (trials <= 0) return 0.0;
+  double total = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    total += SimulateUserCascadeOnce(graph, seeds, sampler);
+  }
+  return total / trials;
+}
+
+std::vector<int> DegreeSeeds(const UserDiffusionGraph& graph, int budget) {
+  std::vector<double> degree(graph.adjacency.size());
+  for (size_t i = 0; i < graph.adjacency.size(); ++i) {
+    degree[i] = static_cast<double>(graph.adjacency[i].size());
+  }
+  return cold::TopKIndices(degree, budget);
+}
+
+std::vector<int> GreedyUserSeeds(const UserDiffusionGraph& graph, int budget,
+                                 int trials, int candidate_pool,
+                                 uint64_t seed) {
+  cold::RandomSampler sampler(seed, /*stream=*/43);
+  // Candidate pruning: greedy marginal-gain evaluation only over the
+  // highest-degree users.
+  std::vector<int> candidates =
+      DegreeSeeds(graph, std::min<int>(candidate_pool, graph.num_users()));
+  std::vector<int> seeds;
+  std::vector<char> chosen(graph.adjacency.size(), 0);
+  double current = 0.0;
+  budget = std::min(budget, static_cast<int>(candidates.size()));
+  for (int round = 0; round < budget; ++round) {
+    int best = -1;
+    double best_spread = current;
+    for (int u : candidates) {
+      if (chosen[static_cast<size_t>(u)]) continue;
+      std::vector<int> trial_seeds = seeds;
+      trial_seeds.push_back(u);
+      double spread = ExpectedUserSpread(graph, trial_seeds, trials, &sampler);
+      if (spread > best_spread) {
+        best_spread = spread;
+        best = u;
+      }
+    }
+    if (best < 0) break;
+    seeds.push_back(best);
+    chosen[static_cast<size_t>(best)] = 1;
+    current = best_spread;
+  }
+  return seeds;
+}
+
+}  // namespace cold::apps

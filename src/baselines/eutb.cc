@@ -1,0 +1,280 @@
+#include "baselines/eutb.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math_util.h"
+
+namespace cold::baselines {
+
+EutbModel::EutbModel(EutbConfig config, const text::PostStore& posts)
+    : config_(config), posts_(posts) {
+  for (text::PostId d = 0; d < posts_.num_posts(); ++d) {
+    for (text::WordId w : posts_.words(d)) vocab_ = std::max(vocab_, w + 1);
+  }
+}
+
+cold::Status EutbModel::Train() {
+  if (config_.num_topics < 1 || config_.iterations < 1) {
+    return cold::Status::InvalidArgument("bad EUTB config");
+  }
+  if (!posts_.finalized() || posts_.num_posts() == 0) {
+    return cold::Status::InvalidArgument("no posts");
+  }
+  const int K = config_.num_topics;
+  const int U = posts_.num_users();
+  const int T = posts_.num_time_slices();
+  const double alpha = config_.ResolvedAlpha();
+  const double beta = config_.beta;
+
+  std::vector<int32_t> n_uk(static_cast<size_t>(U) * K, 0);
+  std::vector<int32_t> n_u(static_cast<size_t>(U), 0);
+  std::vector<int32_t> n_tk(static_cast<size_t>(T) * K, 0);
+  std::vector<int32_t> n_t(static_cast<size_t>(T), 0);
+  std::vector<int32_t> n_kv(static_cast<size_t>(K) * vocab_, 0);
+  std::vector<int32_t> n_k(static_cast<size_t>(K), 0);
+  std::vector<int32_t> post_topic(static_cast<size_t>(posts_.num_posts()));
+  std::vector<uint8_t> post_source(static_cast<size_t>(posts_.num_posts()));
+  int64_t user_source_count = 0;
+  double lambda = config_.user_source_prior;
+
+  cold::RandomSampler sampler(config_.seed, /*stream=*/41);
+  for (text::PostId d = 0; d < posts_.num_posts(); ++d) {
+    int k = static_cast<int>(sampler.UniformInt(static_cast<uint32_t>(K)));
+    bool from_user = sampler.Bernoulli(lambda);
+    post_topic[static_cast<size_t>(d)] = static_cast<int32_t>(k);
+    post_source[static_cast<size_t>(d)] = from_user ? 1 : 0;
+    if (from_user) {
+      n_uk[static_cast<size_t>(posts_.author(d)) * K + k]++;
+      n_u[static_cast<size_t>(posts_.author(d))]++;
+      ++user_source_count;
+    } else {
+      n_tk[static_cast<size_t>(posts_.time(d)) * K + k]++;
+      n_t[static_cast<size_t>(posts_.time(d))]++;
+    }
+    for (text::WordId w : posts_.words(d)) {
+      n_kv[static_cast<size_t>(k) * vocab_ + w]++;
+    }
+    n_k[static_cast<size_t>(k)] += posts_.length(d);
+  }
+
+  // Joint (source, topic) Gibbs over 2K options in log space.
+  std::vector<double> log_weights(static_cast<size_t>(2 * K));
+  for (int it = 0; it < config_.iterations; ++it) {
+    for (text::PostId d = 0; d < posts_.num_posts(); ++d) {
+      int i = posts_.author(d);
+      int t = posts_.time(d);
+      int old_k = post_topic[static_cast<size_t>(d)];
+      bool old_user = post_source[static_cast<size_t>(d)] != 0;
+      int len = posts_.length(d);
+      if (old_user) {
+        n_uk[static_cast<size_t>(i) * K + old_k]--;
+        n_u[static_cast<size_t>(i)]--;
+        --user_source_count;
+      } else {
+        n_tk[static_cast<size_t>(t) * K + old_k]--;
+        n_t[static_cast<size_t>(t)]--;
+      }
+      for (text::WordId w : posts_.words(d)) {
+        n_kv[static_cast<size_t>(old_k) * vocab_ + w]--;
+      }
+      n_k[static_cast<size_t>(old_k)] -= len;
+
+      auto word_counts = posts_.WordCounts(d);
+      for (int k = 0; k < K; ++k) {
+        double word_term = 0.0;
+        for (const auto& [w, cnt] : word_counts) {
+          double base = n_kv[static_cast<size_t>(k) * vocab_ + w] + beta;
+          for (int q = 0; q < cnt; ++q) word_term += std::log(base + q);
+        }
+        double denom = n_k[static_cast<size_t>(k)] + vocab_ * beta;
+        for (int q = 0; q < len; ++q) word_term -= std::log(denom + q);
+
+        log_weights[static_cast<size_t>(k)] =
+            std::log(lambda) +
+            std::log((n_uk[static_cast<size_t>(i) * K + k] + alpha) /
+                     (n_u[static_cast<size_t>(i)] + K * alpha)) +
+            word_term;
+        log_weights[static_cast<size_t>(K + k)] =
+            std::log(1.0 - lambda) +
+            std::log((n_tk[static_cast<size_t>(t) * K + k] + alpha) /
+                     (n_t[static_cast<size_t>(t)] + K * alpha)) +
+            word_term;
+      }
+      int pick = sampler.LogCategorical(log_weights);
+      bool from_user = pick < K;
+      int new_k = from_user ? pick : pick - K;
+      post_topic[static_cast<size_t>(d)] = static_cast<int32_t>(new_k);
+      post_source[static_cast<size_t>(d)] = from_user ? 1 : 0;
+      if (from_user) {
+        n_uk[static_cast<size_t>(i) * K + new_k]++;
+        n_u[static_cast<size_t>(i)]++;
+        ++user_source_count;
+      } else {
+        n_tk[static_cast<size_t>(t) * K + new_k]++;
+        n_t[static_cast<size_t>(t)]++;
+      }
+      for (text::WordId w : posts_.words(d)) {
+        n_kv[static_cast<size_t>(new_k) * vocab_ + w]++;
+      }
+      n_k[static_cast<size_t>(new_k)] += len;
+    }
+    // Re-estimate the switch probability (Beta(1,1) posterior mean).
+    lambda = (static_cast<double>(user_source_count) + 1.0) /
+             (static_cast<double>(posts_.num_posts()) + 2.0);
+    lambda = std::clamp(lambda, 0.05, 0.95);
+  }
+
+  estimates_.U = U;
+  estimates_.K = K;
+  estimates_.V = vocab_;
+  estimates_.T = T;
+  estimates_.lambda_user = lambda;
+  estimates_.theta_user.resize(static_cast<size_t>(U) * K);
+  for (int i = 0; i < U; ++i) {
+    double denom = n_u[static_cast<size_t>(i)] + K * alpha;
+    for (int k = 0; k < K; ++k) {
+      estimates_.theta_user[static_cast<size_t>(i) * K + k] =
+          (n_uk[static_cast<size_t>(i) * K + k] + alpha) / denom;
+    }
+  }
+  estimates_.theta_time.resize(static_cast<size_t>(T) * K);
+  for (int t = 0; t < T; ++t) {
+    double denom = n_t[static_cast<size_t>(t)] + K * alpha;
+    for (int k = 0; k < K; ++k) {
+      estimates_.theta_time[static_cast<size_t>(t) * K + k] =
+          (n_tk[static_cast<size_t>(t) * K + k] + alpha) / denom;
+    }
+  }
+  estimates_.phi.resize(static_cast<size_t>(K) * vocab_);
+  for (int k = 0; k < K; ++k) {
+    double denom = n_k[static_cast<size_t>(k)] + vocab_ * beta;
+    for (int v = 0; v < vocab_; ++v) {
+      estimates_.phi[static_cast<size_t>(k) * vocab_ + v] =
+          (n_kv[static_cast<size_t>(k) * vocab_ + v] + beta) / denom;
+    }
+  }
+  estimates_.slice_prior.assign(static_cast<size_t>(T), 0.0);
+  for (text::PostId d = 0; d < posts_.num_posts(); ++d) {
+    estimates_.slice_prior[static_cast<size_t>(posts_.time(d))] += 1.0;
+  }
+  cold::NormalizeInPlace(estimates_.slice_prior);
+
+  ApplyBurstWeightedSmoothing();
+  return cold::Status::OK();
+}
+
+void EutbModel::ApplyBurstWeightedSmoothing() {
+  const int T = estimates_.T;
+  const int K = estimates_.K;
+  const int W = config_.smoothing_window;
+  if (W <= 0 || T < 2) return;
+  // Burst weight of a slice: its post share relative to the average share.
+  std::vector<double> burst(static_cast<size_t>(T));
+  double avg = 1.0 / T;
+  for (int t = 0; t < T; ++t) {
+    burst[static_cast<size_t>(t)] =
+        estimates_.slice_prior[static_cast<size_t>(t)] / avg;
+  }
+  std::vector<double> smoothed(static_cast<size_t>(T) * K, 0.0);
+  for (int t = 0; t < T; ++t) {
+    double weight_sum = 0.0;
+    for (int dt = -W; dt <= W; ++dt) {
+      int t2 = t + dt;
+      if (t2 < 0 || t2 >= T) continue;
+      // Triangular kernel scaled by the neighbor's burstiness: bursty
+      // slices dominate their neighborhood.
+      double w = (1.0 - std::abs(dt) / static_cast<double>(W + 1)) *
+                 (0.2 + burst[static_cast<size_t>(t2)]);
+      weight_sum += w;
+      for (int k = 0; k < K; ++k) {
+        smoothed[static_cast<size_t>(t) * K + k] +=
+            w * estimates_.theta_time[static_cast<size_t>(t2) * K + k];
+      }
+    }
+    for (int k = 0; k < K; ++k) {
+      smoothed[static_cast<size_t>(t) * K + k] /= weight_sum;
+    }
+  }
+  estimates_.theta_time = std::move(smoothed);
+}
+
+std::vector<double> EutbModel::TimestampScores(
+    std::span<const text::WordId> words, text::UserId author) const {
+  const int K = estimates_.K;
+  std::vector<double> log_w(static_cast<size_t>(K));
+  for (int k = 0; k < K; ++k) {
+    double lw = 0.0;
+    for (text::WordId w : words) {
+      lw += std::log(
+          std::max(estimates_.Phi(k, std::min<int>(w, vocab_ - 1)), 1e-300));
+    }
+    log_w[static_cast<size_t>(k)] = lw;
+  }
+  double max_lw = *std::max_element(log_w.begin(), log_w.end());
+
+  std::vector<double> scores(static_cast<size_t>(estimates_.T), 0.0);
+  for (int t = 0; t < estimates_.T; ++t) {
+    double s = 0.0;
+    for (int k = 0; k < K; ++k) {
+      double blend =
+          estimates_.lambda_user * estimates_.ThetaUser(author, k) +
+          (1.0 - estimates_.lambda_user) * estimates_.ThetaTime(t, k);
+      s += blend * std::exp(log_w[static_cast<size_t>(k)] - max_lw);
+    }
+    scores[static_cast<size_t>(t)] =
+        s * estimates_.slice_prior[static_cast<size_t>(t)];
+  }
+  cold::NormalizeInPlace(scores);
+  return scores;
+}
+
+int EutbModel::PredictTimestamp(std::span<const text::WordId> words,
+                                text::UserId author) const {
+  std::vector<double> scores = TimestampScores(words, author);
+  return static_cast<int>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+double EutbModel::LogPostProbability(std::span<const text::WordId> words,
+                                     text::UserId author) const {
+  const int K = estimates_.K;
+  // Blend of user mixture and prior-weighted time mixtures.
+  std::vector<double> topic_prior(static_cast<size_t>(K), 0.0);
+  for (int k = 0; k < K; ++k) {
+    double time_mix = 0.0;
+    for (int t = 0; t < estimates_.T; ++t) {
+      time_mix += estimates_.slice_prior[static_cast<size_t>(t)] *
+                  estimates_.ThetaTime(t, k);
+    }
+    topic_prior[static_cast<size_t>(k)] =
+        estimates_.lambda_user * estimates_.ThetaUser(author, k) +
+        (1.0 - estimates_.lambda_user) * time_mix;
+  }
+  // Post-level mixture, matching the one-topic-per-post generative unit:
+  // p(w_d) = sum_k prior_k prod_l phi_k,w.
+  std::vector<double> terms(static_cast<size_t>(K));
+  for (int k = 0; k < K; ++k) {
+    double lw = std::log(std::max(topic_prior[static_cast<size_t>(k)], 1e-300));
+    for (text::WordId w : words) {
+      lw += std::log(
+          std::max(estimates_.Phi(k, std::min<int>(w, vocab_ - 1)), 1e-300));
+    }
+    terms[static_cast<size_t>(k)] = lw;
+  }
+  return cold::LogSumExp(terms);
+}
+
+double EutbModel::Perplexity(const text::PostStore& test_posts) const {
+  double total_ll = 0.0;
+  int64_t tokens = 0;
+  for (text::PostId d = 0; d < test_posts.num_posts(); ++d) {
+    if (test_posts.length(d) == 0) continue;
+    total_ll += LogPostProbability(test_posts.words(d), test_posts.author(d));
+    tokens += test_posts.length(d);
+  }
+  if (tokens == 0) return 0.0;
+  return std::exp(-total_ll / static_cast<double>(tokens));
+}
+
+}  // namespace cold::baselines

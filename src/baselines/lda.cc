@@ -1,0 +1,264 @@
+#include "baselines/lda.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math_util.h"
+
+namespace cold::baselines {
+
+LdaModel::LdaModel(LdaConfig config, const text::PostStore& posts)
+    : config_(config), posts_(posts) {
+  num_documents_ = config_.document_unit == LdaDocumentUnit::kPost
+                       ? posts_.num_posts()
+                       : posts_.num_users();
+  for (text::PostId d = 0; d < posts_.num_posts(); ++d) {
+    for (text::WordId w : posts_.words(d)) vocab_ = std::max(vocab_, w + 1);
+  }
+}
+
+int LdaModel::DocumentOf(text::PostId d) const {
+  return config_.document_unit == LdaDocumentUnit::kPost
+             ? d
+             : posts_.author(d);
+}
+
+cold::Status LdaModel::Train() {
+  if (!posts_.finalized()) {
+    return cold::Status::FailedPrecondition("post store not finalized");
+  }
+  if (posts_.num_posts() == 0) {
+    return cold::Status::InvalidArgument("no posts");
+  }
+  if (config_.num_topics < 1 || config_.iterations < 1) {
+    return cold::Status::InvalidArgument("bad LDA config");
+  }
+  cold::RandomSampler sampler(config_.seed, /*stream=*/23);
+  if (config_.assignment == LdaAssignment::kPerWord) {
+    TrainPerWord(&sampler);
+  } else {
+    TrainPerPost(&sampler);
+  }
+  return cold::Status::OK();
+}
+
+void LdaModel::TrainPerWord(cold::RandomSampler* sampler) {
+  const int K = config_.num_topics;
+  const double alpha = config_.ResolvedAlpha();
+  const double beta = config_.beta;
+
+  std::vector<int32_t> n_dk(static_cast<size_t>(num_documents_) * K, 0);
+  std::vector<int32_t> n_d(static_cast<size_t>(num_documents_), 0);
+  std::vector<int32_t> n_kv(static_cast<size_t>(K) * vocab_, 0);
+  std::vector<int32_t> n_k(static_cast<size_t>(K), 0);
+  std::vector<int32_t> assignment(static_cast<size_t>(posts_.num_tokens()));
+
+  // Random init.
+  size_t token = 0;
+  for (text::PostId d = 0; d < posts_.num_posts(); ++d) {
+    int doc = DocumentOf(d);
+    for (text::WordId w : posts_.words(d)) {
+      int k = static_cast<int>(sampler->UniformInt(static_cast<uint32_t>(K)));
+      assignment[token++] = k;
+      n_dk[static_cast<size_t>(doc) * K + k]++;
+      n_d[static_cast<size_t>(doc)]++;
+      n_kv[static_cast<size_t>(k) * vocab_ + w]++;
+      n_k[static_cast<size_t>(k)]++;
+    }
+  }
+
+  std::vector<double> weights(static_cast<size_t>(K));
+  for (int it = 0; it < config_.iterations; ++it) {
+    token = 0;
+    for (text::PostId d = 0; d < posts_.num_posts(); ++d) {
+      int doc = DocumentOf(d);
+      for (text::WordId w : posts_.words(d)) {
+        int old_k = assignment[token];
+        n_dk[static_cast<size_t>(doc) * K + old_k]--;
+        n_kv[static_cast<size_t>(old_k) * vocab_ + w]--;
+        n_k[static_cast<size_t>(old_k)]--;
+        for (int k = 0; k < K; ++k) {
+          weights[static_cast<size_t>(k)] =
+              (n_dk[static_cast<size_t>(doc) * K + k] + alpha) *
+              (n_kv[static_cast<size_t>(k) * vocab_ + w] + beta) /
+              (n_k[static_cast<size_t>(k)] + vocab_ * beta);
+        }
+        int new_k = sampler->Categorical(weights);
+        assignment[token] = static_cast<int32_t>(new_k);
+        n_dk[static_cast<size_t>(doc) * K + new_k]++;
+        n_kv[static_cast<size_t>(new_k) * vocab_ + w]++;
+        n_k[static_cast<size_t>(new_k)]++;
+        ++token;
+      }
+    }
+  }
+  ExtractEstimates(n_dk, n_d, n_kv, n_k);
+
+  // Per-post labels: majority topic of the post's tokens.
+  post_topic_.assign(static_cast<size_t>(posts_.num_posts()), 0);
+  token = 0;
+  std::vector<int> counts(static_cast<size_t>(K));
+  for (text::PostId d = 0; d < posts_.num_posts(); ++d) {
+    std::fill(counts.begin(), counts.end(), 0);
+    for (int l = 0; l < posts_.length(d); ++l) {
+      counts[static_cast<size_t>(assignment[token++])]++;
+    }
+    post_topic_[static_cast<size_t>(d)] = static_cast<int32_t>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+  }
+}
+
+void LdaModel::TrainPerPost(cold::RandomSampler* sampler) {
+  const int K = config_.num_topics;
+  const double alpha = config_.ResolvedAlpha();
+  const double beta = config_.beta;
+
+  std::vector<int32_t> n_dk(static_cast<size_t>(num_documents_) * K, 0);
+  std::vector<int32_t> n_d(static_cast<size_t>(num_documents_), 0);
+  std::vector<int32_t> n_kv(static_cast<size_t>(K) * vocab_, 0);
+  std::vector<int32_t> n_k(static_cast<size_t>(K), 0);
+  post_topic_.assign(static_cast<size_t>(posts_.num_posts()), 0);
+
+  for (text::PostId d = 0; d < posts_.num_posts(); ++d) {
+    int doc = DocumentOf(d);
+    int k = static_cast<int>(sampler->UniformInt(static_cast<uint32_t>(K)));
+    post_topic_[static_cast<size_t>(d)] = static_cast<int32_t>(k);
+    n_dk[static_cast<size_t>(doc) * K + k]++;
+    n_d[static_cast<size_t>(doc)]++;
+    for (text::WordId w : posts_.words(d)) {
+      n_kv[static_cast<size_t>(k) * vocab_ + w]++;
+    }
+    n_k[static_cast<size_t>(k)] += posts_.length(d);
+  }
+
+  std::vector<double> log_weights(static_cast<size_t>(K));
+  for (int it = 0; it < config_.iterations; ++it) {
+    for (text::PostId d = 0; d < posts_.num_posts(); ++d) {
+      int doc = DocumentOf(d);
+      int old_k = post_topic_[static_cast<size_t>(d)];
+      int len = posts_.length(d);
+      n_dk[static_cast<size_t>(doc) * K + old_k]--;
+      for (text::WordId w : posts_.words(d)) {
+        n_kv[static_cast<size_t>(old_k) * vocab_ + w]--;
+      }
+      n_k[static_cast<size_t>(old_k)] -= len;
+
+      auto word_counts = posts_.WordCounts(d);
+      for (int k = 0; k < K; ++k) {
+        double lw = std::log(n_dk[static_cast<size_t>(doc) * K + k] + alpha);
+        for (const auto& [w, cnt] : word_counts) {
+          double base = n_kv[static_cast<size_t>(k) * vocab_ + w] + beta;
+          for (int q = 0; q < cnt; ++q) lw += std::log(base + q);
+        }
+        double denom = n_k[static_cast<size_t>(k)] + vocab_ * beta;
+        for (int q = 0; q < len; ++q) lw -= std::log(denom + q);
+        log_weights[static_cast<size_t>(k)] = lw;
+      }
+      int new_k = sampler->LogCategorical(log_weights);
+      post_topic_[static_cast<size_t>(d)] = static_cast<int32_t>(new_k);
+      n_dk[static_cast<size_t>(doc) * K + new_k]++;
+      for (text::WordId w : posts_.words(d)) {
+        n_kv[static_cast<size_t>(new_k) * vocab_ + w]++;
+      }
+      n_k[static_cast<size_t>(new_k)] += len;
+    }
+  }
+  ExtractEstimates(n_dk, n_d, n_kv, n_k);
+}
+
+void LdaModel::ExtractEstimates(const std::vector<int32_t>& n_dk,
+                                const std::vector<int32_t>& n_d,
+                                const std::vector<int32_t>& n_kv,
+                                const std::vector<int32_t>& n_k) {
+  const int K = config_.num_topics;
+  const double alpha = config_.ResolvedAlpha();
+  const double beta = config_.beta;
+  estimates_.num_documents = num_documents_;
+  estimates_.K = K;
+  estimates_.V = vocab_;
+  estimates_.theta.resize(static_cast<size_t>(num_documents_) * K);
+  for (int d = 0; d < num_documents_; ++d) {
+    double denom = n_d[static_cast<size_t>(d)] + K * alpha;
+    for (int k = 0; k < K; ++k) {
+      estimates_.theta[static_cast<size_t>(d) * K + k] =
+          (n_dk[static_cast<size_t>(d) * K + k] + alpha) / denom;
+    }
+  }
+  estimates_.phi.resize(static_cast<size_t>(K) * vocab_);
+  for (int k = 0; k < K; ++k) {
+    double denom = n_k[static_cast<size_t>(k)] + vocab_ * beta;
+    for (int v = 0; v < vocab_; ++v) {
+      estimates_.phi[static_cast<size_t>(k) * vocab_ + v] =
+          (n_kv[static_cast<size_t>(k) * vocab_ + v] + beta) / denom;
+    }
+  }
+}
+
+std::vector<double> LdaModel::TopicPosterior(
+    std::span<const text::WordId> words) const {
+  const int K = estimates_.K;
+  std::vector<double> log_w(static_cast<size_t>(K), 0.0);
+  for (int k = 0; k < K; ++k) {
+    for (text::WordId w : words) {
+      log_w[static_cast<size_t>(k)] +=
+          std::log(std::max(estimates_.Phi(k, std::min(w, vocab_ - 1)), 1e-300));
+    }
+  }
+  double lse = cold::LogSumExp(log_w);
+  for (double& v : log_w) v = std::exp(v - lse);
+  return log_w;
+}
+
+std::vector<double> LdaModel::TopicPosteriorForAuthor(
+    std::span<const text::WordId> words, text::UserId author) const {
+  const int K = estimates_.K;
+  std::vector<double> scores(static_cast<size_t>(K), 0.0);
+  int doc = config_.document_unit == LdaDocumentUnit::kUserDocument
+                ? author
+                : -1;
+  for (int k = 0; k < K; ++k) {
+    double lw = 0.0;
+    for (text::WordId w : words) {
+      lw += std::log(std::max(estimates_.Phi(k, std::min(w, vocab_ - 1)),
+                              1e-300));
+    }
+    double prior = doc >= 0 ? estimates_.Theta(doc, k) : 1.0 / K;
+    scores[static_cast<size_t>(k)] = lw + std::log(std::max(prior, 1e-300));
+  }
+  double lse = cold::LogSumExp(scores);
+  for (double& v : scores) v = std::exp(v - lse);
+  return scores;
+}
+
+double LdaModel::LogPostProbability(std::span<const text::WordId> words,
+                                    text::UserId author) const {
+  const int K = estimates_.K;
+  // Per-word mixture under the author's (or uniform) topic mixture.
+  int doc = config_.document_unit == LdaDocumentUnit::kUserDocument
+                ? author
+                : -1;
+  double ll = 0.0;
+  for (text::WordId w : words) {
+    double p = 0.0;
+    for (int k = 0; k < K; ++k) {
+      double prior = doc >= 0 ? estimates_.Theta(doc, k) : 1.0 / K;
+      p += prior * estimates_.Phi(k, std::min(w, vocab_ - 1));
+    }
+    ll += std::log(std::max(p, 1e-300));
+  }
+  return ll;
+}
+
+double LdaModel::Perplexity(const text::PostStore& test_posts) const {
+  double total_ll = 0.0;
+  int64_t tokens = 0;
+  for (text::PostId d = 0; d < test_posts.num_posts(); ++d) {
+    if (test_posts.length(d) == 0) continue;
+    total_ll += LogPostProbability(test_posts.words(d), test_posts.author(d));
+    tokens += test_posts.length(d);
+  }
+  if (tokens == 0) return 0.0;
+  return std::exp(-total_ll / static_cast<double>(tokens));
+}
+
+}  // namespace cold::baselines

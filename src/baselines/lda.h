@@ -1,0 +1,109 @@
+// Latent Dirichlet Allocation (Blei et al. 2003) with collapsed Gibbs
+// sampling (Griffiths & Steyvers 2004). Two granularities:
+//   kPerWord — classic per-word topic assignments with per-document mixes;
+//   kPerPost — one topic per post (the microblog adaptation COLD also makes,
+//              §3.5), used by the single-vs-mixed ablation and by TI.
+// Documents can be individual posts or whole user histories (kUserDocument),
+// the "view each user's post collection as a huge document" convention of
+// prior text-link models discussed in §3.5.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "text/post_store.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cold::baselines {
+
+/// \brief What constitutes a "document".
+enum class LdaDocumentUnit {
+  /// Each post is its own document.
+  kPost,
+  /// All posts of one user form one document.
+  kUserDocument,
+};
+
+/// \brief Topic assignment granularity.
+enum class LdaAssignment { kPerWord, kPerPost };
+
+struct LdaConfig {
+  int num_topics = 20;
+  double alpha = -1.0;  // <= 0 means 50/K
+  double beta = 0.01;
+  int iterations = 100;
+  uint64_t seed = 42;
+  LdaDocumentUnit document_unit = LdaDocumentUnit::kPost;
+  LdaAssignment assignment = LdaAssignment::kPerWord;
+
+  double ResolvedAlpha() const { return alpha > 0 ? alpha : 50.0 / num_topics; }
+};
+
+/// \brief Fitted LDA parameters.
+struct LdaEstimates {
+  int num_documents = 0;
+  int K = 0;
+  int V = 0;
+  /// theta[d*K + k]: per-document topic mixture.
+  std::vector<double> theta;
+  /// phi[k*V + v]: topic word distributions.
+  std::vector<double> phi;
+
+  double Theta(int d, int k) const {
+    return theta[static_cast<size_t>(d) * K + k];
+  }
+  double Phi(int k, int v) const {
+    return phi[static_cast<size_t>(k) * V + v];
+  }
+};
+
+/// \brief Collapsed-Gibbs LDA trainer.
+class LdaModel {
+ public:
+  LdaModel(LdaConfig config, const text::PostStore& posts);
+
+  cold::Status Train();
+
+  const LdaEstimates& estimates() const { return estimates_; }
+
+  /// Document id of post d under the configured document unit.
+  int DocumentOf(text::PostId d) const;
+
+  /// \brief Topic posterior of an unseen bag of words under a uniform-prior
+  /// mixture (sums to 1).
+  std::vector<double> TopicPosterior(std::span<const text::WordId> words) const;
+
+  /// \brief Topic posterior of an unseen post given its author's mixture.
+  std::vector<double> TopicPosteriorForAuthor(
+      std::span<const text::WordId> words, text::UserId author) const;
+
+  /// \brief log p(w_d | author) under theta_author x phi (per-word mixture).
+  double LogPostProbability(std::span<const text::WordId> words,
+                            text::UserId author) const;
+
+  /// \brief Corpus perplexity using LogPostProbability.
+  double Perplexity(const text::PostStore& test_posts) const;
+
+  /// Per-post hard topic labels (argmax of assignment counts; for kPerPost
+  /// this is the sampled topic).
+  const std::vector<int32_t>& post_topics() const { return post_topic_; }
+
+ private:
+  void TrainPerWord(cold::RandomSampler* sampler);
+  void TrainPerPost(cold::RandomSampler* sampler);
+  void ExtractEstimates(const std::vector<int32_t>& n_dk,
+                        const std::vector<int32_t>& n_d,
+                        const std::vector<int32_t>& n_kv,
+                        const std::vector<int32_t>& n_k);
+
+  LdaConfig config_;
+  const text::PostStore& posts_;
+  int num_documents_ = 0;
+  int vocab_ = 0;
+  LdaEstimates estimates_;
+  std::vector<int32_t> post_topic_;
+};
+
+}  // namespace cold::baselines

@@ -1,0 +1,189 @@
+#include "baselines/mmsb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/math_util.h"
+
+namespace cold::baselines {
+
+namespace {
+uint64_t PairKey(int a, int b) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+}  // namespace
+
+MmsbModel::MmsbModel(MmsbConfig config, const graph::Digraph& links,
+                     int num_users)
+    : config_(config),
+      links_(links),
+      num_users_(std::max(num_users, links.num_nodes())) {}
+
+cold::Status MmsbModel::Train() {
+  if (config_.num_communities < 1 || config_.iterations < 1) {
+    return cold::Status::InvalidArgument("bad MMSB config");
+  }
+  if (links_.num_edges() == 0) {
+    return cold::Status::InvalidArgument("no links");
+  }
+  const int C = config_.num_communities;
+  const double rho = config_.ResolvedRho();
+  const double lambda1 = config_.lambda1;
+  const double lambda0 = config_.lambda0;
+
+  cold::RandomSampler sampler(config_.seed, /*stream=*/29);
+
+  // Subsample absent pairs; each stands for `weight` of the n_neg zeros.
+  std::unordered_set<uint64_t> positive_keys;
+  for (graph::EdgeId e = 0; e < links_.num_edges(); ++e) {
+    positive_keys.insert(PairKey(links_.edge(e).src, links_.edge(e).dst));
+  }
+  std::vector<std::pair<int, int>> negatives;
+  int64_t want = static_cast<int64_t>(config_.negatives_per_positive *
+                                      static_cast<double>(links_.num_edges()));
+  std::unordered_set<uint64_t> chosen;
+  int64_t attempts = 0;
+  while (static_cast<int64_t>(negatives.size()) < want &&
+         attempts < want * 50 + 1000) {
+    ++attempts;
+    int a = static_cast<int>(
+        sampler.UniformInt(static_cast<uint32_t>(num_users_)));
+    int b = static_cast<int>(
+        sampler.UniformInt(static_cast<uint32_t>(num_users_)));
+    if (a == b) continue;
+    uint64_t key = PairKey(a, b);
+    if (positive_keys.count(key) > 0 || !chosen.insert(key).second) continue;
+    negatives.emplace_back(a, b);
+  }
+  double n_neg_total = static_cast<double>(num_users_) * (num_users_ - 1) -
+                       static_cast<double>(links_.num_edges());
+  double weight =
+      negatives.empty() ? 1.0
+                        : n_neg_total / static_cast<double>(negatives.size());
+
+  // Counters: positive and (weighted) negative block counts, memberships.
+  std::vector<int32_t> n_ic(static_cast<size_t>(num_users_) * C, 0);
+  std::vector<int32_t> n_cc_pos(static_cast<size_t>(C) * C, 0);
+  std::vector<int32_t> n_cc_neg(static_cast<size_t>(C) * C, 0);
+  std::vector<int32_t> s(static_cast<size_t>(links_.num_edges()));
+  std::vector<int32_t> s2(static_cast<size_t>(links_.num_edges()));
+  std::vector<int32_t> ns(negatives.size());
+  std::vector<int32_t> ns2(negatives.size());
+
+  auto init_pair = [&](int src, int dst, int32_t* out_a, int32_t* out_b,
+                       std::vector<int32_t>* block) {
+    int a = static_cast<int>(sampler.UniformInt(static_cast<uint32_t>(C)));
+    int b = static_cast<int>(sampler.UniformInt(static_cast<uint32_t>(C)));
+    *out_a = a;
+    *out_b = b;
+    n_ic[static_cast<size_t>(src) * C + a]++;
+    n_ic[static_cast<size_t>(dst) * C + b]++;
+    (*block)[static_cast<size_t>(a) * C + b]++;
+  };
+  for (graph::EdgeId e = 0; e < links_.num_edges(); ++e) {
+    init_pair(links_.edge(e).src, links_.edge(e).dst,
+              &s[static_cast<size_t>(e)], &s2[static_cast<size_t>(e)],
+              &n_cc_pos);
+  }
+  for (size_t e = 0; e < negatives.size(); ++e) {
+    init_pair(negatives[e].first, negatives[e].second, &ns[e], &ns2[e],
+              &n_cc_neg);
+  }
+
+  // eta_cc' ~ Beta(lambda1 + n+_cc', lambda0 + weight * n-_cc').
+  auto eta_mean = [&](int c, int c2) {
+    double pos = n_cc_pos[static_cast<size_t>(c) * C + c2];
+    double neg = weight * n_cc_neg[static_cast<size_t>(c) * C + c2];
+    return (pos + lambda1) / (pos + neg + lambda0 + lambda1);
+  };
+
+  std::vector<double> weights(static_cast<size_t>(C));
+  auto resample_pair = [&](int src, int dst, bool positive, int32_t* pa,
+                           int32_t* pb, std::vector<int32_t>* block) {
+    int a = *pa;
+    int b = *pb;
+    n_ic[static_cast<size_t>(src) * C + a]--;
+    n_ic[static_cast<size_t>(dst) * C + b]--;
+    (*block)[static_cast<size_t>(a) * C + b]--;
+
+    // a | b.
+    for (int c = 0; c < C; ++c) {
+      double p = eta_mean(c, b);
+      weights[static_cast<size_t>(c)] =
+          (n_ic[static_cast<size_t>(src) * C + c] + rho) *
+          (positive ? p : 1.0 - p);
+    }
+    a = sampler.Categorical(weights);
+    // b | a.
+    for (int c = 0; c < C; ++c) {
+      double p = eta_mean(a, c);
+      weights[static_cast<size_t>(c)] =
+          (n_ic[static_cast<size_t>(dst) * C + c] + rho) *
+          (positive ? p : 1.0 - p);
+    }
+    b = sampler.Categorical(weights);
+
+    *pa = a;
+    *pb = b;
+    n_ic[static_cast<size_t>(src) * C + a]++;
+    n_ic[static_cast<size_t>(dst) * C + b]++;
+    (*block)[static_cast<size_t>(a) * C + b]++;
+  };
+
+  for (int it = 0; it < config_.iterations; ++it) {
+    for (graph::EdgeId e = 0; e < links_.num_edges(); ++e) {
+      resample_pair(links_.edge(e).src, links_.edge(e).dst, true,
+                    &s[static_cast<size_t>(e)], &s2[static_cast<size_t>(e)],
+                    &n_cc_pos);
+    }
+    for (size_t e = 0; e < negatives.size(); ++e) {
+      resample_pair(negatives[e].first, negatives[e].second, false, &ns[e],
+                    &ns2[e], &n_cc_neg);
+    }
+  }
+
+  estimates_.U = num_users_;
+  estimates_.C = C;
+  estimates_.pi.resize(static_cast<size_t>(num_users_) * C);
+  for (int i = 0; i < num_users_; ++i) {
+    int32_t total = 0;
+    for (int c = 0; c < C; ++c) total += n_ic[static_cast<size_t>(i) * C + c];
+    double denom = total + C * rho;
+    for (int c = 0; c < C; ++c) {
+      estimates_.pi[static_cast<size_t>(i) * C + c] =
+          (n_ic[static_cast<size_t>(i) * C + c] + rho) / denom;
+    }
+  }
+  estimates_.eta.resize(static_cast<size_t>(C) * C);
+  for (int c = 0; c < C; ++c) {
+    for (int c2 = 0; c2 < C; ++c2) {
+      estimates_.eta[static_cast<size_t>(c) * C + c2] = eta_mean(c, c2);
+    }
+  }
+  return cold::Status::OK();
+}
+
+double MmsbModel::LinkProbability(int i, int i2) const {
+  const int C = estimates_.C;
+  double p = 0.0;
+  for (int c = 0; c < C; ++c) {
+    double pi_ic = estimates_.Pi(i, c);
+    if (pi_ic <= 0.0) continue;
+    for (int c2 = 0; c2 < C; ++c2) {
+      p += pi_ic * estimates_.Pi(i2, c2) * estimates_.Eta(c, c2);
+    }
+  }
+  return p;
+}
+
+std::vector<int> MmsbModel::TopCommunities(int i, int n) const {
+  std::vector<double> row(static_cast<size_t>(estimates_.C));
+  for (int c = 0; c < estimates_.C; ++c) {
+    row[static_cast<size_t>(c)] = estimates_.Pi(i, c);
+  }
+  return cold::TopKIndices(row, n);
+}
+
+}  // namespace cold::baselines

@@ -1,0 +1,71 @@
+// Mixed Membership Stochastic Blockmodel (Airoldi et al. 2008), the
+// network-only baseline of §6.1. Airoldi's model assigns membership pairs
+// to EVERY ordered user pair, present or absent; to stay sub-quadratic we
+// keep all positive links and a weighted subsample of absent pairs, the
+// standard stochastic treatment of the zeros. (COLD's positive-only Beta
+// prior trick is not used here: without a text component to anchor the
+// memberships it degenerates — see DESIGN.md §5.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cold::baselines {
+
+struct MmsbConfig {
+  int num_communities = 20;
+  double rho = -1.0;  // <= 0 means 50/C
+  /// Beta prior on each block probability eta_cc'.
+  double lambda1 = 0.1;
+  double lambda0 = 1.0;
+  /// Absent pairs sampled per positive link; their counts are reweighted to
+  /// represent all n_neg absent pairs.
+  double negatives_per_positive = 5.0;
+  int iterations = 100;
+  uint64_t seed = 42;
+
+  double ResolvedRho() const {
+    return rho > 0 ? rho : 50.0 / num_communities;
+  }
+};
+
+/// \brief Fitted MMSB parameters.
+struct MmsbEstimates {
+  int U = 0, C = 0;
+  /// pi[i*C + c].
+  std::vector<double> pi;
+  /// eta[c*C + c'].
+  std::vector<double> eta;
+
+  double Pi(int i, int c) const { return pi[static_cast<size_t>(i) * C + c]; }
+  double Eta(int c, int c2) const {
+    return eta[static_cast<size_t>(c) * C + c2];
+  }
+};
+
+class MmsbModel {
+ public:
+  MmsbModel(MmsbConfig config, const graph::Digraph& links, int num_users);
+
+  cold::Status Train();
+
+  const MmsbEstimates& estimates() const { return estimates_; }
+
+  /// P_{i->i'} = sum_{s,s'} pi_is pi_i's' eta_ss' (§6.2).
+  double LinkProbability(int i, int i2) const;
+
+  /// The user's top-n communities by membership.
+  std::vector<int> TopCommunities(int i, int n) const;
+
+ private:
+  MmsbConfig config_;
+  const graph::Digraph& links_;
+  int num_users_;
+  MmsbEstimates estimates_;
+};
+
+}  // namespace cold::baselines

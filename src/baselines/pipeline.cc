@@ -1,0 +1,77 @@
+#include "baselines/pipeline.h"
+
+#include <algorithm>
+
+#include "util/math_util.h"
+
+namespace cold::baselines {
+
+PipelineModel::PipelineModel(PipelineConfig config,
+                             const text::PostStore& posts,
+                             const graph::Digraph& links)
+    : config_(config), posts_(posts), links_(links) {}
+
+cold::Status PipelineModel::Train() {
+  // Stage 1: communities from links only.
+  mmsb_ = std::make_unique<MmsbModel>(config_.mmsb, links_,
+                                      posts_.num_users());
+  COLD_RETURN_NOT_OK(mmsb_->Train());
+
+  const int C = config_.mmsb.num_communities;
+  user_communities_.resize(static_cast<size_t>(posts_.num_users()));
+  std::vector<std::vector<text::PostId>> community_posts(
+      static_cast<size_t>(C));
+  for (int i = 0; i < posts_.num_users(); ++i) {
+    user_communities_[static_cast<size_t>(i)] =
+        mmsb_->TopCommunities(i, config_.communities_per_user);
+    for (text::PostId d : posts_.posts_of(i)) {
+      for (int c : user_communities_[static_cast<size_t>(i)]) {
+        community_posts[static_cast<size_t>(c)].push_back(d);
+      }
+    }
+  }
+
+  // Stage 2: an independent TOT per community's member posts.
+  tots_.resize(static_cast<size_t>(C));
+  for (int c = 0; c < C; ++c) {
+    if (community_posts[static_cast<size_t>(c)].empty()) continue;
+    TotConfig tot_config = config_.tot;
+    tot_config.seed = config_.tot.seed + static_cast<uint64_t>(c) + 1;
+    tots_[static_cast<size_t>(c)] =
+        std::make_unique<TotModel>(tot_config, posts_);
+    COLD_RETURN_NOT_OK(tots_[static_cast<size_t>(c)]->Train(
+        community_posts[static_cast<size_t>(c)]));
+  }
+  return cold::Status::OK();
+}
+
+std::vector<double> PipelineModel::TimestampScores(
+    std::span<const text::WordId> words, text::UserId author) const {
+  std::vector<double> scores(static_cast<size_t>(posts_.num_time_slices()),
+                             0.0);
+  int used = 0;
+  for (int c : user_communities_[static_cast<size_t>(author)]) {
+    const TotModel* tot = tots_[static_cast<size_t>(c)].get();
+    if (tot == nullptr) continue;
+    std::vector<double> part = tot->TimestampScores(words);
+    for (size_t t = 0; t < scores.size() && t < part.size(); ++t) {
+      scores[t] += part[t];
+    }
+    ++used;
+  }
+  if (used == 0) {
+    // No community model: uniform fallback.
+    std::fill(scores.begin(), scores.end(), 1.0);
+  }
+  cold::NormalizeInPlace(scores);
+  return scores;
+}
+
+int PipelineModel::PredictTimestamp(std::span<const text::WordId> words,
+                                    text::UserId author) const {
+  std::vector<double> scores = TimestampScores(words, author);
+  return static_cast<int>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+}  // namespace cold::baselines

@@ -1,0 +1,59 @@
+// Pipelined community-then-temporal baseline (§6.1, baseline 5): MMSB
+// assigns every user to her two most probable communities, then an
+// independent TOT model is fit on each community's member posts. Network
+// and content are used *separately*, which is exactly the interdependence
+// loss the COLD paper demonstrates (Fig 11).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "baselines/mmsb.h"
+#include "baselines/tot.h"
+#include "graph/digraph.h"
+#include "text/post_store.h"
+#include "util/status.h"
+
+namespace cold::baselines {
+
+struct PipelineConfig {
+  MmsbConfig mmsb;
+  TotConfig tot;
+  /// Communities each user is assigned to (the paper uses 2).
+  int communities_per_user = 2;
+};
+
+class PipelineModel {
+ public:
+  PipelineModel(PipelineConfig config, const text::PostStore& posts,
+                const graph::Digraph& links);
+
+  cold::Status Train();
+
+  /// \brief Time-stamp prediction: average of the user's communities' TOT
+  /// predictions.
+  std::vector<double> TimestampScores(std::span<const text::WordId> words,
+                                      text::UserId author) const;
+
+  int PredictTimestamp(std::span<const text::WordId> words,
+                       text::UserId author) const;
+
+  const MmsbModel& mmsb() const { return *mmsb_; }
+  /// The TOT model of community c (nullptr if the community had no posts).
+  const TotModel* community_tot(int c) const {
+    return tots_[static_cast<size_t>(c)].get();
+  }
+
+ private:
+  PipelineConfig config_;
+  const text::PostStore& posts_;
+  const graph::Digraph& links_;
+  std::unique_ptr<MmsbModel> mmsb_;
+  std::vector<std::unique_ptr<TotModel>> tots_;
+  /// Per-user community assignments (top-2 by MMSB membership).
+  std::vector<std::vector<int>> user_communities_;
+};
+
+}  // namespace cold::baselines

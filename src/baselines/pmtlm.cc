@@ -1,0 +1,176 @@
+#include "baselines/pmtlm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cold::baselines {
+
+PmtlmModel::PmtlmModel(PmtlmConfig config, const text::PostStore& posts,
+                       const graph::Digraph& links)
+    : config_(config), posts_(posts), links_(links) {
+  for (text::PostId d = 0; d < posts_.num_posts(); ++d) {
+    for (text::WordId w : posts_.words(d)) vocab_ = std::max(vocab_, w + 1);
+  }
+}
+
+cold::Status PmtlmModel::Train() {
+  if (config_.num_factors < 1 || config_.iterations < 1) {
+    return cold::Status::InvalidArgument("bad PMTLM config");
+  }
+  if (!posts_.finalized() || posts_.num_posts() == 0) {
+    return cold::Status::InvalidArgument("no posts");
+  }
+  const int F = config_.num_factors;
+  const int U = posts_.num_users();
+  const double alpha = config_.ResolvedAlpha();
+  const double beta = config_.beta;
+  const double lambda1 = config_.lambda1;
+  {
+    double n_neg = static_cast<double>(U) * (U - 1) -
+                   static_cast<double>(links_.num_edges());
+    double ratio = n_neg / static_cast<double>(F);
+    lambda0_ = ratio > 1.0 ? std::max(lambda1, config_.kappa * std::log(ratio))
+                           : lambda1;
+  }
+
+  // n_if counts both word tokens of user i in factor f and link endpoints.
+  std::vector<int32_t> n_if(static_cast<size_t>(U) * F, 0);
+  std::vector<int32_t> n_fv(static_cast<size_t>(F) * vocab_, 0);
+  std::vector<int32_t> n_f(static_cast<size_t>(F), 0);
+  std::vector<int32_t> m_f(static_cast<size_t>(F), 0);  // links per factor
+  std::vector<int32_t> token_factor(static_cast<size_t>(posts_.num_tokens()));
+  std::vector<int32_t> link_factor(static_cast<size_t>(links_.num_edges()));
+
+  cold::RandomSampler sampler(config_.seed, /*stream=*/31);
+  size_t token = 0;
+  for (text::PostId d = 0; d < posts_.num_posts(); ++d) {
+    int i = posts_.author(d);
+    for (text::WordId w : posts_.words(d)) {
+      int f = static_cast<int>(sampler.UniformInt(static_cast<uint32_t>(F)));
+      token_factor[token++] = f;
+      n_if[static_cast<size_t>(i) * F + f]++;
+      n_fv[static_cast<size_t>(f) * vocab_ + w]++;
+      n_f[static_cast<size_t>(f)]++;
+    }
+  }
+  for (graph::EdgeId e = 0; e < links_.num_edges(); ++e) {
+    int f = static_cast<int>(sampler.UniformInt(static_cast<uint32_t>(F)));
+    link_factor[static_cast<size_t>(e)] = f;
+    const graph::Edge& edge = links_.edge(e);
+    n_if[static_cast<size_t>(edge.src) * F + f]++;
+    n_if[static_cast<size_t>(edge.dst) * F + f]++;
+    m_f[static_cast<size_t>(f)]++;
+  }
+
+  std::vector<double> weights(static_cast<size_t>(F));
+  for (int it = 0; it < config_.iterations; ++it) {
+    // Words.
+    token = 0;
+    for (text::PostId d = 0; d < posts_.num_posts(); ++d) {
+      int i = posts_.author(d);
+      for (text::WordId w : posts_.words(d)) {
+        int old_f = token_factor[token];
+        n_if[static_cast<size_t>(i) * F + old_f]--;
+        n_fv[static_cast<size_t>(old_f) * vocab_ + w]--;
+        n_f[static_cast<size_t>(old_f)]--;
+        for (int f = 0; f < F; ++f) {
+          weights[static_cast<size_t>(f)] =
+              (n_if[static_cast<size_t>(i) * F + f] + alpha) *
+              (n_fv[static_cast<size_t>(f) * vocab_ + w] + beta) /
+              (n_f[static_cast<size_t>(f)] + vocab_ * beta);
+        }
+        int new_f = sampler.Categorical(weights);
+        token_factor[token++] = static_cast<int32_t>(new_f);
+        n_if[static_cast<size_t>(i) * F + new_f]++;
+        n_fv[static_cast<size_t>(new_f) * vocab_ + w]++;
+        n_f[static_cast<size_t>(new_f)]++;
+      }
+    }
+    // Links: one shared factor per link.
+    for (graph::EdgeId e = 0; e < links_.num_edges(); ++e) {
+      const graph::Edge& edge = links_.edge(e);
+      int old_f = link_factor[static_cast<size_t>(e)];
+      n_if[static_cast<size_t>(edge.src) * F + old_f]--;
+      n_if[static_cast<size_t>(edge.dst) * F + old_f]--;
+      m_f[static_cast<size_t>(old_f)]--;
+      for (int f = 0; f < F; ++f) {
+        double m = m_f[static_cast<size_t>(f)];
+        weights[static_cast<size_t>(f)] =
+            (n_if[static_cast<size_t>(edge.src) * F + f] + alpha) *
+            (n_if[static_cast<size_t>(edge.dst) * F + f] + alpha) *
+            (m + lambda1) / (m + lambda0_ + lambda1);
+      }
+      int new_f = sampler.Categorical(weights);
+      link_factor[static_cast<size_t>(e)] = static_cast<int32_t>(new_f);
+      n_if[static_cast<size_t>(edge.src) * F + new_f]++;
+      n_if[static_cast<size_t>(edge.dst) * F + new_f]++;
+      m_f[static_cast<size_t>(new_f)]++;
+    }
+  }
+
+  estimates_.U = U;
+  estimates_.F = F;
+  estimates_.V = vocab_;
+  estimates_.theta.resize(static_cast<size_t>(U) * F);
+  for (int i = 0; i < U; ++i) {
+    int32_t total = 0;
+    for (int f = 0; f < F; ++f) total += n_if[static_cast<size_t>(i) * F + f];
+    double denom = total + F * alpha;
+    for (int f = 0; f < F; ++f) {
+      estimates_.theta[static_cast<size_t>(i) * F + f] =
+          (n_if[static_cast<size_t>(i) * F + f] + alpha) / denom;
+    }
+  }
+  estimates_.phi.resize(static_cast<size_t>(F) * vocab_);
+  for (int f = 0; f < F; ++f) {
+    double denom = n_f[static_cast<size_t>(f)] + vocab_ * beta;
+    for (int v = 0; v < vocab_; ++v) {
+      estimates_.phi[static_cast<size_t>(f) * vocab_ + v] =
+          (n_fv[static_cast<size_t>(f) * vocab_ + v] + beta) / denom;
+    }
+  }
+  estimates_.delta.resize(static_cast<size_t>(F));
+  for (int f = 0; f < F; ++f) {
+    double m = m_f[static_cast<size_t>(f)];
+    estimates_.delta[static_cast<size_t>(f)] =
+        (m + lambda1) / (m + lambda0_ + lambda1);
+  }
+  return cold::Status::OK();
+}
+
+double PmtlmModel::LinkProbability(int i, int i2) const {
+  double p = 0.0;
+  for (int f = 0; f < estimates_.F; ++f) {
+    p += estimates_.Theta(i, f) * estimates_.Theta(i2, f) *
+         estimates_.delta[static_cast<size_t>(f)];
+  }
+  return p;
+}
+
+double PmtlmModel::LogPostProbability(std::span<const text::WordId> words,
+                                      text::UserId author) const {
+  double ll = 0.0;
+  for (text::WordId w : words) {
+    double p = 0.0;
+    int v = std::min<int>(w, vocab_ - 1);
+    for (int f = 0; f < estimates_.F; ++f) {
+      p += estimates_.Theta(author, f) * estimates_.Phi(f, v);
+    }
+    ll += std::log(std::max(p, 1e-300));
+  }
+  return ll;
+}
+
+double PmtlmModel::Perplexity(const text::PostStore& test_posts) const {
+  double total_ll = 0.0;
+  int64_t tokens = 0;
+  for (text::PostId d = 0; d < test_posts.num_posts(); ++d) {
+    if (test_posts.length(d) == 0) continue;
+    total_ll += LogPostProbability(test_posts.words(d), test_posts.author(d));
+    tokens += test_posts.length(d);
+  }
+  if (tokens == 0) return 0.0;
+  return std::exp(-total_ll / static_cast<double>(tokens));
+}
+
+}  // namespace cold::baselines

@@ -1,0 +1,83 @@
+// Poisson Mixed-Topic Link Model (Zhu et al., KDD 2013) — the text+link
+// baseline of §6.1 in which ONE latent factor generates both a user's words
+// and her links (community === topic, the coupling COLD removes).
+//
+// Following §3.5's observation about text-link models in the social setting,
+// each user's post collection is treated as one document. Links carry a
+// single factor assignment shared by both endpoints; the per-factor link
+// propensity delta_f absorbs the Poisson rate, with the same
+// negative-link Beta prior trick as COLD so training stays linear in the
+// positive links.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "text/post_store.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cold::baselines {
+
+struct PmtlmConfig {
+  /// Number of latent factors (simultaneously "topics" and "communities").
+  int num_factors = 20;
+  double alpha = -1.0;  // <= 0 means 50/F
+  double beta = 0.01;
+  double lambda1 = 0.1;
+  double kappa = 1.0;
+  int iterations = 100;
+  uint64_t seed = 42;
+
+  double ResolvedAlpha() const {
+    return alpha > 0 ? alpha : 50.0 / num_factors;
+  }
+};
+
+struct PmtlmEstimates {
+  int U = 0, F = 0, V = 0;
+  /// theta[i*F + f]: user i's factor mixture (from words AND links).
+  std::vector<double> theta;
+  /// phi[f*V + v]: factor word distributions.
+  std::vector<double> phi;
+  /// delta[f]: per-factor link propensity.
+  std::vector<double> delta;
+
+  double Theta(int i, int f) const {
+    return theta[static_cast<size_t>(i) * F + f];
+  }
+  double Phi(int f, int v) const {
+    return phi[static_cast<size_t>(f) * V + v];
+  }
+};
+
+class PmtlmModel {
+ public:
+  PmtlmModel(PmtlmConfig config, const text::PostStore& posts,
+             const graph::Digraph& links);
+
+  cold::Status Train();
+
+  const PmtlmEstimates& estimates() const { return estimates_; }
+
+  /// P(i -> i') proportional to sum_f theta_if theta_i'f delta_f.
+  double LinkProbability(int i, int i2) const;
+
+  /// log p(w_d | author) under the author's factor mixture.
+  double LogPostProbability(std::span<const text::WordId> words,
+                            text::UserId author) const;
+
+  double Perplexity(const text::PostStore& test_posts) const;
+
+ private:
+  PmtlmConfig config_;
+  const text::PostStore& posts_;
+  const graph::Digraph& links_;
+  int vocab_ = 0;
+  double lambda0_ = 0.1;
+  PmtlmEstimates estimates_;
+};
+
+}  // namespace cold::baselines

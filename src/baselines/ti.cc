@@ -1,0 +1,123 @@
+#include "baselines/ti.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace cold::baselines {
+
+TiModel::TiModel(TiConfig config, const text::PostStore& posts,
+                 std::span<const data::RetweetTuple> train_tuples)
+    : config_(config), posts_(posts), train_tuples_(train_tuples) {}
+
+cold::Status TiModel::Train() {
+  // Topic layer: per-post LDA topics.
+  LdaConfig lda_config = config_.lda;
+  lda_config.assignment = LdaAssignment::kPerPost;
+  lda_config.document_unit = LdaDocumentUnit::kUserDocument;
+  lda_ = std::make_unique<LdaModel>(lda_config, posts_);
+  COLD_RETURN_NOT_OK(lda_->Train());
+  const int K = config_.lda.num_topics;
+
+  // Attribute exposures and retweets to the exposed post's topic.
+  exposures_.clear();
+  retweets_.clear();
+  std::vector<int64_t> topic_exposures(static_cast<size_t>(K), 0);
+  std::vector<int64_t> topic_retweets(static_cast<size_t>(K), 0);
+  influencees_.assign(static_cast<size_t>(posts_.num_users()), {});
+  std::vector<std::unordered_set<text::UserId>> influencee_sets(
+      static_cast<size_t>(posts_.num_users()));
+
+  int64_t total_exposures = 0, total_retweets = 0;
+  for (const data::RetweetTuple& tuple : train_tuples_) {
+    int k = lda_->post_topics()[static_cast<size_t>(tuple.post)];
+    for (text::UserId f : tuple.retweeters) {
+      exposures_[PairTopicKey(tuple.author, f, k)]++;
+      retweets_[PairTopicKey(tuple.author, f, k)]++;
+      pair_exposures_[PairKey(tuple.author, f)]++;
+      pair_retweets_[PairKey(tuple.author, f)]++;
+      topic_exposures[static_cast<size_t>(k)]++;
+      topic_retweets[static_cast<size_t>(k)]++;
+      ++total_exposures;
+      ++total_retweets;
+      if (influencee_sets[static_cast<size_t>(tuple.author)].insert(f).second) {
+        influencees_[static_cast<size_t>(tuple.author)].push_back(f);
+      }
+    }
+    for (text::UserId f : tuple.ignorers) {
+      exposures_[PairTopicKey(tuple.author, f, k)]++;
+      pair_exposures_[PairKey(tuple.author, f)]++;
+      topic_exposures[static_cast<size_t>(k)]++;
+      ++total_exposures;
+    }
+  }
+
+  global_rate_ = (static_cast<double>(total_retweets) + 0.5) /
+                 (static_cast<double>(total_exposures) + 10.0);
+  base_rate_.assign(static_cast<size_t>(K), 0.0);
+  for (int k = 0; k < K; ++k) {
+    base_rate_[static_cast<size_t>(k)] =
+        (static_cast<double>(topic_retweets[static_cast<size_t>(k)]) + 0.5) /
+        (static_cast<double>(topic_exposures[static_cast<size_t>(k)]) + 10.0);
+  }
+  return cold::Status::OK();
+}
+
+double TiModel::PairInfluence(text::UserId i, text::UserId i2) const {
+  uint64_t key = PairKey(i, i2);
+  auto exp_it = pair_exposures_.find(key);
+  double exposures =
+      exp_it != pair_exposures_.end() ? static_cast<double>(exp_it->second)
+                                      : 0.0;
+  auto rt_it = pair_retweets_.find(key);
+  double rts =
+      rt_it != pair_retweets_.end() ? static_cast<double>(rt_it->second) : 0.0;
+  double mu = config_.smoothing;
+  return (rts + mu * global_rate_) / (exposures + mu);
+}
+
+double TiModel::DirectInfluence(text::UserId i, text::UserId i2, int k) const {
+  uint64_t key = PairTopicKey(i, i2, k);
+  auto exp_it = exposures_.find(key);
+  double exposures =
+      exp_it != exposures_.end() ? static_cast<double>(exp_it->second) : 0.0;
+  auto rt_it = retweets_.find(key);
+  double rts =
+      rt_it != retweets_.end() ? static_cast<double>(rt_it->second) : 0.0;
+  double mu = config_.smoothing;
+  double topic_level =
+      (rts + mu * base_rate_[static_cast<size_t>(k)]) / (exposures + mu);
+  // Back off toward the pair's general influence where per-topic counts are
+  // sparse.
+  return config_.topic_weight * topic_level +
+         (1.0 - config_.topic_weight) * PairInfluence(i, i2);
+}
+
+double TiModel::Score(text::UserId i, text::UserId i2,
+                      std::span<const text::WordId> words) const {
+  std::vector<double> topic_post = lda_->TopicPosteriorForAuthor(words, i);
+  const double gamma = config_.indirect_weight;
+  const int K = static_cast<int>(topic_post.size());
+  double score = 0.0;
+  for (int k = 0; k < K; ++k) {
+    double pk = topic_post[static_cast<size_t>(k)];
+    if (pk < 1e-6) continue;
+    double direct = DirectInfluence(i, i2, k);
+    double indirect = 0.0;
+    // One-hop influence through i's influencees (this neighborhood walk is
+    // TI's online cost driver).
+    for (text::UserId m : influencees_[static_cast<size_t>(i)]) {
+      if (m == i2) continue;
+      indirect += DirectInfluence(i, m, k) * DirectInfluence(m, i2, k);
+    }
+    // TI weights influence by the receiving user's own topical interest
+    // (learned by the topic model over her history), as a secondary factor.
+    double w = config_.candidate_interest_weight;
+    double candidate_interest =
+        (1.0 - w) + w * lda_->estimates().Theta(i2, k) * K;
+    score += pk * candidate_interest *
+             ((1.0 - gamma) * direct + gamma * indirect);
+  }
+  return score;
+}
+
+}  // namespace cold::baselines

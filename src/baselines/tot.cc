@@ -1,0 +1,194 @@
+#include "baselines/tot.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math_util.h"
+
+namespace cold::baselines {
+
+double TotEstimates::TimeDensity(int k, double x) const {
+  double a = beta_a[static_cast<size_t>(k)];
+  double b = beta_b[static_cast<size_t>(k)];
+  x = std::clamp(x, 1e-6, 1.0 - 1e-6);
+  double log_pdf = (a - 1.0) * std::log(x) + (b - 1.0) * std::log(1.0 - x) -
+                   cold::LogBeta(a, b);
+  return std::exp(log_pdf);
+}
+
+TotModel::TotModel(TotConfig config, const text::PostStore& posts)
+    : config_(config), posts_(posts) {
+  for (text::PostId d = 0; d < posts_.num_posts(); ++d) {
+    for (text::WordId w : posts_.words(d)) vocab_ = std::max(vocab_, w + 1);
+  }
+}
+
+void TotModel::UpdateBetaParameters(std::span<const text::PostId> ids,
+                                    std::span<const int32_t> post_topic) {
+  const int K = config_.num_topics;
+  // Method of moments per topic, as in the TOT paper (eq. for a-hat, b-hat).
+  std::vector<double> sum(static_cast<size_t>(K), 0.0);
+  std::vector<double> sum_sq(static_cast<size_t>(K), 0.0);
+  std::vector<int> count(static_cast<size_t>(K), 0);
+  for (size_t idx = 0; idx < ids.size(); ++idx) {
+    int k = post_topic[idx];
+    double x = estimates_.SliceMidpoint(posts_.time(ids[idx]));
+    sum[static_cast<size_t>(k)] += x;
+    sum_sq[static_cast<size_t>(k)] += x * x;
+    count[static_cast<size_t>(k)]++;
+  }
+  for (int k = 0; k < K; ++k) {
+    double a = 1.0, b = 1.0;  // uniform fallback for empty topics
+    if (count[static_cast<size_t>(k)] >= 2) {
+      double n = count[static_cast<size_t>(k)];
+      double mean = sum[static_cast<size_t>(k)] / n;
+      double var = sum_sq[static_cast<size_t>(k)] / n - mean * mean;
+      var = std::max(var, 1e-5);
+      double common = mean * (1.0 - mean) / var - 1.0;
+      if (common > 0.0) {
+        a = std::clamp(mean * common, 0.05, 500.0);
+        b = std::clamp((1.0 - mean) * common, 0.05, 500.0);
+      }
+    }
+    estimates_.beta_a[static_cast<size_t>(k)] = a;
+    estimates_.beta_b[static_cast<size_t>(k)] = b;
+  }
+}
+
+cold::Status TotModel::Train(std::span<const text::PostId> post_ids) {
+  if (config_.num_topics < 1 || config_.iterations < 1) {
+    return cold::Status::InvalidArgument("bad TOT config");
+  }
+  std::vector<text::PostId> all;
+  if (post_ids.empty()) {
+    all.resize(static_cast<size_t>(posts_.num_posts()));
+    for (text::PostId d = 0; d < posts_.num_posts(); ++d) {
+      all[static_cast<size_t>(d)] = d;
+    }
+    post_ids = all;
+  }
+  if (post_ids.empty()) {
+    return cold::Status::InvalidArgument("no posts");
+  }
+  const int K = config_.num_topics;
+  const double alpha = config_.ResolvedAlpha();
+  const double beta = config_.beta;
+
+  estimates_.K = K;
+  estimates_.V = vocab_;
+  estimates_.T = posts_.num_time_slices();
+  estimates_.beta_a.assign(static_cast<size_t>(K), 1.0);
+  estimates_.beta_b.assign(static_cast<size_t>(K), 1.0);
+
+  std::vector<int32_t> n_k_posts(static_cast<size_t>(K), 0);
+  std::vector<int32_t> n_kv(static_cast<size_t>(K) * vocab_, 0);
+  std::vector<int32_t> n_k_tokens(static_cast<size_t>(K), 0);
+  std::vector<int32_t> post_topic(post_ids.size());
+
+  cold::RandomSampler sampler(config_.seed, /*stream=*/37);
+  for (size_t idx = 0; idx < post_ids.size(); ++idx) {
+    int k = static_cast<int>(sampler.UniformInt(static_cast<uint32_t>(K)));
+    post_topic[idx] = static_cast<int32_t>(k);
+    n_k_posts[static_cast<size_t>(k)]++;
+    for (text::WordId w : posts_.words(post_ids[idx])) {
+      n_kv[static_cast<size_t>(k) * vocab_ + w]++;
+    }
+    n_k_tokens[static_cast<size_t>(k)] += posts_.length(post_ids[idx]);
+  }
+  UpdateBetaParameters(post_ids, post_topic);
+
+  std::vector<double> log_weights(static_cast<size_t>(K));
+  for (int it = 0; it < config_.iterations; ++it) {
+    for (size_t idx = 0; idx < post_ids.size(); ++idx) {
+      text::PostId d = post_ids[idx];
+      int old_k = post_topic[idx];
+      int len = posts_.length(d);
+      n_k_posts[static_cast<size_t>(old_k)]--;
+      for (text::WordId w : posts_.words(d)) {
+        n_kv[static_cast<size_t>(old_k) * vocab_ + w]--;
+      }
+      n_k_tokens[static_cast<size_t>(old_k)] -= len;
+
+      double x = estimates_.SliceMidpoint(posts_.time(d));
+      auto word_counts = posts_.WordCounts(d);
+      for (int k = 0; k < K; ++k) {
+        double lw = std::log(n_k_posts[static_cast<size_t>(k)] + alpha) +
+                    std::log(std::max(estimates_.TimeDensity(k, x), 1e-300));
+        for (const auto& [w, cnt] : word_counts) {
+          double base = n_kv[static_cast<size_t>(k) * vocab_ + w] + beta;
+          for (int q = 0; q < cnt; ++q) lw += std::log(base + q);
+        }
+        double denom = n_k_tokens[static_cast<size_t>(k)] + vocab_ * beta;
+        for (int q = 0; q < len; ++q) lw -= std::log(denom + q);
+        log_weights[static_cast<size_t>(k)] = lw;
+      }
+      int new_k = sampler.LogCategorical(log_weights);
+      post_topic[idx] = static_cast<int32_t>(new_k);
+      n_k_posts[static_cast<size_t>(new_k)]++;
+      for (text::WordId w : posts_.words(d)) {
+        n_kv[static_cast<size_t>(new_k) * vocab_ + w]++;
+      }
+      n_k_tokens[static_cast<size_t>(new_k)] += len;
+    }
+    UpdateBetaParameters(post_ids, post_topic);
+  }
+
+  estimates_.topic_weight.resize(static_cast<size_t>(K));
+  double total_posts = static_cast<double>(post_ids.size());
+  for (int k = 0; k < K; ++k) {
+    estimates_.topic_weight[static_cast<size_t>(k)] =
+        (n_k_posts[static_cast<size_t>(k)] + alpha) /
+        (total_posts + K * alpha);
+  }
+  estimates_.phi.resize(static_cast<size_t>(K) * vocab_);
+  for (int k = 0; k < K; ++k) {
+    double denom = n_k_tokens[static_cast<size_t>(k)] + vocab_ * beta;
+    for (int v = 0; v < vocab_; ++v) {
+      estimates_.phi[static_cast<size_t>(k) * vocab_ + v] =
+          (n_kv[static_cast<size_t>(k) * vocab_ + v] + beta) / denom;
+    }
+  }
+  return cold::Status::OK();
+}
+
+std::vector<double> TotModel::TopicPosterior(
+    std::span<const text::WordId> words) const {
+  const int K = estimates_.K;
+  std::vector<double> log_w(static_cast<size_t>(K));
+  for (int k = 0; k < K; ++k) {
+    double lw = std::log(
+        std::max(estimates_.topic_weight[static_cast<size_t>(k)], 1e-300));
+    for (text::WordId w : words) {
+      lw += std::log(
+          std::max(estimates_.Phi(k, std::min<int>(w, vocab_ - 1)), 1e-300));
+    }
+    log_w[static_cast<size_t>(k)] = lw;
+  }
+  double lse = cold::LogSumExp(log_w);
+  for (double& v : log_w) v = std::exp(v - lse);
+  return log_w;
+}
+
+std::vector<double> TotModel::TimestampScores(
+    std::span<const text::WordId> words) const {
+  std::vector<double> topic_post = TopicPosterior(words);
+  std::vector<double> scores(static_cast<size_t>(estimates_.T), 0.0);
+  for (int t = 0; t < estimates_.T; ++t) {
+    double x = estimates_.SliceMidpoint(t);
+    double s = 0.0;
+    for (int k = 0; k < estimates_.K; ++k) {
+      s += topic_post[static_cast<size_t>(k)] * estimates_.TimeDensity(k, x);
+    }
+    scores[static_cast<size_t>(t)] = s;
+  }
+  cold::NormalizeInPlace(scores);
+  return scores;
+}
+
+int TotModel::PredictTimestamp(std::span<const text::WordId> words) const {
+  std::vector<double> scores = TimestampScores(words);
+  return static_cast<int>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+}  // namespace cold::baselines

@@ -1,0 +1,81 @@
+// Topics over Time (Wang & McCallum, KDD 2006): a non-Markov continuous-
+// time topic model where each topic carries a Beta density over normalized
+// document time. The COLD paper contrasts TOT's *unimodal* Beta against
+// COLD's multinomial psi (§3.3) and uses TOT inside the Pipeline baseline
+// (§6.1). As with COLD we adapt to microblogs with one topic per post.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "text/post_store.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cold::baselines {
+
+struct TotConfig {
+  int num_topics = 20;
+  double alpha = -1.0;  // <= 0 means 50/K
+  double beta = 0.01;
+  int iterations = 100;
+  uint64_t seed = 42;
+
+  double ResolvedAlpha() const { return alpha > 0 ? alpha : 50.0 / num_topics; }
+};
+
+struct TotEstimates {
+  int K = 0, V = 0, T = 0;
+  /// Global topic proportions.
+  std::vector<double> topic_weight;
+  /// phi[k*V + v].
+  std::vector<double> phi;
+  /// Beta(a_k, b_k) over normalized time in (0, 1).
+  std::vector<double> beta_a;
+  std::vector<double> beta_b;
+
+  double Phi(int k, int v) const {
+    return phi[static_cast<size_t>(k) * V + v];
+  }
+
+  /// Beta density of topic k at normalized time x in (0,1).
+  double TimeDensity(int k, double x) const;
+
+  /// Normalized midpoint of slice t among T slices.
+  double SliceMidpoint(int t) const {
+    return (static_cast<double>(t) + 0.5) / static_cast<double>(T);
+  }
+};
+
+class TotModel {
+ public:
+  TotModel(TotConfig config, const text::PostStore& posts);
+
+  /// \brief Trains on the subset `post_ids` (empty means all posts); the
+  /// subset form is what Pipeline uses to fit one TOT per community.
+  cold::Status Train(std::span<const text::PostId> post_ids = {});
+
+  const TotEstimates& estimates() const { return estimates_; }
+
+  /// \brief Topic posterior of an unseen bag of words (time unknown).
+  std::vector<double> TopicPosterior(std::span<const text::WordId> words) const;
+
+  /// \brief Per-slice scores for time-stamp prediction:
+  /// score(t) = sum_k P(k | words) Beta_k(midpoint(t)); normalized.
+  std::vector<double> TimestampScores(
+      std::span<const text::WordId> words) const;
+
+  int PredictTimestamp(std::span<const text::WordId> words) const;
+
+ private:
+  void UpdateBetaParameters(std::span<const text::PostId> ids,
+                            std::span<const int32_t> post_topic);
+
+  TotConfig config_;
+  const text::PostStore& posts_;
+  int vocab_ = 0;
+  TotEstimates estimates_;
+};
+
+}  // namespace cold::baselines

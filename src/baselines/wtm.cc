@@ -1,0 +1,149 @@
+#include "baselines/wtm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cold::baselines {
+
+namespace {
+uint64_t PairKey(text::UserId a, text::UserId b) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+}  // namespace
+
+WtmModel::WtmModel(WtmConfig config, const text::PostStore& posts,
+                   const graph::Digraph& interactions,
+                   std::span<const data::RetweetTuple> train_tuples)
+    : config_(config),
+      posts_(posts),
+      interactions_(interactions),
+      train_tuples_(train_tuples) {}
+
+cold::Status WtmModel::Train() {
+  if (!posts_.finalized() || posts_.num_posts() == 0) {
+    return cold::Status::InvalidArgument("no posts");
+  }
+  int vocab = 0;
+  for (text::PostId d = 0; d < posts_.num_posts(); ++d) {
+    for (text::WordId w : posts_.words(d)) vocab = std::max(vocab, w + 1);
+  }
+
+  // IDF over posts as documents.
+  std::vector<int32_t> doc_freq(static_cast<size_t>(vocab), 0);
+  for (text::PostId d = 0; d < posts_.num_posts(); ++d) {
+    for (const auto& [w, cnt] : posts_.WordCounts(d)) {
+      (void)cnt;
+      doc_freq[static_cast<size_t>(w)]++;
+    }
+  }
+  idf_.resize(static_cast<size_t>(vocab));
+  double n_docs = static_cast<double>(posts_.num_posts());
+  for (int v = 0; v < vocab; ++v) {
+    idf_[static_cast<size_t>(v)] =
+        std::log((n_docs + 1.0) / (doc_freq[static_cast<size_t>(v)] + 1.0));
+  }
+
+  // Per-user TF-IDF history profiles.
+  user_profiles_.assign(static_cast<size_t>(posts_.num_users()), {});
+  for (text::PostId d = 0; d < posts_.num_posts(); ++d) {
+    Profile& profile = user_profiles_[static_cast<size_t>(posts_.author(d))];
+    for (text::WordId w : posts_.words(d)) {
+      profile[w] += idf_[static_cast<size_t>(w)];
+    }
+  }
+  user_profile_norms_.assign(static_cast<size_t>(posts_.num_users()), 0.0);
+  for (int i = 0; i < posts_.num_users(); ++i) {
+    double norm = 0.0;
+    for (const auto& [w, weight] : user_profiles_[static_cast<size_t>(i)]) {
+      (void)w;
+      norm += weight * weight;
+    }
+    user_profile_norms_[static_cast<size_t>(i)] = std::sqrt(norm);
+  }
+
+  // Relationship counts from training retweet events.
+  relationship_counts_.clear();
+  int32_t max_count = 1;
+  for (const data::RetweetTuple& tuple : train_tuples_) {
+    for (text::UserId f : tuple.retweeters) {
+      int32_t& count = relationship_counts_[PairKey(tuple.author, f)];
+      ++count;
+      max_count = std::max(max_count, count);
+    }
+  }
+  max_log_relationship_ = std::log1p(static_cast<double>(max_count));
+
+  // Influence: the candidate's retweeter count in the training network
+  // (out-edges (u -> f) mean f retweeted u).
+  influence_.assign(static_cast<size_t>(posts_.num_users()), 0.0);
+  double max_influence = 1.0;
+  for (int i = 0; i < posts_.num_users() && i < interactions_.num_nodes();
+       ++i) {
+    influence_[static_cast<size_t>(i)] =
+        std::log1p(static_cast<double>(interactions_.out_degree(i)));
+    max_influence = std::max(max_influence, influence_[static_cast<size_t>(i)]);
+  }
+  for (double& v : influence_) v /= max_influence;
+  return cold::Status::OK();
+}
+
+double WtmModel::InterestMatch(text::UserId candidate,
+                               std::span<const text::WordId> words) const {
+  if (words.empty()) return 0.0;
+  // Message TF-IDF built on the fly.
+  std::unordered_map<text::WordId, double> message;
+  double msg_norm = 0.0;
+  for (text::WordId w : words) {
+    if (w >= 0 && static_cast<size_t>(w) < idf_.size()) {
+      message[w] += idf_[static_cast<size_t>(w)];
+    }
+  }
+  for (const auto& [w, weight] : message) {
+    (void)w;
+    msg_norm += weight * weight;
+  }
+  if (msg_norm <= 0.0) return 0.0;
+  msg_norm = std::sqrt(msg_norm);
+
+  // WTM's features are content-dependent: the candidate's interest in THIS
+  // message is the average TF-IDF cosine against each post of her history,
+  // computed per query. This per-candidate history scan (no compact topic
+  // representation to fall back on) is the online cost Fig 15 highlights.
+  auto history = posts_.posts_of(candidate);
+  if (history.empty()) return 0.0;
+  double total = 0.0;
+  for (text::PostId d : history) {
+    double dot = 0.0, post_norm = 0.0;
+    for (text::WordId w : posts_.words(d)) {
+      double weight =
+          (w >= 0 && static_cast<size_t>(w) < idf_.size())
+              ? idf_[static_cast<size_t>(w)]
+              : 0.0;
+      post_norm += weight * weight;
+      auto it = message.find(w);
+      if (it != message.end()) dot += weight * it->second;
+    }
+    if (post_norm > 0.0) total += dot / (std::sqrt(post_norm) * msg_norm);
+  }
+  return total / static_cast<double>(history.size());
+}
+
+double WtmModel::Relationship(text::UserId i, text::UserId i2) const {
+  auto it = relationship_counts_.find(PairKey(i, i2));
+  if (it == relationship_counts_.end()) return 0.0;
+  return std::log1p(static_cast<double>(it->second)) / max_log_relationship_;
+}
+
+double WtmModel::Influence(text::UserId candidate) const {
+  return influence_[static_cast<size_t>(candidate)];
+}
+
+double WtmModel::Score(text::UserId i, text::UserId i2,
+                       std::span<const text::WordId> words) const {
+  return config_.weight_interest * InterestMatch(i2, words) +
+         config_.weight_relationship * Relationship(i, i2) +
+         config_.weight_influence * Influence(i2);
+}
+
+}  // namespace cold::baselines

@@ -1,0 +1,69 @@
+// Whom-To-Mention (Wang et al., WWW 2013) — a feature-based retweeter
+// ranking baseline (§6.1, baseline 6). Scores a candidate retweeter by a
+// weighted blend of
+//   interest match      — TF-IDF cosine between the candidate's posting
+//                         history and the message;
+//   user relationship   — past interaction intensity between publisher and
+//                         candidate (content-dependent tie strength);
+//   user influence      — the candidate's own spreading power (retweeter
+//                         count), so the diffusion continues.
+// No topic model is involved, which is why its online feature computation
+// is costly (Fig 15).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "data/social_dataset.h"
+#include "graph/digraph.h"
+#include "text/post_store.h"
+#include "util/status.h"
+
+namespace cold::baselines {
+
+struct WtmConfig {
+  double weight_interest = 0.5;
+  double weight_relationship = 0.3;
+  double weight_influence = 0.2;
+};
+
+class WtmModel {
+ public:
+  WtmModel(WtmConfig config, const text::PostStore& posts,
+           const graph::Digraph& interactions,
+           std::span<const data::RetweetTuple> train_tuples);
+
+  /// \brief Builds IDF table, per-user TF-IDF profiles, relationship counts
+  /// and influence scores from the training data.
+  cold::Status Train();
+
+  /// \brief Retweet propensity score of candidate `i2` for publisher `i`'s
+  /// message `words` (higher = more likely to retweet).
+  double Score(text::UserId i, text::UserId i2,
+               std::span<const text::WordId> words) const;
+
+  /// Individual features (exposed for tests/analysis).
+  double InterestMatch(text::UserId candidate,
+                       std::span<const text::WordId> words) const;
+  double Relationship(text::UserId i, text::UserId i2) const;
+  double Influence(text::UserId candidate) const;
+
+ private:
+  using Profile = std::unordered_map<text::WordId, double>;
+
+  WtmConfig config_;
+  const text::PostStore& posts_;
+  const graph::Digraph& interactions_;
+  std::span<const data::RetweetTuple> train_tuples_;
+
+  std::vector<double> idf_;
+  std::vector<Profile> user_profiles_;
+  std::vector<double> user_profile_norms_;
+  std::unordered_map<uint64_t, int32_t> relationship_counts_;
+  double max_log_relationship_ = 1.0;
+  std::vector<double> influence_;
+};
+
+}  // namespace cold::baselines

@@ -1,0 +1,22 @@
+// Umbrella header for the COLD core library.
+//
+// Typical usage:
+//
+//   cold::core::ColdConfig config;
+//   config.num_communities = 20;
+//   config.num_topics = 30;
+//   cold::core::ColdGibbsSampler sampler(config, dataset.posts,
+//                                        &dataset.interactions);
+//   COLD_RETURN_NOT_OK(sampler.Init());
+//   COLD_RETURN_NOT_OK(sampler.Train());
+//   cold::core::ColdPredictor predictor(sampler.AveragedEstimates(),
+//                                       config.top_communities);
+//   double p = predictor.DiffusionProbability(i, j, words);
+#pragma once
+
+#include "core/cold_config.h"     // IWYU pragma: export
+#include "core/cold_estimates.h"  // IWYU pragma: export
+#include "core/cold_state.h"      // IWYU pragma: export
+#include "core/gibbs_sampler.h"   // IWYU pragma: export
+#include "core/parallel_sampler.h"  // IWYU pragma: export
+#include "core/predictor.h"       // IWYU pragma: export

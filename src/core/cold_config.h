@@ -1,0 +1,82 @@
+// Hyper-parameters of the COLD model (§3, §6.5).
+#pragma once
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace cold::core {
+
+/// \brief How the link community indicators (s, s') are drawn in Eq. (2).
+enum class LinkSampling {
+  /// Joint C x C table when C <= 48, else alternating conditionals.
+  kAuto,
+  /// Exact joint draw from the C x C table (O(C^2) per link).
+  kJoint,
+  /// Gibbs-within-Gibbs: s | s' then s' | s (O(C) each); same stationary
+  /// distribution, cheaper for large C.
+  kAlternating,
+};
+
+/// \brief Full configuration for COLD training.
+///
+/// Defaults follow §6.5: rho = 50/C, alpha = 50/K, beta = epsilon = 0.01,
+/// lambda_1 = 0.1 and lambda_0 = kappa * ln(n_neg / C^2).
+struct ColdConfig {
+  /// C: number of communities.
+  int num_communities = 20;
+  /// K: number of topics.
+  int num_topics = 20;
+
+  /// Dirichlet prior on user community memberships pi; <= 0 means 50/C.
+  double rho = -1.0;
+  /// Dirichlet prior on community topic mixtures theta; <= 0 means 50/K.
+  double alpha = -1.0;
+  /// Dirichlet prior on topic word distributions phi.
+  double beta = 0.01;
+  /// Dirichlet prior on temporal distributions psi.
+  double epsilon = 0.01;
+  /// Beta prior parts for eta; lambda_0 is derived from the negative-link
+  /// count (§3.3): lambda_0 = kappa * ln(n_neg / C^2).
+  double lambda1 = 0.1;
+  double kappa = 1.0;
+
+  /// Gibbs schedule: total sweeps, burn-in sweeps before estimates are
+  /// accumulated, and the lag between accumulated samples.
+  int iterations = 100;
+  int burn_in = 50;
+  int sample_lag = 5;
+
+  uint64_t seed = 42;
+
+  /// When false this is the COLD-NoLink ablation (§6.1 baseline 4): the
+  /// network component is removed and memberships are learned from posts
+  /// alone.
+  bool use_network = true;
+
+  /// |TopComm(i)| for the diffusion predictor (§5.2; the paper uses 5).
+  int top_communities = 5;
+
+  LinkSampling link_sampling = LinkSampling::kAuto;
+
+  /// When true (default), the eta point estimate divides the block's link
+  /// count by its expected pair exposure S_c * S_c' (S_c = sum_i pi_ic)
+  /// instead of by the count itself, so community size does not confound
+  /// link density. Appendix A's literal formula
+  /// (n_cc' + l1) / (n_cc' + l0 + l1) is restored by setting this false.
+  /// Sampling (Eq. 2) is unaffected either way.
+  bool exposure_normalized_eta = true;
+
+  /// Compute the training log-likelihood every N iterations (0 = never);
+  /// used to monitor convergence as in §4.3.
+  int log_likelihood_every = 0;
+
+  double ResolvedRho() const { return rho > 0 ? rho : 50.0 / num_communities; }
+  double ResolvedAlpha() const { return alpha > 0 ? alpha : 50.0 / num_topics; }
+
+  /// Validates ranges; returns kInvalidArgument describing the first
+  /// offending field.
+  cold::Status Validate() const;
+};
+
+}  // namespace cold::core

@@ -1,0 +1,52 @@
+#include "core/cold_estimates.h"
+
+#include <span>
+
+#include "util/math_util.h"
+
+namespace cold::core {
+
+std::vector<int> ColdEstimates::TopWords(int k, int n) const {
+  std::span<const double> row(phi.data() + static_cast<size_t>(k) * V,
+                              static_cast<size_t>(V));
+  return cold::TopKIndices(row, n);
+}
+
+std::vector<int> ColdEstimates::TopCommunitiesForTopic(int k, int n) const {
+  std::vector<double> interest(static_cast<size_t>(C));
+  for (int c = 0; c < C; ++c) interest[static_cast<size_t>(c)] = Theta(c, k);
+  return cold::TopKIndices(interest, n);
+}
+
+std::vector<int> ColdEstimates::TopCommunitiesForUser(int i, int n) const {
+  std::span<const double> row(pi.data() + static_cast<size_t>(i) * C,
+                              static_cast<size_t>(C));
+  return cold::TopKIndices(row, n);
+}
+
+cold::Status ColdEstimates::Accumulate(const ColdEstimates& other) {
+  if (other.U != U || other.C != C || other.K != K || other.T != T ||
+      other.V != V) {
+    return cold::Status::InvalidArgument(
+        "cannot accumulate estimates of different dimensions");
+  }
+  auto add = [](std::vector<double>& a, const std::vector<double>& b) {
+    for (size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+  };
+  add(pi, other.pi);
+  add(theta, other.theta);
+  add(eta, other.eta);
+  add(phi, other.phi);
+  add(psi, other.psi);
+  return cold::Status::OK();
+}
+
+void ColdEstimates::Scale(double inv_n) {
+  for (double& v : pi) v *= inv_n;
+  for (double& v : theta) v *= inv_n;
+  for (double& v : eta) v *= inv_n;
+  for (double& v : phi) v *= inv_n;
+  for (double& v : psi) v *= inv_n;
+}
+
+}  // namespace cold::core

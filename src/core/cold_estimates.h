@@ -1,0 +1,74 @@
+// Point estimates of the collapsed distributions (Appendix A) and the
+// community-level diffusion quantities derived from them (§5.1).
+#pragma once
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace cold::core {
+
+/// \brief Estimated model parameters: pi, theta, eta, phi, psi.
+///
+/// Flat row-major storage; accessors mirror the paper's subscripts. Produced
+/// from a single Gibbs sample or averaged across post-burn-in samples.
+struct ColdEstimates {
+  int U = 0, C = 0, K = 0, T = 0, V = 0;
+
+  /// pi[i*C + c]: user i's membership in community c.
+  std::vector<double> pi;
+  /// theta[c*K + k]: community c's interest in topic k.
+  std::vector<double> theta;
+  /// eta[c*C + c']: general influence of community c on c'.
+  std::vector<double> eta;
+  /// phi[k*V + v]: topic k's word distribution.
+  std::vector<double> phi;
+  /// psi[(k*C + c)*T + t]: popularity of topic k in community c at time t.
+  std::vector<double> psi;
+
+  double Pi(int i, int c) const { return pi[static_cast<size_t>(i) * C + c]; }
+  double Theta(int c, int k) const {
+    return theta[static_cast<size_t>(c) * K + k];
+  }
+  double Eta(int c, int c2) const {
+    return eta[static_cast<size_t>(c) * C + c2];
+  }
+  double Phi(int k, int v) const {
+    return phi[static_cast<size_t>(k) * V + v];
+  }
+  double Psi(int k, int c, int t) const {
+    return psi[(static_cast<size_t>(k) * C + c) * T + t];
+  }
+
+  /// \brief Topic-sensitive inter-community influence, Eq. (4):
+  /// zeta_kcc' = theta_ck * theta_c'k * eta_cc'.
+  double Zeta(int k, int c, int c2) const {
+    return Theta(c, k) * Theta(c2, k) * Eta(c, c2);
+  }
+
+  /// psi_kc as a contiguous span (length T).
+  std::vector<double> PsiSeries(int k, int c) const {
+    auto begin = psi.begin() +
+                 static_cast<long>((static_cast<size_t>(k) * C + c) * T);
+    return std::vector<double>(begin, begin + T);
+  }
+
+  /// \brief Indices of the `n` highest-probability words of topic k
+  /// (Fig. 8 word clouds).
+  std::vector<int> TopWords(int k, int n) const;
+
+  /// \brief Indices of the `n` communities most interested in topic k.
+  std::vector<int> TopCommunitiesForTopic(int k, int n) const;
+
+  /// \brief TopComm(i): the user's `n` strongest communities by pi (§5.2).
+  std::vector<int> TopCommunitiesForUser(int i, int n) const;
+
+  /// \brief Element-wise accumulate (for sample averaging); dimensions must
+  /// match.
+  cold::Status Accumulate(const ColdEstimates& other);
+
+  /// \brief Divides every parameter by `n` (finishing an average).
+  void Scale(double inv_n);
+};
+
+}  // namespace cold::core

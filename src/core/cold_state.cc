@@ -1,0 +1,93 @@
+#include "core/cold_state.h"
+
+#include <sstream>
+
+namespace cold::core {
+
+ColdState::ColdState(int num_users, int num_communities, int num_topics,
+                     int num_time_slices, int vocab_size, int num_posts,
+                     int64_t num_links)
+    : num_users_(num_users),
+      num_communities_(num_communities),
+      num_topics_(num_topics),
+      num_time_slices_(num_time_slices),
+      vocab_size_(vocab_size) {
+  post_community.assign(static_cast<size_t>(num_posts), -1);
+  post_topic.assign(static_cast<size_t>(num_posts), -1);
+  link_src_community.assign(static_cast<size_t>(num_links), -1);
+  link_dst_community.assign(static_cast<size_t>(num_links), -1);
+
+  n_ic_.assign(static_cast<size_t>(num_users) * num_communities_, 0);
+  n_i_.assign(static_cast<size_t>(num_users), 0);
+  n_ck_.assign(static_cast<size_t>(num_communities_) * num_topics_, 0);
+  n_c_.assign(static_cast<size_t>(num_communities_), 0);
+  n_ckt_.assign(static_cast<size_t>(num_communities_) * num_topics_ *
+                    num_time_slices_,
+                0);
+  n_kv_.assign(static_cast<size_t>(num_topics_) * vocab_size_, 0);
+  n_k_.assign(static_cast<size_t>(num_topics_), 0);
+  n_cc_.assign(static_cast<size_t>(num_communities_) * num_communities_, 0);
+}
+
+cold::Status ColdState::CheckInvariants(const text::PostStore& posts,
+                                        const graph::Digraph* links,
+                                        bool use_network) const {
+  ColdState fresh(num_users_, num_communities_, num_topics_, num_time_slices_,
+                  vocab_size_, posts.num_posts(),
+                  links != nullptr ? links->num_edges() : 0);
+  for (text::PostId d = 0; d < posts.num_posts(); ++d) {
+    int c = post_community[static_cast<size_t>(d)];
+    int k = post_topic[static_cast<size_t>(d)];
+    if (c < 0 || c >= num_communities_ || k < 0 || k >= num_topics_) {
+      return cold::Status::Internal("post assignment out of range");
+    }
+    fresh.n_ic(posts.author(d), c)++;
+    fresh.n_i(posts.author(d))++;
+    fresh.n_ck(c, k)++;
+    fresh.n_c(c)++;
+    fresh.n_ckt(c, k, posts.time(d))++;
+    for (text::WordId w : posts.words(d)) fresh.n_kv(k, w)++;
+    fresh.n_k(k) += posts.length(d);
+  }
+  if (use_network && links != nullptr) {
+    for (graph::EdgeId e = 0; e < links->num_edges(); ++e) {
+      int s = link_src_community[static_cast<size_t>(e)];
+      int s2 = link_dst_community[static_cast<size_t>(e)];
+      if (s < 0 || s >= num_communities_ || s2 < 0 || s2 >= num_communities_) {
+        return cold::Status::Internal("link assignment out of range");
+      }
+      fresh.n_ic(links->edge(e).src, s)++;
+      fresh.n_i(links->edge(e).src)++;
+      fresh.n_ic(links->edge(e).dst, s2)++;
+      fresh.n_i(links->edge(e).dst)++;
+      fresh.n_cc(s, s2)++;
+    }
+  }
+
+  auto compare = [](const std::vector<int32_t>& a,
+                    const std::vector<int32_t>& b,
+                    const char* name) -> cold::Status {
+    if (a.size() != b.size()) {
+      return cold::Status::Internal(std::string(name) + ": size mismatch");
+    }
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i] != b[i]) {
+        std::ostringstream oss;
+        oss << name << "[" << i << "]: " << a[i] << " != " << b[i];
+        return cold::Status::Internal(oss.str());
+      }
+    }
+    return cold::Status::OK();
+  };
+  COLD_RETURN_NOT_OK(compare(n_ic_, fresh.n_ic_, "n_ic"));
+  COLD_RETURN_NOT_OK(compare(n_i_, fresh.n_i_, "n_i"));
+  COLD_RETURN_NOT_OK(compare(n_ck_, fresh.n_ck_, "n_ck"));
+  COLD_RETURN_NOT_OK(compare(n_c_, fresh.n_c_, "n_c"));
+  COLD_RETURN_NOT_OK(compare(n_ckt_, fresh.n_ckt_, "n_ckt"));
+  COLD_RETURN_NOT_OK(compare(n_kv_, fresh.n_kv_, "n_kv"));
+  COLD_RETURN_NOT_OK(compare(n_k_, fresh.n_k_, "n_k"));
+  COLD_RETURN_NOT_OK(compare(n_cc_, fresh.n_cc_, "n_cc"));
+  return cold::Status::OK();
+}
+
+}  // namespace cold::core

@@ -1,0 +1,425 @@
+#include "core/gibbs_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace cold::core {
+
+double ComputeLambda0(const ColdConfig& config, int num_users,
+                      int64_t num_links) {
+  double n_neg = static_cast<double>(num_users) * (num_users - 1) -
+                 static_cast<double>(num_links);
+  double c2 = static_cast<double>(config.num_communities) *
+              static_cast<double>(config.num_communities);
+  double ratio = n_neg / c2;
+  if (ratio <= 1.0) return config.lambda1;
+  return std::max(config.lambda1, config.kappa * std::log(ratio));
+}
+
+ColdGibbsSampler::ColdGibbsSampler(ColdConfig config,
+                                   const text::PostStore& posts,
+                                   const graph::Digraph* links)
+    : config_(config),
+      posts_(posts),
+      links_(links),
+      use_network_(config.use_network && links != nullptr &&
+                   links->num_edges() > 0),
+      sampler_(config.seed, /*stream=*/3) {}
+
+cold::Status ColdGibbsSampler::Init() {
+  COLD_RETURN_NOT_OK(config_.Validate());
+  if (!posts_.finalized()) {
+    return cold::Status::FailedPrecondition("post store not finalized");
+  }
+  if (posts_.num_posts() == 0) {
+    return cold::Status::InvalidArgument("no posts to train on");
+  }
+  const int C = config_.num_communities;
+  const int K = config_.num_topics;
+  int64_t num_links = use_network_ ? links_->num_edges() : 0;
+  lambda0_ = use_network_
+                 ? ComputeLambda0(config_, posts_.num_users(), num_links)
+                 : config_.lambda1;
+
+  // Vocab size: the store records word ids only; size = max id + 1.
+  int vocab = 0;
+  for (text::PostId d = 0; d < posts_.num_posts(); ++d) {
+    for (text::WordId w : posts_.words(d)) vocab = std::max(vocab, w + 1);
+  }
+
+  state_ = std::make_unique<ColdState>(posts_.num_users(), C, K,
+                                       posts_.num_time_slices(), vocab,
+                                       posts_.num_posts(), num_links);
+  weights_c_.resize(static_cast<size_t>(C));
+  log_weights_k_.resize(static_cast<size_t>(K));
+  weights_joint_.resize(static_cast<size_t>(C) * C);
+
+  // Random initialization, counters built incrementally.
+  for (text::PostId d = 0; d < posts_.num_posts(); ++d) {
+    state_->post_community[static_cast<size_t>(d)] =
+        static_cast<int32_t>(sampler_.UniformInt(static_cast<uint32_t>(C)));
+    state_->post_topic[static_cast<size_t>(d)] =
+        static_cast<int32_t>(sampler_.UniformInt(static_cast<uint32_t>(K)));
+    AddPost(d);
+  }
+  if (use_network_) {
+    for (graph::EdgeId e = 0; e < links_->num_edges(); ++e) {
+      int s =
+          static_cast<int>(sampler_.UniformInt(static_cast<uint32_t>(C)));
+      int s2 =
+          static_cast<int>(sampler_.UniformInt(static_cast<uint32_t>(C)));
+      state_->link_src_community[static_cast<size_t>(e)] = s;
+      state_->link_dst_community[static_cast<size_t>(e)] = s2;
+      const graph::Edge& edge = links_->edge(e);
+      state_->n_ic(edge.src, s)++;
+      state_->n_i(edge.src)++;
+      state_->n_ic(edge.dst, s2)++;
+      state_->n_i(edge.dst)++;
+      state_->n_cc(s, s2)++;
+    }
+  }
+  initialized_ = true;
+  return cold::Status::OK();
+}
+
+void ColdGibbsSampler::RemovePost(text::PostId d) {
+  int c = state_->post_community[static_cast<size_t>(d)];
+  int k = state_->post_topic[static_cast<size_t>(d)];
+  text::UserId i = posts_.author(d);
+  state_->n_ic(i, c)--;
+  state_->n_i(i)--;
+  state_->n_ck(c, k)--;
+  state_->n_c(c)--;
+  state_->n_ckt(c, k, posts_.time(d))--;
+  for (text::WordId w : posts_.words(d)) state_->n_kv(k, w)--;
+  state_->n_k(k) -= posts_.length(d);
+}
+
+void ColdGibbsSampler::AddPost(text::PostId d) {
+  int c = state_->post_community[static_cast<size_t>(d)];
+  int k = state_->post_topic[static_cast<size_t>(d)];
+  text::UserId i = posts_.author(d);
+  state_->n_ic(i, c)++;
+  state_->n_i(i)++;
+  state_->n_ck(c, k)++;
+  state_->n_c(c)++;
+  state_->n_ckt(c, k, posts_.time(d))++;
+  for (text::WordId w : posts_.words(d)) state_->n_kv(k, w)++;
+  state_->n_k(k) += posts_.length(d);
+}
+
+void ColdGibbsSampler::SamplePostCommunity(text::PostId d) {
+  const int C = config_.num_communities;
+  const int K = config_.num_topics;
+  const int T = posts_.num_time_slices();
+  const double rho = config_.ResolvedRho();
+  const double alpha = config_.ResolvedAlpha();
+  const double epsilon = config_.epsilon;
+  const int k = state_->post_topic[static_cast<size_t>(d)];
+  const int t = posts_.time(d);
+  const text::UserId i = posts_.author(d);
+
+  // Eq. (1); the n_i denominator is constant across c and dropped.
+  for (int c = 0; c < C; ++c) {
+    double w_member = state_->n_ic(i, c) + rho;
+    double w_topic = (state_->n_ck(c, k) + alpha) /
+                     (state_->n_c(c) + K * alpha);
+    double w_time = (state_->n_ckt(c, k, t) + epsilon) /
+                    (state_->n_ck(c, k) + T * epsilon);
+    weights_c_[static_cast<size_t>(c)] = w_member * w_topic * w_time;
+  }
+  state_->post_community[static_cast<size_t>(d)] =
+      static_cast<int32_t>(sampler_.Categorical(weights_c_));
+}
+
+void ColdGibbsSampler::SamplePostTopic(text::PostId d) {
+  const int K = config_.num_topics;
+  const int T = posts_.num_time_slices();
+  const int V = state_->V();
+  const double alpha = config_.ResolvedAlpha();
+  const double beta = config_.beta;
+  const double epsilon = config_.epsilon;
+  const int c = state_->post_community[static_cast<size_t>(d)];
+  const int t = posts_.time(d);
+
+  auto word_counts = posts_.WordCounts(d);
+  const int len = posts_.length(d);
+
+  // Eq. (3) in log space: the n_c denominator is constant across k and
+  // dropped; the per-post Dirichlet-multinomial word term uses ascending
+  // factorials over the post's word multiset.
+  for (int k = 0; k < K; ++k) {
+    double lw = std::log(state_->n_ck(c, k) + alpha) +
+                std::log((state_->n_ckt(c, k, t) + epsilon) /
+                         (state_->n_ck(c, k) + T * epsilon));
+    for (const auto& [w, cnt] : word_counts) {
+      double base = state_->n_kv(k, w) + beta;
+      for (int q = 0; q < cnt; ++q) lw += std::log(base + q);
+    }
+    double denom_base = state_->n_k(k) + V * beta;
+    for (int q = 0; q < len; ++q) lw -= std::log(denom_base + q);
+    log_weights_k_[static_cast<size_t>(k)] = lw;
+  }
+  state_->post_topic[static_cast<size_t>(d)] =
+      static_cast<int32_t>(sampler_.LogCategorical(log_weights_k_));
+}
+
+void ColdGibbsSampler::SamplePost(text::PostId d) {
+  RemovePost(d);
+  SamplePostCommunity(d);
+  SamplePostTopic(d);
+  AddPost(d);
+}
+
+bool ColdGibbsSampler::UseJointLinkSampling() const {
+  switch (config_.link_sampling) {
+    case LinkSampling::kJoint:
+      return true;
+    case LinkSampling::kAlternating:
+      return false;
+    case LinkSampling::kAuto:
+      return config_.num_communities <= 48;
+  }
+  return true;
+}
+
+void ColdGibbsSampler::SampleLinkJoint(graph::EdgeId e) {
+  const int C = config_.num_communities;
+  const double rho = config_.ResolvedRho();
+  const graph::Edge& edge = links_->edge(e);
+  int s = state_->link_src_community[static_cast<size_t>(e)];
+  int s2 = state_->link_dst_community[static_cast<size_t>(e)];
+
+  // Exclude this link (Eq. 2's counters are all "-ii'").
+  state_->n_ic(edge.src, s)--;
+  state_->n_ic(edge.dst, s2)--;
+  state_->n_cc(s, s2)--;
+
+  for (int c = 0; c < C; ++c) {
+    double w_src = state_->n_ic(edge.src, c) + rho;
+    for (int c2 = 0; c2 < C; ++c2) {
+      double w_dst = state_->n_ic(edge.dst, c2) + rho;
+      double n = state_->n_cc(c, c2);
+      double w_link = (n + config_.lambda1) / (n + lambda0_ + config_.lambda1);
+      weights_joint_[static_cast<size_t>(c) * C + c2] = w_src * w_dst * w_link;
+    }
+  }
+  int flat = sampler_.Categorical(weights_joint_);
+  s = flat / C;
+  s2 = flat % C;
+
+  state_->link_src_community[static_cast<size_t>(e)] = s;
+  state_->link_dst_community[static_cast<size_t>(e)] = s2;
+  state_->n_ic(edge.src, s)++;
+  state_->n_ic(edge.dst, s2)++;
+  state_->n_cc(s, s2)++;
+}
+
+void ColdGibbsSampler::SampleLinkAlternating(graph::EdgeId e) {
+  const int C = config_.num_communities;
+  const double rho = config_.ResolvedRho();
+  const graph::Edge& edge = links_->edge(e);
+  int s = state_->link_src_community[static_cast<size_t>(e)];
+  int s2 = state_->link_dst_community[static_cast<size_t>(e)];
+
+  state_->n_ic(edge.src, s)--;
+  state_->n_ic(edge.dst, s2)--;
+  state_->n_cc(s, s2)--;
+
+  // s | s'.
+  for (int c = 0; c < C; ++c) {
+    double n = state_->n_cc(c, s2);
+    weights_c_[static_cast<size_t>(c)] =
+        (state_->n_ic(edge.src, c) + rho) * (n + config_.lambda1) /
+        (n + lambda0_ + config_.lambda1);
+  }
+  s = sampler_.Categorical(weights_c_);
+  // s' | s.
+  for (int c2 = 0; c2 < C; ++c2) {
+    double n = state_->n_cc(s, c2);
+    weights_c_[static_cast<size_t>(c2)] =
+        (state_->n_ic(edge.dst, c2) + rho) * (n + config_.lambda1) /
+        (n + lambda0_ + config_.lambda1);
+  }
+  s2 = sampler_.Categorical(weights_c_);
+
+  state_->link_src_community[static_cast<size_t>(e)] = s;
+  state_->link_dst_community[static_cast<size_t>(e)] = s2;
+  state_->n_ic(edge.src, s)++;
+  state_->n_ic(edge.dst, s2)++;
+  state_->n_cc(s, s2)++;
+}
+
+void ColdGibbsSampler::RunIteration() {
+  for (text::PostId d = 0; d < posts_.num_posts(); ++d) SamplePost(d);
+  if (use_network_) {
+    bool joint = UseJointLinkSampling();
+    for (graph::EdgeId e = 0; e < links_->num_edges(); ++e) {
+      if (joint) {
+        SampleLinkJoint(e);
+      } else {
+        SampleLinkAlternating(e);
+      }
+    }
+  }
+  iterations_run_++;
+}
+
+cold::Status ColdGibbsSampler::Train() {
+  if (!initialized_) {
+    return cold::Status::FailedPrecondition("call Init() before Train()");
+  }
+  for (int it = 0; it < config_.iterations; ++it) {
+    RunIteration();
+    if (config_.log_likelihood_every > 0 &&
+        (it + 1) % config_.log_likelihood_every == 0) {
+      COLD_LOG(kInfo) << "iter " << (it + 1)
+                      << " log-likelihood=" << TrainingLogLikelihood();
+    }
+    if (it + 1 > config_.burn_in &&
+        (it + 1 - config_.burn_in) % config_.sample_lag == 0) {
+      ColdEstimates current = EstimatesFromCurrentSample();
+      if (accumulated_ == nullptr) {
+        accumulated_ = std::make_unique<ColdEstimates>(std::move(current));
+      } else {
+        COLD_RETURN_NOT_OK(accumulated_->Accumulate(current));
+      }
+      num_accumulated_++;
+    }
+  }
+  return cold::Status::OK();
+}
+
+ColdEstimates ExtractEstimates(const ColdState& state,
+                               const ColdConfig& config, double lambda0) {
+  ColdEstimates est;
+  est.U = state.U();
+  est.C = state.C();
+  est.K = state.K();
+  est.T = state.T();
+  est.V = state.V();
+  const double rho = config.ResolvedRho();
+  const double alpha = config.ResolvedAlpha();
+
+  est.pi.resize(static_cast<size_t>(est.U) * est.C);
+  for (int i = 0; i < est.U; ++i) {
+    double denom = state.n_i(i) + est.C * rho;
+    for (int c = 0; c < est.C; ++c) {
+      est.pi[static_cast<size_t>(i) * est.C + c] =
+          (state.n_ic(i, c) + rho) / denom;
+    }
+  }
+  est.theta.resize(static_cast<size_t>(est.C) * est.K);
+  for (int c = 0; c < est.C; ++c) {
+    double denom = state.n_c(c) + est.K * alpha;
+    for (int k = 0; k < est.K; ++k) {
+      est.theta[static_cast<size_t>(c) * est.K + k] =
+          (state.n_ck(c, k) + alpha) / denom;
+    }
+  }
+  est.eta.resize(static_cast<size_t>(est.C) * est.C);
+  if (config.exposure_normalized_eta) {
+    // Expected membership mass per community from the freshly computed pi.
+    std::vector<double> mass(static_cast<size_t>(est.C), 0.0);
+    for (int i = 0; i < est.U; ++i) {
+      for (int c = 0; c < est.C; ++c) {
+        mass[static_cast<size_t>(c)] += est.pi[static_cast<size_t>(i) * est.C + c];
+      }
+    }
+    for (int c = 0; c < est.C; ++c) {
+      for (int c2 = 0; c2 < est.C; ++c2) {
+        double n = state.n_cc(c, c2);
+        double exposure =
+            mass[static_cast<size_t>(c)] * mass[static_cast<size_t>(c2)];
+        est.eta[static_cast<size_t>(c) * est.C + c2] =
+            (n + config.lambda1) /
+            (std::max(exposure, n) + lambda0 + config.lambda1);
+      }
+    }
+  } else {
+    for (int c = 0; c < est.C; ++c) {
+      for (int c2 = 0; c2 < est.C; ++c2) {
+        double n = state.n_cc(c, c2);
+        est.eta[static_cast<size_t>(c) * est.C + c2] =
+            (n + config.lambda1) / (n + lambda0 + config.lambda1);
+      }
+    }
+  }
+  est.phi.resize(static_cast<size_t>(est.K) * est.V);
+  for (int k = 0; k < est.K; ++k) {
+    double denom = state.n_k(k) + est.V * config.beta;
+    for (int v = 0; v < est.V; ++v) {
+      est.phi[static_cast<size_t>(k) * est.V + v] =
+          (state.n_kv(k, v) + config.beta) / denom;
+    }
+  }
+  est.psi.resize(static_cast<size_t>(est.K) * est.C * est.T);
+  for (int k = 0; k < est.K; ++k) {
+    for (int c = 0; c < est.C; ++c) {
+      double denom = state.n_ck(c, k) + est.T * config.epsilon;
+      for (int t = 0; t < est.T; ++t) {
+        est.psi[(static_cast<size_t>(k) * est.C + c) * est.T + t] =
+            (state.n_ckt(c, k, t) + config.epsilon) / denom;
+      }
+    }
+  }
+  return est;
+}
+
+ColdEstimates ColdGibbsSampler::EstimatesFromCurrentSample() const {
+  return ExtractEstimates(*state_, config_, lambda0_);
+}
+
+ColdEstimates ColdGibbsSampler::AveragedEstimates() const {
+  if (accumulated_ == nullptr || num_accumulated_ == 0) {
+    return EstimatesFromCurrentSample();
+  }
+  ColdEstimates avg = *accumulated_;
+  avg.Scale(1.0 / num_accumulated_);
+  return avg;
+}
+
+double ColdGibbsSampler::TrainingLogLikelihood() const {
+  ColdEstimates est = EstimatesFromCurrentSample();
+  const int C = est.C;
+  const int K = est.K;
+  double ll = 0.0;
+
+  std::vector<double> joint(static_cast<size_t>(C) * K);
+  std::vector<double> log_word(static_cast<size_t>(K));
+  for (text::PostId d = 0; d < posts_.num_posts(); ++d) {
+    text::UserId i = posts_.author(d);
+    int t = posts_.time(d);
+    for (int k = 0; k < K; ++k) {
+      double lw = 0.0;
+      for (text::WordId w : posts_.words(d)) lw += std::log(est.Phi(k, w));
+      log_word[static_cast<size_t>(k)] = lw;
+    }
+    for (int c = 0; c < C; ++c) {
+      for (int k = 0; k < K; ++k) {
+        joint[static_cast<size_t>(c) * K + k] =
+            std::log(est.Pi(i, c)) + std::log(est.Theta(c, k)) +
+            log_word[static_cast<size_t>(k)] + std::log(est.Psi(k, c, t));
+      }
+    }
+    ll += cold::LogSumExp(joint);
+  }
+  if (use_network_) {
+    for (graph::EdgeId e = 0; e < links_->num_edges(); ++e) {
+      const graph::Edge& edge = links_->edge(e);
+      double p = 0.0;
+      for (int c = 0; c < C; ++c) {
+        for (int c2 = 0; c2 < C; ++c2) {
+          p += est.Pi(edge.src, c) * est.Pi(edge.dst, c2) * est.Eta(c, c2);
+        }
+      }
+      ll += std::log(std::max(p, 1e-300));
+    }
+  }
+  return ll;
+}
+
+}  // namespace cold::core

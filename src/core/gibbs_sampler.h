@@ -1,0 +1,102 @@
+// Serial collapsed Gibbs sampler for COLD (§4.1, Appendix A).
+//
+// Per sweep: for every post, resample its community c_ij (Eq. 1) and topic
+// z_ij (Eq. 3); for every positive link, resample the community pair
+// (s_ii', s'_ii') (Eq. 2). Negative links never appear — they are folded
+// into the Beta(lambda_0, lambda_1) prior on eta (§3.3), giving linear
+// complexity in the data size (§4.2).
+#pragma once
+
+#include <memory>
+
+#include "core/cold_config.h"
+#include "core/cold_estimates.h"
+#include "core/cold_state.h"
+#include "graph/digraph.h"
+#include "text/post_store.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cold::core {
+
+/// \brief Serial trainer. The parallel trainer (parallel_sampler.h) shares
+/// the state layout and estimate extraction.
+class ColdGibbsSampler {
+ public:
+  /// \param posts finalized post store.
+  /// \param links the interaction network, or nullptr (forces
+  ///        config.use_network = false behaviour).
+  ColdGibbsSampler(ColdConfig config, const text::PostStore& posts,
+                   const graph::Digraph* links);
+
+  /// \brief Validates the config and draws the random initial assignment.
+  cold::Status Init();
+
+  /// \brief Runs one full Gibbs sweep (all posts, then all links).
+  void RunIteration();
+
+  /// \brief Full schedule: iterations sweeps, accumulating estimates every
+  /// `sample_lag` sweeps after burn-in. Init() must have succeeded.
+  cold::Status Train();
+
+  /// \brief Point estimates from the *current* sample (Appendix A).
+  ColdEstimates EstimatesFromCurrentSample() const;
+
+  /// \brief Estimates averaged over the post-burn-in samples collected by
+  /// Train(); falls back to the current sample if none were collected.
+  ColdEstimates AveragedEstimates() const;
+
+  /// \brief Joint log-likelihood of training words, stamps and links under
+  /// the current point estimates (the convergence monitor of §4.3).
+  double TrainingLogLikelihood() const;
+
+  const ColdState& state() const { return *state_; }
+  ColdState& mutable_state() { return *state_; }
+  const ColdConfig& config() const { return config_; }
+  /// lambda_0 derived from the negative-link count (§3.3).
+  double lambda0() const { return lambda0_; }
+  int iterations_run() const { return iterations_run_; }
+
+ private:
+  void SamplePost(text::PostId d);
+  void SamplePostCommunity(text::PostId d);
+  void SamplePostTopic(text::PostId d);
+  void SampleLinkJoint(graph::EdgeId e);
+  void SampleLinkAlternating(graph::EdgeId e);
+
+  void RemovePost(text::PostId d);
+  void AddPost(text::PostId d);
+
+  bool UseJointLinkSampling() const;
+
+  ColdConfig config_;
+  const text::PostStore& posts_;
+  const graph::Digraph* links_;
+  bool use_network_;
+  double lambda0_ = 0.1;
+
+  std::unique_ptr<ColdState> state_;
+  cold::RandomSampler sampler_;
+
+  // Scratch buffers reused across sweeps to avoid per-post allocation.
+  std::vector<double> weights_c_;
+  std::vector<double> log_weights_k_;
+  std::vector<double> weights_joint_;
+
+  std::unique_ptr<ColdEstimates> accumulated_;
+  int num_accumulated_ = 0;
+  int iterations_run_ = 0;
+  bool initialized_ = false;
+};
+
+/// \brief Extracts Appendix-A point estimates from any counter state (shared
+/// by the serial and parallel samplers).
+ColdEstimates ExtractEstimates(const ColdState& state,
+                               const ColdConfig& config, double lambda0);
+
+/// \brief Computes lambda_0 = kappa * ln(n_neg / C^2), floored at lambda_1
+/// so the Beta prior stays proper even on dense toy graphs.
+double ComputeLambda0(const ColdConfig& config, int num_users,
+                      int64_t num_links);
+
+}  // namespace cold::core

@@ -1,0 +1,102 @@
+#include "core/model_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace cold::core {
+
+namespace {
+constexpr char kMagic[8] = {'C', 'O', 'L', 'D', 'E', 'S', 'T', '1'};
+
+cold::Status WriteArray(std::ofstream& out, const std::vector<double>& data) {
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(double)));
+  if (!out.good()) return cold::Status::IOError("short write");
+  return cold::Status::OK();
+}
+
+cold::Status ReadArray(std::ifstream& in, size_t n,
+                       std::vector<double>* data) {
+  data->resize(n);
+  in.read(reinterpret_cast<char*>(data->data()),
+          static_cast<std::streamsize>(n * sizeof(double)));
+  if (in.gcount() != static_cast<std::streamsize>(n * sizeof(double))) {
+    return cold::Status::IOError("truncated parameter array");
+  }
+  return cold::Status::OK();
+}
+}  // namespace
+
+cold::Status SaveEstimates(const ColdEstimates& estimates,
+                           const std::string& path) {
+  if (estimates.U < 0 || estimates.C < 1 || estimates.K < 1 ||
+      estimates.T < 1 || estimates.V < 1) {
+    return cold::Status::InvalidArgument("estimates have invalid dimensions");
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return cold::Status::IOError("cannot open for write: " + path);
+  }
+  out.write(kMagic, sizeof(kMagic));
+  int32_t dims[5] = {estimates.U, estimates.C, estimates.K, estimates.T,
+                     estimates.V};
+  out.write(reinterpret_cast<const char*>(dims), sizeof(dims));
+  COLD_RETURN_NOT_OK(WriteArray(out, estimates.pi));
+  COLD_RETURN_NOT_OK(WriteArray(out, estimates.theta));
+  COLD_RETURN_NOT_OK(WriteArray(out, estimates.eta));
+  COLD_RETURN_NOT_OK(WriteArray(out, estimates.phi));
+  COLD_RETURN_NOT_OK(WriteArray(out, estimates.psi));
+  out.flush();
+  if (!out.good()) return cold::Status::IOError("flush failed: " + path);
+  return cold::Status::OK();
+}
+
+cold::Result<ColdEstimates> LoadEstimates(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return cold::Status::IOError("cannot open for read: " + path);
+  }
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return cold::Status::IOError("bad magic: not a COLD estimates file");
+  }
+  int32_t dims[5];
+  in.read(reinterpret_cast<char*>(dims), sizeof(dims));
+  if (in.gcount() != sizeof(dims)) {
+    return cold::Status::IOError("truncated header");
+  }
+  ColdEstimates est;
+  est.U = dims[0];
+  est.C = dims[1];
+  est.K = dims[2];
+  est.T = dims[3];
+  est.V = dims[4];
+  if (est.U < 0 || est.C < 1 || est.K < 1 || est.T < 1 || est.V < 1 ||
+      est.U > (1 << 28) || est.C > (1 << 20) || est.K > (1 << 20) ||
+      est.T > (1 << 20) || est.V > (1 << 28)) {
+    return cold::Status::IOError("implausible dimensions in header");
+  }
+  COLD_RETURN_NOT_OK(
+      ReadArray(in, static_cast<size_t>(est.U) * est.C, &est.pi));
+  COLD_RETURN_NOT_OK(
+      ReadArray(in, static_cast<size_t>(est.C) * est.K, &est.theta));
+  COLD_RETURN_NOT_OK(
+      ReadArray(in, static_cast<size_t>(est.C) * est.C, &est.eta));
+  COLD_RETURN_NOT_OK(
+      ReadArray(in, static_cast<size_t>(est.K) * est.V, &est.phi));
+  COLD_RETURN_NOT_OK(
+      ReadArray(in, static_cast<size_t>(est.K) * est.C * est.T, &est.psi));
+  // Must now be at EOF.
+  char extra;
+  in.read(&extra, 1);
+  if (in.gcount() != 0) {
+    return cold::Status::IOError("trailing bytes after parameter arrays");
+  }
+  return est;
+}
+
+}  // namespace cold::core

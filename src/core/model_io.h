@@ -1,0 +1,24 @@
+// Serialization of fitted ColdEstimates, so a model trained once can be
+// shipped to prediction services (the offline/online split of §5.2).
+//
+// Binary format: magic "COLDEST1", five int32 dims (U, C, K, T, V), then
+// the five parameter arrays as little-endian doubles in declaration order
+// (pi, theta, eta, phi, psi).
+#pragma once
+
+#include <string>
+
+#include "core/cold_estimates.h"
+#include "util/status.h"
+
+namespace cold::core {
+
+/// \brief Writes `estimates` to `path` (overwrites).
+cold::Status SaveEstimates(const ColdEstimates& estimates,
+                           const std::string& path);
+
+/// \brief Reads estimates previously written by SaveEstimates. Validates
+/// magic, dimensions and payload size.
+cold::Result<ColdEstimates> LoadEstimates(const std::string& path);
+
+}  // namespace cold::core

@@ -1,0 +1,471 @@
+#include "core/parallel_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/gibbs_sampler.h"
+#include "util/math_util.h"
+
+namespace cold::core {
+
+namespace {
+constexpr size_t kMaxWorkers = 256;
+}
+
+/// Vertex program implementing Alg 2. See file header of
+/// parallel_sampler.h for the counter-placement discussion.
+class ColdVertexProgram {
+ public:
+  using Graph = engine::PropertyGraph<ColdVertex, ColdEdge>;
+  using GatherType = std::vector<int32_t>;
+  static constexpr engine::GatherEdges kGatherEdges = engine::GatherEdges::kAll;
+
+  ColdVertexProgram(const ColdConfig& config, const text::PostStore& posts,
+                    const graph::Digraph* links, ParallelColdState* state,
+                    const Graph* graph, bool use_network, double lambda0)
+      : config_(config),
+        posts_(posts),
+        links_(links),
+        state_(state),
+        graph_(graph),
+        use_network_(use_network),
+        lambda0_(lambda0),
+        scratch_(kMaxWorkers) {}
+
+  GatherType GatherInit() const { return {}; }
+
+  // Gather: lines 1-10 of Alg 2 — community counts for user vertices,
+  // community-topic counts for time vertices.
+  void Gather(const Graph& g, engine::VertexId v, engine::EdgeId e,
+              GatherType* acc) const {
+    const ColdVertex& vd = g.vertex_data(v);
+    const ColdEdge& ed = g.edge_data(e);
+    const int C = config_.num_communities;
+    if (vd.is_user) {
+      if (acc->empty()) acc->assign(static_cast<size_t>(C), 0);
+      if (ed.type == ColdEdge::Type::kUserTime) {
+        // Only the user-side endpoint gathers posts.
+        if (g.src(e) == v) {
+          for (text::PostId d : ed.posts) {
+            (*acc)[static_cast<size_t>(
+                state_->post_community[static_cast<size_t>(d)])]++;
+          }
+        }
+      } else {
+        // A user-user edge contributes s to its src and s' to its dst.
+        if (g.src(e) == v) {
+          (*acc)[static_cast<size_t>(
+              state_->link_src_community[static_cast<size_t>(ed.link)])]++;
+        } else {
+          (*acc)[static_cast<size_t>(
+              state_->link_dst_community[static_cast<size_t>(ed.link)])]++;
+        }
+      }
+    } else {
+      // Time vertex: count (c, k) pairs of incident posts.
+      const int K = config_.num_topics;
+      if (acc->empty()) acc->assign(static_cast<size_t>(C) * K, 0);
+      if (ed.type == ColdEdge::Type::kUserTime) {
+        for (text::PostId d : ed.posts) {
+          int c = state_->post_community[static_cast<size_t>(d)];
+          int k = state_->post_topic[static_cast<size_t>(d)];
+          (*acc)[static_cast<size_t>(c) * K + k]++;
+        }
+      }
+    }
+  }
+
+  // Apply: lines 12-17 of Alg 2 — write the rebuilt vertex-owned counters.
+  void Apply(Graph* g, engine::VertexId v, const GatherType& acc) {
+    const ColdVertex& vd = g->vertex_data(v);
+    const int C = config_.num_communities;
+    if (vd.is_user) {
+      for (int c = 0; c < C; ++c) {
+        int32_t value = acc.empty() ? 0 : acc[static_cast<size_t>(c)];
+        state_->n_ic(vd.index, c).store(value, std::memory_order_relaxed);
+      }
+    } else {
+      const int K = config_.num_topics;
+      for (int c = 0; c < C; ++c) {
+        for (int k = 0; k < K; ++k) {
+          int32_t value =
+              acc.empty() ? 0 : acc[static_cast<size_t>(c) * K + k];
+          state_->n_ckt(c, k, vd.index)
+              .store(value, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+
+  // Scatter: lines 19-26 of Alg 2 — draw new assignments.
+  void Scatter(Graph* g, engine::EdgeId e, engine::WorkerContext* ctx) {
+    ColdEdge& ed = g->edge_data(e);
+    Scratch& scratch = GetScratch(ctx->worker_index);
+    if (ed.type == ColdEdge::Type::kUserTime) {
+      for (text::PostId d : ed.posts) {
+        SamplePostCommunity(d, &scratch, ctx->sampler);
+        SamplePostTopic(d, &scratch, ctx->sampler);
+      }
+    } else if (use_network_) {
+      SampleLink(ed.link, &scratch, ctx->sampler);
+    }
+  }
+
+  void PostSuperstep(Graph*, int) {}
+
+  /// Bytes of the global aggregator state broadcast each superstep:
+  /// n_ck, n_c, n_kv, n_k, n_cc.
+  int64_t GlobalStateBytes() const {
+    const int64_t C = config_.num_communities;
+    const int64_t K = config_.num_topics;
+    const int64_t V = state_->V();
+    return 4 * (C * K + C + K * V + K + C * C);
+  }
+
+  /// Work units: tokens plus per-post sampling cost for post edges; the
+  /// link-table cost for link edges.
+  int64_t EdgeWorkUnits(engine::EdgeId e) const {
+    const ColdEdge& ed = graph_->edge_data(e);
+    const int64_t C = config_.num_communities;
+    const int64_t K = config_.num_topics;
+    if (ed.type == ColdEdge::Type::kUserTime) {
+      int64_t units = 0;
+      for (text::PostId d : ed.posts) {
+        units += posts_.length(d) + C + K;
+      }
+      return units;
+    }
+    return 2 * C;
+  }
+
+ private:
+  struct Scratch {
+    std::vector<double> weights_c;
+    std::vector<double> log_weights_k;
+    std::vector<std::pair<text::WordId, int>> word_counts;
+  };
+
+  Scratch& GetScratch(size_t worker) {
+    Scratch& s = scratch_[worker];
+    if (s.weights_c.empty()) {
+      s.weights_c.resize(static_cast<size_t>(config_.num_communities));
+      s.log_weights_k.resize(static_cast<size_t>(config_.num_topics));
+    }
+    return s;
+  }
+
+  // Eq. (1) with own-contribution exclusion against shared counters.
+  void SamplePostCommunity(text::PostId d, Scratch* scratch,
+                           cold::RandomSampler* sampler) {
+    const int C = config_.num_communities;
+    const int K = config_.num_topics;
+    const int T = posts_.num_time_slices();
+    const double rho = config_.ResolvedRho();
+    const double alpha = config_.ResolvedAlpha();
+    const double epsilon = config_.epsilon;
+    const int c0 = state_->post_community[static_cast<size_t>(d)];
+    const int k = state_->post_topic[static_cast<size_t>(d)];
+    const int t = posts_.time(d);
+    const text::UserId i = posts_.author(d);
+
+    for (int c = 0; c < C; ++c) {
+      int own = (c == c0) ? 1 : 0;
+      double n_ick = state_->r_n_ic(i, c) - own;
+      double n_ck = state_->r_n_ck(c, k) - own;
+      double n_c = state_->r_n_c(c) - own;
+      double n_ckt = state_->r_n_ckt(c, k, t) - own;
+      // Stale counts can transiently dip below zero; clamp.
+      n_ick = std::max(n_ick, 0.0);
+      n_ck = std::max(n_ck, 0.0);
+      n_c = std::max(n_c, 0.0);
+      n_ckt = std::max(n_ckt, 0.0);
+      scratch->weights_c[static_cast<size_t>(c)] =
+          (n_ick + rho) * ((n_ck + alpha) / (n_c + K * alpha)) *
+          ((n_ckt + epsilon) / (n_ck + T * epsilon));
+    }
+    int c1 = sampler->Categorical(scratch->weights_c);
+    if (c1 != c0) {
+      state_->post_community[static_cast<size_t>(d)] =
+          static_cast<int32_t>(c1);
+      state_->n_ic(i, c0).fetch_sub(1, std::memory_order_relaxed);
+      state_->n_ic(i, c1).fetch_add(1, std::memory_order_relaxed);
+      state_->n_ck(c0, k).fetch_sub(1, std::memory_order_relaxed);
+      state_->n_ck(c1, k).fetch_add(1, std::memory_order_relaxed);
+      state_->n_c(c0).fetch_sub(1, std::memory_order_relaxed);
+      state_->n_c(c1).fetch_add(1, std::memory_order_relaxed);
+      state_->n_ckt(c0, k, t).fetch_sub(1, std::memory_order_relaxed);
+      state_->n_ckt(c1, k, t).fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Eq. (3) with own-contribution exclusion.
+  void SamplePostTopic(text::PostId d, Scratch* scratch,
+                       cold::RandomSampler* sampler) {
+    const int K = config_.num_topics;
+    const int T = posts_.num_time_slices();
+    const int V = state_->V();
+    const double alpha = config_.ResolvedAlpha();
+    const double beta = config_.beta;
+    const double epsilon = config_.epsilon;
+    const int c = state_->post_community[static_cast<size_t>(d)];
+    const int k0 = state_->post_topic[static_cast<size_t>(d)];
+    const int t = posts_.time(d);
+    const int len = posts_.length(d);
+
+    scratch->word_counts.clear();
+    for (text::WordId w : posts_.words(d)) {
+      bool found = false;
+      for (auto& [cw, cnt] : scratch->word_counts) {
+        if (cw == w) {
+          ++cnt;
+          found = true;
+          break;
+        }
+      }
+      if (!found) scratch->word_counts.emplace_back(w, 1);
+    }
+
+    for (int k = 0; k < K; ++k) {
+      int own = (k == k0) ? 1 : 0;
+      double n_ck = std::max<double>(state_->r_n_ck(c, k) - own, 0.0);
+      double n_ckt = std::max<double>(state_->r_n_ckt(c, k, t) - own, 0.0);
+      double lw = std::log(n_ck + alpha) +
+                  std::log((n_ckt + epsilon) / (n_ck + T * epsilon));
+      for (const auto& [w, cnt] : scratch->word_counts) {
+        double base =
+            std::max<double>(state_->r_n_kv(k, w) - own * cnt, 0.0) + beta;
+        for (int q = 0; q < cnt; ++q) lw += std::log(base + q);
+      }
+      double denom =
+          std::max<double>(state_->r_n_k(k) - own * len, 0.0) + V * beta;
+      for (int q = 0; q < len; ++q) lw -= std::log(denom + q);
+      scratch->log_weights_k[static_cast<size_t>(k)] = lw;
+    }
+    int k1 = sampler->LogCategorical(scratch->log_weights_k);
+    if (k1 != k0) {
+      state_->post_topic[static_cast<size_t>(d)] = static_cast<int32_t>(k1);
+      state_->n_ck(c, k0).fetch_sub(1, std::memory_order_relaxed);
+      state_->n_ck(c, k1).fetch_add(1, std::memory_order_relaxed);
+      state_->n_ckt(c, k0, t).fetch_sub(1, std::memory_order_relaxed);
+      state_->n_ckt(c, k1, t).fetch_add(1, std::memory_order_relaxed);
+      for (text::WordId w : posts_.words(d)) {
+        state_->n_kv(k0, w).fetch_sub(1, std::memory_order_relaxed);
+        state_->n_kv(k1, w).fetch_add(1, std::memory_order_relaxed);
+      }
+      state_->n_k(k0).fetch_sub(len, std::memory_order_relaxed);
+      state_->n_k(k1).fetch_add(len, std::memory_order_relaxed);
+    }
+  }
+
+  // Eq. (2), alternating conditionals (cheap and race-tolerant).
+  void SampleLink(graph::EdgeId link, Scratch* scratch,
+                  cold::RandomSampler* sampler) {
+    const int C = config_.num_communities;
+    const double rho = config_.ResolvedRho();
+    const double lambda1 = config_.lambda1;
+    const graph::Edge& edge = links_->edge(link);
+    const int s0 = state_->link_src_community[static_cast<size_t>(link)];
+    const int s20 = state_->link_dst_community[static_cast<size_t>(link)];
+
+    // s | s'.
+    for (int cc = 0; cc < C; ++cc) {
+      int own = (cc == s0) ? 1 : 0;
+      double n_ic =
+          std::max<double>(state_->r_n_ic(edge.src, cc) - own, 0.0);
+      double n =
+          std::max<double>(state_->r_n_cc(cc, s20) - own, 0.0);
+      scratch->weights_c[static_cast<size_t>(cc)] =
+          (n_ic + rho) * (n + lambda1) / (n + lambda0_ + lambda1);
+    }
+    int s1 = sampler->Categorical(scratch->weights_c);
+
+    // s' | s (own contribution now sits at (s1, s20) only if s1 == s0).
+    for (int cc = 0; cc < C; ++cc) {
+      int own = (cc == s20) ? 1 : 0;
+      double n_ic =
+          std::max<double>(state_->r_n_ic(edge.dst, cc) - own, 0.0);
+      int own_pair = (s1 == s0 && cc == s20) ? 1 : 0;
+      double n = std::max<double>(state_->r_n_cc(s1, cc) - own_pair, 0.0);
+      scratch->weights_c[static_cast<size_t>(cc)] =
+          (n_ic + rho) * (n + lambda1) / (n + lambda0_ + lambda1);
+    }
+    int s21 = sampler->Categorical(scratch->weights_c);
+
+    if (s1 != s0) {
+      state_->link_src_community[static_cast<size_t>(link)] =
+          static_cast<int32_t>(s1);
+      state_->n_ic(edge.src, s0).fetch_sub(1, std::memory_order_relaxed);
+      state_->n_ic(edge.src, s1).fetch_add(1, std::memory_order_relaxed);
+    }
+    if (s21 != s20) {
+      state_->link_dst_community[static_cast<size_t>(link)] =
+          static_cast<int32_t>(s21);
+      state_->n_ic(edge.dst, s20).fetch_sub(1, std::memory_order_relaxed);
+      state_->n_ic(edge.dst, s21).fetch_add(1, std::memory_order_relaxed);
+    }
+    if (s1 != s0 || s21 != s20) {
+      state_->n_cc(s0, s20).fetch_sub(1, std::memory_order_relaxed);
+      state_->n_cc(s1, s21).fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  const ColdConfig& config_;
+  const text::PostStore& posts_;
+  const graph::Digraph* links_;
+  ParallelColdState* state_;
+  const Graph* graph_;
+  bool use_network_;
+  double lambda0_;
+  std::vector<Scratch> scratch_;
+};
+
+ParallelColdTrainer::ParallelColdTrainer(ColdConfig config,
+                                         const text::PostStore& posts,
+                                         const graph::Digraph* links,
+                                         engine::EngineOptions engine_options)
+    : config_(config),
+      posts_(posts),
+      links_(links),
+      use_network_(config.use_network && links != nullptr &&
+                   links->num_edges() > 0),
+      engine_options_(engine_options) {}
+
+ParallelColdTrainer::~ParallelColdTrainer() = default;
+
+cold::Status ParallelColdTrainer::Init() {
+  COLD_RETURN_NOT_OK(config_.Validate());
+  if (!posts_.finalized()) {
+    return cold::Status::FailedPrecondition("post store not finalized");
+  }
+  const int C = config_.num_communities;
+  const int K = config_.num_topics;
+  const int U = posts_.num_users();
+  const int T = posts_.num_time_slices();
+  int64_t num_links = use_network_ ? links_->num_edges() : 0;
+  lambda0_ = use_network_ ? ComputeLambda0(config_, U, num_links)
+                          : config_.lambda1;
+
+  int vocab = 0;
+  for (text::PostId d = 0; d < posts_.num_posts(); ++d) {
+    for (text::WordId w : posts_.words(d)) vocab = std::max(vocab, w + 1);
+  }
+  state_ = std::make_unique<ParallelColdState>(U, C, K, T, vocab,
+                                               posts_.num_posts(), num_links);
+
+  // Build the bipartite user-time graph plus user-user edges (Fig 4).
+  graph_ = std::make_unique<Graph>();
+  for (int i = 0; i < U; ++i) {
+    graph_->AddVertex(ColdVertex{true, i});
+  }
+  for (int t = 0; t < T; ++t) {
+    graph_->AddVertex(ColdVertex{false, t});
+  }
+  // Group each user's posts by time slice.
+  for (int i = 0; i < U; ++i) {
+    // Time slices are few; a local map via sort keeps this allocation-light.
+    auto user_posts = posts_.posts_of(i);
+    std::vector<text::PostId> sorted(user_posts.begin(), user_posts.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [this](text::PostId a, text::PostId b) {
+                return posts_.time(a) < posts_.time(b);
+              });
+    size_t p = 0;
+    while (p < sorted.size()) {
+      text::TimeSlice t = posts_.time(sorted[p]);
+      ColdEdge edge;
+      edge.type = ColdEdge::Type::kUserTime;
+      while (p < sorted.size() && posts_.time(sorted[p]) == t) {
+        edge.posts.push_back(sorted[p]);
+        ++p;
+      }
+      graph_->AddEdge(static_cast<engine::VertexId>(i),
+                      static_cast<engine::VertexId>(U + t), std::move(edge));
+    }
+  }
+  if (use_network_) {
+    for (graph::EdgeId e = 0; e < links_->num_edges(); ++e) {
+      ColdEdge edge;
+      edge.type = ColdEdge::Type::kUserUser;
+      edge.link = e;
+      graph_->AddEdge(static_cast<engine::VertexId>(links_->edge(e).src),
+                      static_cast<engine::VertexId>(links_->edge(e).dst),
+                      std::move(edge));
+    }
+  }
+  graph_->Finalize();
+
+  // Random initial assignments + counter build (serial; cheap).
+  cold::RandomSampler init_sampler(config_.seed, /*stream=*/5);
+  for (text::PostId d = 0; d < posts_.num_posts(); ++d) {
+    int c = static_cast<int>(init_sampler.UniformInt(static_cast<uint32_t>(C)));
+    int k = static_cast<int>(init_sampler.UniformInt(static_cast<uint32_t>(K)));
+    state_->post_community[static_cast<size_t>(d)] = c;
+    state_->post_topic[static_cast<size_t>(d)] = k;
+    text::UserId i = posts_.author(d);
+    state_->n_ic(i, c).fetch_add(1, std::memory_order_relaxed);
+    state_->n_i(i).fetch_add(1, std::memory_order_relaxed);
+    state_->n_ck(c, k).fetch_add(1, std::memory_order_relaxed);
+    state_->n_c(c).fetch_add(1, std::memory_order_relaxed);
+    state_->n_ckt(c, k, posts_.time(d)).fetch_add(1, std::memory_order_relaxed);
+    for (text::WordId w : posts_.words(d)) {
+      state_->n_kv(k, w).fetch_add(1, std::memory_order_relaxed);
+    }
+    state_->n_k(k).fetch_add(posts_.length(d), std::memory_order_relaxed);
+  }
+  if (use_network_) {
+    for (graph::EdgeId e = 0; e < links_->num_edges(); ++e) {
+      int s = static_cast<int>(
+          init_sampler.UniformInt(static_cast<uint32_t>(C)));
+      int s2 = static_cast<int>(
+          init_sampler.UniformInt(static_cast<uint32_t>(C)));
+      state_->link_src_community[static_cast<size_t>(e)] = s;
+      state_->link_dst_community[static_cast<size_t>(e)] = s2;
+      const graph::Edge& edge = links_->edge(e);
+      state_->n_ic(edge.src, s).fetch_add(1, std::memory_order_relaxed);
+      state_->n_i(edge.src).fetch_add(1, std::memory_order_relaxed);
+      state_->n_ic(edge.dst, s2).fetch_add(1, std::memory_order_relaxed);
+      state_->n_i(edge.dst).fetch_add(1, std::memory_order_relaxed);
+      state_->n_cc(s, s2).fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  program_ = std::make_unique<ColdVertexProgram>(
+      config_, posts_, links_, state_.get(), graph_.get(), use_network_,
+      lambda0_);
+  engine_ = std::make_unique<
+      engine::GasEngine<ColdVertex, ColdEdge, ColdVertexProgram>>(
+      graph_.get(), program_.get(), engine_options_);
+  initialized_ = true;
+  return cold::Status::OK();
+}
+
+cold::Status ParallelColdTrainer::Train() {
+  if (!initialized_) {
+    return cold::Status::FailedPrecondition("call Init() before Train()");
+  }
+  engine_->Run(config_.iterations);
+  return cold::Status::OK();
+}
+
+void ParallelColdTrainer::RunSuperstep() { engine_->RunSuperstep(); }
+
+ColdEstimates ParallelColdTrainer::Estimates() const {
+  ColdState snapshot = state_->ToColdState();
+  return ExtractEstimates(snapshot, config_, lambda0_);
+}
+
+ColdState ParallelColdTrainer::StateSnapshot() const {
+  return state_->ToColdState();
+}
+
+const engine::EngineStats& ParallelColdTrainer::engine_stats() const {
+  static const engine::EngineStats kEmpty;
+  return engine_ != nullptr ? engine_->stats() : kEmpty;
+}
+
+double ParallelColdTrainer::SimulatedWallSeconds(
+    const engine::ClusterModel& model) const {
+  return engine_ != nullptr ? engine_->SimulatedWallSeconds(model) : 0.0;
+}
+
+}  // namespace cold::core

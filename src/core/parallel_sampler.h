@@ -1,0 +1,98 @@
+// Parallel COLD inference on the GAS engine (§4.3, Fig 4, Alg 2).
+//
+// Graph abstraction (exactly the paper's): a bipartite graph connecting each
+// user with each time slice — the edge (i, t) carries the posts user i wrote
+// at time t together with their community/topic indicators — plus user-user
+// edges carrying the link community indicators (s, s').
+//
+// Counter placement follows Alg 2: per-user membership counts n_ic and
+// per-time counts n_ckt are vertex-owned and rebuilt in the gather/apply
+// phases each superstep; the low-dimensional global counters (n_ck, n_kv,
+// n_k, n_cc) are shared aggregates updated during scatter and broadcast at
+// superstep boundaries (the engine accounts that traffic). Scatter draws new
+// assignments with Eqs. (1)-(3) against these slightly-stale counts — the
+// standard approximate-parallel collapsed Gibbs scheme.
+#pragma once
+
+#include <memory>
+
+#include "core/cold_config.h"
+#include "core/cold_estimates.h"
+#include "core/parallel_state.h"
+#include "engine/gas_engine.h"
+#include "graph/digraph.h"
+#include "text/post_store.h"
+#include "util/status.h"
+
+namespace cold::core {
+
+/// \brief Vertex payload: user vertices come first (id = user), then time
+/// vertices (id = slice).
+struct ColdVertex {
+  bool is_user = true;
+  int32_t index = 0;
+};
+
+/// \brief Edge payload: a user-time edge owns the posts of (user, t); a
+/// user-user edge owns one interaction link.
+struct ColdEdge {
+  enum class Type : uint8_t { kUserTime, kUserUser };
+  Type type = Type::kUserTime;
+  std::vector<text::PostId> posts;  // kUserTime
+  graph::EdgeId link = -1;          // kUserUser
+};
+
+class ColdVertexProgram;  // defined in parallel_sampler.cc
+
+/// \brief Parallel trainer: builds the Fig-4 graph, runs `iterations`
+/// supersteps, and exposes estimates plus engine statistics for the
+/// scalability experiments (Figs 13-14).
+class ParallelColdTrainer {
+ public:
+  ParallelColdTrainer(ColdConfig config, const text::PostStore& posts,
+                      const graph::Digraph* links,
+                      engine::EngineOptions engine_options = {});
+  ~ParallelColdTrainer();
+
+  /// \brief Builds the graph abstraction and the random initial assignment.
+  cold::Status Init();
+
+  /// \brief Runs config.iterations supersteps.
+  cold::Status Train();
+
+  /// \brief Runs a single superstep (one full Gibbs sweep).
+  void RunSuperstep();
+
+  /// \brief Appendix-A estimates from the current counters.
+  ColdEstimates Estimates() const;
+
+  /// \brief Snapshot of the shared state as a plain ColdState.
+  ColdState StateSnapshot() const;
+
+  const engine::EngineStats& engine_stats() const;
+
+  /// \brief Projected wall-clock on the simulated cluster (see
+  /// engine::GasEngine::SimulatedWallSeconds).
+  double SimulatedWallSeconds(const engine::ClusterModel& model = {}) const;
+
+  double lambda0() const { return lambda0_; }
+
+ private:
+  using Graph = engine::PropertyGraph<ColdVertex, ColdEdge>;
+
+  ColdConfig config_;
+  const text::PostStore& posts_;
+  const graph::Digraph* links_;
+  bool use_network_;
+  double lambda0_ = 0.1;
+
+  std::unique_ptr<ParallelColdState> state_;
+  std::unique_ptr<Graph> graph_;
+  std::unique_ptr<ColdVertexProgram> program_;
+  std::unique_ptr<engine::GasEngine<ColdVertex, ColdEdge, ColdVertexProgram>>
+      engine_;
+  engine::EngineOptions engine_options_;
+  bool initialized_ = false;
+};
+
+}  // namespace cold::core

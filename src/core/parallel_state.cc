@@ -1,0 +1,75 @@
+#include "core/parallel_state.h"
+
+namespace cold::core {
+
+namespace {
+std::unique_ptr<std::atomic<int32_t>[]> MakeZeroed(size_t n) {
+  auto arr = std::make_unique<std::atomic<int32_t>[]>(n);
+  for (size_t i = 0; i < n; ++i) {
+    arr[i].store(0, std::memory_order_relaxed);
+  }
+  return arr;
+}
+}  // namespace
+
+ParallelColdState::ParallelColdState(int num_users, int num_communities,
+                                     int num_topics, int num_time_slices,
+                                     int vocab_size, int num_posts,
+                                     int64_t num_links)
+    : num_users_(num_users),
+      num_communities_(num_communities),
+      num_topics_(num_topics),
+      num_time_slices_(num_time_slices),
+      vocab_size_(vocab_size) {
+  post_community.assign(static_cast<size_t>(num_posts), -1);
+  post_topic.assign(static_cast<size_t>(num_posts), -1);
+  link_src_community.assign(static_cast<size_t>(num_links), -1);
+  link_dst_community.assign(static_cast<size_t>(num_links), -1);
+
+  n_ic_ = MakeZeroed(static_cast<size_t>(num_users) * num_communities);
+  n_i_ = MakeZeroed(static_cast<size_t>(num_users));
+  n_ck_ = MakeZeroed(static_cast<size_t>(num_communities) * num_topics);
+  n_c_ = MakeZeroed(static_cast<size_t>(num_communities));
+  n_ckt_ = MakeZeroed(static_cast<size_t>(num_communities) * num_topics *
+                      num_time_slices);
+  n_kv_ = MakeZeroed(static_cast<size_t>(num_topics) * vocab_size);
+  n_k_ = MakeZeroed(static_cast<size_t>(num_topics));
+  n_cc_ = MakeZeroed(static_cast<size_t>(num_communities) * num_communities);
+}
+
+ColdState ParallelColdState::ToColdState() const {
+  ColdState out(num_users_, num_communities_, num_topics_, num_time_slices_,
+                vocab_size_, static_cast<int>(post_community.size()),
+                static_cast<int64_t>(link_src_community.size()));
+  out.post_community = post_community;
+  out.post_topic = post_topic;
+  out.link_src_community = link_src_community;
+  out.link_dst_community = link_dst_community;
+  for (int i = 0; i < num_users_; ++i) {
+    out.n_i(i) = n_i_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    for (int c = 0; c < num_communities_; ++c) {
+      out.n_ic(i, c) = r_n_ic(i, c);
+    }
+  }
+  for (int c = 0; c < num_communities_; ++c) {
+    out.n_c(c) = r_n_c(c);
+    for (int k = 0; k < num_topics_; ++k) {
+      out.n_ck(c, k) = r_n_ck(c, k);
+      for (int t = 0; t < num_time_slices_; ++t) {
+        out.n_ckt(c, k, t) = r_n_ckt(c, k, t);
+      }
+    }
+    for (int c2 = 0; c2 < num_communities_; ++c2) {
+      out.n_cc(c, c2) = r_n_cc(c, c2);
+    }
+  }
+  for (int k = 0; k < num_topics_; ++k) {
+    out.n_k(k) = r_n_k(k);
+    for (int v = 0; v < vocab_size_; ++v) {
+      out.n_kv(k, v) = r_n_kv(k, v);
+    }
+  }
+  return out;
+}
+
+}  // namespace cold::core

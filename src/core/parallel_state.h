@@ -1,0 +1,110 @@
+// Atomic counter state for the parallel sampler. Mirrors ColdState's layout
+// with std::atomic cells so concurrent scatter tasks can update shared
+// counters with relaxed read-modify-writes (the approximate-parallel Gibbs
+// semantics of §4.3: assignments are drawn simultaneously against
+// slightly-stale counts).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/cold_state.h"
+
+namespace cold::core {
+
+/// \brief Shared mutable counters + assignments for the GAS sampler.
+///
+/// Assignment vectors are plain (each element is written only by the single
+/// scatter task owning its edge); counters are atomics.
+class ParallelColdState {
+ public:
+  ParallelColdState(int num_users, int num_communities, int num_topics,
+                    int num_time_slices, int vocab_size, int num_posts,
+                    int64_t num_links);
+
+  int U() const { return num_users_; }
+  int C() const { return num_communities_; }
+  int K() const { return num_topics_; }
+  int T() const { return num_time_slices_; }
+  int V() const { return vocab_size_; }
+
+  std::vector<int32_t> post_community;
+  std::vector<int32_t> post_topic;
+  std::vector<int32_t> link_src_community;
+  std::vector<int32_t> link_dst_community;
+
+  std::atomic<int32_t>& n_ic(int i, int c) {
+    return n_ic_[static_cast<size_t>(i) * num_communities_ + c];
+  }
+  std::atomic<int32_t>& n_i(int i) { return n_i_[static_cast<size_t>(i)]; }
+  std::atomic<int32_t>& n_ck(int c, int k) {
+    return n_ck_[static_cast<size_t>(c) * num_topics_ + k];
+  }
+  std::atomic<int32_t>& n_c(int c) { return n_c_[static_cast<size_t>(c)]; }
+  std::atomic<int32_t>& n_ckt(int c, int k, int t) {
+    return n_ckt_[(static_cast<size_t>(c) * num_topics_ + k) *
+                      num_time_slices_ +
+                  t];
+  }
+  std::atomic<int32_t>& n_kv(int k, int v) {
+    return n_kv_[static_cast<size_t>(k) * vocab_size_ + v];
+  }
+  std::atomic<int32_t>& n_k(int k) { return n_k_[static_cast<size_t>(k)]; }
+  std::atomic<int32_t>& n_cc(int c, int c2) {
+    return n_cc_[static_cast<size_t>(c) * num_communities_ + c2];
+  }
+
+  // Relaxed readers (sampling tolerates slight staleness).
+  int32_t r_n_ic(int i, int c) const {
+    return n_ic_[static_cast<size_t>(i) * num_communities_ + c].load(
+        std::memory_order_relaxed);
+  }
+  int32_t r_n_ck(int c, int k) const {
+    return n_ck_[static_cast<size_t>(c) * num_topics_ + k].load(
+        std::memory_order_relaxed);
+  }
+  int32_t r_n_c(int c) const {
+    return n_c_[static_cast<size_t>(c)].load(std::memory_order_relaxed);
+  }
+  int32_t r_n_ckt(int c, int k, int t) const {
+    return n_ckt_[(static_cast<size_t>(c) * num_topics_ + k) *
+                      num_time_slices_ +
+                  t]
+        .load(std::memory_order_relaxed);
+  }
+  int32_t r_n_kv(int k, int v) const {
+    return n_kv_[static_cast<size_t>(k) * vocab_size_ + v].load(
+        std::memory_order_relaxed);
+  }
+  int32_t r_n_k(int k) const {
+    return n_k_[static_cast<size_t>(k)].load(std::memory_order_relaxed);
+  }
+  int32_t r_n_cc(int c, int c2) const {
+    return n_cc_[static_cast<size_t>(c) * num_communities_ + c2].load(
+        std::memory_order_relaxed);
+  }
+
+  /// \brief Snapshots everything into a plain ColdState (for estimate
+  /// extraction and invariant checks).
+  ColdState ToColdState() const;
+
+ private:
+  int num_users_;
+  int num_communities_;
+  int num_topics_;
+  int num_time_slices_;
+  int vocab_size_;
+
+  std::unique_ptr<std::atomic<int32_t>[]> n_ic_;
+  std::unique_ptr<std::atomic<int32_t>[]> n_i_;
+  std::unique_ptr<std::atomic<int32_t>[]> n_ck_;
+  std::unique_ptr<std::atomic<int32_t>[]> n_c_;
+  std::unique_ptr<std::atomic<int32_t>[]> n_ckt_;
+  std::unique_ptr<std::atomic<int32_t>[]> n_kv_;
+  std::unique_ptr<std::atomic<int32_t>[]> n_k_;
+  std::unique_ptr<std::atomic<int32_t>[]> n_cc_;
+};
+
+}  // namespace cold::core

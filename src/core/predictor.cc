@@ -1,0 +1,215 @@
+#include "core/predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math_util.h"
+
+namespace cold::core {
+
+ColdPredictor::ColdPredictor(ColdEstimates estimates, int top_communities)
+    : est_(std::move(estimates)),
+      top_communities_(std::min(top_communities, est_.C)) {
+  top_comm_.resize(static_cast<size_t>(est_.U));
+  for (int i = 0; i < est_.U; ++i) {
+    top_comm_[static_cast<size_t>(i)] =
+        est_.TopCommunitiesForUser(i, top_communities_);
+  }
+}
+
+void ColdPredictor::WordLogLikelihoods(std::span<const text::WordId> words,
+                                       std::vector<double>* out) const {
+  out->assign(static_cast<size_t>(est_.K), 0.0);
+  for (int k = 0; k < est_.K; ++k) {
+    double lw = 0.0;
+    for (text::WordId w : words) {
+      lw += std::log(std::max(est_.Phi(k, w), 1e-300));
+    }
+    (*out)[static_cast<size_t>(k)] = lw;
+  }
+}
+
+std::vector<double> ColdPredictor::TopicPosterior(
+    std::span<const text::WordId> words, text::UserId author) const {
+  std::vector<double> log_w;
+  WordLogLikelihoods(words, &log_w);
+  // P(k|i) restricted to the author's top communities (Eq. 5).
+  std::vector<double> scores(static_cast<size_t>(est_.K));
+  for (int k = 0; k < est_.K; ++k) {
+    double pref = 0.0;
+    for (int c : top_comm_[static_cast<size_t>(author)]) {
+      pref += est_.Pi(author, c) * est_.Theta(c, k);
+    }
+    scores[static_cast<size_t>(k)] =
+        log_w[static_cast<size_t>(k)] + std::log(std::max(pref, 1e-300));
+  }
+  double lse = cold::LogSumExp(scores);
+  for (double& s : scores) s = std::exp(s - lse);
+  return scores;
+}
+
+double ColdPredictor::TopicInfluence(text::UserId i, text::UserId i2,
+                                     int k) const {
+  double p = 0.0;
+  for (int c : top_comm_[static_cast<size_t>(i)]) {
+    double left = est_.Pi(i, c) * est_.Theta(c, k);
+    for (int c2 : top_comm_[static_cast<size_t>(i2)]) {
+      // zeta_kcc' expanded; theta_ck factored out of the inner loop.
+      p += left * est_.Pi(i2, c2) * est_.Theta(c2, k) * est_.Eta(c, c2);
+    }
+  }
+  return p;
+}
+
+double ColdPredictor::DiffusionProbability(
+    text::UserId i, text::UserId i2,
+    std::span<const text::WordId> words) const {
+  std::vector<double> topic_post = TopicPosterior(words, i);
+  double p = 0.0;
+  for (int k = 0; k < est_.K; ++k) {
+    if (topic_post[static_cast<size_t>(k)] < 1e-8) continue;
+    p += topic_post[static_cast<size_t>(k)] * TopicInfluence(i, i2, k);
+  }
+  return p;
+}
+
+double ColdPredictor::LinkProbability(text::UserId i, text::UserId i2) const {
+  double p = 0.0;
+  for (int c = 0; c < est_.C; ++c) {
+    double pi_ic = est_.Pi(i, c);
+    if (pi_ic <= 0.0) continue;
+    for (int c2 = 0; c2 < est_.C; ++c2) {
+      p += pi_ic * est_.Pi(i2, c2) * est_.Eta(c, c2);
+    }
+  }
+  return p;
+}
+
+std::vector<double> ColdPredictor::TimestampScores(
+    std::span<const text::WordId> words, text::UserId author) const {
+  std::vector<double> log_w;
+  WordLogLikelihoods(words, &log_w);
+  double max_lw = *std::max_element(log_w.begin(), log_w.end());
+
+  std::vector<double> scores(static_cast<size_t>(est_.T), 0.0);
+  for (int k = 0; k < est_.K; ++k) {
+    double word_term = std::exp(log_w[static_cast<size_t>(k)] - max_lw);
+    if (word_term < 1e-12) continue;
+    for (int c = 0; c < est_.C; ++c) {
+      double weight = word_term * est_.Pi(author, c) * est_.Theta(c, k);
+      if (weight < 1e-15) continue;
+      for (int t = 0; t < est_.T; ++t) {
+        scores[static_cast<size_t>(t)] += weight * est_.Psi(k, c, t);
+      }
+    }
+  }
+  cold::NormalizeInPlace(scores);
+  return scores;
+}
+
+int ColdPredictor::PredictTimestamp(std::span<const text::WordId> words,
+                                    text::UserId author) const {
+  std::vector<double> scores = TimestampScores(words, author);
+  return static_cast<int>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+double ColdPredictor::LogPostProbability(std::span<const text::WordId> words,
+                                         text::UserId author) const {
+  std::vector<double> log_w;
+  WordLogLikelihoods(words, &log_w);
+  // p(w_d) = sum_k (sum_c pi theta) prod phi, via LSE over k.
+  std::vector<double> terms(static_cast<size_t>(est_.K));
+  for (int k = 0; k < est_.K; ++k) {
+    double mix = 0.0;
+    for (int c = 0; c < est_.C; ++c) {
+      mix += est_.Pi(author, c) * est_.Theta(c, k);
+    }
+    terms[static_cast<size_t>(k)] =
+        log_w[static_cast<size_t>(k)] + std::log(std::max(mix, 1e-300));
+  }
+  return cold::LogSumExp(terms);
+}
+
+std::vector<double> ColdPredictor::FoldInMembership(
+    std::span<const FoldInPost> posts, int iterations, double rho) const {
+  std::vector<double> pi(static_cast<size_t>(est_.C), 1.0 / est_.C);
+  if (posts.empty()) return pi;
+
+  // Per-post, per-community evidence e_d(c) = sum_k theta_ck psi_kct
+  // prod_l phi_kw — constant across EM iterations, so precompute.
+  std::vector<std::vector<double>> evidence(posts.size());
+  std::vector<double> log_w;
+  for (size_t d = 0; d < posts.size(); ++d) {
+    WordLogLikelihoods(posts[d].words, &log_w);
+    double max_lw = *std::max_element(log_w.begin(), log_w.end());
+    evidence[d].assign(static_cast<size_t>(est_.C), 0.0);
+    int t = std::clamp<int>(posts[d].time, 0, est_.T - 1);
+    for (int c = 0; c < est_.C; ++c) {
+      double acc = 0.0;
+      for (int k = 0; k < est_.K; ++k) {
+        acc += est_.Theta(c, k) * est_.Psi(k, c, t) *
+               std::exp(log_w[static_cast<size_t>(k)] - max_lw);
+      }
+      evidence[d][static_cast<size_t>(c)] = std::max(acc, 1e-300);
+    }
+  }
+
+  std::vector<double> counts(static_cast<size_t>(est_.C));
+  std::vector<double> resp(static_cast<size_t>(est_.C));
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(counts.begin(), counts.end(), 0.0);
+    for (size_t d = 0; d < posts.size(); ++d) {
+      for (int c = 0; c < est_.C; ++c) {
+        resp[static_cast<size_t>(c)] =
+            pi[static_cast<size_t>(c)] * evidence[d][static_cast<size_t>(c)];
+      }
+      cold::NormalizeInPlace(resp);
+      for (int c = 0; c < est_.C; ++c) {
+        counts[static_cast<size_t>(c)] += resp[static_cast<size_t>(c)];
+      }
+    }
+    double denom = static_cast<double>(posts.size()) + est_.C * rho;
+    for (int c = 0; c < est_.C; ++c) {
+      pi[static_cast<size_t>(c)] = (counts[static_cast<size_t>(c)] + rho) / denom;
+    }
+  }
+  return pi;
+}
+
+double ColdPredictor::DiffusionProbabilityToNewUser(
+    text::UserId publisher, std::span<const double> candidate_pi,
+    std::span<const text::WordId> words) const {
+  std::vector<double> topic_post = TopicPosterior(words, publisher);
+  std::vector<int> candidate_top(
+      cold::TopKIndices(candidate_pi, top_communities_));
+  double p = 0.0;
+  for (int k = 0; k < est_.K; ++k) {
+    double pk = topic_post[static_cast<size_t>(k)];
+    if (pk < 1e-8) continue;
+    double inf = 0.0;
+    for (int c : top_comm_[static_cast<size_t>(publisher)]) {
+      double left = est_.Pi(publisher, c) * est_.Theta(c, k);
+      for (int c2 : candidate_top) {
+        inf += left * candidate_pi[static_cast<size_t>(c2)] *
+               est_.Theta(c2, k) * est_.Eta(c, c2);
+      }
+    }
+    p += pk * inf;
+  }
+  return p;
+}
+
+double ColdPredictor::Perplexity(const text::PostStore& test_posts) const {
+  double total_ll = 0.0;
+  int64_t total_tokens = 0;
+  for (text::PostId d = 0; d < test_posts.num_posts(); ++d) {
+    if (test_posts.length(d) == 0) continue;
+    total_ll += LogPostProbability(test_posts.words(d), test_posts.author(d));
+    total_tokens += test_posts.length(d);
+  }
+  if (total_tokens == 0) return 0.0;
+  return std::exp(-total_ll / static_cast<double>(total_tokens));
+}
+
+}  // namespace cold::core

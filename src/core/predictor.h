@@ -1,0 +1,98 @@
+// Diffusion prediction and the other inference-time tasks built on the
+// extracted community-level representation (§5.2, §6.2, §6.3).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/cold_estimates.h"
+#include "text/post_store.h"
+#include "util/status.h"
+
+namespace cold::core {
+
+/// \brief Inference-time predictor over fitted ColdEstimates.
+///
+/// Construction performs the paper's offline step: pre-collecting each
+/// user's TopComm set (§5.2), so the per-triple online prediction is a
+/// weighted linear combination of O(K |w_d|) cost.
+class ColdPredictor {
+ public:
+  /// \param top_communities |TopComm(i)|; the paper fixes 5.
+  explicit ColdPredictor(ColdEstimates estimates, int top_communities = 5);
+
+  const ColdEstimates& estimates() const { return est_; }
+
+  /// \brief P(k | d, i), Eq. (5): topic posterior of a message given its
+  /// words and its publisher's interests. Returned vector sums to 1.
+  std::vector<double> TopicPosterior(std::span<const text::WordId> words,
+                                     text::UserId author) const;
+
+  /// \brief P(i, i' | k), Eq. (6): influence of i on i' at topic k through
+  /// their top communities.
+  double TopicInfluence(text::UserId i, text::UserId i2, int k) const;
+
+  /// \brief P(i, i', d), Eq. (7): probability that post d spreads from i
+  /// to i'.
+  double DiffusionProbability(text::UserId i, text::UserId i2,
+                              std::span<const text::WordId> words) const;
+
+  /// \brief Link-prediction score P_{i->i'} = sum_{s,s'} pi_is pi_i's'
+  /// eta_ss' (§6.2); uses the full membership vectors, not TopComm.
+  double LinkProbability(text::UserId i, text::UserId i2) const;
+
+  /// \brief Per-time-slice score of a previously unseen post (§6.3):
+  /// s_t = sum_c pi_ic sum_k theta_ck psi_kct prod_l phi_k,w. Scores are
+  /// normalized to a distribution over t.
+  std::vector<double> TimestampScores(std::span<const text::WordId> words,
+                                      text::UserId author) const;
+
+  /// \brief argmax_t TimestampScores.
+  int PredictTimestamp(std::span<const text::WordId> words,
+                       text::UserId author) const;
+
+  /// \brief log p(w_d) for one held-out post under §6.2's mixture
+  /// p(w_d) = sum_c pi_ic sum_k theta_ck prod_l phi_k,w_dl.
+  double LogPostProbability(std::span<const text::WordId> words,
+                            text::UserId author) const;
+
+  /// \brief Corpus perplexity exp(-sum_d log p(w_d) / sum_d N_d) (§6.2).
+  double Perplexity(const text::PostStore& test_posts) const;
+
+  /// TopComm(i) as precomputed at construction.
+  const std::vector<int>& TopComm(text::UserId i) const {
+    return top_comm_[static_cast<size_t>(i)];
+  }
+
+  /// \brief A time-stamped bag of words from a user unseen at training
+  /// time, for fold-in.
+  struct FoldInPost {
+    std::vector<text::WordId> words;
+    text::TimeSlice time = 0;
+  };
+
+  /// \brief Cold-start membership inference: estimates pi for a NEW user
+  /// from her posts alone, holding theta/phi/psi fixed (EM over the
+  /// per-post community responsibilities under the trained model). With no
+  /// posts the symmetric prior (uniform) is returned.
+  std::vector<double> FoldInMembership(std::span<const FoldInPost> posts,
+                                       int iterations = 10,
+                                       double rho = 0.5) const;
+
+  /// \brief Eq. (7) with an explicit membership vector for the candidate
+  /// side — lets fold-in users be scored as potential retweeters.
+  double DiffusionProbabilityToNewUser(
+      text::UserId publisher, std::span<const double> candidate_pi,
+      std::span<const text::WordId> words) const;
+
+ private:
+  /// Per-topic log word likelihood sum_l log phi_k,w_l.
+  void WordLogLikelihoods(std::span<const text::WordId> words,
+                          std::vector<double>* out) const;
+
+  ColdEstimates est_;
+  int top_communities_;
+  std::vector<std::vector<int>> top_comm_;
+};
+
+}  // namespace cold::core

@@ -1,0 +1,170 @@
+#include "data/serialize.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace cold::data {
+
+namespace {
+
+cold::Status OpenForWrite(const std::string& path, std::ofstream* out) {
+  out->open(path);
+  if (!out->is_open()) {
+    return cold::Status::IOError("cannot open for write: " + path);
+  }
+  return cold::Status::OK();
+}
+
+cold::Status OpenForRead(const std::string& path, std::ifstream* in) {
+  in->open(path);
+  if (!in->is_open()) {
+    return cold::Status::IOError("cannot open for read: " + path);
+  }
+  return cold::Status::OK();
+}
+
+void WriteGraph(std::ofstream& out, const graph::Digraph& g) {
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    out << g.edge(e).src << '\t' << g.edge(e).dst << '\n';
+  }
+}
+
+cold::Result<graph::Digraph> ReadGraph(const std::string& path,
+                                       int num_nodes) {
+  std::ifstream in;
+  COLD_RETURN_NOT_OK(OpenForRead(path, &in));
+  graph::Digraph::Builder builder;
+  graph::NodeId src, dst;
+  while (in >> src >> dst) {
+    COLD_RETURN_NOT_OK(builder.AddEdge(src, dst));
+  }
+  return std::move(builder).Build(num_nodes);
+}
+
+void WriteIdList(std::ofstream& out, const std::vector<UserId>& ids) {
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out << ',';
+    out << ids[i];
+  }
+}
+
+std::vector<UserId> ParseIdList(const std::string& s) {
+  std::vector<UserId> ids;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) ids.push_back(static_cast<UserId>(std::stol(item)));
+  }
+  return ids;
+}
+
+}  // namespace
+
+cold::Status SaveDataset(const SocialDataset& dataset,
+                         const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return cold::Status::IOError("mkdir failed: " + dir);
+
+  {
+    std::ofstream out;
+    COLD_RETURN_NOT_OK(OpenForWrite(dir + "/vocab.tsv", &out));
+    for (text::WordId w = 0; w < dataset.vocabulary.size(); ++w) {
+      out << dataset.vocabulary.word(w) << '\n';
+    }
+  }
+  {
+    std::ofstream out;
+    COLD_RETURN_NOT_OK(OpenForWrite(dir + "/posts.tsv", &out));
+    for (PostId d = 0; d < dataset.posts.num_posts(); ++d) {
+      out << dataset.posts.author(d) << '\t' << dataset.posts.time(d) << '\t';
+      auto words = dataset.posts.words(d);
+      for (size_t l = 0; l < words.size(); ++l) {
+        if (l > 0) out << ' ';
+        out << words[l];
+      }
+      out << '\n';
+    }
+  }
+  {
+    std::ofstream out;
+    COLD_RETURN_NOT_OK(OpenForWrite(dir + "/followers.tsv", &out));
+    WriteGraph(out, dataset.followers);
+  }
+  {
+    std::ofstream out;
+    COLD_RETURN_NOT_OK(OpenForWrite(dir + "/links.tsv", &out));
+    WriteGraph(out, dataset.interactions);
+  }
+  {
+    std::ofstream out;
+    COLD_RETURN_NOT_OK(OpenForWrite(dir + "/retweets.tsv", &out));
+    for (const RetweetTuple& t : dataset.retweets) {
+      out << t.author << '\t' << t.post << "\tr:";
+      WriteIdList(out, t.retweeters);
+      out << "\tn:";
+      WriteIdList(out, t.ignorers);
+      out << '\n';
+    }
+  }
+  return cold::Status::OK();
+}
+
+cold::Result<SocialDataset> LoadDataset(const std::string& dir) {
+  SocialDataset dataset;
+  {
+    std::ifstream in;
+    COLD_RETURN_NOT_OK(OpenForRead(dir + "/vocab.tsv", &in));
+    std::string word;
+    while (std::getline(in, word)) {
+      if (!word.empty()) dataset.vocabulary.Add(word);
+    }
+  }
+  {
+    std::ifstream in;
+    COLD_RETURN_NOT_OK(OpenForRead(dir + "/posts.tsv", &in));
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::stringstream ss(line);
+      UserId author;
+      TimeSlice time;
+      ss >> author >> time;
+      std::vector<text::WordId> words;
+      text::WordId w;
+      while (ss >> w) words.push_back(w);
+      dataset.posts.Add(author, time, words);
+    }
+    dataset.posts.Finalize();
+  }
+  {
+    COLD_ASSIGN_OR_RETURN(dataset.followers,
+                          ReadGraph(dir + "/followers.tsv",
+                                    dataset.posts.num_users()));
+    COLD_ASSIGN_OR_RETURN(dataset.interactions,
+                          ReadGraph(dir + "/links.tsv",
+                                    dataset.posts.num_users()));
+  }
+  {
+    std::ifstream in;
+    COLD_RETURN_NOT_OK(OpenForRead(dir + "/retweets.tsv", &in));
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::stringstream ss(line);
+      RetweetTuple tuple;
+      std::string rlist, nlist;
+      ss >> tuple.author >> tuple.post >> rlist >> nlist;
+      if (rlist.rfind("r:", 0) != 0 || nlist.rfind("n:", 0) != 0) {
+        return cold::Status::IOError("malformed retweets.tsv line: " + line);
+      }
+      tuple.retweeters = ParseIdList(rlist.substr(2));
+      tuple.ignorers = ParseIdList(nlist.substr(2));
+      dataset.retweets.push_back(std::move(tuple));
+    }
+  }
+  return dataset;
+}
+
+}  // namespace cold::data

@@ -1,0 +1,29 @@
+// Flat-file serialization of SocialDataset, so generated corpora can be
+// inspected, versioned, and reloaded without regenerating (and so real data
+// in the same format can be swapped in).
+//
+// Layout under <dir>/:
+//   vocab.tsv      word per line (line number = WordId)
+//   posts.tsv      author \t time \t space-separated word ids
+//   followers.tsv  src \t dst            (dst follows src)
+//   links.tsv      src \t dst            (interaction network)
+//   retweets.tsv   author \t post \t r:<ids comma-sep> \t n:<ids comma-sep>
+//
+// Ground truth is not serialized; it exists only for synthetic data.
+#pragma once
+
+#include <string>
+
+#include "data/social_dataset.h"
+#include "util/status.h"
+
+namespace cold::data {
+
+/// \brief Writes `dataset` under directory `dir` (created if absent).
+cold::Status SaveDataset(const SocialDataset& dataset, const std::string& dir);
+
+/// \brief Reads a dataset previously written by SaveDataset. The returned
+/// dataset has an empty GroundTruth.
+cold::Result<SocialDataset> LoadDataset(const std::string& dir);
+
+}  // namespace cold::data

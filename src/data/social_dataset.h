@@ -1,0 +1,71 @@
+// The full input bundle for COLD and all baselines: time-stamped posts, the
+// retweet-derived interaction network, the (simulation-only) follower graph,
+// retweet outcome tuples for diffusion-prediction evaluation, and — because
+// the data is synthetic — the planted ground-truth parameters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "text/post_store.h"
+#include "text/vocabulary.h"
+
+namespace cold::data {
+
+using text::PostId;
+using text::TimeSlice;
+using text::UserId;
+
+/// \brief One evaluation tuple RT_{id} = (i, d, U_id, \bar U_id) from §6.3:
+/// the followers of `author` who did / did not retweet post `post`.
+struct RetweetTuple {
+  UserId author = -1;
+  PostId post = -1;
+  std::vector<UserId> retweeters;
+  std::vector<UserId> ignorers;
+};
+
+/// \brief Planted parameters of the generative process, kept for recovery
+/// tests and oracle comparisons. Empty for real (non-synthetic) data.
+struct GroundTruth {
+  /// pi[i][c]: user i's community membership.
+  std::vector<std::vector<double>> pi;
+  /// theta[c][k]: community c's topic mixture.
+  std::vector<std::vector<double>> theta;
+  /// eta[c][c']: inter-community influence strength.
+  std::vector<std::vector<double>> eta;
+  /// phi[k][v]: topic word distributions.
+  std::vector<std::vector<double>> phi;
+  /// psi[k][c][t]: community-specific temporal profile of topic k.
+  std::vector<std::vector<std::vector<double>>> psi;
+  /// Latent community / topic of each post.
+  std::vector<int> post_community;
+  std::vector<int> post_topic;
+
+  bool empty() const { return pi.empty(); }
+};
+
+/// \brief A complete social dataset.
+struct SocialDataset {
+  text::Vocabulary vocabulary;
+  text::PostStore posts;
+
+  /// Interaction network derived from retweets: edge (i, i') iff i' retweeted
+  /// i at least once among *training* retweet events (Definition 1).
+  graph::Digraph interactions;
+
+  /// Follower graph: edge (i, i') means i' follows i and therefore sees i's
+  /// posts. Used by the cascade simulator and the diffusion-prediction task.
+  graph::Digraph followers;
+
+  /// Per-post retweet outcomes over the author's followers.
+  std::vector<RetweetTuple> retweets;
+
+  GroundTruth truth;
+
+  int num_users() const { return posts.num_users(); }
+  int num_time_slices() const { return posts.num_time_slices(); }
+};
+
+}  // namespace cold::data

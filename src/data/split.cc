@@ -1,0 +1,147 @@
+#include "data/split.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace cold::data {
+
+namespace {
+
+// Deterministic fold assignment: shuffle indices once with `seed`, then the
+// f-th fold is the f-th contiguous 1/test_fraction block, as in k-fold CV.
+std::vector<int> ShuffledIndices(int n, uint64_t seed) {
+  std::vector<int> idx(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) idx[static_cast<size_t>(i)] = i;
+  cold::RandomSampler sampler(seed, /*stream=*/11);
+  sampler.Shuffle(&idx);
+  return idx;
+}
+
+// The half-open index range of fold `fold` of size ~n*test_fraction.
+std::pair<int, int> FoldRange(int n, double test_fraction, int fold) {
+  int folds = std::max(1, static_cast<int>(std::lround(1.0 / test_fraction)));
+  fold = fold % folds;
+  int base = n / folds;
+  int begin = fold * base;
+  int end = (fold == folds - 1) ? n : begin + base;
+  return {begin, end};
+}
+
+uint64_t PairKey(UserId a, UserId b) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+
+}  // namespace
+
+PostSplit SplitPosts(const text::PostStore& posts, double test_fraction,
+                     uint64_t seed, int fold) {
+  PostSplit split;
+  int n = posts.num_posts();
+  std::vector<int> idx = ShuffledIndices(n, seed);
+  auto [begin, end] = FoldRange(n, test_fraction, fold);
+  std::vector<bool> is_test(static_cast<size_t>(n), false);
+  for (int i = begin; i < end; ++i) {
+    is_test[static_cast<size_t>(idx[static_cast<size_t>(i)])] = true;
+  }
+  for (PostId d = 0; d < n; ++d) {
+    if (is_test[static_cast<size_t>(d)]) {
+      split.test.Add(posts.author(d), posts.time(d), posts.words(d));
+      split.test_original_ids.push_back(d);
+    } else {
+      split.train.Add(posts.author(d), posts.time(d), posts.words(d));
+    }
+  }
+  split.train.Finalize(posts.num_users(), posts.num_time_slices());
+  split.test.Finalize(posts.num_users(), posts.num_time_slices());
+  return split;
+}
+
+LinkSplit SplitLinks(const graph::Digraph& interactions, double test_fraction,
+                     double negative_per_positive, uint64_t seed, int fold) {
+  LinkSplit split;
+  int64_t m = interactions.num_edges();
+  std::vector<int> idx = ShuffledIndices(static_cast<int>(m), seed);
+  auto [begin, end] = FoldRange(static_cast<int>(m), test_fraction, fold);
+  std::vector<bool> is_test(static_cast<size_t>(m), false);
+  for (int i = begin; i < end; ++i) {
+    is_test[static_cast<size_t>(idx[static_cast<size_t>(i)])] = true;
+  }
+
+  graph::Digraph::Builder builder;
+  std::unordered_set<uint64_t> all_links;
+  for (graph::EdgeId e = 0; e < m; ++e) {
+    const graph::Edge& edge = interactions.edge(e);
+    all_links.insert(PairKey(edge.src, edge.dst));
+    if (is_test[static_cast<size_t>(e)]) {
+      split.test_positive.emplace_back(edge.src, edge.dst);
+    } else {
+      (void)builder.AddEdge(edge.src, edge.dst);
+    }
+  }
+  split.train = std::move(builder).Build(interactions.num_nodes());
+
+  // Sample absent directed pairs uniformly; rejection is cheap since real
+  // social graphs (and ours) are sparse.
+  cold::RandomSampler sampler(seed + 1, /*stream=*/13);
+  int64_t want = static_cast<int64_t>(
+      negative_per_positive * static_cast<double>(split.test_positive.size()));
+  int u = interactions.num_nodes();
+  std::unordered_set<uint64_t> chosen;
+  int64_t attempts = 0;
+  while (static_cast<int64_t>(split.test_negative.size()) < want &&
+         attempts < want * 50 + 1000) {
+    ++attempts;
+    UserId a = static_cast<UserId>(sampler.UniformInt(static_cast<uint32_t>(u)));
+    UserId b = static_cast<UserId>(sampler.UniformInt(static_cast<uint32_t>(u)));
+    if (a == b) continue;
+    uint64_t key = PairKey(a, b);
+    if (all_links.count(key) > 0 || !chosen.insert(key).second) continue;
+    split.test_negative.emplace_back(a, b);
+  }
+  return split;
+}
+
+RetweetSplit SplitRetweets(const SocialDataset& dataset, double test_fraction,
+                           uint64_t seed, int fold) {
+  RetweetSplit split;
+  // Only tuples with both outcome classes are eligible test tuples (§6.3).
+  std::vector<int> eligible;
+  for (size_t i = 0; i < dataset.retweets.size(); ++i) {
+    const RetweetTuple& t = dataset.retweets[i];
+    if (!t.retweeters.empty() && !t.ignorers.empty()) {
+      eligible.push_back(static_cast<int>(i));
+    }
+  }
+  std::vector<int> idx = ShuffledIndices(static_cast<int>(eligible.size()), seed);
+  auto [begin, end] =
+      FoldRange(static_cast<int>(eligible.size()), test_fraction, fold);
+  std::vector<bool> is_test(dataset.retweets.size(), false);
+  for (int i = begin; i < end; ++i) {
+    is_test[static_cast<size_t>(
+        eligible[static_cast<size_t>(idx[static_cast<size_t>(i)])])] = true;
+  }
+  for (size_t i = 0; i < dataset.retweets.size(); ++i) {
+    if (is_test[i]) {
+      split.test.push_back(dataset.retweets[i]);
+    } else {
+      split.train.push_back(dataset.retweets[i]);
+    }
+  }
+
+  graph::Digraph::Builder builder;
+  for (const RetweetTuple& tuple : split.train) {
+    for (UserId f : tuple.retweeters) {
+      (void)builder.AddEdge(static_cast<graph::NodeId>(tuple.author),
+                            static_cast<graph::NodeId>(f));
+    }
+  }
+  split.train_interactions =
+      std::move(builder).Build(dataset.num_users(), /*dedupe=*/true);
+  return split;
+}
+
+}  // namespace cold::data

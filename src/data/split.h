@@ -1,0 +1,59 @@
+// Train/test splitters for the three evaluation protocols of §6:
+// post holdout (perplexity, time-stamp prediction), positive/negative link
+// holdout (link-prediction AUC), and retweet-tuple holdout (diffusion
+// prediction).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "data/social_dataset.h"
+
+namespace cold::data {
+
+/// \brief Post holdout: both stores share user/time id spaces.
+struct PostSplit {
+  text::PostStore train;
+  text::PostStore test;
+  /// Original PostId of each test post (index-aligned with `test`).
+  std::vector<PostId> test_original_ids;
+};
+
+/// \brief Splits posts into train/test with `test_fraction` of posts held
+/// out, deterministically for (seed, fold). Matches §6.2's protocol of
+/// holding out 20% of posts per fold.
+PostSplit SplitPosts(const text::PostStore& posts, double test_fraction,
+                     uint64_t seed, int fold);
+
+/// \brief Link holdout: training graph plus labeled test pairs.
+struct LinkSplit {
+  graph::Digraph train;
+  /// Held-out true links.
+  std::vector<std::pair<UserId, UserId>> test_positive;
+  /// Sampled absent pairs (not in the full graph).
+  std::vector<std::pair<UserId, UserId>> test_negative;
+};
+
+/// \brief Holds out `test_fraction` of positive links and samples
+/// `negative_per_positive` absent pairs per held-out positive (§6.2 uses 20%
+/// positives and 1% of negatives; we keep the count proportional so AUC is
+/// well-estimated at any scale).
+LinkSplit SplitLinks(const graph::Digraph& interactions, double test_fraction,
+                     double negative_per_positive, uint64_t seed, int fold);
+
+/// \brief Retweet-tuple holdout. The training interaction network is rebuilt
+/// from training tuples only, so no test information leaks into the graph
+/// the models train on.
+struct RetweetSplit {
+  std::vector<RetweetTuple> train;
+  std::vector<RetweetTuple> test;
+  graph::Digraph train_interactions;
+};
+
+/// \brief Holds out `test_fraction` of tuples that have both retweeters and
+/// ignorers (the AUC requires both classes), per §6.3.
+RetweetSplit SplitRetweets(const SocialDataset& dataset, double test_fraction,
+                           uint64_t seed, int fold);
+
+}  // namespace cold::data

@@ -1,0 +1,410 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace cold::data {
+
+namespace {
+
+// Theme names cycle to label topic core words, so a dump of a recovered
+// topic's top words is human-checkable against the planted one.
+constexpr const char* kThemes[] = {
+    "sports",  "movie",   "music",   "tech",    "food",   "travel",
+    "finance", "politics", "fashion", "games",  "health", "auto",
+    "science", "books",   "weather", "traffic", "pets",   "art",
+    "career",  "family"};
+constexpr int kNumThemes = static_cast<int>(std::size(kThemes));
+
+// Cumulative-distribution binary search; cdf must be nondecreasing with
+// final value ~1.
+int SampleCdf(cold::RandomSampler* sampler, const std::vector<double>& cdf) {
+  double u = sampler->Uniform();
+  auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  if (it == cdf.end()) return static_cast<int>(cdf.size()) - 1;
+  return static_cast<int>(it - cdf.begin());
+}
+
+std::vector<double> ToCdf(const std::vector<double>& p) {
+  std::vector<double> cdf(p.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    acc += p[i];
+    cdf[i] = acc;
+  }
+  return cdf;
+}
+
+}  // namespace
+
+int SampleCount(cold::RandomSampler* sampler, double mean, int min_value) {
+  double excess = std::max(0.0, mean - min_value);
+  if (excess <= 0.0) return min_value;
+  double u = sampler->Uniform();
+  // Exponential tail with the requested mean excess.
+  return min_value + static_cast<int>(-excess * std::log1p(-u));
+}
+
+SyntheticSocialGenerator::SyntheticSocialGenerator(SyntheticConfig config)
+    : config_(config), sampler_(config.seed, /*stream=*/7) {}
+
+cold::Status SyntheticSocialGenerator::Validate() const {
+  if (config_.num_users < 2) {
+    return cold::Status::InvalidArgument("need at least 2 users");
+  }
+  if (config_.num_communities < 1 || config_.num_topics < 1) {
+    return cold::Status::InvalidArgument("need >=1 communities and topics");
+  }
+  if (config_.num_time_slices < 2) {
+    return cold::Status::InvalidArgument("need >=2 time slices");
+  }
+  if (config_.core_words_per_topic < 1) {
+    return cold::Status::InvalidArgument("need >=1 core word per topic");
+  }
+  if (config_.target_retweet_rate <= 0.0 ||
+      config_.target_retweet_rate >= 1.0) {
+    return cold::Status::InvalidArgument("retweet rate must be in (0,1)");
+  }
+  return cold::Status::OK();
+}
+
+cold::Result<SocialDataset> SyntheticSocialGenerator::Generate() {
+  COLD_RETURN_NOT_OK(Validate());
+  SocialDataset out;
+  DrawGroundTruth(&out);
+  GeneratePosts(&out);
+  GenerateFollowerGraph(&out);
+  GenerateRetweets(&out);
+  BuildInteractionNetwork(&out);
+  COLD_LOG(kInfo) << "synthetic dataset: users=" << out.num_users()
+                  << " posts=" << out.posts.num_posts()
+                  << " tokens=" << out.posts.num_tokens()
+                  << " links=" << out.interactions.num_edges()
+                  << " retweet tuples=" << out.retweets.size();
+  return out;
+}
+
+void SyntheticSocialGenerator::DrawGroundTruth(SocialDataset* out) {
+  const int C = config_.num_communities;
+  const int K = config_.num_topics;
+  const int T = config_.num_time_slices;
+  const int U = config_.num_users;
+  GroundTruth& truth = out->truth;
+
+  // Vocabulary: K blocks of core words, then shared background words.
+  for (int k = 0; k < K; ++k) {
+    std::string theme = kThemes[k % kNumThemes];
+    if (k >= kNumThemes) theme += std::to_string(k / kNumThemes);
+    for (int w = 0; w < config_.core_words_per_topic; ++w) {
+      out->vocabulary.Add(theme + "_" + std::to_string(w));
+    }
+  }
+  for (int w = 0; w < config_.background_words; ++w) {
+    out->vocabulary.Add("bg_" + std::to_string(w));
+  }
+  const int V = out->vocabulary.size();
+
+  // phi: core words get `core_mass` via a Dirichlet over the topic's block;
+  // background words share the rest with a Zipf profile.
+  truth.phi.assign(static_cast<size_t>(K), std::vector<double>(V, 0.0));
+  std::vector<double> zipf_cdf =
+      cold::RandomSampler::MakeZipfTable(config_.background_words, 1.05);
+  for (int k = 0; k < K; ++k) {
+    auto core = sampler_.SymmetricDirichlet(0.5, config_.core_words_per_topic);
+    int base = k * config_.core_words_per_topic;
+    for (int w = 0; w < config_.core_words_per_topic; ++w) {
+      truth.phi[k][base + w] = config_.core_mass * core[static_cast<size_t>(w)];
+    }
+    int bg_base = K * config_.core_words_per_topic;
+    double prev = 0.0;
+    for (int w = 0; w < config_.background_words; ++w) {
+      double mass = zipf_cdf[static_cast<size_t>(w)] - prev;
+      prev = zipf_cdf[static_cast<size_t>(w)];
+      truth.phi[k][bg_base + w] = (1.0 - config_.core_mass) * mass;
+    }
+  }
+
+  // theta, pi.
+  truth.theta.resize(static_cast<size_t>(C));
+  for (int c = 0; c < C; ++c) {
+    truth.theta[static_cast<size_t>(c)] =
+        sampler_.SymmetricDirichlet(config_.theta_concentration, K);
+  }
+  truth.pi.resize(static_cast<size_t>(U));
+  for (int i = 0; i < U; ++i) {
+    truth.pi[static_cast<size_t>(i)] =
+        sampler_.SymmetricDirichlet(config_.pi_concentration, C);
+  }
+
+  // psi: per (k, c), a uniform floor plus an event burst whose onset and
+  // duration depend on the community's interest rank for the topic — the
+  // most interested community picks the topic up first and keeps it alive
+  // longest — plus an optional minor burst for multimodality.
+  truth.psi.assign(
+      static_cast<size_t>(K),
+      std::vector<std::vector<double>>(static_cast<size_t>(C),
+                                       std::vector<double>(T, 0.0)));
+  for (int k = 0; k < K; ++k) {
+    double event_time = sampler_.Uniform(0.05 * T, 0.85 * T);
+    // Interest rank in [0, 1]: 1 = most interested community.
+    std::vector<double> interest(static_cast<size_t>(C));
+    for (int c = 0; c < C; ++c) {
+      interest[static_cast<size_t>(c)] =
+          truth.theta[static_cast<size_t>(c)][static_cast<size_t>(k)];
+    }
+    std::vector<int> order = cold::TopKIndices(interest, C);
+    std::vector<double> rank(static_cast<size_t>(C));
+    for (int pos = 0; pos < C; ++pos) {
+      rank[static_cast<size_t>(order[static_cast<size_t>(pos)])] =
+          C > 1 ? 1.0 - static_cast<double>(pos) / (C - 1) : 1.0;
+    }
+
+    for (int c = 0; c < C; ++c) {
+      auto& profile = truth.psi[static_cast<size_t>(k)][static_cast<size_t>(c)];
+      for (int t = 0; t < T; ++t) {
+        profile[static_cast<size_t>(t)] = config_.burst_floor / T;
+      }
+      double r = rank[static_cast<size_t>(c)];
+      double center = event_time + config_.lag_slices * (1.0 - r) +
+                      sampler_.Uniform(-0.5, 0.5);
+      double width = config_.burst_width * (0.6 + r);
+      for (int t = 0; t < T; ++t) {
+        double dx = (t - center) / width;
+        profile[static_cast<size_t>(t)] += std::exp(-0.5 * dx * dx);
+      }
+      // Minor bursts keep profiles genuinely multimodal (rise-and-fall
+      // "many times", §3.3) without displacing the main event peak.
+      int minors = (sampler_.Bernoulli(config_.minor_burst_prob) ? 1 : 0) +
+                   (sampler_.Bernoulli(config_.minor_burst_prob * 0.5) ? 1 : 0);
+      for (int m = 0; m < minors; ++m) {
+        double minor_center = sampler_.Uniform(0.0, T);
+        double minor_width = sampler_.Uniform(1.0, config_.burst_width + 1.0);
+        double minor_height = sampler_.Uniform(0.45, 0.75);
+        for (int t = 0; t < T; ++t) {
+          double dx = (t - minor_center) / minor_width;
+          profile[static_cast<size_t>(t)] +=
+              minor_height * std::exp(-0.5 * dx * dx);
+        }
+      }
+      cold::NormalizeInPlace(profile);
+    }
+  }
+
+  // eta: weak base + strong diagonal + strong cross-community "diffusion
+  // path" pairs chosen between communities that share topical interests
+  // (homophily), so influential arcs align with interested communities as
+  // in Fig 5.
+  truth.eta.assign(static_cast<size_t>(C), std::vector<double>(C, 0.0));
+  for (int c = 0; c < C; ++c) {
+    for (int c2 = 0; c2 < C; ++c2) {
+      truth.eta[static_cast<size_t>(c)][static_cast<size_t>(c2)] =
+          config_.eta_base * sampler_.Uniform(0.5, 1.5);
+    }
+    truth.eta[static_cast<size_t>(c)][static_cast<size_t>(c)] =
+        config_.eta_within * sampler_.Uniform(0.7, 1.3);
+  }
+  for (int p = 0; p < config_.num_diffusion_paths; ++p) {
+    int c, c2;
+    if (p % 2 == 0) {
+      // Interest-aligned path: both ends drawn by their interest in a
+      // random topic (topical homophily; gives Fig 5 its story).
+      int k = static_cast<int>(sampler_.UniformInt(static_cast<uint32_t>(K)));
+      std::vector<double> interest(static_cast<size_t>(C));
+      for (int cc = 0; cc < C; ++cc) {
+        interest[static_cast<size_t>(cc)] =
+            truth.theta[static_cast<size_t>(cc)][static_cast<size_t>(k)];
+      }
+      c = sampler_.Categorical(interest);
+      c2 = sampler_.Categorical(interest);
+    } else {
+      // Unaligned path: disassortative structure that only a full
+      // inter-community influence matrix (not a per-factor link rate)
+      // can represent.
+      c = static_cast<int>(sampler_.UniformInt(static_cast<uint32_t>(C)));
+      c2 = static_cast<int>(sampler_.UniformInt(static_cast<uint32_t>(C)));
+    }
+    if (c == c2) continue;
+    truth.eta[static_cast<size_t>(c)][static_cast<size_t>(c2)] =
+        config_.eta_path * sampler_.Uniform(0.7, 1.3);
+  }
+  for (auto& row : truth.eta) {
+    for (double& v : row) v = std::min(v, 0.95);
+  }
+
+  // Per-community weighted-user sampling tables (weights = memberships).
+  community_user_cdf_.assign(static_cast<size_t>(C), {});
+  for (int c = 0; c < C; ++c) {
+    std::vector<double> weights(static_cast<size_t>(U));
+    for (int i = 0; i < U; ++i) {
+      weights[static_cast<size_t>(i)] =
+          truth.pi[static_cast<size_t>(i)][static_cast<size_t>(c)];
+    }
+    cold::NormalizeInPlace(weights);
+    community_user_cdf_[static_cast<size_t>(c)] = ToCdf(weights);
+  }
+}
+
+void SyntheticSocialGenerator::GeneratePosts(SocialDataset* out) {
+  const int K = config_.num_topics;
+  GroundTruth& truth = out->truth;
+
+  std::vector<std::vector<double>> phi_cdf(static_cast<size_t>(K));
+  for (int k = 0; k < K; ++k) {
+    phi_cdf[static_cast<size_t>(k)] = ToCdf(truth.phi[static_cast<size_t>(k)]);
+  }
+  std::vector<std::vector<double>> theta_cdf;
+  for (const auto& row : truth.theta) theta_cdf.push_back(ToCdf(row));
+  std::vector<std::vector<double>> pi_cdf;
+  for (const auto& row : truth.pi) pi_cdf.push_back(ToCdf(row));
+
+  std::vector<text::WordId> words;
+  for (int i = 0; i < config_.num_users; ++i) {
+    int num_posts = SampleCount(&sampler_, config_.posts_per_user, 1);
+    for (int j = 0; j < num_posts; ++j) {
+      int c = SampleCdf(&sampler_, pi_cdf[static_cast<size_t>(i)]);
+      int k = SampleCdf(&sampler_, theta_cdf[static_cast<size_t>(c)]);
+      const auto& psi_kc =
+          truth.psi[static_cast<size_t>(k)][static_cast<size_t>(c)];
+      int t = sampler_.Categorical(psi_kc, 1.0);
+      int len = SampleCount(&sampler_, config_.words_per_post, 3);
+      words.clear();
+      for (int l = 0; l < len; ++l) {
+        words.push_back(static_cast<text::WordId>(
+            SampleCdf(&sampler_, phi_cdf[static_cast<size_t>(k)])));
+      }
+      out->posts.Add(static_cast<UserId>(i), static_cast<TimeSlice>(t), words);
+      truth.post_community.push_back(c);
+      truth.post_topic.push_back(k);
+    }
+  }
+  out->posts.Finalize(config_.num_users, config_.num_time_slices);
+}
+
+void SyntheticSocialGenerator::GenerateFollowerGraph(SocialDataset* out) {
+  const int C = config_.num_communities;
+  const GroundTruth& truth = out->truth;
+
+  // Column-normalized eta: a user engaging community c' follows members of
+  // community c with probability proportional to eta_cc' (they follow the
+  // communities that influence theirs).
+  std::vector<std::vector<double>> follow_cdf(static_cast<size_t>(C));
+  for (int c2 = 0; c2 < C; ++c2) {
+    std::vector<double> col(static_cast<size_t>(C));
+    for (int c = 0; c < C; ++c) {
+      col[static_cast<size_t>(c)] =
+          truth.eta[static_cast<size_t>(c)][static_cast<size_t>(c2)];
+    }
+    cold::NormalizeInPlace(col);
+    follow_cdf[static_cast<size_t>(c2)] = ToCdf(col);
+  }
+  std::vector<std::vector<double>> pi_cdf;
+  for (const auto& row : truth.pi) pi_cdf.push_back(ToCdf(row));
+
+  graph::Digraph::Builder builder;
+  for (int i = 0; i < config_.num_users; ++i) {
+    std::unordered_set<int> seen;
+    int num_follows = SampleCount(&sampler_, config_.follows_per_user, 2);
+    for (int f = 0; f < num_follows; ++f) {
+      int c2 = SampleCdf(&sampler_, pi_cdf[static_cast<size_t>(i)]);
+      int c = SampleCdf(&sampler_, follow_cdf[static_cast<size_t>(c2)]);
+      int target = SampleCdf(&sampler_, community_user_cdf_[static_cast<size_t>(c)]);
+      if (target == i || !seen.insert(target).second) continue;
+      // Edge (followee -> follower): i sees target's posts.
+      (void)builder.AddEdge(static_cast<graph::NodeId>(target),
+                            static_cast<graph::NodeId>(i));
+    }
+  }
+  out->followers = std::move(builder).Build(config_.num_users, /*dedupe=*/true);
+}
+
+double SyntheticSocialGenerator::RawDiffusionProbability(
+    const GroundTruth& truth, UserId i, UserId follower, int k) const {
+  const int C = config_.num_communities;
+  const auto& pi_i = truth.pi[static_cast<size_t>(i)];
+  const auto& pi_f = truth.pi[static_cast<size_t>(follower)];
+  const double mix = config_.community_mix;
+  const double k2 = static_cast<double>(config_.num_topics) *
+                    static_cast<double>(config_.num_topics);
+  double p = 0.0;
+  for (int c = 0; c < C; ++c) {
+    double theta_ck =
+        truth.theta[static_cast<size_t>(c)][static_cast<size_t>(k)];
+    for (int c2 = 0; c2 < C; ++c2) {
+      // Topic affinity normalized so a uniform theta contributes 1, making
+      // `mix` a true balance knob.
+      double affinity =
+          k2 * theta_ck *
+          truth.theta[static_cast<size_t>(c2)][static_cast<size_t>(k)];
+      double zeta = truth.eta[static_cast<size_t>(c)][static_cast<size_t>(c2)] *
+                    (mix + (1.0 - mix) * affinity);
+      p += pi_i[static_cast<size_t>(c)] * pi_f[static_cast<size_t>(c2)] * zeta;
+    }
+  }
+  return p;
+}
+
+void SyntheticSocialGenerator::GenerateRetweets(SocialDataset* out) {
+  const GroundTruth& truth = out->truth;
+  const int num_posts = out->posts.num_posts();
+
+  // Pass 1: raw exposure probabilities for calibration.
+  std::vector<std::vector<double>> raw(static_cast<size_t>(num_posts));
+  double total = 0.0;
+  int64_t count = 0;
+  for (PostId d = 0; d < num_posts; ++d) {
+    UserId author = out->posts.author(d);
+    int k = truth.post_topic[static_cast<size_t>(d)];
+    auto follower_edges = out->followers.out_edges(author);
+    raw[static_cast<size_t>(d)].reserve(follower_edges.size());
+    for (graph::EdgeId e : follower_edges) {
+      UserId f = static_cast<UserId>(out->followers.edge(e).dst);
+      double p = RawDiffusionProbability(truth, author, f, k);
+      raw[static_cast<size_t>(d)].push_back(p);
+      total += p;
+      ++count;
+    }
+  }
+  double mean = count > 0 ? total / static_cast<double>(count) : 0.0;
+  double gain = mean > 0.0 ? config_.target_retweet_rate / mean : 0.0;
+
+  // Pass 2: Bernoulli outcomes.
+  for (PostId d = 0; d < num_posts; ++d) {
+    auto follower_edges = out->followers.out_edges(out->posts.author(d));
+    if (follower_edges.empty()) continue;
+    RetweetTuple tuple;
+    tuple.author = out->posts.author(d);
+    tuple.post = d;
+    for (size_t fi = 0; fi < follower_edges.size(); ++fi) {
+      UserId f =
+          static_cast<UserId>(out->followers.edge(follower_edges[fi]).dst);
+      if (!sampler_.Bernoulli(config_.attention_prob)) continue;  // unseen
+      double p = std::min(0.95, raw[static_cast<size_t>(d)][fi] * gain);
+      if (sampler_.Bernoulli(p)) {
+        tuple.retweeters.push_back(f);
+      } else {
+        tuple.ignorers.push_back(f);
+      }
+    }
+    if (tuple.retweeters.empty() && tuple.ignorers.empty()) continue;
+    out->retweets.push_back(std::move(tuple));
+  }
+}
+
+void SyntheticSocialGenerator::BuildInteractionNetwork(SocialDataset* out) {
+  graph::Digraph::Builder builder;
+  for (const RetweetTuple& tuple : out->retweets) {
+    for (UserId f : tuple.retweeters) {
+      (void)builder.AddEdge(static_cast<graph::NodeId>(tuple.author),
+                            static_cast<graph::NodeId>(f));
+    }
+  }
+  out->interactions =
+      std::move(builder).Build(config_.num_users, /*dedupe=*/true);
+}
+
+}  // namespace cold::data

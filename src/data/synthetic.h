@@ -1,0 +1,127 @@
+// Synthetic Weibo-like data generator: the substitution for the paper's two
+// Sina Weibo crawls (DESIGN.md §1). Draws a planted COLD model — mixed
+// memberships, community topic mixtures, multimodal community-specific
+// temporal profiles, inter-community influence — then emits posts, a
+// follower graph, retweet cascades driven by the topic-sensitive influence
+// zeta_kcc' = theta_ck * theta_c'k * eta_cc', and the retweet-derived
+// interaction network.
+#pragma once
+
+#include <cstdint>
+
+#include "data/social_dataset.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cold::data {
+
+/// \brief Knobs of the synthetic generative process. Defaults produce a
+/// laptop-scale dataset (~1.2K users, ~25K posts) with clear community/topic
+/// structure.
+struct SyntheticConfig {
+  int num_users = 1200;
+  int num_communities = 10;
+  int num_topics = 20;
+  int num_time_slices = 48;
+
+  /// Vocabulary: each topic owns `core_words_per_topic` salient words (named
+  /// after the topic so extracted topics are human-checkable) plus a shared
+  /// Zipf-distributed background pool.
+  int core_words_per_topic = 40;
+  int background_words = 600;
+  /// Probability mass a topic puts on its own core words.
+  double core_mass = 0.85;
+
+  /// Mean posts per user (geometric-like spread, min 1).
+  double posts_per_user = 20.0;
+  /// Mean words per post (microblog-short; min 3).
+  double words_per_post = 10.0;
+
+  /// Dirichlet concentration of user memberships pi (small => users engage
+  /// in few communities, matching [34] as cited in §5.2).
+  double pi_concentration = 0.08;
+  /// Dirichlet concentration of community topic mixtures theta.
+  double theta_concentration = 0.25;
+
+  /// Temporal profiles psi_kc: every topic has an "event" burst whose onset
+  /// within a community depends on the community's interest rank — highly
+  /// interested communities pick the topic up earlier and keep it alive
+  /// longer (the Fig-7 lag phenomenon §5.3 measures); plus optional minor
+  /// bursts for multimodality (the property COLD's multinomial psi captures
+  /// and TOT's Beta cannot, §3.3), plus a uniform floor.
+  double burst_floor = 0.15;
+  /// Maximum onset delay (slices) between the most and least interested
+  /// communities.
+  double lag_slices = 5.0;
+  /// Base burst width (slices); scaled up with interest (durability).
+  double burst_width = 2.0;
+  /// Probability of one extra minor burst per (topic, community).
+  double minor_burst_prob = 0.5;
+
+  /// Inter-community influence eta: within-community strength, plus a few
+  /// strong cross-community "diffusion path" pairs, plus a weak base rate.
+  double eta_within = 0.35;
+  double eta_path = 0.20;
+  double eta_base = 0.01;
+  /// Number of strong cross-community pairs.
+  int num_diffusion_paths = 12;
+
+  /// Follower graph: expected followees sampled per user; targets are chosen
+  /// through the community structure so links carry community signal.
+  int follows_per_user = 12;
+
+  /// Average retweet probability over exposed (follower, post) pairs; raw
+  /// zeta-derived probabilities are rescaled to hit this rate.
+  double target_retweet_rate = 0.08;
+
+  /// Probability that a follower actually sees any given post (feed
+  /// attention). Unseen (post, follower) pairs appear in neither the
+  /// retweeter nor the ignorer set, which keeps per-pair interaction
+  /// records sparse — the real-world regime §5.2 contrasts with stable
+  /// community-level aggregates.
+  double attention_prob = 0.45;
+
+  /// Mixing weight of the pure community-block term in the cascade
+  /// propensity: p(retweet) ~ pi pi eta (mix + (1-mix) K^2 theta theta).
+  /// Users retweet partly out of tie strength alone (the community
+  /// backbone) and partly out of topical interest; 0 makes diffusion purely
+  /// topic-driven, 1 purely structural.
+  double community_mix = 0.35;
+
+  uint64_t seed = 42;
+};
+
+/// \brief Generates a complete SocialDataset from a planted COLD process.
+class SyntheticSocialGenerator {
+ public:
+  explicit SyntheticSocialGenerator(SyntheticConfig config);
+
+  /// \brief Runs the full generative pipeline. Returns an error if the
+  /// config is inconsistent (non-positive sizes etc.).
+  cold::Result<SocialDataset> Generate();
+
+ private:
+  cold::Status Validate() const;
+
+  void DrawGroundTruth(SocialDataset* out);
+  void GeneratePosts(SocialDataset* out);
+  void GenerateFollowerGraph(SocialDataset* out);
+  void GenerateRetweets(SocialDataset* out);
+  void BuildInteractionNetwork(SocialDataset* out);
+
+  /// User-to-user retweet probability for a post on topic k, before global
+  /// rate calibration (Eq. 7 composed with ground truth).
+  double RawDiffusionProbability(const GroundTruth& truth, UserId i,
+                                 UserId follower, int k) const;
+
+  SyntheticConfig config_;
+  cold::RandomSampler sampler_;
+  /// Per-community cumulative membership tables for weighted user sampling.
+  std::vector<std::vector<double>> community_user_cdf_;
+};
+
+/// \brief Draws a sample from a geometric-ish count distribution with the
+/// given mean and minimum (used for posts-per-user and words-per-post).
+int SampleCount(cold::RandomSampler* sampler, double mean, int min_value);
+
+}  // namespace cold::data

@@ -1,0 +1,301 @@
+// Gather-Apply-Scatter execution engine: a from-scratch shared-memory
+// re-implementation of distributed GraphLab's synchronous engine (Low et
+// al., PVLDB 2012), the substrate the COLD paper runs its parallel Gibbs
+// sampler on (§4.3, Alg 2).
+//
+// A superstep runs three phases:
+//   gather  — per vertex, a commutative-associative reduction over incident
+//             edges (parallel over vertices);
+//   apply   — per vertex, folds the gathered value into vertex state;
+//   scatter — per edge, may mutate edge state (this is where COLD samples
+//             new latent assignments); parallel over edges with a
+//             deterministic per-worker RNG stream.
+//
+// Cluster simulation: vertices are placed on `options.num_nodes` simulated
+// machines by a Partitioner. Phases execute on `num_nodes * threads_per_node`
+// real threads (capped at the host's hardware concurrency), and the engine
+// accounts the bytes that *would* cross the network: gather/scatter traffic
+// for cut edges plus the periodic broadcast of global aggregator state.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "engine/partitioner.h"
+#include "engine/property_graph.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace cold::engine {
+
+/// \brief Which incident edges the gather phase visits.
+enum class GatherEdges { kNone, kIn, kOut, kAll };
+
+/// \brief Execution mode: synchronous supersteps (gather/apply/scatter with
+/// barriers) or asynchronous sweeps (scatter-only, dynamic scheduling).
+enum class ExecutionMode { kSync, kAsync };
+
+/// \brief Engine configuration.
+struct EngineOptions {
+  /// Simulated cluster size (Fig 13b sweeps this).
+  int num_nodes = 1;
+  /// Synchronous GAS supersteps (default) or asynchronous sweeps.
+  ExecutionMode execution = ExecutionMode::kSync;
+  /// Worker threads per simulated node; total threads = num_nodes *
+  /// threads_per_node, capped at hardware concurrency.
+  int threads_per_node = 1;
+  /// Base seed for the per-worker RNG streams.
+  uint64_t seed = 42;
+  /// Bytes accounted per cut-edge message (gather result or scattered
+  /// assignment); a knob for the communication model, not correctness.
+  int64_t bytes_per_edge_message = 16;
+};
+
+/// \brief Engine execution statistics, reset by each Run call.
+struct EngineStats {
+  int supersteps = 0;
+  double gather_seconds = 0.0;
+  double apply_seconds = 0.0;
+  double scatter_seconds = 0.0;
+  /// Simulated network traffic: cut-edge messages + aggregator broadcasts.
+  int64_t comm_bytes = 0;
+  /// Cut edges in the current partitioning (constant per partitioning).
+  int64_t cut_edges = 0;
+  /// Work units (program-defined, e.g. tokens sampled) per simulated node.
+  std::vector<int64_t> node_work_units;
+
+  double total_seconds() const {
+    return gather_seconds + apply_seconds + scatter_seconds;
+  }
+};
+
+/// \brief Cost model for the simulated cluster, used to project the
+/// measured single-host execution onto an N-node deployment (this repo runs
+/// on one core; see DESIGN.md §1).
+struct ClusterModel {
+  /// Per-node NIC bandwidth.
+  double bandwidth_bytes_per_sec = 1.0e9;
+  /// Per-superstep barrier/aggregation latency factor (multiplied by
+  /// ceil(log2(nodes))).
+  double sync_latency_sec = 0.002;
+};
+
+/// \brief Worker-local context handed to scatter: a deterministic RNG stream
+/// plus the worker index for per-worker scratch state.
+struct WorkerContext {
+  cold::RandomSampler* sampler;
+  size_t worker_index;
+};
+
+/// \brief Synchronous GAS engine over a PropertyGraph.
+///
+/// `Program` is a duck-typed vertex program providing:
+///
+///   using GatherType = ...;                 // commutative monoid
+///   static constexpr GatherEdges kGatherEdges = ...;
+///   GatherType GatherInit() const;
+///   void Gather(const Graph&, VertexId, EdgeId, GatherType*) const;
+///   void Apply(Graph*, VertexId, const GatherType&);
+///   void Scatter(Graph*, EdgeId, WorkerContext*) ;
+///   void PostSuperstep(Graph*, int superstep);   // global sync point
+///
+/// Scatter runs in parallel over edges; programs are responsible for making
+/// concurrent edge updates safe (COLD uses atomic counters + periodic global
+/// sync, the same approximate-Gibbs semantics as the paper).
+template <typename VData, typename EData, typename Program>
+class GasEngine {
+ public:
+  using Graph = PropertyGraph<VData, EData>;
+
+  GasEngine(Graph* graph, Program* program, EngineOptions options = {})
+      : graph_(graph),
+        program_(program),
+        options_(options),
+        partitioner_(graph->num_vertices(), options.num_nodes),
+        pool_(ComputeThreads(options)) {
+    InitSamplers();
+    ComputePartitionStats();
+  }
+
+  const EngineStats& stats() const { return stats_; }
+  const Partitioner& partitioner() const { return partitioner_; }
+  size_t num_threads() const { return pool_.num_threads(); }
+
+  /// Replaces the vertex placement (e.g. for locality experiments).
+  void SetPartition(std::vector<int> assignment) {
+    partitioner_.SetAssignment(std::move(assignment));
+    ComputePartitionStats();
+  }
+
+  /// \brief Projects the measured execution time onto the simulated
+  /// `options.num_nodes`-machine cluster: the busiest node's share of the
+  /// compute plus the communication modeled by `model`. With one node this
+  /// returns measured compute time exactly.
+  double SimulatedWallSeconds(const ClusterModel& model = {}) const {
+    int64_t total = 0, max_node = 0;
+    for (int64_t w : stats_.node_work_units) {
+      total += w;
+      max_node = std::max(max_node, w);
+    }
+    double work_fraction =
+        total > 0 ? static_cast<double>(max_node) / static_cast<double>(total)
+                  : 1.0;
+    double compute = stats_.total_seconds() * work_fraction;
+    if (options_.num_nodes <= 1) return compute;
+    double comm = static_cast<double>(stats_.comm_bytes) /
+                  static_cast<double>(options_.num_nodes) /
+                  model.bandwidth_bytes_per_sec;
+    int log_nodes = 0;
+    for (int n = options_.num_nodes - 1; n > 0; n >>= 1) ++log_nodes;
+    double sync =
+        stats_.supersteps * model.sync_latency_sec * log_nodes;
+    return compute + comm + sync;
+  }
+
+  /// \brief Runs `supersteps` full iterations in the configured execution
+  /// mode, accumulating stats.
+  void Run(int supersteps) {
+    for (int s = 0; s < supersteps; ++s) {
+      if (options_.execution == ExecutionMode::kAsync) {
+        RunAsyncSweep();
+      } else {
+        RunSuperstep();
+      }
+    }
+  }
+
+  /// \brief Runs one ASYNCHRONOUS sweep (GraphLab's second execution mode):
+  /// no gather/apply barrier — workers pull edge chunks from a shared
+  /// cursor and scatter against continuously-updated state. The program
+  /// must maintain its own counters inside Scatter (the COLD program does,
+  /// via atomics); gather-rebuilt state is never refreshed here.
+  ///
+  /// Communication model: cut edges still ship their assignment updates,
+  /// but there is no per-superstep aggregator broadcast — global counters
+  /// are exchanged as fine-grained deltas folded into the edge messages.
+  void RunAsyncSweep() {
+    cold::Stopwatch watch;
+    const int64_t ne = graph_->num_edges();
+    std::atomic<int64_t> cursor{0};
+    constexpr int64_t kChunk = 256;
+    size_t workers = pool_.num_threads();
+    // One long-running task per worker, each pulling chunks dynamically.
+    pool_.ParallelFor(workers, [this, ne, &cursor](size_t begin, size_t end,
+                                                   size_t worker) {
+      (void)begin;
+      (void)end;
+      WorkerContext ctx{&samplers_[worker], worker};
+      while (true) {
+        int64_t start = cursor.fetch_add(kChunk, std::memory_order_relaxed);
+        if (start >= ne) break;
+        int64_t stop = std::min(ne, start + kChunk);
+        for (int64_t e = start; e < stop; ++e) {
+          program_->Scatter(graph_, static_cast<EdgeId>(e), &ctx);
+        }
+      }
+    });
+    stats_.scatter_seconds += watch.ElapsedSeconds();
+    stats_.comm_bytes +=
+        2 * stats_.cut_edges * options_.bytes_per_edge_message;
+    program_->PostSuperstep(graph_, stats_.supersteps);
+    stats_.supersteps++;
+  }
+
+  /// \brief Runs one gather/apply/scatter superstep.
+  void RunSuperstep() {
+    cold::Stopwatch watch;
+    size_t nv = static_cast<size_t>(graph_->num_vertices());
+
+    // Gather + Apply. Each vertex's reduction is independent, so one
+    // parallel sweep covers both phases (GraphLab fuses them the same way
+    // for synchronous execution).
+    if constexpr (Program::kGatherEdges != GatherEdges::kNone) {
+      pool_.ParallelFor(nv, [this](size_t begin, size_t end, size_t) {
+        for (size_t v = begin; v < end; ++v) {
+          auto vid = static_cast<VertexId>(v);
+          auto acc = program_->GatherInit();
+          if constexpr (Program::kGatherEdges == GatherEdges::kIn ||
+                        Program::kGatherEdges == GatherEdges::kAll) {
+            for (EdgeId e : graph_->in_edges(vid)) {
+              program_->Gather(*graph_, vid, e, &acc);
+            }
+          }
+          if constexpr (Program::kGatherEdges == GatherEdges::kOut ||
+                        Program::kGatherEdges == GatherEdges::kAll) {
+            for (EdgeId e : graph_->out_edges(vid)) {
+              program_->Gather(*graph_, vid, e, &acc);
+            }
+          }
+          program_->Apply(graph_, vid, acc);
+        }
+      });
+    }
+    double ga = watch.ElapsedSeconds();
+    stats_.gather_seconds += ga * 0.5;
+    stats_.apply_seconds += ga * 0.5;
+
+    // Scatter.
+    watch.Restart();
+    size_t ne = static_cast<size_t>(graph_->num_edges());
+    pool_.ParallelFor(ne, [this](size_t begin, size_t end, size_t worker) {
+      WorkerContext ctx{&samplers_[worker], worker};
+      for (size_t e = begin; e < end; ++e) {
+        program_->Scatter(graph_, static_cast<EdgeId>(e), &ctx);
+      }
+    });
+    stats_.scatter_seconds += watch.ElapsedSeconds();
+
+    // Simulated network: every cut edge ships its gather contribution and
+    // its scattered assignment; global aggregator state is broadcast to all
+    // nodes at the sync point.
+    stats_.comm_bytes +=
+        2 * stats_.cut_edges * options_.bytes_per_edge_message;
+    stats_.comm_bytes += static_cast<int64_t>(options_.num_nodes - 1) *
+                         program_->GlobalStateBytes();
+
+    program_->PostSuperstep(graph_, stats_.supersteps);
+    stats_.supersteps++;
+  }
+
+ private:
+  static size_t ComputeThreads(const EngineOptions& options) {
+    size_t want = static_cast<size_t>(options.num_nodes) *
+                  static_cast<size_t>(options.threads_per_node);
+    size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+    return std::max<size_t>(1, std::min(want, hw));
+  }
+
+  void InitSamplers() {
+    samplers_.clear();
+    for (size_t w = 0; w < pool_.num_threads(); ++w) {
+      samplers_.emplace_back(options_.seed, /*stream=*/w + 1);
+    }
+  }
+
+  void ComputePartitionStats() {
+    stats_.cut_edges = 0;
+    stats_.node_work_units.assign(
+        static_cast<size_t>(options_.num_nodes), 0);
+    for (EdgeId e = 0; e < graph_->num_edges(); ++e) {
+      if (partitioner_.IsCut(*graph_, e)) stats_.cut_edges++;
+      // Edges execute on their source's node (GraphLab assigns each edge to
+      // one owning replica).
+      int node = partitioner_.NodeOf(graph_->src(e));
+      stats_.node_work_units[static_cast<size_t>(node)] +=
+          program_->EdgeWorkUnits(e);
+    }
+  }
+
+  Graph* graph_;
+  Program* program_;
+  EngineOptions options_;
+  Partitioner partitioner_;
+  cold::ThreadPool pool_;
+  std::vector<cold::RandomSampler> samplers_;
+  EngineStats stats_;
+};
+
+}  // namespace cold::engine

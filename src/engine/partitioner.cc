@@ -1,0 +1,30 @@
+#include "engine/partitioner.h"
+
+#include <cassert>
+
+namespace cold::engine {
+
+Partitioner::Partitioner(int32_t num_vertices, int num_nodes)
+    : num_nodes_(num_nodes) {
+  assert(num_nodes >= 1);
+  assignment_.resize(static_cast<size_t>(num_vertices));
+  for (int32_t v = 0; v < num_vertices; ++v) {
+    assignment_[static_cast<size_t>(v)] = v % num_nodes;
+  }
+}
+
+void Partitioner::SetAssignment(std::vector<int> assignment) {
+  for (int node : assignment) {
+    assert(node >= 0 && node < num_nodes_);
+    (void)node;
+  }
+  assignment_ = std::move(assignment);
+}
+
+std::vector<int64_t> Partitioner::NodeLoads() const {
+  std::vector<int64_t> loads(static_cast<size_t>(num_nodes_), 0);
+  for (int node : assignment_) loads[static_cast<size_t>(node)]++;
+  return loads;
+}
+
+}  // namespace cold::engine

@@ -1,0 +1,46 @@
+// Vertex partitioning across simulated cluster nodes, plus communication
+// accounting for edges that cross partitions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/property_graph.h"
+
+namespace cold::engine {
+
+/// \brief Assigns vertices to `num_nodes` simulated machines.
+///
+/// The default strategy is modulo placement (GraphLab's random hash
+/// placement degenerates to this for dense ids). A custom assignment can be
+/// installed for locality experiments.
+class Partitioner {
+ public:
+  /// Modulo partition of `num_vertices` ids over `num_nodes` nodes.
+  Partitioner(int32_t num_vertices, int num_nodes);
+
+  /// Installs an explicit assignment; `assignment[v]` in [0, num_nodes).
+  void SetAssignment(std::vector<int> assignment);
+
+  int num_nodes() const { return num_nodes_; }
+
+  /// The node owning vertex `v`.
+  int NodeOf(VertexId v) const {
+    return assignment_[static_cast<size_t>(v)];
+  }
+
+  /// True iff `e`'s endpoints live on different nodes.
+  template <typename VData, typename EData>
+  bool IsCut(const PropertyGraph<VData, EData>& g, EdgeId e) const {
+    return NodeOf(g.src(e)) != NodeOf(g.dst(e));
+  }
+
+  /// Number of vertices owned by each node.
+  std::vector<int64_t> NodeLoads() const;
+
+ private:
+  int num_nodes_;
+  std::vector<int> assignment_;
+};
+
+}  // namespace cold::engine

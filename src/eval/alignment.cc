@@ -1,0 +1,85 @@
+#include "eval/alignment.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+
+#include "util/math_util.h"
+
+namespace cold::eval {
+
+double NormalizedMutualInformation(std::span<const int> a,
+                                   std::span<const int> b) {
+  assert(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  const double n = static_cast<double>(a.size());
+
+  std::map<int, double> pa, pb;
+  std::map<std::pair<int, int>, double> pab;
+  for (size_t i = 0; i < a.size(); ++i) {
+    pa[a[i]] += 1.0 / n;
+    pb[b[i]] += 1.0 / n;
+    pab[{a[i], b[i]}] += 1.0 / n;
+  }
+  double ha = 0.0, hb = 0.0, mi = 0.0;
+  for (const auto& [label, p] : pa) {
+    (void)label;
+    ha -= p * std::log(p);
+  }
+  for (const auto& [label, p] : pb) {
+    (void)label;
+    hb -= p * std::log(p);
+  }
+  for (const auto& [pair, p] : pab) {
+    mi += p * std::log(p / (pa[pair.first] * pb[pair.second]));
+  }
+  if (ha <= 0.0 || hb <= 0.0) return 0.0;
+  return mi / std::sqrt(ha * hb);
+}
+
+std::vector<int> GreedyMatching(
+    const std::vector<std::vector<double>>& truth,
+    const std::vector<std::vector<double>>& learned) {
+  std::vector<int> match(truth.size(), -1);
+  std::vector<char> truth_used(truth.size(), 0);
+  std::vector<char> learned_used(learned.size(), 0);
+  size_t pairs = std::min(truth.size(), learned.size());
+  for (size_t round = 0; round < pairs; ++round) {
+    double best = -1.0;
+    int best_t = -1, best_l = -1;
+    for (size_t t = 0; t < truth.size(); ++t) {
+      if (truth_used[t]) continue;
+      for (size_t l = 0; l < learned.size(); ++l) {
+        if (learned_used[l]) continue;
+        double sim = cold::CosineSimilarity(truth[t], learned[l]);
+        if (sim > best) {
+          best = sim;
+          best_t = static_cast<int>(t);
+          best_l = static_cast<int>(l);
+        }
+      }
+    }
+    if (best_t < 0) break;
+    match[static_cast<size_t>(best_t)] = best_l;
+    truth_used[static_cast<size_t>(best_t)] = 1;
+    learned_used[static_cast<size_t>(best_l)] = 1;
+  }
+  return match;
+}
+
+double GreedyMatchedCosine(const std::vector<std::vector<double>>& truth,
+                           const std::vector<std::vector<double>>& learned) {
+  std::vector<int> match = GreedyMatching(truth, learned);
+  double total = 0.0;
+  int counted = 0;
+  for (size_t t = 0; t < truth.size(); ++t) {
+    if (match[t] < 0) continue;
+    total += cold::CosineSimilarity(truth[t],
+                                    learned[static_cast<size_t>(match[t])]);
+    ++counted;
+  }
+  return counted > 0 ? total / counted : 0.0;
+}
+
+}  // namespace cold::eval

@@ -1,0 +1,33 @@
+// Latent-space alignment metrics: estimated communities/topics have
+// arbitrary label order, so recovery quality is measured after matching —
+// normalized mutual information for hard labelings and greedy best-match
+// cosine for distribution dictionaries. Only usable on synthetic data
+// (needs planted truth); the paper could not run these.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace cold::eval {
+
+/// \brief Normalized mutual information between two hard labelings of the
+/// same items: I(A;B) / sqrt(H(A) H(B)), in [0, 1]; 1 iff the labelings
+/// are identical up to a permutation. Returns 0 for degenerate inputs
+/// (empty, or either side constant).
+double NormalizedMutualInformation(std::span<const int> a,
+                                   std::span<const int> b);
+
+/// \brief Greedy one-to-one matching between two distribution dictionaries
+/// (e.g. planted and learned topic-word rows): repeatedly pairs the
+/// highest-cosine unmatched rows. Returns the mean cosine over matched
+/// pairs (rows beyond min(|A|, |B|) are ignored).
+double GreedyMatchedCosine(const std::vector<std::vector<double>>& truth,
+                           const std::vector<std::vector<double>>& learned);
+
+/// \brief Per-row best-match assignment used by GreedyMatchedCosine;
+/// returns, for each truth row, the learned row index it was matched to
+/// (-1 if unmatched).
+std::vector<int> GreedyMatching(const std::vector<std::vector<double>>& truth,
+                                const std::vector<std::vector<double>>& learned);
+
+}  // namespace cold::eval

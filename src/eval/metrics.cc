@@ -1,0 +1,77 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+namespace cold::eval {
+
+double RocAuc(std::span<const double> positive_scores,
+              std::span<const double> negative_scores) {
+  if (positive_scores.empty() || negative_scores.empty()) return 0.5;
+  // Rank-sum (Mann-Whitney U): sort all scores, sum positive ranks with
+  // average ranks for ties.
+  struct Item {
+    double score;
+    bool positive;
+  };
+  std::vector<Item> items;
+  items.reserve(positive_scores.size() + negative_scores.size());
+  for (double s : positive_scores) items.push_back({s, true});
+  for (double s : negative_scores) items.push_back({s, false});
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.score < b.score; });
+
+  double rank_sum_pos = 0.0;
+  size_t i = 0;
+  while (i < items.size()) {
+    size_t j = i;
+    while (j < items.size() && items[j].score == items[i].score) ++j;
+    // Average rank (1-based) for the tie group [i, j).
+    double avg_rank = 0.5 * (static_cast<double>(i + 1) + static_cast<double>(j));
+    for (size_t q = i; q < j; ++q) {
+      if (items[q].positive) rank_sum_pos += avg_rank;
+    }
+    i = j;
+  }
+  double n_pos = static_cast<double>(positive_scores.size());
+  double n_neg = static_cast<double>(negative_scores.size());
+  double u = rank_sum_pos - n_pos * (n_pos + 1) / 2.0;
+  return u / (n_pos * n_neg);
+}
+
+double AveragedTupleAuc(std::span<const ScoredTuple> tuples) {
+  double total = 0.0;
+  int counted = 0;
+  for (const ScoredTuple& t : tuples) {
+    if (t.positive_scores.empty() || t.negative_scores.empty()) continue;
+    total += RocAuc(t.positive_scores, t.negative_scores);
+    ++counted;
+  }
+  return counted > 0 ? total / counted : 0.5;
+}
+
+double AccuracyWithinTolerance(std::span<const int> predicted,
+                               std::span<const int> actual, int tolerance) {
+  assert(predicted.size() == actual.size());
+  if (predicted.empty()) return 0.0;
+  int hits = 0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    if (std::abs(predicted[i] - actual[i]) <= tolerance) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(predicted.size());
+}
+
+std::vector<double> ToleranceCurve(std::span<const int> predicted,
+                                   std::span<const int> actual,
+                                   int max_tolerance) {
+  std::vector<double> curve;
+  curve.reserve(static_cast<size_t>(max_tolerance) + 1);
+  for (int tol = 0; tol <= max_tolerance; ++tol) {
+    curve.push_back(AccuracyWithinTolerance(predicted, actual, tol));
+  }
+  return curve;
+}
+
+}  // namespace cold::eval

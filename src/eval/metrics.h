@@ -1,0 +1,39 @@
+// Evaluation metrics used across §6: ROC-AUC, the averaged retweet-tuple
+// AUC of §6.3, and time-stamp accuracy within a tolerance window.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace cold::eval {
+
+/// \brief Area under the ROC curve given scores of positive and negative
+/// examples: P(score(pos) > score(neg)) with ties counted 1/2.
+///
+/// Computed by rank-summing in O(n log n). Returns 0.5 when either side is
+/// empty.
+double RocAuc(std::span<const double> positive_scores,
+              std::span<const double> negative_scores);
+
+/// \brief One retweet tuple's scored outcome for AveragedTupleAuc.
+struct ScoredTuple {
+  std::vector<double> positive_scores;
+  std::vector<double> negative_scores;
+};
+
+/// \brief Mean per-tuple AUC (§6.3): AUC is computed inside each tuple
+/// RT_id = (i, d, U_id, \bar U_id) and averaged over tuples. Tuples with an
+/// empty side are skipped.
+double AveragedTupleAuc(std::span<const ScoredTuple> tuples);
+
+/// \brief Fraction of |predicted - actual| <= tolerance (§6.3's time-stamp
+/// prediction accuracy as a function of tolerance range).
+double AccuracyWithinTolerance(std::span<const int> predicted,
+                               std::span<const int> actual, int tolerance);
+
+/// \brief Full accuracy-vs-tolerance curve for tolerances 0..max_tolerance.
+std::vector<double> ToleranceCurve(std::span<const int> predicted,
+                                   std::span<const int> actual,
+                                   int max_tolerance);
+
+}  // namespace cold::eval

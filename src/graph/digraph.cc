@@ -1,0 +1,86 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cold::graph {
+
+cold::Status Digraph::Builder::AddEdge(NodeId src, NodeId dst) {
+  if (src < 0 || dst < 0) {
+    return cold::Status::InvalidArgument("negative node id");
+  }
+  if (src == dst) {
+    return cold::Status::InvalidArgument("self-loop rejected");
+  }
+  edges_.push_back({src, dst});
+  max_node_ = std::max(max_node_, std::max(src, dst));
+  return cold::Status::OK();
+}
+
+Digraph Digraph::Builder::Build(int num_nodes, bool dedupe) && {
+  Digraph g;
+  g.num_nodes_ = std::max(num_nodes, max_node_ + 1);
+  if (dedupe) {
+    std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+      return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+    });
+    edges_.erase(std::unique(edges_.begin(), edges_.end(),
+                             [](const Edge& a, const Edge& b) {
+                               return a.src == b.src && a.dst == b.dst;
+                             }),
+                 edges_.end());
+  }
+  g.edges_ = std::move(edges_);
+
+  size_t n = static_cast<size_t>(g.num_nodes_);
+  g.out_offsets_.assign(n + 1, 0);
+  g.in_offsets_.assign(n + 1, 0);
+  for (const Edge& e : g.edges_) {
+    g.out_offsets_[static_cast<size_t>(e.src) + 1]++;
+    g.in_offsets_[static_cast<size_t>(e.dst) + 1]++;
+  }
+  for (size_t i = 1; i <= n; ++i) {
+    g.out_offsets_[i] += g.out_offsets_[i - 1];
+    g.in_offsets_[i] += g.in_offsets_[i - 1];
+  }
+  g.out_edge_ids_.resize(g.edges_.size());
+  g.in_edge_ids_.resize(g.edges_.size());
+  std::vector<int64_t> out_cursor(g.out_offsets_.begin(),
+                                  g.out_offsets_.end() - 1);
+  std::vector<int64_t> in_cursor(g.in_offsets_.begin(),
+                                 g.in_offsets_.end() - 1);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edges_[static_cast<size_t>(e)];
+    g.out_edge_ids_[static_cast<size_t>(
+        out_cursor[static_cast<size_t>(edge.src)]++)] = e;
+    g.in_edge_ids_[static_cast<size_t>(
+        in_cursor[static_cast<size_t>(edge.dst)]++)] = e;
+  }
+  return g;
+}
+
+std::vector<NodeId> Digraph::OutNeighbors(NodeId n) const {
+  std::vector<NodeId> out;
+  for (EdgeId e : out_edges(n)) out.push_back(edge(e).dst);
+  return out;
+}
+
+std::vector<NodeId> Digraph::InNeighbors(NodeId n) const {
+  std::vector<NodeId> in;
+  for (EdgeId e : in_edges(n)) in.push_back(edge(e).src);
+  return in;
+}
+
+bool Digraph::HasEdge(NodeId src, NodeId dst) const {
+  for (EdgeId e : out_edges(src)) {
+    if (edge(e).dst == dst) return true;
+  }
+  return false;
+}
+
+int64_t Digraph::NumNegativePairs() const {
+  int64_t u = num_nodes_;
+  return u * (u - 1) - num_edges();
+}
+
+}  // namespace cold::graph

@@ -1,0 +1,100 @@
+// Directed interaction network (Definition 1): CSR storage with both
+// out- and in-adjacency, built once and immutable afterwards.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cold::graph {
+
+/// Dense node identifier.
+using NodeId = int32_t;
+/// Dense edge identifier in [0, num_edges()), ordered by source node.
+using EdgeId = int64_t;
+
+/// \brief A directed edge (src -> dst). In the COLD setting an edge
+/// (i, i') means "there is communication from i to i'", e.g. i' retweeted i.
+struct Edge {
+  NodeId src = -1;
+  NodeId dst = -1;
+};
+
+/// \brief Immutable directed graph in CSR form.
+///
+/// Built via Builder; exposes out-neighbors, in-neighbors, and a flat edge
+/// list whose order defines EdgeId (used by the samplers to attach latent
+/// state per edge).
+class Digraph {
+ public:
+  /// \brief Incremental builder; duplicate edges are kept unless
+  /// `dedupe` is set at Build time.
+  class Builder {
+   public:
+    /// Adds a directed edge; self-loops are rejected with kInvalidArgument.
+    cold::Status AddEdge(NodeId src, NodeId dst);
+
+    /// \brief Builds the graph over `num_nodes` nodes (>= max node id + 1;
+    /// pass 0 to infer). If `dedupe`, parallel duplicate edges collapse to
+    /// one.
+    Digraph Build(int num_nodes = 0, bool dedupe = false) &&;
+
+   private:
+    std::vector<Edge> edges_;
+    int max_node_ = -1;
+  };
+
+  int num_nodes() const { return num_nodes_; }
+  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+
+  /// The edge with identifier `e`.
+  const Edge& edge(EdgeId e) const { return edges_[static_cast<size_t>(e)]; }
+
+  /// Edge ids leaving `n` (targets of n's communication).
+  std::span<const EdgeId> out_edges(NodeId n) const {
+    return Slice(out_offsets_, out_edge_ids_, n);
+  }
+
+  /// Edge ids entering `n`.
+  std::span<const EdgeId> in_edges(NodeId n) const {
+    return Slice(in_offsets_, in_edge_ids_, n);
+  }
+
+  int out_degree(NodeId n) const {
+    return static_cast<int>(out_edges(n).size());
+  }
+  int in_degree(NodeId n) const { return static_cast<int>(in_edges(n).size()); }
+
+  /// Out-neighbor node ids of `n` (one per out-edge, duplicates possible).
+  std::vector<NodeId> OutNeighbors(NodeId n) const;
+
+  /// In-neighbor node ids of `n`.
+  std::vector<NodeId> InNeighbors(NodeId n) const;
+
+  /// True iff an edge src->dst exists (linear in out_degree(src)).
+  bool HasEdge(NodeId src, NodeId dst) const;
+
+  /// \brief Number of absent directed pairs, U*(U-1) - |E|; the `n_neg` of
+  /// §3.3 used to set the Beta prior lambda_0.
+  int64_t NumNegativePairs() const;
+
+ private:
+  static std::span<const EdgeId> Slice(const std::vector<int64_t>& offsets,
+                                       const std::vector<EdgeId>& ids,
+                                       NodeId n) {
+    size_t b = static_cast<size_t>(offsets[static_cast<size_t>(n)]);
+    size_t e = static_cast<size_t>(offsets[static_cast<size_t>(n) + 1]);
+    return {ids.data() + b, e - b};
+  }
+
+  int num_nodes_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<int64_t> out_offsets_;
+  std::vector<EdgeId> out_edge_ids_;
+  std::vector<int64_t> in_offsets_;
+  std::vector<EdgeId> in_edge_ids_;
+};
+
+}  // namespace cold::graph

@@ -1,0 +1,40 @@
+#include "graph/pagerank.h"
+
+#include <cmath>
+
+namespace cold::graph {
+
+std::vector<double> PageRank(const Digraph& graph, PageRankOptions options) {
+  const int n = graph.num_nodes();
+  if (n == 0) return {};
+  std::vector<double> rank(static_cast<size_t>(n), 1.0 / n);
+  std::vector<double> next(static_cast<size_t>(n));
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    double dangling = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (graph.out_degree(v) == 0) dangling += rank[static_cast<size_t>(v)];
+    }
+    double base = (1.0 - options.damping) / n +
+                  options.damping * dangling / n;
+    std::fill(next.begin(), next.end(), base);
+    for (NodeId v = 0; v < n; ++v) {
+      int degree = graph.out_degree(v);
+      if (degree == 0) continue;
+      double share =
+          options.damping * rank[static_cast<size_t>(v)] / degree;
+      for (EdgeId e : graph.out_edges(v)) {
+        next[static_cast<size_t>(graph.edge(e).dst)] += share;
+      }
+    }
+    double change = 0.0;
+    for (size_t i = 0; i < rank.size(); ++i) {
+      change += std::abs(next[i] - rank[i]);
+    }
+    rank.swap(next);
+    if (change < options.tolerance) break;
+  }
+  return rank;
+}
+
+}  // namespace cold::graph

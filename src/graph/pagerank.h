@@ -1,0 +1,23 @@
+// PageRank over the interaction network — a classical structural influence
+// score used as a baseline for §6.6-style influential-user identification.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace cold::graph {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  int max_iterations = 100;
+  /// L1 change threshold for early convergence.
+  double tolerance = 1e-10;
+};
+
+/// \brief Power-iteration PageRank. Dangling mass is redistributed
+/// uniformly. Returns a probability vector over nodes.
+std::vector<double> PageRank(const Digraph& graph,
+                             PageRankOptions options = {});
+
+}  // namespace cold::graph

@@ -1,0 +1,61 @@
+#include "text/post_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cold::text {
+
+PostId PostStore::Add(UserId author, TimeSlice time,
+                      std::span<const WordId> words) {
+  assert(!finalized_);
+  assert(author >= 0);
+  assert(time >= 0);
+  PostId id = static_cast<PostId>(time_.size());
+  author_.push_back(author);
+  time_.push_back(time);
+  words_.insert(words_.end(), words.begin(), words.end());
+  offsets_.push_back(words_.size());
+  return id;
+}
+
+void PostStore::Finalize(int min_users, int min_time_slices) {
+  assert(!finalized_);
+  num_users_ = min_users;
+  num_time_slices_ = min_time_slices;
+  for (UserId a : author_) num_users_ = std::max(num_users_, a + 1);
+  for (TimeSlice t : time_) num_time_slices_ = std::max(num_time_slices_, t + 1);
+
+  // Counting sort of posts by author.
+  user_offsets_.assign(static_cast<size_t>(num_users_) + 1, 0);
+  for (UserId a : author_) user_offsets_[static_cast<size_t>(a) + 1]++;
+  for (size_t i = 1; i < user_offsets_.size(); ++i) {
+    user_offsets_[i] += user_offsets_[i - 1];
+  }
+  user_posts_.resize(author_.size());
+  std::vector<size_t> cursor(user_offsets_.begin(), user_offsets_.end() - 1);
+  for (PostId d = 0; d < num_posts(); ++d) {
+    user_posts_[cursor[static_cast<size_t>(author_[static_cast<size_t>(d)])]++] =
+        d;
+  }
+  finalized_ = true;
+}
+
+std::vector<std::pair<WordId, int>> PostStore::WordCounts(PostId d) const {
+  std::vector<std::pair<WordId, int>> counts;
+  auto ws = words(d);
+  counts.reserve(ws.size());
+  for (WordId w : ws) {
+    bool found = false;
+    for (auto& [cw, cnt] : counts) {
+      if (cw == w) {
+        ++cnt;
+        found = true;
+        break;
+      }
+    }
+    if (!found) counts.emplace_back(w, 1);
+  }
+  return counts;
+}
+
+}  // namespace cold::text

@@ -1,0 +1,97 @@
+// Time-stamped post storage: the text+time half of the COLD input
+// (Definition 1), stored column-wise for cache-friendly Gibbs sweeps.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "text/vocabulary.h"
+#include "util/status.h"
+
+namespace cold::text {
+
+/// Dense user identifier in [0, num_users).
+using UserId = int32_t;
+/// Dense post identifier in [0, num_posts).
+using PostId = int32_t;
+/// Discrete time-slice index in [0, num_time_slices).
+using TimeSlice = int32_t;
+
+/// \brief One post: author, time slice, bag of words.
+struct Post {
+  UserId author = -1;
+  TimeSlice time = 0;
+  std::vector<WordId> words;
+};
+
+/// \brief Column-wise store of all posts.
+///
+/// Words for all posts live in one flat array with per-post offsets (CSR
+/// layout). Per-user post lists are built on Finalize().
+class PostStore {
+ public:
+  PostStore() = default;
+
+  /// \brief Appends a post; returns its id. Must be called before
+  /// Finalize().
+  PostId Add(UserId author, TimeSlice time, std::span<const WordId> words);
+
+  /// \brief Freezes the store: builds per-user indexes and computes
+  /// num_users / num_time_slices / num_words upper bounds.
+  ///
+  /// `min_users` / `min_time_slices` let callers reserve id space for users
+  /// or slices that have no posts.
+  void Finalize(int min_users = 0, int min_time_slices = 0);
+
+  bool finalized() const { return finalized_; }
+
+  int num_posts() const { return static_cast<int>(time_.size()); }
+  int num_users() const { return num_users_; }
+  int num_time_slices() const { return num_time_slices_; }
+  /// Total token count over all posts.
+  int64_t num_tokens() const { return static_cast<int64_t>(words_.size()); }
+
+  UserId author(PostId d) const { return author_[static_cast<size_t>(d)]; }
+  TimeSlice time(PostId d) const { return time_[static_cast<size_t>(d)]; }
+
+  /// The words of post `d`.
+  std::span<const WordId> words(PostId d) const {
+    size_t b = offsets_[static_cast<size_t>(d)];
+    size_t e = offsets_[static_cast<size_t>(d) + 1];
+    return {words_.data() + b, e - b};
+  }
+
+  /// Number of words in post `d`.
+  int length(PostId d) const {
+    return static_cast<int>(offsets_[static_cast<size_t>(d) + 1] -
+                            offsets_[static_cast<size_t>(d)]);
+  }
+
+  /// The posts of user `i` (requires Finalize()).
+  std::span<const PostId> posts_of(UserId i) const {
+    size_t b = user_offsets_[static_cast<size_t>(i)];
+    size_t e = user_offsets_[static_cast<size_t>(i) + 1];
+    return {user_posts_.data() + b, e - b};
+  }
+
+  /// \brief Distinct (word, count) pairs of post `d`, for the per-post
+  /// Dirichlet-multinomial term in Eq. (3). Counts are computed on the fly;
+  /// posts are short so this is a handful of comparisons.
+  std::vector<std::pair<WordId, int>> WordCounts(PostId d) const;
+
+ private:
+  std::vector<UserId> author_;
+  std::vector<TimeSlice> time_;
+  std::vector<WordId> words_;
+  std::vector<size_t> offsets_{0};
+
+  std::vector<PostId> user_posts_;
+  std::vector<size_t> user_offsets_;
+  int num_users_ = 0;
+  int num_time_slices_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace cold::text

@@ -1,0 +1,68 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace cold::text {
+
+namespace {
+constexpr const char* kDefaultStopWords[] = {
+    "a",    "an",    "the",  "and",  "or",    "but",  "of",   "to",   "in",
+    "on",   "at",    "for",  "with", "by",    "from", "as",   "is",   "are",
+    "was",  "were",  "be",   "been", "being", "it",   "its",  "this", "that",
+    "these", "those", "i",   "you",  "he",    "she",  "we",   "they", "them",
+    "his",  "her",   "my",   "your", "our",   "their", "me",  "him",  "us",
+    "do",   "does",  "did",  "have", "has",   "had",  "will", "would", "can",
+    "could", "should", "may", "might", "must", "not",  "no",  "so",   "if",
+    "then", "than",  "too",  "very", "just",  "about", "into", "over", "after",
+    "before", "up",  "down", "out",  "off",   "again", "more", "most", "some",
+    "such", "only",  "own",  "same", "there", "here", "when", "where", "why",
+    "how",  "what",  "who",  "whom", "which", "while", "during", "both",
+    "each", "few",   "other", "all", "any",   "nor",  "am",   "rt"};
+}  // namespace
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {}
+
+void Tokenizer::AddStopWord(std::string_view word) {
+  std::string w(word);
+  if (options_.lowercase) {
+    for (char& ch : w) ch = static_cast<char>(std::tolower(ch));
+  }
+  stop_words_.insert(std::move(w));
+}
+
+void Tokenizer::AddDefaultStopWords() {
+  for (const char* w : kDefaultStopWords) AddStopWord(w);
+}
+
+bool Tokenizer::IsStopWord(const std::string& token) const {
+  return stop_words_.count(token) > 0;
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view content) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&]() {
+    if (static_cast<int>(current.size()) >= options_.min_token_length &&
+        !IsStopWord(current)) {
+      if (!options_.drop_numbers ||
+          current.find_first_not_of("0123456789") != std::string::npos) {
+        tokens.push_back(current);
+      }
+    }
+    current.clear();
+  };
+  for (char raw : content) {
+    unsigned char ch = static_cast<unsigned char>(raw);
+    if (std::isalnum(ch) || ch == '_' || ch >= 0x80) {
+      current.push_back(options_.lowercase && std::isupper(ch)
+                            ? static_cast<char>(std::tolower(ch))
+                            : raw);
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+}  // namespace cold::text

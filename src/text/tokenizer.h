@@ -1,0 +1,45 @@
+// Tokenization with stop-word filtering, matching the paper's preprocessing
+// ("after removing stop words ...", §6.1).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace cold::text {
+
+/// \brief Options controlling tokenization.
+struct TokenizerOptions {
+  /// Lower-case ASCII letters before emitting tokens.
+  bool lowercase = true;
+  /// Drop tokens shorter than this many bytes.
+  int min_token_length = 2;
+  /// Drop pure-digit tokens.
+  bool drop_numbers = true;
+};
+
+/// \brief Splits raw text into word tokens on non-alphanumeric boundaries and
+/// filters stop words.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  /// \brief Adds `word` to the stop list (applied after lowercasing).
+  void AddStopWord(std::string_view word);
+
+  /// \brief Adds a default English stop list (articles, pronouns,
+  /// prepositions, auxiliaries).
+  void AddDefaultStopWords();
+
+  /// \brief Tokenizes `content` into filtered tokens.
+  std::vector<std::string> Tokenize(std::string_view content) const;
+
+ private:
+  bool IsStopWord(const std::string& token) const;
+
+  TokenizerOptions options_;
+  std::unordered_set<std::string> stop_words_;
+};
+
+}  // namespace cold::text

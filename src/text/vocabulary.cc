@@ -1,0 +1,39 @@
+#include "text/vocabulary.h"
+
+namespace cold::text {
+
+WordId Vocabulary::Add(std::string_view word) {
+  auto it = index_.find(std::string(word));
+  if (it != index_.end()) {
+    counts_[static_cast<size_t>(it->second)]++;
+    return it->second;
+  }
+  WordId id = static_cast<WordId>(words_.size());
+  words_.emplace_back(word);
+  counts_.push_back(1);
+  index_.emplace(words_.back(), id);
+  return id;
+}
+
+WordId Vocabulary::Lookup(std::string_view word) const {
+  auto it = index_.find(std::string(word));
+  return it == index_.end() ? -1 : it->second;
+}
+
+Vocabulary Vocabulary::Prune(int64_t min_count,
+                             std::vector<WordId>* remap) const {
+  Vocabulary pruned;
+  if (remap != nullptr) {
+    remap->assign(words_.size(), -1);
+  }
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (counts_[i] >= min_count) {
+      WordId nid = pruned.Add(words_[i]);
+      pruned.counts_[static_cast<size_t>(nid)] = counts_[i];
+      if (remap != nullptr) (*remap)[i] = nid;
+    }
+  }
+  return pruned;
+}
+
+}  // namespace cold::text

@@ -1,0 +1,55 @@
+// Word interning: stable word-id assignment with frequency tracking, the
+// substrate for every topic model in this repo.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cold::text {
+
+/// Integer word identifier; dense in [0, size()).
+using WordId = int32_t;
+
+/// \brief Bidirectional string <-> id mapping with document frequencies.
+///
+/// Ids are assigned in first-seen order, so a vocabulary built from the same
+/// stream is deterministic.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// \brief Interns `word`, returning its id (existing or fresh) and
+  /// incrementing its occurrence count.
+  WordId Add(std::string_view word);
+
+  /// \brief Looks up `word`; returns -1 if unknown. Does not intern.
+  WordId Lookup(std::string_view word) const;
+
+  /// \brief The word string for `id`; `id` must be in range.
+  const std::string& word(WordId id) const {
+    return words_[static_cast<size_t>(id)];
+  }
+
+  /// \brief Total occurrences recorded for `id` via Add.
+  int64_t count(WordId id) const { return counts_[static_cast<size_t>(id)]; }
+
+  /// Number of distinct words.
+  int size() const { return static_cast<int>(words_.size()); }
+
+  /// \brief Returns a copy of this vocabulary with words occurring fewer
+  /// than `min_count` times removed; `remap` (optional out) maps old id ->
+  /// new id or -1 for dropped words.
+  Vocabulary Prune(int64_t min_count, std::vector<WordId>* remap) const;
+
+ private:
+  std::unordered_map<std::string, WordId> index_;
+  std::vector<std::string> words_;
+  std::vector<int64_t> counts_;
+};
+
+}  // namespace cold::text

@@ -1,0 +1,50 @@
+// Minimal leveled logging. Library code logs through this so examples and
+// benches can silence training chatter (`Logger::SetLevel`).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cold {
+
+/// \brief Log severity levels, ordered.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Process-wide logging configuration and sink.
+class Logger {
+ public:
+  /// Sets the minimum level that is emitted (default kInfo).
+  static void SetLevel(LogLevel level);
+
+  /// Current minimum level.
+  static LogLevel GetLevel();
+
+  /// Emits one line at `level` if `level >= GetLevel()`.
+  static void Log(LogLevel level, const std::string& msg);
+};
+
+namespace internal {
+
+/// RAII line builder used by the COLD_LOG macro.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Log(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define COLD_LOG(level) \
+  ::cold::internal::LogMessage(::cold::LogLevel::level)
+
+}  // namespace cold

@@ -1,0 +1,128 @@
+#include "util/math_util.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace cold {
+
+double LogSumExp(std::span<const double> x) {
+  if (x.empty()) return -std::numeric_limits<double>::infinity();
+  double m = *std::max_element(x.begin(), x.end());
+  if (!std::isfinite(m)) return m;
+  double s = 0.0;
+  for (double v : x) s += std::exp(v - m);
+  return m + std::log(s);
+}
+
+double NormalizeInPlace(std::span<double> x) {
+  double total = std::accumulate(x.begin(), x.end(), 0.0);
+  if (total <= 0.0 || !std::isfinite(total)) {
+    double u = x.empty() ? 0.0 : 1.0 / static_cast<double>(x.size());
+    std::fill(x.begin(), x.end(), u);
+    return total;
+  }
+  for (double& v : x) v /= total;
+  return total;
+}
+
+double Mean(std::span<const double> x) {
+  if (x.empty()) return 0.0;
+  return std::accumulate(x.begin(), x.end(), 0.0) /
+         static_cast<double>(x.size());
+}
+
+double Variance(std::span<const double> x) {
+  if (x.size() < 2) return 0.0;
+  double m = Mean(x);
+  double acc = 0.0;
+  for (double v : x) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(x.size());
+}
+
+double Median(std::span<const double> x) {
+  if (x.empty()) return 0.0;
+  std::vector<double> copy(x.begin(), x.end());
+  size_t mid = copy.size() / 2;
+  std::nth_element(copy.begin(), copy.begin() + static_cast<long>(mid),
+                   copy.end());
+  double hi = copy[mid];
+  if (copy.size() % 2 == 1) return hi;
+  double lo =
+      *std::max_element(copy.begin(), copy.begin() + static_cast<long>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double Entropy(std::span<const double> p) {
+  double h = 0.0;
+  for (double v : p) {
+    if (v > 0.0) h -= v * std::log(v);
+  }
+  return h;
+}
+
+double KlDivergence(std::span<const double> p, std::span<const double> q,
+                    double eps) {
+  assert(p.size() == q.size());
+  double kl = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p[i] > 0.0) kl += p[i] * (std::log(p[i]) - std::log(std::max(q[i], eps)));
+  }
+  return kl;
+}
+
+double L1Distance(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) d += std::abs(a[i] - b[i]);
+  return d;
+}
+
+double CosineSimilarity(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+std::vector<int> TopKIndices(std::span<const double> x, int k) {
+  k = std::min<int>(k, static_cast<int>(x.size()));
+  std::vector<int> idx(x.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                    [&x](int a, int b) {
+                      if (x[static_cast<size_t>(a)] !=
+                          x[static_cast<size_t>(b)]) {
+                        return x[static_cast<size_t>(a)] >
+                               x[static_cast<size_t>(b)];
+                      }
+                      return a < b;
+                    });
+  idx.resize(static_cast<size_t>(k));
+  return idx;
+}
+
+double Digamma(double x) {
+  assert(x > 0.0);
+  double result = 0.0;
+  // Shift x up until the asymptotic series is accurate.
+  while (x < 6.0) {
+    result -= 1.0 / x;
+    x += 1.0;
+  }
+  double inv = 1.0 / x;
+  double inv2 = inv * inv;
+  result += std::log(x) - 0.5 * inv -
+            inv2 * (1.0 / 12.0 -
+                    inv2 * (1.0 / 120.0 -
+                            inv2 * (1.0 / 252.0 - inv2 / 240.0)));
+  return result;
+}
+
+}  // namespace cold

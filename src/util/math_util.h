@@ -1,0 +1,56 @@
+// Small numerical helpers shared by the samplers and evaluators.
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+namespace cold {
+
+/// \brief log(sum_i exp(x_i)), numerically stable. Returns -inf for empty
+/// input.
+double LogSumExp(std::span<const double> x);
+
+/// \brief Normalizes `x` in place to sum to 1. If the sum is <= 0 the vector
+/// is set to uniform. Returns the pre-normalization sum.
+double NormalizeInPlace(std::span<double> x);
+
+/// \brief Mean of `x`; 0 for empty input.
+double Mean(std::span<const double> x);
+
+/// \brief Population variance of `x`; 0 for fewer than 2 elements.
+double Variance(std::span<const double> x);
+
+/// \brief Median of `x` (copies and partially sorts); 0 for empty input.
+double Median(std::span<const double> x);
+
+/// \brief Shannon entropy (nats) of a probability vector. Zero entries are
+/// skipped.
+double Entropy(std::span<const double> p);
+
+/// \brief KL divergence KL(p || q) in nats. Entries where p == 0 contribute
+/// zero; q entries are floored at `eps` to keep the result finite.
+double KlDivergence(std::span<const double> p, std::span<const double> q,
+                    double eps = 1e-12);
+
+/// \brief L1 distance between two equal-length vectors.
+double L1Distance(std::span<const double> a, std::span<const double> b);
+
+/// \brief Cosine similarity of two equal-length vectors; 0 if either has
+/// zero norm.
+double CosineSimilarity(std::span<const double> a, std::span<const double> b);
+
+/// \brief Indices of the `k` largest values of `x` (ties broken by lower
+/// index), in descending value order. k is clamped to x.size().
+std::vector<int> TopKIndices(std::span<const double> x, int k);
+
+/// \brief log of the Beta function, log B(a, b).
+inline double LogBeta(double a, double b) {
+  return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+}
+
+/// \brief Digamma function (Euler's psi), via asymptotic expansion with
+/// recurrence shift; accurate to ~1e-12 for x > 0.
+double Digamma(double x);
+
+}  // namespace cold

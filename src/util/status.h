@@ -1,0 +1,170 @@
+// Status / Result error-handling primitives, in the style of Apache Arrow and
+// RocksDB: library code never throws across API boundaries; fallible functions
+// return `Status` or `Result<T>`.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cold {
+
+/// \brief Machine-readable category of a failure.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kIOError = 5,
+  kNotImplemented = 6,
+  kInternal = 7,
+  kFailedPrecondition = 8,
+};
+
+/// \brief Returns a human-readable name for a status code ("OK",
+/// "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus, when not OK, a
+/// message.
+///
+/// The OK state carries no allocation, so returning `Status::OK()` is free.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg);
+
+  /// \brief The singleton-like OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return rep_ == nullptr; }
+
+  /// The status code (kOk when `ok()`).
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  /// The failure message; empty when `ok()`.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->msg : kEmpty;
+  }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string msg;
+  };
+  // Null for OK; shared so Status is cheap to copy.
+  std::shared_ptr<const Rep> rep_;
+};
+
+/// \brief Either a value of type T or a failure Status.
+///
+/// Mirrors `arrow::Result`: callers check `ok()` then take `ValueOrDie()` /
+/// `*result`, or propagate `status()`.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a failed result. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(status)) {
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(value)) {}
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Returns the value; the result must be `ok()`.
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Moves the value out; the result must be `ok()`.
+  T MoveValueUnsafe() { return std::move(std::get<T>(repr_)); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Propagates a non-OK Status from the evaluated expression.
+#define COLD_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::cold::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Evaluates a Result-returning expression; on failure returns its status,
+/// otherwise assigns the value to `lhs`.
+#define COLD_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define COLD_ASSIGN_OR_RETURN(lhs, rexpr) \
+  COLD_ASSIGN_OR_RETURN_IMPL(COLD_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#define COLD_CONCAT_INNER(a, b) a##b
+#define COLD_CONCAT(a, b) COLD_CONCAT_INNER(a, b)
+
+}  // namespace cold

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "core/cold.h"
+#include "data/synthetic.h"
+#include "eval/alignment.h"
+
+namespace cold::eval {
+namespace {
+
+// ------------------------------------------------------------------ NMI --
+
+TEST(NmiTest, IdenticalLabelingsScoreOne) {
+  std::vector<int> a = {0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(NormalizedMutualInformation(a, a), 1.0, 1e-12);
+}
+
+TEST(NmiTest, PermutedLabelsStillScoreOne) {
+  std::vector<int> a = {0, 0, 1, 1, 2, 2};
+  std::vector<int> b = {5, 5, 9, 9, 7, 7};
+  EXPECT_NEAR(NormalizedMutualInformation(a, b), 1.0, 1e-12);
+}
+
+TEST(NmiTest, IndependentLabelingsScoreNearZero) {
+  // a alternates fast, b alternates slow, sizes co-prime-ish.
+  std::vector<int> a, b;
+  for (int i = 0; i < 900; ++i) {
+    a.push_back(i % 3);
+    b.push_back((i / 300) % 3);
+  }
+  EXPECT_LT(NormalizedMutualInformation(a, b), 0.01);
+}
+
+TEST(NmiTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation({}, {}), 0.0);
+  std::vector<int> constant = {1, 1, 1};
+  std::vector<int> varied = {0, 1, 2};
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(constant, varied), 0.0);
+}
+
+TEST(NmiTest, PartialAgreementBetweenZeroAndOne) {
+  std::vector<int> a = {0, 0, 0, 0, 1, 1, 1, 1};
+  std::vector<int> b = {0, 0, 0, 1, 1, 1, 1, 0};
+  double nmi = NormalizedMutualInformation(a, b);
+  EXPECT_GT(nmi, 0.05);
+  EXPECT_LT(nmi, 0.95);
+}
+
+// ------------------------------------------------------------- matching --
+
+TEST(GreedyMatchingTest, FindsPermutation) {
+  std::vector<std::vector<double>> truth = {
+      {1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}, {0.0, 0.0, 1.0}};
+  std::vector<std::vector<double>> learned = {
+      {0.0, 0.1, 0.9}, {0.9, 0.1, 0.0}, {0.1, 0.9, 0.0}};
+  auto match = GreedyMatching(truth, learned);
+  EXPECT_EQ(match[0], 1);
+  EXPECT_EQ(match[1], 2);
+  EXPECT_EQ(match[2], 0);
+  EXPECT_GT(GreedyMatchedCosine(truth, learned), 0.95);
+}
+
+TEST(GreedyMatchingTest, ExtraLearnedRowsIgnored) {
+  std::vector<std::vector<double>> truth = {{1.0, 0.0}};
+  std::vector<std::vector<double>> learned = {
+      {0.0, 1.0}, {1.0, 0.0}, {0.5, 0.5}};
+  auto match = GreedyMatching(truth, learned);
+  EXPECT_EQ(match[0], 1);
+  EXPECT_NEAR(GreedyMatchedCosine(truth, learned), 1.0, 1e-12);
+}
+
+TEST(GreedyMatchingTest, MoreTruthThanLearnedLeavesUnmatched) {
+  std::vector<std::vector<double>> truth = {{1.0, 0.0}, {0.0, 1.0}};
+  std::vector<std::vector<double>> learned = {{0.9, 0.1}};
+  auto match = GreedyMatching(truth, learned);
+  EXPECT_EQ(match[0], 0);
+  EXPECT_EQ(match[1], -1);
+}
+
+// -------------------------------------------- recovery on trained model --
+
+TEST(RecoveryMetricsTest, TrainedModelBeatsUntrainedOnBothSpaces) {
+  data::SyntheticConfig dc;
+  dc.num_users = 200;
+  dc.num_communities = 4;
+  dc.num_topics = 6;
+  dc.num_time_slices = 12;
+  dc.core_words_per_topic = 12;
+  dc.background_words = 60;
+  dc.posts_per_user = 12.0;
+  dc.words_per_post = 8.0;
+  dc.follows_per_user = 10;
+  dc.seed = 33;
+  auto ds = std::move(data::SyntheticSocialGenerator(dc).Generate())
+                .ValueOrDie();
+
+  core::ColdConfig config;
+  config.num_communities = 4;
+  config.num_topics = 6;
+  config.rho = 0.5;
+  config.alpha = 0.5;
+  config.iterations = 60;
+  config.burn_in = 40;
+  core::ColdGibbsSampler sampler(config, ds.posts, &ds.interactions);
+  ASSERT_TRUE(sampler.Init().ok());
+  double phi_before = 0.0;
+  {
+    // Matched cosine of the random-init estimates.
+    core::ColdEstimates init = sampler.EstimatesFromCurrentSample();
+    std::vector<std::vector<double>> learned;
+    for (int k = 0; k < init.K; ++k) {
+      std::vector<double> row(static_cast<size_t>(init.V));
+      for (int v = 0; v < init.V; ++v) row[static_cast<size_t>(v)] = init.Phi(k, v);
+      learned.push_back(std::move(row));
+    }
+    phi_before = GreedyMatchedCosine(ds.truth.phi, learned);
+  }
+  ASSERT_TRUE(sampler.Train().ok());
+  core::ColdEstimates est = sampler.AveragedEstimates();
+
+  // Topic recovery: matched cosine of phi rows.
+  std::vector<std::vector<double>> learned_phi;
+  for (int k = 0; k < est.K; ++k) {
+    std::vector<double> row(static_cast<size_t>(est.V));
+    for (int v = 0; v < est.V; ++v) row[static_cast<size_t>(v)] = est.Phi(k, v);
+    learned_phi.push_back(std::move(row));
+  }
+  double phi_after = GreedyMatchedCosine(ds.truth.phi, learned_phi);
+  EXPECT_GT(phi_after, 0.8);
+  EXPECT_GT(phi_after, phi_before + 0.3);
+
+  // Community recovery: NMI between planted and estimated dominant
+  // community per post.
+  std::vector<int> planted(ds.truth.post_community.begin(),
+                           ds.truth.post_community.end());
+  std::vector<int> estimated(sampler.state().post_community.begin(),
+                             sampler.state().post_community.end());
+  double nmi = NormalizedMutualInformation(planted, estimated);
+  EXPECT_GT(nmi, 0.25) << "post-community NMI too low";
+}
+
+}  // namespace
+}  // namespace cold::eval

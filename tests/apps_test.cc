@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "apps/diffusion_graph.h"
+#include "apps/independent_cascade.h"
+#include "apps/influence.h"
+#include "apps/patterns.h"
+#include "core/cold.h"
+#include "data/synthetic.h"
+
+namespace cold::apps {
+namespace {
+
+// --------------------------------------------------- Independent Cascade --
+
+DiffusionGraph LineGraph(double p) {
+  // 0 -> 1 -> 2 -> 3 with probability p each.
+  DiffusionGraph g(4, std::vector<double>(4, 0.0));
+  g[0][1] = g[1][2] = g[2][3] = p;
+  return g;
+}
+
+TEST(IndependentCascadeTest, DeterministicEdges) {
+  cold::RandomSampler sampler(1);
+  DiffusionGraph certain = LineGraph(1.0);
+  EXPECT_EQ(SimulateCascadeOnce(certain, {0}, &sampler), 4);
+  DiffusionGraph never = LineGraph(0.0);
+  EXPECT_EQ(SimulateCascadeOnce(never, {0}, &sampler), 1);
+  EXPECT_EQ(SimulateCascadeOnce(never, {3}, &sampler), 1);
+}
+
+TEST(IndependentCascadeTest, SeedsCountedOnce) {
+  cold::RandomSampler sampler(2);
+  DiffusionGraph never = LineGraph(0.0);
+  EXPECT_EQ(SimulateCascadeOnce(never, {0, 0, 1}, &sampler), 2);
+}
+
+TEST(IndependentCascadeTest, ExpectedSpreadMatchesAnalytic) {
+  cold::RandomSampler sampler(3);
+  DiffusionGraph g = LineGraph(0.5);
+  // E[spread from 0] = 1 + 0.5 + 0.25 + 0.125 = 1.875.
+  double spread = ExpectedSpread(g, {0}, 20000, &sampler);
+  EXPECT_NEAR(spread, 1.875, 0.05);
+}
+
+TEST(IndependentCascadeTest, SingleSeedInfluenceOrdersLineGraph) {
+  auto influence = SingleSeedInfluence(LineGraph(0.8), 3000, 7);
+  ASSERT_EQ(influence.size(), 4u);
+  // Earlier nodes on the line reach more.
+  EXPECT_GT(influence[0], influence[1]);
+  EXPECT_GT(influence[1], influence[2]);
+  EXPECT_GT(influence[2], influence[3]);
+  EXPECT_NEAR(influence[3], 1.0, 1e-9);
+}
+
+TEST(IndependentCascadeTest, GreedySelectionPicksSpreaders) {
+  // Two disconnected strong lines: greedy with budget 2 should take one
+  // head from each.
+  DiffusionGraph g(6, std::vector<double>(6, 0.0));
+  g[0][1] = g[1][2] = 1.0;
+  g[3][4] = g[4][5] = 1.0;
+  auto seeds = GreedySeedSelection(g, 2, 200, 11);
+  ASSERT_EQ(seeds.size(), 2u);
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(seeds[0], 0);
+  EXPECT_EQ(seeds[1], 3);
+}
+
+TEST(IndependentCascadeTest, ZeroTrialsGiveZero) {
+  cold::RandomSampler sampler(4);
+  EXPECT_DOUBLE_EQ(ExpectedSpread(LineGraph(1.0), {0}, 0, &sampler), 0.0);
+}
+
+// ------------------------------------------------------ Influence ranking --
+
+core::ColdEstimates ToyEstimates() {
+  core::ColdEstimates est;
+  est.U = 6;
+  est.C = 3;
+  est.K = 2;
+  est.T = 4;
+  est.V = 4;
+  // Community 0 loves topic 0 and influences community 1 strongly.
+  est.theta = {0.9, 0.1,   // c0
+               0.6, 0.4,   // c1
+               0.1, 0.9};  // c2
+  est.eta = {0.05, 0.60, 0.01,   // c0 -> *
+             0.01, 0.05, 0.30,   // c1 -> *
+             0.01, 0.01, 0.05};  // c2 -> *
+  // Users: two per community, sharply assigned.
+  est.pi = {0.8, 0.1, 0.1, 0.8, 0.1, 0.1,
+            0.1, 0.8, 0.1, 0.1, 0.8, 0.1,
+            0.1, 0.1, 0.8, 0.1, 0.1, 0.8};
+  est.phi = {0.7, 0.1, 0.1, 0.1,
+             0.1, 0.1, 0.1, 0.7};
+  est.psi.assign(static_cast<size_t>(est.K * est.C * est.T), 1.0 / est.T);
+  return est;
+}
+
+TEST(InfluenceTest, TopicGraphUsesZeta) {
+  core::ColdEstimates est = ToyEstimates();
+  DiffusionGraph g = BuildTopicDiffusionGraph(est, 0, /*max_edge_prob=*/0.0);
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_DOUBLE_EQ(g[0][1], est.Zeta(0, 0, 1));
+  EXPECT_DOUBLE_EQ(g[0][0], 0.0);  // diagonal cleared
+  // Rescaled version caps the max edge.
+  DiffusionGraph scaled = BuildTopicDiffusionGraph(est, 0, 0.5);
+  double max_edge = 0.0;
+  for (const auto& row : scaled) {
+    for (double v : row) max_edge = std::max(max_edge, v);
+  }
+  EXPECT_NEAR(max_edge, 0.5, 1e-9);
+}
+
+TEST(InfluenceTest, RanksSourceCommunityFirstOnItsTopic) {
+  core::ColdEstimates est = ToyEstimates();
+  auto ranked = RankCommunitiesByInfluence(est, /*topic=*/0, 2000, 13);
+  ASSERT_EQ(ranked.size(), 3u);
+  // Community 0: highest theta on topic 0 and a strong outgoing edge.
+  EXPECT_EQ(ranked[0].community, 0);
+  EXPECT_GE(ranked[0].influence_degree, ranked[1].influence_degree);
+  EXPECT_NEAR(ranked[0].topic_interest, 0.9, 1e-9);
+}
+
+TEST(InfluenceTest, UserInfluenceFollowsMembership) {
+  core::ColdEstimates est = ToyEstimates();
+  auto ranked = RankCommunitiesByInfluence(est, 0, 2000, 13);
+  auto users = UserInfluenceDegrees(est, ranked);
+  ASSERT_EQ(users.size(), 6u);
+  // Users 0 and 3 belong to the most influential community.
+  EXPECT_GT(users[0], users[4]);
+  EXPECT_GT(users[3], users[5]);
+}
+
+TEST(InfluenceTest, PentagonCoordinatesInsideUnitDisk) {
+  core::ColdEstimates est = ToyEstimates();
+  auto ranked = RankCommunitiesByInfluence(est, 0, 500, 13);
+  auto coords = PentagonCoordinates(est, ranked, 5);
+  ASSERT_EQ(coords.size(), 6u);
+  for (const auto& [x, y] : coords) {
+    EXPECT_LE(std::sqrt(x * x + y * y), 1.0 + 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------- Patterns --
+
+core::ColdEstimates PatternEstimates() {
+  core::ColdEstimates est;
+  est.U = 1;
+  est.C = 12;
+  est.K = 1;
+  est.T = 10;
+  est.V = 1;
+  est.pi.assign(static_cast<size_t>(est.C), 1.0 / est.C);
+  est.phi = {1.0};
+  est.eta.assign(static_cast<size_t>(est.C) * est.C, 0.1);
+  est.theta.resize(static_cast<size_t>(est.C));
+  est.psi.resize(static_cast<size_t>(est.C) * est.T);
+  // Descending interest; the three highest-interest communities peak early
+  // (slice 2), the rest peak late (slice 5) — the planted Fig-7 lag.
+  for (int c = 0; c < est.C; ++c) {
+    est.theta[static_cast<size_t>(c)] = std::pow(0.5, c) * 0.5 + 1e-6;
+    int peak = (c < 3) ? 2 : 5;
+    for (int t = 0; t < est.T; ++t) {
+      est.psi[static_cast<size_t>(c) * est.T + t] =
+          (t == peak) ? 0.8 : 0.2 / (est.T - 1);
+    }
+  }
+  return est;
+}
+
+TEST(PatternsTest, FluctuationScatterCoversAllPairs) {
+  auto est = PatternEstimates();
+  auto points = FluctuationScatter(est);
+  EXPECT_EQ(points.size(), static_cast<size_t>(est.K * est.C));
+  for (const auto& p : points) {
+    EXPECT_GE(p.fluctuation, 0.0);
+    EXPECT_GT(p.interest, 0.0);
+  }
+}
+
+TEST(PatternsTest, FlatSeriesHasZeroFluctuation) {
+  core::ColdEstimates est = PatternEstimates();
+  // Make community 11 flat.
+  for (int t = 0; t < est.T; ++t) {
+    est.psi[static_cast<size_t>(11) * est.T + t] = 1.0 / est.T;
+  }
+  auto points = FluctuationScatter(est);
+  EXPECT_NEAR(points[11].fluctuation, 0.0, 1e-15);
+  EXPECT_GT(points[0].fluctuation, 0.0);
+}
+
+TEST(PatternsTest, InterestCdfMonotone) {
+  auto est = PatternEstimates();
+  auto points = FluctuationScatter(est);
+  auto cdf = InterestCdf(points, {1e-6, 1e-3, 1e-1, 1.0});
+  for (size_t i = 1; i < cdf.size(); ++i) EXPECT_GE(cdf[i], cdf[i - 1]);
+  EXPECT_DOUBLE_EQ(cdf.back(), 1.0);
+}
+
+TEST(PatternsTest, MeanFluctuationBins) {
+  auto est = PatternEstimates();
+  auto points = FluctuationScatter(est);
+  auto means = MeanFluctuationByInterestBin(points, {0.0, 0.01, 0.5});
+  EXPECT_EQ(means.size(), 3u);
+  for (double m : means) EXPECT_GE(m, 0.0);
+}
+
+TEST(PatternsTest, CategorizeSplitsHighAndMedium) {
+  auto est = PatternEstimates();
+  auto cats = CategorizeCommunities(est, 0, /*num_high=*/3,
+                                    /*min_interest=*/1e-5);
+  EXPECT_EQ(cats.high.size(), 3u);
+  EXPECT_EQ(cats.high[0], 0);  // highest interest first
+  EXPECT_FALSE(cats.medium.empty());
+  EXPECT_GT(cats.high_mean_interest, cats.medium_mean_interest);
+  // No overlap.
+  for (int c : cats.medium) {
+    EXPECT_TRUE(std::find(cats.high.begin(), cats.high.end(), c) ==
+                cats.high.end());
+  }
+}
+
+TEST(PatternsTest, PeakAlignedCurvePeaksAtOne) {
+  auto est = PatternEstimates();
+  auto curve = PeakAlignedMedianCurve(est, 0, {0, 1, 2});
+  ASSERT_EQ(curve.size(), static_cast<size_t>(est.T));
+  double peak = *std::max_element(curve.begin(), curve.end());
+  EXPECT_LE(peak, 1.0 + 1e-9);
+  EXPECT_GT(peak, 0.0);
+}
+
+TEST(PatternsTest, MeasuresPlantedTimeLag) {
+  auto est = PatternEstimates();
+  // High = communities 0..2 (peaks at 0..2); medium = later peaks.
+  TimeLagResult lag = MeasureTimeLag(est, 0, /*num_high=*/3, 1e-7);
+  EXPECT_GE(lag.lag, 1) << "medium-interest communities must peak later";
+  EXPECT_EQ(lag.high_curve.size(), static_cast<size_t>(est.T));
+}
+
+// --------------------------------------------------------- DiffusionGraph --
+
+TEST(DiffusionSummaryTest, ExtractsNodesAndArcs) {
+  core::ColdEstimates est = ToyEstimates();
+  TopicDiffusionSummary summary =
+      SummarizeTopicDiffusion(est, /*topic=*/0, /*num_communities=*/3,
+                              /*num_arcs=*/4, /*num_words=*/3);
+  EXPECT_EQ(summary.topic, 0);
+  EXPECT_EQ(summary.top_words.size(), 3u);
+  EXPECT_EQ(summary.top_words[0], 0);  // word 0 has phi 0.7 in topic 0
+  ASSERT_EQ(summary.nodes.size(), 3u);
+  EXPECT_EQ(summary.nodes[0].community, 0);  // most interested
+  EXPECT_EQ(summary.nodes[0].popularity.size(),
+            static_cast<size_t>(est.T));
+  ASSERT_FALSE(summary.arcs.empty());
+  // Arcs sorted by strength.
+  for (size_t i = 1; i < summary.arcs.size(); ++i) {
+    EXPECT_GE(summary.arcs[i - 1].strength, summary.arcs[i].strength);
+  }
+  // Strongest arc: c0 -> c1 (eta 0.6, both interested).
+  EXPECT_EQ(summary.arcs[0].from_community, 0);
+  EXPECT_EQ(summary.arcs[0].to_community, 1);
+}
+
+TEST(DiffusionSummaryTest, RenderProducesReadableText) {
+  core::ColdEstimates est = ToyEstimates();
+  TopicDiffusionSummary summary = SummarizeTopicDiffusion(est, 0, 2, 2, 2);
+  std::string text = RenderTopicDiffusion(summary, nullptr);
+  EXPECT_NE(text.find("Topic 0"), std::string::npos);
+  EXPECT_NE(text.find("community"), std::string::npos);
+  EXPECT_NE(text.find("arc"), std::string::npos);
+  EXPECT_NE(text.find("w0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cold::apps

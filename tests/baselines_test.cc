@@ -1,0 +1,518 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "baselines/eutb.h"
+#include "baselines/lda.h"
+#include "baselines/mmsb.h"
+#include "baselines/pipeline.h"
+#include "baselines/pmtlm.h"
+#include "baselines/ti.h"
+#include "baselines/tot.h"
+#include "baselines/wtm.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "util/math_util.h"
+
+namespace cold::baselines {
+namespace {
+
+data::SyntheticConfig TestDataConfig() {
+  data::SyntheticConfig config;
+  config.num_users = 150;
+  config.num_communities = 4;
+  config.num_topics = 6;
+  config.num_time_slices = 12;
+  config.core_words_per_topic = 12;
+  config.background_words = 60;
+  config.posts_per_user = 10.0;
+  config.words_per_post = 8.0;
+  config.follows_per_user = 8;
+  config.seed = 11;
+  return config;
+}
+
+const data::SocialDataset& TestData() {
+  static const data::SocialDataset* dataset = [] {
+    data::SyntheticSocialGenerator gen(TestDataConfig());
+    return new data::SocialDataset(std::move(gen.Generate()).ValueOrDie());
+  }();
+  return *dataset;
+}
+
+// ------------------------------------------------------------------- LDA --
+
+TEST(LdaTest, RejectsBadConfig) {
+  LdaConfig config;
+  config.num_topics = 0;
+  LdaModel model(config, TestData().posts);
+  EXPECT_FALSE(model.Train().ok());
+}
+
+TEST(LdaTest, PerWordTrainsAndNormalizes) {
+  LdaConfig config;
+  config.num_topics = 6;
+  config.iterations = 30;
+  config.alpha = 0.5;
+  LdaModel model(config, TestData().posts);
+  ASSERT_TRUE(model.Train().ok());
+  const LdaEstimates& est = model.estimates();
+  EXPECT_EQ(est.K, 6);
+  for (int k = 0; k < est.K; ++k) {
+    double total = 0.0;
+    for (int v = 0; v < est.V; ++v) total += est.Phi(k, v);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+  for (int d = 0; d < est.num_documents; d += 97) {
+    double total = 0.0;
+    for (int k = 0; k < est.K; ++k) total += est.Theta(d, k);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(LdaTest, PerPostRecoversPlantedTopics) {
+  LdaConfig config;
+  config.num_topics = 8;  // a little slack over the 6 planted topics
+  config.iterations = 80;
+  config.alpha = 0.5;
+  config.assignment = LdaAssignment::kPerPost;
+  config.document_unit = LdaDocumentUnit::kUserDocument;
+  LdaModel model(config, TestData().posts);
+  ASSERT_TRUE(model.Train().ok());
+  const auto& truth = TestData().truth;
+  int matched = 0;
+  for (size_t kt = 0; kt < truth.phi.size(); ++kt) {
+    double best = 0.0;
+    for (int k = 0; k < model.estimates().K; ++k) {
+      std::vector<double> learned(static_cast<size_t>(model.estimates().V));
+      for (int v = 0; v < model.estimates().V; ++v) {
+        learned[static_cast<size_t>(v)] = model.estimates().Phi(k, v);
+      }
+      best = std::max(best, cold::CosineSimilarity(truth.phi[kt], learned));
+    }
+    if (best > 0.5) ++matched;
+  }
+  EXPECT_GE(matched, 5);
+}
+
+TEST(LdaTest, PostTopicsPopulated) {
+  LdaConfig config;
+  config.num_topics = 4;
+  config.iterations = 10;
+  config.assignment = LdaAssignment::kPerPost;
+  LdaModel model(config, TestData().posts);
+  ASSERT_TRUE(model.Train().ok());
+  EXPECT_EQ(model.post_topics().size(),
+            static_cast<size_t>(TestData().posts.num_posts()));
+  for (int32_t k : model.post_topics()) {
+    EXPECT_GE(k, 0);
+    EXPECT_LT(k, 4);
+  }
+}
+
+TEST(LdaTest, PerplexityBeatsUniform) {
+  LdaConfig config;
+  config.num_topics = 6;
+  config.iterations = 30;
+  config.alpha = 0.5;
+  config.document_unit = LdaDocumentUnit::kUserDocument;
+  LdaModel model(config, TestData().posts);
+  ASSERT_TRUE(model.Train().ok());
+  double perp = model.Perplexity(TestData().posts);
+  EXPECT_GT(perp, 1.0);
+  EXPECT_LT(perp, model.estimates().V * 0.8);
+}
+
+TEST(LdaTest, TopicPosteriorNormalized) {
+  LdaConfig config;
+  config.num_topics = 4;
+  config.iterations = 10;
+  LdaModel model(config, TestData().posts);
+  ASSERT_TRUE(model.Train().ok());
+  std::vector<text::WordId> words = {0, 1, 2};
+  auto post = model.TopicPosterior(words);
+  EXPECT_NEAR(std::accumulate(post.begin(), post.end(), 0.0), 1.0, 1e-9);
+}
+
+// ------------------------------------------------------------------ MMSB --
+
+TEST(MmsbTest, TrainsAndPredictsLinks) {
+  MmsbConfig config;
+  config.num_communities = 4;
+  config.iterations = 50;
+  config.rho = 0.5;
+  const auto& ds = TestData();
+  data::LinkSplit split = data::SplitLinks(ds.interactions, 0.2, 2.0, 3, 0);
+  MmsbModel model(config, split.train, ds.num_users());
+  ASSERT_TRUE(model.Train().ok());
+
+  std::vector<double> pos, neg;
+  for (const auto& [a, b] : split.test_positive) {
+    pos.push_back(model.LinkProbability(a, b));
+  }
+  for (const auto& [a, b] : split.test_negative) {
+    neg.push_back(model.LinkProbability(a, b));
+  }
+  EXPECT_GT(eval::RocAuc(pos, neg), 0.55);
+}
+
+TEST(MmsbTest, MembershipsNormalized) {
+  MmsbConfig config;
+  config.num_communities = 4;
+  config.iterations = 20;
+  config.rho = 0.5;
+  const auto& ds = TestData();
+  MmsbModel model(config, ds.interactions, ds.num_users());
+  ASSERT_TRUE(model.Train().ok());
+  for (int i = 0; i < ds.num_users(); i += 29) {
+    double total = 0.0;
+    for (int c = 0; c < 4; ++c) total += model.estimates().Pi(i, c);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+  auto top = model.TopCommunities(0, 2);
+  EXPECT_EQ(top.size(), 2u);
+}
+
+TEST(MmsbTest, RejectsEmptyGraph) {
+  graph::Digraph::Builder builder;
+  graph::Digraph empty = std::move(builder).Build(5);
+  MmsbModel model(MmsbConfig{}, empty, 5);
+  EXPECT_FALSE(model.Train().ok());
+}
+
+// ----------------------------------------------------------------- PMTLM --
+
+TEST(PmtlmTest, TrainsAndScoresLinks) {
+  PmtlmConfig config;
+  config.num_factors = 4;
+  config.iterations = 30;
+  config.alpha = 0.5;
+  const auto& ds = TestData();
+  data::LinkSplit split = data::SplitLinks(ds.interactions, 0.2, 2.0, 5, 0);
+  PmtlmModel model(config, ds.posts, split.train);
+  ASSERT_TRUE(model.Train().ok());
+
+  std::vector<double> pos, neg;
+  for (const auto& [a, b] : split.test_positive) {
+    pos.push_back(model.LinkProbability(a, b));
+  }
+  for (const auto& [a, b] : split.test_negative) {
+    neg.push_back(model.LinkProbability(a, b));
+  }
+  EXPECT_GT(eval::RocAuc(pos, neg), 0.55);
+}
+
+TEST(PmtlmTest, PerplexityReasonable) {
+  PmtlmConfig config;
+  config.num_factors = 6;
+  config.iterations = 30;
+  config.alpha = 0.5;
+  const auto& ds = TestData();
+  PmtlmModel model(config, ds.posts, ds.interactions);
+  ASSERT_TRUE(model.Train().ok());
+  double perp = model.Perplexity(ds.posts);
+  EXPECT_GT(perp, 1.0);
+  EXPECT_LT(perp, model.estimates().V * 0.9);
+}
+
+// ------------------------------------------------------------------- TOT --
+
+TEST(TotTest, TrainsOnAllPosts) {
+  TotConfig config;
+  config.num_topics = 6;
+  config.iterations = 30;
+  config.alpha = 0.5;
+  TotModel model(config, TestData().posts);
+  ASSERT_TRUE(model.Train().ok());
+  const TotEstimates& est = model.estimates();
+  EXPECT_NEAR(std::accumulate(est.topic_weight.begin(),
+                              est.topic_weight.end(), 0.0),
+              1.0, 1e-6);
+  for (int k = 0; k < est.K; ++k) {
+    EXPECT_GT(est.beta_a[static_cast<size_t>(k)], 0.0);
+    EXPECT_GT(est.beta_b[static_cast<size_t>(k)], 0.0);
+  }
+}
+
+TEST(TotTest, BetaDensityIntegratesToRoughlyOne) {
+  TotConfig config;
+  config.num_topics = 4;
+  config.iterations = 15;
+  TotModel model(config, TestData().posts);
+  ASSERT_TRUE(model.Train().ok());
+  const TotEstimates& est = model.estimates();
+  for (int k = 0; k < est.K; ++k) {
+    double integral = 0.0;
+    const int steps = 2000;
+    for (int s = 0; s < steps; ++s) {
+      integral += est.TimeDensity(k, (s + 0.5) / steps) / steps;
+    }
+    EXPECT_NEAR(integral, 1.0, 0.05) << "topic " << k;
+  }
+}
+
+TEST(TotTest, SubsetTraining) {
+  TotConfig config;
+  config.num_topics = 3;
+  config.iterations = 10;
+  TotModel model(config, TestData().posts);
+  std::vector<text::PostId> subset;
+  for (text::PostId d = 0; d < 200; ++d) subset.push_back(d);
+  ASSERT_TRUE(model.Train(subset).ok());
+  int t = model.PredictTimestamp(TestData().posts.words(0));
+  EXPECT_GE(t, 0);
+  EXPECT_LT(t, TestData().posts.num_time_slices());
+}
+
+TEST(TotTest, UnimodalDensityCannotTrackTwoBursts) {
+  // Property behind Fig 11 / §3.3: a Beta density has a single interior
+  // mode, so its density at two separated burst times cannot both exceed
+  // the density at the midpoint... unless it is U-shaped (a<1, b<1), which
+  // the clamp avoids for fitted bursts. We check the fitted density is
+  // unimodal in the interior.
+  TotConfig config;
+  config.num_topics = 4;
+  config.iterations = 20;
+  TotModel model(config, TestData().posts);
+  ASSERT_TRUE(model.Train().ok());
+  const TotEstimates& est = model.estimates();
+  for (int k = 0; k < est.K; ++k) {
+    double a = est.beta_a[static_cast<size_t>(k)];
+    double b = est.beta_b[static_cast<size_t>(k)];
+    if (a <= 1.0 || b <= 1.0) continue;  // edge-peaked fits
+    // Count local maxima on a grid.
+    int modes = 0;
+    double prev = est.TimeDensity(k, 0.01);
+    double curr = est.TimeDensity(k, 0.02);
+    for (int s = 3; s < 100; ++s) {
+      double next = est.TimeDensity(k, s / 100.0);
+      if (curr > prev && curr > next) ++modes;
+      prev = curr;
+      curr = next;
+    }
+    EXPECT_LE(modes, 1) << "Beta density must be unimodal";
+  }
+}
+
+// ------------------------------------------------------------------ EUTB --
+
+TEST(EutbTest, TrainsAndPredictsTimestamps) {
+  EutbConfig config;
+  config.num_topics = 6;
+  config.iterations = 30;
+  config.alpha = 0.5;
+  EutbModel model(config, TestData().posts);
+  ASSERT_TRUE(model.Train().ok());
+  const EutbEstimates& est = model.estimates();
+  EXPECT_GT(est.lambda_user, 0.0);
+  EXPECT_LT(est.lambda_user, 1.0);
+  EXPECT_NEAR(std::accumulate(est.slice_prior.begin(), est.slice_prior.end(),
+                              0.0),
+              1.0, 1e-9);
+  std::vector<text::WordId> words = {0, 1, 2};
+  auto scores = model.TimestampScores(words, 0);
+  EXPECT_NEAR(std::accumulate(scores.begin(), scores.end(), 0.0), 1.0, 1e-9);
+  int t = model.PredictTimestamp(words, 0);
+  EXPECT_GE(t, 0);
+  EXPECT_LT(t, est.T);
+}
+
+TEST(EutbTest, SmoothedTimeMixturesNormalized) {
+  EutbConfig config;
+  config.num_topics = 4;
+  config.iterations = 15;
+  EutbModel model(config, TestData().posts);
+  ASSERT_TRUE(model.Train().ok());
+  const EutbEstimates& est = model.estimates();
+  for (int t = 0; t < est.T; ++t) {
+    double total = 0.0;
+    for (int k = 0; k < est.K; ++k) total += est.ThetaTime(t, k);
+    EXPECT_NEAR(total, 1.0, 1e-6) << "slice " << t;
+  }
+}
+
+TEST(EutbTest, PerplexityReasonable) {
+  EutbConfig config;
+  config.num_topics = 6;
+  config.iterations = 30;
+  config.alpha = 0.5;
+  EutbModel model(config, TestData().posts);
+  ASSERT_TRUE(model.Train().ok());
+  double perp = model.Perplexity(TestData().posts);
+  EXPECT_GT(perp, 1.0);
+  EXPECT_LT(perp, model.estimates().V * 0.8);
+}
+
+// -------------------------------------------------------------- Pipeline --
+
+TEST(PipelineTest, TrainsAndPredicts) {
+  PipelineConfig config;
+  config.mmsb.num_communities = 4;
+  config.mmsb.iterations = 30;
+  config.mmsb.rho = 0.5;
+  config.tot.num_topics = 4;
+  config.tot.iterations = 15;
+  config.tot.alpha = 0.5;
+  const auto& ds = TestData();
+  PipelineModel model(config, ds.posts, ds.interactions);
+  ASSERT_TRUE(model.Train().ok());
+  std::vector<text::WordId> words = {0, 1, 2};
+  auto scores = model.TimestampScores(words, 0);
+  EXPECT_EQ(scores.size(), static_cast<size_t>(ds.num_time_slices()));
+  EXPECT_NEAR(std::accumulate(scores.begin(), scores.end(), 0.0), 1.0, 1e-9);
+  int t = model.PredictTimestamp(words, 3);
+  EXPECT_GE(t, 0);
+  EXPECT_LT(t, ds.num_time_slices());
+}
+
+// ------------------------------------------------------------------- WTM --
+
+TEST(WtmTest, FeaturesInRangeAndScoreCombines) {
+  const auto& ds = TestData();
+  data::RetweetSplit split = data::SplitRetweets(ds, 0.2, 31, 0);
+  WtmModel model(WtmConfig{}, ds.posts, split.train_interactions,
+                 split.train);
+  ASSERT_TRUE(model.Train().ok());
+
+  const auto& tuple = split.test.front();
+  auto words = ds.posts.words(tuple.post);
+  for (text::UserId u : tuple.retweeters) {
+    double match = model.InterestMatch(u, words);
+    EXPECT_GE(match, 0.0);
+    EXPECT_LE(match, 1.0 + 1e-9);
+    EXPECT_GE(model.Influence(u), 0.0);
+    EXPECT_LE(model.Influence(u), 1.0 + 1e-9);
+    double score = model.Score(tuple.author, u, words);
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0 + 1e-9);
+  }
+}
+
+TEST(WtmTest, RelationshipReflectsHistory) {
+  const auto& ds = TestData();
+  data::RetweetSplit split = data::SplitRetweets(ds, 0.2, 31, 0);
+  WtmModel model(WtmConfig{}, ds.posts, split.train_interactions,
+                 split.train);
+  ASSERT_TRUE(model.Train().ok());
+  // Pick a training pair with a retweet; relationship must exceed a random
+  // unrelated pair's (which is 0). (Not every tuple has retweeters: unseen
+  // or ignored posts produce ignorer-only tuples.)
+  const data::RetweetTuple* with_retweet = nullptr;
+  for (const auto& t : split.train) {
+    if (!t.retweeters.empty()) {
+      with_retweet = &t;
+      break;
+    }
+  }
+  ASSERT_NE(with_retweet, nullptr);
+  const auto& tuple = *with_retweet;
+  EXPECT_GT(model.Relationship(tuple.author, tuple.retweeters[0]), 0.0);
+  EXPECT_DOUBLE_EQ(
+      model.Relationship(tuple.retweeters[0], tuple.author) +
+          model.Relationship(tuple.author, tuple.author),
+      model.Relationship(tuple.retweeters[0], tuple.author));
+}
+
+TEST(WtmTest, SeparatesRetweetersFromIgnorers) {
+  const auto& ds = TestData();
+  data::RetweetSplit split = data::SplitRetweets(ds, 0.2, 31, 0);
+  WtmModel model(WtmConfig{}, ds.posts, split.train_interactions,
+                 split.train);
+  ASSERT_TRUE(model.Train().ok());
+  std::vector<eval::ScoredTuple> scored;
+  for (const data::RetweetTuple& tuple : split.test) {
+    eval::ScoredTuple st;
+    auto words = ds.posts.words(tuple.post);
+    for (text::UserId u : tuple.retweeters) {
+      st.positive_scores.push_back(model.Score(tuple.author, u, words));
+    }
+    for (text::UserId u : tuple.ignorers) {
+      st.negative_scores.push_back(model.Score(tuple.author, u, words));
+    }
+    scored.push_back(std::move(st));
+  }
+  EXPECT_GT(eval::AveragedTupleAuc(scored), 0.5);
+}
+
+// -------------------------------------------------------------------- TI --
+
+TEST(TiTest, TrainsAndScores) {
+  const auto& ds = TestData();
+  data::RetweetSplit split = data::SplitRetweets(ds, 0.2, 31, 0);
+  TiConfig config;
+  config.lda.num_topics = 6;
+  config.lda.iterations = 20;
+  config.lda.alpha = 0.5;
+  TiModel model(config, ds.posts, split.train);
+  ASSERT_TRUE(model.Train().ok());
+
+  const auto& tuple = split.test.front();
+  auto words = ds.posts.words(tuple.post);
+  for (text::UserId u : tuple.retweeters) {
+    double score = model.Score(tuple.author, u, words);
+    EXPECT_GE(score, 0.0);
+  }
+}
+
+TEST(TiTest, DirectInfluenceHigherForObservedRetweeters) {
+  const auto& ds = TestData();
+  data::RetweetSplit split = data::SplitRetweets(ds, 0.2, 31, 0);
+  TiConfig config;
+  config.lda.num_topics = 6;
+  config.lda.iterations = 20;
+  config.lda.alpha = 0.5;
+  TiModel model(config, ds.posts, split.train);
+  ASSERT_TRUE(model.Train().ok());
+
+  // Aggregate influence over train tuples: observed retweeters should get
+  // higher average direct influence than ignorers.
+  double pos_total = 0.0, neg_total = 0.0;
+  int pos_n = 0, neg_n = 0;
+  int seen = 0;
+  for (const data::RetweetTuple& tuple : split.train) {
+    if (seen++ > 200) break;
+    int k = model.lda().post_topics()[static_cast<size_t>(tuple.post)];
+    for (text::UserId u : tuple.retweeters) {
+      pos_total += model.DirectInfluence(tuple.author, u, k);
+      ++pos_n;
+    }
+    for (text::UserId u : tuple.ignorers) {
+      neg_total += model.DirectInfluence(tuple.author, u, k);
+      ++neg_n;
+    }
+  }
+  ASSERT_GT(pos_n, 0);
+  ASSERT_GT(neg_n, 0);
+  EXPECT_GT(pos_total / pos_n, neg_total / neg_n);
+}
+
+TEST(TiTest, SeparatesRetweetersOnHeldOutTuples) {
+  const auto& ds = TestData();
+  data::RetweetSplit split = data::SplitRetweets(ds, 0.2, 31, 0);
+  TiConfig config;
+  config.lda.num_topics = 6;
+  config.lda.iterations = 20;
+  config.lda.alpha = 0.5;
+  TiModel model(config, ds.posts, split.train);
+  ASSERT_TRUE(model.Train().ok());
+  std::vector<eval::ScoredTuple> scored;
+  int used = 0;
+  for (const data::RetweetTuple& tuple : split.test) {
+    if (used++ >= 100) break;
+    eval::ScoredTuple st;
+    auto words = ds.posts.words(tuple.post);
+    for (text::UserId u : tuple.retweeters) {
+      st.positive_scores.push_back(model.Score(tuple.author, u, words));
+    }
+    for (text::UserId u : tuple.ignorers) {
+      st.negative_scores.push_back(model.Score(tuple.author, u, words));
+    }
+    scored.push_back(std::move(st));
+  }
+  EXPECT_GT(eval::AveragedTupleAuc(scored), 0.5);
+}
+
+}  // namespace
+}  // namespace cold::baselines

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <numeric>
+#include <set>
+
+#include "data/serialize.h"
+#include "data/split.h"
+#include "data/social_dataset.h"
+#include "data/synthetic.h"
+
+namespace cold::data {
+namespace {
+
+SyntheticConfig SmallConfig() {
+  SyntheticConfig config;
+  config.num_users = 120;
+  config.num_communities = 4;
+  config.num_topics = 6;
+  config.num_time_slices = 12;
+  config.core_words_per_topic = 10;
+  config.background_words = 50;
+  config.posts_per_user = 8.0;
+  config.words_per_post = 7.0;
+  config.follows_per_user = 6;
+  config.seed = 7;
+  return config;
+}
+
+SocialDataset Generate(const SyntheticConfig& config = SmallConfig()) {
+  SyntheticSocialGenerator gen(config);
+  auto result = gen.Generate();
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).ValueOrDie();
+}
+
+// ---------------------------------------------------------- SampleCount --
+
+TEST(SampleCountTest, RespectsMinimum) {
+  cold::RandomSampler sampler(1);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_GE(SampleCount(&sampler, 5.0, 3), 3);
+  }
+  EXPECT_EQ(SampleCount(&sampler, 2.0, 5), 5);  // mean below min
+}
+
+TEST(SampleCountTest, MeanRoughlyMatches) {
+  cold::RandomSampler sampler(2);
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += SampleCount(&sampler, 10.0, 1);
+  EXPECT_NEAR(total / n, 10.0, 0.5);
+}
+
+// ------------------------------------------------------------- Generator --
+
+TEST(SyntheticGeneratorTest, RejectsBadConfig) {
+  SyntheticConfig config = SmallConfig();
+  config.num_users = 1;
+  EXPECT_FALSE(SyntheticSocialGenerator(config).Generate().ok());
+  config = SmallConfig();
+  config.target_retweet_rate = 1.5;
+  EXPECT_FALSE(SyntheticSocialGenerator(config).Generate().ok());
+  config = SmallConfig();
+  config.num_time_slices = 1;
+  EXPECT_FALSE(SyntheticSocialGenerator(config).Generate().ok());
+}
+
+TEST(SyntheticGeneratorTest, DimensionsMatchConfig) {
+  SyntheticConfig config = SmallConfig();
+  SocialDataset ds = Generate(config);
+  EXPECT_EQ(ds.num_users(), config.num_users);
+  EXPECT_EQ(ds.num_time_slices(), config.num_time_slices);
+  EXPECT_EQ(ds.vocabulary.size(),
+            config.num_topics * config.core_words_per_topic +
+                config.background_words);
+  EXPECT_GE(ds.posts.num_posts(), config.num_users);  // >=1 post each
+  EXPECT_EQ(ds.truth.pi.size(), static_cast<size_t>(config.num_users));
+  EXPECT_EQ(ds.truth.theta.size(),
+            static_cast<size_t>(config.num_communities));
+  EXPECT_EQ(ds.truth.post_topic.size(),
+            static_cast<size_t>(ds.posts.num_posts()));
+}
+
+TEST(SyntheticGeneratorTest, GroundTruthDistributionsNormalized) {
+  SocialDataset ds = Generate();
+  for (const auto& row : ds.truth.pi) {
+    EXPECT_NEAR(std::accumulate(row.begin(), row.end(), 0.0), 1.0, 1e-9);
+  }
+  for (const auto& row : ds.truth.theta) {
+    EXPECT_NEAR(std::accumulate(row.begin(), row.end(), 0.0), 1.0, 1e-9);
+  }
+  for (const auto& phi_k : ds.truth.phi) {
+    EXPECT_NEAR(std::accumulate(phi_k.begin(), phi_k.end(), 0.0), 1.0, 1e-6);
+  }
+  for (const auto& psi_k : ds.truth.psi) {
+    for (const auto& series : psi_k) {
+      EXPECT_NEAR(std::accumulate(series.begin(), series.end(), 0.0), 1.0,
+                  1e-9);
+    }
+  }
+}
+
+TEST(SyntheticGeneratorTest, Deterministic) {
+  SocialDataset a = Generate();
+  SocialDataset b = Generate();
+  ASSERT_EQ(a.posts.num_posts(), b.posts.num_posts());
+  for (text::PostId d = 0; d < a.posts.num_posts(); ++d) {
+    EXPECT_EQ(a.posts.author(d), b.posts.author(d));
+    EXPECT_EQ(a.posts.time(d), b.posts.time(d));
+  }
+  EXPECT_EQ(a.interactions.num_edges(), b.interactions.num_edges());
+  EXPECT_EQ(a.retweets.size(), b.retweets.size());
+}
+
+TEST(SyntheticGeneratorTest, RetweetRateNearTarget) {
+  SyntheticConfig config = SmallConfig();
+  config.target_retweet_rate = 0.10;
+  SocialDataset ds = Generate(config);
+  int64_t retweets = 0, exposures = 0;
+  for (const RetweetTuple& t : ds.retweets) {
+    retweets += static_cast<int64_t>(t.retweeters.size());
+    exposures += static_cast<int64_t>(t.retweeters.size() +
+                                      t.ignorers.size());
+  }
+  ASSERT_GT(exposures, 0);
+  double rate = static_cast<double>(retweets) / static_cast<double>(exposures);
+  EXPECT_NEAR(rate, 0.10, 0.04);
+}
+
+TEST(SyntheticGeneratorTest, InteractionsDerivedFromRetweets) {
+  SocialDataset ds = Generate();
+  // Every interaction edge must appear as (author -> retweeter) somewhere.
+  std::set<std::pair<int, int>> observed;
+  for (const RetweetTuple& t : ds.retweets) {
+    for (text::UserId f : t.retweeters) observed.insert({t.author, f});
+  }
+  EXPECT_EQ(static_cast<size_t>(ds.interactions.num_edges()), observed.size());
+  for (graph::EdgeId e = 0; e < ds.interactions.num_edges(); ++e) {
+    const graph::Edge& edge = ds.interactions.edge(e);
+    EXPECT_TRUE(observed.count({edge.src, edge.dst}) > 0);
+  }
+}
+
+TEST(SyntheticGeneratorTest, RetweetersAreFollowers) {
+  SocialDataset ds = Generate();
+  for (const RetweetTuple& t : ds.retweets) {
+    for (text::UserId f : t.retweeters) {
+      EXPECT_TRUE(ds.followers.HasEdge(t.author, f));
+    }
+  }
+}
+
+TEST(SyntheticGeneratorTest, PsiProfilesAreMultimodalCapable) {
+  // With minor bursts enabled at least some (k, c) profile should have two
+  // separated local maxima — the property TOT's unimodal Beta cannot fit.
+  SocialDataset ds = Generate();
+  int multimodal = 0;
+  for (const auto& psi_k : ds.truth.psi) {
+    for (const auto& s : psi_k) {
+      int peaks = 0;
+      for (size_t t = 1; t + 1 < s.size(); ++t) {
+        if (s[t] > s[t - 1] && s[t] > s[t + 1] && s[t] > 0.02) ++peaks;
+      }
+      if (peaks >= 2) ++multimodal;
+    }
+  }
+  EXPECT_GT(multimodal, 0);
+}
+
+// ---------------------------------------------------------------- Splits --
+
+TEST(SplitPostsTest, PartitionsAllPosts) {
+  SocialDataset ds = Generate();
+  PostSplit split = SplitPosts(ds.posts, 0.2, /*seed=*/3, /*fold=*/0);
+  EXPECT_EQ(split.train.num_posts() + split.test.num_posts(),
+            ds.posts.num_posts());
+  EXPECT_NEAR(static_cast<double>(split.test.num_posts()) /
+                  ds.posts.num_posts(),
+              0.2, 0.02);
+  EXPECT_EQ(split.train.num_users(), ds.posts.num_users());
+  EXPECT_EQ(split.test.num_time_slices(), ds.posts.num_time_slices());
+  EXPECT_EQ(split.test_original_ids.size(),
+            static_cast<size_t>(split.test.num_posts()));
+}
+
+TEST(SplitPostsTest, FoldsAreDisjoint) {
+  SocialDataset ds = Generate();
+  std::set<text::PostId> seen;
+  size_t total = 0;
+  for (int fold = 0; fold < 5; ++fold) {
+    PostSplit split = SplitPosts(ds.posts, 0.2, /*seed=*/3, fold);
+    for (text::PostId d : split.test_original_ids) {
+      EXPECT_TRUE(seen.insert(d).second) << "post in two folds";
+    }
+    total += split.test_original_ids.size();
+  }
+  EXPECT_EQ(total, static_cast<size_t>(ds.posts.num_posts()));
+}
+
+TEST(SplitLinksTest, HoldsOutPositivesAndSamplesNegatives) {
+  SocialDataset ds = Generate();
+  LinkSplit split =
+      SplitLinks(ds.interactions, 0.2, /*negative_per_positive=*/2.0,
+                 /*seed=*/4, /*fold=*/0);
+  EXPECT_EQ(split.train.num_edges() +
+                static_cast<int64_t>(split.test_positive.size()),
+            ds.interactions.num_edges());
+  EXPECT_NEAR(static_cast<double>(split.test_negative.size()),
+              2.0 * static_cast<double>(split.test_positive.size()),
+              split.test_positive.size() * 0.2 + 2.0);
+  // Negatives must not be actual links.
+  for (const auto& [a, b] : split.test_negative) {
+    EXPECT_FALSE(ds.interactions.HasEdge(a, b));
+    EXPECT_NE(a, b);
+  }
+}
+
+TEST(SplitRetweetsTest, TrainNetworkExcludesTestTuples) {
+  SocialDataset ds = Generate();
+  RetweetSplit split = SplitRetweets(ds, 0.2, /*seed=*/5, /*fold=*/0);
+  EXPECT_EQ(split.train.size() + split.test.size(), ds.retweets.size());
+  // Every test tuple must have both classes.
+  for (const RetweetTuple& t : split.test) {
+    EXPECT_FALSE(t.retweeters.empty());
+    EXPECT_FALSE(t.ignorers.empty());
+  }
+  // Train interactions contain only train retweet pairs.
+  std::set<std::pair<int, int>> train_pairs;
+  for (const RetweetTuple& t : split.train) {
+    for (text::UserId f : t.retweeters) train_pairs.insert({t.author, f});
+  }
+  EXPECT_EQ(static_cast<size_t>(split.train_interactions.num_edges()),
+            train_pairs.size());
+}
+
+// --------------------------------------------------------- Serialization --
+
+TEST(SerializeTest, RoundTrip) {
+  SocialDataset ds = Generate();
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "cold_serialize_test")
+          .string();
+  ASSERT_TRUE(SaveDataset(ds, dir).ok());
+  auto loaded_result = LoadDataset(dir);
+  ASSERT_TRUE(loaded_result.ok()) << loaded_result.status().ToString();
+  SocialDataset loaded = std::move(loaded_result).ValueOrDie();
+
+  EXPECT_EQ(loaded.vocabulary.size(), ds.vocabulary.size());
+  EXPECT_EQ(loaded.vocabulary.word(3), ds.vocabulary.word(3));
+  ASSERT_EQ(loaded.posts.num_posts(), ds.posts.num_posts());
+  for (text::PostId d = 0; d < ds.posts.num_posts(); d += 17) {
+    EXPECT_EQ(loaded.posts.author(d), ds.posts.author(d));
+    EXPECT_EQ(loaded.posts.time(d), ds.posts.time(d));
+    ASSERT_EQ(loaded.posts.length(d), ds.posts.length(d));
+    for (int l = 0; l < ds.posts.length(d); ++l) {
+      EXPECT_EQ(loaded.posts.words(d)[static_cast<size_t>(l)],
+                ds.posts.words(d)[static_cast<size_t>(l)]);
+    }
+  }
+  EXPECT_EQ(loaded.interactions.num_edges(), ds.interactions.num_edges());
+  EXPECT_EQ(loaded.followers.num_edges(), ds.followers.num_edges());
+  ASSERT_EQ(loaded.retweets.size(), ds.retweets.size());
+  EXPECT_EQ(loaded.retweets[0].retweeters, ds.retweets[0].retweeters);
+  EXPECT_EQ(loaded.retweets[0].ignorers, ds.retweets[0].ignorers);
+  EXPECT_TRUE(loaded.truth.empty());
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SerializeTest, LoadMissingDirectoryFails) {
+  auto result = LoadDataset("/nonexistent/cold_dataset");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), cold::StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace cold::data

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+
+namespace cold::eval {
+namespace {
+
+TEST(RocAucTest, PerfectSeparation) {
+  std::vector<double> pos = {0.9, 0.8, 0.7};
+  std::vector<double> neg = {0.3, 0.2, 0.1};
+  EXPECT_DOUBLE_EQ(RocAuc(pos, neg), 1.0);
+  EXPECT_DOUBLE_EQ(RocAuc(neg, pos), 0.0);
+}
+
+TEST(RocAucTest, RandomScoresGiveHalf) {
+  std::vector<double> pos, neg;
+  for (int i = 0; i < 1000; ++i) {
+    pos.push_back((i * 37) % 101);
+    neg.push_back((i * 53) % 101);
+  }
+  EXPECT_NEAR(RocAuc(pos, neg), 0.5, 0.03);
+}
+
+TEST(RocAucTest, TiesCountHalf) {
+  std::vector<double> pos = {0.5};
+  std::vector<double> neg = {0.5};
+  EXPECT_DOUBLE_EQ(RocAuc(pos, neg), 0.5);
+  std::vector<double> pos2 = {0.5, 0.5};
+  std::vector<double> neg2 = {0.5, 0.4};
+  // Pairs: (0.5 vs 0.5) x2 ties = 1.0, (0.5 vs 0.4) x2 wins = 2.0; 3/4.
+  EXPECT_DOUBLE_EQ(RocAuc(pos2, neg2), 0.75);
+}
+
+TEST(RocAucTest, EmptySidesReturnHalf) {
+  std::vector<double> scores = {1.0};
+  EXPECT_DOUBLE_EQ(RocAuc({}, scores), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc(scores, {}), 0.5);
+}
+
+TEST(RocAucTest, KnownMixedCase) {
+  std::vector<double> pos = {0.8, 0.4};
+  std::vector<double> neg = {0.6, 0.2};
+  // Wins: (0.8>0.6), (0.8>0.2), (0.4>0.2) = 3 of 4.
+  EXPECT_DOUBLE_EQ(RocAuc(pos, neg), 0.75);
+}
+
+TEST(AveragedTupleAucTest, AveragesAcrossTuples) {
+  ScoredTuple perfect{{0.9}, {0.1}};
+  ScoredTuple inverted{{0.1}, {0.9}};
+  std::vector<ScoredTuple> tuples = {perfect, inverted};
+  EXPECT_DOUBLE_EQ(AveragedTupleAuc(tuples), 0.5);
+}
+
+TEST(AveragedTupleAucTest, SkipsDegenerateTuples) {
+  ScoredTuple perfect{{0.9}, {0.1}};
+  ScoredTuple empty_neg{{0.9}, {}};
+  std::vector<ScoredTuple> tuples = {perfect, empty_neg};
+  EXPECT_DOUBLE_EQ(AveragedTupleAuc(tuples), 1.0);
+  EXPECT_DOUBLE_EQ(AveragedTupleAuc(std::vector<ScoredTuple>{empty_neg}),
+                   0.5);
+}
+
+TEST(ToleranceTest, AccuracyWithinTolerance) {
+  std::vector<int> predicted = {3, 5, 10};
+  std::vector<int> actual = {3, 7, 4};
+  EXPECT_NEAR(AccuracyWithinTolerance(predicted, actual, 0), 1.0 / 3.0,
+              1e-12);
+  EXPECT_NEAR(AccuracyWithinTolerance(predicted, actual, 2), 2.0 / 3.0,
+              1e-12);
+  EXPECT_DOUBLE_EQ(AccuracyWithinTolerance(predicted, actual, 6), 1.0);
+  EXPECT_DOUBLE_EQ(AccuracyWithinTolerance({}, {}, 1), 0.0);
+}
+
+TEST(ToleranceTest, CurveIsMonotone) {
+  std::vector<int> predicted = {0, 4, 9, 2, 6};
+  std::vector<int> actual = {1, 4, 5, 9, 6};
+  auto curve = ToleranceCurve(predicted, actual, 10);
+  ASSERT_EQ(curve.size(), 11u);
+  for (size_t i = 1; i < curve.size(); ++i) EXPECT_GE(curve[i], curve[i - 1]);
+  EXPECT_DOUBLE_EQ(curve.back(), 1.0);
+}
+
+}  // namespace
+}  // namespace cold::eval

@@ -1,0 +1,237 @@
+// Gold-standard correctness check for the collapsed Gibbs sampler: on a
+// tiny instance, enumerate every latent configuration, compute the exact
+// collapsed joint P(c, z, s, s' | data) from the model's closed-form
+// marginals, and compare against the sampler's empirical visit frequencies
+// over a long chain. This validates Eqs. (1)-(3) jointly, including the
+// Dirichlet-multinomial word term and the link Beta term.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "core/cold.h"
+#include "util/math_util.h"
+
+namespace cold::core {
+namespace {
+
+// Tiny world: 2 users, C=2, K=2, T=2, V=3; two posts and one link.
+struct TinyWorld {
+  text::PostStore posts;
+  graph::Digraph links;
+  ColdConfig config;
+
+  TinyWorld() {
+    posts.Add(/*author=*/0, /*time=*/0, std::vector<text::WordId>{0, 1});
+    posts.Add(/*author=*/1, /*time=*/1, std::vector<text::WordId>{2});
+    posts.Finalize(2, 2);
+    graph::Digraph::Builder builder;
+    EXPECT_TRUE(builder.AddEdge(0, 1).ok());
+    links = std::move(builder).Build(2);
+
+    config.num_communities = 2;
+    config.num_topics = 2;
+    config.rho = 0.7;
+    config.alpha = 0.4;
+    config.beta = 0.3;
+    config.epsilon = 0.6;
+    config.lambda1 = 0.5;
+    config.kappa = 1.0;
+    config.iterations = 1;
+    config.burn_in = 0;
+    config.link_sampling = LinkSampling::kJoint;
+  }
+};
+
+// log Gamma-ratio product for a Dirichlet-multinomial block:
+// sum_j lgamma(counts_j + prior) - lgamma(sum_j counts_j + J * prior),
+// constants dropped consistently across configurations.
+double DirMultLogScore(const std::vector<int>& counts, double prior) {
+  double score = 0.0;
+  int total = 0;
+  for (int c : counts) {
+    score += std::lgamma(c + prior);
+    total += c;
+  }
+  score -= std::lgamma(total + prior * static_cast<double>(counts.size()));
+  return score;
+}
+
+// Exact collapsed log-joint of one full latent configuration. Mirrors the
+// factorization in Appendix A (Eq. 9): independent Dirichlet-multinomial
+// blocks for pi (per user), theta (per community), phi (per topic),
+// psi (per community-topic), and a Beta block per community pair.
+double ExactLogJoint(const TinyWorld& world, int c0, int z0, int c1, int z1,
+                     int s, int s2, double lambda0) {
+  const ColdConfig& config = world.config;
+  const int C = 2, K = 2, T = 2, V = 3;
+
+  // --- pi blocks: user 0 owns post 0 and link src; user 1 owns post 1 and
+  // link dst.
+  double score = 0.0;
+  {
+    std::vector<int> u0(C, 0), u1(C, 0);
+    u0[static_cast<size_t>(c0)]++;
+    u0[static_cast<size_t>(s)]++;
+    u1[static_cast<size_t>(c1)]++;
+    u1[static_cast<size_t>(s2)]++;
+    score += DirMultLogScore(u0, config.rho);
+    score += DirMultLogScore(u1, config.rho);
+  }
+  // --- theta blocks: per community, topic counts of its posts.
+  {
+    for (int c = 0; c < C; ++c) {
+      std::vector<int> counts(K, 0);
+      if (c0 == c) counts[static_cast<size_t>(z0)]++;
+      if (c1 == c) counts[static_cast<size_t>(z1)]++;
+      score += DirMultLogScore(counts, config.alpha);
+    }
+  }
+  // --- phi blocks: per topic, word counts. Post 0 = {0, 1}, post 1 = {2}.
+  {
+    for (int k = 0; k < K; ++k) {
+      std::vector<int> counts(V, 0);
+      if (z0 == k) {
+        counts[0]++;
+        counts[1]++;
+      }
+      if (z1 == k) counts[2]++;
+      score += DirMultLogScore(counts, config.beta);
+    }
+  }
+  // --- psi blocks: per (community, topic), time counts. Post 0 at t=0,
+  // post 1 at t=1.
+  {
+    for (int c = 0; c < C; ++c) {
+      for (int k = 0; k < K; ++k) {
+        std::vector<int> counts(T, 0);
+        if (c0 == c && z0 == k) counts[0]++;
+        if (c1 == c && z1 == k) counts[1]++;
+        score += DirMultLogScore(counts, config.epsilon);
+      }
+    }
+  }
+  // --- eta blocks: Beta(lambda0, lambda1) per pair; one positive link at
+  // (s, s2): contributes lgamma(n + l1) - lgamma(n + l0 + l1) relative
+  // factor; with one link total, only the (s, s2) block deviates from the
+  // empty-block constant, by log(l1 / (l0 + l1))... computed exactly:
+  {
+    const double l0 = lambda0, l1 = world.config.lambda1;
+    // Block (s, s2) has one success: Beta-binomial marginal
+    //   B(l1 + 1, l0) / B(l1, l0) = l1 / (l1 + l0).
+    score += std::log(l1 / (l1 + l0));
+  }
+  return score;
+}
+
+TEST(ExactPosteriorTest, GibbsChainMatchesEnumeratedPosterior) {
+  TinyWorld world;
+  ColdGibbsSampler sampler(world.config, world.posts, &world.links);
+  ASSERT_TRUE(sampler.Init().ok());
+  const double lambda0 = sampler.lambda0();
+
+  // Enumerate the exact posterior over (c0, z0, c1, z1, s, s2): 64 states.
+  std::vector<double> log_joint;
+  std::vector<std::array<int, 6>> states;
+  for (int c0 = 0; c0 < 2; ++c0)
+    for (int z0 = 0; z0 < 2; ++z0)
+      for (int c1 = 0; c1 < 2; ++c1)
+        for (int z1 = 0; z1 < 2; ++z1)
+          for (int s = 0; s < 2; ++s)
+            for (int s2 = 0; s2 < 2; ++s2) {
+              states.push_back({c0, z0, c1, z1, s, s2});
+              log_joint.push_back(
+                  ExactLogJoint(world, c0, z0, c1, z1, s, s2, lambda0));
+            }
+  double lse = LogSumExp(log_joint);
+  std::map<std::array<int, 6>, double> exact;
+  for (size_t i = 0; i < states.size(); ++i) {
+    exact[states[i]] = std::exp(log_joint[i] - lse);
+  }
+
+  // Long chain; count visited configurations after each sweep.
+  const int burn = 200;
+  const int samples = 60000;
+  std::map<std::array<int, 6>, int> visits;
+  for (int it = 0; it < burn; ++it) sampler.RunIteration();
+  for (int it = 0; it < samples; ++it) {
+    sampler.RunIteration();
+    const ColdState& st = sampler.state();
+    visits[{st.post_community[0], st.post_topic[0], st.post_community[1],
+            st.post_topic[1], st.link_src_community[0],
+            st.link_dst_community[0]}]++;
+  }
+
+  // Compare: every configuration with non-trivial exact mass must be
+  // visited at close to its exact frequency.
+  double total_variation = 0.0;
+  for (const auto& [state, p_exact] : exact) {
+    double p_emp = 0.0;
+    auto it = visits.find(state);
+    if (it != visits.end()) {
+      p_emp = static_cast<double>(it->second) / samples;
+    }
+    total_variation += std::abs(p_exact - p_emp);
+    if (p_exact > 0.02) {
+      EXPECT_NEAR(p_emp, p_exact, 0.25 * p_exact + 0.005)
+          << "state (" << state[0] << state[1] << state[2] << state[3]
+          << state[4] << state[5] << ")";
+    }
+  }
+  total_variation *= 0.5;
+  EXPECT_LT(total_variation, 0.05)
+      << "total variation between chain and exact posterior too large";
+}
+
+TEST(ExactPosteriorTest, AlternatingLinkSamplingSameDistribution) {
+  // The alternating conditional update must target the same stationary
+  // distribution as the joint draw.
+  TinyWorld world;
+  world.config.link_sampling = LinkSampling::kAlternating;
+  ColdGibbsSampler sampler(world.config, world.posts, &world.links);
+  ASSERT_TRUE(sampler.Init().ok());
+  const double lambda0 = sampler.lambda0();
+
+  std::vector<double> log_joint;
+  std::vector<std::array<int, 6>> states;
+  for (int c0 = 0; c0 < 2; ++c0)
+    for (int z0 = 0; z0 < 2; ++z0)
+      for (int c1 = 0; c1 < 2; ++c1)
+        for (int z1 = 0; z1 < 2; ++z1)
+          for (int s = 0; s < 2; ++s)
+            for (int s2 = 0; s2 < 2; ++s2) {
+              states.push_back({c0, z0, c1, z1, s, s2});
+              log_joint.push_back(
+                  ExactLogJoint(world, c0, z0, c1, z1, s, s2, lambda0));
+            }
+  double lse = LogSumExp(log_joint);
+
+  const int burn = 200;
+  const int samples = 60000;
+  std::map<std::array<int, 6>, int> visits;
+  for (int it = 0; it < burn; ++it) sampler.RunIteration();
+  for (int it = 0; it < samples; ++it) {
+    sampler.RunIteration();
+    const ColdState& st = sampler.state();
+    visits[{st.post_community[0], st.post_topic[0], st.post_community[1],
+            st.post_topic[1], st.link_src_community[0],
+            st.link_dst_community[0]}]++;
+  }
+  double total_variation = 0.0;
+  for (size_t i = 0; i < states.size(); ++i) {
+    double p_exact = std::exp(log_joint[i] - lse);
+    double p_emp = 0.0;
+    auto it = visits.find(states[i]);
+    if (it != visits.end()) {
+      p_emp = static_cast<double>(it->second) / samples;
+    }
+    total_variation += std::abs(p_exact - p_emp);
+  }
+  total_variation *= 0.5;
+  EXPECT_LT(total_variation, 0.05);
+}
+
+}  // namespace
+}  // namespace cold::core

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/digraph.h"
+
+namespace cold::graph {
+namespace {
+
+Digraph MakeTriangle() {
+  Digraph::Builder builder;
+  EXPECT_TRUE(builder.AddEdge(0, 1).ok());
+  EXPECT_TRUE(builder.AddEdge(1, 2).ok());
+  EXPECT_TRUE(builder.AddEdge(2, 0).ok());
+  return std::move(builder).Build();
+}
+
+TEST(DigraphTest, BasicCounts) {
+  Digraph g = MakeTriangle();
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+}
+
+TEST(DigraphTest, RejectsSelfLoopAndNegative) {
+  Digraph::Builder builder;
+  EXPECT_EQ(builder.AddEdge(1, 1).code(), cold::StatusCode::kInvalidArgument);
+  EXPECT_EQ(builder.AddEdge(-1, 2).code(), cold::StatusCode::kInvalidArgument);
+}
+
+TEST(DigraphTest, AdjacencyIsConsistent) {
+  Digraph g = MakeTriangle();
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(g.out_degree(n), 1);
+    EXPECT_EQ(g.in_degree(n), 1);
+    for (EdgeId e : g.out_edges(n)) EXPECT_EQ(g.edge(e).src, n);
+    for (EdgeId e : g.in_edges(n)) EXPECT_EQ(g.edge(e).dst, n);
+  }
+}
+
+TEST(DigraphTest, NeighborsAndHasEdge) {
+  Digraph g = MakeTriangle();
+  EXPECT_EQ(g.OutNeighbors(0), std::vector<NodeId>{1});
+  EXPECT_EQ(g.InNeighbors(0), std::vector<NodeId>{2});
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+}
+
+TEST(DigraphTest, DedupeCollapsesParallelEdges) {
+  Digraph::Builder builder;
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 0).ok());
+  Digraph g = std::move(builder).Build(0, /*dedupe=*/true);
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(DigraphTest, KeepsParallelEdgesWithoutDedupe) {
+  Digraph::Builder builder;
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  Digraph g = std::move(builder).Build();
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.out_degree(0), 2);
+}
+
+TEST(DigraphTest, ExplicitNodeCountReservesIsolatedNodes) {
+  Digraph::Builder builder;
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  Digraph g = std::move(builder).Build(/*num_nodes=*/5);
+  EXPECT_EQ(g.num_nodes(), 5);
+  EXPECT_EQ(g.out_degree(4), 0);
+  EXPECT_EQ(g.in_degree(4), 0);
+}
+
+TEST(DigraphTest, NegativePairCount) {
+  Digraph g = MakeTriangle();
+  // 3 nodes => 6 ordered pairs, 3 present.
+  EXPECT_EQ(g.NumNegativePairs(), 3);
+}
+
+TEST(DigraphTest, EmptyGraph) {
+  Digraph::Builder builder;
+  Digraph g = std::move(builder).Build(4);
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.NumNegativePairs(), 12);
+}
+
+TEST(DigraphTest, EdgeIdOrderMatchesInsertion) {
+  Digraph::Builder builder;
+  ASSERT_TRUE(builder.AddEdge(2, 0).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  Digraph g = std::move(builder).Build();
+  EXPECT_EQ(g.edge(0).src, 2);
+  EXPECT_EQ(g.edge(1).src, 0);
+}
+
+}  // namespace
+}  // namespace cold::graph

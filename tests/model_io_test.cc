@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/cold.h"
+#include "core/model_io.h"
+#include "data/synthetic.h"
+
+namespace cold::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const char* name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+ColdEstimates SmallEstimates() {
+  data::SyntheticConfig config;
+  config.num_users = 50;
+  config.num_communities = 3;
+  config.num_topics = 4;
+  config.num_time_slices = 6;
+  config.core_words_per_topic = 5;
+  config.background_words = 15;
+  config.posts_per_user = 4.0;
+  config.words_per_post = 5.0;
+  config.follows_per_user = 3;
+  auto ds = std::move(data::SyntheticSocialGenerator(config).Generate())
+                .ValueOrDie();
+  ColdConfig model;
+  model.num_communities = 3;
+  model.num_topics = 4;
+  model.iterations = 10;
+  model.burn_in = 5;
+  ColdGibbsSampler sampler(model, ds.posts, &ds.interactions);
+  EXPECT_TRUE(sampler.Init().ok());
+  EXPECT_TRUE(sampler.Train().ok());
+  return sampler.AveragedEstimates();
+}
+
+TEST(ModelIoTest, RoundTripPreservesEverything) {
+  ColdEstimates original = SmallEstimates();
+  std::string path = TempPath("cold_model_io_roundtrip.bin");
+  ASSERT_TRUE(SaveEstimates(original, path).ok());
+  auto loaded_result = LoadEstimates(path);
+  ASSERT_TRUE(loaded_result.ok()) << loaded_result.status().ToString();
+  ColdEstimates loaded = std::move(loaded_result).ValueOrDie();
+
+  EXPECT_EQ(loaded.U, original.U);
+  EXPECT_EQ(loaded.C, original.C);
+  EXPECT_EQ(loaded.K, original.K);
+  EXPECT_EQ(loaded.T, original.T);
+  EXPECT_EQ(loaded.V, original.V);
+  EXPECT_EQ(loaded.pi, original.pi);
+  EXPECT_EQ(loaded.theta, original.theta);
+  EXPECT_EQ(loaded.eta, original.eta);
+  EXPECT_EQ(loaded.phi, original.phi);
+  EXPECT_EQ(loaded.psi, original.psi);
+  fs::remove(path);
+}
+
+TEST(ModelIoTest, LoadedModelPredictsIdentically) {
+  ColdEstimates original = SmallEstimates();
+  std::string path = TempPath("cold_model_io_predict.bin");
+  ASSERT_TRUE(SaveEstimates(original, path).ok());
+  ColdEstimates loaded = std::move(LoadEstimates(path)).ValueOrDie();
+
+  ColdPredictor before(original, 3);
+  ColdPredictor after(loaded, 3);
+  std::vector<text::WordId> message = {0, 1, 2};
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 5; j < 10; ++j) {
+      EXPECT_DOUBLE_EQ(before.DiffusionProbability(i, j, message),
+                       after.DiffusionProbability(i, j, message));
+      EXPECT_DOUBLE_EQ(before.LinkProbability(i, j),
+                       after.LinkProbability(i, j));
+    }
+  }
+  fs::remove(path);
+}
+
+TEST(ModelIoTest, MissingFileFails) {
+  auto result = LoadEstimates("/nonexistent/cold_model.bin");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST(ModelIoTest, BadMagicFails) {
+  std::string path = TempPath("cold_model_io_badmagic.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTACOLDMODEL_____________";
+  }
+  auto result = LoadEstimates(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("magic"), std::string::npos);
+  fs::remove(path);
+}
+
+TEST(ModelIoTest, TruncatedFileFails) {
+  ColdEstimates original = SmallEstimates();
+  std::string path = TempPath("cold_model_io_trunc.bin");
+  ASSERT_TRUE(SaveEstimates(original, path).ok());
+  // Chop the file in half.
+  auto size = fs::file_size(path);
+  fs::resize_file(path, size / 2);
+  EXPECT_FALSE(LoadEstimates(path).ok());
+  fs::remove(path);
+}
+
+TEST(ModelIoTest, TrailingGarbageFails) {
+  ColdEstimates original = SmallEstimates();
+  std::string path = TempPath("cold_model_io_trailing.bin");
+  ASSERT_TRUE(SaveEstimates(original, path).ok());
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "extra";
+  }
+  EXPECT_FALSE(LoadEstimates(path).ok());
+  fs::remove(path);
+}
+
+TEST(ModelIoTest, RejectsInvalidDimensionsOnSave) {
+  ColdEstimates bad;
+  bad.U = 1;
+  bad.C = 0;  // invalid
+  bad.K = 1;
+  bad.T = 1;
+  bad.V = 1;
+  EXPECT_FALSE(
+      SaveEstimates(bad, TempPath("cold_model_io_invalid.bin")).ok());
+}
+
+}  // namespace
+}  // namespace cold::core

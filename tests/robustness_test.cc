@@ -1,0 +1,267 @@
+// Failure-injection and edge-case tests: malformed inputs, degenerate
+// datasets, and boundary configurations must produce clean Status errors or
+// well-defined behaviour, never crashes or silent corruption.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "baselines/eutb.h"
+#include "baselines/lda.h"
+#include "baselines/pmtlm.h"
+#include "baselines/tot.h"
+#include "core/cold.h"
+#include "data/serialize.h"
+#include "data/synthetic.h"
+#include "text/tokenizer.h"
+
+namespace cold {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------ serialization attacks --
+
+class CorruptDatasetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() / "cold_corrupt_test").string();
+    data::SyntheticConfig config;
+    config.num_users = 30;
+    config.num_communities = 2;
+    config.num_topics = 2;
+    config.num_time_slices = 4;
+    config.core_words_per_topic = 4;
+    config.background_words = 10;
+    config.posts_per_user = 3.0;
+    config.words_per_post = 4.0;
+    config.follows_per_user = 3;
+    auto ds = std::move(data::SyntheticSocialGenerator(config).Generate())
+                  .ValueOrDie();
+    ASSERT_TRUE(data::SaveDataset(ds, dir_).ok());
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void Overwrite(const std::string& file, const std::string& content) {
+    std::ofstream out(dir_ + "/" + file);
+    out << content;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CorruptDatasetTest, IntactRoundTripLoads) {
+  EXPECT_TRUE(data::LoadDataset(dir_).ok());
+}
+
+TEST_F(CorruptDatasetTest, MissingFileFails) {
+  fs::remove(dir_ + "/posts.tsv");
+  auto result = data::LoadDataset(dir_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(CorruptDatasetTest, MalformedRetweetLineFails) {
+  Overwrite("retweets.tsv", "0\t1\tgarbage\tn:2\n");
+  auto result = data::LoadDataset(dir_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(CorruptDatasetTest, EmptyRetweetsFileIsValid) {
+  Overwrite("retweets.tsv", "");
+  auto result = data::LoadDataset(dir_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->retweets.empty());
+}
+
+TEST_F(CorruptDatasetTest, SelfLoopLinkFails) {
+  Overwrite("links.tsv", "3\t3\n");
+  auto result = data::LoadDataset(dir_);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(CorruptDatasetTest, EmptyLinesInPostsAreSkipped) {
+  std::ifstream in(dir_ + "/posts.tsv");
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  Overwrite("posts.tsv", "\n" + content + "\n\n");
+  EXPECT_TRUE(data::LoadDataset(dir_).ok());
+}
+
+// ----------------------------------------------------- degenerate inputs --
+
+text::PostStore SinglePostStore() {
+  text::PostStore posts;
+  posts.Add(0, 0, std::vector<text::WordId>{0, 1, 0});
+  posts.Finalize(2, 2);
+  return posts;
+}
+
+TEST(DegenerateDataTest, ColdTrainsOnSinglePost) {
+  text::PostStore posts = SinglePostStore();
+  core::ColdConfig config;
+  config.num_communities = 2;
+  config.num_topics = 2;
+  config.iterations = 5;
+  config.burn_in = 2;
+  core::ColdGibbsSampler sampler(config, posts, nullptr);
+  ASSERT_TRUE(sampler.Init().ok());
+  EXPECT_TRUE(sampler.Train().ok());
+  core::ColdEstimates est = sampler.AveragedEstimates();
+  EXPECT_EQ(est.U, 2);
+  EXPECT_EQ(est.V, 2);
+}
+
+TEST(DegenerateDataTest, ColdHandlesEmptyWordPosts) {
+  text::PostStore posts;
+  posts.Add(0, 0, std::vector<text::WordId>{});
+  posts.Add(0, 1, std::vector<text::WordId>{0});
+  posts.Finalize();
+  core::ColdConfig config;
+  config.num_communities = 2;
+  config.num_topics = 2;
+  config.iterations = 4;
+  config.burn_in = 1;
+  core::ColdGibbsSampler sampler(config, posts, nullptr);
+  ASSERT_TRUE(sampler.Init().ok());
+  EXPECT_TRUE(sampler.Train().ok());
+  auto st = sampler.state().CheckInvariants(posts, nullptr, false);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(DegenerateDataTest, ColdRejectsEmptyStore) {
+  text::PostStore posts;
+  posts.Finalize(1, 1);
+  core::ColdConfig config;
+  core::ColdGibbsSampler sampler(config, posts, nullptr);
+  EXPECT_FALSE(sampler.Init().ok());
+}
+
+TEST(DegenerateDataTest, ParallelTrainerOnSingleUser) {
+  text::PostStore posts;
+  posts.Add(0, 0, std::vector<text::WordId>{0, 1});
+  posts.Add(0, 1, std::vector<text::WordId>{1, 2});
+  posts.Finalize(1, 2);
+  core::ColdConfig config;
+  config.num_communities = 2;
+  config.num_topics = 2;
+  config.iterations = 3;
+  config.burn_in = 0;
+  core::ParallelColdTrainer trainer(config, posts, nullptr);
+  ASSERT_TRUE(trainer.Init().ok());
+  EXPECT_TRUE(trainer.Train().ok());
+  auto snapshot = trainer.StateSnapshot();
+  EXPECT_TRUE(snapshot.CheckInvariants(posts, nullptr, false).ok());
+}
+
+TEST(DegenerateDataTest, BaselinesRejectEmptyCorpora) {
+  text::PostStore empty;
+  empty.Finalize(1, 1);
+  baselines::LdaConfig lc;
+  EXPECT_FALSE(baselines::LdaModel(lc, empty).Train().ok());
+  baselines::EutbConfig ec;
+  EXPECT_FALSE(baselines::EutbModel(ec, empty).Train().ok());
+  baselines::TotConfig tc;
+  EXPECT_FALSE(baselines::TotModel(tc, empty).Train().ok());
+}
+
+TEST(DegenerateDataTest, PredictorHandlesEmptyMessage) {
+  text::PostStore posts = SinglePostStore();
+  core::ColdConfig config;
+  config.num_communities = 2;
+  config.num_topics = 2;
+  config.iterations = 4;
+  config.burn_in = 1;
+  core::ColdGibbsSampler sampler(config, posts, nullptr);
+  ASSERT_TRUE(sampler.Init().ok());
+  ASSERT_TRUE(sampler.Train().ok());
+  core::ColdPredictor predictor(sampler.AveragedEstimates());
+
+  std::vector<text::WordId> empty;
+  auto posterior = predictor.TopicPosterior(empty, 0);
+  double total = 0.0;
+  for (double p : posterior) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  double prob = predictor.DiffusionProbability(0, 1, empty);
+  EXPECT_GE(prob, 0.0);
+  int t = predictor.PredictTimestamp(empty, 0);
+  EXPECT_GE(t, 0);
+  EXPECT_LT(t, 2);
+}
+
+TEST(DegenerateDataTest, PerplexityOfEmptyTestSetIsZero) {
+  text::PostStore posts = SinglePostStore();
+  core::ColdConfig config;
+  config.num_communities = 2;
+  config.num_topics = 2;
+  config.iterations = 3;
+  config.burn_in = 1;
+  core::ColdGibbsSampler sampler(config, posts, nullptr);
+  ASSERT_TRUE(sampler.Init().ok());
+  ASSERT_TRUE(sampler.Train().ok());
+  core::ColdPredictor predictor(sampler.AveragedEstimates());
+  text::PostStore empty;
+  empty.Finalize(2, 2);
+  EXPECT_DOUBLE_EQ(predictor.Perplexity(empty), 0.0);
+}
+
+// ------------------------------------------------------ tokenizer abuse ---
+
+TEST(TokenizerRobustnessTest, HandlesBinaryAndUnicodeBytes) {
+  text::Tokenizer tokenizer;
+  std::string nasty = "caf\xc3\xa9 \x01\x02 na\xc3\xafve \xff\xfe tail";
+  auto tokens = tokenizer.Tokenize(nasty);
+  // Multi-byte sequences are kept inside tokens; control bytes split.
+  EXPECT_FALSE(tokens.empty());
+  for (const std::string& t : tokens) EXPECT_FALSE(t.empty());
+}
+
+TEST(TokenizerRobustnessTest, VeryLongToken) {
+  text::Tokenizer tokenizer;
+  std::string long_word(10000, 'a');
+  auto tokens = tokenizer.Tokenize(long_word);
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].size(), 10000u);
+}
+
+// ------------------------------------------------- config boundary grid ---
+
+TEST(ConfigBoundaryTest, MinimalLegalColdConfig) {
+  core::ColdConfig config;
+  config.num_communities = 1;
+  config.num_topics = 1;
+  config.iterations = 1;
+  config.burn_in = 0;
+  config.sample_lag = 1;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(ConfigBoundaryTest, PmtlmRejectsZeroFactors) {
+  text::PostStore posts = SinglePostStore();
+  graph::Digraph::Builder b;
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  graph::Digraph links = std::move(b).Build(2);
+  baselines::PmtlmConfig config;
+  config.num_factors = 0;
+  EXPECT_FALSE(baselines::PmtlmModel(config, posts, links).Train().ok());
+}
+
+TEST(ConfigBoundaryTest, EutbLambdaStaysClamped) {
+  // All posts from one user: the learned switch must stay inside (0, 1).
+  text::PostStore posts;
+  for (int j = 0; j < 30; ++j) {
+    posts.Add(0, j % 3, std::vector<text::WordId>{0, 1});
+  }
+  posts.Finalize();
+  baselines::EutbConfig config;
+  config.num_topics = 2;
+  config.iterations = 10;
+  baselines::EutbModel model(config, posts);
+  ASSERT_TRUE(model.Train().ok());
+  EXPECT_GT(model.estimates().lambda_user, 0.0);
+  EXPECT_LT(model.estimates().lambda_user, 1.0);
+}
+
+}  // namespace
+}  // namespace cold

@@ -1,0 +1,133 @@
+// Property sweeps over both serialization formats: dataset flat files and
+// binary model estimates must round-trip exactly across a grid of shapes,
+// including degenerate ones.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/model_io.h"
+#include "data/serialize.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace cold {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ----------------------------------------------- dataset round-trip grid --
+
+struct DatasetShape {
+  int users;
+  int communities;
+  int topics;
+  int slices;
+};
+
+class DatasetRoundTrip : public ::testing::TestWithParam<DatasetShape> {};
+
+TEST_P(DatasetRoundTrip, ExactRoundTrip) {
+  const DatasetShape& shape = GetParam();
+  data::SyntheticConfig config;
+  config.num_users = shape.users;
+  config.num_communities = shape.communities;
+  config.num_topics = shape.topics;
+  config.num_time_slices = shape.slices;
+  config.core_words_per_topic = 4;
+  config.background_words = 10;
+  config.posts_per_user = 3.0;
+  config.words_per_post = 4.0;
+  config.follows_per_user = 2;
+  config.seed = static_cast<uint64_t>(shape.users) * 7 + shape.topics;
+  auto ds = std::move(data::SyntheticSocialGenerator(config).Generate())
+                .ValueOrDie();
+
+  std::string dir =
+      (fs::temp_directory_path() /
+       ("cold_ds_rt_" + std::to_string(shape.users) + "_" +
+        std::to_string(shape.topics)))
+          .string();
+  ASSERT_TRUE(data::SaveDataset(ds, dir).ok());
+  auto loaded = data::LoadDataset(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->posts.num_posts(), ds.posts.num_posts());
+  EXPECT_EQ(loaded->posts.num_tokens(), ds.posts.num_tokens());
+  EXPECT_EQ(loaded->vocabulary.size(), ds.vocabulary.size());
+  EXPECT_EQ(loaded->interactions.num_edges(), ds.interactions.num_edges());
+  EXPECT_EQ(loaded->followers.num_edges(), ds.followers.num_edges());
+  ASSERT_EQ(loaded->retweets.size(), ds.retweets.size());
+  for (size_t i = 0; i < ds.retweets.size(); i += 11) {
+    EXPECT_EQ(loaded->retweets[i].author, ds.retweets[i].author);
+    EXPECT_EQ(loaded->retweets[i].post, ds.retweets[i].post);
+    EXPECT_EQ(loaded->retweets[i].retweeters, ds.retweets[i].retweeters);
+    EXPECT_EQ(loaded->retweets[i].ignorers, ds.retweets[i].ignorers);
+  }
+  // Every post identical.
+  for (text::PostId d = 0; d < ds.posts.num_posts(); ++d) {
+    ASSERT_EQ(loaded->posts.length(d), ds.posts.length(d));
+    for (int l = 0; l < ds.posts.length(d); ++l) {
+      EXPECT_EQ(loaded->posts.words(d)[static_cast<size_t>(l)],
+                ds.posts.words(d)[static_cast<size_t>(l)]);
+    }
+  }
+  fs::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, DatasetRoundTrip,
+                         ::testing::Values(DatasetShape{10, 2, 2, 2},
+                                           DatasetShape{40, 3, 5, 8},
+                                           DatasetShape{80, 6, 3, 4},
+                                           DatasetShape{25, 1, 1, 2}));
+
+// ------------------------------------------------- model round-trip grid --
+
+struct ModelShape {
+  int U, C, K, T, V;
+};
+
+class ModelRoundTrip : public ::testing::TestWithParam<ModelShape> {};
+
+TEST_P(ModelRoundTrip, ExactRoundTrip) {
+  const ModelShape& shape = GetParam();
+  core::ColdEstimates est;
+  est.U = shape.U;
+  est.C = shape.C;
+  est.K = shape.K;
+  est.T = shape.T;
+  est.V = shape.V;
+  RandomSampler sampler(static_cast<uint64_t>(shape.U + shape.V));
+  auto fill = [&](std::vector<double>* v, size_t n) {
+    v->resize(n);
+    for (double& x : *v) x = sampler.Uniform();
+  };
+  fill(&est.pi, static_cast<size_t>(shape.U) * shape.C);
+  fill(&est.theta, static_cast<size_t>(shape.C) * shape.K);
+  fill(&est.eta, static_cast<size_t>(shape.C) * shape.C);
+  fill(&est.phi, static_cast<size_t>(shape.K) * shape.V);
+  fill(&est.psi, static_cast<size_t>(shape.K) * shape.C * shape.T);
+
+  std::string path =
+      (fs::temp_directory_path() /
+       ("cold_model_rt_" + std::to_string(shape.U) + "_" +
+        std::to_string(shape.K) + ".bin"))
+          .string();
+  ASSERT_TRUE(core::SaveEstimates(est, path).ok());
+  auto loaded = core::LoadEstimates(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->pi, est.pi);
+  EXPECT_EQ(loaded->theta, est.theta);
+  EXPECT_EQ(loaded->eta, est.eta);
+  EXPECT_EQ(loaded->phi, est.phi);
+  EXPECT_EQ(loaded->psi, est.psi);
+  fs::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ModelRoundTrip,
+                         ::testing::Values(ModelShape{1, 1, 1, 1, 1},
+                                           ModelShape{10, 3, 4, 5, 20},
+                                           ModelShape{0, 2, 2, 2, 3},
+                                           ModelShape{100, 8, 12, 24, 700}));
+
+}  // namespace
+}  // namespace cold

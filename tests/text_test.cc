@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "text/post_store.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace cold::text {
+namespace {
+
+// ------------------------------------------------------------ Vocabulary --
+
+TEST(VocabularyTest, AddAssignsDenseIds) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.Add("alpha"), 0);
+  EXPECT_EQ(vocab.Add("beta"), 1);
+  EXPECT_EQ(vocab.Add("alpha"), 0);
+  EXPECT_EQ(vocab.size(), 2);
+  EXPECT_EQ(vocab.word(0), "alpha");
+  EXPECT_EQ(vocab.word(1), "beta");
+}
+
+TEST(VocabularyTest, CountsOccurrences) {
+  Vocabulary vocab;
+  vocab.Add("x");
+  vocab.Add("x");
+  vocab.Add("y");
+  EXPECT_EQ(vocab.count(0), 2);
+  EXPECT_EQ(vocab.count(1), 1);
+}
+
+TEST(VocabularyTest, LookupUnknownReturnsMinusOne) {
+  Vocabulary vocab;
+  vocab.Add("known");
+  EXPECT_EQ(vocab.Lookup("known"), 0);
+  EXPECT_EQ(vocab.Lookup("unknown"), -1);
+}
+
+TEST(VocabularyTest, PruneDropsRareWordsAndRemaps) {
+  Vocabulary vocab;
+  vocab.Add("common");
+  vocab.Add("common");
+  vocab.Add("common");
+  vocab.Add("rare");
+  vocab.Add("frequent");
+  vocab.Add("frequent");
+  std::vector<WordId> remap;
+  Vocabulary pruned = vocab.Prune(2, &remap);
+  EXPECT_EQ(pruned.size(), 2);
+  EXPECT_EQ(pruned.Lookup("common"), remap[0]);
+  EXPECT_EQ(remap[1], -1);  // "rare" dropped
+  EXPECT_EQ(pruned.Lookup("frequent"), remap[2]);
+  EXPECT_EQ(pruned.count(pruned.Lookup("common")), 3);
+}
+
+// ------------------------------------------------------------- Tokenizer --
+
+TEST(TokenizerTest, SplitsAndLowercases) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("Hello, World! Foo-bar");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "hello");
+  EXPECT_EQ(tokens[1], "world");
+  EXPECT_EQ(tokens[2], "foo");
+  EXPECT_EQ(tokens[3], "bar");
+}
+
+TEST(TokenizerTest, DropsStopWords) {
+  Tokenizer tokenizer;
+  tokenizer.AddDefaultStopWords();
+  auto tokens = tokenizer.Tokenize("the cat and the hat");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "cat");
+  EXPECT_EQ(tokens[1], "hat");
+}
+
+TEST(TokenizerTest, DropsShortTokensAndNumbers) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("a I 42 2023 ok word");
+  // "a"/"I" too short, "42"/"2023" numeric, "ok"+"word" kept.
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "ok");
+  EXPECT_EQ(tokens[1], "word");
+}
+
+TEST(TokenizerTest, CustomStopWordsApplyLowercased) {
+  Tokenizer tokenizer;
+  tokenizer.AddStopWord("SPAM");
+  auto tokens = tokenizer.Tokenize("spam ham Spam");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "ham");
+}
+
+TEST(TokenizerTest, KeepsAlphanumericMix) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("web2 covid19");
+  ASSERT_EQ(tokens.size(), 2u);
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  Tokenizer tokenizer;
+  EXPECT_TRUE(tokenizer.Tokenize("").empty());
+  EXPECT_TRUE(tokenizer.Tokenize("  ,.;  ").empty());
+}
+
+// ------------------------------------------------------------- PostStore --
+
+PostStore MakeStore() {
+  PostStore store;
+  store.Add(/*author=*/0, /*time=*/2, std::vector<WordId>{1, 2, 2});
+  store.Add(/*author=*/1, /*time=*/0, std::vector<WordId>{3});
+  store.Add(/*author=*/0, /*time=*/1, std::vector<WordId>{4, 1});
+  store.Finalize();
+  return store;
+}
+
+TEST(PostStoreTest, BasicAccessors) {
+  PostStore store = MakeStore();
+  EXPECT_EQ(store.num_posts(), 3);
+  EXPECT_EQ(store.num_users(), 2);
+  EXPECT_EQ(store.num_time_slices(), 3);
+  EXPECT_EQ(store.num_tokens(), 6);
+  EXPECT_EQ(store.author(0), 0);
+  EXPECT_EQ(store.time(1), 0);
+  EXPECT_EQ(store.length(0), 3);
+  ASSERT_EQ(store.words(2).size(), 2u);
+  EXPECT_EQ(store.words(2)[0], 4);
+}
+
+TEST(PostStoreTest, PostsOfUser) {
+  PostStore store = MakeStore();
+  auto posts0 = store.posts_of(0);
+  ASSERT_EQ(posts0.size(), 2u);
+  EXPECT_EQ(posts0[0], 0);
+  EXPECT_EQ(posts0[1], 2);
+  auto posts1 = store.posts_of(1);
+  ASSERT_EQ(posts1.size(), 1u);
+  EXPECT_EQ(posts1[0], 1);
+}
+
+TEST(PostStoreTest, WordCountsAggregatesDuplicates) {
+  PostStore store = MakeStore();
+  auto counts = store.WordCounts(0);
+  ASSERT_EQ(counts.size(), 2u);
+  // Order of first occurrence: word 1 then word 2.
+  EXPECT_EQ(counts[0].first, 1);
+  EXPECT_EQ(counts[0].second, 1);
+  EXPECT_EQ(counts[1].first, 2);
+  EXPECT_EQ(counts[1].second, 2);
+}
+
+TEST(PostStoreTest, FinalizeReservesIdSpace) {
+  PostStore store;
+  store.Add(0, 0, std::vector<WordId>{1});
+  store.Finalize(/*min_users=*/10, /*min_time_slices=*/24);
+  EXPECT_EQ(store.num_users(), 10);
+  EXPECT_EQ(store.num_time_slices(), 24);
+  EXPECT_TRUE(store.posts_of(7).empty());
+}
+
+TEST(PostStoreTest, EmptyPostAllowed) {
+  PostStore store;
+  store.Add(0, 0, std::vector<WordId>{});
+  store.Finalize();
+  EXPECT_EQ(store.length(0), 0);
+  EXPECT_TRUE(store.words(0).empty());
+  EXPECT_TRUE(store.WordCounts(0).empty());
+}
+
+}  // namespace
+}  // namespace cold::text

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "apps/user_influence.h"
+#include "graph/pagerank.h"
+
+namespace cold {
+namespace {
+
+// ---------------------------------------------------------------- PageRank --
+
+graph::Digraph StarGraph() {
+  // Everyone points at node 0.
+  graph::Digraph::Builder builder;
+  for (int i = 1; i < 6; ++i) {
+    EXPECT_TRUE(builder.AddEdge(i, 0).ok());
+  }
+  return std::move(builder).Build(6);
+}
+
+TEST(PageRankTest, SumsToOne) {
+  auto rank = graph::PageRank(StarGraph());
+  EXPECT_NEAR(std::accumulate(rank.begin(), rank.end(), 0.0), 1.0, 1e-9);
+}
+
+TEST(PageRankTest, HubDominatesStar) {
+  auto rank = graph::PageRank(StarGraph());
+  for (size_t i = 1; i < rank.size(); ++i) {
+    EXPECT_GT(rank[0], rank[i]);
+  }
+}
+
+TEST(PageRankTest, SymmetricCycleIsUniform) {
+  graph::Digraph::Builder builder;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(builder.AddEdge(i, (i + 1) % 5).ok());
+  }
+  auto rank = graph::PageRank(std::move(builder).Build());
+  for (double r : rank) EXPECT_NEAR(r, 0.2, 1e-9);
+}
+
+TEST(PageRankTest, EmptyGraphGivesEmptyOrUniform) {
+  graph::Digraph::Builder builder;
+  graph::Digraph isolated = std::move(builder).Build(3);
+  auto rank = graph::PageRank(isolated);
+  ASSERT_EQ(rank.size(), 3u);
+  for (double r : rank) EXPECT_NEAR(r, 1.0 / 3.0, 1e-9);
+}
+
+TEST(PageRankTest, DanglingMassRedistributed) {
+  // 0 -> 1, node 1 dangling: mass must not leak.
+  graph::Digraph::Builder builder;
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  auto rank = graph::PageRank(std::move(builder).Build());
+  EXPECT_NEAR(rank[0] + rank[1], 1.0, 1e-9);
+  EXPECT_GT(rank[1], rank[0]);
+}
+
+// --------------------------------------------------- User diffusion graph --
+
+apps::UserDiffusionGraph LineUserGraph(double p) {
+  apps::UserDiffusionGraph graph;
+  graph.adjacency.resize(4);
+  graph.adjacency[0].push_back({1, p});
+  graph.adjacency[1].push_back({2, p});
+  graph.adjacency[2].push_back({3, p});
+  return graph;
+}
+
+TEST(UserCascadeTest, DeterministicLine) {
+  RandomSampler sampler(1);
+  EXPECT_EQ(apps::SimulateUserCascadeOnce(LineUserGraph(1.0), {0}, &sampler),
+            4);
+  EXPECT_EQ(apps::SimulateUserCascadeOnce(LineUserGraph(0.0), {0}, &sampler),
+            1);
+}
+
+TEST(UserCascadeTest, ExpectedSpreadMatchesAnalytic) {
+  RandomSampler sampler(2);
+  // 1 + p + p^2 + p^3 at p = 0.5 => 1.875.
+  double spread =
+      apps::ExpectedUserSpread(LineUserGraph(0.5), {0}, 20000, &sampler);
+  EXPECT_NEAR(spread, 1.875, 0.05);
+}
+
+TEST(UserCascadeTest, DegreeSeedsPickHighestOutDegree) {
+  apps::UserDiffusionGraph graph;
+  graph.adjacency.resize(4);
+  graph.adjacency[2] = {{0, 0.1}, {1, 0.1}, {3, 0.1}};
+  graph.adjacency[1] = {{0, 0.1}};
+  auto seeds = apps::DegreeSeeds(graph, 2);
+  ASSERT_EQ(seeds.size(), 2u);
+  EXPECT_EQ(seeds[0], 2);
+  EXPECT_EQ(seeds[1], 1);
+}
+
+TEST(UserCascadeTest, GreedyBeatsRandomOnTwoComponents) {
+  // Two disjoint strong chains; greedy with budget 2 should seed both heads.
+  apps::UserDiffusionGraph graph;
+  graph.adjacency.resize(6);
+  graph.adjacency[0] = {{1, 1.0}};
+  graph.adjacency[1] = {{2, 1.0}};
+  graph.adjacency[3] = {{4, 1.0}};
+  graph.adjacency[4] = {{5, 1.0}};
+  auto seeds = apps::GreedyUserSeeds(graph, 2, /*trials=*/100,
+                                     /*candidate_pool=*/6, 7);
+  ASSERT_EQ(seeds.size(), 2u);
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(seeds[0], 0);
+  EXPECT_EQ(seeds[1], 3);
+}
+
+TEST(UserCascadeTest, SeedsNotDoubleCounted) {
+  RandomSampler sampler(5);
+  EXPECT_EQ(apps::SimulateUserCascadeOnce(LineUserGraph(0.0), {0, 0, 1},
+                                          &sampler),
+            2);
+}
+
+}  // namespace
+}  // namespace cold

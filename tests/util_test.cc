@@ -1,0 +1,381 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "util/math_util.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace cold {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad k");
+  EXPECT_EQ(st.ToString(), "Invalid argument: bad k");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(StatusTest, CopyIsCheapAndEqual) {
+  Status a = Status::Internal("boom");
+  Status b = a;  // shared rep
+  EXPECT_EQ(a, b);
+}
+
+Status FailingHelper() { return Status::NotFound("missing"); }
+
+Status UsesReturnNotOk() {
+  COLD_RETURN_NOT_OK(FailingHelper());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  EXPECT_EQ(UsesReturnNotOk().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------- Result --
+
+Result<int> MakeValue(bool succeed) {
+  if (!succeed) return Status::IOError("nope");
+  return 7;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = MakeValue(true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r = MakeValue(false);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+Result<int> UsesAssignOrReturn(bool succeed) {
+  int v;
+  COLD_ASSIGN_OR_RETURN(v, MakeValue(succeed));
+  return v + 1;
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesAndAssigns) {
+  EXPECT_EQ(*UsesAssignOrReturn(true), 8);
+  EXPECT_EQ(UsesAssignOrReturn(false).status().code(), StatusCode::kIOError);
+}
+
+TEST(ResultTest, MoveValue) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+// ------------------------------------------------------------------- RNG --
+
+TEST(Pcg32Test, Deterministic) {
+  Pcg32 a(123, 5), b(123, 5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU32(), b.NextU32());
+}
+
+TEST(Pcg32Test, StreamsDiffer) {
+  Pcg32 a(123, 1), b(123, 2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU32() == b.NextU32()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Pcg32Test, DoubleInUnitInterval) {
+  Pcg32 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Pcg32Test, BoundedInRange) {
+  Pcg32 rng(77);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(13), 13u);
+  }
+}
+
+TEST(RandomSamplerTest, UniformMoments) {
+  RandomSampler s(1);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double u = s.Uniform();
+    sum += u;
+    sum_sq += u * u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+  EXPECT_NEAR(sum_sq / n - (sum / n) * (sum / n), 1.0 / 12.0, 0.01);
+}
+
+TEST(RandomSamplerTest, NormalMoments) {
+  RandomSampler s(2);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double x = s.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RandomSamplerTest, GammaMeanMatchesShape) {
+  RandomSampler s(3);
+  for (double shape : {0.5, 1.0, 3.0, 10.0}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += s.Gamma(shape);
+    EXPECT_NEAR(sum / n, shape, shape * 0.06) << "shape=" << shape;
+  }
+}
+
+TEST(RandomSamplerTest, BetaMean) {
+  RandomSampler s(4);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += s.Beta(2.0, 6.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.02);
+}
+
+TEST(RandomSamplerTest, CategoricalFrequencies) {
+  RandomSampler s(5);
+  std::vector<double> w = {1.0, 2.0, 3.0, 4.0};
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) counts[static_cast<size_t>(s.Categorical(w))]++;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[static_cast<size_t>(i)]) / n,
+                (i + 1) / 10.0, 0.02);
+  }
+}
+
+TEST(RandomSamplerTest, LogCategoricalMatchesCategorical) {
+  RandomSampler s1(6), s2(6);
+  std::vector<double> w = {0.1, 0.7, 0.2};
+  std::vector<double> lw = {std::log(0.1) + 100, std::log(0.7) + 100,
+                            std::log(0.2) + 100};  // arbitrary shift
+  std::vector<int> c1(3, 0), c2(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    c1[static_cast<size_t>(s1.Categorical(w))]++;
+    c2[static_cast<size_t>(s2.LogCategorical(lw))]++;
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(c1[static_cast<size_t>(i)], c2[static_cast<size_t>(i)],
+                n * 0.02);
+  }
+}
+
+TEST(RandomSamplerTest, DirichletSumsToOne) {
+  RandomSampler s(7);
+  for (int rep = 0; rep < 50; ++rep) {
+    auto x = s.SymmetricDirichlet(0.2, 10);
+    double total = std::accumulate(x.begin(), x.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    for (double v : x) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(RandomSamplerTest, DirichletConcentrationControlsSparsity) {
+  RandomSampler s(8);
+  // Small alpha => most mass on one component (high max), large alpha =>
+  // flat.
+  double max_sparse = 0.0, max_flat = 0.0;
+  const int reps = 200;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto sparse = s.SymmetricDirichlet(0.05, 10);
+    auto flat = s.SymmetricDirichlet(50.0, 10);
+    max_sparse += *std::max_element(sparse.begin(), sparse.end());
+    max_flat += *std::max_element(flat.begin(), flat.end());
+  }
+  EXPECT_GT(max_sparse / reps, 0.7);
+  EXPECT_LT(max_flat / reps, 0.25);
+}
+
+TEST(RandomSamplerTest, MultinomialTotals) {
+  RandomSampler s(9);
+  std::vector<double> p = {0.2, 0.3, 0.5};
+  auto counts = s.Multinomial(1000, p);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0), 1000);
+}
+
+TEST(RandomSamplerTest, SampleWithoutReplacementDistinct) {
+  RandomSampler s(10);
+  auto picks = s.SampleWithoutReplacement(20, 10);
+  EXPECT_EQ(picks.size(), 10u);
+  std::sort(picks.begin(), picks.end());
+  EXPECT_TRUE(std::adjacent_find(picks.begin(), picks.end()) == picks.end());
+  for (int v : picks) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 20);
+  }
+}
+
+TEST(RandomSamplerTest, ShufflePreservesElements) {
+  RandomSampler s(11);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  s.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RandomSamplerTest, ZipfTableMonotoneCdf) {
+  auto cdf = RandomSampler::MakeZipfTable(100, 1.0);
+  EXPECT_NEAR(cdf.back(), 1.0, 1e-12);
+  for (size_t i = 1; i < cdf.size(); ++i) EXPECT_GE(cdf[i], cdf[i - 1]);
+  // Head-heavy: first 10 of 100 items carry most of the mass.
+  EXPECT_GT(cdf[9], 0.5);
+}
+
+// ------------------------------------------------------------------ math --
+
+TEST(MathTest, LogSumExpBasics) {
+  std::vector<double> x = {std::log(1.0), std::log(2.0), std::log(3.0)};
+  EXPECT_NEAR(LogSumExp(x), std::log(6.0), 1e-12);
+  std::vector<double> shifted = {1000.0, 1000.0};
+  EXPECT_NEAR(LogSumExp(shifted), 1000.0 + std::log(2.0), 1e-9);
+  EXPECT_EQ(LogSumExp({}), -std::numeric_limits<double>::infinity());
+}
+
+TEST(MathTest, NormalizeInPlace) {
+  std::vector<double> x = {1.0, 3.0};
+  double sum = NormalizeInPlace(x);
+  EXPECT_DOUBLE_EQ(sum, 4.0);
+  EXPECT_DOUBLE_EQ(x[0], 0.25);
+  EXPECT_DOUBLE_EQ(x[1], 0.75);
+  std::vector<double> zeros = {0.0, 0.0};
+  NormalizeInPlace(zeros);
+  EXPECT_DOUBLE_EQ(zeros[0], 0.5);
+}
+
+TEST(MathTest, MeanVarianceMedian) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(x), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(x), 1.25);
+  EXPECT_DOUBLE_EQ(Median(x), 2.5);
+  std::vector<double> odd = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(Median(odd), 3.0);
+}
+
+TEST(MathTest, EntropyAndKl) {
+  std::vector<double> uniform = {0.25, 0.25, 0.25, 0.25};
+  EXPECT_NEAR(Entropy(uniform), std::log(4.0), 1e-12);
+  std::vector<double> point = {1.0, 0.0, 0.0, 0.0};
+  EXPECT_NEAR(Entropy(point), 0.0, 1e-12);
+  EXPECT_NEAR(KlDivergence(uniform, uniform), 0.0, 1e-12);
+  EXPECT_GT(KlDivergence(point, uniform), 0.0);
+}
+
+TEST(MathTest, Distances) {
+  std::vector<double> a = {1.0, 0.0};
+  std::vector<double> b = {0.0, 1.0};
+  EXPECT_DOUBLE_EQ(L1Distance(a, b), 2.0);
+  EXPECT_NEAR(CosineSimilarity(a, b), 0.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity(a, a), 1.0, 1e-12);
+}
+
+TEST(MathTest, TopKIndices) {
+  std::vector<double> x = {0.1, 0.9, 0.4, 0.9, 0.2};
+  auto top = TopKIndices(x, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1);  // tie broken by lower index
+  EXPECT_EQ(top[1], 3);
+  EXPECT_EQ(top[2], 2);
+  EXPECT_EQ(TopKIndices(x, 100).size(), x.size());
+}
+
+TEST(MathTest, DigammaRecurrence) {
+  // digamma(x+1) = digamma(x) + 1/x.
+  for (double x : {0.3, 1.0, 2.5, 7.0}) {
+    EXPECT_NEAR(Digamma(x + 1.0), Digamma(x) + 1.0 / x, 1e-9) << x;
+  }
+  // digamma(1) = -EulerGamma.
+  EXPECT_NEAR(Digamma(1.0), -0.57721566490153286, 1e-9);
+}
+
+// ----------------------------------------------------------- thread pool --
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](size_t begin, size_t end, size_t) {
+    for (size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1);
+    }
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, WorkerIndexWithinBounds) {
+  ThreadPool pool(3);
+  std::atomic<bool> ok{true};
+  pool.ParallelFor(100, [&](size_t, size_t, size_t w) {
+    if (w >= pool.num_threads()) ok = false;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ThreadPoolTest, SubmitAndWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](size_t, size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(StopwatchTest, MeasuresElapsed) {
+  Stopwatch watch;
+  double t0 = watch.ElapsedSeconds();
+  EXPECT_GE(t0, 0.0);
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(watch.ElapsedSeconds(), t0);
+  EXPECT_GT(sink, 0.0);
+}
+
+}  // namespace
+}  // namespace cold
