@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_topcomm"
+  "../bench/ablation_topcomm.pdb"
+  "CMakeFiles/ablation_topcomm.dir/ablation_topcomm.cc.o"
+  "CMakeFiles/ablation_topcomm.dir/ablation_topcomm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_topcomm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

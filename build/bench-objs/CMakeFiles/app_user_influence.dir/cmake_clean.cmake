@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/app_user_influence"
+  "../bench/app_user_influence.pdb"
+  "CMakeFiles/app_user_influence.dir/app_user_influence.cc.o"
+  "CMakeFiles/app_user_influence.dir/app_user_influence.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_user_influence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_diffusion_graph"
+  "../bench/fig05_diffusion_graph.pdb"
+  "CMakeFiles/fig05_diffusion_graph.dir/fig05_diffusion_graph.cc.o"
+  "CMakeFiles/fig05_diffusion_graph.dir/fig05_diffusion_graph.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_diffusion_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_fluctuation"
+  "../bench/fig06_fluctuation.pdb"
+  "CMakeFiles/fig06_fluctuation.dir/fig06_fluctuation.cc.o"
+  "CMakeFiles/fig06_fluctuation.dir/fig06_fluctuation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_fluctuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_timelag"
+  "../bench/fig07_timelag.pdb"
+  "CMakeFiles/fig07_timelag.dir/fig07_timelag.cc.o"
+  "CMakeFiles/fig07_timelag.dir/fig07_timelag.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_timelag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

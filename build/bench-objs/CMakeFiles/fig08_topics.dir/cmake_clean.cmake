@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_topics"
+  "../bench/fig08_topics.pdb"
+  "CMakeFiles/fig08_topics.dir/fig08_topics.cc.o"
+  "CMakeFiles/fig08_topics.dir/fig08_topics.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_topics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

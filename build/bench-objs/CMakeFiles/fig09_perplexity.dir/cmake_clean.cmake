@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_perplexity"
+  "../bench/fig09_perplexity.pdb"
+  "CMakeFiles/fig09_perplexity.dir/fig09_perplexity.cc.o"
+  "CMakeFiles/fig09_perplexity.dir/fig09_perplexity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_perplexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

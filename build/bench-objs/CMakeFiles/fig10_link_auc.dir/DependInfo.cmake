@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_link_auc.cc" "bench-objs/CMakeFiles/fig10_link_auc.dir/fig10_link_auc.cc.o" "gcc" "bench-objs/CMakeFiles/fig10_link_auc.dir/fig10_link_auc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cold_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cold_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cold_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/cold_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/cold_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cold_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/cold_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/cold_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/cold_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_link_auc"
+  "../bench/fig10_link_auc.pdb"
+  "CMakeFiles/fig10_link_auc.dir/fig10_link_auc.cc.o"
+  "CMakeFiles/fig10_link_auc.dir/fig10_link_auc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_link_auc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

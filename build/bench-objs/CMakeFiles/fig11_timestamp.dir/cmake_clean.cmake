@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_timestamp"
+  "../bench/fig11_timestamp.pdb"
+  "CMakeFiles/fig11_timestamp.dir/fig11_timestamp.cc.o"
+  "CMakeFiles/fig11_timestamp.dir/fig11_timestamp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_timestamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_diffusion_auc"
+  "../bench/fig12_diffusion_auc.pdb"
+  "CMakeFiles/fig12_diffusion_auc.dir/fig12_diffusion_auc.cc.o"
+  "CMakeFiles/fig12_diffusion_auc.dir/fig12_diffusion_auc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_diffusion_auc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

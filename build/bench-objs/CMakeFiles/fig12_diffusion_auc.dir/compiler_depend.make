@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig12_diffusion_auc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_training_time"
+  "../bench/fig14_training_time.pdb"
+  "CMakeFiles/fig14_training_time.dir/fig14_training_time.cc.o"
+  "CMakeFiles/fig14_training_time.dir/fig14_training_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_training_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_influence"
+  "../bench/fig16_influence.pdb"
+  "CMakeFiles/fig16_influence.dir/fig16_influence.cc.o"
+  "CMakeFiles/fig16_influence.dir/fig16_influence.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_influence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

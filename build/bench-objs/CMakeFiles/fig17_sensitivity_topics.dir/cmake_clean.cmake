@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_sensitivity_topics"
+  "../bench/fig17_sensitivity_topics.pdb"
+  "CMakeFiles/fig17_sensitivity_topics.dir/fig17_sensitivity_topics.cc.o"
+  "CMakeFiles/fig17_sensitivity_topics.dir/fig17_sensitivity_topics.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_sensitivity_topics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_sensitivity_topics.
+# This may be replaced when dependencies are built.

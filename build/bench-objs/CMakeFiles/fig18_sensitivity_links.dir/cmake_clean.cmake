@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_sensitivity_links"
+  "../bench/fig18_sensitivity_links.pdb"
+  "CMakeFiles/fig18_sensitivity_links.dir/fig18_sensitivity_links.cc.o"
+  "CMakeFiles/fig18_sensitivity_links.dir/fig18_sensitivity_links.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_sensitivity_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig19_sensitivity_diffusion"
+  "../bench/fig19_sensitivity_diffusion.pdb"
+  "CMakeFiles/fig19_sensitivity_diffusion.dir/fig19_sensitivity_diffusion.cc.o"
+  "CMakeFiles/fig19_sensitivity_diffusion.dir/fig19_sensitivity_diffusion.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_sensitivity_diffusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/recovery_quality"
+  "../bench/recovery_quality.pdb"
+  "CMakeFiles/recovery_quality.dir/recovery_quality.cc.o"
+  "CMakeFiles/recovery_quality.dir/recovery_quality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sens_hyperparams"
+  "../bench/sens_hyperparams.pdb"
+  "CMakeFiles/sens_hyperparams.dir/sens_hyperparams.cc.o"
+  "CMakeFiles/sens_hyperparams.dir/sens_hyperparams.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_hyperparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

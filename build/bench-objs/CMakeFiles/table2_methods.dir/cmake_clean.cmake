@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_methods"
+  "../bench/table2_methods.pdb"
+  "CMakeFiles/table2_methods.dir/table2_methods.cc.o"
+  "CMakeFiles/table2_methods.dir/table2_methods.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffusion_explorer.dir/diffusion_explorer.cpp.o"
+  "CMakeFiles/diffusion_explorer.dir/diffusion_explorer.cpp.o.d"
+  "diffusion_explorer"
+  "diffusion_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffusion_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retweet_prediction.dir/retweet_prediction.cpp.o"
+  "CMakeFiles/retweet_prediction.dir/retweet_prediction.cpp.o.d"
+  "retweet_prediction"
+  "retweet_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retweet_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/diffusion_graph.cc" "src/apps/CMakeFiles/cold_apps.dir/diffusion_graph.cc.o" "gcc" "src/apps/CMakeFiles/cold_apps.dir/diffusion_graph.cc.o.d"
+  "/root/repo/src/apps/independent_cascade.cc" "src/apps/CMakeFiles/cold_apps.dir/independent_cascade.cc.o" "gcc" "src/apps/CMakeFiles/cold_apps.dir/independent_cascade.cc.o.d"
+  "/root/repo/src/apps/influence.cc" "src/apps/CMakeFiles/cold_apps.dir/influence.cc.o" "gcc" "src/apps/CMakeFiles/cold_apps.dir/influence.cc.o.d"
+  "/root/repo/src/apps/patterns.cc" "src/apps/CMakeFiles/cold_apps.dir/patterns.cc.o" "gcc" "src/apps/CMakeFiles/cold_apps.dir/patterns.cc.o.d"
+  "/root/repo/src/apps/user_influence.cc" "src/apps/CMakeFiles/cold_apps.dir/user_influence.cc.o" "gcc" "src/apps/CMakeFiles/cold_apps.dir/user_influence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cold_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cold_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cold_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cold_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/cold_engine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_apps.dir/diffusion_graph.cc.o"
+  "CMakeFiles/cold_apps.dir/diffusion_graph.cc.o.d"
+  "CMakeFiles/cold_apps.dir/independent_cascade.cc.o"
+  "CMakeFiles/cold_apps.dir/independent_cascade.cc.o.d"
+  "CMakeFiles/cold_apps.dir/influence.cc.o"
+  "CMakeFiles/cold_apps.dir/influence.cc.o.d"
+  "CMakeFiles/cold_apps.dir/patterns.cc.o"
+  "CMakeFiles/cold_apps.dir/patterns.cc.o.d"
+  "CMakeFiles/cold_apps.dir/user_influence.cc.o"
+  "CMakeFiles/cold_apps.dir/user_influence.cc.o.d"
+  "libcold_apps.a"
+  "libcold_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

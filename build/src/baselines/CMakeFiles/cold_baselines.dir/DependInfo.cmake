@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/eutb.cc" "src/baselines/CMakeFiles/cold_baselines.dir/eutb.cc.o" "gcc" "src/baselines/CMakeFiles/cold_baselines.dir/eutb.cc.o.d"
+  "/root/repo/src/baselines/lda.cc" "src/baselines/CMakeFiles/cold_baselines.dir/lda.cc.o" "gcc" "src/baselines/CMakeFiles/cold_baselines.dir/lda.cc.o.d"
+  "/root/repo/src/baselines/mmsb.cc" "src/baselines/CMakeFiles/cold_baselines.dir/mmsb.cc.o" "gcc" "src/baselines/CMakeFiles/cold_baselines.dir/mmsb.cc.o.d"
+  "/root/repo/src/baselines/pipeline.cc" "src/baselines/CMakeFiles/cold_baselines.dir/pipeline.cc.o" "gcc" "src/baselines/CMakeFiles/cold_baselines.dir/pipeline.cc.o.d"
+  "/root/repo/src/baselines/pmtlm.cc" "src/baselines/CMakeFiles/cold_baselines.dir/pmtlm.cc.o" "gcc" "src/baselines/CMakeFiles/cold_baselines.dir/pmtlm.cc.o.d"
+  "/root/repo/src/baselines/ti.cc" "src/baselines/CMakeFiles/cold_baselines.dir/ti.cc.o" "gcc" "src/baselines/CMakeFiles/cold_baselines.dir/ti.cc.o.d"
+  "/root/repo/src/baselines/tot.cc" "src/baselines/CMakeFiles/cold_baselines.dir/tot.cc.o" "gcc" "src/baselines/CMakeFiles/cold_baselines.dir/tot.cc.o.d"
+  "/root/repo/src/baselines/wtm.cc" "src/baselines/CMakeFiles/cold_baselines.dir/wtm.cc.o" "gcc" "src/baselines/CMakeFiles/cold_baselines.dir/wtm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cold_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cold_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cold_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/cold_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_baselines.dir/eutb.cc.o"
+  "CMakeFiles/cold_baselines.dir/eutb.cc.o.d"
+  "CMakeFiles/cold_baselines.dir/lda.cc.o"
+  "CMakeFiles/cold_baselines.dir/lda.cc.o.d"
+  "CMakeFiles/cold_baselines.dir/mmsb.cc.o"
+  "CMakeFiles/cold_baselines.dir/mmsb.cc.o.d"
+  "CMakeFiles/cold_baselines.dir/pipeline.cc.o"
+  "CMakeFiles/cold_baselines.dir/pipeline.cc.o.d"
+  "CMakeFiles/cold_baselines.dir/pmtlm.cc.o"
+  "CMakeFiles/cold_baselines.dir/pmtlm.cc.o.d"
+  "CMakeFiles/cold_baselines.dir/ti.cc.o"
+  "CMakeFiles/cold_baselines.dir/ti.cc.o.d"
+  "CMakeFiles/cold_baselines.dir/tot.cc.o"
+  "CMakeFiles/cold_baselines.dir/tot.cc.o.d"
+  "CMakeFiles/cold_baselines.dir/wtm.cc.o"
+  "CMakeFiles/cold_baselines.dir/wtm.cc.o.d"
+  "libcold_baselines.a"
+  "libcold_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cold_config.cc" "src/core/CMakeFiles/cold_core.dir/cold_config.cc.o" "gcc" "src/core/CMakeFiles/cold_core.dir/cold_config.cc.o.d"
+  "/root/repo/src/core/cold_estimates.cc" "src/core/CMakeFiles/cold_core.dir/cold_estimates.cc.o" "gcc" "src/core/CMakeFiles/cold_core.dir/cold_estimates.cc.o.d"
+  "/root/repo/src/core/cold_state.cc" "src/core/CMakeFiles/cold_core.dir/cold_state.cc.o" "gcc" "src/core/CMakeFiles/cold_core.dir/cold_state.cc.o.d"
+  "/root/repo/src/core/gibbs_sampler.cc" "src/core/CMakeFiles/cold_core.dir/gibbs_sampler.cc.o" "gcc" "src/core/CMakeFiles/cold_core.dir/gibbs_sampler.cc.o.d"
+  "/root/repo/src/core/model_io.cc" "src/core/CMakeFiles/cold_core.dir/model_io.cc.o" "gcc" "src/core/CMakeFiles/cold_core.dir/model_io.cc.o.d"
+  "/root/repo/src/core/parallel_sampler.cc" "src/core/CMakeFiles/cold_core.dir/parallel_sampler.cc.o" "gcc" "src/core/CMakeFiles/cold_core.dir/parallel_sampler.cc.o.d"
+  "/root/repo/src/core/parallel_state.cc" "src/core/CMakeFiles/cold_core.dir/parallel_state.cc.o" "gcc" "src/core/CMakeFiles/cold_core.dir/parallel_state.cc.o.d"
+  "/root/repo/src/core/predictor.cc" "src/core/CMakeFiles/cold_core.dir/predictor.cc.o" "gcc" "src/core/CMakeFiles/cold_core.dir/predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cold_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cold_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cold_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/cold_engine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_core.dir/cold_config.cc.o"
+  "CMakeFiles/cold_core.dir/cold_config.cc.o.d"
+  "CMakeFiles/cold_core.dir/cold_estimates.cc.o"
+  "CMakeFiles/cold_core.dir/cold_estimates.cc.o.d"
+  "CMakeFiles/cold_core.dir/cold_state.cc.o"
+  "CMakeFiles/cold_core.dir/cold_state.cc.o.d"
+  "CMakeFiles/cold_core.dir/gibbs_sampler.cc.o"
+  "CMakeFiles/cold_core.dir/gibbs_sampler.cc.o.d"
+  "CMakeFiles/cold_core.dir/model_io.cc.o"
+  "CMakeFiles/cold_core.dir/model_io.cc.o.d"
+  "CMakeFiles/cold_core.dir/parallel_sampler.cc.o"
+  "CMakeFiles/cold_core.dir/parallel_sampler.cc.o.d"
+  "CMakeFiles/cold_core.dir/parallel_state.cc.o"
+  "CMakeFiles/cold_core.dir/parallel_state.cc.o.d"
+  "CMakeFiles/cold_core.dir/predictor.cc.o"
+  "CMakeFiles/cold_core.dir/predictor.cc.o.d"
+  "libcold_core.a"
+  "libcold_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_data.dir/serialize.cc.o"
+  "CMakeFiles/cold_data.dir/serialize.cc.o.d"
+  "CMakeFiles/cold_data.dir/split.cc.o"
+  "CMakeFiles/cold_data.dir/split.cc.o.d"
+  "CMakeFiles/cold_data.dir/synthetic.cc.o"
+  "CMakeFiles/cold_data.dir/synthetic.cc.o.d"
+  "libcold_data.a"
+  "libcold_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_engine.dir/partitioner.cc.o"
+  "CMakeFiles/cold_engine.dir/partitioner.cc.o.d"
+  "libcold_engine.a"
+  "libcold_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

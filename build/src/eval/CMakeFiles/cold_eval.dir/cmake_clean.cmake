@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_eval.dir/alignment.cc.o"
+  "CMakeFiles/cold_eval.dir/alignment.cc.o.d"
+  "CMakeFiles/cold_eval.dir/metrics.cc.o"
+  "CMakeFiles/cold_eval.dir/metrics.cc.o.d"
+  "libcold_eval.a"
+  "libcold_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

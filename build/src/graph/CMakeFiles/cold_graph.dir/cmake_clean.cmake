@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_graph.dir/digraph.cc.o"
+  "CMakeFiles/cold_graph.dir/digraph.cc.o.d"
+  "CMakeFiles/cold_graph.dir/pagerank.cc.o"
+  "CMakeFiles/cold_graph.dir/pagerank.cc.o.d"
+  "libcold_graph.a"
+  "libcold_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_text.dir/post_store.cc.o"
+  "CMakeFiles/cold_text.dir/post_store.cc.o.d"
+  "CMakeFiles/cold_text.dir/tokenizer.cc.o"
+  "CMakeFiles/cold_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/cold_text.dir/vocabulary.cc.o"
+  "CMakeFiles/cold_text.dir/vocabulary.cc.o.d"
+  "libcold_text.a"
+  "libcold_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

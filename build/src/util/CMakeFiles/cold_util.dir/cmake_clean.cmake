@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_util.dir/logging.cc.o"
+  "CMakeFiles/cold_util.dir/logging.cc.o.d"
+  "CMakeFiles/cold_util.dir/math_util.cc.o"
+  "CMakeFiles/cold_util.dir/math_util.cc.o.d"
+  "CMakeFiles/cold_util.dir/rng.cc.o"
+  "CMakeFiles/cold_util.dir/rng.cc.o.d"
+  "CMakeFiles/cold_util.dir/status.cc.o"
+  "CMakeFiles/cold_util.dir/status.cc.o.d"
+  "CMakeFiles/cold_util.dir/thread_pool.cc.o"
+  "CMakeFiles/cold_util.dir/thread_pool.cc.o.d"
+  "libcold_util.a"
+  "libcold_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_influence_test.dir/user_influence_test.cc.o"
+  "CMakeFiles/user_influence_test.dir/user_influence_test.cc.o.d"
+  "user_influence_test"
+  "user_influence_test.pdb"
+  "user_influence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_influence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_generate.dir/cold_generate.cc.o"
+  "CMakeFiles/cold_generate.dir/cold_generate.cc.o.d"
+  "cold_generate"
+  "cold_generate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

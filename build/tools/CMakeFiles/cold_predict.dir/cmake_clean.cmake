@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_predict.dir/cold_predict.cc.o"
+  "CMakeFiles/cold_predict.dir/cold_predict.cc.o.d"
+  "cold_predict"
+  "cold_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

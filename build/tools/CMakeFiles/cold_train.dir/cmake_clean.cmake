@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_train.dir/cold_train.cc.o"
+  "CMakeFiles/cold_train.dir/cold_train.cc.o.d"
+  "cold_train"
+  "cold_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
