@@ -14,10 +14,13 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "core/cold.h"
 #include "data/split.h"
 #include "data/synthetic.h"
 #include "eval/metrics.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -180,5 +183,22 @@ inline void PrintHeader(const std::string& title) {
 
 /// Silences training INFO chatter for clean bench output.
 inline void QuietLogs() { Logger::SetLevel(LogLevel::kWarning); }
+
+/// \brief Telemetry hook for bench harnesses: when COLD_BENCH_METRICS=FILE
+/// is set, writes a final registry snapshot (JSON) there so bench runs can
+/// be compared offline (phase seconds, comm bytes, tokens resampled, span
+/// histograms — see DESIGN.md §Observability). Call at the end of main().
+inline void DumpTelemetryIfRequested() {
+  const char* path = std::getenv("COLD_BENCH_METRICS");
+  if (path == nullptr || *path == '\0') return;
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write COLD_BENCH_METRICS file %s\n", path);
+    return;
+  }
+  obs::Registry::Global().DumpJson(out);
+  out << "\n";
+  std::printf("telemetry snapshot written to %s\n", path);
+}
 
 }  // namespace cold::bench

@@ -74,5 +74,6 @@ int main() {
   }
   std::printf("(paper shape: near-linear speedup, flattening as sync and\n"
               " communication costs grow with the cluster)\n");
+  bench::DumpTelemetryIfRequested();
   return 0;
 }

@@ -106,5 +106,6 @@ int main() {
   std::printf(
       "\n(paper shape: serial COLD costs more than partial-feature\n"
       " baselines; COLD (8) on the cluster is competitive)\n");
+  bench::DumpTelemetryIfRequested();
   return 0;
 }

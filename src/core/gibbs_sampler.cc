@@ -3,10 +3,48 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/math_util.h"
+#include "util/stopwatch.h"
 
 namespace cold::core {
+
+namespace {
+
+/// Registry handles for the serial sampler's per-sweep telemetry, cached
+/// once per process. The *_seconds / switch-rate gauges carry the most
+/// recent sweep so a per-sweep snapshot series reads as a trajectory;
+/// the counters are cumulative.
+struct GibbsMetrics {
+  obs::Counter* sweeps;
+  obs::Counter* tokens_resampled;
+  obs::Counter* links_resampled;
+  obs::Gauge* sweep_seconds;
+  obs::Gauge* post_phase_seconds;
+  obs::Gauge* link_phase_seconds;
+  obs::Gauge* community_switch_rate;
+  obs::Gauge* topic_switch_rate;
+  obs::Gauge* train_log_likelihood;
+};
+
+GibbsMetrics& Metrics() {
+  auto& registry = obs::Registry::Global();
+  static GibbsMetrics metrics{
+      registry.GetCounter("cold/gibbs/sweeps"),
+      registry.GetCounter("cold/gibbs/tokens_resampled"),
+      registry.GetCounter("cold/gibbs/links_resampled"),
+      registry.GetGauge("cold/gibbs/sweep_seconds"),
+      registry.GetGauge("cold/gibbs/phase_seconds", {{"phase", "post"}}),
+      registry.GetGauge("cold/gibbs/phase_seconds", {{"phase", "link"}}),
+      registry.GetGauge("cold/gibbs/community_switch_rate"),
+      registry.GetGauge("cold/gibbs/topic_switch_rate"),
+      registry.GetGauge("cold/gibbs/train_log_likelihood")};
+  return metrics;
+}
+
+}  // namespace
 
 double ComputeLambda0(const ColdConfig& config, int num_users,
                       int64_t num_links) {
@@ -254,8 +292,23 @@ void ColdGibbsSampler::SampleLinkAlternating(graph::EdgeId e) {
 }
 
 void ColdGibbsSampler::RunIteration() {
-  for (text::PostId d = 0; d < posts_.num_posts(); ++d) SamplePost(d);
+  COLD_TRACE_SPAN("gibbs/sweep");
+  double post_seconds = 0.0, link_seconds = 0.0;
+  int64_t tokens = 0;
+  int64_t switched_c = 0, switched_k = 0;
+  {
+    cold::ScopedTimer timer(post_seconds);
+    for (text::PostId d = 0; d < posts_.num_posts(); ++d) {
+      const int32_t old_c = state_->post_community[static_cast<size_t>(d)];
+      const int32_t old_k = state_->post_topic[static_cast<size_t>(d)];
+      SamplePost(d);
+      tokens += posts_.length(d);
+      switched_c += state_->post_community[static_cast<size_t>(d)] != old_c;
+      switched_k += state_->post_topic[static_cast<size_t>(d)] != old_k;
+    }
+  }
   if (use_network_) {
+    cold::ScopedTimer timer(link_seconds);
     bool joint = UseJointLinkSampling();
     for (graph::EdgeId e = 0; e < links_->num_edges(); ++e) {
       if (joint) {
@@ -266,6 +319,19 @@ void ColdGibbsSampler::RunIteration() {
     }
   }
   iterations_run_++;
+
+  // Per-sweep telemetry: a dozen relaxed atomics, no-ops when the registry
+  // is disabled.
+  GibbsMetrics& metrics = Metrics();
+  metrics.sweeps->Increment();
+  metrics.tokens_resampled->Increment(tokens);
+  if (use_network_) metrics.links_resampled->Increment(links_->num_edges());
+  metrics.sweep_seconds->Set(post_seconds + link_seconds);
+  metrics.post_phase_seconds->Set(post_seconds);
+  metrics.link_phase_seconds->Set(link_seconds);
+  double num_posts = static_cast<double>(posts_.num_posts());
+  metrics.community_switch_rate->Set(switched_c / num_posts);
+  metrics.topic_switch_rate->Set(switched_k / num_posts);
 }
 
 cold::Status ColdGibbsSampler::Train() {
@@ -276,8 +342,9 @@ cold::Status ColdGibbsSampler::Train() {
     RunIteration();
     if (config_.log_likelihood_every > 0 &&
         (it + 1) % config_.log_likelihood_every == 0) {
-      COLD_LOG(kInfo) << "iter " << (it + 1)
-                      << " log-likelihood=" << TrainingLogLikelihood();
+      double ll = TrainingLogLikelihood();
+      Metrics().train_log_likelihood->Set(ll);
+      COLD_LOG(kInfo) << "iter " << (it + 1) << " log-likelihood=" << ll;
     }
     if (it + 1 > config_.burn_in &&
         (it + 1 - config_.burn_in) % config_.sample_lag == 0) {
@@ -289,6 +356,7 @@ cold::Status ColdGibbsSampler::Train() {
       }
       num_accumulated_++;
     }
+    if (sweep_callback_) sweep_callback_(it + 1);
   }
   return cold::Status::OK();
 }

@@ -7,6 +7,7 @@
 // complexity in the data size (§4.2).
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "core/cold_config.h"
@@ -38,6 +39,13 @@ class ColdGibbsSampler {
   /// \brief Full schedule: iterations sweeps, accumulating estimates every
   /// `sample_lag` sweeps after burn-in. Init() must have succeeded.
   cold::Status Train();
+
+  /// \brief Observer invoked by Train() after every sweep with the 1-based
+  /// sweep number — the hook `cold_train --metrics-out` uses to snapshot
+  /// the telemetry registry per sweep. Pass an empty function to clear.
+  void SetSweepCallback(std::function<void(int)> callback) {
+    sweep_callback_ = std::move(callback);
+  }
 
   /// \brief Point estimates from the *current* sample (Appendix A).
   ColdEstimates EstimatesFromCurrentSample() const;
@@ -87,6 +95,7 @@ class ColdGibbsSampler {
   int num_accumulated_ = 0;
   int iterations_run_ = 0;
   bool initialized_ = false;
+  std::function<void(int)> sweep_callback_;
 };
 
 /// \brief Extracts Appendix-A point estimates from any counter state (shared

@@ -443,7 +443,12 @@ cold::Status ParallelColdTrainer::Train() {
   if (!initialized_) {
     return cold::Status::FailedPrecondition("call Init() before Train()");
   }
-  engine_->Run(config_.iterations);
+  // One engine iteration at a time (respecting the execution mode) so the
+  // per-superstep observer sees every boundary.
+  for (int it = 0; it < config_.iterations; ++it) {
+    engine_->Run(1);
+    if (superstep_callback_) superstep_callback_(it + 1);
+  }
   return cold::Status::OK();
 }
 

@@ -14,6 +14,7 @@
 // standard approximate-parallel collapsed Gibbs scheme.
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "core/cold_config.h"
@@ -60,6 +61,12 @@ class ParallelColdTrainer {
   /// \brief Runs config.iterations supersteps.
   cold::Status Train();
 
+  /// \brief Observer invoked by Train() after every superstep with the
+  /// 1-based superstep number (the per-sweep telemetry snapshot hook).
+  void SetSuperstepCallback(std::function<void(int)> callback) {
+    superstep_callback_ = std::move(callback);
+  }
+
   /// \brief Runs a single superstep (one full Gibbs sweep).
   void RunSuperstep();
 
@@ -93,6 +100,7 @@ class ParallelColdTrainer {
       engine_;
   engine::EngineOptions engine_options_;
   bool initialized_ = false;
+  std::function<void(int)> superstep_callback_;
 };
 
 }  // namespace cold::core

@@ -3,9 +3,36 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/math_util.h"
 
 namespace cold::core {
+
+namespace {
+
+/// Query-volume counters for the online prediction paths (one relaxed
+/// atomic per query; the Fig-15 latency story is told by the trace spans).
+struct PredictorMetrics {
+  obs::Counter* topic_posteriors;
+  obs::Counter* diffusion_scores;
+  obs::Counter* link_scores;
+  obs::Counter* timestamp_scores;
+  obs::Counter* fold_ins;
+};
+
+PredictorMetrics& Metrics() {
+  auto& registry = obs::Registry::Global();
+  static PredictorMetrics metrics{
+      registry.GetCounter("cold/predictor/topic_posteriors"),
+      registry.GetCounter("cold/predictor/diffusion_scores"),
+      registry.GetCounter("cold/predictor/link_scores"),
+      registry.GetCounter("cold/predictor/timestamp_scores"),
+      registry.GetCounter("cold/predictor/fold_ins")};
+  return metrics;
+}
+
+}  // namespace
 
 ColdPredictor::ColdPredictor(ColdEstimates estimates, int top_communities)
     : est_(std::move(estimates)),
@@ -31,6 +58,7 @@ void ColdPredictor::WordLogLikelihoods(std::span<const text::WordId> words,
 
 std::vector<double> ColdPredictor::TopicPosterior(
     std::span<const text::WordId> words, text::UserId author) const {
+  Metrics().topic_posteriors->Increment();
   std::vector<double> log_w;
   WordLogLikelihoods(words, &log_w);
   // P(k|i) restricted to the author's top communities (Eq. 5).
@@ -64,6 +92,7 @@ double ColdPredictor::TopicInfluence(text::UserId i, text::UserId i2,
 double ColdPredictor::DiffusionProbability(
     text::UserId i, text::UserId i2,
     std::span<const text::WordId> words) const {
+  Metrics().diffusion_scores->Increment();
   std::vector<double> topic_post = TopicPosterior(words, i);
   double p = 0.0;
   for (int k = 0; k < est_.K; ++k) {
@@ -74,6 +103,7 @@ double ColdPredictor::DiffusionProbability(
 }
 
 double ColdPredictor::LinkProbability(text::UserId i, text::UserId i2) const {
+  Metrics().link_scores->Increment();
   double p = 0.0;
   for (int c = 0; c < est_.C; ++c) {
     double pi_ic = est_.Pi(i, c);
@@ -87,6 +117,7 @@ double ColdPredictor::LinkProbability(text::UserId i, text::UserId i2) const {
 
 std::vector<double> ColdPredictor::TimestampScores(
     std::span<const text::WordId> words, text::UserId author) const {
+  Metrics().timestamp_scores->Increment();
   std::vector<double> log_w;
   WordLogLikelihoods(words, &log_w);
   double max_lw = *std::max_element(log_w.begin(), log_w.end());
@@ -133,6 +164,7 @@ double ColdPredictor::LogPostProbability(std::span<const text::WordId> words,
 
 std::vector<double> ColdPredictor::FoldInMembership(
     std::span<const FoldInPost> posts, int iterations, double rho) const {
+  Metrics().fold_ins->Increment();
   std::vector<double> pi(static_cast<size_t>(est_.C), 1.0 / est_.C);
   if (posts.empty()) return pi;
 
@@ -201,6 +233,7 @@ double ColdPredictor::DiffusionProbabilityToNewUser(
 }
 
 double ColdPredictor::Perplexity(const text::PostStore& test_posts) const {
+  COLD_TRACE_SPAN("predictor/perplexity");
   double total_ll = 0.0;
   int64_t total_tokens = 0;
   for (text::PostId d = 0; d < test_posts.num_posts(); ++d) {

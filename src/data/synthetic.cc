@@ -5,6 +5,8 @@
 #include <string>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 
@@ -74,6 +76,7 @@ cold::Status SyntheticSocialGenerator::Validate() const {
 }
 
 cold::Result<SocialDataset> SyntheticSocialGenerator::Generate() {
+  COLD_TRACE_SPAN("synthetic/generate");
   COLD_RETURN_NOT_OK(Validate());
   SocialDataset out;
   DrawGroundTruth(&out);
@@ -81,6 +84,15 @@ cold::Result<SocialDataset> SyntheticSocialGenerator::Generate() {
   GenerateFollowerGraph(&out);
   GenerateRetweets(&out);
   BuildInteractionNetwork(&out);
+  auto& registry = obs::Registry::Global();
+  registry.GetGauge("cold/synthetic/users")->Set(out.num_users());
+  registry.GetGauge("cold/synthetic/posts")->Set(out.posts.num_posts());
+  registry.GetGauge("cold/synthetic/tokens")->Set(
+      static_cast<double>(out.posts.num_tokens()));
+  registry.GetGauge("cold/synthetic/links")
+      ->Set(static_cast<double>(out.interactions.num_edges()));
+  registry.GetGauge("cold/synthetic/retweet_tuples")
+      ->Set(static_cast<double>(out.retweets.size()));
   COLD_LOG(kInfo) << "synthetic dataset: users=" << out.num_users()
                   << " posts=" << out.posts.num_posts()
                   << " tokens=" << out.posts.num_tokens()

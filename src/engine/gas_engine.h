@@ -25,11 +25,44 @@
 
 #include "engine/partitioner.h"
 #include "engine/property_graph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace cold::engine {
+
+namespace internal {
+
+/// Registry handles for the engine's exported metrics (cached once; the
+/// per-superstep updates are a handful of relaxed atomics). The same
+/// quantities stay available through EngineStats for callers that hold the
+/// engine; the registry view is for telemetry snapshots.
+struct EngineMetrics {
+  obs::Gauge* gather_seconds;
+  obs::Gauge* apply_seconds;
+  obs::Gauge* scatter_seconds;
+  obs::Counter* comm_bytes;
+  obs::Counter* supersteps;
+  obs::Gauge* cut_edges;
+  obs::Gauge* work_skew;
+};
+
+inline EngineMetrics& GetEngineMetrics() {
+  auto& registry = obs::Registry::Global();
+  static EngineMetrics metrics{
+      registry.GetGauge("cold/engine/gather_seconds"),
+      registry.GetGauge("cold/engine/apply_seconds"),
+      registry.GetGauge("cold/engine/scatter_seconds"),
+      registry.GetCounter("cold/engine/comm_bytes"),
+      registry.GetCounter("cold/engine/supersteps"),
+      registry.GetGauge("cold/engine/cut_edges"),
+      registry.GetGauge("cold/engine/work_skew")};
+  return metrics;
+}
+
+}  // namespace internal
 
 /// \brief Which incident edges the gather phase visits.
 enum class GatherEdges { kNone, kIn, kOut, kAll };
@@ -177,42 +210,53 @@ class GasEngine {
   /// but there is no per-superstep aggregator broadcast — global counters
   /// are exchanged as fine-grained deltas folded into the edge messages.
   void RunAsyncSweep() {
-    cold::Stopwatch watch;
-    const int64_t ne = graph_->num_edges();
-    std::atomic<int64_t> cursor{0};
-    constexpr int64_t kChunk = 256;
-    size_t workers = pool_.num_threads();
-    // One long-running task per worker, each pulling chunks dynamically.
-    pool_.ParallelFor(workers, [this, ne, &cursor](size_t begin, size_t end,
-                                                   size_t worker) {
-      (void)begin;
-      (void)end;
-      WorkerContext ctx{&samplers_[worker], worker};
-      while (true) {
-        int64_t start = cursor.fetch_add(kChunk, std::memory_order_relaxed);
-        if (start >= ne) break;
-        int64_t stop = std::min(ne, start + kChunk);
-        for (int64_t e = start; e < stop; ++e) {
-          program_->Scatter(graph_, static_cast<EdgeId>(e), &ctx);
+    COLD_TRACE_SPAN("engine/async_sweep");
+    auto& metrics = internal::GetEngineMetrics();
+    double scatter_s = 0.0;
+    {
+      cold::ScopedTimer timer(scatter_s);
+      const int64_t ne = graph_->num_edges();
+      std::atomic<int64_t> cursor{0};
+      constexpr int64_t kChunk = 256;
+      size_t workers = pool_.num_threads();
+      // One long-running task per worker, each pulling chunks dynamically.
+      pool_.ParallelFor(workers, [this, ne, &cursor](size_t begin, size_t end,
+                                                     size_t worker) {
+        (void)begin;
+        (void)end;
+        WorkerContext ctx{&samplers_[worker], worker};
+        while (true) {
+          int64_t start = cursor.fetch_add(kChunk, std::memory_order_relaxed);
+          if (start >= ne) break;
+          int64_t stop = std::min(ne, start + kChunk);
+          for (int64_t e = start; e < stop; ++e) {
+            program_->Scatter(graph_, static_cast<EdgeId>(e), &ctx);
+          }
         }
-      }
-    });
-    stats_.scatter_seconds += watch.ElapsedSeconds();
-    stats_.comm_bytes +=
-        2 * stats_.cut_edges * options_.bytes_per_edge_message;
+      });
+    }
+    stats_.scatter_seconds += scatter_s;
+    metrics.scatter_seconds->Add(scatter_s);
+    int64_t bytes = 2 * stats_.cut_edges * options_.bytes_per_edge_message;
+    stats_.comm_bytes += bytes;
+    metrics.comm_bytes->Increment(bytes);
     program_->PostSuperstep(graph_, stats_.supersteps);
     stats_.supersteps++;
+    metrics.supersteps->Increment();
   }
 
   /// \brief Runs one gather/apply/scatter superstep.
   void RunSuperstep() {
-    cold::Stopwatch watch;
-    size_t nv = static_cast<size_t>(graph_->num_vertices());
+    COLD_TRACE_SPAN("engine/superstep");
+    auto& metrics = internal::GetEngineMetrics();
 
     // Gather + Apply. Each vertex's reduction is independent, so one
     // parallel sweep covers both phases (GraphLab fuses them the same way
     // for synchronous execution).
+    double ga = 0.0;
     if constexpr (Program::kGatherEdges != GatherEdges::kNone) {
+      cold::ScopedTimer timer(ga);
+      size_t nv = static_cast<size_t>(graph_->num_vertices());
       pool_.ParallelFor(nv, [this](size_t begin, size_t end, size_t) {
         for (size_t v = begin; v < end; ++v) {
           auto vid = static_cast<VertexId>(v);
@@ -233,31 +277,38 @@ class GasEngine {
         }
       });
     }
-    double ga = watch.ElapsedSeconds();
     stats_.gather_seconds += ga * 0.5;
     stats_.apply_seconds += ga * 0.5;
+    metrics.gather_seconds->Add(ga * 0.5);
+    metrics.apply_seconds->Add(ga * 0.5);
 
     // Scatter.
-    watch.Restart();
-    size_t ne = static_cast<size_t>(graph_->num_edges());
-    pool_.ParallelFor(ne, [this](size_t begin, size_t end, size_t worker) {
-      WorkerContext ctx{&samplers_[worker], worker};
-      for (size_t e = begin; e < end; ++e) {
-        program_->Scatter(graph_, static_cast<EdgeId>(e), &ctx);
-      }
-    });
-    stats_.scatter_seconds += watch.ElapsedSeconds();
+    double scatter_s = 0.0;
+    {
+      cold::ScopedTimer timer(scatter_s);
+      size_t ne = static_cast<size_t>(graph_->num_edges());
+      pool_.ParallelFor(ne, [this](size_t begin, size_t end, size_t worker) {
+        WorkerContext ctx{&samplers_[worker], worker};
+        for (size_t e = begin; e < end; ++e) {
+          program_->Scatter(graph_, static_cast<EdgeId>(e), &ctx);
+        }
+      });
+    }
+    stats_.scatter_seconds += scatter_s;
+    metrics.scatter_seconds->Add(scatter_s);
 
     // Simulated network: every cut edge ships its gather contribution and
     // its scattered assignment; global aggregator state is broadcast to all
     // nodes at the sync point.
-    stats_.comm_bytes +=
-        2 * stats_.cut_edges * options_.bytes_per_edge_message;
-    stats_.comm_bytes += static_cast<int64_t>(options_.num_nodes - 1) *
-                         program_->GlobalStateBytes();
+    int64_t bytes = 2 * stats_.cut_edges * options_.bytes_per_edge_message +
+                    static_cast<int64_t>(options_.num_nodes - 1) *
+                        program_->GlobalStateBytes();
+    stats_.comm_bytes += bytes;
+    metrics.comm_bytes->Increment(bytes);
 
     program_->PostSuperstep(graph_, stats_.supersteps);
     stats_.supersteps++;
+    metrics.supersteps->Increment();
   }
 
  private:
@@ -287,6 +338,19 @@ class GasEngine {
       stats_.node_work_units[static_cast<size_t>(node)] +=
           program_->EdgeWorkUnits(e);
     }
+    auto& metrics = internal::GetEngineMetrics();
+    metrics.cut_edges->Set(static_cast<double>(stats_.cut_edges));
+    int64_t total = 0, max_node = 0;
+    for (int64_t w : stats_.node_work_units) {
+      total += w;
+      max_node = std::max(max_node, w);
+    }
+    // Load-balance skew: busiest node's work over the per-node mean
+    // (1.0 = perfectly balanced).
+    double mean = total > 0 ? static_cast<double>(total) / options_.num_nodes
+                            : 1.0;
+    metrics.work_skew->Set(
+        total > 0 ? static_cast<double>(max_node) / mean : 1.0);
   }
 
   Graph* graph_;

@@ -1,0 +1,370 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace cold::obs {
+
+// ------------------------------------------------------------- Histogram --
+
+Histogram::Histogram(HistogramOptions options) {
+  int n = std::max(1, options.num_buckets);
+  double bound = std::max(options.min_upper_bound, 1e-300);
+  double growth = std::max(options.growth, 1.0 + 1e-9);
+  bounds_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    bounds_.push_back(bound);
+    bound *= growth;
+  }
+  counts_ = std::vector<std::atomic<int64_t>>(bounds_.size() + 1);
+}
+
+void Histogram::Observe(double value) {
+  if (!internal::MetricsEnabled()) return;
+  // First bound >= value; past-the-end lands in the overflow slot.
+  size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<int64_t> Histogram::bucket_counts() const {
+  std::vector<int64_t> out(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+// -------------------------------------------------------------- Registry --
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Registry::Entry* Registry::FindOrCreate(const std::string& name,
+                                        const Labels& labels, Kind kind,
+                                        const HistogramOptions& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = families_.try_emplace(name);
+  Family& family = it->second;
+  if (inserted) family.kind = kind;
+  if (family.kind != kind) {
+    COLD_LOG(kError) << "metric '" << name
+                     << "' already registered with a different kind";
+    return nullptr;
+  }
+  for (Entry& entry : family.entries) {
+    if (entry.labels == labels) return &entry;
+  }
+  Entry entry;
+  entry.labels = labels;
+  switch (kind) {
+    case Kind::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      entry.histogram = std::make_unique<Histogram>(options);
+      break;
+  }
+  family.entries.push_back(std::move(entry));
+  return &family.entries.back();
+}
+
+Counter* Registry::GetCounter(const std::string& name, const Labels& labels) {
+  Entry* entry = FindOrCreate(name, labels, Kind::kCounter, {});
+  if (entry == nullptr) {
+    static Counter* dummy = new Counter();  // detached, never exported
+    return dummy;
+  }
+  return entry->counter.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const Labels& labels) {
+  Entry* entry = FindOrCreate(name, labels, Kind::kGauge, {});
+  if (entry == nullptr) {
+    static Gauge* dummy = new Gauge();
+    return dummy;
+  }
+  return entry->gauge.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const Labels& labels,
+                                  const HistogramOptions& options) {
+  Entry* entry = FindOrCreate(name, labels, Kind::kHistogram, options);
+  if (entry == nullptr) {
+    static Histogram* dummy = new Histogram();
+    return dummy;
+  }
+  return entry->histogram.get();
+}
+
+TelemetrySnapshot Registry::Snapshot() const {
+  TelemetrySnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, family] : families_) {
+    for (const Entry& entry : family.entries) {
+      switch (family.kind) {
+        case Kind::kCounter:
+          snapshot.counters.push_back(
+              {name, entry.labels, entry.counter->Value()});
+          break;
+        case Kind::kGauge:
+          snapshot.gauges.push_back(
+              {name, entry.labels, entry.gauge->Value()});
+          break;
+        case Kind::kHistogram: {
+          HistogramSnapshot h;
+          h.name = name;
+          h.labels = entry.labels;
+          h.upper_bounds = entry.histogram->upper_bounds();
+          h.bucket_counts = entry.histogram->bucket_counts();
+          h.count = entry.histogram->count();
+          h.sum = entry.histogram->sum();
+          snapshot.histograms.push_back(std::move(h));
+          break;
+        }
+      }
+    }
+  }
+  return snapshot;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, family] : families_) {
+    for (Entry& entry : family.entries) {
+      if (entry.counter != nullptr) entry.counter->Reset();
+      if (entry.gauge != nullptr) entry.gauge->Reset();
+      if (entry.histogram != nullptr) entry.histogram->Reset();
+    }
+  }
+}
+
+void Registry::DumpJson(std::ostream& os) const {
+  obs::DumpJson(Snapshot(), os);
+}
+
+void Registry::DumpPrometheusText(std::ostream& os) const {
+  obs::DumpPrometheusText(Snapshot(), os);
+}
+
+// ------------------------------------------------------------- Exporters --
+
+namespace {
+
+void JsonEscape(const std::string& in, std::ostream& os) {
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void JsonNumber(double v, std::ostream& os) {
+  // JSON has no NaN/Inf literals; clamp to null.
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+void JsonLabels(const Labels& labels, std::ostream& os) {
+  os << "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"";
+    JsonEscape(k, os);
+    os << "\":\"";
+    JsonEscape(v, os);
+    os << "\"";
+  }
+  os << "}";
+}
+
+/// Prometheus metric/label names allow [a-zA-Z0-9_:] only.
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == ':')) {
+      c = '_';
+    }
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string PromEscapeValue(const std::string& value) {
+  std::string out;
+  for (char c : value) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Renders `{k1="v1",k2="v2"}` (empty string for no labels). `extra` lets
+/// histogram buckets append their `le` label.
+std::string PromLabels(const Labels& labels, const std::string& extra = {}) {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += PromName(k) + "=\"" + PromEscapeValue(v) + "\"";
+  }
+  if (!extra.empty()) {
+    if (!first) out += ",";
+    out += extra;
+  }
+  out += "}";
+  return out;
+}
+
+std::string PromDouble(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void DumpJson(const TelemetrySnapshot& snapshot, std::ostream& os) {
+  os << "{\"counters\":[";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const CounterSnapshot& c = snapshot.counters[i];
+    if (i > 0) os << ",";
+    os << "{\"name\":\"";
+    JsonEscape(c.name, os);
+    os << "\",\"labels\":";
+    JsonLabels(c.labels, os);
+    os << ",\"value\":" << c.value << "}";
+  }
+  os << "],\"gauges\":[";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const GaugeSnapshot& g = snapshot.gauges[i];
+    if (i > 0) os << ",";
+    os << "{\"name\":\"";
+    JsonEscape(g.name, os);
+    os << "\",\"labels\":";
+    JsonLabels(g.labels, os);
+    os << ",\"value\":";
+    JsonNumber(g.value, os);
+    os << "}";
+  }
+  os << "],\"histograms\":[";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snapshot.histograms[i];
+    if (i > 0) os << ",";
+    os << "{\"name\":\"";
+    JsonEscape(h.name, os);
+    os << "\",\"labels\":";
+    JsonLabels(h.labels, os);
+    os << ",\"count\":" << h.count << ",\"sum\":";
+    JsonNumber(h.sum, os);
+    os << ",\"buckets\":[";
+    for (size_t b = 0; b < h.bucket_counts.size(); ++b) {
+      if (b > 0) os << ",";
+      os << "{\"le\":";
+      if (b < h.upper_bounds.size()) {
+        JsonNumber(h.upper_bounds[b], os);
+      } else {
+        os << "\"+Inf\"";
+      }
+      os << ",\"count\":" << h.bucket_counts[b] << "}";
+    }
+    os << "]}";
+  }
+  os << "]}";
+}
+
+void DumpPrometheusText(const TelemetrySnapshot& snapshot, std::ostream& os) {
+  std::string last_type_line;  // emit # TYPE once per family
+  auto type_line = [&](const std::string& name, const char* type) {
+    std::string line = "# TYPE " + name + " " + type + "\n";
+    if (line != last_type_line) {
+      os << line;
+      last_type_line = std::move(line);
+    }
+  };
+  for (const CounterSnapshot& c : snapshot.counters) {
+    std::string name = PromName(c.name);
+    type_line(name, "counter");
+    os << name << PromLabels(c.labels) << " " << c.value << "\n";
+  }
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    std::string name = PromName(g.name);
+    type_line(name, "gauge");
+    os << name << PromLabels(g.labels) << " " << PromDouble(g.value) << "\n";
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    std::string name = PromName(h.name);
+    type_line(name, "histogram");
+    int64_t cumulative = 0;
+    for (size_t b = 0; b < h.bucket_counts.size(); ++b) {
+      cumulative += h.bucket_counts[b];
+      std::string le = b < h.upper_bounds.size()
+                           ? PromDouble(h.upper_bounds[b])
+                           : "+Inf";
+      os << name << "_bucket"
+         << PromLabels(h.labels, "le=\"" + le + "\"") << " " << cumulative
+         << "\n";
+    }
+    os << name << "_sum" << PromLabels(h.labels) << " " << PromDouble(h.sum)
+       << "\n";
+    os << name << "_count" << PromLabels(h.labels) << " " << h.count << "\n";
+  }
+}
+
+}  // namespace cold::obs

@@ -1,0 +1,219 @@
+// Process-wide telemetry: a thread-safe metrics registry with lock-free
+// hot-path updates.
+//
+// Three metric kinds, all addressable by a slash-separated name following
+// the `cold/<component>/<metric>` convention plus an optional label set:
+//
+//   Counter   — monotonically increasing int64 (events, bytes, tokens);
+//   Gauge     — double holding the latest value (rates, last-sweep seconds)
+//               with an Add() for accumulating time totals;
+//   Histogram — fixed log-scale buckets over doubles (durations).
+//
+// Registration (Registry::Get*) takes a mutex and returns a pointer that
+// stays valid for the life of the process — callers cache it once and the
+// subsequent Increment/Set/Observe calls are a relaxed atomic each. The
+// whole subsystem can be switched off with Registry::Disable(), which turns
+// every update into a single relaxed load + branch, so instrumented code
+// can stay instrumented in benchmarks.
+//
+// Exporters: Registry::Snapshot() for programmatic access, DumpJson() and
+// DumpPrometheusText() for files/scrapes. See DESIGN.md §Observability.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cold::obs {
+
+namespace internal {
+/// Global on/off switch checked by every metric update (relaxed load).
+inline std::atomic<bool> g_metrics_enabled{true};
+inline bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+}  // namespace internal
+
+/// \brief Key-value labels distinguishing members of a metric family
+/// (e.g. {{"phase", "gather"}}). Order-sensitive: register with a
+/// consistent order.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// \brief Monotonically increasing event count. Lock-free updates.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    if (!internal::MetricsEnabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  /// Zeroes the counter (test isolation; see Registry::Reset).
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Last-value metric with an accumulate option. Lock-free updates.
+class Gauge {
+ public:
+  void Set(double value) {
+    if (!internal::MetricsEnabled()) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+
+  /// Accumulates into the gauge (used for seconds-spent totals).
+  void Add(double delta) {
+    if (!internal::MetricsEnabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Log-scale bucket layout: upper bounds are
+/// `min_upper_bound * growth^i` for i in [0, num_buckets), plus an implicit
+/// overflow bucket. Defaults cover 1 microsecond to ~1 minute of seconds.
+struct HistogramOptions {
+  double min_upper_bound = 1e-6;
+  double growth = 2.0;
+  int num_buckets = 36;
+};
+
+/// \brief Fixed-bucket histogram over doubles. Observe() is lock-free:
+/// a binary search over the (immutable) bounds plus two relaxed atomics.
+/// Bucket i counts observations v with v <= upper_bounds[i] (and greater
+/// than the previous bound); the last slot of bucket_counts() is the
+/// overflow (+Inf) bucket.
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options = {});
+
+  void Observe(double value);
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size = upper_bounds().size() + 1.
+  std::vector<int64_t> bucket_counts() const;
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<int64_t>> counts_;  // bounds_.size() + 1 slots.
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// \brief One exported counter/gauge/histogram value; see TelemetrySnapshot.
+struct CounterSnapshot {
+  std::string name;
+  Labels labels;
+  int64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  Labels labels;
+  double value = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  Labels labels;
+  std::vector<double> upper_bounds;
+  /// Per-bucket counts; last entry is the overflow (+Inf) bucket.
+  std::vector<int64_t> bucket_counts;
+  int64_t count = 0;
+  double sum = 0.0;
+};
+
+/// \brief Point-in-time copy of every registered metric, sorted by name
+/// (then label registration order) for deterministic output.
+struct TelemetrySnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+/// \brief Writes the snapshot as one JSON object:
+/// {"counters":[{"name":...,"labels":{...},"value":...}], "gauges":[...],
+///  "histograms":[{"name":...,"buckets":[{"le":...,"count":...}],...}]}.
+void DumpJson(const TelemetrySnapshot& snapshot, std::ostream& os);
+
+/// \brief Writes the snapshot in the Prometheus text exposition format
+/// (names sanitized to [a-zA-Z0-9_:], histogram buckets cumulative with
+/// `le` labels, `_sum`/`_count` series).
+void DumpPrometheusText(const TelemetrySnapshot& snapshot, std::ostream& os);
+
+/// \brief Process-wide metric registry. Get* registers on first use and
+/// returns a stable pointer; subsequent calls with the same (name, labels)
+/// return the same instance. A name maps to one metric kind for the process
+/// lifetime — a kind-mismatched lookup logs an error and returns a detached
+/// dummy metric so callers never receive nullptr.
+class Registry {
+ public:
+  /// The process-wide instance every component reports into.
+  static Registry& Global();
+
+  Counter* GetCounter(const std::string& name, const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {});
+  Histogram* GetHistogram(const std::string& name, const Labels& labels = {},
+                          const HistogramOptions& options = {});
+
+  /// Disables every metric update process-wide (updates become a relaxed
+  /// load + branch). Registration still works while disabled.
+  static void Disable() {
+    internal::g_metrics_enabled.store(false, std::memory_order_relaxed);
+  }
+  static void Enable() {
+    internal::g_metrics_enabled.store(true, std::memory_order_relaxed);
+  }
+  static bool enabled() { return internal::MetricsEnabled(); }
+
+  TelemetrySnapshot Snapshot() const;
+  void DumpJson(std::ostream& os) const;
+  void DumpPrometheusText(std::ostream& os) const;
+
+  /// Zeroes every registered metric's value. Pointers handed out by Get*
+  /// remain valid (instances are kept; only values reset) — safe to call
+  /// between tests even while samplers cache metric pointers.
+  void Reset();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Entry {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  struct Family {
+    Kind kind = Kind::kCounter;
+    std::vector<Entry> entries;
+  };
+
+  Entry* FindOrCreate(const std::string& name, const Labels& labels,
+                      Kind kind, const HistogramOptions& options);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace cold::obs

@@ -1,0 +1,119 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace cold::obs {
+
+namespace {
+
+thread_local int tls_span_depth = 0;
+
+std::chrono::steady_clock::time_point ProcessStart() {
+  static const auto start = std::chrono::steady_clock::now();
+  return start;
+}
+
+struct RingState {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;  // circular once full
+  size_t capacity = 0;
+  size_t next = 0;   // insertion cursor
+  bool wrapped = false;
+};
+
+RingState& Ring() {
+  static RingState* state = new RingState();
+  return *state;
+}
+
+std::atomic<bool> g_ring_enabled{false};
+
+}  // namespace
+
+void TraceRing::Enable(size_t capacity) {
+  RingState& ring = Ring();
+  std::lock_guard<std::mutex> lock(ring.mutex);
+  ring.capacity = capacity > 0 ? capacity : 1;
+  ring.events.clear();
+  ring.events.reserve(ring.capacity);
+  ring.next = 0;
+  ring.wrapped = false;
+  g_ring_enabled.store(true, std::memory_order_release);
+}
+
+void TraceRing::Disable() {
+  g_ring_enabled.store(false, std::memory_order_release);
+}
+
+bool TraceRing::enabled() {
+  return g_ring_enabled.load(std::memory_order_relaxed);
+}
+
+void TraceRing::Push(TraceEvent event) {
+  if (!enabled()) return;
+  RingState& ring = Ring();
+  std::lock_guard<std::mutex> lock(ring.mutex);
+  if (ring.capacity == 0) return;
+  if (ring.events.size() < ring.capacity) {
+    ring.events.push_back(std::move(event));
+    ring.next = ring.events.size() % ring.capacity;
+    ring.wrapped = ring.events.size() == ring.capacity && ring.next == 0;
+  } else {
+    ring.events[ring.next] = std::move(event);
+    ring.next = (ring.next + 1) % ring.capacity;
+    ring.wrapped = true;
+  }
+}
+
+std::vector<TraceEvent> TraceRing::Events() {
+  RingState& ring = Ring();
+  std::lock_guard<std::mutex> lock(ring.mutex);
+  if (!ring.wrapped || ring.events.size() < ring.capacity) {
+    return ring.events;
+  }
+  std::vector<TraceEvent> out;
+  out.reserve(ring.events.size());
+  for (size_t i = 0; i < ring.events.size(); ++i) {
+    out.push_back(ring.events[(ring.next + i) % ring.events.size()]);
+  }
+  return out;
+}
+
+void TraceRing::Clear() {
+  RingState& ring = Ring();
+  std::lock_guard<std::mutex> lock(ring.mutex);
+  ring.events.clear();
+  ring.next = 0;
+  ring.wrapped = false;
+}
+
+TraceSpan::TraceSpan(const char* name) : name_(name) {
+  if (!Registry::enabled()) return;
+  active_ = true;
+  depth_ = ++tls_span_depth;
+  start_ = std::chrono::steady_clock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  auto end = std::chrono::steady_clock::now();
+  --tls_span_depth;
+  double seconds = std::chrono::duration<double>(end - start_).count();
+  Registry::Global()
+      .GetHistogram(std::string("cold/trace/") + name_)
+      ->Observe(seconds);
+  if (TraceRing::enabled()) {
+    TraceEvent event;
+    event.name = name_;
+    event.start_seconds =
+        std::chrono::duration<double>(start_ - ProcessStart()).count();
+    event.duration_seconds = seconds;
+    event.depth = depth_;
+    TraceRing::Push(std::move(event));
+  }
+}
+
+}  // namespace cold::obs

@@ -1,0 +1,76 @@
+// Lightweight trace spans feeding the metrics registry.
+//
+//   void ColdGibbsSampler::RunIteration() {
+//     COLD_TRACE_SPAN("gibbs/sweep");
+//     ...
+//   }
+//
+// A span measures the enclosing scope's wall time and records it into the
+// duration histogram `cold/trace/<name>` (seconds). Spans nest: a
+// thread-local depth is tracked so ring-buffer events can be re-assembled
+// into a call tree. When the optional in-memory ring buffer is enabled
+// (TraceRing::Enable), each completed span also appends a TraceEvent.
+//
+// Spans follow the registry's global switch: with Registry::Disable() a
+// span is a relaxed load + branch and never reads the clock.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace cold::obs {
+
+/// \brief One completed span, as captured by the ring buffer.
+struct TraceEvent {
+  std::string name;
+  /// Start offset in seconds on the process-wide monotonic clock.
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  /// Nesting depth on the recording thread (outermost span = 1).
+  int depth = 0;
+};
+
+/// \brief Optional process-wide ring buffer of completed spans (newest
+/// overwrite oldest). Disabled (zero-cost beyond one relaxed load) until
+/// Enable() is called.
+class TraceRing {
+ public:
+  /// Enables capture with space for `capacity` events; clears prior events.
+  static void Enable(size_t capacity = 4096);
+  static void Disable();
+  static bool enabled();
+
+  /// Buffered events, oldest first.
+  static std::vector<TraceEvent> Events();
+  static void Clear();
+
+  /// Appends one event (called by ~TraceSpan; public for tests).
+  static void Push(TraceEvent event);
+};
+
+/// \brief RAII span. Prefer the COLD_TRACE_SPAN macro. `name` must outlive
+/// the span (string literals do).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  bool active_ = false;
+  int depth_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#define COLD_OBS_CONCAT_INNER(a, b) a##b
+#define COLD_OBS_CONCAT(a, b) COLD_OBS_CONCAT_INNER(a, b)
+
+/// Opens a span covering the rest of the enclosing scope.
+#define COLD_TRACE_SPAN(name) \
+  ::cold::obs::TraceSpan COLD_OBS_CONCAT(cold_trace_span_, __LINE__)(name)
+
+}  // namespace cold::obs

@@ -1,6 +1,7 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
 
@@ -9,6 +10,17 @@ namespace cold {
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
 std::mutex g_mutex;
+
+/// The installed sink; empty means the stderr default. Guarded by g_mutex.
+Logger::Sink& SinkRef() {
+  static Logger::Sink* sink = new Logger::Sink();
+  return *sink;
+}
+
+std::chrono::steady_clock::time_point LogEpoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -33,12 +45,29 @@ LogLevel Logger::GetLevel() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+void Logger::SetSink(Sink sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  SinkRef() = std::move(sink);
+}
+
+double Logger::MonotonicSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       LogEpoch())
+      .count();
+}
+
 void Logger::Log(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
     return;
   }
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
+  const Sink& sink = SinkRef();
+  if (sink) {
+    sink(level, msg);
+    return;
+  }
+  std::fprintf(stderr, "[%10.3f] [%s] %s\n", MonotonicSeconds(),
+               LevelName(level), msg.c_str());
 }
 
 }  // namespace cold

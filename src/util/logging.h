@@ -1,7 +1,9 @@
 // Minimal leveled logging. Library code logs through this so examples and
-// benches can silence training chatter (`Logger::SetLevel`).
+// benches can silence training chatter (`Logger::SetLevel`) and tests can
+// capture it (`Logger::SetSink`).
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -13,11 +15,24 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// \brief Process-wide logging configuration and sink.
 class Logger {
  public:
+  /// Receives every emitted record (already level-filtered). The sink owns
+  /// formatting and output; the default sink writes
+  /// `[<monotonic seconds>] [<LEVEL>] <msg>` to stderr.
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
   /// Sets the minimum level that is emitted (default kInfo).
   static void SetLevel(LogLevel level);
 
   /// Current minimum level.
   static LogLevel GetLevel();
+
+  /// Replaces the output sink. Passing an empty function restores the
+  /// stderr default. Sinks are invoked serialized under the log mutex.
+  static void SetSink(Sink sink);
+
+  /// Seconds on the monotonic clock since the process first logged (the
+  /// timestamp the default sink prints).
+  static double MonotonicSeconds();
 
   /// Emits one line at `level` if `level >= GetLevel()`.
   static void Log(LogLevel level, const std::string& msg);

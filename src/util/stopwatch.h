@@ -26,4 +26,22 @@ class Stopwatch {
   Clock::time_point start_;
 };
 
+/// \brief Adds the enclosing scope's wall time into an accumulator on
+/// destruction — the phase-accounting pattern used by the GAS engine:
+///
+///   double gather_seconds = 0.0;
+///   { ScopedTimer timer(gather_seconds); ... }  // += elapsed at }
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& total) : total_(total) {}
+  ~ScopedTimer() { total_ += watch_.ElapsedSeconds(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double& total_;
+  Stopwatch watch_;
+};
+
 }  // namespace cold

@@ -1,0 +1,494 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <chrono>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "core/cold.h"
+#include "data/synthetic.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace cold::obs {
+namespace {
+
+// ------------------------------------------------------ JSON validation --
+// Minimal recursive-descent JSON syntax checker, enough to assert that
+// DumpJson round-trips through a real parser's grammar.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string text) : text_(std::move(text)) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    size_t len = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string text_;
+  size_t pos_ = 0;
+};
+
+// --------------------------------------------------------------- Counter --
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Registry::Enable();
+  Counter* counter =
+      Registry::Global().GetCounter("cold/obs_test/concurrent_counter");
+  counter->Reset();
+  constexpr size_t kItems = 100000;
+  ThreadPool pool(8);
+  pool.ParallelFor(kItems, [&](size_t begin, size_t end, size_t) {
+    for (size_t i = begin; i < end; ++i) counter->Increment();
+  });
+  EXPECT_EQ(counter->Value(), static_cast<int64_t>(kItems));
+
+  // A second wave of weighted increments from explicit Submit tasks.
+  for (int t = 0; t < 8; ++t) {
+    pool.Submit([&] { counter->Increment(1000); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter->Value(), static_cast<int64_t>(kItems) + 8000);
+}
+
+TEST(CounterTest, DisabledIncrementsAreDropped) {
+  Counter* counter =
+      Registry::Global().GetCounter("cold/obs_test/disabled_counter");
+  counter->Reset();
+  Registry::Disable();
+  counter->Increment(42);
+  Registry::Enable();
+  EXPECT_EQ(counter->Value(), 0);
+  counter->Increment(7);
+  EXPECT_EQ(counter->Value(), 7);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Registry::Enable();
+  Gauge* gauge = Registry::Global().GetGauge("cold/obs_test/gauge");
+  gauge->Set(1.5);
+  EXPECT_DOUBLE_EQ(gauge->Value(), 1.5);
+  gauge->Add(0.25);
+  gauge->Add(0.25);
+  EXPECT_DOUBLE_EQ(gauge->Value(), 2.0);
+}
+
+TEST(RegistryTest, SameNameAndLabelsReturnsSameInstance) {
+  auto& registry = Registry::Global();
+  Counter* a = registry.GetCounter("cold/obs_test/family", {{"x", "1"}});
+  Counter* b = registry.GetCounter("cold/obs_test/family", {{"x", "1"}});
+  Counter* c = registry.GetCounter("cold/obs_test/family", {{"x", "2"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(RegistryTest, KindMismatchReturnsDetachedDummy) {
+  auto& registry = Registry::Global();
+  registry.GetCounter("cold/obs_test/kind_clash");
+  Gauge* dummy = registry.GetGauge("cold/obs_test/kind_clash");
+  ASSERT_NE(dummy, nullptr);
+  dummy->Set(5.0);  // must not crash; value is detached from the registry
+  TelemetrySnapshot snapshot = registry.Snapshot();
+  for (const auto& g : snapshot.gauges) {
+    EXPECT_NE(g.name, "cold/obs_test/kind_clash");
+  }
+}
+
+// ------------------------------------------------------------- Histogram --
+
+TEST(HistogramTest, LogScaleBucketBoundaries) {
+  HistogramOptions options;
+  options.min_upper_bound = 1e-3;
+  options.growth = 2.0;
+  options.num_buckets = 4;
+  Histogram hist(options);
+  ASSERT_EQ(hist.upper_bounds().size(), 4u);
+  EXPECT_DOUBLE_EQ(hist.upper_bounds()[0], 1e-3);
+  EXPECT_DOUBLE_EQ(hist.upper_bounds()[1], 2e-3);
+  EXPECT_DOUBLE_EQ(hist.upper_bounds()[2], 4e-3);
+  EXPECT_DOUBLE_EQ(hist.upper_bounds()[3], 8e-3);
+
+  Registry::Enable();
+  hist.Observe(0.5e-3);  // bucket 0
+  hist.Observe(1e-3);    // bucket 0 (le is inclusive)
+  hist.Observe(1.5e-3);  // bucket 1
+  hist.Observe(8e-3);    // bucket 3
+  hist.Observe(9e-3);    // overflow
+  hist.Observe(123.0);   // overflow
+  std::vector<int64_t> counts = hist.bucket_counts();
+  ASSERT_EQ(counts.size(), 5u);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_EQ(counts[3], 1);
+  EXPECT_EQ(counts[4], 2);
+  EXPECT_EQ(hist.count(), 6);
+  EXPECT_NEAR(hist.sum(), 0.5e-3 + 1e-3 + 1.5e-3 + 8e-3 + 9e-3 + 123.0,
+              1e-12);
+}
+
+TEST(HistogramTest, ConcurrentObservationsSumExactly) {
+  Registry::Enable();
+  Histogram* hist = Registry::Global().GetHistogram(
+      "cold/obs_test/concurrent_hist", {},
+      HistogramOptions{1e-6, 2.0, 8});
+  hist->Reset();
+  constexpr size_t kItems = 50000;
+  ThreadPool pool(8);
+  pool.ParallelFor(kItems, [&](size_t begin, size_t end, size_t) {
+    for (size_t i = begin; i < end; ++i) hist->Observe(1e-5);
+  });
+  EXPECT_EQ(hist->count(), static_cast<int64_t>(kItems));
+  int64_t bucketed = 0;
+  for (int64_t c : hist->bucket_counts()) bucketed += c;
+  EXPECT_EQ(bucketed, static_cast<int64_t>(kItems));
+}
+
+// ------------------------------------------------------------- Exporters --
+
+TEST(ExportTest, JsonSnapshotParses) {
+  auto& registry = Registry::Global();
+  Registry::Enable();
+  registry.GetCounter("cold/obs_test/json_counter")->Increment(3);
+  registry.GetGauge("cold/obs_test/json_gauge", {{"phase", "post"}})
+      ->Set(0.125);
+  registry
+      .GetHistogram("cold/obs_test/json_hist", {},
+                    HistogramOptions{1e-3, 10.0, 3})
+      ->Observe(0.5);
+  std::ostringstream os;
+  registry.DumpJson(os);
+  std::string json = os.str();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.Valid()) << json;
+  EXPECT_NE(json.find("\"cold/obs_test/json_counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase\":\"post\""), std::string::npos);
+  EXPECT_NE(json.find("\"+Inf\""), std::string::npos);
+}
+
+TEST(ExportTest, JsonEscapesSpecialCharacters) {
+  TelemetrySnapshot snapshot;
+  snapshot.counters.push_back(
+      {"weird\"name\\with\nstuff", {{"k", "v\"q"}}, 1});
+  std::ostringstream os;
+  DumpJson(snapshot, os);
+  JsonChecker checker(os.str());
+  EXPECT_TRUE(checker.Valid()) << os.str();
+}
+
+TEST(ExportTest, PrometheusTextFormat) {
+  auto& registry = Registry::Global();
+  Registry::Enable();
+  registry.GetCounter("cold/obs_test/prom_counter")->Increment(5);
+  registry.GetGauge("cold/obs_test/prom_gauge", {{"phase", "link"}})
+      ->Set(2.5);
+  Histogram* hist = registry.GetHistogram(
+      "cold/obs_test/prom_hist", {}, HistogramOptions{1e-3, 10.0, 3});
+  hist->Reset();
+  hist->Observe(5e-4);
+  hist->Observe(5e-3);
+  hist->Observe(100.0);
+
+  std::ostringstream os;
+  registry.DumpPrometheusText(os);
+  std::string text = os.str();
+
+  // Every line is either a comment or `name{labels} value`.
+  std::regex sample_re(
+      R"(^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_:][a-zA-Z0-9_:]*="(\\.|[^"\\])*"(,[a-zA-Z_:][a-zA-Z0-9_:]*="(\\.|[^"\\])*")*\})? (-?[0-9.eE+-]+|NaN|[+-]Inf)$)");
+  std::istringstream lines(text);
+  std::string line;
+  int samples = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_TRUE(std::regex_match(line, sample_re)) << "bad line: " << line;
+    ++samples;
+  }
+  EXPECT_GT(samples, 0);
+
+  // Sanitized names, cumulative histogram buckets, sum/count series.
+  EXPECT_NE(text.find("cold_obs_test_prom_counter 5"), std::string::npos);
+  EXPECT_NE(text.find("cold_obs_test_prom_gauge{phase=\"link\"} 2.5"),
+            std::string::npos);
+  EXPECT_NE(text.find("cold_obs_test_prom_hist_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("cold_obs_test_prom_hist_count 3"), std::string::npos);
+}
+
+// ----------------------------------------------------------- Trace spans --
+
+TEST(TraceTest, NestedSpansAttributeTimeToTheRightFamily) {
+  Registry::Enable();
+  auto& registry = Registry::Global();
+  Histogram* outer = registry.GetHistogram("cold/trace/obs_test/outer");
+  Histogram* inner = registry.GetHistogram("cold/trace/obs_test/inner");
+  outer->Reset();
+  inner->Reset();
+  TraceRing::Enable(16);
+  {
+    COLD_TRACE_SPAN("obs_test/outer");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    {
+      COLD_TRACE_SPAN("obs_test/inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  EXPECT_EQ(outer->count(), 1);
+  EXPECT_EQ(inner->count(), 1);
+  // The outer span covers the inner one.
+  EXPECT_GE(outer->sum(), inner->sum());
+  EXPECT_GT(inner->sum(), 0.0);
+
+  // Ring events carry nesting depth; the inner span completes first.
+  std::vector<TraceEvent> events = TraceRing::Events();
+  TraceRing::Disable();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "obs_test/inner");
+  EXPECT_EQ(events[0].depth, 2);
+  EXPECT_EQ(events[1].name, "obs_test/outer");
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_LE(events[1].start_seconds, events[0].start_seconds);
+}
+
+TEST(TraceTest, RingBufferKeepsNewestEvents) {
+  TraceRing::Enable(4);
+  for (int i = 0; i < 10; ++i) {
+    TraceEvent event;
+    event.name = "e";
+    event.name += std::to_string(i);
+    event.start_seconds = i;
+    TraceRing::Push(std::move(event));
+  }
+  std::vector<TraceEvent> events = TraceRing::Events();
+  TraceRing::Disable();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().name, "e6");
+  EXPECT_EQ(events.back().name, "e9");
+}
+
+TEST(TraceTest, DisabledRegistryMakesSpansFree) {
+  auto& registry = Registry::Global();
+  Histogram* hist = registry.GetHistogram("cold/trace/obs_test/disabled");
+  hist->Reset();
+  Registry::Disable();
+  {
+    COLD_TRACE_SPAN("obs_test/disabled");
+  }
+  Registry::Enable();
+  EXPECT_EQ(hist->count(), 0);
+}
+
+// ------------------------------------------------- End-to-end with COLD --
+
+data::SocialDataset SmallData() {
+  data::SyntheticConfig config;
+  config.num_users = 60;
+  config.num_communities = 3;
+  config.num_topics = 4;
+  config.num_time_slices = 6;
+  config.core_words_per_topic = 8;
+  config.background_words = 40;
+  config.posts_per_user = 5.0;
+  config.words_per_post = 6.0;
+  config.follows_per_user = 5;
+  config.seed = 7;
+  data::SyntheticSocialGenerator gen(config);
+  return std::move(gen.Generate()).ValueOrDie();
+}
+
+core::ColdConfig SmallModelConfig(int iterations) {
+  core::ColdConfig config;
+  config.num_communities = 3;
+  config.num_topics = 4;
+  config.iterations = iterations;
+  config.burn_in = iterations - 1;
+  config.rho = 0.5;
+  config.seed = 23;
+  return config;
+}
+
+TEST(GibbsTelemetryTest, PerSweepMetricsPopulated) {
+  Registry::Enable();
+  auto& registry = Registry::Global();
+  registry.Reset();
+  data::SocialDataset ds = SmallData();
+  core::ColdGibbsSampler sampler(SmallModelConfig(5), ds.posts,
+                                 &ds.interactions);
+  ASSERT_TRUE(sampler.Init().ok());
+  int callbacks = 0;
+  sampler.SetSweepCallback([&](int sweep) {
+    ++callbacks;
+    EXPECT_EQ(sweep, callbacks);
+  });
+  ASSERT_TRUE(sampler.Train().ok());
+  EXPECT_EQ(callbacks, 5);
+
+  EXPECT_EQ(registry.GetCounter("cold/gibbs/sweeps")->Value(), 5);
+  // Every token is resampled every sweep.
+  EXPECT_EQ(registry.GetCounter("cold/gibbs/tokens_resampled")->Value(),
+            5 * ds.posts.num_tokens());
+  EXPECT_GT(registry.GetGauge("cold/gibbs/sweep_seconds")->Value(), 0.0);
+  double post_s =
+      registry.GetGauge("cold/gibbs/phase_seconds", {{"phase", "post"}})
+          ->Value();
+  double link_s =
+      registry.GetGauge("cold/gibbs/phase_seconds", {{"phase", "link"}})
+          ->Value();
+  EXPECT_GT(post_s, 0.0);
+  EXPECT_GT(link_s, 0.0);
+  EXPECT_NEAR(registry.GetGauge("cold/gibbs/sweep_seconds")->Value(),
+              post_s + link_s, 1e-12);
+  double switch_rate =
+      registry.GetGauge("cold/gibbs/community_switch_rate")->Value();
+  EXPECT_GE(switch_rate, 0.0);
+  EXPECT_LE(switch_rate, 1.0);
+  // The sweep span fed the trace histogram.
+  EXPECT_EQ(registry.GetHistogram("cold/trace/gibbs/sweep")->count(), 5);
+}
+
+TEST(GibbsTelemetryTest, HotPathOverheadIsSmall) {
+  // Acceptance: instrumentation adds < 5% to a 50-sweep serial train. Wall
+  // clocks on shared CI are noisy, so assert loosely (50% headroom) and
+  // take the best of two runs per variant.
+  data::SocialDataset ds = SmallData();
+  auto train_seconds = [&]() {
+    core::ColdGibbsSampler sampler(SmallModelConfig(50), ds.posts,
+                                   &ds.interactions);
+    EXPECT_TRUE(sampler.Init().ok());
+    Stopwatch watch;
+    EXPECT_TRUE(sampler.Train().ok());
+    return watch.ElapsedSeconds();
+  };
+  double disabled = 1e100, enabled = 1e100;
+  for (int rep = 0; rep < 2; ++rep) {
+    Registry::Enable();
+    enabled = std::min(enabled, train_seconds());
+    Registry::Disable();
+    disabled = std::min(disabled, train_seconds());
+  }
+  Registry::Enable();
+  EXPECT_LT(enabled, disabled * 1.5 + 0.02)
+      << "instrumented=" << enabled << "s disabled=" << disabled << "s";
+}
+
+}  // namespace
+}  // namespace cold::obs

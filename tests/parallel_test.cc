@@ -4,6 +4,7 @@
 
 #include "core/cold.h"
 #include "data/synthetic.h"
+#include "obs/metrics.h"
 #include "util/math_util.h"
 
 namespace cold::core {
@@ -181,6 +182,46 @@ TEST(ParallelTrainerTest, EngineStatsPopulated) {
   EXPECT_GT(stats.scatter_seconds, 0.0);
   EXPECT_GT(stats.comm_bytes, 0);
   EXPECT_EQ(stats.node_work_units.size(), 4u);
+}
+
+TEST(ParallelTrainerTest, RegistryMetricsMatchEngineStats) {
+  // The engine adds the exact same deltas, in the same order, to both its
+  // EngineStats accumulators and the telemetry registry — so after a train
+  // the two views must agree bit-for-bit.
+  obs::Registry::Enable();
+  auto& registry = obs::Registry::Global();
+  registry.Reset();
+  const auto& ds = TestData();
+  ColdConfig config = TestModelConfig();
+  config.iterations = 3;
+  config.burn_in = 0;
+  engine::EngineOptions options;
+  options.num_nodes = 4;
+  ParallelColdTrainer trainer(config, ds.posts, &ds.interactions, options);
+  ASSERT_TRUE(trainer.Init().ok());
+  int supersteps_seen = 0;
+  trainer.SetSuperstepCallback([&](int s) { supersteps_seen = s; });
+  ASSERT_TRUE(trainer.Train().ok());
+  EXPECT_EQ(supersteps_seen, 3);
+
+  const engine::EngineStats& stats = trainer.engine_stats();
+  EXPECT_DOUBLE_EQ(registry.GetGauge("cold/engine/gather_seconds")->Value(),
+                   stats.gather_seconds);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("cold/engine/apply_seconds")->Value(),
+                   stats.apply_seconds);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("cold/engine/scatter_seconds")->Value(),
+                   stats.scatter_seconds);
+  EXPECT_EQ(registry.GetCounter("cold/engine/comm_bytes")->Value(),
+            stats.comm_bytes);
+  EXPECT_EQ(registry.GetCounter("cold/engine/supersteps")->Value(),
+            stats.supersteps);
+  EXPECT_EQ(static_cast<int64_t>(
+                registry.GetGauge("cold/engine/cut_edges")->Value()),
+            stats.cut_edges);
+  EXPECT_GE(registry.GetGauge("cold/engine/work_skew")->Value(), 1.0);
+  // Each superstep ran under a trace span.
+  EXPECT_EQ(registry.GetHistogram("cold/trace/engine/superstep")->count(),
+            stats.supersteps);
 }
 
 TEST(ParallelTrainerTest, SimulatedWallShrinksWithMoreNodes) {

@@ -2,7 +2,11 @@
 
 #include <cmath>
 #include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "util/logging.h"
 #include "util/math_util.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -375,6 +379,46 @@ TEST(StopwatchTest, MeasuresElapsed) {
   for (int i = 0; i < 100000; ++i) sink += i;
   EXPECT_GE(watch.ElapsedSeconds(), t0);
   EXPECT_GT(sink, 0.0);
+}
+
+TEST(ScopedTimerTest, AccumulatesAcrossScopes) {
+  double total = 0.0;
+  {
+    ScopedTimer timer(total);
+  }
+  double after_first = total;
+  EXPECT_GE(after_first, 0.0);
+  {
+    ScopedTimer timer(total);
+    double sink = 0.0;
+    for (int i = 0; i < 100000; ++i) sink += i;
+    EXPECT_GT(sink, 0.0);
+  }
+  // The second scope adds on top of (never overwrites) the first.
+  EXPECT_GE(total, after_first);
+}
+
+TEST(LoggerTest, SinkCapturesMessagesAboveLevel) {
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  Logger::SetSink([&captured](LogLevel level, const std::string& message) {
+    captured.emplace_back(level, message);
+  });
+  LogLevel saved = Logger::GetLevel();
+  Logger::SetLevel(LogLevel::kWarning);
+  COLD_LOG(kInfo) << "filtered out";
+  COLD_LOG(kWarning) << "kept " << 42;
+  Logger::SetLevel(saved);
+  Logger::SetSink({});  // restore the stderr default
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].first, LogLevel::kWarning);
+  EXPECT_EQ(captured[0].second, "kept 42");
+}
+
+TEST(LoggerTest, MonotonicSecondsAdvances) {
+  double a = Logger::MonotonicSeconds();
+  double b = Logger::MonotonicSeconds();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
 }
 
 }  // namespace

@@ -2,43 +2,170 @@
 // layout) and writes the fitted estimates to a binary model file.
 //
 // Usage: cold_train <dataset-dir> <model-out> [C=8] [K=12] [iterations=150]
-//                   [--parallel [nodes]]
+//                   [--parallel [nodes=4]] [--metrics-out FILE] [--trace]
+//
+// --metrics-out writes a JSON array with one telemetry snapshot per sweep
+// (sweep/phase durations, tokens resampled, switch rates, train
+// log-likelihood, engine phase seconds when --parallel); --trace enables
+// the in-memory span ring buffer and prints a span summary after training.
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/cold.h"
 #include "core/model_io.h"
 #include "data/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
-int main(int argc, char** argv) {
-  using namespace cold;
-  if (argc < 3) {
-    std::fprintf(stderr,
-                 "usage: %s <dataset-dir> <model-out> [C=8] [K=12] "
-                 "[iterations=150] [--parallel [nodes=4]]\n",
-                 argv[0]);
-    return 2;
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <dataset-dir> <model-out> [C=8] [K=12] "
+               "[iterations=150] [--parallel [nodes=4]] "
+               "[--metrics-out FILE] [--trace]\n",
+               argv0);
+  return 2;
+}
+
+/// Strict positive-int parse: the whole token must be digits (no silent
+/// atoi-style truncation to 0).
+bool ParsePositiveInt(const char* s, int* out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  long v = std::strtol(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0' || v <= 0 || v > 1000000000) {
+    return false;
   }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+struct Args {
+  std::string dataset_dir;
+  std::string model_out;
+  int num_communities = 8;
+  int num_topics = 12;
+  int iterations = 150;
   bool parallel = false;
   int nodes = 4;
-  int positional[3] = {8, 12, 150};
-  int pos = 0;
-  for (int a = 3; a < argc; ++a) {
-    if (std::strcmp(argv[a], "--parallel") == 0) {
-      parallel = true;
-      if (a + 1 < argc && std::atoi(argv[a + 1]) > 0) {
-        nodes = std::atoi(argv[++a]);
+  std::string metrics_out;
+  bool trace = false;
+};
+
+/// Returns false (after printing the offending token) on any unknown flag
+/// or malformed value.
+bool ParseArgs(int argc, char** argv, Args* args) {
+  std::vector<const char*> positional;
+  for (int a = 1; a < argc; ++a) {
+    const char* arg = argv[a];
+    if (std::strcmp(arg, "--parallel") == 0) {
+      args->parallel = true;
+      // Optional node count: consume the next token iff it is not a flag.
+      if (a + 1 < argc && argv[a + 1][0] != '-') {
+        if (!ParsePositiveInt(argv[++a], &args->nodes)) {
+          std::fprintf(stderr, "invalid --parallel node count '%s'\n",
+                       argv[a]);
+          return false;
+        }
       }
-    } else if (pos < 3) {
-      positional[pos++] = std::atoi(argv[a]);
+    } else if (std::strcmp(arg, "--metrics-out") == 0) {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "--metrics-out requires a file argument\n");
+        return false;
+      }
+      args->metrics_out = argv[++a];
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      args->trace = true;
+    } else if (arg[0] == '-' && arg[1] != '\0') {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg);
+      return false;
+    } else {
+      positional.push_back(arg);
     }
   }
+  if (positional.size() < 2 || positional.size() > 5) {
+    std::fprintf(stderr, "expected 2-5 positional arguments, got %zu\n",
+                 positional.size());
+    return false;
+  }
+  args->dataset_dir = positional[0];
+  args->model_out = positional[1];
+  int* ints[3] = {&args->num_communities, &args->num_topics,
+                  &args->iterations};
+  for (size_t p = 2; p < positional.size(); ++p) {
+    if (!ParsePositiveInt(positional[p], ints[p - 2])) {
+      std::fprintf(stderr, "invalid positional integer '%s'\n",
+                   positional[p]);
+      return false;
+    }
+  }
+  return true;
+}
 
-  auto dataset_result = data::LoadDataset(argv[1]);
+/// Collects one registry snapshot per sweep and writes them as a JSON
+/// array of {"sweep": N, "metrics": {...}} objects.
+class MetricsSeries {
+ public:
+  void Record(int sweep) {
+    std::ostringstream os;
+    os << "{\"sweep\":" << sweep << ",\"metrics\":";
+    cold::obs::Registry::Global().DumpJson(os);
+    os << "}";
+    snapshots_.push_back(os.str());
+  }
+
+  bool WriteTo(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "[\n";
+    for (size_t i = 0; i < snapshots_.size(); ++i) {
+      out << snapshots_[i] << (i + 1 < snapshots_.size() ? ",\n" : "\n");
+    }
+    out << "]\n";
+    return static_cast<bool>(out);
+  }
+
+  size_t size() const { return snapshots_.size(); }
+
+ private:
+  std::vector<std::string> snapshots_;
+};
+
+/// Prints each trace-span family's count/total/mean from the registry.
+void PrintSpanSummary() {
+  cold::obs::TelemetrySnapshot snapshot =
+      cold::obs::Registry::Global().Snapshot();
+  std::printf("trace spans:\n");
+  for (const auto& h : snapshot.histograms) {
+    constexpr const char* kPrefix = "cold/trace/";
+    if (h.name.rfind(kPrefix, 0) != 0 || h.count == 0) continue;
+    std::printf("  %-28s count=%lld total=%.3fs mean=%.6fs\n",
+                h.name.c_str() + std::strlen(kPrefix),
+                static_cast<long long>(h.count), h.sum,
+                h.sum / static_cast<double>(h.count));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cold;
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
+
+  if (args.trace) obs::TraceRing::Enable(8192);
+
+  auto dataset_result = data::LoadDataset(args.dataset_dir);
   if (!dataset_result.ok()) {
     std::fprintf(stderr, "load: %s\n",
                  dataset_result.status().ToString().c_str());
@@ -50,9 +177,9 @@ int main(int argc, char** argv) {
               static_cast<long long>(dataset.interactions.num_edges()));
 
   core::ColdConfig config;
-  config.num_communities = positional[0];
-  config.num_topics = positional[1];
-  config.iterations = positional[2];
+  config.num_communities = args.num_communities;
+  config.num_topics = args.num_topics;
+  config.iterations = args.iterations;
   config.burn_in = config.iterations * 3 / 4;
   config.rho = 0.5;
   config.alpha = 0.5;
@@ -62,16 +189,20 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  MetricsSeries series;
   Stopwatch watch;
   core::ColdEstimates estimates;
-  if (parallel) {
+  if (args.parallel) {
     engine::EngineOptions options;
-    options.num_nodes = nodes;
+    options.num_nodes = args.nodes;
     core::ParallelColdTrainer trainer(config, dataset.posts,
                                       &dataset.interactions, options);
     if (auto st = trainer.Init(); !st.ok()) {
       std::fprintf(stderr, "init: %s\n", st.ToString().c_str());
       return 1;
+    }
+    if (!args.metrics_out.empty()) {
+      trainer.SetSuperstepCallback([&](int sweep) { series.Record(sweep); });
     }
     if (auto st = trainer.Train(); !st.ok()) {
       std::fprintf(stderr, "train: %s\n", st.ToString().c_str());
@@ -80,7 +211,7 @@ int main(int argc, char** argv) {
     estimates = trainer.Estimates();
     std::printf("parallel training (%d simulated nodes): measured %.2fs, "
                 "projected cluster wall %.2fs\n",
-                nodes, watch.ElapsedSeconds(),
+                args.nodes, watch.ElapsedSeconds(),
                 trainer.SimulatedWallSeconds());
   } else {
     core::ColdGibbsSampler sampler(config, dataset.posts,
@@ -88,6 +219,17 @@ int main(int argc, char** argv) {
     if (auto st = sampler.Init(); !st.ok()) {
       std::fprintf(stderr, "init: %s\n", st.ToString().c_str());
       return 1;
+    }
+    if (!args.metrics_out.empty()) {
+      // Refresh the train-LL gauge every sweep so each snapshot carries the
+      // convergence trajectory (§4.3). This costs an extra likelihood pass
+      // per sweep — metrics collection is opt-in for exactly this reason.
+      obs::Gauge* ll_gauge = obs::Registry::Global().GetGauge(
+          "cold/gibbs/train_log_likelihood");
+      sampler.SetSweepCallback([&](int sweep) {
+        ll_gauge->Set(sampler.TrainingLogLikelihood());
+        series.Record(sweep);
+      });
     }
     if (auto st = sampler.Train(); !st.ok()) {
       std::fprintf(stderr, "train: %s\n", st.ToString().c_str());
@@ -97,12 +239,23 @@ int main(int argc, char** argv) {
     std::printf("serial training: %.2fs\n", watch.ElapsedSeconds());
   }
 
-  if (auto st = core::SaveEstimates(estimates, argv[2]); !st.ok()) {
+  if (!args.metrics_out.empty()) {
+    if (!series.WriteTo(args.metrics_out)) {
+      std::fprintf(stderr, "metrics: cannot write %s\n",
+                   args.metrics_out.c_str());
+      return 1;
+    }
+    std::printf("metrics series (%zu snapshots) written to %s\n",
+                series.size(), args.metrics_out.c_str());
+  }
+  if (args.trace) PrintSpanSummary();
+
+  if (auto st = core::SaveEstimates(estimates, args.model_out); !st.ok()) {
     std::fprintf(stderr, "save: %s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("model written to %s (U=%d C=%d K=%d T=%d V=%d)\n", argv[2],
-              estimates.U, estimates.C, estimates.K, estimates.T,
-              estimates.V);
+  std::printf("model written to %s (U=%d C=%d K=%d T=%d V=%d)\n",
+              args.model_out.c_str(), estimates.U, estimates.C, estimates.K,
+              estimates.T, estimates.V);
   return 0;
 }
