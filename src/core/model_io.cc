@@ -1,5 +1,6 @@
 #include "core/model_io.h"
 
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -24,6 +25,19 @@ cold::Status ReadArray(std::ifstream& in, size_t n,
           static_cast<std::streamsize>(n * sizeof(double)));
   if (in.gcount() != static_cast<std::streamsize>(n * sizeof(double))) {
     return cold::Status::IOError("truncated parameter array");
+  }
+  return cold::Status::OK();
+}
+
+/// A snapshot holding NaN/Inf would poison every downstream prediction
+/// (and serve them to clients), so corruption is rejected at load time.
+cold::Status CheckFinite(const std::vector<double>& data, const char* name) {
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (!std::isfinite(data[i])) {
+      return cold::Status::IOError("non-finite value in parameter array '" +
+                                   std::string(name) + "' at index " +
+                                   std::to_string(i));
+    }
   }
   return cold::Status::OK();
 }
@@ -96,6 +110,11 @@ cold::Result<ColdEstimates> LoadEstimates(const std::string& path) {
   if (in.gcount() != 0) {
     return cold::Status::IOError("trailing bytes after parameter arrays");
   }
+  COLD_RETURN_NOT_OK(CheckFinite(est.pi, "pi"));
+  COLD_RETURN_NOT_OK(CheckFinite(est.theta, "theta"));
+  COLD_RETURN_NOT_OK(CheckFinite(est.eta, "eta"));
+  COLD_RETURN_NOT_OK(CheckFinite(est.phi, "phi"));
+  COLD_RETURN_NOT_OK(CheckFinite(est.psi, "psi"));
   return est;
 }
 

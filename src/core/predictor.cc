@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -32,7 +33,32 @@ PredictorMetrics& Metrics() {
   return metrics;
 }
 
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
 }  // namespace
+
+cold::Status ColdPredictor::ValidateQuery(
+    text::UserId author, std::span<const text::WordId> words) const {
+  if (!ValidUser(author)) {
+    return cold::Status::OutOfRange("user id " + std::to_string(author) +
+                                    " outside [0, " + std::to_string(est_.U) +
+                                    ")");
+  }
+  for (text::WordId w : words) {
+    if (!ValidWord(w)) {
+      return cold::Status::OutOfRange("word id " + std::to_string(w) +
+                                      " outside [0, " +
+                                      std::to_string(est_.V) + ")");
+    }
+  }
+  return cold::Status::OK();
+}
+
+const std::vector<int>& ColdPredictor::TopComm(text::UserId i) const {
+  static const std::vector<int> kEmpty;
+  if (!ValidUser(i)) return kEmpty;
+  return top_comm_[static_cast<size_t>(i)];
+}
 
 ColdPredictor::ColdPredictor(ColdEstimates estimates, int top_communities)
     : est_(std::move(estimates)),
@@ -58,6 +84,7 @@ void ColdPredictor::WordLogLikelihoods(std::span<const text::WordId> words,
 
 std::vector<double> ColdPredictor::TopicPosterior(
     std::span<const text::WordId> words, text::UserId author) const {
+  if (!ValidateQuery(author, words).ok()) return {};
   Metrics().topic_posteriors->Increment();
   std::vector<double> log_w;
   WordLogLikelihoods(words, &log_w);
@@ -78,6 +105,7 @@ std::vector<double> ColdPredictor::TopicPosterior(
 
 double ColdPredictor::TopicInfluence(text::UserId i, text::UserId i2,
                                      int k) const {
+  if (!ValidUser(i) || !ValidUser(i2) || k < 0 || k >= est_.K) return kNaN;
   double p = 0.0;
   for (int c : top_comm_[static_cast<size_t>(i)]) {
     double left = est_.Pi(i, c) * est_.Theta(c, k);
@@ -92,17 +120,30 @@ double ColdPredictor::TopicInfluence(text::UserId i, text::UserId i2,
 double ColdPredictor::DiffusionProbability(
     text::UserId i, text::UserId i2,
     std::span<const text::WordId> words) const {
-  Metrics().diffusion_scores->Increment();
+  if (!ValidUser(i2)) return kNaN;
   std::vector<double> topic_post = TopicPosterior(words, i);
+  if (topic_post.empty()) return kNaN;
+  return DiffusionFromPosterior(i, i2, topic_post);
+}
+
+double ColdPredictor::DiffusionFromPosterior(
+    text::UserId i, text::UserId i2,
+    std::span<const double> topic_posterior) const {
+  if (!ValidUser(i) || !ValidUser(i2) ||
+      topic_posterior.size() != static_cast<size_t>(est_.K)) {
+    return kNaN;
+  }
+  Metrics().diffusion_scores->Increment();
   double p = 0.0;
   for (int k = 0; k < est_.K; ++k) {
-    if (topic_post[static_cast<size_t>(k)] < 1e-8) continue;
-    p += topic_post[static_cast<size_t>(k)] * TopicInfluence(i, i2, k);
+    if (topic_posterior[static_cast<size_t>(k)] < 1e-8) continue;
+    p += topic_posterior[static_cast<size_t>(k)] * TopicInfluence(i, i2, k);
   }
   return p;
 }
 
 double ColdPredictor::LinkProbability(text::UserId i, text::UserId i2) const {
+  if (!ValidUser(i) || !ValidUser(i2)) return kNaN;
   Metrics().link_scores->Increment();
   double p = 0.0;
   for (int c = 0; c < est_.C; ++c) {
@@ -117,6 +158,7 @@ double ColdPredictor::LinkProbability(text::UserId i, text::UserId i2) const {
 
 std::vector<double> ColdPredictor::TimestampScores(
     std::span<const text::WordId> words, text::UserId author) const {
+  if (!ValidateQuery(author, words).ok()) return {};
   Metrics().timestamp_scores->Increment();
   std::vector<double> log_w;
   WordLogLikelihoods(words, &log_w);
@@ -141,12 +183,14 @@ std::vector<double> ColdPredictor::TimestampScores(
 int ColdPredictor::PredictTimestamp(std::span<const text::WordId> words,
                                     text::UserId author) const {
   std::vector<double> scores = TimestampScores(words, author);
+  if (scores.empty()) return -1;
   return static_cast<int>(
       std::max_element(scores.begin(), scores.end()) - scores.begin());
 }
 
 double ColdPredictor::LogPostProbability(std::span<const text::WordId> words,
                                          text::UserId author) const {
+  if (!ValidateQuery(author, words).ok()) return kNaN;
   std::vector<double> log_w;
   WordLogLikelihoods(words, &log_w);
   // p(w_d) = sum_k (sum_c pi theta) prod phi, via LSE over k.
@@ -212,7 +256,9 @@ std::vector<double> ColdPredictor::FoldInMembership(
 double ColdPredictor::DiffusionProbabilityToNewUser(
     text::UserId publisher, std::span<const double> candidate_pi,
     std::span<const text::WordId> words) const {
+  if (candidate_pi.size() != static_cast<size_t>(est_.C)) return kNaN;
   std::vector<double> topic_post = TopicPosterior(words, publisher);
+  if (topic_post.empty()) return kNaN;
   std::vector<int> candidate_top(
       cold::TopKIndices(candidate_pi, top_communities_));
   double p = 0.0;

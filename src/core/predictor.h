@@ -23,8 +23,25 @@ class ColdPredictor {
 
   const ColdEstimates& estimates() const { return est_; }
 
+  /// \brief True iff `u` indexes a user known to the model.
+  bool ValidUser(text::UserId u) const { return u >= 0 && u < est_.U; }
+
+  /// \brief True iff `w` indexes a vocabulary word known to the model.
+  bool ValidWord(text::WordId w) const { return w >= 0 && w < est_.V; }
+
+  /// \brief Validates a (author, words) query against the model's
+  /// dimensions: OutOfRange naming the offending id on failure.
+  ///
+  /// Serving entry points call this before the fast path; the prediction
+  /// methods themselves also guard and return a sentinel (empty vector /
+  /// NaN / -1) rather than indexing out of bounds, so hostile inputs can
+  /// never corrupt memory.
+  cold::Status ValidateQuery(text::UserId author,
+                             std::span<const text::WordId> words) const;
+
   /// \brief P(k | d, i), Eq. (5): topic posterior of a message given its
   /// words and its publisher's interests. Returned vector sums to 1.
+  /// Sentinel: empty vector when `author` or any word is out of range.
   std::vector<double> TopicPosterior(std::span<const text::WordId> words,
                                      text::UserId author) const;
 
@@ -33,21 +50,31 @@ class ColdPredictor {
   double TopicInfluence(text::UserId i, text::UserId i2, int k) const;
 
   /// \brief P(i, i', d), Eq. (7): probability that post d spreads from i
-  /// to i'.
+  /// to i'. Sentinel: NaN on out-of-range users or words.
   double DiffusionProbability(text::UserId i, text::UserId i2,
                               std::span<const text::WordId> words) const;
 
+  /// \brief Eq. (7) given a topic posterior already computed by
+  /// TopicPosterior(words, i) — the serving layer's micro-batching uses
+  /// this so one posterior (the expensive O(K |w_d|) half) is shared
+  /// across every candidate scored against the same post. Sentinel: NaN
+  /// on out-of-range users or a posterior of the wrong length.
+  double DiffusionFromPosterior(text::UserId i, text::UserId i2,
+                                std::span<const double> topic_posterior) const;
+
   /// \brief Link-prediction score P_{i->i'} = sum_{s,s'} pi_is pi_i's'
   /// eta_ss' (§6.2); uses the full membership vectors, not TopComm.
+  /// Sentinel: NaN on out-of-range users.
   double LinkProbability(text::UserId i, text::UserId i2) const;
 
   /// \brief Per-time-slice score of a previously unseen post (§6.3):
   /// s_t = sum_c pi_ic sum_k theta_ck psi_kct prod_l phi_k,w. Scores are
-  /// normalized to a distribution over t.
+  /// normalized to a distribution over t. Sentinel: empty vector on
+  /// out-of-range author or words.
   std::vector<double> TimestampScores(std::span<const text::WordId> words,
                                       text::UserId author) const;
 
-  /// \brief argmax_t TimestampScores.
+  /// \brief argmax_t TimestampScores. Sentinel: -1 on invalid inputs.
   int PredictTimestamp(std::span<const text::WordId> words,
                        text::UserId author) const;
 
@@ -59,10 +86,9 @@ class ColdPredictor {
   /// \brief Corpus perplexity exp(-sum_d log p(w_d) / sum_d N_d) (§6.2).
   double Perplexity(const text::PostStore& test_posts) const;
 
-  /// TopComm(i) as precomputed at construction.
-  const std::vector<int>& TopComm(text::UserId i) const {
-    return top_comm_[static_cast<size_t>(i)];
-  }
+  /// TopComm(i) as precomputed at construction. Sentinel: a static empty
+  /// vector on out-of-range `i`.
+  const std::vector<int>& TopComm(text::UserId i) const;
 
   /// \brief A time-stamped bag of words from a user unseen at training
   /// time, for fold-in.

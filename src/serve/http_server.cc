@@ -1,0 +1,187 @@
+#include "serve/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace cold::serve {
+
+namespace {
+
+struct ServerMetrics {
+  obs::Counter* connections;
+  obs::Counter* malformed_requests;
+  obs::Counter* dropped_at_shutdown;
+};
+
+ServerMetrics& Metrics() {
+  auto& registry = obs::Registry::Global();
+  static ServerMetrics metrics{
+      registry.GetCounter("cold/serve/connections"),
+      registry.GetCounter("cold/serve/malformed_requests"),
+      registry.GetCounter("cold/serve/connections_force_closed")};
+  return metrics;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(HttpServerOptions options, HttpHandler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+cold::Status HttpServer::Start() {
+  if (running_.load()) return cold::Status::FailedPrecondition("already running");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return cold::Status::IOError(std::string("socket: ") +
+                                 std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    cold::Status st = cold::Status::IOError(std::string("bind: ") +
+                                            std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    cold::Status st = cold::Status::IOError(std::string("listen: ") +
+                                            std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  pool_ = std::make_unique<cold::ThreadPool>(options_.num_workers);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  COLD_LOG(kInfo) << "cold_serve listening on 127.0.0.1:" << port_;
+  return cold::Status::OK();
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    // Bounded poll so the stopping flag is observed promptly.
+    int ready = ::poll(&pfd, 1, 200);
+    if (ready <= 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    Metrics().connections->Increment();
+
+    timeval tv{};
+    tv.tv_sec = options_.idle_timeout_seconds;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      open_fds_.insert(fd);
+    }
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+    pool_->Submit([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  std::string leftover;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    auto request = ReadHttpRequest(fd, &leftover, options_.limits);
+    if (!request.ok()) {
+      // Clean EOF / idle timeout: just drop the connection. A malformed
+      // request gets a best-effort 400 before closing.
+      if (request.status().code() == cold::StatusCode::kInvalidArgument) {
+        Metrics().malformed_requests->Increment();
+        WriteHttpResponse(
+            fd, HttpResponse::Error(400, request.status().message()),
+            /*close_connection=*/true);
+      }
+      break;
+    }
+    HttpResponse response = handler_(*request);
+    bool keep = request->keep_alive() &&
+                !stopping_.load(std::memory_order_acquire);
+    if (!WriteHttpResponse(fd, response, !keep).ok()) break;
+    if (!keep) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    open_fds_.erase(fd);
+  }
+  ::close(fd);
+  active_connections_.fetch_sub(1, std::memory_order_relaxed);
+  conn_cv_.notify_all();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // Wake workers parked in recv() on idle keep-alive connections:
+  // SHUT_RD delivers an immediate EOF to the read side while leaving the
+  // write side intact, so a worker mid-handler still sends its response.
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (int fd : open_fds_) ::shutdown(fd, SHUT_RD);
+  }
+
+  // Drain: workers finish the request they are on, then observe stopping_
+  // and close.
+  {
+    std::unique_lock<std::mutex> lock(conn_mutex_);
+    bool drained = conn_cv_.wait_for(
+        lock, std::chrono::seconds(options_.drain_timeout_seconds),
+        [this] { return open_fds_.empty(); });
+    if (!drained) {
+      for (int fd : open_fds_) {
+        Metrics().dropped_at_shutdown->Increment();
+        ::shutdown(fd, SHUT_RDWR);
+      }
+    }
+  }
+  {
+    // Wait (briefly) for force-closed connections to unwind as well.
+    std::unique_lock<std::mutex> lock(conn_mutex_);
+    conn_cv_.wait_for(lock, std::chrono::seconds(2),
+                      [this] { return open_fds_.empty(); });
+  }
+  pool_.reset();  // Joins workers after the queue drains.
+  COLD_LOG(kInfo) << "cold_serve stopped";
+}
+
+}  // namespace cold::serve

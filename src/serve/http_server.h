@@ -1,0 +1,95 @@
+// Blocking-socket HTTP/1.1 server for the prediction service: an accept
+// loop feeding per-connection tasks into the existing cold::ThreadPool,
+// keep-alive support, per-endpoint telemetry hooks, and graceful shutdown
+// that drains in-flight requests before returning.
+//
+// Concurrency model: one worker owns a connection for its lifetime
+// (requests on one connection are sequential by HTTP semantics), so the
+// pool size bounds concurrent connections, not concurrent requests. Idle
+// keep-alive connections are bounded by a socket read timeout, so a silent
+// client cannot pin a worker forever.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+
+#include "serve/http.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace cold::serve {
+
+/// \brief Server knobs; defaults favor tests (ephemeral port, loopback).
+struct HttpServerOptions {
+  /// 0 picks an ephemeral port; read it back via port() after Start().
+  int port = 0;
+  /// Worker threads == max concurrent connections.
+  size_t num_workers = 8;
+  /// Seconds a keep-alive connection may sit idle before being closed.
+  int idle_timeout_seconds = 5;
+  /// Seconds Stop() waits for in-flight requests before force-closing.
+  int drain_timeout_seconds = 10;
+  HttpLimits limits;
+};
+
+/// \brief The request handler: pure function of the parsed request.
+/// Invoked concurrently from worker threads; must be thread-safe.
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  HttpServer(HttpServerOptions options, HttpHandler handler);
+  /// Stops the server if still running.
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// \brief Binds 127.0.0.1:port, starts the accept thread and workers.
+  cold::Status Start();
+
+  /// \brief Graceful shutdown: stops accepting, waits up to
+  /// drain_timeout_seconds for open connections to finish their in-flight
+  /// request, then force-closes stragglers and joins all threads.
+  /// Idempotent.
+  void Stop();
+
+  /// The bound port (valid after a successful Start()).
+  int port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Connections currently being serviced (observability/tests).
+  int active_connections() const {
+    return active_connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  const HttpServerOptions options_;
+  const HttpHandler handler_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> active_connections_{0};
+
+  std::thread accept_thread_;
+  std::unique_ptr<cold::ThreadPool> pool_;
+
+  // Open connection fds, for force-close at drain timeout.
+  std::mutex conn_mutex_;
+  std::condition_variable conn_cv_;
+  std::unordered_set<int> open_fds_;
+};
+
+}  // namespace cold::serve

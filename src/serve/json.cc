@@ -1,0 +1,434 @@
+#include "serve/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace cold::serve {
+
+namespace {
+
+/// Appends `cp` to `out` as UTF-8.
+void AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+void EscapeInto(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char raw : s) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(raw);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+/// Recursive-descent parser over a [begin, end) byte range.
+class Parser {
+ public:
+  Parser(const char* begin, const char* end) : p_(begin), end_(end) {}
+
+  cold::Result<Json> ParseDocument() {
+    COLD_ASSIGN_OR_RETURN(Json value, ParseValue(0));
+    SkipWhitespace();
+    if (p_ != end_) return Error("trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  cold::Status Error(const std::string& what) const {
+    return cold::Status::InvalidArgument(
+        "json: " + what + " at offset " + std::to_string(offset_));
+  }
+
+  void SkipWhitespace() {
+    while (p_ != end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      Advance();
+    }
+  }
+
+  void Advance() {
+    ++p_;
+    ++offset_;
+  }
+
+  bool ConsumeLiteral(const char* lit) {
+    size_t n = std::strlen(lit);
+    if (static_cast<size_t>(end_ - p_) < n || std::memcmp(p_, lit, n) != 0) {
+      return false;
+    }
+    p_ += n;
+    offset_ += n;
+    return true;
+  }
+
+  cold::Result<Json> ParseValue(int depth) {
+    if (depth > Json::kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (p_ == end_) return Error("unexpected end of input");
+    switch (*p_) {
+      case '{': return ParseObject(depth);
+      case '[': return ParseArray(depth);
+      case '"': {
+        COLD_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return Json(std::move(s));
+      }
+      case 't':
+        if (ConsumeLiteral("true")) return Json(true);
+        return Error("invalid literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return Json(false);
+        return Error("invalid literal");
+      case 'n':
+        if (ConsumeLiteral("null")) return Json(nullptr);
+        return Error("invalid literal");
+      default: return ParseNumber();
+    }
+  }
+
+  cold::Result<Json> ParseObject(int depth) {
+    Advance();  // '{'
+    Json::Object members;
+    SkipWhitespace();
+    if (p_ != end_ && *p_ == '}') {
+      Advance();
+      return Json(std::move(members));
+    }
+    while (true) {
+      SkipWhitespace();
+      if (p_ == end_ || *p_ != '"') return Error("expected object key");
+      COLD_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (p_ == end_ || *p_ != ':') return Error("expected ':'");
+      Advance();
+      COLD_ASSIGN_OR_RETURN(Json value, ParseValue(depth + 1));
+      members.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (p_ == end_) return Error("unterminated object");
+      if (*p_ == ',') {
+        Advance();
+        continue;
+      }
+      if (*p_ == '}') {
+        Advance();
+        return Json(std::move(members));
+      }
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  cold::Result<Json> ParseArray(int depth) {
+    Advance();  // '['
+    Json::Array items;
+    SkipWhitespace();
+    if (p_ != end_ && *p_ == ']') {
+      Advance();
+      return Json(std::move(items));
+    }
+    while (true) {
+      COLD_ASSIGN_OR_RETURN(Json value, ParseValue(depth + 1));
+      items.push_back(std::move(value));
+      SkipWhitespace();
+      if (p_ == end_) return Error("unterminated array");
+      if (*p_ == ',') {
+        Advance();
+        continue;
+      }
+      if (*p_ == ']') {
+        Advance();
+        return Json(std::move(items));
+      }
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  cold::Result<std::string> ParseString() {
+    Advance();  // opening quote
+    std::string out;
+    while (true) {
+      if (p_ == end_) return Error("unterminated string");
+      unsigned char c = static_cast<unsigned char>(*p_);
+      if (c == '"') {
+        Advance();
+        return out;
+      }
+      if (c < 0x20) return Error("unescaped control character in string");
+      if (c != '\\') {
+        out.push_back(*p_);
+        Advance();
+        continue;
+      }
+      Advance();  // backslash
+      if (p_ == end_) return Error("unterminated escape");
+      char esc = *p_;
+      Advance();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          COLD_ASSIGN_OR_RETURN(uint32_t cp, ParseHex4());
+          // Surrogate pair: a high surrogate must be followed by \uDC00..
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (end_ - p_ < 2 || p_[0] != '\\' || p_[1] != 'u') {
+              return Error("unpaired surrogate");
+            }
+            Advance();
+            Advance();
+            COLD_ASSIGN_OR_RETURN(uint32_t low, ParseHex4());
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("unpaired surrogate");
+          }
+          AppendUtf8(cp, &out);
+          break;
+        }
+        default: return Error("invalid escape character");
+      }
+    }
+  }
+
+  cold::Result<uint32_t> ParseHex4() {
+    if (end_ - p_ < 4) return Error("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = *p_;
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<uint32_t>(c - 'A' + 10);
+      else return Error("invalid hex digit in \\u escape");
+      Advance();
+    }
+    return value;
+  }
+
+  cold::Result<Json> ParseNumber() {
+    const char* start = p_;
+    if (p_ != end_ && *p_ == '-') Advance();
+    if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_))) {
+      return Error("invalid number");
+    }
+    if (*p_ == '0') {
+      Advance();  // A leading zero must stand alone ("01" is not JSON).
+      if (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) {
+        return Error("leading zero in number");
+      }
+    } else {
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) {
+        Advance();
+      }
+    }
+    if (p_ != end_ && *p_ == '.') {
+      Advance();
+      if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_))) {
+        return Error("invalid number");
+      }
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) {
+        Advance();
+      }
+    }
+    if (p_ != end_ && (*p_ == 'e' || *p_ == 'E')) {
+      Advance();
+      if (p_ != end_ && (*p_ == '+' || *p_ == '-')) Advance();
+      if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_))) {
+        return Error("invalid number");
+      }
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) {
+        Advance();
+      }
+    }
+    std::string token(start, p_);
+    char* parse_end = nullptr;
+    double value = std::strtod(token.c_str(), &parse_end);
+    if (parse_end != token.c_str() + token.size() || !std::isfinite(value)) {
+      return Error("number out of range");
+    }
+    return Json(value);
+  }
+
+  const char* p_;
+  const char* end_;
+  size_t offset_ = 0;
+};
+
+void DumpInto(const Json& v, std::string* out) {
+  switch (v.type()) {
+    case Json::Type::kNull:
+      *out += "null";
+      break;
+    case Json::Type::kBool:
+      *out += v.as_bool() ? "true" : "false";
+      break;
+    case Json::Type::kNumber: {
+      double d = v.as_number();
+      if (!std::isfinite(d)) {
+        *out += "null";
+        break;
+      }
+      // Integral values print without a fraction so ids stay readable.
+      if (d == std::floor(d) && std::fabs(d) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(d));
+        *out += buf;
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+        *out += buf;
+      }
+      break;
+    }
+    case Json::Type::kString:
+      EscapeInto(v.as_string(), out);
+      break;
+    case Json::Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const Json& item : v.as_array()) {
+        if (!first) out->push_back(',');
+        first = false;
+        DumpInto(item, out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case Json::Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : v.as_object()) {
+        if (!first) out->push_back(',');
+        first = false;
+        EscapeInto(key, out);
+        out->push_back(':');
+        DumpInto(value, out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+const Json* Json::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const Json* found = nullptr;
+  for (const auto& [k, v] : as_object()) {
+    if (k == key) found = &v;
+  }
+  return found;
+}
+
+void Json::Set(std::string key, Json v) {
+  for (auto& [k, existing] : as_object()) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  as_object().emplace_back(std::move(key), std::move(v));
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpInto(*this, &out);
+  return out;
+}
+
+cold::Result<Json> Json::Parse(const std::string& text) {
+  Parser parser(text.data(), text.data() + text.size());
+  return parser.ParseDocument();
+}
+
+cold::Result<int64_t> Json::GetInt(const std::string& key, int64_t min_value,
+                                   int64_t max_value) const {
+  const Json* member = Find(key);
+  if (member == nullptr) {
+    return cold::Status::InvalidArgument("missing field '" + key + "'");
+  }
+  if (!member->is_number()) {
+    return cold::Status::InvalidArgument("field '" + key +
+                                         "' must be a number");
+  }
+  double d = member->as_number();
+  if (d != std::floor(d)) {
+    return cold::Status::InvalidArgument("field '" + key +
+                                         "' must be an integer");
+  }
+  if (d < static_cast<double>(min_value) ||
+      d > static_cast<double>(max_value)) {
+    return cold::Status::OutOfRange(
+        "field '" + key + "' out of range [" + std::to_string(min_value) +
+        ", " + std::to_string(max_value) + "]");
+  }
+  return static_cast<int64_t>(d);
+}
+
+cold::Result<std::vector<int>> Json::GetIntArray(const std::string& key,
+                                                 int64_t upper_bound) const {
+  std::vector<int> out;
+  const Json* member = Find(key);
+  if (member == nullptr) return out;
+  if (!member->is_array()) {
+    return cold::Status::InvalidArgument("field '" + key +
+                                         "' must be an array");
+  }
+  out.reserve(member->as_array().size());
+  for (const Json& item : member->as_array()) {
+    if (!item.is_number() || item.as_number() != std::floor(item.as_number())) {
+      return cold::Status::InvalidArgument(
+          "field '" + key + "' must contain integers");
+    }
+    double d = item.as_number();
+    if (d < 0 || d >= static_cast<double>(upper_bound)) {
+      return cold::Status::OutOfRange(
+          "element of '" + key + "' out of range [0, " +
+          std::to_string(upper_bound) + ")");
+    }
+    out.push_back(static_cast<int>(d));
+  }
+  return out;
+}
+
+}  // namespace cold::serve

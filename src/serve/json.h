@@ -1,0 +1,99 @@
+// Minimal JSON value type with a strict parser and a compact serializer,
+// used by the serving layer's request/response bodies. Dependency-free by
+// design (the serving tentpole must build with nothing but the toolchain).
+//
+// Supported: objects, arrays, strings (with \uXXXX escapes, encoded to
+// UTF-8), finite numbers, booleans, null. Parsing rejects trailing
+// garbage, unterminated literals, non-finite numbers and inputs nested
+// deeper than kMaxDepth. Object keys keep insertion order; duplicate keys
+// keep the last value on lookup (like most production parsers).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cold::serve {
+
+/// \brief One JSON value (recursive sum type).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  /// Insertion-ordered key/value members.
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  /// Parser recursion limit; inputs nested deeper fail with
+  /// InvalidArgument rather than overflowing the stack.
+  static constexpr int kMaxDepth = 64;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}              // NOLINT
+  Json(bool b) : value_(b) {}                            // NOLINT
+  Json(double d) : value_(d) {}                          // NOLINT
+  Json(int i) : value_(static_cast<double>(i)) {}        // NOLINT
+  Json(int64_t i) : value_(static_cast<double>(i)) {}    // NOLINT
+  Json(const char* s) : value_(std::string(s)) {}        // NOLINT
+  Json(std::string s) : value_(std::move(s)) {}          // NOLINT
+  Json(Array a) : value_(std::move(a)) {}                // NOLINT
+  Json(Object o) : value_(std::move(o)) {}               // NOLINT
+
+  static Json MakeArray() { return Json(Array{}); }
+  static Json MakeObject() { return Json(Object{}); }
+
+  Type type() const { return static_cast<Type>(value_.index()); }
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_number() const { return type() == Type::kNumber; }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_object() const { return type() == Type::kObject; }
+
+  bool as_bool() const { return std::get<bool>(value_); }
+  double as_number() const { return std::get<double>(value_); }
+  const std::string& as_string() const { return std::get<std::string>(value_); }
+  const Array& as_array() const { return std::get<Array>(value_); }
+  Array& as_array() { return std::get<Array>(value_); }
+  const Object& as_object() const { return std::get<Object>(value_); }
+  Object& as_object() { return std::get<Object>(value_); }
+
+  /// \brief Object member lookup; nullptr when not an object or the key is
+  /// absent. Duplicate keys resolve to the last occurrence.
+  const Json* Find(const std::string& key) const;
+
+  /// \brief Appends to an array value (must be kArray).
+  void Append(Json v) { as_array().push_back(std::move(v)); }
+
+  /// \brief Sets/overwrites an object member (must be kObject).
+  void Set(std::string key, Json v);
+
+  /// \brief Compact serialization (no whitespace). Non-finite numbers are
+  /// emitted as null, matching JSON's lack of NaN/Inf literals.
+  std::string Dump() const;
+
+  /// \brief Strict parse of a complete JSON document.
+  static cold::Result<Json> Parse(const std::string& text);
+
+  /// \brief Convenience: numeric member with bounds — Status when the
+  /// member is missing, non-numeric, non-integral or outside
+  /// [min_value, max_value]. Used by request decoding.
+  cold::Result<int64_t> GetInt(const std::string& key, int64_t min_value,
+                               int64_t max_value) const;
+
+  /// \brief Convenience: member `key` as a vector of integers in
+  /// [0, upper_bound). Missing member yields an empty vector; a
+  /// non-array member or out-of-range element is an error.
+  cold::Result<std::vector<int>> GetIntArray(const std::string& key,
+                                             int64_t upper_bound) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      value_;
+};
+
+}  // namespace cold::serve

@@ -1,0 +1,77 @@
+// Bounded, thread-safe LRU cache used by the serving layer to memoize
+// per-(author, words) topic posteriors. A single mutex guards the map and
+// recency list — query-time values are small vectors and lookups are
+// microseconds, so sharding is not worth the complexity at this layer.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace cold::serve {
+
+/// \brief String-keyed LRU map holding shared_ptr<const V> values so hits
+/// can be returned without copying while eviction stays O(1).
+template <typename V>
+class LruCache {
+ public:
+  /// `capacity` == 0 disables caching entirely (every Get misses).
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  size_t capacity() const { return capacity_; }
+
+  /// \brief Returns the cached value and refreshes its recency, or nullptr.
+  std::shared_ptr<const V> Get(const std::string& key) {
+    if (capacity_ == 0) return nullptr;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  /// \brief Inserts/overwrites `key`, evicting the least-recently-used
+  /// entry when full.
+  void Put(const std::string& key, std::shared_ptr<const V> value) {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_[key] = order_.begin();
+    if (index_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+    }
+  }
+
+  /// \brief Drops every entry (model hot-reload invalidation).
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    index_.clear();
+    order_.clear();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return index_.size();
+  }
+
+ private:
+  using Entry = std::pair<std::string, std::shared_ptr<const V>>;
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> order_;  // Front = most recently used.
+  std::unordered_map<std::string, typename std::list<Entry>::iterator> index_;
+};
+
+}  // namespace cold::serve

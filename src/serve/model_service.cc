@@ -1,0 +1,522 @@
+#include "serve/model_service.h"
+
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "apps/influence.h"
+#include "core/model_io.h"
+#include "obs/metrics.h"
+#include "serve/json.h"
+#include "util/logging.h"
+
+namespace cold::serve {
+
+namespace {
+
+/// Per-endpoint request counter + latency histogram + error counter, all
+/// label-addressed members of three metric families.
+struct EndpointMetrics {
+  obs::Counter* requests;
+  obs::Histogram* latency;
+  obs::Counter* errors;
+};
+
+const EndpointMetrics& MetricsFor(const char* endpoint) {
+  static std::mutex mutex;
+  static std::unordered_map<std::string, EndpointMetrics> by_endpoint;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = by_endpoint.find(endpoint);
+  if (it == by_endpoint.end()) {
+    auto& registry = obs::Registry::Global();
+    obs::Labels labels{{"endpoint", endpoint}};
+    it = by_endpoint
+             .emplace(endpoint,
+                      EndpointMetrics{
+                          registry.GetCounter("cold/serve/requests", labels),
+                          registry.GetHistogram("cold/serve/request_seconds",
+                                                labels),
+                          registry.GetCounter("cold/serve/errors", labels)})
+             .first;
+  }
+  return it->second;
+}
+
+struct CacheMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* batches;
+  obs::Counter* batched_requests;
+  obs::Histogram* batch_size;
+  obs::Counter* reloads;
+  obs::Counter* reload_failures;
+};
+
+CacheMetrics& ServiceMetrics() {
+  auto& registry = obs::Registry::Global();
+  static CacheMetrics metrics{
+      registry.GetCounter("cold/serve/posterior_cache_hits"),
+      registry.GetCounter("cold/serve/posterior_cache_misses"),
+      registry.GetCounter("cold/serve/batches"),
+      registry.GetCounter("cold/serve/batched_requests"),
+      registry.GetHistogram("cold/serve/batch_size",
+                            {},
+                            obs::HistogramOptions{1.0, 2.0, 12}),
+      registry.GetCounter("cold/serve/reloads"),
+      registry.GetCounter("cold/serve/reload_failures")};
+  return metrics;
+}
+
+std::string PosteriorKey(int64_t generation, text::UserId author,
+                         const std::vector<text::WordId>& words) {
+  std::string key;
+  key.reserve(16 + words.size() * 6);
+  key += std::to_string(generation);
+  key += ':';
+  key += std::to_string(author);
+  for (text::WordId w : words) {
+    key += ',';
+    key += std::to_string(w);
+  }
+  return key;
+}
+
+std::vector<text::WordId> ToWordIds(const std::vector<int>& ids) {
+  return std::vector<text::WordId>(ids.begin(), ids.end());
+}
+
+Json DoubleArray(const std::vector<double>& values) {
+  Json arr = Json::MakeArray();
+  for (double v : values) arr.Append(v);
+  return arr;
+}
+
+HttpResponse JsonResponse(int code, const Json& payload) {
+  HttpResponse r;
+  r.status_code = code;
+  r.body = payload.Dump();
+  return r;
+}
+
+}  // namespace
+
+ModelService::ModelService(ModelServiceOptions options)
+    : options_(std::move(options)),
+      posterior_cache_(options_.posterior_cache_capacity) {
+  if (options_.batching_enabled) {
+    batch_thread_ = std::thread([this] { BatchLoop(); });
+  }
+}
+
+ModelService::~ModelService() {
+  if (batch_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      stopping_ = true;
+    }
+    queue_cv_.notify_all();
+    batch_thread_.join();
+  }
+}
+
+cold::Status ModelService::LoadFromFile(const std::string& path) {
+  if (path.empty()) {
+    return cold::Status::InvalidArgument("no model path configured");
+  }
+  auto loaded = core::LoadEstimates(path);
+  if (!loaded.ok()) {
+    ServiceMetrics().reload_failures->Increment();
+    return loaded.status();
+  }
+  // Predictor construction (TopComm precollection) runs outside the model
+  // lock so serving continues at full speed during a reload.
+  auto predictor = std::make_shared<const core::ColdPredictor>(
+      std::move(loaded).ValueOrDie(), options_.top_communities);
+  SetPredictor(std::move(predictor));
+  COLD_LOG(kInfo) << "cold_serve loaded snapshot " << path << " (generation "
+                  << generation() << ")";
+  return cold::Status::OK();
+}
+
+void ModelService::SetPredictor(
+    std::shared_ptr<const core::ColdPredictor> predictor) {
+  {
+    std::lock_guard<std::mutex> lock(model_mutex_);
+    model_ = std::move(predictor);
+    generation_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Posteriors are keyed by generation, so stale entries can never be
+  // served; clearing just returns their memory promptly.
+  posterior_cache_.Clear();
+  ServiceMetrics().reloads->Increment();
+}
+
+std::shared_ptr<const core::ColdPredictor> ModelService::predictor() const {
+  std::lock_guard<std::mutex> lock(model_mutex_);
+  return model_;
+}
+
+HttpResponse ModelService::Handle(const HttpRequest& request) {
+  auto start = std::chrono::steady_clock::now();
+  const char* endpoint = "unknown";
+  HttpResponse response = Route(request, &endpoint);
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const EndpointMetrics& metrics = MetricsFor(endpoint);
+  metrics.requests->Increment();
+  metrics.latency->Observe(seconds);
+  if (response.status_code >= 400) metrics.errors->Increment();
+  return response;
+}
+
+HttpResponse ModelService::Route(const HttpRequest& request,
+                                 const char** endpoint) {
+  const std::string& path = request.path;
+  const bool is_get = request.method == "GET";
+  const bool is_post = request.method == "POST";
+
+  if (path == "/healthz") {
+    *endpoint = "healthz";
+    if (!is_get) return HttpResponse::Error(405, "use GET");
+    return HandleHealth();
+  }
+  if (path == "/metrics") {
+    *endpoint = "metrics";
+    if (!is_get) return HttpResponse::Error(405, "use GET");
+    return HandleMetrics();
+  }
+  if (path == "/admin/reload") {
+    *endpoint = "reload";
+    if (!is_post) return HttpResponse::Error(405, "use POST");
+    return HandleReload(request);
+  }
+  if (path == "/v1/influential_communities") {
+    *endpoint = "influential_communities";
+    if (!is_get) return HttpResponse::Error(405, "use GET");
+    return HandleInfluentialCommunities(request);
+  }
+  if (path == "/v1/diffusion") {
+    *endpoint = "diffusion";
+    if (!is_post) return HttpResponse::Error(405, "use POST");
+    return HandleDiffusion(request);
+  }
+  if (path == "/v1/topic_posterior") {
+    *endpoint = "topic_posterior";
+    if (!is_post) return HttpResponse::Error(405, "use POST");
+    return HandleTopicPosterior(request);
+  }
+  if (path == "/v1/link") {
+    *endpoint = "link";
+    if (!is_post) return HttpResponse::Error(405, "use POST");
+    return HandleLink(request);
+  }
+  if (path == "/v1/timestamp") {
+    *endpoint = "timestamp";
+    if (!is_post) return HttpResponse::Error(405, "use POST");
+    return HandleTimestamp(request);
+  }
+  return HttpResponse::Error(404, "no such endpoint: " + path);
+}
+
+std::shared_ptr<const std::vector<double>> ModelService::PosteriorFor(
+    const core::ColdPredictor& model, int64_t generation, text::UserId author,
+    const std::vector<text::WordId>& words) {
+  const std::string key = PosteriorKey(generation, author, words);
+  if (auto cached = posterior_cache_.Get(key)) {
+    ServiceMetrics().hits->Increment();
+    return cached;
+  }
+  ServiceMetrics().misses->Increment();
+  auto posterior = std::make_shared<const std::vector<double>>(
+      model.TopicPosterior(words, author));
+  posterior_cache_.Put(key, posterior);
+  return posterior;
+}
+
+std::future<double> ModelService::EnqueueDiffusion(
+    std::shared_ptr<const core::ColdPredictor> model, int64_t generation,
+    text::UserId publisher, text::UserId candidate,
+    std::vector<text::WordId> words) {
+  PendingDiffusion pending;
+  pending.model = std::move(model);
+  pending.generation = generation;
+  pending.publisher = publisher;
+  pending.candidate = candidate;
+  pending.words = std::move(words);
+  std::future<double> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_.push_back(std::move(pending));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+void ModelService::BatchLoop() {
+  std::vector<PendingDiffusion> batch;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained.
+      // Once work arrives, wait briefly for the batch to fill.
+      auto deadline = std::chrono::steady_clock::now() +
+                      std::chrono::microseconds(options_.batch_wait_us);
+      while (queue_.size() < options_.max_batch && !stopping_) {
+        if (queue_cv_.wait_until(lock, deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
+      size_t take = std::min(queue_.size(), options_.max_batch);
+      batch.clear();
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    ExecuteBatch(&batch);
+  }
+}
+
+void ModelService::ExecuteBatch(std::vector<PendingDiffusion>* batch) {
+  ServiceMetrics().batches->Increment();
+  ServiceMetrics().batched_requests->Increment(
+      static_cast<int64_t>(batch->size()));
+  ServiceMetrics().batch_size->Observe(static_cast<double>(batch->size()));
+  // Posteriors computed once per (author, words) within this drain; the
+  // local map also covers the cache-disabled configuration.
+  std::unordered_map<std::string, std::shared_ptr<const std::vector<double>>>
+      drain_posteriors;
+  for (PendingDiffusion& item : *batch) {
+    const std::string key =
+        PosteriorKey(item.generation, item.publisher, item.words);
+    auto it = drain_posteriors.find(key);
+    if (it == drain_posteriors.end()) {
+      it = drain_posteriors
+               .emplace(key, PosteriorFor(*item.model, item.generation,
+                                          item.publisher, item.words))
+               .first;
+    }
+    item.promise.set_value(item.model->DiffusionFromPosterior(
+        item.publisher, item.candidate, *it->second));
+  }
+}
+
+HttpResponse ModelService::HandleDiffusion(const HttpRequest& request) {
+  auto model = predictor();
+  if (model == nullptr) return HttpResponse::Error(503, "no model loaded");
+  const int64_t gen = generation();
+  const auto& est = model->estimates();
+
+  auto parsed = Json::Parse(request.body);
+  if (!parsed.ok()) return HttpResponse::FromStatus(parsed.status());
+  const Json& body = *parsed;
+
+  auto publisher = body.GetInt("publisher", 0, est.U - 1);
+  if (!publisher.ok()) return HttpResponse::FromStatus(publisher.status());
+  auto word_ids = body.GetIntArray("words", est.V);
+  if (!word_ids.ok()) return HttpResponse::FromStatus(word_ids.status());
+  std::vector<text::WordId> words = ToWordIds(*word_ids);
+  auto author = static_cast<text::UserId>(*publisher);
+
+  // Either one "candidate" or a fan-out "candidates" array.
+  std::vector<text::UserId> candidates;
+  bool single = body.Find("candidates") == nullptr;
+  if (single) {
+    auto candidate = body.GetInt("candidate", 0, est.U - 1);
+    if (!candidate.ok()) return HttpResponse::FromStatus(candidate.status());
+    candidates.push_back(static_cast<text::UserId>(*candidate));
+  } else {
+    auto ids = body.GetIntArray("candidates", est.U);
+    if (!ids.ok()) return HttpResponse::FromStatus(ids.status());
+    if (ids->empty()) {
+      return HttpResponse::Error(400, "'candidates' must not be empty");
+    }
+    candidates.assign(ids->begin(), ids->end());
+  }
+
+  std::vector<double> probabilities;
+  probabilities.reserve(candidates.size());
+  if (options_.batching_enabled) {
+    std::vector<std::future<double>> futures;
+    futures.reserve(candidates.size());
+    for (text::UserId candidate : candidates) {
+      futures.push_back(
+          EnqueueDiffusion(model, gen, author, candidate, words));
+    }
+    for (auto& f : futures) probabilities.push_back(f.get());
+  } else {
+    auto posterior = PosteriorFor(*model, gen, author, words);
+    for (text::UserId candidate : candidates) {
+      probabilities.push_back(
+          model->DiffusionFromPosterior(author, candidate, *posterior));
+    }
+  }
+  for (double p : probabilities) {
+    if (std::isnan(p)) {
+      return HttpResponse::Error(500, "prediction failed");
+    }
+  }
+
+  Json payload = Json::MakeObject();
+  if (single) {
+    payload.Set("probability", probabilities.front());
+  } else {
+    payload.Set("probabilities", DoubleArray(probabilities));
+  }
+  return JsonResponse(200, payload);
+}
+
+HttpResponse ModelService::HandleTopicPosterior(const HttpRequest& request) {
+  auto model = predictor();
+  if (model == nullptr) return HttpResponse::Error(503, "no model loaded");
+  const auto& est = model->estimates();
+
+  auto parsed = Json::Parse(request.body);
+  if (!parsed.ok()) return HttpResponse::FromStatus(parsed.status());
+  auto author = parsed->GetInt("author", 0, est.U - 1);
+  if (!author.ok()) return HttpResponse::FromStatus(author.status());
+  auto word_ids = parsed->GetIntArray("words", est.V);
+  if (!word_ids.ok()) return HttpResponse::FromStatus(word_ids.status());
+
+  auto posterior =
+      PosteriorFor(*model, generation(), static_cast<text::UserId>(*author),
+                   ToWordIds(*word_ids));
+  Json payload = Json::MakeObject();
+  payload.Set("posterior", DoubleArray(*posterior));
+  return JsonResponse(200, payload);
+}
+
+HttpResponse ModelService::HandleLink(const HttpRequest& request) {
+  auto model = predictor();
+  if (model == nullptr) return HttpResponse::Error(503, "no model loaded");
+  const auto& est = model->estimates();
+
+  auto parsed = Json::Parse(request.body);
+  if (!parsed.ok()) return HttpResponse::FromStatus(parsed.status());
+  auto source = parsed->GetInt("source", 0, est.U - 1);
+  if (!source.ok()) return HttpResponse::FromStatus(source.status());
+  auto target = parsed->GetInt("target", 0, est.U - 1);
+  if (!target.ok()) return HttpResponse::FromStatus(target.status());
+
+  Json payload = Json::MakeObject();
+  payload.Set("probability",
+              model->LinkProbability(static_cast<text::UserId>(*source),
+                                     static_cast<text::UserId>(*target)));
+  return JsonResponse(200, payload);
+}
+
+HttpResponse ModelService::HandleTimestamp(const HttpRequest& request) {
+  auto model = predictor();
+  if (model == nullptr) return HttpResponse::Error(503, "no model loaded");
+  const auto& est = model->estimates();
+
+  auto parsed = Json::Parse(request.body);
+  if (!parsed.ok()) return HttpResponse::FromStatus(parsed.status());
+  auto author = parsed->GetInt("author", 0, est.U - 1);
+  if (!author.ok()) return HttpResponse::FromStatus(author.status());
+  auto word_ids = parsed->GetIntArray("words", est.V);
+  if (!word_ids.ok()) return HttpResponse::FromStatus(word_ids.status());
+
+  std::vector<text::WordId> words = ToWordIds(*word_ids);
+  std::vector<double> scores =
+      model->TimestampScores(words, static_cast<text::UserId>(*author));
+  if (scores.empty()) return HttpResponse::Error(500, "prediction failed");
+  int predicted = static_cast<int>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+
+  Json payload = Json::MakeObject();
+  payload.Set("predicted", predicted);
+  payload.Set("scores", DoubleArray(scores));
+  return JsonResponse(200, payload);
+}
+
+HttpResponse ModelService::HandleInfluentialCommunities(
+    const HttpRequest& request) {
+  auto model = predictor();
+  if (model == nullptr) return HttpResponse::Error(503, "no model loaded");
+  const auto& est = model->estimates();
+
+  int topic = request.QueryInt("topic", 0);
+  if (topic < 0 || topic >= est.K) {
+    return HttpResponse::Error(
+        422, "topic must be in [0, " + std::to_string(est.K) + ")");
+  }
+  int n = request.QueryInt("n", 5);
+  if (n < 1) n = 1;
+  if (n > est.C) n = est.C;
+  int trials = request.QueryInt("trials", options_.influence_trials);
+  if (trials < 1) trials = 1;
+  if (trials > 100000) trials = 100000;
+
+  // Deterministic seed: identical queries return identical rankings.
+  auto ranked = apps::RankCommunitiesByInfluence(est, topic, trials,
+                                                 /*seed=*/0x5EEDC01Dull);
+  Json communities = Json::MakeArray();
+  for (int i = 0; i < n && i < static_cast<int>(ranked.size()); ++i) {
+    Json entry = Json::MakeObject();
+    entry.Set("community", ranked[static_cast<size_t>(i)].community);
+    entry.Set("influence_degree",
+              ranked[static_cast<size_t>(i)].influence_degree);
+    entry.Set("topic_interest",
+              ranked[static_cast<size_t>(i)].topic_interest);
+    communities.Append(std::move(entry));
+  }
+  Json payload = Json::MakeObject();
+  payload.Set("topic", topic);
+  payload.Set("trials", trials);
+  payload.Set("communities", std::move(communities));
+  return JsonResponse(200, payload);
+}
+
+HttpResponse ModelService::HandleHealth() {
+  auto model = predictor();
+  Json payload = Json::MakeObject();
+  if (model == nullptr) {
+    payload.Set("status", "no_model");
+    return JsonResponse(503, payload);
+  }
+  const auto& est = model->estimates();
+  payload.Set("status", "ok");
+  payload.Set("generation", generation());
+  Json dims = Json::MakeObject();
+  dims.Set("users", est.U);
+  dims.Set("communities", est.C);
+  dims.Set("topics", est.K);
+  dims.Set("time_slices", est.T);
+  dims.Set("vocabulary", est.V);
+  payload.Set("model", std::move(dims));
+  return JsonResponse(200, payload);
+}
+
+HttpResponse ModelService::HandleMetrics() {
+  std::ostringstream os;
+  obs::Registry::Global().DumpPrometheusText(os);
+  return HttpResponse::Text(200, os.str(),
+                            "text/plain; version=0.0.4; charset=utf-8");
+}
+
+HttpResponse ModelService::HandleReload(const HttpRequest& request) {
+  std::string path = options_.model_path;
+  if (!request.body.empty()) {
+    auto parsed = Json::Parse(request.body);
+    if (!parsed.ok()) return HttpResponse::FromStatus(parsed.status());
+    if (const Json* override_path = parsed->Find("path")) {
+      if (!override_path->is_string()) {
+        return HttpResponse::Error(400, "'path' must be a string");
+      }
+      path = override_path->as_string();
+    }
+  }
+  if (cold::Status st = LoadFromFile(path); !st.ok()) {
+    return HttpResponse::FromStatus(st);
+  }
+  return HandleHealth();
+}
+
+}  // namespace cold::serve

@@ -1,0 +1,144 @@
+// The COLD prediction service: JSON endpoints over a hot-swappable
+// ColdPredictor snapshot (§5.2's online half).
+//
+//   POST /v1/diffusion                Eq. (7)  P(candidate retweets post)
+//   POST /v1/topic_posterior          Eq. (5)  P(k | words, author)
+//   POST /v1/link                     §6.2     link score P_{i->i'}
+//   POST /v1/timestamp                §6.3     time-slice distribution
+//   GET  /v1/influential_communities  §6.6     top communities per topic
+//   GET  /healthz                     liveness + model dimensions
+//   GET  /metrics                     Prometheus text exposition (src/obs)
+//   POST /admin/reload                atomic snapshot hot-reload
+//
+// Model sharing is a shared_ptr<const ColdPredictor> swapped under a
+// mutex: requests pin the snapshot they started with, so a reload never
+// invalidates an in-flight computation and old snapshots free themselves
+// when their last request completes.
+//
+// Diffusion requests are micro-batched: they queue into a single drain
+// thread that groups the batch by (author, words) so the O(K |w_d|) topic
+// posterior — the expensive half of Eq. (7) — is computed once per post
+// per drain, then fanned out across candidates via DiffusionFromPosterior.
+// A bounded LRU keyed by (generation, author, words) memoizes posteriors
+// across batches for /v1/topic_posterior and repeat traffic.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/predictor.h"
+#include "serve/http.h"
+#include "serve/lru_cache.h"
+#include "util/status.h"
+
+namespace cold::serve {
+
+struct ModelServiceOptions {
+  /// Snapshot reloaded by POST /admin/reload (without a "path" override)
+  /// and by SIGHUP in the cold_serve tool. May be empty for in-process
+  /// services constructed from estimates directly.
+  std::string model_path;
+  /// |TopComm(i)| used when constructing predictors (the paper fixes 5).
+  int top_communities = 5;
+  /// Entries in the (generation, author, words) -> posterior LRU;
+  /// 0 disables caching.
+  size_t posterior_cache_capacity = 4096;
+  /// Micro-batching of /v1/diffusion. Disabled, requests compute inline.
+  bool batching_enabled = true;
+  /// Max requests drained into one batch.
+  size_t max_batch = 64;
+  /// How long a drain waits for the batch to fill once non-empty.
+  int batch_wait_us = 200;
+  /// Monte-Carlo IC trials for /v1/influential_communities (§6.6).
+  int influence_trials = 64;
+};
+
+class ModelService {
+ public:
+  explicit ModelService(ModelServiceOptions options);
+  /// Drains the batching queue (pending requests are still answered).
+  ~ModelService();
+
+  ModelService(const ModelService&) = delete;
+  ModelService& operator=(const ModelService&) = delete;
+
+  /// \brief Loads a COLDEST1 snapshot and swaps it in atomically. On
+  /// failure the previous model keeps serving.
+  cold::Status LoadFromFile(const std::string& path);
+
+  /// \brief Reloads from options.model_path (the SIGHUP path).
+  cold::Status Reload() { return LoadFromFile(options_.model_path); }
+
+  /// \brief Installs an in-memory predictor (tests, examples).
+  void SetPredictor(std::shared_ptr<const core::ColdPredictor> predictor);
+
+  /// \brief The current snapshot; may be nullptr before the first load.
+  std::shared_ptr<const core::ColdPredictor> predictor() const;
+
+  /// Number of successful swaps (initial load counts).
+  int64_t generation() const {
+    return generation_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief The HTTP entry point, safe for concurrent calls; wire this
+  /// into HttpServer as the handler.
+  HttpResponse Handle(const HttpRequest& request);
+
+ private:
+  struct PendingDiffusion {
+    std::shared_ptr<const core::ColdPredictor> model;
+    int64_t generation = 0;
+    text::UserId publisher = 0;
+    text::UserId candidate = 0;
+    std::vector<text::WordId> words;
+    std::promise<double> promise;
+  };
+
+  HttpResponse Route(const HttpRequest& request, const char** endpoint);
+  HttpResponse HandleDiffusion(const HttpRequest& request);
+  HttpResponse HandleTopicPosterior(const HttpRequest& request);
+  HttpResponse HandleLink(const HttpRequest& request);
+  HttpResponse HandleTimestamp(const HttpRequest& request);
+  HttpResponse HandleInfluentialCommunities(const HttpRequest& request);
+  HttpResponse HandleHealth();
+  HttpResponse HandleMetrics();
+  HttpResponse HandleReload(const HttpRequest& request);
+
+  /// Cache-assisted Eq. (5); never nullptr for validated inputs.
+  std::shared_ptr<const std::vector<double>> PosteriorFor(
+      const core::ColdPredictor& model, int64_t generation,
+      text::UserId author, const std::vector<text::WordId>& words);
+
+  /// Enqueues one diffusion scoring; the future resolves after a drain.
+  std::future<double> EnqueueDiffusion(
+      std::shared_ptr<const core::ColdPredictor> model, int64_t generation,
+      text::UserId publisher, text::UserId candidate,
+      std::vector<text::WordId> words);
+
+  void BatchLoop();
+  void ExecuteBatch(std::vector<PendingDiffusion>* batch);
+
+  const ModelServiceOptions options_;
+
+  mutable std::mutex model_mutex_;
+  std::shared_ptr<const core::ColdPredictor> model_;
+  std::atomic<int64_t> generation_{0};
+
+  LruCache<std::vector<double>> posterior_cache_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingDiffusion> queue_;
+  bool stopping_ = false;
+  std::thread batch_thread_;
+};
+
+}  // namespace cold::serve

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <limits>
 
 #include "core/cold.h"
 #include "core/model_io.h"
@@ -119,6 +120,43 @@ TEST(ModelIoTest, TrailingGarbageFails) {
     out << "extra";
   }
   EXPECT_FALSE(LoadEstimates(path).ok());
+  fs::remove(path);
+}
+
+TEST(ModelIoTest, RejectsNonFinitePayload) {
+  ColdEstimates original = SmallEstimates();
+  std::string path = TempPath("cold_model_io_nonfinite.bin");
+
+  // A NaN smuggled into theta must be caught at load time. The header is
+  // magic (8 bytes) + five int32 dims; theta starts after pi.
+  const std::streamoff header_bytes = 8 + 5 * sizeof(int32_t);
+  const std::streamoff theta_offset =
+      header_bytes +
+      static_cast<std::streamoff>(original.pi.size() * sizeof(double));
+  for (double poison :
+       {std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity()}) {
+    ASSERT_TRUE(SaveEstimates(original, path).ok());
+    {
+      std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+      file.seekp(theta_offset);
+      file.write(reinterpret_cast<const char*>(&poison), sizeof(poison));
+    }
+    auto result = LoadEstimates(path);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+    EXPECT_NE(result.status().message().find("non-finite"),
+              std::string::npos);
+    EXPECT_NE(result.status().message().find("theta"), std::string::npos);
+  }
+
+  // Round trip of the clean file still succeeds (the check does not
+  // reject legitimate payloads).
+  ASSERT_TRUE(SaveEstimates(original, path).ok());
+  auto clean = LoadEstimates(path);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_EQ(clean->theta, original.theta);
   fs::remove(path);
 }
 

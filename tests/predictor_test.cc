@@ -271,6 +271,60 @@ TEST(FoldInTest, RecoversTrainingUsersMembership) {
       << "fold-in membership should match the trained membership";
 }
 
+TEST(PredictorHardeningTest, ValidateQueryFlagsBadIds) {
+  const Fixture& f = GetFixture();
+  std::vector<text::WordId> ok_words = {0, 1};
+  EXPECT_TRUE(f.predictor->ValidateQuery(0, ok_words).ok());
+  EXPECT_EQ(f.predictor->ValidateQuery(-1, ok_words).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(f.predictor->ValidateQuery(f.estimates.U, ok_words).code(),
+            StatusCode::kOutOfRange);
+  std::vector<text::WordId> bad_words = {0, static_cast<text::WordId>(
+                                                f.estimates.V)};
+  EXPECT_EQ(f.predictor->ValidateQuery(0, bad_words).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(PredictorHardeningTest, OutOfRangeInputsReturnSentinelsNotUB) {
+  const Fixture& f = GetFixture();
+  const ColdPredictor& p = *f.predictor;
+  std::vector<text::WordId> words = {0, 1};
+  std::vector<text::WordId> bad_words = {-5};
+  const text::UserId bad_user = f.estimates.U + 100;
+
+  EXPECT_TRUE(p.TopicPosterior(words, bad_user).empty());
+  EXPECT_TRUE(p.TopicPosterior(bad_words, 0).empty());
+  EXPECT_TRUE(std::isnan(p.DiffusionProbability(bad_user, 0, words)));
+  EXPECT_TRUE(std::isnan(p.DiffusionProbability(0, bad_user, words)));
+  EXPECT_TRUE(std::isnan(p.DiffusionProbability(0, 1, bad_words)));
+  EXPECT_TRUE(std::isnan(p.LinkProbability(bad_user, 0)));
+  EXPECT_TRUE(std::isnan(p.LinkProbability(0, -1)));
+  EXPECT_TRUE(std::isnan(p.TopicInfluence(bad_user, 0, 0)));
+  EXPECT_TRUE(std::isnan(p.TopicInfluence(0, 0, f.estimates.K)));
+  EXPECT_TRUE(p.TimestampScores(words, bad_user).empty());
+  EXPECT_EQ(p.PredictTimestamp(words, bad_user), -1);
+  EXPECT_TRUE(std::isnan(p.LogPostProbability(bad_words, 0)));
+  EXPECT_TRUE(p.TopComm(bad_user).empty());
+  EXPECT_TRUE(p.TopComm(-1).empty());
+
+  // Wrong-length posterior / membership vectors are rejected too.
+  std::vector<double> short_posterior(2, 0.5);
+  EXPECT_TRUE(std::isnan(p.DiffusionFromPosterior(0, 1, short_posterior)));
+  std::vector<double> short_pi(1, 1.0);
+  EXPECT_TRUE(std::isnan(p.DiffusionProbabilityToNewUser(0, short_pi, words)));
+}
+
+TEST(PredictorHardeningTest, DiffusionFromPosteriorMatchesDirect) {
+  const Fixture& f = GetFixture();
+  const ColdPredictor& p = *f.predictor;
+  std::vector<text::WordId> words = {0, 1, 2};
+  for (int candidate = 1; candidate < 5; ++candidate) {
+    std::vector<double> posterior = p.TopicPosterior(words, 0);
+    EXPECT_NEAR(p.DiffusionFromPosterior(0, candidate, posterior),
+                p.DiffusionProbability(0, candidate, words), 1e-12);
+  }
+}
+
 TEST(FoldInTest, EmptyInputGivesUniform) {
   const Fixture& f = GetFixture();
   auto pi = f.predictor->FoldInMembership({});

@@ -1,0 +1,149 @@
+// cold_serve — the COLD prediction server (the online half of §5.2's
+// offline/online split): loads a COLDEST1 snapshot, builds a
+// ColdPredictor, and serves the JSON inference API over HTTP/1.1.
+//
+// Usage: cold_serve <model> [--port N] [--workers N] [--cache N]
+//                   [--no-batching] [--batch-max N] [--batch-wait-us N]
+//                   [--top-communities N]
+//
+// Endpoints: POST /v1/diffusion, /v1/topic_posterior, /v1/link,
+// /v1/timestamp; GET /v1/influential_communities, /healthz, /metrics
+// (Prometheus); POST /admin/reload. SIGHUP also hot-reloads the snapshot
+// from <model>; SIGINT/SIGTERM drain in-flight requests and exit.
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "serve/http_server.h"
+#include "serve/model_service.h"
+#include "util/logging.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+volatile std::sig_atomic_t g_reload = 0;
+
+void OnSignal(int sig) {
+  if (sig == SIGHUP) {
+    g_reload = 1;
+  } else {
+    g_shutdown = 1;
+  }
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <model> [--port N=8080] [--workers N=8] "
+               "[--cache N=4096] [--no-batching] [--batch-max N=64] "
+               "[--batch-wait-us N=200] [--top-communities N=5]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseInt(const char* s, int min_value, int max_value, int* out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  long v = std::strtol(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0' || v < min_value ||
+      v > max_value) {
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cold;
+  if (argc < 2) return Usage(argv[0]);
+
+  std::string model_path = argv[1];
+  int port = 8080;
+  int workers = 8;
+  int cache = 4096;
+  int batch_max = 64;
+  int batch_wait_us = 200;
+  int top_communities = 5;
+  bool batching = true;
+
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&](int min_value, int max_value, int* out) {
+      return i + 1 < argc && ParseInt(argv[++i], min_value, max_value, out);
+    };
+    if (std::strcmp(arg, "--port") == 0) {
+      if (!next(0, 65535, &port)) return Usage(argv[0]);
+    } else if (std::strcmp(arg, "--workers") == 0) {
+      if (!next(1, 1024, &workers)) return Usage(argv[0]);
+    } else if (std::strcmp(arg, "--cache") == 0) {
+      if (!next(0, 1 << 24, &cache)) return Usage(argv[0]);
+    } else if (std::strcmp(arg, "--no-batching") == 0) {
+      batching = false;
+    } else if (std::strcmp(arg, "--batch-max") == 0) {
+      if (!next(1, 65536, &batch_max)) return Usage(argv[0]);
+    } else if (std::strcmp(arg, "--batch-wait-us") == 0) {
+      if (!next(0, 1000000, &batch_wait_us)) return Usage(argv[0]);
+    } else if (std::strcmp(arg, "--top-communities") == 0) {
+      if (!next(1, 1 << 20, &top_communities)) return Usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      return Usage(argv[0]);
+    }
+  }
+
+  serve::ModelServiceOptions service_options;
+  service_options.model_path = model_path;
+  service_options.top_communities = top_communities;
+  service_options.posterior_cache_capacity = static_cast<size_t>(cache);
+  service_options.batching_enabled = batching;
+  service_options.max_batch = static_cast<size_t>(batch_max);
+  service_options.batch_wait_us = batch_wait_us;
+
+  serve::ModelService service(service_options);
+  if (auto st = service.LoadFromFile(model_path); !st.ok()) {
+    std::fprintf(stderr, "load: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  serve::HttpServerOptions server_options;
+  server_options.port = port;
+  server_options.num_workers = static_cast<size_t>(workers);
+  serve::HttpServer server(
+      server_options,
+      [&service](const serve::HttpRequest& request) {
+        return service.Handle(request);
+      });
+  if (auto st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  // The startup line tests/scripts parse to find the bound port.
+  std::printf("cold_serve listening on 127.0.0.1:%d\n", server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGHUP, OnSignal);
+
+  while (!g_shutdown) {
+    if (g_reload) {
+      g_reload = 0;
+      if (auto st = service.Reload(); !st.ok()) {
+        COLD_LOG(kError) << "SIGHUP reload failed (still serving previous "
+                            "snapshot): "
+                         << st.ToString();
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  COLD_LOG(kInfo) << "shutting down";
+  server.Stop();
+  return 0;
+}

@@ -1,0 +1,140 @@
+#!/usr/bin/env bash
+# End-to-end smoke check for the serving layer:
+#
+#   cold_generate -> cold_train -> cold_serve -> curl every endpoint
+#
+# Exercises the acceptance criteria for the serving PR: N sequential
+# /v1/diffusion POSTs must all return HTTP 200, a hot reload is triggered
+# mid-load (SIGHUP and /admin/reload), and /metrics must report a request
+# count consistent with the load we generated.
+#
+# Usage: tools/smoke_serve.sh [build-dir] [num-requests]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+NUM_REQUESTS="${2:-10000}"
+WORK_DIR="$(mktemp -d /tmp/cold_smoke.XXXXXX)"
+SERVE_LOG="${WORK_DIR}/serve.log"
+SERVE_PID=""
+
+cleanup() {
+  if [[ -n "${SERVE_PID}" ]] && kill -0 "${SERVE_PID}" 2>/dev/null; then
+    kill -TERM "${SERVE_PID}" 2>/dev/null || true
+    wait "${SERVE_PID}" 2>/dev/null || true
+  fi
+  rm -rf "${WORK_DIR}"
+}
+trap cleanup EXIT
+
+die() { echo "FAIL: $*" >&2; exit 1; }
+
+for bin in cold_generate cold_train cold_serve; do
+  [[ -x "${BUILD_DIR}/tools/${bin}" ]] \
+    || die "missing ${BUILD_DIR}/tools/${bin} (build the project first)"
+done
+command -v curl >/dev/null || die "curl not found"
+
+echo "== generate + train a small model =="
+"${BUILD_DIR}/tools/cold_generate" "${WORK_DIR}/data" 120 4 6 8 \
+  || die "cold_generate"
+"${BUILD_DIR}/tools/cold_train" "${WORK_DIR}/data" "${WORK_DIR}/model.bin" \
+  4 6 40 || die "cold_train"
+
+echo "== start cold_serve =="
+"${BUILD_DIR}/tools/cold_serve" "${WORK_DIR}/model.bin" --port 0 \
+  >"${SERVE_LOG}" 2>&1 &
+SERVE_PID=$!
+
+PORT=""
+for _ in $(seq 1 50); do
+  PORT="$(sed -n 's/.*cold_serve listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "${SERVE_LOG}" | head -n1)"
+  [[ -n "${PORT}" ]] && break
+  kill -0 "${SERVE_PID}" 2>/dev/null || die "server exited: $(cat "${SERVE_LOG}")"
+  sleep 0.1
+done
+[[ -n "${PORT}" ]] && echo "server up on port ${PORT}" \
+  || die "server never reported its port"
+BASE="http://127.0.0.1:${PORT}"
+
+echo "== probe every endpoint once =="
+check() {  # check <expected-code> <name> <curl args...>
+  local expect="$1" name="$2"; shift 2
+  local code
+  code="$(curl -s -o "${WORK_DIR}/last_body" -w '%{http_code}' "$@")" \
+    || die "curl transport error on ${name}"
+  [[ "${code}" == "${expect}" ]] \
+    || die "${name}: HTTP ${code} (wanted ${expect}): $(cat "${WORK_DIR}/last_body")"
+  echo "  ok ${name} (${code})"
+}
+
+check 200 "GET /healthz" "${BASE}/healthz"
+check 200 "POST /v1/diffusion" -X POST \
+  -d '{"publisher": 0, "candidate": 1, "words": [0, 1, 2]}' \
+  "${BASE}/v1/diffusion"
+check 200 "POST /v1/diffusion fan-out" -X POST \
+  -d '{"publisher": 0, "candidates": [1, 2, 3], "words": [0, 1]}' \
+  "${BASE}/v1/diffusion"
+check 200 "POST /v1/topic_posterior" -X POST \
+  -d '{"author": 0, "words": [0, 1, 2]}' "${BASE}/v1/topic_posterior"
+check 200 "POST /v1/link" -X POST \
+  -d '{"source": 0, "target": 1}' "${BASE}/v1/link"
+check 200 "POST /v1/timestamp" -X POST \
+  -d '{"author": 0, "words": [0, 1]}' "${BASE}/v1/timestamp"
+check 200 "GET /v1/influential_communities" \
+  "${BASE}/v1/influential_communities?topic=0&n=3&trials=8"
+check 200 "POST /admin/reload" -X POST "${BASE}/admin/reload"
+check 400 "malformed JSON -> 400" -X POST -d '{"publisher":' \
+  "${BASE}/v1/diffusion"
+check 422 "out-of-range author -> 422" -X POST \
+  -d '{"author": 999999, "words": [0]}' "${BASE}/v1/topic_posterior"
+check 404 "unknown route -> 404" "${BASE}/v1/nope"
+
+echo "== ${NUM_REQUESTS} sequential /v1/diffusion requests =="
+# One keep-alive connection, batched through curl's config reader so we do
+# not fork per request. Every response must be HTTP 200.
+CONFIG="${WORK_DIR}/curl_batch.cfg"
+# "next" resets per-transfer options; without it curl would concatenate
+# every data line into one giant body shared by all transfers.
+BLOCK='url = "'${BASE}'/v1/diffusion"
+data = "{\"publisher\": 0, \"candidate\": 1, \"words\": [0, 1, 2]}"
+output = "/dev/null"
+write-out = "%{http_code}\n"'
+{
+  printf '%s\n' "${BLOCK}"
+  for _ in $(seq 2 "${NUM_REQUESTS}"); do
+    printf 'next\n%s\n' "${BLOCK}"
+  done
+} >"${CONFIG}"
+( sleep 1; kill -HUP "${SERVE_PID}" ) &  # hot reload mid-load
+HUP_WAITER=$!
+CODES="$(curl -s -K "${CONFIG}")" || die "bulk curl failed"
+wait "${HUP_WAITER}" 2>/dev/null || true
+NON_200="$(echo "${CODES}" | grep -cv '^200$' || true)"
+TOTAL="$(echo "${CODES}" | wc -l)"
+[[ "${TOTAL}" -eq "${NUM_REQUESTS}" ]] \
+  || die "expected ${NUM_REQUESTS} responses, saw ${TOTAL}"
+[[ "${NON_200}" -eq 0 ]] || die "${NON_200}/${TOTAL} non-200 responses"
+echo "  ${TOTAL}/${TOTAL} returned 200 (hot reload fired mid-load)"
+
+echo "== /metrics consistency =="
+curl -s "${BASE}/metrics" >"${WORK_DIR}/metrics.txt" || die "GET /metrics"
+for family in cold_serve_requests cold_serve_request_seconds \
+    cold_serve_connections cold_serve_reloads; do
+  grep -q "${family}" "${WORK_DIR}/metrics.txt" \
+    || die "/metrics missing family ${family}"
+done
+DIFFUSION_COUNT="$(sed -n \
+  's/^cold_serve_requests{endpoint="diffusion"} \([0-9.e+]*\)$/\1/p' \
+  "${WORK_DIR}/metrics.txt" | head -n1)"
+[[ -n "${DIFFUSION_COUNT}" ]] || die "no diffusion request counter exported"
+# Integer-compare (counter prints as an integral double).
+[[ "${DIFFUSION_COUNT%.*}" -ge "${NUM_REQUESTS}" ]] \
+  || die "diffusion counter ${DIFFUSION_COUNT} < load ${NUM_REQUESTS}"
+echo "  cold_serve_requests{endpoint=\"diffusion\"} = ${DIFFUSION_COUNT} (>= ${NUM_REQUESTS})"
+
+echo "== graceful shutdown =="
+kill -TERM "${SERVE_PID}"
+wait "${SERVE_PID}" || die "server exited non-zero"
+SERVE_PID=""
+echo "PASS: serving smoke check complete"
