@@ -101,10 +101,25 @@ class ColdState {
 
   /// Raw flat access for estimate extraction.
   const std::vector<int32_t>& n_ic_flat() const { return n_ic_; }
+  const std::vector<int32_t>& n_i_flat() const { return n_i_; }
   const std::vector<int32_t>& n_ck_flat() const { return n_ck_; }
+  const std::vector<int32_t>& n_c_flat() const { return n_c_; }
   const std::vector<int32_t>& n_ckt_flat() const { return n_ckt_; }
   const std::vector<int32_t>& n_kv_flat() const { return n_kv_; }
+  const std::vector<int32_t>& n_k_flat() const { return n_k_; }
   const std::vector<int32_t>& n_cc_flat() const { return n_cc_; }
+
+  /// Mutable flat access for the checkpoint restore path (counter tables
+  /// are installed wholesale from a validated payload, then cross-checked
+  /// against a recount via CheckInvariants).
+  std::vector<int32_t>& mut_n_ic_flat() { return n_ic_; }
+  std::vector<int32_t>& mut_n_i_flat() { return n_i_; }
+  std::vector<int32_t>& mut_n_ck_flat() { return n_ck_; }
+  std::vector<int32_t>& mut_n_c_flat() { return n_c_; }
+  std::vector<int32_t>& mut_n_ckt_flat() { return n_ckt_; }
+  std::vector<int32_t>& mut_n_kv_flat() { return n_kv_; }
+  std::vector<int32_t>& mut_n_k_flat() { return n_k_; }
+  std::vector<int32_t>& mut_n_cc_flat() { return n_cc_; }
 
   /// \brief Verifies every counter equals a fresh recount from the
   /// assignment vectors; used by tests after sampling sweeps.

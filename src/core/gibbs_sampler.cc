@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/fault_injector.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 #include "util/stopwatch.h"
@@ -119,6 +120,9 @@ cold::Status ColdGibbsSampler::Init() {
       state_->n_cc(s, s2)++;
     }
   }
+  accumulated_.reset();
+  num_accumulated_ = 0;
+  iterations_run_ = 0;
   initialized_ = true;
   return cold::Status::OK();
 }
@@ -338,16 +342,20 @@ cold::Status ColdGibbsSampler::Train() {
   if (!initialized_) {
     return cold::Status::FailedPrecondition("call Init() before Train()");
   }
-  for (int it = 0; it < config_.iterations; ++it) {
+  // Resume-aware: RunIteration() advances iterations_run_, so a sampler
+  // restored from a checkpoint continues mid-schedule with the burn-in and
+  // sample-lag arithmetic unchanged.
+  while (iterations_run_ < config_.iterations) {
     RunIteration();
+    const int sweep = iterations_run_;
     if (config_.log_likelihood_every > 0 &&
-        (it + 1) % config_.log_likelihood_every == 0) {
+        sweep % config_.log_likelihood_every == 0) {
       double ll = TrainingLogLikelihood();
       Metrics().train_log_likelihood->Set(ll);
-      COLD_LOG(kInfo) << "iter " << (it + 1) << " log-likelihood=" << ll;
+      COLD_LOG(kInfo) << "iter " << sweep << " log-likelihood=" << ll;
     }
-    if (it + 1 > config_.burn_in &&
-        (it + 1 - config_.burn_in) % config_.sample_lag == 0) {
+    if (sweep > config_.burn_in &&
+        (sweep - config_.burn_in) % config_.sample_lag == 0) {
       ColdEstimates current = EstimatesFromCurrentSample();
       if (accumulated_ == nullptr) {
         accumulated_ = std::make_unique<ColdEstimates>(std::move(current));
@@ -356,7 +364,11 @@ cold::Status ColdGibbsSampler::Train() {
       }
       num_accumulated_++;
     }
-    if (sweep_callback_) sweep_callback_(it + 1);
+    if (sweep_callback_) sweep_callback_(sweep);
+    // After the callback, so a checkpoint for this sweep is already on disk
+    // when the injected crash fires (the crash-recovery tests depend on
+    // this ordering).
+    cold::FaultInjector::Global().MaybeCrash("after_sweep", sweep);
   }
   return cold::Status::OK();
 }

@@ -37,8 +37,22 @@ class ColdGibbsSampler {
   void RunIteration();
 
   /// \brief Full schedule: iterations sweeps, accumulating estimates every
-  /// `sample_lag` sweeps after burn-in. Init() must have succeeded.
+  /// `sample_lag` sweeps after burn-in. Init() must have succeeded. Resumes
+  /// from iterations_run(), so a sampler restored via RestoreState()
+  /// continues the remaining sweeps bit-identically.
   cold::Status Train();
+
+  /// \brief Serializes the complete sampler state (assignments, counters,
+  /// RNG engine, sample accumulator, sweep index) into `out` for the
+  /// checkpoint layer (checkpoint.h). Defined in checkpoint.cc.
+  cold::Status SerializeState(std::string* out) const;
+
+  /// \brief Restores state captured by SerializeState(). Init() must have
+  /// succeeded against the same dataset, seed and schedule; every dimension
+  /// and the counter/assignment consistency are validated before anything
+  /// takes effect, so a corrupt payload leaves the sampler usable. Defined
+  /// in checkpoint.cc.
+  cold::Status RestoreState(const std::string& payload);
 
   /// \brief Observer invoked by Train() after every sweep with the 1-based
   /// sweep number — the hook `cold_train --metrics-out` uses to snapshot

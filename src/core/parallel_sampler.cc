@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/gibbs_sampler.h"
+#include "util/fault_injector.h"
 #include "util/math_util.h"
 
 namespace cold::core {
@@ -435,6 +436,7 @@ cold::Status ParallelColdTrainer::Init() {
   engine_ = std::make_unique<
       engine::GasEngine<ColdVertex, ColdEdge, ColdVertexProgram>>(
       graph_.get(), program_.get(), engine_options_);
+  supersteps_run_ = 0;
   initialized_ = true;
   return cold::Status::OK();
 }
@@ -444,15 +446,32 @@ cold::Status ParallelColdTrainer::Train() {
     return cold::Status::FailedPrecondition("call Init() before Train()");
   }
   // One engine iteration at a time (respecting the execution mode) so the
-  // per-superstep observer sees every boundary.
-  for (int it = 0; it < config_.iterations; ++it) {
+  // per-superstep observer sees every boundary. Resume-aware: a trainer
+  // restored from a checkpoint runs only the remaining supersteps.
+  while (supersteps_run_ < config_.iterations) {
     engine_->Run(1);
-    if (superstep_callback_) superstep_callback_(it + 1);
+    supersteps_run_++;
+    if (superstep_callback_) superstep_callback_(supersteps_run_);
+    // After the callback — the superstep-barrier checkpoint must be durable
+    // before the injected crash fires.
+    cold::FaultInjector::Global().MaybeCrash("after_sweep", supersteps_run_);
   }
   return cold::Status::OK();
 }
 
-void ParallelColdTrainer::RunSuperstep() { engine_->RunSuperstep(); }
+void ParallelColdTrainer::RunSuperstep() {
+  engine_->RunSuperstep();
+  supersteps_run_++;
+}
+
+std::vector<cold::RngState> ParallelColdTrainer::EngineSamplerStates() const {
+  return engine_->SamplerStates();
+}
+
+cold::Status ParallelColdTrainer::EngineRestoreSamplerStates(
+    const std::vector<cold::RngState>& states) {
+  return engine_->RestoreSamplerStates(states);
+}
 
 ColdEstimates ParallelColdTrainer::Estimates() const {
   ColdState snapshot = state_->ToColdState();

@@ -23,6 +23,7 @@
 #include "engine/gas_engine.h"
 #include "graph/digraph.h"
 #include "text/post_store.h"
+#include "util/rng.h"
 #include "util/status.h"
 
 namespace cold::core {
@@ -58,8 +59,24 @@ class ParallelColdTrainer {
   /// \brief Builds the graph abstraction and the random initial assignment.
   cold::Status Init();
 
-  /// \brief Runs config.iterations supersteps.
+  /// \brief Runs the remaining supersteps (config.iterations minus
+  /// supersteps_run()), so a trainer restored via RestoreState() picks up
+  /// where the checkpoint left off.
   cold::Status Train();
+
+  /// \brief Serializes the complete trainer state — shared counters,
+  /// assignments, superstep index, and every worker's RNG stream — for the
+  /// checkpoint layer (checkpoint.h). Defined in checkpoint.cc.
+  cold::Status SerializeState(std::string* out) const;
+
+  /// \brief Restores state captured by SerializeState(). Requires the same
+  /// dataset, seed, schedule and worker count (each worker owns its own
+  /// deterministic RNG stream); validated before anything takes effect.
+  /// Defined in checkpoint.cc.
+  cold::Status RestoreState(const std::string& payload);
+
+  /// 1-based count of completed supersteps.
+  int supersteps_run() const { return supersteps_run_; }
 
   /// \brief Observer invoked by Train() after every superstep with the
   /// 1-based superstep number (the per-sweep telemetry snapshot hook).
@@ -87,6 +104,13 @@ class ParallelColdTrainer {
  private:
   using Graph = engine::PropertyGraph<ColdVertex, ColdEdge>;
 
+  // Engine access for checkpoint.cc (which cannot instantiate the engine
+  // template against the incomplete ColdVertexProgram); defined in
+  // parallel_sampler.cc.
+  std::vector<cold::RngState> EngineSamplerStates() const;
+  cold::Status EngineRestoreSamplerStates(
+      const std::vector<cold::RngState>& states);
+
   ColdConfig config_;
   const text::PostStore& posts_;
   const graph::Digraph* links_;
@@ -99,6 +123,7 @@ class ParallelColdTrainer {
   std::unique_ptr<engine::GasEngine<ColdVertex, ColdEdge, ColdVertexProgram>>
       engine_;
   engine::EngineOptions engine_options_;
+  int supersteps_run_ = 0;
   bool initialized_ = false;
   std::function<void(int)> superstep_callback_;
 };

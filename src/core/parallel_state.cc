@@ -72,4 +72,44 @@ ColdState ParallelColdState::ToColdState() const {
   return out;
 }
 
+cold::Status ParallelColdState::RestoreFrom(const ColdState& s) {
+  if (s.U() != num_users_ || s.C() != num_communities_ ||
+      s.K() != num_topics_ || s.T() != num_time_slices_ ||
+      s.V() != vocab_size_ ||
+      s.post_community.size() != post_community.size() ||
+      s.link_src_community.size() != link_src_community.size()) {
+    return cold::Status::InvalidArgument(
+        "checkpoint state dimensions do not match the trainer");
+  }
+  post_community = s.post_community;
+  post_topic = s.post_topic;
+  link_src_community = s.link_src_community;
+  link_dst_community = s.link_dst_community;
+  for (int i = 0; i < num_users_; ++i) {
+    n_i_[static_cast<size_t>(i)].store(s.n_i(i), std::memory_order_relaxed);
+    for (int c = 0; c < num_communities_; ++c) {
+      n_ic(i, c).store(s.n_ic(i, c), std::memory_order_relaxed);
+    }
+  }
+  for (int c = 0; c < num_communities_; ++c) {
+    n_c(c).store(s.n_c(c), std::memory_order_relaxed);
+    for (int k = 0; k < num_topics_; ++k) {
+      n_ck(c, k).store(s.n_ck(c, k), std::memory_order_relaxed);
+      for (int t = 0; t < num_time_slices_; ++t) {
+        n_ckt(c, k, t).store(s.n_ckt(c, k, t), std::memory_order_relaxed);
+      }
+    }
+    for (int c2 = 0; c2 < num_communities_; ++c2) {
+      n_cc(c, c2).store(s.n_cc(c, c2), std::memory_order_relaxed);
+    }
+  }
+  for (int k = 0; k < num_topics_; ++k) {
+    n_k(k).store(s.n_k(k), std::memory_order_relaxed);
+    for (int v = 0; v < vocab_size_; ++v) {
+      n_kv(k, v).store(s.n_kv(k, v), std::memory_order_relaxed);
+    }
+  }
+  return cold::Status::OK();
+}
+
 }  // namespace cold::core

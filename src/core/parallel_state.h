@@ -87,8 +87,14 @@ class ParallelColdState {
   }
 
   /// \brief Snapshots everything into a plain ColdState (for estimate
-  /// extraction and invariant checks).
+  /// extraction, invariant checks, and checkpoint serialization).
   ColdState ToColdState() const;
+
+  /// \brief Installs assignments and counters from a plain ColdState (the
+  /// checkpoint restore path). Dimensions must match; returns
+  /// InvalidArgument otherwise. Not thread-safe — call only while no
+  /// superstep is executing.
+  cold::Status RestoreFrom(const ColdState& s);
 
  private:
   int num_users_;

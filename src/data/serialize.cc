@@ -4,17 +4,11 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/fileio.h"
+
 namespace cold::data {
 
 namespace {
-
-cold::Status OpenForWrite(const std::string& path, std::ofstream* out) {
-  out->open(path);
-  if (!out->is_open()) {
-    return cold::Status::IOError("cannot open for write: " + path);
-  }
-  return cold::Status::OK();
-}
 
 cold::Status OpenForRead(const std::string& path, std::ifstream* in) {
   in->open(path);
@@ -24,7 +18,7 @@ cold::Status OpenForRead(const std::string& path, std::ifstream* in) {
   return cold::Status::OK();
 }
 
-void WriteGraph(std::ofstream& out, const graph::Digraph& g) {
+void WriteGraph(std::ostream& out, const graph::Digraph& g) {
   for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
     out << g.edge(e).src << '\t' << g.edge(e).dst << '\n';
   }
@@ -42,7 +36,7 @@ cold::Result<graph::Digraph> ReadGraph(const std::string& path,
   return std::move(builder).Build(num_nodes);
 }
 
-void WriteIdList(std::ofstream& out, const std::vector<UserId>& ids) {
+void WriteIdList(std::ostream& out, const std::vector<UserId>& ids) {
   for (size_t i = 0; i < ids.size(); ++i) {
     if (i > 0) out << ',';
     out << ids[i];
@@ -67,16 +61,18 @@ cold::Status SaveDataset(const SocialDataset& dataset,
   std::filesystem::create_directories(dir, ec);
   if (ec) return cold::Status::IOError("mkdir failed: " + dir);
 
+  // Each file is rendered in memory and written atomically (tmp + fsync +
+  // rename), so a crash mid-save never leaves a partially written dataset
+  // behind an otherwise valid-looking directory.
   {
-    std::ofstream out;
-    COLD_RETURN_NOT_OK(OpenForWrite(dir + "/vocab.tsv", &out));
+    std::ostringstream out;
     for (text::WordId w = 0; w < dataset.vocabulary.size(); ++w) {
       out << dataset.vocabulary.word(w) << '\n';
     }
+    COLD_RETURN_NOT_OK(AtomicWriteFile(dir + "/vocab.tsv", out.str()));
   }
   {
-    std::ofstream out;
-    COLD_RETURN_NOT_OK(OpenForWrite(dir + "/posts.tsv", &out));
+    std::ostringstream out;
     for (PostId d = 0; d < dataset.posts.num_posts(); ++d) {
       out << dataset.posts.author(d) << '\t' << dataset.posts.time(d) << '\t';
       auto words = dataset.posts.words(d);
@@ -86,20 +82,20 @@ cold::Status SaveDataset(const SocialDataset& dataset,
       }
       out << '\n';
     }
+    COLD_RETURN_NOT_OK(AtomicWriteFile(dir + "/posts.tsv", out.str()));
   }
   {
-    std::ofstream out;
-    COLD_RETURN_NOT_OK(OpenForWrite(dir + "/followers.tsv", &out));
+    std::ostringstream out;
     WriteGraph(out, dataset.followers);
+    COLD_RETURN_NOT_OK(AtomicWriteFile(dir + "/followers.tsv", out.str()));
   }
   {
-    std::ofstream out;
-    COLD_RETURN_NOT_OK(OpenForWrite(dir + "/links.tsv", &out));
+    std::ostringstream out;
     WriteGraph(out, dataset.interactions);
+    COLD_RETURN_NOT_OK(AtomicWriteFile(dir + "/links.tsv", out.str()));
   }
   {
-    std::ofstream out;
-    COLD_RETURN_NOT_OK(OpenForWrite(dir + "/retweets.tsv", &out));
+    std::ostringstream out;
     for (const RetweetTuple& t : dataset.retweets) {
       out << t.author << '\t' << t.post << "\tr:";
       WriteIdList(out, t.retweeters);
@@ -107,6 +103,7 @@ cold::Status SaveDataset(const SocialDataset& dataset,
       WriteIdList(out, t.ignorers);
       out << '\n';
     }
+    COLD_RETURN_NOT_OK(AtomicWriteFile(dir + "/retweets.tsv", out.str()));
   }
   return cold::Status::OK();
 }

@@ -28,6 +28,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/rng.h"
+#include "util/status.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -156,6 +157,32 @@ class GasEngine {
   const EngineStats& stats() const { return stats_; }
   const Partitioner& partitioner() const { return partitioner_; }
   size_t num_threads() const { return pool_.num_threads(); }
+
+  /// \brief Snapshots every worker's RNG stream (checkpoint capture).
+  std::vector<cold::RngState> SamplerStates() const {
+    std::vector<cold::RngState> out;
+    out.reserve(samplers_.size());
+    for (const auto& s : samplers_) out.push_back(s.SaveState());
+    return out;
+  }
+
+  /// \brief Restores worker RNG streams captured by SamplerStates(). The
+  /// worker count must match the checkpointed one — resuming with a
+  /// different thread layout would silently change the draw sequences.
+  cold::Status RestoreSamplerStates(
+      const std::vector<cold::RngState>& states) {
+    if (states.size() != samplers_.size()) {
+      return cold::Status::InvalidArgument(
+          "checkpoint has " + std::to_string(states.size()) +
+          " worker RNG streams but the engine runs " +
+          std::to_string(samplers_.size()) +
+          " workers; resume with the same --parallel configuration");
+    }
+    for (size_t w = 0; w < states.size(); ++w) {
+      samplers_[w].RestoreState(states[w]);
+    }
+    return cold::Status::OK();
+  }
 
   /// Replaces the vertex placement (e.g. for locality experiments).
   void SetPartition(std::vector<int> assignment) {

@@ -30,16 +30,20 @@ std::string Trim(const std::string& s) {
   return s.substr(b, e - b + 1);
 }
 
-/// Reads more bytes into `buffer`; OK(false) on clean EOF.
+/// Reads more bytes into `buffer`; OK(false) on clean EOF. A signal
+/// landing mid-recv (EINTR) is retried here rather than surfaced, so
+/// callers never mistake an interrupted syscall for progress or EOF.
 cold::Result<bool> FillFromSocket(int fd, std::string* buffer) {
   char chunk[4096];
-  ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+  ssize_t n;
+  do {
+    n = ::recv(fd, chunk, sizeof(chunk), 0);
+  } while (n < 0 && errno == EINTR);
   if (n > 0) {
     buffer->append(chunk, static_cast<size_t>(n));
     return true;
   }
   if (n == 0) return false;
-  if (errno == EINTR) return true;  // retry
   if (errno == EAGAIN || errno == EWOULDBLOCK) {
     return cold::Status::IOError("socket read timeout");
   }

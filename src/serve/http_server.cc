@@ -22,6 +22,7 @@ struct ServerMetrics {
   obs::Counter* connections;
   obs::Counter* malformed_requests;
   obs::Counter* dropped_at_shutdown;
+  obs::Counter* shed;
 };
 
 ServerMetrics& Metrics() {
@@ -29,7 +30,8 @@ ServerMetrics& Metrics() {
   static ServerMetrics metrics{
       registry.GetCounter("cold/serve/connections"),
       registry.GetCounter("cold/serve/malformed_requests"),
-      registry.GetCounter("cold/serve/connections_force_closed")};
+      registry.GetCounter("cold/serve/connections_force_closed"),
+      registry.GetCounter("cold/serve/shed_total")};
   return metrics;
 }
 
@@ -87,10 +89,17 @@ cold::Status HttpServer::Start() {
 void HttpServer::AcceptLoop() {
   while (!stopping_.load(std::memory_order_acquire)) {
     pollfd pfd{listen_fd_, POLLIN, 0};
-    // Bounded poll so the stopping flag is observed promptly.
+    // Bounded poll so the stopping flag is observed promptly. EINTR is a
+    // normal wakeup (signal delivery), not an error — retry.
     int ready = ::poll(&pfd, 1, 200);
+    if (ready < 0 && errno != EINTR) {
+      COLD_LOG(kWarning) << "accept poll: " << std::strerror(errno);
+    }
     if (ready <= 0) continue;
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int fd;
+    do {
+      fd = ::accept(listen_fd_, nullptr, nullptr);
+    } while (fd < 0 && errno == EINTR);
     if (fd < 0) continue;
     if (stopping_.load(std::memory_order_acquire)) {
       ::close(fd);
@@ -101,8 +110,25 @@ void HttpServer::AcceptLoop() {
     timeval tv{};
     tv.tv_sec = options_.idle_timeout_seconds;
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    // Load shedding: every pool worker is already pinned to a connection,
+    // so this one would only sit in the queue. Telling the client to back
+    // off now (503 + Retry-After, straight from the accept thread) beats
+    // letting it time out behind the pile-up.
+    if (options_.max_inflight_requests > 0 &&
+        static_cast<size_t>(active_connections_.load(
+            std::memory_order_relaxed)) >= options_.max_inflight_requests) {
+      Metrics().shed->Increment();
+      HttpResponse response =
+          HttpResponse::Error(503, "server overloaded, retry later");
+      response.headers.emplace("Retry-After", "1");
+      WriteHttpResponse(fd, response, /*close_connection=*/true);
+      ::close(fd);
+      continue;
+    }
 
     {
       std::lock_guard<std::mutex> lock(conn_mutex_);

@@ -35,6 +35,11 @@ struct HttpServerOptions {
   int idle_timeout_seconds = 5;
   /// Seconds Stop() waits for in-flight requests before force-closing.
   int drain_timeout_seconds = 10;
+  /// Load shedding: when more than this many connections are already being
+  /// serviced, new ones are answered straight from the accept loop with
+  /// 503 + Retry-After instead of queueing behind busy workers (0 = no
+  /// shedding). Counted by cold/serve/shed_total.
+  size_t max_inflight_requests = 0;
   HttpLimits limits;
 };
 

@@ -1,0 +1,65 @@
+#include "util/fault_injector.h"
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "util/logging.h"
+
+namespace cold {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector injector;
+  return injector;
+}
+
+cold::Status FaultInjector::Configure(const std::string& spec) {
+  Disarm();
+  if (spec.empty()) return cold::Status::OK();
+  size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= spec.size()) {
+    return cold::Status::InvalidArgument(
+        "fault spec must be '<point>:<n>', got '" + spec + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long n = std::strtoll(spec.c_str() + colon + 1, &end, 10);
+  if (errno != 0 || *end != '\0' || n < 0) {
+    return cold::Status::InvalidArgument(
+        "fault spec count must be a non-negative integer, got '" + spec +
+        "'");
+  }
+  point_ = spec.substr(0, colon);
+  n_ = static_cast<int64_t>(n);
+  return cold::Status::OK();
+}
+
+void FaultInjector::ConfigureFromEnv() {
+  const char* spec = std::getenv("COLD_FAULT_POINT");
+  if (spec == nullptr) return;
+  if (auto st = Configure(spec); !st.ok()) {
+    COLD_LOG(kWarning) << "ignoring COLD_FAULT_POINT: " << st.ToString();
+  } else if (armed()) {
+    COLD_LOG(kWarning) << "fault injection armed: " << point_ << ":" << n_;
+  }
+}
+
+void FaultInjector::Disarm() {
+  point_.clear();
+  n_ = -1;
+}
+
+void FaultInjector::MaybeCrash(const char* point, int64_t n) {
+  if (point_.empty()) return;
+  if (n != n_ || point_ != point) return;
+  // The whole purpose is to die exactly like `kill -9`: no destructors, no
+  // buffered-IO flushes, no atexit handlers.
+  ::raise(SIGKILL);
+  // SIGKILL cannot be caught, but be paranoid about exotic platforms.
+  ::_exit(137);
+}
+
+}  // namespace cold

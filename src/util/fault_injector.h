@@ -1,0 +1,51 @@
+// Crash-injection harness for fault-tolerance testing: an env/flag-armed
+// trigger that kills the process with SIGKILL at a named code point, so
+// tests and the crashloop smoke script can exercise the checkpoint/resume
+// path against the most hostile failure mode (no destructors, no flushes,
+// no atexit — exactly `kill -9`).
+//
+// Spec grammar: "<point>:<n>", e.g. "after_sweep:7" kills the process the
+// moment the instrumented point "after_sweep" is reached with n == 7.
+// An empty spec disarms. The canonical entry point is the COLD_FAULT_POINT
+// environment variable, read once by ConfigureFromEnv().
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace cold {
+
+class FaultInjector {
+ public:
+  /// Instances start disarmed; tests exercise spec parsing on locals so a
+  /// mistake can never arm the process-wide injector.
+  FaultInjector() = default;
+
+  /// The process-wide injector every instrumented point consults.
+  static FaultInjector& Global();
+
+  /// \brief Arms (spec = "<point>:<n>") or disarms (spec = "") the
+  /// injector. Returns InvalidArgument on a malformed spec, leaving the
+  /// injector disarmed.
+  cold::Status Configure(const std::string& spec);
+
+  /// \brief Reads COLD_FAULT_POINT; a malformed value logs a warning and
+  /// disarms rather than failing the run.
+  void ConfigureFromEnv();
+
+  void Disarm();
+
+  bool armed() const { return !point_.empty(); }
+
+  /// \brief Kills the process (raise(SIGKILL)) iff armed with a matching
+  /// (point, n). No-op hot path when disarmed: a single branch.
+  void MaybeCrash(const char* point, int64_t n);
+
+ private:
+  std::string point_;
+  int64_t n_ = -1;
+};
+
+}  // namespace cold

@@ -1,0 +1,131 @@
+#include "util/fileio.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace cold {
+
+namespace {
+
+/// Byte-at-a-time table for the reflected IEEE polynomial 0xEDB88320,
+/// built once at first use.
+const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+cold::Status ErrnoStatus(const std::string& op, const std::string& path) {
+  return cold::Status::IOError(op + " " + path + ": " + std::strerror(errno));
+}
+
+/// write(2) until done, retrying on EINTR.
+cold::Status WriteAllFd(int fd, const char* data, size_t size,
+                        const std::string& path) {
+  size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  return cold::Status::OK();
+}
+
+cold::Status FsyncPath(const std::string& path, int open_flags) {
+  int fd = ::open(path.c_str(), open_flags);
+  if (fd < 0) return ErrnoStatus("open for fsync", path);
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  cold::Status st =
+      rc == 0 ? cold::Status::OK() : ErrnoStatus("fsync", path);
+  ::close(fd);
+  return st;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t crc) {
+  const auto& table = Crc32Table();
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+cold::Status AtomicWriteFile(const std::string& path,
+                             std::string_view contents) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("open", tmp);
+
+  cold::Status st = WriteAllFd(fd, contents.data(), contents.size(), tmp);
+  if (st.ok()) {
+    int rc;
+    do {
+      rc = ::fsync(fd);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) st = ErrnoStatus("fsync", tmp);
+  }
+  if (::close(fd) != 0 && st.ok()) st = ErrnoStatus("close", tmp);
+  if (!st.ok()) {
+    ::unlink(tmp.c_str());
+    return st;
+  }
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    st = ErrnoStatus("rename", tmp + " -> " + path);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+
+  // Make the rename durable: fsync the containing directory.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? std::string(".")
+                          : slash == 0               ? std::string("/")
+                                       : path.substr(0, slash);
+  return FsyncPath(dir, O_RDONLY | O_DIRECTORY);
+}
+
+cold::Result<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("open", path);
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      cold::Status st = ErrnoStatus("read", path);
+      ::close(fd);
+      return st;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+}  // namespace cold

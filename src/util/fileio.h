@@ -1,0 +1,33 @@
+// Durable file I/O primitives for the checkpoint/recovery path: CRC-32
+// integrity checksums and an atomic write protocol (tmp file + fsync +
+// rename + directory fsync) so a crash at any instant leaves either the
+// old file or the complete new file — never a torn write.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace cold {
+
+/// \brief CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant) of `data`,
+/// continuing from `crc` so large buffers can be checksummed in chunks.
+/// Pass 0 to start a fresh checksum.
+uint32_t Crc32(std::string_view data, uint32_t crc = 0);
+
+/// \brief Atomically replaces `path` with `contents`.
+///
+/// Protocol: write to `<path>.tmp.<pid>` in the same directory, fsync the
+/// file, rename over `path`, then fsync the directory so the rename itself
+/// is durable. A reader (or a post-crash restart) therefore sees either the
+/// previous file or the complete new one. The temp file is unlinked on any
+/// failure.
+cold::Status AtomicWriteFile(const std::string& path,
+                             std::string_view contents);
+
+/// \brief Reads the whole file into a string.
+cold::Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace cold

@@ -13,6 +13,16 @@
 
 namespace cold {
 
+/// \brief Serializable snapshot of a RandomSampler: the raw PCG32 state
+/// plus the Box-Muller spare, so a restored sampler continues the exact
+/// draw sequence (the checkpoint layer's bit-identical-resume guarantee).
+struct RngState {
+  uint64_t state = 0;
+  uint64_t inc = 1;
+  bool have_spare_normal = false;
+  double spare_normal = 0.0;
+};
+
 /// \brief PCG32 generator: 64-bit state, 32-bit output, seedable stream id.
 ///
 /// Distinct `stream` values yield statistically independent sequences for the
@@ -38,6 +48,15 @@ class Pcg32 {
   /// Uniform integer in [0, bound) using Lemire's rejection method.
   uint32_t NextBounded(uint32_t bound);
 
+  /// Raw state for checkpoint serialization.
+  uint64_t raw_state() const { return state_; }
+  uint64_t raw_inc() const { return inc_; }
+  /// Restores a generator previously captured via raw_state()/raw_inc().
+  void Restore(uint64_t state, uint64_t inc) {
+    state_ = state;
+    inc_ = inc;
+  }
+
   // UniformRandomBitGenerator interface, so Pcg32 works with <algorithm>.
   using result_type = uint32_t;
   static constexpr result_type min() { return 0; }
@@ -60,6 +79,20 @@ class RandomSampler {
   explicit RandomSampler(Pcg32 rng) : rng_(rng) {}
 
   Pcg32& rng() { return rng_; }
+
+  /// Captures the full sampler state for checkpointing.
+  RngState SaveState() const {
+    return RngState{rng_.raw_state(), rng_.raw_inc(), have_spare_normal_,
+                    spare_normal_};
+  }
+
+  /// Restores a state captured by SaveState(); subsequent draws continue
+  /// the original sequence bit-identically.
+  void RestoreState(const RngState& s) {
+    rng_.Restore(s.state, s.inc);
+    have_spare_normal_ = s.have_spare_normal;
+    spare_normal_ = s.spare_normal;
+  }
 
   /// Uniform double in [0, 1).
   double Uniform() { return rng_.NextDouble(); }

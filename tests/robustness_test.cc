@@ -2,18 +2,23 @@
 // datasets, and boundary configurations must produce clean Status errors or
 // well-defined behaviour, never crashes or silent corruption.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 
 #include "baselines/eutb.h"
 #include "baselines/lda.h"
 #include "baselines/pmtlm.h"
 #include "baselines/tot.h"
+#include "core/checkpoint.h"
 #include "core/cold.h"
 #include "data/serialize.h"
 #include "data/synthetic.h"
 #include "text/tokenizer.h"
+#include "util/fileio.h"
 
 namespace cold {
 namespace {
@@ -25,7 +30,10 @@ namespace fs = std::filesystem;
 class CorruptDatasetTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (fs::temp_directory_path() / "cold_corrupt_test").string();
+    // Pid-suffixed so concurrent ctest processes cannot clobber each other.
+    dir_ = (fs::temp_directory_path() /
+            ("cold_corrupt_test." + std::to_string(::getpid())))
+               .string();
     data::SyntheticConfig config;
     config.num_users = 30;
     config.num_communities = 2;
@@ -261,6 +269,159 @@ TEST(ConfigBoundaryTest, EutbLambdaStaysClamped) {
   ASSERT_TRUE(model.Train().ok());
   EXPECT_GT(model.estimates().lambda_user, 0.0);
   EXPECT_LT(model.estimates().lambda_user, 1.0);
+}
+
+// ---------------------------------------------- checkpoint corruption ----
+//
+// Every corruption flavor must be *detected* (clear IOError, never a crash
+// or silent misparse) and *survivable*: LoadLatest falls back to the next
+// rotation entry when the newest file is damaged.
+
+class CorruptCheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Pid-suffixed so concurrent ctest processes cannot clobber each other.
+    dir_ = (fs::temp_directory_path() /
+            ("cold_corrupt_ckpt_test." + std::to_string(::getpid())))
+               .string();
+    fs::remove_all(dir_);
+    mgr_ = std::make_unique<core::CheckpointManager>(
+        core::CheckpointOptions{dir_, /*every=*/1, /*keep_last=*/3});
+    ASSERT_TRUE(mgr_->Init().ok());
+    // Two healthy rotation entries: sweep 10 (fallback) and sweep 20
+    // (newest, the one the tests damage).
+    for (int sweep : {10, 20}) {
+      core::CheckpointMeta meta;
+      meta.sweep = sweep;
+      meta.data_fingerprint = 42;
+      ASSERT_TRUE(
+          mgr_->Write(meta, "payload for sweep " + std::to_string(sweep))
+              .ok());
+    }
+    newest_ = (fs::path(dir_) / core::CheckpointManager::FileName(20))
+                  .string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string ReadNewest() {
+    return std::move(ReadFileToString(newest_)).ValueOrDie();
+  }
+  void WriteNewest(const std::string& bytes) {
+    std::ofstream out(newest_, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+  /// The corrupted newest file must fail with kIOError on direct read,
+  /// while LoadLatest still recovers the sweep-10 entry.
+  void ExpectDetectedAndFellBack() {
+    auto direct = core::CheckpointManager::ReadFile(newest_);
+    ASSERT_FALSE(direct.ok());
+    EXPECT_EQ(direct.status().code(), StatusCode::kIOError)
+        << direct.status().ToString();
+    EXPECT_FALSE(direct.status().message().empty());
+
+    auto latest = mgr_->LoadLatest();
+    ASSERT_TRUE(latest.ok()) << latest.status().ToString();
+    EXPECT_EQ(latest->meta.sweep, 10);
+    EXPECT_EQ(latest->payload, "payload for sweep 10");
+  }
+
+  std::string dir_;
+  std::string newest_;
+  std::unique_ptr<core::CheckpointManager> mgr_;
+};
+
+TEST_F(CorruptCheckpointTest, TruncatedFileDetectedAndSkipped) {
+  std::string bytes = ReadNewest();
+  WriteNewest(bytes.substr(0, bytes.size() - 7));
+  ExpectDetectedAndFellBack();
+}
+
+TEST_F(CorruptCheckpointTest, TruncatedToPartialHeaderDetected) {
+  WriteNewest(ReadNewest().substr(0, 20));
+  ExpectDetectedAndFellBack();
+}
+
+TEST_F(CorruptCheckpointTest, BitFlippedPayloadDetectedAndSkipped) {
+  std::string bytes = ReadNewest();
+  bytes[bytes.size() - 3] ^= 0x10;  // inside the payload
+  WriteNewest(bytes);
+  ExpectDetectedAndFellBack();
+}
+
+TEST_F(CorruptCheckpointTest, BitFlippedHeaderDetectedAndSkipped) {
+  std::string bytes = ReadNewest();
+  bytes[16] ^= 0x01;  // sweep field, covered by the header CRC
+  WriteNewest(bytes);
+  ExpectDetectedAndFellBack();
+}
+
+TEST_F(CorruptCheckpointTest, WrongMagicDetectedAndSkipped) {
+  std::string bytes = ReadNewest();
+  bytes[0] = 'X';
+  WriteNewest(bytes);
+  ExpectDetectedAndFellBack();
+}
+
+TEST_F(CorruptCheckpointTest, WrongVersionDetectedAndSkipped) {
+  // Flip the version field *and* refresh the header CRC, simulating a
+  // well-formed file from a future format rather than random damage.
+  std::string bytes = ReadNewest();
+  const uint32_t version = 99;
+  std::memcpy(bytes.data() + 8, &version, sizeof version);
+  const uint32_t crc = Crc32(std::string_view(bytes.data(), 44));
+  std::memcpy(bytes.data() + 44, &crc, sizeof crc);
+  WriteNewest(bytes);
+
+  auto direct = core::CheckpointManager::ReadFile(newest_);
+  ASSERT_FALSE(direct.ok());
+  EXPECT_NE(direct.status().message().find("version"), std::string::npos)
+      << direct.status().ToString();
+  ExpectDetectedAndFellBack();
+}
+
+TEST_F(CorruptCheckpointTest, AllEntriesCorruptIsNotFound) {
+  for (const auto& [sweep, path] : mgr_->ListFiles()) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "garbage";
+  }
+  auto latest = mgr_->LoadLatest();
+  ASSERT_FALSE(latest.ok());
+  EXPECT_EQ(latest.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CorruptCheckpointTest, CorruptPayloadRejectedBySamplerToo) {
+  // Belt and braces: even if a damaged payload slipped past the file CRC,
+  // RestoreState's structural validation must refuse it.
+  data::SyntheticConfig config;
+  config.num_users = 20;
+  config.num_communities = 2;
+  config.num_topics = 2;
+  config.num_time_slices = 3;
+  config.core_words_per_topic = 3;
+  config.background_words = 8;
+  config.posts_per_user = 3.0;
+  config.words_per_post = 4.0;
+  config.follows_per_user = 2;
+  auto ds = std::move(data::SyntheticSocialGenerator(config).Generate())
+                .ValueOrDie();
+  core::ColdConfig model;
+  model.num_communities = 2;
+  model.num_topics = 2;
+  model.iterations = 4;
+  model.burn_in = 2;
+  model.sample_lag = 1;
+  core::ColdGibbsSampler sampler(model, ds.posts, &ds.interactions);
+  ASSERT_TRUE(sampler.Init().ok());
+  std::string payload;
+  ASSERT_TRUE(sampler.SerializeState(&payload).ok());
+
+  std::string truncated = payload.substr(0, payload.size() / 2);
+  EXPECT_FALSE(sampler.RestoreState(truncated).ok());
+  // The failed restore must not have clobbered the sampler.
+  std::string after;
+  ASSERT_TRUE(sampler.SerializeState(&after).ok());
+  EXPECT_EQ(after, payload);
 }
 
 }  // namespace

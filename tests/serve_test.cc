@@ -518,6 +518,53 @@ TEST_F(ServeTest, BatchingDisabledStillCorrect) {
               direct.DiffusionProbability(0, 7, words), 1e-9);
 }
 
+TEST(LoadSheddingTest, ExcessConnectionsGet503WithRetryAfter) {
+  HttpServerOptions options;
+  options.num_workers = 2;
+  options.max_inflight_requests = 1;
+  HttpServer server(options, [](const HttpRequest&) {
+    return HttpResponse::Text(200, "{\"ok\": true}", "application/json");
+  });
+  ASSERT_TRUE(server.Start().ok());
+  auto* shed = obs::Registry::Global().GetCounter("cold/serve/shed_total");
+  const int64_t shed_before = shed->Value();
+
+  // The first keep-alive connection occupies the single in-flight slot.
+  HttpClient first;
+  ASSERT_TRUE(first.Connect(server.port()).ok());
+  auto ok = first.Get("/");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->status_code, 200);
+  for (int i = 0; i < 400 && server.active_connections() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(server.active_connections(), 1);
+
+  // The next connection is shed straight from the accept thread: 503 with
+  // a Retry-After hint, and the shed counter ticks.
+  HttpClient second;
+  ASSERT_TRUE(second.Connect(server.port()).ok());
+  auto rejected = second.Get("/");
+  ASSERT_TRUE(rejected.ok()) << rejected.status().ToString();
+  EXPECT_EQ(rejected->status_code, 503);
+  EXPECT_EQ(rejected->headers["retry-after"], "1");
+  EXPECT_EQ(shed->Value() - shed_before, 1);
+
+  // Releasing the slot restores service for new connections.
+  second.Close();
+  first.Close();
+  for (int i = 0; i < 400 && server.active_connections() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(server.active_connections(), 0);
+  HttpClient third;
+  ASSERT_TRUE(third.Connect(server.port()).ok());
+  auto recovered = third.Get("/");
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->status_code, 200);
+  server.Stop();
+}
+
 TEST_F(ServeTest, GracefulShutdownDrainsInFlight) {
   StartServer();
   std::atomic<int> completed{0};

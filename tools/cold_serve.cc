@@ -4,7 +4,11 @@
 //
 // Usage: cold_serve <model> [--port N] [--workers N] [--cache N]
 //                   [--no-batching] [--batch-max N] [--batch-wait-us N]
-//                   [--top-communities N]
+//                   [--top-communities N] [--max-inflight N]
+//
+// --max-inflight enables load shedding: connections beyond N concurrently
+// serviced ones are answered 503 + Retry-After instead of queueing (0 =
+// accept everything; counted by the serve_shed_total metric).
 //
 // Endpoints: POST /v1/diffusion, /v1/topic_posterior, /v1/link,
 // /v1/timestamp; GET /v1/influential_communities, /healthz, /metrics
@@ -39,7 +43,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <model> [--port N=8080] [--workers N=8] "
                "[--cache N=4096] [--no-batching] [--batch-max N=64] "
-               "[--batch-wait-us N=200] [--top-communities N=5]\n",
+               "[--batch-wait-us N=200] [--top-communities N=5] "
+               "[--max-inflight N=0]\n",
                argv0);
   return 2;
 }
@@ -70,6 +75,7 @@ int main(int argc, char** argv) {
   int batch_max = 64;
   int batch_wait_us = 200;
   int top_communities = 5;
+  int max_inflight = 0;
   bool batching = true;
 
   for (int i = 2; i < argc; ++i) {
@@ -91,6 +97,8 @@ int main(int argc, char** argv) {
       if (!next(0, 1000000, &batch_wait_us)) return Usage(argv[0]);
     } else if (std::strcmp(arg, "--top-communities") == 0) {
       if (!next(1, 1 << 20, &top_communities)) return Usage(argv[0]);
+    } else if (std::strcmp(arg, "--max-inflight") == 0) {
+      if (!next(0, 1 << 20, &max_inflight)) return Usage(argv[0]);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg);
       return Usage(argv[0]);
@@ -114,6 +122,7 @@ int main(int argc, char** argv) {
   serve::HttpServerOptions server_options;
   server_options.port = port;
   server_options.num_workers = static_cast<size_t>(workers);
+  server_options.max_inflight_requests = static_cast<size_t>(max_inflight);
   serve::HttpServer server(
       server_options,
       [&service](const serve::HttpRequest& request) {

@@ -3,25 +3,38 @@
 //
 // Usage: cold_train <dataset-dir> <model-out> [C=8] [K=12] [iterations=150]
 //                   [--parallel [nodes=4]] [--metrics-out FILE] [--trace]
+//                   [--checkpoint-dir DIR] [--checkpoint-every N]
+//                   [--checkpoint-keep N] [--resume]
 //
 // --metrics-out writes a JSON array with one telemetry snapshot per sweep
 // (sweep/phase durations, tokens resampled, switch rates, train
 // log-likelihood, engine phase seconds when --parallel); --trace enables
 // the in-memory span ring buffer and prints a span summary after training.
+//
+// --checkpoint-dir enables durable training checkpoints (atomic write,
+// CRC-verified, keep-last-N rotation) every --checkpoint-every sweeps;
+// --resume restarts from the newest usable checkpoint in that directory
+// and continues to a bit-identical final model (see DESIGN.md, "Fault
+// tolerance"). The COLD_FAULT_POINT environment variable (e.g.
+// "after_sweep:25") arms the crash-injection harness used by
+// tools/crashloop_train.sh.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/cold.h"
 #include "core/model_io.h"
 #include "data/serialize.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/fault_injector.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -31,7 +44,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <dataset-dir> <model-out> [C=8] [K=12] "
                "[iterations=150] [--parallel [nodes=4]] "
-               "[--metrics-out FILE] [--trace]\n",
+               "[--metrics-out FILE] [--trace] [--checkpoint-dir DIR] "
+               "[--checkpoint-every N] [--checkpoint-keep N] [--resume]\n",
                argv0);
   return 2;
 }
@@ -60,6 +74,10 @@ struct Args {
   int nodes = 4;
   std::string metrics_out;
   bool trace = false;
+  std::string checkpoint_dir;
+  int checkpoint_every = 10;
+  int checkpoint_keep = 3;
+  bool resume = false;
 };
 
 /// Returns false (after printing the offending token) on any unknown flag
@@ -86,6 +104,26 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->metrics_out = argv[++a];
     } else if (std::strcmp(arg, "--trace") == 0) {
       args->trace = true;
+    } else if (std::strcmp(arg, "--checkpoint-dir") == 0) {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "--checkpoint-dir requires a directory\n");
+        return false;
+      }
+      args->checkpoint_dir = argv[++a];
+    } else if (std::strcmp(arg, "--checkpoint-every") == 0) {
+      if (a + 1 >= argc || !ParsePositiveInt(argv[++a],
+                                             &args->checkpoint_every)) {
+        std::fprintf(stderr, "--checkpoint-every requires a positive int\n");
+        return false;
+      }
+    } else if (std::strcmp(arg, "--checkpoint-keep") == 0) {
+      if (a + 1 >= argc || !ParsePositiveInt(argv[++a],
+                                             &args->checkpoint_keep)) {
+        std::fprintf(stderr, "--checkpoint-keep requires a positive int\n");
+        return false;
+      }
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      args->resume = true;
     } else if (arg[0] == '-' && arg[1] != '\0') {
       std::fprintf(stderr, "unknown flag '%s'\n", arg);
       return false;
@@ -96,6 +134,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   if (positional.size() < 2 || positional.size() > 5) {
     std::fprintf(stderr, "expected 2-5 positional arguments, got %zu\n",
                  positional.size());
+    return false;
+  }
+  if (args->resume && args->checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
     return false;
   }
   args->dataset_dir = positional[0];
@@ -141,6 +183,72 @@ class MetricsSeries {
   std::vector<std::string> snapshots_;
 };
 
+/// Loads the newest usable checkpoint and hands its payload to `restore`.
+/// Returns false on a fatal mismatch (message already printed); an empty
+/// checkpoint directory is not fatal — training simply starts from sweep 0.
+bool TryResume(const cold::core::CheckpointManager& ckpt,
+               cold::core::CheckpointFlavor expected_flavor,
+               uint64_t fingerprint,
+               const std::function<cold::Status(const std::string&)>& restore) {
+  auto loaded_result = ckpt.LoadLatest();
+  if (!loaded_result.ok()) {
+    if (loaded_result.status().code() == cold::StatusCode::kNotFound) {
+      std::printf("no usable checkpoint in %s; starting from sweep 0\n",
+                  ckpt.options().dir.c_str());
+      return true;
+    }
+    std::fprintf(stderr, "resume: %s\n",
+                 loaded_result.status().ToString().c_str());
+    return false;
+  }
+  cold::core::LoadedCheckpoint loaded = std::move(loaded_result).ValueOrDie();
+  if (loaded.meta.flavor != expected_flavor) {
+    std::fprintf(stderr,
+                 "resume: %s was written by the %s trainer; resume with the "
+                 "same mode it was trained with\n",
+                 loaded.path.c_str(),
+                 loaded.meta.flavor == cold::core::CheckpointFlavor::kParallel
+                     ? "--parallel"
+                     : "serial");
+    return false;
+  }
+  if (loaded.meta.data_fingerprint != fingerprint) {
+    std::fprintf(stderr,
+                 "resume: %s was written for a different dataset\n",
+                 loaded.path.c_str());
+    return false;
+  }
+  if (auto st = restore(loaded.payload); !st.ok()) {
+    std::fprintf(stderr, "resume: %s\n", st.ToString().c_str());
+    return false;
+  }
+  std::printf("resumed from %s (sweep %d)\n", loaded.path.c_str(),
+              loaded.meta.sweep);
+  return true;
+}
+
+/// Serializes the trainer and writes one rotation entry. Checkpoint
+/// failures are logged, not fatal: training should survive a full or
+/// flaky disk and still produce a model.
+void WriteCheckpoint(
+    const cold::core::CheckpointManager& ckpt,
+    cold::core::CheckpointFlavor flavor, int sweep, uint64_t fingerprint,
+    const std::function<cold::Status(std::string*)>& serialize) {
+  std::string payload;
+  cold::Status st = serialize(&payload);
+  if (st.ok()) {
+    cold::core::CheckpointMeta meta;
+    meta.flavor = flavor;
+    meta.sweep = sweep;
+    meta.data_fingerprint = fingerprint;
+    st = ckpt.Write(meta, payload);
+  }
+  if (!st.ok()) {
+    COLD_LOG(kWarning) << "checkpoint at sweep " << sweep
+                       << " failed: " << st.message();
+  }
+}
+
 /// Prints each trace-span family's count/total/mean from the registry.
 void PrintSpanSummary() {
   cold::obs::TelemetrySnapshot snapshot =
@@ -162,6 +270,10 @@ int main(int argc, char** argv) {
   using namespace cold;
   Args args;
   if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
+
+  // Arms the crash-injection harness when COLD_FAULT_POINT is set (no-op
+  // otherwise); used by tools/crashloop_train.sh and the recovery tests.
+  FaultInjector::Global().ConfigureFromEnv();
 
   if (args.trace) obs::TraceRing::Enable(8192);
 
@@ -189,6 +301,17 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  core::CheckpointManager ckpt(
+      {args.checkpoint_dir, args.checkpoint_every, args.checkpoint_keep});
+  uint64_t fingerprint = 0;
+  if (!args.checkpoint_dir.empty()) {
+    if (auto st = ckpt.Init(); !st.ok()) {
+      std::fprintf(stderr, "checkpoint: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    fingerprint = core::DataFingerprint(dataset.posts, &dataset.interactions);
+  }
+
   MetricsSeries series;
   Stopwatch watch;
   core::ColdEstimates estimates;
@@ -201,8 +324,23 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "init: %s\n", st.ToString().c_str());
       return 1;
     }
-    if (!args.metrics_out.empty()) {
-      trainer.SetSuperstepCallback([&](int sweep) { series.Record(sweep); });
+    if (args.resume &&
+        !TryResume(ckpt, core::CheckpointFlavor::kParallel, fingerprint,
+                   [&](const std::string& p) {
+                     return trainer.RestoreState(p);
+                   })) {
+      return 1;
+    }
+    if (!args.metrics_out.empty() || ckpt.enabled()) {
+      trainer.SetSuperstepCallback([&](int sweep) {
+        if (!args.metrics_out.empty()) series.Record(sweep);
+        if (ckpt.ShouldCheckpoint(sweep)) {
+          WriteCheckpoint(ckpt, core::CheckpointFlavor::kParallel, sweep,
+                          fingerprint, [&](std::string* out) {
+                            return trainer.SerializeState(out);
+                          });
+        }
+      });
     }
     if (auto st = trainer.Train(); !st.ok()) {
       std::fprintf(stderr, "train: %s\n", st.ToString().c_str());
@@ -220,15 +358,30 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "init: %s\n", st.ToString().c_str());
       return 1;
     }
-    if (!args.metrics_out.empty()) {
+    if (args.resume &&
+        !TryResume(ckpt, core::CheckpointFlavor::kSerial, fingerprint,
+                   [&](const std::string& p) {
+                     return sampler.RestoreState(p);
+                   })) {
+      return 1;
+    }
+    if (!args.metrics_out.empty() || ckpt.enabled()) {
       // Refresh the train-LL gauge every sweep so each snapshot carries the
       // convergence trajectory (§4.3). This costs an extra likelihood pass
       // per sweep — metrics collection is opt-in for exactly this reason.
       obs::Gauge* ll_gauge = obs::Registry::Global().GetGauge(
           "cold/gibbs/train_log_likelihood");
       sampler.SetSweepCallback([&](int sweep) {
-        ll_gauge->Set(sampler.TrainingLogLikelihood());
-        series.Record(sweep);
+        if (!args.metrics_out.empty()) {
+          ll_gauge->Set(sampler.TrainingLogLikelihood());
+          series.Record(sweep);
+        }
+        if (ckpt.ShouldCheckpoint(sweep)) {
+          WriteCheckpoint(ckpt, core::CheckpointFlavor::kSerial, sweep,
+                          fingerprint, [&](std::string* out) {
+                            return sampler.SerializeState(out);
+                          });
+        }
       });
     }
     if (auto st = sampler.Train(); !st.ok()) {

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Crash/recovery acceptance check for fault-tolerant training:
+#
+#   cold_generate -> clean train (reference model)
+#                 -> train again, SIGKILL'd mid-run via COLD_FAULT_POINT
+#                 -> resume from the newest checkpoint
+#                 -> resumed model must be byte-identical to the reference
+#
+# A second leg corrupts the newest checkpoint (truncation) before resuming:
+# the loader must detect it, fall back to the previous rotation entry, and
+# still converge to the byte-identical model.
+#
+# Usage: tools/crashloop_train.sh [build-dir] [iterations] [crash-sweep]
+#        crash-sweep defaults to a random sweep in the middle of the run.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+ITERATIONS="${2:-40}"
+CRASH_SWEEP="${3:-$(( (RANDOM % (ITERATIONS / 2)) + ITERATIONS / 4 ))}"
+C=4
+K=6
+WORK_DIR="$(mktemp -d /tmp/cold_crashloop.XXXXXX)"
+CKPT_DIR="${WORK_DIR}/ckpt"
+
+cleanup() { rm -rf "${WORK_DIR}"; }
+trap cleanup EXIT
+
+die() { echo "FAIL: $*" >&2; exit 1; }
+
+for bin in cold_generate cold_train; do
+  [[ -x "${BUILD_DIR}/tools/${bin}" ]] \
+    || die "missing ${BUILD_DIR}/tools/${bin} (build the project first)"
+done
+(( CRASH_SWEEP >= 1 && CRASH_SWEEP < ITERATIONS )) \
+  || die "crash sweep ${CRASH_SWEEP} outside training schedule"
+
+echo "== generate dataset (crash at sweep ${CRASH_SWEEP}/${ITERATIONS}) =="
+"${BUILD_DIR}/tools/cold_generate" "${WORK_DIR}/data" 120 "${C}" "${K}" 8 \
+  || die "cold_generate"
+
+echo "== clean reference run =="
+"${BUILD_DIR}/tools/cold_train" "${WORK_DIR}/data" \
+  "${WORK_DIR}/model_clean.bin" "${C}" "${K}" "${ITERATIONS}" \
+  || die "clean train"
+
+echo "== kill -9 mid-training =="
+set +e
+COLD_FAULT_POINT="after_sweep:${CRASH_SWEEP}" \
+  "${BUILD_DIR}/tools/cold_train" "${WORK_DIR}/data" \
+  "${WORK_DIR}/model_crashed.bin" "${C}" "${K}" "${ITERATIONS}" \
+  --checkpoint-dir "${CKPT_DIR}" --checkpoint-every 1 --checkpoint-keep 3
+CRASH_CODE=$?
+set -e
+[[ "${CRASH_CODE}" -eq 137 ]] \
+  || die "expected SIGKILL exit 137, got ${CRASH_CODE}"
+[[ ! -e "${WORK_DIR}/model_crashed.bin" ]] \
+  || die "crashed run must not have written a model"
+NEWEST="$(ls "${CKPT_DIR}"/ckpt-*.cold | sort | tail -n1)"
+[[ -n "${NEWEST}" ]] || die "no checkpoint survived the crash"
+echo "  killed at sweep ${CRASH_SWEEP}; newest checkpoint: ${NEWEST##*/}"
+
+echo "== resume and compare =="
+"${BUILD_DIR}/tools/cold_train" "${WORK_DIR}/data" \
+  "${WORK_DIR}/model_resumed.bin" "${C}" "${K}" "${ITERATIONS}" \
+  --checkpoint-dir "${CKPT_DIR}" --checkpoint-every 1 --checkpoint-keep 3 \
+  --resume >"${WORK_DIR}/resume.log" 2>&1 || die "resume train"
+grep -q "resumed from" "${WORK_DIR}/resume.log" \
+  || die "resume did not report a checkpoint"
+cmp "${WORK_DIR}/model_clean.bin" "${WORK_DIR}/model_resumed.bin" \
+  || die "resumed model differs from the clean run"
+echo "  resumed model is byte-identical to the clean run"
+
+echo "== corrupt newest checkpoint, resume must fall back =="
+NEWEST="$(ls "${CKPT_DIR}"/ckpt-*.cold | sort | tail -n1)"
+truncate -s -8 "${NEWEST}"
+"${BUILD_DIR}/tools/cold_train" "${WORK_DIR}/data" \
+  "${WORK_DIR}/model_fallback.bin" "${C}" "${K}" "${ITERATIONS}" \
+  --checkpoint-dir "${CKPT_DIR}" --checkpoint-every 1 --checkpoint-keep 3 \
+  --resume >"${WORK_DIR}/fallback.log" 2>&1 || die "fallback resume train"
+grep -q "skipping unusable checkpoint" "${WORK_DIR}/fallback.log" \
+  || die "loader did not report the corrupt checkpoint"
+grep -q "resumed from" "${WORK_DIR}/fallback.log" \
+  || die "fallback resume did not report a checkpoint"
+cmp "${WORK_DIR}/model_clean.bin" "${WORK_DIR}/model_fallback.bin" \
+  || die "fallback-resumed model differs from the clean run"
+echo "  corrupt checkpoint skipped; fallback model is byte-identical"
+
+echo "PASS: crashloop train check complete"
