@@ -31,6 +31,9 @@ int main() {
       data::PostSplit split = data::SplitPosts(dataset.posts, 0.2, 71, fold);
 
       core::ColdConfig cc = bench::BenchColdConfig(8, num_topics);
+      // Dataset-wide vocab: held-out posts carry word ids the training
+      // split never saw, and the predictor rejects ids >= V.
+      cc.vocab_size = static_cast<int>(dataset.vocabulary.size());
       core::ColdEstimates est =
           bench::TrainCold(cc, split.train, &dataset.interactions);
       cold_perp += core::ColdPredictor(est).Perplexity(split.test);

@@ -37,9 +37,12 @@ int main() {
   for (int fold = 0; fold < folds; ++fold) {
     data::PostSplit split = data::SplitPosts(dataset.posts, 0.2, 77, fold);
 
-    core::ColdEstimates est = bench::TrainCold(
-        bench::BenchColdConfig(8, num_topics), split.train,
-        &dataset.interactions);
+    // Dataset-wide vocab: held-out posts carry word ids the training split
+    // never saw, and the predictor rejects ids >= V.
+    core::ColdConfig cold_config = bench::BenchColdConfig(8, num_topics);
+    cold_config.vocab_size = static_cast<int>(dataset.vocabulary.size());
+    core::ColdEstimates est =
+        bench::TrainCold(cold_config, split.train, &dataset.interactions);
     core::ColdPredictor predictor(est);
     add(&cold_curve,
         bench::TimestampCurve(
@@ -50,6 +53,7 @@ int main() {
             max_tolerance));
 
     core::ColdConfig nolink_config = bench::BenchColdConfig(8, num_topics);
+    nolink_config.vocab_size = static_cast<int>(dataset.vocabulary.size());
     nolink_config.use_network = false;
     core::ColdEstimates est_nolink =
         bench::TrainCold(nolink_config, split.train, nullptr);

@@ -33,8 +33,10 @@ int main() {
     report("COLD", seconds);
   }
   {
+    // Same config as the serial run above — a burn_in override here would
+    // give the parallel trainer a different schedule and skew the
+    // comparison.
     core::ColdConfig config = bench::BenchColdConfig(8, 12, iterations);
-    config.burn_in = 0;
     engine::EngineOptions options;
     options.num_nodes = 8;
     core::ParallelColdTrainer trainer(config, dataset.posts,

@@ -1,0 +1,339 @@
+// Persistent throughput benchmark for the collapsed Gibbs hot path
+// (tentpole of the sampler-performance PR; DESIGN.md §9).
+//
+// Measures, at two data scales:
+//   - the topic kernel in isolation: the lgamma-collapsed TopicLogWeights
+//     vs a per-token-log reference evaluated over every post, with the
+//     max-abs log-weight disagreement (guard: they must agree to ~1e-9);
+//   - serial full sweeps: per-sweep seconds, tokens/sec, links/sec series;
+//   - the parallel trainer: per-superstep seconds and tokens/sec series.
+//
+// Results land as JSON in --out (default BENCH_sampler.json) so runs can
+// be diffed across commits. --smoke shrinks everything to seconds of
+// runtime, re-parses the emitted JSON and fails (exit 1) unless it is
+// well-formed with positive throughput — wired up as the `bench_smoke`
+// ctest.
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common.h"
+#include "core/parallel_sampler.h"
+#include "serve/json.h"
+#include "util/math_util.h"
+
+namespace {
+
+using namespace cold;
+
+/// Per-token-log reference for Eq. (3), matching the pre-optimization
+/// kernel: every community/time term is a live std::log and the word and
+/// length Dirichlet-multinomial terms are explicit ascending-factorial
+/// loops. Evaluated against the sampler's current counters (including post
+/// d), exactly like ColdGibbsSampler::TopicLogWeights.
+void BaselineTopicLogWeights(const core::ColdGibbsSampler& sampler,
+                             const text::PostStore& posts, text::PostId d,
+                             int community, std::span<double> log_weights) {
+  const core::ColdState& state = sampler.state();
+  const core::ColdConfig& config = sampler.config();
+  const int K = config.num_topics;
+  const int T = posts.num_time_slices();
+  const int V = state.V();
+  const double alpha = config.ResolvedAlpha();
+  const double beta = config.beta;
+  const double epsilon = config.epsilon;
+  const int t = posts.time(d);
+  const int len = posts.length(d);
+  auto word_counts = posts.WordCounts(d);
+
+  for (int k = 0; k < K; ++k) {
+    double lw = std::log(state.n_ck(community, k) + alpha) +
+                std::log(state.n_ckt(community, k, t) + epsilon) -
+                std::log(state.n_ck(community, k) + T * epsilon);
+    for (const auto& [w, cnt] : word_counts) {
+      double base = state.n_kv(k, w) + beta;
+      for (int q = 0; q < cnt; ++q) lw += std::log(base + q);
+    }
+    double denom = state.n_k(k) + V * beta;
+    for (int q = 0; q < len; ++q) lw -= std::log(denom + q);
+    log_weights[static_cast<size_t>(k)] = lw;
+  }
+}
+
+struct KernelResult {
+  double optimized_tokens_per_sec = 0.0;
+  double baseline_tokens_per_sec = 0.0;
+  double speedup = 0.0;
+  double max_abs_diff = 0.0;
+};
+
+/// Times one full pass of the topic kernel over every post (x `reps`),
+/// optimized vs baseline, and records the worst log-weight disagreement.
+KernelResult BenchKernel(core::ColdGibbsSampler* sampler,
+                         const text::PostStore& posts, int reps) {
+  const int K = sampler->config().num_topics;
+  std::vector<double> lw_opt(static_cast<size_t>(K));
+  std::vector<double> lw_ref(static_cast<size_t>(K));
+  int64_t tokens = 0;
+  for (text::PostId d = 0; d < posts.num_posts(); ++d) {
+    tokens += posts.length(d);
+  }
+
+  KernelResult result;
+  // Checksums defeat dead-code elimination of the timed loops.
+  double sink = 0.0;
+  double opt_seconds = 0.0, ref_seconds = 0.0;
+  {
+    ScopedTimer timer(opt_seconds);
+    for (int r = 0; r < reps; ++r) {
+      for (text::PostId d = 0; d < posts.num_posts(); ++d) {
+        int c = sampler->state().post_community[static_cast<size_t>(d)];
+        sampler->TopicLogWeights(d, c, lw_opt);
+        sink += lw_opt[0];
+      }
+    }
+  }
+  {
+    ScopedTimer timer(ref_seconds);
+    for (int r = 0; r < reps; ++r) {
+      for (text::PostId d = 0; d < posts.num_posts(); ++d) {
+        int c = sampler->state().post_community[static_cast<size_t>(d)];
+        BaselineTopicLogWeights(*sampler, posts, d, c, lw_ref);
+        sink += lw_ref[0];
+      }
+    }
+  }
+  for (text::PostId d = 0; d < posts.num_posts(); ++d) {
+    int c = sampler->state().post_community[static_cast<size_t>(d)];
+    sampler->TopicLogWeights(d, c, lw_opt);
+    BaselineTopicLogWeights(*sampler, posts, d, c, lw_ref);
+    for (int k = 0; k < K; ++k) {
+      result.max_abs_diff = std::max(
+          result.max_abs_diff,
+          std::abs(lw_opt[static_cast<size_t>(k)] -
+                   lw_ref[static_cast<size_t>(k)]));
+    }
+  }
+  if (sink == 12345.6789) std::printf(" ");  // keep `sink` observable
+  double total = static_cast<double>(tokens) * reps;
+  if (opt_seconds > 0.0) result.optimized_tokens_per_sec = total / opt_seconds;
+  if (ref_seconds > 0.0) result.baseline_tokens_per_sec = total / ref_seconds;
+  if (result.baseline_tokens_per_sec > 0.0) {
+    result.speedup =
+        result.optimized_tokens_per_sec / result.baseline_tokens_per_sec;
+  }
+  return result;
+}
+
+serve::Json ToJsonArray(const std::vector<double>& values) {
+  serve::Json arr = serve::Json::MakeArray();
+  for (double v : values) arr.Append(v);
+  return arr;
+}
+
+/// One benchmark scale: dataset size multiplier + sweep/superstep counts.
+struct Scale {
+  const char* name;
+  double data_scale;   // multiplies BenchDataConfig user count
+  int serial_sweeps;
+  int parallel_supersteps;
+  int kernel_reps;
+};
+
+serve::Json RunScale(const Scale& scale) {
+  data::SyntheticConfig data_config = bench::BenchDataConfig();
+  data_config.num_users =
+      std::max(20, static_cast<int>(data_config.num_users * scale.data_scale));
+  data::SocialDataset dataset = bench::GenerateBenchData(data_config);
+  int64_t tokens = 0;
+  for (text::PostId d = 0; d < dataset.posts.num_posts(); ++d) {
+    tokens += dataset.posts.length(d);
+  }
+
+  core::ColdConfig config = bench::BenchColdConfig(8, 12, /*iterations=*/200);
+  config.vocab_size = dataset.vocabulary.size();
+
+  serve::Json out = serve::Json::MakeObject();
+  out.Set("name", scale.name);
+  out.Set("num_posts", dataset.posts.num_posts());
+  out.Set("num_links", static_cast<int64_t>(dataset.interactions.num_edges()));
+  out.Set("tokens", tokens);
+
+  // Serial: warm-up sweeps (so the counters reflect a burnt-in state, not
+  // the uniform random init), then timed sweeps.
+  core::ColdGibbsSampler sampler(config, dataset.posts, &dataset.interactions);
+  if (auto st = sampler.Init(); !st.ok()) {
+    std::fprintf(stderr, "init: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  const int warmup = std::max(1, scale.serial_sweeps / 4);
+  for (int i = 0; i < warmup; ++i) sampler.RunIteration();
+
+  serve::Json kernel = serve::Json::MakeObject();
+  KernelResult kr = BenchKernel(&sampler, dataset.posts, scale.kernel_reps);
+  kernel.Set("optimized_tokens_per_sec", kr.optimized_tokens_per_sec);
+  kernel.Set("baseline_tokens_per_sec", kr.baseline_tokens_per_sec);
+  kernel.Set("speedup", kr.speedup);
+  kernel.Set("max_abs_log_weight_diff", kr.max_abs_diff);
+  out.Set("kernel", kernel);
+  std::printf(
+      "%-8s kernel: %.3g tok/s optimized, %.3g tok/s baseline "
+      "(%.2fx, max |dlw| %.2e)\n",
+      scale.name, kr.optimized_tokens_per_sec, kr.baseline_tokens_per_sec,
+      kr.speedup, kr.max_abs_diff);
+
+  std::vector<double> sweep_seconds, tokens_per_sec, links_per_sec;
+  for (int i = 0; i < scale.serial_sweeps; ++i) {
+    double seconds = 0.0;
+    {
+      ScopedTimer timer(seconds);
+      sampler.RunIteration();
+    }
+    sweep_seconds.push_back(seconds);
+    if (seconds > 0.0) {
+      tokens_per_sec.push_back(static_cast<double>(tokens) / seconds);
+      links_per_sec.push_back(
+          static_cast<double>(dataset.interactions.num_edges()) / seconds);
+    }
+  }
+  serve::Json serial = serve::Json::MakeObject();
+  serial.Set("sweep_seconds", ToJsonArray(sweep_seconds));
+  serial.Set("tokens_per_second", ToJsonArray(tokens_per_sec));
+  serial.Set("links_per_second", ToJsonArray(links_per_sec));
+  out.Set("serial", serial);
+  std::printf("%-8s serial: %.3g tok/s, %.3g links/s over %zu sweeps\n",
+              scale.name,
+              tokens_per_sec.empty() ? 0.0 : Mean(tokens_per_sec),
+              links_per_sec.empty() ? 0.0 : Mean(links_per_sec),
+              sweep_seconds.size());
+
+  // Parallel: wall-clock per superstep on the multi-threaded GAS engine.
+  core::ColdConfig parallel_config = config;
+  parallel_config.iterations = scale.parallel_supersteps;
+  parallel_config.burn_in = std::max(0, scale.parallel_supersteps - 1);
+  engine::EngineOptions options;
+  options.num_nodes = 4;
+  core::ParallelColdTrainer trainer(parallel_config, dataset.posts,
+                                    &dataset.interactions, options);
+  if (auto st = trainer.Init(); !st.ok()) {
+    std::fprintf(stderr, "parallel init: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  std::vector<double> superstep_seconds, parallel_tokens_per_sec;
+  Stopwatch superstep_watch;
+  trainer.SetSuperstepCallback([&](int) {
+    double seconds = superstep_watch.ElapsedSeconds();
+    superstep_watch.Restart();
+    superstep_seconds.push_back(seconds);
+    if (seconds > 0.0) {
+      parallel_tokens_per_sec.push_back(static_cast<double>(tokens) / seconds);
+    }
+  });
+  if (auto st = trainer.Train(); !st.ok()) {
+    std::fprintf(stderr, "parallel train: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  serve::Json parallel = serve::Json::MakeObject();
+  parallel.Set("superstep_seconds", ToJsonArray(superstep_seconds));
+  parallel.Set("tokens_per_second", ToJsonArray(parallel_tokens_per_sec));
+  out.Set("parallel", parallel);
+  std::printf("%-8s parallel: %.3g tok/s over %zu supersteps\n", scale.name,
+              parallel_tokens_per_sec.empty() ? 0.0
+                                              : Mean(parallel_tokens_per_sec),
+              superstep_seconds.size());
+  return out;
+}
+
+/// Smoke validation: the emitted file must parse as JSON with the expected
+/// shape and strictly positive kernel + sweep throughput.
+bool ValidateJson(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "smoke: cannot reopen %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = serve::Json::Parse(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "smoke: invalid JSON: %s\n",
+                 parsed.status().ToString().c_str());
+    return false;
+  }
+  const serve::Json& root = parsed.ValueOrDie();
+  const serve::Json* scales = root.Find("scales");
+  if (scales == nullptr || !scales->is_array() || scales->as_array().empty()) {
+    std::fprintf(stderr, "smoke: missing scales array\n");
+    return false;
+  }
+  for (const serve::Json& scale : scales->as_array()) {
+    const serve::Json* kernel = scale.Find("kernel");
+    const serve::Json* serial = scale.Find("serial");
+    if (kernel == nullptr || serial == nullptr) {
+      std::fprintf(stderr, "smoke: scale missing kernel/serial\n");
+      return false;
+    }
+    const serve::Json* opt = kernel->Find("optimized_tokens_per_sec");
+    if (opt == nullptr || !opt->is_number() || !(opt->as_number() > 0.0)) {
+      std::fprintf(stderr, "smoke: kernel tokens/sec not > 0\n");
+      return false;
+    }
+    const serve::Json* tps = serial->Find("tokens_per_second");
+    if (tps == nullptr || !tps->is_array() || tps->as_array().empty() ||
+        !(tps->as_array()[0].as_number() > 0.0)) {
+      std::fprintf(stderr, "smoke: serial tokens/sec series not > 0\n");
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cold;
+  bench::QuietLogs();
+
+  std::string out_path = "BENCH_sampler.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out FILE]\n", argv[0]);
+      return 1;
+    }
+  }
+  bench::PrintHeader("Sampler hot path: tokens/sec and sweep seconds");
+
+  std::vector<Scale> scales;
+  if (smoke) {
+    scales.push_back({"smoke", 0.05, 3, 2, 1});
+  } else {
+    scales.push_back({"small", 0.25, 12, 6, 3});
+    scales.push_back({"medium", 1.0, 8, 4, 2});
+  }
+
+  serve::Json root = serve::Json::MakeObject();
+  root.Set("bench", "sampler_hotpath");
+  serve::Json scale_array = serve::Json::MakeArray();
+  for (const Scale& scale : scales) scale_array.Append(RunScale(scale));
+  root.Set("scales", scale_array);
+
+  {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << root.Dump() << "\n";
+  }
+  std::printf("results written to %s\n", out_path.c_str());
+
+  if (smoke && !ValidateJson(out_path)) return 1;
+  bench::DumpTelemetryIfRequested();
+  return 0;
+}

@@ -501,6 +501,8 @@ cold::Status ColdGibbsSampler::RestoreState(const std::string& payload) {
   *state_ = std::move(restored);
   sampler_.RestoreState(rng);
   lambda0_ = lambda0;
+  // The derived-value caches are functions of the counters just swapped in.
+  RebuildDerivedTables();
   accumulated_ = std::move(accumulated);
   num_accumulated_ = num_accumulated;
   iterations_run_ = iterations_run;

@@ -28,6 +28,9 @@ cold::Status ColdConfig::Validate() const {
   if (top_communities < 1) {
     return cold::Status::InvalidArgument("top_communities must be >= 1");
   }
+  if (vocab_size < 0) {
+    return cold::Status::InvalidArgument("vocab_size must be >= 0");
+  }
   return cold::Status::OK();
 }
 

@@ -57,6 +57,14 @@ struct ColdConfig {
   /// |TopComm(i)| for the diffusion predictor (§5.2; the paper uses 5).
   int top_communities = 5;
 
+  /// V: vocabulary size. 0 (the default) derives it as max-word-id + 1
+  /// over the training posts — which silently under-sizes n_kv / phi when
+  /// a held-out split contains higher word ids than the train split, so
+  /// callers holding the dataset-wide Vocabulary should pass its size()
+  /// here. Training fails with InvalidArgument if a post contains a word
+  /// id >= an explicit vocab_size.
+  int vocab_size = 0;
+
   LinkSampling link_sampling = LinkSampling::kAuto;
 
   /// When true (default), the eta point estimate divides the block's link

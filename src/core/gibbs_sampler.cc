@@ -28,6 +28,8 @@ struct GibbsMetrics {
   obs::Gauge* community_switch_rate;
   obs::Gauge* topic_switch_rate;
   obs::Gauge* train_log_likelihood;
+  obs::Gauge* tokens_per_second;
+  obs::Gauge* links_per_second;
 };
 
 GibbsMetrics& Metrics() {
@@ -41,7 +43,9 @@ GibbsMetrics& Metrics() {
       registry.GetGauge("cold/gibbs/phase_seconds", {{"phase", "link"}}),
       registry.GetGauge("cold/gibbs/community_switch_rate"),
       registry.GetGauge("cold/gibbs/topic_switch_rate"),
-      registry.GetGauge("cold/gibbs/train_log_likelihood")};
+      registry.GetGauge("cold/gibbs/train_log_likelihood"),
+      registry.GetGauge("cold/gibbs/tokens_per_second"),
+      registry.GetGauge("cold/gibbs/links_per_second")};
   return metrics;
 }
 
@@ -83,10 +87,23 @@ cold::Status ColdGibbsSampler::Init() {
                  ? ComputeLambda0(config_, posts_.num_users(), num_links)
                  : config_.lambda1;
 
-  // Vocab size: the store records word ids only; size = max id + 1.
-  int vocab = 0;
+  // Vocab size: config_.vocab_size when the caller supplied the
+  // dataset-wide vocabulary; otherwise derived as max-word-id + 1 over the
+  // *training* posts — which under-sizes n_kv/phi when a held-out split
+  // holds higher word ids, so callers with a Vocabulary should set it.
+  int max_word = 0;
   for (text::PostId d = 0; d < posts_.num_posts(); ++d) {
-    for (text::WordId w : posts_.words(d)) vocab = std::max(vocab, w + 1);
+    for (text::WordId w : posts_.words(d)) max_word = std::max(max_word, w + 1);
+  }
+  int vocab = max_word;
+  if (config_.vocab_size > 0) {
+    if (max_word > config_.vocab_size) {
+      return cold::Status::InvalidArgument(
+          "vocab_size " + std::to_string(config_.vocab_size) +
+          " is smaller than max word id + 1 (" + std::to_string(max_word) +
+          ")");
+    }
+    vocab = config_.vocab_size;
   }
 
   state_ = std::make_unique<ColdState>(posts_.num_users(), C, K,
@@ -95,6 +112,8 @@ cold::Status ColdGibbsSampler::Init() {
   weights_c_.resize(static_cast<size_t>(C));
   log_weights_k_.resize(static_cast<size_t>(K));
   weights_joint_.resize(static_cast<size_t>(C) * C);
+  link_src_weights_.resize(static_cast<size_t>(C));
+  link_dst_weights_.resize(static_cast<size_t>(C));
 
   // Random initialization, counters built incrementally.
   for (text::PostId d = 0; d < posts_.num_posts(); ++d) {
@@ -120,11 +139,80 @@ cold::Status ColdGibbsSampler::Init() {
       state_->n_cc(s, s2)++;
     }
   }
+  RebuildDerivedTables();
   accumulated_.reset();
   num_accumulated_ = 0;
   iterations_run_ = 0;
   initialized_ = true;
   return cold::Status::OK();
+}
+
+void ColdGibbsSampler::RebuildDerivedTables() {
+  const int C = config_.num_communities;
+  const int K = config_.num_topics;
+  const int T = posts_.num_time_slices();
+  const int V = state_->V();
+  const double alpha = config_.ResolvedAlpha();
+  const double epsilon = config_.epsilon;
+  const double beta = config_.beta;
+  const double teps = T * epsilon;
+  const double vbeta = V * beta;
+
+  log_nck_alpha_.resize(static_cast<size_t>(C) * K);
+  log_nck_teps_.resize(static_cast<size_t>(C) * K);
+  log_nckt_eps_.resize(static_cast<size_t>(C) * K * T);
+  for (int c = 0; c < C; ++c) {
+    for (int k = 0; k < K; ++k) {
+      size_t ck = static_cast<size_t>(c) * K + k;
+      log_nck_alpha_[ck] = std::log(state_->n_ck(c, k) + alpha);
+      log_nck_teps_[ck] = std::log(state_->n_ck(c, k) + teps);
+      for (int t = 0; t < T; ++t) {
+        log_nckt_eps_[ck * T + t] = std::log(state_->n_ckt(c, k, t) + epsilon);
+      }
+    }
+  }
+  log_nkv_beta_.resize(static_cast<size_t>(K) * V);
+  lgamma_nk_vbeta_.resize(static_cast<size_t>(K));
+  for (int k = 0; k < K; ++k) {
+    for (int v = 0; v < V; ++v) {
+      log_nkv_beta_[static_cast<size_t>(k) * V + v] =
+          std::log(state_->n_kv(k, v) + beta);
+    }
+    lgamma_nk_vbeta_[static_cast<size_t>(k)] =
+        cold::LGamma(state_->n_k(k) + vbeta);
+  }
+  w_link_.resize(static_cast<size_t>(C) * C);
+  for (int c = 0; c < C; ++c) {
+    for (int c2 = 0; c2 < C; ++c2) RefreshLinkDerived(c, c2);
+  }
+}
+
+void ColdGibbsSampler::RefreshPostDerived(int c, int k, int t,
+                                          std::span<const text::WordId> words) {
+  if (log_nck_alpha_.empty()) return;  // Init() builds tables afterwards.
+  const int K = config_.num_topics;
+  const int T = posts_.num_time_slices();
+  const int V = state_->V();
+  const size_t ck = static_cast<size_t>(c) * K + k;
+  log_nck_alpha_[ck] = std::log(state_->n_ck(c, k) + config_.ResolvedAlpha());
+  log_nck_teps_[ck] = std::log(state_->n_ck(c, k) + T * config_.epsilon);
+  log_nckt_eps_[ck * T + t] =
+      std::log(state_->n_ckt(c, k, t) + config_.epsilon);
+  // Duplicate words recompute the same entry; posts are short, and the
+  // recompute is idempotent.
+  for (text::WordId w : words) {
+    log_nkv_beta_[static_cast<size_t>(k) * V + w] =
+        std::log(state_->n_kv(k, w) + config_.beta);
+  }
+  lgamma_nk_vbeta_[static_cast<size_t>(k)] =
+      cold::LGamma(state_->n_k(k) + V * config_.beta);
+}
+
+void ColdGibbsSampler::RefreshLinkDerived(int c, int c2) {
+  const int C = config_.num_communities;
+  double n = state_->n_cc(c, c2);
+  w_link_[static_cast<size_t>(c) * C + c2] =
+      (n + config_.lambda1) / (n + lambda0_ + config_.lambda1);
 }
 
 void ColdGibbsSampler::RemovePost(text::PostId d) {
@@ -138,6 +226,7 @@ void ColdGibbsSampler::RemovePost(text::PostId d) {
   state_->n_ckt(c, k, posts_.time(d))--;
   for (text::WordId w : posts_.words(d)) state_->n_kv(k, w)--;
   state_->n_k(k) -= posts_.length(d);
+  RefreshPostDerived(c, k, posts_.time(d), posts_.words(d));
 }
 
 void ColdGibbsSampler::AddPost(text::PostId d) {
@@ -151,6 +240,7 @@ void ColdGibbsSampler::AddPost(text::PostId d) {
   state_->n_ckt(c, k, posts_.time(d))++;
   for (text::WordId w : posts_.words(d)) state_->n_kv(k, w)++;
   state_->n_k(k) += posts_.length(d);
+  RefreshPostDerived(c, k, posts_.time(d), posts_.words(d));
 }
 
 void ColdGibbsSampler::SamplePostCommunity(text::PostId d) {
@@ -177,34 +267,48 @@ void ColdGibbsSampler::SamplePostCommunity(text::PostId d) {
       static_cast<int32_t>(sampler_.Categorical(weights_c_));
 }
 
-void ColdGibbsSampler::SamplePostTopic(text::PostId d) {
+void ColdGibbsSampler::TopicLogWeights(text::PostId d, int community,
+                                       std::span<double> log_weights) const {
   const int K = config_.num_topics;
   const int T = posts_.num_time_slices();
   const int V = state_->V();
-  const double alpha = config_.ResolvedAlpha();
   const double beta = config_.beta;
-  const double epsilon = config_.epsilon;
-  const int c = state_->post_community[static_cast<size_t>(d)];
+  const double vbeta = V * beta;
   const int t = posts_.time(d);
-
-  auto word_counts = posts_.WordCounts(d);
   const int len = posts_.length(d);
 
+  posts_.WordCounts(d, &word_counts_);
+
   // Eq. (3) in log space: the n_c denominator is constant across k and
-  // dropped; the per-post Dirichlet-multinomial word term uses ascending
-  // factorials over the post's word multiset.
+  // dropped. The per-token ascending-factorial loops of the reference
+  // kernel are collapsed: the community/time terms read per-sweep cached
+  // logs (refreshed incrementally as counters change), the word term reads
+  // the cached log(n_kv + beta) for the ubiquitous cnt == 1 case, and the
+  // length-denominator ascending factorial is an lgamma pair whose base
+  // lgamma(n_k + V*beta) is cached — so per (topic, token) work is a table
+  // read, not a std::log call.
+  const size_t ck0 = static_cast<size_t>(community) * K;
   for (int k = 0; k < K; ++k) {
-    double lw = std::log(state_->n_ck(c, k) + alpha) +
-                std::log((state_->n_ckt(c, k, t) + epsilon) /
-                         (state_->n_ck(c, k) + T * epsilon));
-    for (const auto& [w, cnt] : word_counts) {
-      double base = state_->n_kv(k, w) + beta;
-      for (int q = 0; q < cnt; ++q) lw += std::log(base + q);
+    const size_t ck = ck0 + k;
+    double lw = log_nck_alpha_[ck] + log_nckt_eps_[ck * T + t] -
+                log_nck_teps_[ck];
+    for (const auto& [w, cnt] : word_counts_) {
+      if (cnt == 1) {
+        lw += log_nkv_beta_[static_cast<size_t>(k) * V + w];
+      } else {
+        lw += cold::LogAscendingFactorial(state_->n_kv(k, w) + beta, cnt);
+      }
     }
-    double denom_base = state_->n_k(k) + V * beta;
-    for (int q = 0; q < len; ++q) lw -= std::log(denom_base + q);
-    log_weights_k_[static_cast<size_t>(k)] = lw;
+    lw -= cold::LogAscendingFactorial(
+        state_->n_k(k) + vbeta, len,
+        lgamma_nk_vbeta_[static_cast<size_t>(k)]);
+    log_weights[static_cast<size_t>(k)] = lw;
   }
+}
+
+void ColdGibbsSampler::SamplePostTopic(text::PostId d) {
+  const int c = state_->post_community[static_cast<size_t>(d)];
+  TopicLogWeights(d, c, log_weights_k_);
   state_->post_topic[static_cast<size_t>(d)] =
       static_cast<int32_t>(sampler_.LogCategorical(log_weights_k_));
 }
@@ -235,18 +339,27 @@ void ColdGibbsSampler::SampleLinkJoint(graph::EdgeId e) {
   int s = state_->link_src_community[static_cast<size_t>(e)];
   int s2 = state_->link_dst_community[static_cast<size_t>(e)];
 
-  // Exclude this link (Eq. 2's counters are all "-ii'").
+  // Exclude this link (Eq. 2's counters are all "-ii'"). Only the (s, s2)
+  // cell of n_cc moves, so the cached w_link table needs exactly one
+  // refresh here and one after the draw below.
   state_->n_ic(edge.src, s)--;
   state_->n_ic(edge.dst, s2)--;
   state_->n_cc(s, s2)--;
+  RefreshLinkDerived(s, s2);
 
+  // Eq. (2) as a rank-1 outer product times the cached link-weight table:
+  // the O(C^2) inner loop is two table reads and two multiplies per cell
+  // instead of a division.
   for (int c = 0; c < C; ++c) {
-    double w_src = state_->n_ic(edge.src, c) + rho;
+    link_src_weights_[static_cast<size_t>(c)] = state_->n_ic(edge.src, c) + rho;
+    link_dst_weights_[static_cast<size_t>(c)] = state_->n_ic(edge.dst, c) + rho;
+  }
+  for (int c = 0; c < C; ++c) {
+    const double w_src = link_src_weights_[static_cast<size_t>(c)];
+    const size_t row = static_cast<size_t>(c) * C;
     for (int c2 = 0; c2 < C; ++c2) {
-      double w_dst = state_->n_ic(edge.dst, c2) + rho;
-      double n = state_->n_cc(c, c2);
-      double w_link = (n + config_.lambda1) / (n + lambda0_ + config_.lambda1);
-      weights_joint_[static_cast<size_t>(c) * C + c2] = w_src * w_dst * w_link;
+      weights_joint_[row + c2] =
+          w_src * link_dst_weights_[static_cast<size_t>(c2)] * w_link_[row + c2];
     }
   }
   int flat = sampler_.Categorical(weights_joint_);
@@ -258,6 +371,7 @@ void ColdGibbsSampler::SampleLinkJoint(graph::EdgeId e) {
   state_->n_ic(edge.src, s)++;
   state_->n_ic(edge.dst, s2)++;
   state_->n_cc(s, s2)++;
+  RefreshLinkDerived(s, s2);
 }
 
 void ColdGibbsSampler::SampleLinkAlternating(graph::EdgeId e) {
@@ -270,21 +384,20 @@ void ColdGibbsSampler::SampleLinkAlternating(graph::EdgeId e) {
   state_->n_ic(edge.src, s)--;
   state_->n_ic(edge.dst, s2)--;
   state_->n_cc(s, s2)--;
+  RefreshLinkDerived(s, s2);
 
-  // s | s'.
+  // s | s': column s2 of the cached link-weight table.
   for (int c = 0; c < C; ++c) {
-    double n = state_->n_cc(c, s2);
     weights_c_[static_cast<size_t>(c)] =
-        (state_->n_ic(edge.src, c) + rho) * (n + config_.lambda1) /
-        (n + lambda0_ + config_.lambda1);
+        (state_->n_ic(edge.src, c) + rho) *
+        w_link_[static_cast<size_t>(c) * C + s2];
   }
   s = sampler_.Categorical(weights_c_);
-  // s' | s.
+  // s' | s: row s of the table.
+  const size_t row = static_cast<size_t>(s) * C;
   for (int c2 = 0; c2 < C; ++c2) {
-    double n = state_->n_cc(s, c2);
     weights_c_[static_cast<size_t>(c2)] =
-        (state_->n_ic(edge.dst, c2) + rho) * (n + config_.lambda1) /
-        (n + lambda0_ + config_.lambda1);
+        (state_->n_ic(edge.dst, c2) + rho) * w_link_[row + c2];
   }
   s2 = sampler_.Categorical(weights_c_);
 
@@ -293,6 +406,7 @@ void ColdGibbsSampler::SampleLinkAlternating(graph::EdgeId e) {
   state_->n_ic(edge.src, s)++;
   state_->n_ic(edge.dst, s2)++;
   state_->n_cc(s, s2)++;
+  RefreshLinkDerived(s, s2);
 }
 
 void ColdGibbsSampler::RunIteration() {
@@ -333,6 +447,13 @@ void ColdGibbsSampler::RunIteration() {
   metrics.sweep_seconds->Set(post_seconds + link_seconds);
   metrics.post_phase_seconds->Set(post_seconds);
   metrics.link_phase_seconds->Set(link_seconds);
+  if (post_seconds > 0.0) {
+    metrics.tokens_per_second->Set(static_cast<double>(tokens) / post_seconds);
+  }
+  if (use_network_ && link_seconds > 0.0) {
+    metrics.links_per_second->Set(
+        static_cast<double>(links_->num_edges()) / link_seconds);
+  }
   double num_posts = static_cast<double>(posts_.num_posts());
   metrics.community_switch_rate->Set(switched_c / num_posts);
   metrics.topic_switch_rate->Set(switched_k / num_posts);

@@ -9,6 +9,9 @@
 
 #include <functional>
 #include <memory>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "core/cold_config.h"
 #include "core/cold_estimates.h"
@@ -61,6 +64,16 @@ class ColdGibbsSampler {
     sweep_callback_ = std::move(callback);
   }
 
+  /// \brief Fills `log_weights` (size K) with Eq. (3)'s unnormalized topic
+  /// log-weights for post `d` under community `community`, evaluated
+  /// against the *current* counters (the sweep removes d's own
+  /// contribution first; callers probing a live state get the
+  /// including-d weights). This is the lgamma-collapsed kernel the sweep
+  /// uses — exposed so tests and benches can check it against the
+  /// per-token reference loop. Not thread-safe (uses sampler scratch).
+  void TopicLogWeights(text::PostId d, int community,
+                       std::span<double> log_weights) const;
+
   /// \brief Point estimates from the *current* sample (Appendix A).
   ColdEstimates EstimatesFromCurrentSample() const;
 
@@ -91,6 +104,17 @@ class ColdGibbsSampler {
 
   bool UseJointLinkSampling() const;
 
+  /// Recomputes every derived-value cache (cached logs / lgammas of
+  /// counter+prior terms and the link weight table) from the current
+  /// counters. Called at the end of Init() and after a checkpoint restore
+  /// installs new counter tables.
+  void RebuildDerivedTables();
+  /// Refreshes the cached log terms touched by one post add/remove.
+  void RefreshPostDerived(int c, int k, int t,
+                          std::span<const text::WordId> words);
+  /// Refreshes the cached link weight for block (c, c2) after n_cc moved.
+  void RefreshLinkDerived(int c, int c2);
+
   ColdConfig config_;
   const text::PostStore& posts_;
   const graph::Digraph* links_;
@@ -104,6 +128,20 @@ class ColdGibbsSampler {
   std::vector<double> weights_c_;
   std::vector<double> log_weights_k_;
   std::vector<double> weights_joint_;
+  std::vector<double> link_src_weights_;
+  std::vector<double> link_dst_weights_;
+  mutable std::vector<std::pair<text::WordId, int>> word_counts_;
+
+  // Per-sweep derived-value caches, refreshed incrementally as counters
+  // change so the hot kernels read precomputed logs instead of calling
+  // std::log per (topic, token). Each entry is a pure function of one
+  // integer counter plus fixed priors, so incremental refresh is exact.
+  std::vector<double> log_nck_alpha_;    // C*K: log(n_ck + alpha)
+  std::vector<double> log_nck_teps_;     // C*K: log(n_ck + T*epsilon)
+  std::vector<double> log_nckt_eps_;     // C*K*T: log(n_ckt + epsilon)
+  std::vector<double> log_nkv_beta_;     // K*V: log(n_kv + beta)
+  std::vector<double> lgamma_nk_vbeta_;  // K: lgamma(n_k + V*beta)
+  std::vector<double> w_link_;  // C*C: (n_cc+l1)/(n_cc+l0+l1), Eq. 2
 
   std::unique_ptr<ColdEstimates> accumulated_;
   int num_accumulated_ = 0;

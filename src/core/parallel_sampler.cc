@@ -4,14 +4,34 @@
 #include <cmath>
 
 #include "core/gibbs_sampler.h"
+#include "obs/metrics.h"
 #include "util/fault_injector.h"
 #include "util/math_util.h"
+#include "util/stopwatch.h"
 
 namespace cold::core {
 
 namespace {
 constexpr size_t kMaxWorkers = 256;
+
+/// Per-superstep throughput telemetry for the parallel trainer, mirroring
+/// the serial sampler's cold/gibbs/* gauges.
+struct ParallelMetrics {
+  obs::Counter* supersteps;
+  obs::Gauge* superstep_seconds;
+  obs::Gauge* tokens_per_second;
+};
+
+ParallelMetrics& Metrics() {
+  auto& registry = obs::Registry::Global();
+  static ParallelMetrics metrics{
+      registry.GetCounter("cold/parallel/supersteps"),
+      registry.GetGauge("cold/parallel/superstep_seconds"),
+      registry.GetGauge("cold/parallel/tokens_per_second")};
+  return metrics;
 }
+
+}  // namespace
 
 /// Vertex program implementing Alg 2. See file header of
 /// parallel_sampler.h for the counter-placement discussion.
@@ -31,6 +51,13 @@ class ColdVertexProgram {
         graph_(graph),
         use_network_(use_network),
         lambda0_(lambda0),
+        // Derived prior constants hoisted once — the scatter kernels run per
+        // token per superstep and should not re-resolve them.
+        rho_(config.ResolvedRho()),
+        alpha_(config.ResolvedAlpha()),
+        kalpha_(config.num_topics * config.ResolvedAlpha()),
+        teps_(posts.num_time_slices() * config.epsilon),
+        vbeta_(state->V() * config.beta),
         scratch_(kMaxWorkers) {}
 
   GatherType GatherInit() const { return {}; }
@@ -159,10 +186,6 @@ class ColdVertexProgram {
   void SamplePostCommunity(text::PostId d, Scratch* scratch,
                            cold::RandomSampler* sampler) {
     const int C = config_.num_communities;
-    const int K = config_.num_topics;
-    const int T = posts_.num_time_slices();
-    const double rho = config_.ResolvedRho();
-    const double alpha = config_.ResolvedAlpha();
     const double epsilon = config_.epsilon;
     const int c0 = state_->post_community[static_cast<size_t>(d)];
     const int k = state_->post_topic[static_cast<size_t>(d)];
@@ -181,8 +204,8 @@ class ColdVertexProgram {
       n_c = std::max(n_c, 0.0);
       n_ckt = std::max(n_ckt, 0.0);
       scratch->weights_c[static_cast<size_t>(c)] =
-          (n_ick + rho) * ((n_ck + alpha) / (n_c + K * alpha)) *
-          ((n_ckt + epsilon) / (n_ck + T * epsilon));
+          (n_ick + rho_) * ((n_ck + alpha_) / (n_c + kalpha_)) *
+          ((n_ckt + epsilon) / (n_ck + teps_));
     }
     int c1 = sampler->Categorical(scratch->weights_c);
     if (c1 != c0) {
@@ -203,9 +226,6 @@ class ColdVertexProgram {
   void SamplePostTopic(text::PostId d, Scratch* scratch,
                        cold::RandomSampler* sampler) {
     const int K = config_.num_topics;
-    const int T = posts_.num_time_slices();
-    const int V = state_->V();
-    const double alpha = config_.ResolvedAlpha();
     const double beta = config_.beta;
     const double epsilon = config_.epsilon;
     const int c = state_->post_community[static_cast<size_t>(d)];
@@ -213,33 +233,25 @@ class ColdVertexProgram {
     const int t = posts_.time(d);
     const int len = posts_.length(d);
 
-    scratch->word_counts.clear();
-    for (text::WordId w : posts_.words(d)) {
-      bool found = false;
-      for (auto& [cw, cnt] : scratch->word_counts) {
-        if (cw == w) {
-          ++cnt;
-          found = true;
-          break;
-        }
-      }
-      if (!found) scratch->word_counts.emplace_back(w, 1);
-    }
+    posts_.WordCounts(d, &scratch->word_counts);
 
+    // Same lgamma-collapsed form as the serial TopicLogWeights; here the
+    // counters are shared atomics so the log terms are computed live, but
+    // the ascending-factorial loops still collapse to lgamma pairs.
     for (int k = 0; k < K; ++k) {
       int own = (k == k0) ? 1 : 0;
       double n_ck = std::max<double>(state_->r_n_ck(c, k) - own, 0.0);
       double n_ckt = std::max<double>(state_->r_n_ckt(c, k, t) - own, 0.0);
-      double lw = std::log(n_ck + alpha) +
-                  std::log((n_ckt + epsilon) / (n_ck + T * epsilon));
+      double lw = std::log(n_ck + alpha_) +
+                  std::log((n_ckt + epsilon) / (n_ck + teps_));
       for (const auto& [w, cnt] : scratch->word_counts) {
         double base =
             std::max<double>(state_->r_n_kv(k, w) - own * cnt, 0.0) + beta;
-        for (int q = 0; q < cnt; ++q) lw += std::log(base + q);
+        lw += cold::LogAscendingFactorial(base, cnt);
       }
       double denom =
-          std::max<double>(state_->r_n_k(k) - own * len, 0.0) + V * beta;
-      for (int q = 0; q < len; ++q) lw -= std::log(denom + q);
+          std::max<double>(state_->r_n_k(k) - own * len, 0.0) + vbeta_;
+      lw -= cold::LogAscendingFactorial(denom, len);
       scratch->log_weights_k[static_cast<size_t>(k)] = lw;
     }
     int k1 = sampler->LogCategorical(scratch->log_weights_k);
@@ -262,7 +274,6 @@ class ColdVertexProgram {
   void SampleLink(graph::EdgeId link, Scratch* scratch,
                   cold::RandomSampler* sampler) {
     const int C = config_.num_communities;
-    const double rho = config_.ResolvedRho();
     const double lambda1 = config_.lambda1;
     const graph::Edge& edge = links_->edge(link);
     const int s0 = state_->link_src_community[static_cast<size_t>(link)];
@@ -276,7 +287,7 @@ class ColdVertexProgram {
       double n =
           std::max<double>(state_->r_n_cc(cc, s20) - own, 0.0);
       scratch->weights_c[static_cast<size_t>(cc)] =
-          (n_ic + rho) * (n + lambda1) / (n + lambda0_ + lambda1);
+          (n_ic + rho_) * (n + lambda1) / (n + lambda0_ + lambda1);
     }
     int s1 = sampler->Categorical(scratch->weights_c);
 
@@ -288,7 +299,7 @@ class ColdVertexProgram {
       int own_pair = (s1 == s0 && cc == s20) ? 1 : 0;
       double n = std::max<double>(state_->r_n_cc(s1, cc) - own_pair, 0.0);
       scratch->weights_c[static_cast<size_t>(cc)] =
-          (n_ic + rho) * (n + lambda1) / (n + lambda0_ + lambda1);
+          (n_ic + rho_) * (n + lambda1) / (n + lambda0_ + lambda1);
     }
     int s21 = sampler->Categorical(scratch->weights_c);
 
@@ -317,6 +328,11 @@ class ColdVertexProgram {
   const Graph* graph_;
   bool use_network_;
   double lambda0_;
+  double rho_;     // resolved membership prior
+  double alpha_;   // resolved topic prior
+  double kalpha_;  // K * alpha
+  double teps_;    // T * epsilon
+  double vbeta_;   // V * beta
   std::vector<Scratch> scratch_;
 };
 
@@ -346,9 +362,22 @@ cold::Status ParallelColdTrainer::Init() {
   lambda0_ = use_network_ ? ComputeLambda0(config_, U, num_links)
                           : config_.lambda1;
 
-  int vocab = 0;
+  // Same vocab-size rule as the serial sampler: prefer the dataset-wide
+  // vocabulary from config_.vocab_size over the training-split max word id,
+  // which under-sizes n_kv/phi when held-out posts carry higher ids.
+  int max_word = 0;
   for (text::PostId d = 0; d < posts_.num_posts(); ++d) {
-    for (text::WordId w : posts_.words(d)) vocab = std::max(vocab, w + 1);
+    for (text::WordId w : posts_.words(d)) max_word = std::max(max_word, w + 1);
+  }
+  int vocab = max_word;
+  if (config_.vocab_size > 0) {
+    if (max_word > config_.vocab_size) {
+      return cold::Status::InvalidArgument(
+          "vocab_size " + std::to_string(config_.vocab_size) +
+          " is smaller than max word id + 1 (" + std::to_string(max_word) +
+          ")");
+    }
+    vocab = config_.vocab_size;
   }
   state_ = std::make_unique<ParallelColdState>(U, C, K, T, vocab,
                                                posts_.num_posts(), num_links);
@@ -445,12 +474,27 @@ cold::Status ParallelColdTrainer::Train() {
   if (!initialized_) {
     return cold::Status::FailedPrecondition("call Init() before Train()");
   }
+  int64_t total_tokens = 0;
+  for (text::PostId d = 0; d < posts_.num_posts(); ++d) {
+    total_tokens += posts_.length(d);
+  }
   // One engine iteration at a time (respecting the execution mode) so the
   // per-superstep observer sees every boundary. Resume-aware: a trainer
   // restored from a checkpoint runs only the remaining supersteps.
   while (supersteps_run_ < config_.iterations) {
-    engine_->Run(1);
+    double superstep_seconds = 0.0;
+    {
+      cold::ScopedTimer timer(superstep_seconds);
+      engine_->Run(1);
+    }
     supersteps_run_++;
+    ParallelMetrics& metrics = Metrics();
+    metrics.supersteps->Increment();
+    metrics.superstep_seconds->Set(superstep_seconds);
+    if (superstep_seconds > 0.0) {
+      metrics.tokens_per_second->Set(static_cast<double>(total_tokens) /
+                                     superstep_seconds);
+    }
     if (superstep_callback_) superstep_callback_(supersteps_run_);
     // After the callback — the superstep-barrier checkpoint must be durable
     // before the injected crash fires.

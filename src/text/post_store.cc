@@ -42,20 +42,26 @@ void PostStore::Finalize(int min_users, int min_time_slices) {
 
 std::vector<std::pair<WordId, int>> PostStore::WordCounts(PostId d) const {
   std::vector<std::pair<WordId, int>> counts;
+  WordCounts(d, &counts);
+  return counts;
+}
+
+void PostStore::WordCounts(PostId d,
+                           std::vector<std::pair<WordId, int>>* out) const {
+  out->clear();
   auto ws = words(d);
-  counts.reserve(ws.size());
+  out->reserve(ws.size());
   for (WordId w : ws) {
     bool found = false;
-    for (auto& [cw, cnt] : counts) {
+    for (auto& [cw, cnt] : *out) {
       if (cw == w) {
         ++cnt;
         found = true;
         break;
       }
     }
-    if (!found) counts.emplace_back(w, 1);
+    if (!found) out->emplace_back(w, 1);
   }
-  return counts;
 }
 
 }  // namespace cold::text

@@ -81,6 +81,10 @@ class PostStore {
   /// posts are short so this is a handful of comparisons.
   std::vector<std::pair<WordId, int>> WordCounts(PostId d) const;
 
+  /// \brief WordCounts into a caller-owned buffer (cleared first), so the
+  /// Gibbs hot path reuses one allocation across the whole sweep.
+  void WordCounts(PostId d, std::vector<std::pair<WordId, int>>* out) const;
+
  private:
   std::vector<UserId> author_;
   std::vector<TimeSlice> time_;

@@ -5,7 +5,22 @@
 #include <limits>
 #include <numeric>
 
+#if defined(__GLIBC__) || defined(__APPLE__)
+// The reentrant lgamma is hidden behind feature macros under -std=c++20's
+// strict-ANSI mode; declare it directly (it is always present in libm).
+extern "C" double lgamma_r(double, int*);
+#endif
+
 namespace cold {
+
+double LGamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
 
 double LogSumExp(std::span<const double> x) {
   if (x.empty()) return -std::numeric_limits<double>::infinity();

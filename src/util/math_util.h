@@ -11,8 +11,11 @@ namespace cold {
 /// input.
 double LogSumExp(std::span<const double> x);
 
-/// \brief Normalizes `x` in place to sum to 1. If the sum is <= 0 the vector
-/// is set to uniform. Returns the pre-normalization sum.
+/// \brief Normalizes `x` in place to sum to 1. Degenerate input — an
+/// all-zero, negative-sum or non-finite (NaN/inf entries) vector, as can
+/// arise from denormal weights for a post by an unseen-community author —
+/// falls back to the uniform distribution instead of leaving garbage.
+/// Returns the pre-normalization sum.
 double NormalizeInPlace(std::span<double> x);
 
 /// \brief Mean of `x`; 0 for empty input.
@@ -44,9 +47,51 @@ double CosineSimilarity(std::span<const double> a, std::span<const double> b);
 /// index), in descending value order. k is clamped to x.size().
 std::vector<int> TopKIndices(std::span<const double> x, int k);
 
+/// \brief Thread-safe log-gamma. std::lgamma's C-library implementation
+/// writes the global `signgam`, a data race under concurrent callers (the
+/// parallel sampler's workers); this wrapper uses the reentrant variant
+/// where available.
+double LGamma(double x);
+
 /// \brief log of the Beta function, log B(a, b).
 inline double LogBeta(double a, double b) {
-  return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+  return LGamma(a) + LGamma(b) - LGamma(a + b);
+}
+
+/// Counts at or above this threshold take the lgamma-pair path in
+/// LogAscendingFactorial; below it a plain log loop is cheaper (lgamma
+/// costs a few std::log calls), so short posts never touch lgamma.
+inline constexpr int kLogAscFactorialSmallCount = 8;
+
+/// \brief Log ascending factorial: sum_{q=0}^{cnt-1} log(base + q)
+///        = lgamma(base + cnt) - lgamma(base).
+///
+/// The identity collapses the per-token loops of the collapsed Gibbs
+/// topic kernel (Eq. 3's Dirichlet-multinomial terms) into two lgamma
+/// calls. Small counts (< kLogAscFactorialSmallCount) keep the exact
+/// loop form. Returns 0 for cnt <= 0. Requires base > 0.
+inline double LogAscendingFactorial(double base, int cnt) {
+  if (cnt <= 0) return 0.0;
+  if (cnt < kLogAscFactorialSmallCount) {
+    double acc = 0.0;
+    for (int q = 0; q < cnt; ++q) acc += std::log(base + q);
+    return acc;
+  }
+  return LGamma(base + cnt) - LGamma(base);
+}
+
+/// \brief LogAscendingFactorial with the caller supplying a precomputed
+/// lgamma(base), so hot loops that cache lgamma values per counter pay
+/// only one live lgamma per evaluation on the large-count path.
+inline double LogAscendingFactorial(double base, int cnt,
+                                    double lgamma_base) {
+  if (cnt <= 0) return 0.0;
+  if (cnt < kLogAscFactorialSmallCount) {
+    double acc = 0.0;
+    for (int q = 0; q < cnt; ++q) acc += std::log(base + q);
+    return acc;
+  }
+  return LGamma(base + cnt) - lgamma_base;
 }
 
 /// \brief Digamma function (Euler's psi), via asymptotic expansion with

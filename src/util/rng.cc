@@ -103,7 +103,15 @@ int RandomSampler::Categorical(std::span<const double> weights, double total) {
     total = 0.0;
     for (double w : weights) total += w;
   }
-  assert(total > 0.0);
+  // Degenerate mass — all-zero weights (e.g. a post whose author has no
+  // surviving community evidence) or a non-finite total: fall back to a
+  // uniform draw rather than letting whatever index falls out of the CDF
+  // scan win. NaN totals fail the > 0 comparison, so one branch covers
+  // both cases.
+  if (!(total > 0.0) || !std::isfinite(total)) {
+    return static_cast<int>(
+        UniformInt(static_cast<uint32_t>(weights.size())));
+  }
   double u = Uniform() * total;
   double acc = 0.0;
   for (size_t i = 0; i < weights.size(); ++i) {
@@ -121,6 +129,13 @@ int RandomSampler::LogCategorical(std::span<const double> log_weights) {
   assert(!log_weights.empty());
   double max_lw = log_weights[0];
   for (double lw : log_weights) max_lw = std::max(max_lw, lw);
+  // Non-finite maximum — all -inf (every outcome impossible, e.g.
+  // degenerate counters for an unseen author), a +inf entry, or NaN:
+  // uniform fallback, mirroring Categorical's guard.
+  if (!std::isfinite(max_lw)) {
+    return static_cast<int>(
+        UniformInt(static_cast<uint32_t>(log_weights.size())));
+  }
   double total = 0.0;
   // A scratch buffer would avoid this allocation, but callers in hot loops
   // use Categorical with ratio-form weights instead.

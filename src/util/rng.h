@@ -119,10 +119,14 @@ class RandomSampler {
   /// non-negative weights. Returns an index in [0, weights.size()).
   ///
   /// The total may be passed if already known, else it is computed.
+  /// Degenerate weight vectors (all-zero or non-finite total) fall back
+  /// to a uniform draw over all indices.
   int Categorical(std::span<const double> weights, double total = -1.0);
 
   /// \brief Draws from a categorical distribution given log-weights
-  /// (arbitrary scale); numerically stable via max-shift.
+  /// (arbitrary scale); numerically stable via max-shift. An all--inf
+  /// (or otherwise non-finite-maximum) vector falls back to a uniform
+  /// draw over all indices.
   int LogCategorical(std::span<const double> log_weights);
 
   /// \brief Samples a Dirichlet(alpha) vector; `alpha` may be asymmetric.

@@ -1,0 +1,319 @@
+// Guard tests for the lgamma-collapsed topic kernel and the vocab-size
+// derivation (sampler-performance PR): the optimized kernel must agree
+// with the per-token reference loop to 1e-9, fixed-seed sweeps must stay
+// deterministic for both trainers, and the samplers must honor
+// ColdConfig::vocab_size over the training-split max word id.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/cold.h"
+#include "core/predictor.h"
+#include "data/synthetic.h"
+#include "util/math_util.h"
+
+namespace cold::core {
+namespace {
+
+data::SyntheticConfig TestDataConfig() {
+  data::SyntheticConfig config;
+  config.num_users = 120;
+  config.num_communities = 4;
+  config.num_topics = 6;
+  config.num_time_slices = 10;
+  config.core_words_per_topic = 12;
+  config.background_words = 60;
+  config.posts_per_user = 9.0;
+  config.words_per_post = 8.0;
+  config.follows_per_user = 8;
+  config.seed = 23;
+  return config;
+}
+
+const data::SocialDataset& TestData() {
+  static const data::SocialDataset* dataset = [] {
+    data::SyntheticSocialGenerator gen(TestDataConfig());
+    return new data::SocialDataset(std::move(gen.Generate()).ValueOrDie());
+  }();
+  return *dataset;
+}
+
+ColdConfig TestModelConfig() {
+  ColdConfig config;
+  config.num_communities = 4;
+  config.num_topics = 6;
+  config.iterations = 20;
+  config.burn_in = 10;
+  config.seed = 29;
+  config.rho = 0.5;
+  return config;
+}
+
+// ------------------------------------------------- LogAscendingFactorial --
+
+TEST(LogAscendingFactorialTest, ZeroAndNegativeCountsAreZero) {
+  EXPECT_EQ(LogAscendingFactorial(3.7, 0), 0.0);
+  EXPECT_EQ(LogAscendingFactorial(3.7, -2), 0.0);
+  EXPECT_EQ(LogAscendingFactorial(3.7, 0, LGamma(3.7)), 0.0);
+}
+
+TEST(LogAscendingFactorialTest, MatchesExplicitLoop) {
+  // Bases spanning the prior-only (0.01) to heavy-count (5000) regimes,
+  // counts straddling kLogAscFactorialSmallCount so both branches are hit.
+  const double bases[] = {0.01, 0.5, 3.7, 120.0, 5000.0};
+  for (double base : bases) {
+    for (int cnt = 1; cnt <= 24; ++cnt) {
+      double expected = 0.0;
+      for (int q = 0; q < cnt; ++q) expected += std::log(base + q);
+      EXPECT_NEAR(LogAscendingFactorial(base, cnt), expected, 1e-9)
+          << "base=" << base << " cnt=" << cnt;
+    }
+  }
+}
+
+TEST(LogAscendingFactorialTest, CachedBaseOverloadMatches) {
+  const double bases[] = {0.3, 41.5, 900.0};
+  for (double base : bases) {
+    double lgamma_base = LGamma(base);
+    for (int cnt = 0; cnt <= 20; ++cnt) {
+      EXPECT_DOUBLE_EQ(LogAscendingFactorial(base, cnt, lgamma_base),
+                       LogAscendingFactorial(base, cnt))
+          << "base=" << base << " cnt=" << cnt;
+    }
+  }
+}
+
+// ------------------------------------------------------- Topic kernel ----
+
+/// Per-token-log reference for Eq. (3): the pre-optimization kernel, with
+/// live std::log community/time terms and explicit ascending-factorial
+/// loops over the Dirichlet-multinomial word/length terms.
+std::vector<double> ReferenceTopicLogWeights(const ColdGibbsSampler& sampler,
+                                             const text::PostStore& posts,
+                                             text::PostId d, int community) {
+  const ColdState& state = sampler.state();
+  const ColdConfig& config = sampler.config();
+  const int K = config.num_topics;
+  const int T = posts.num_time_slices();
+  const int V = state.V();
+  const double alpha = config.ResolvedAlpha();
+  const double beta = config.beta;
+  const double epsilon = config.epsilon;
+  const int t = posts.time(d);
+  const int len = posts.length(d);
+  auto word_counts = posts.WordCounts(d);
+
+  std::vector<double> log_weights(static_cast<size_t>(K));
+  for (int k = 0; k < K; ++k) {
+    double lw = std::log(state.n_ck(community, k) + alpha) +
+                std::log(state.n_ckt(community, k, t) + epsilon) -
+                std::log(state.n_ck(community, k) + T * epsilon);
+    for (const auto& [w, cnt] : word_counts) {
+      double base = state.n_kv(k, w) + beta;
+      for (int q = 0; q < cnt; ++q) lw += std::log(base + q);
+    }
+    double denom = state.n_k(k) + V * beta;
+    for (int q = 0; q < len; ++q) lw -= std::log(denom + q);
+    log_weights[static_cast<size_t>(k)] = lw;
+  }
+  return log_weights;
+}
+
+void ExpectKernelMatchesReference(ColdGibbsSampler* sampler,
+                                  const text::PostStore& posts) {
+  const int C = sampler->config().num_communities;
+  const int K = sampler->config().num_topics;
+  std::vector<double> optimized(static_cast<size_t>(K));
+  double worst = 0.0;
+  for (text::PostId d = 0; d < posts.num_posts(); ++d) {
+    for (int c = 0; c < C; ++c) {
+      sampler->TopicLogWeights(d, c, optimized);
+      std::vector<double> reference =
+          ReferenceTopicLogWeights(*sampler, posts, d, c);
+      for (int k = 0; k < K; ++k) {
+        double diff = std::abs(optimized[static_cast<size_t>(k)] -
+                               reference[static_cast<size_t>(k)]);
+        worst = std::max(worst, diff);
+        ASSERT_NEAR(optimized[static_cast<size_t>(k)],
+                    reference[static_cast<size_t>(k)], 1e-9)
+            << "post " << d << " community " << c << " topic " << k;
+      }
+    }
+  }
+  // The whole sweep must stay within the guard tolerance, not just each
+  // individual entry.
+  EXPECT_LT(worst, 1e-9);
+}
+
+TEST(TopicKernelTest, MatchesPerTokenReferenceOnSyntheticData) {
+  const auto& ds = TestData();
+  ColdGibbsSampler sampler(TestModelConfig(), ds.posts, &ds.interactions);
+  ASSERT_TRUE(sampler.Init().ok());
+  // Check against the random-init counters and again after sweeps have
+  // moved them (exercising the incremental cache refresh).
+  ExpectKernelMatchesReference(&sampler, ds.posts);
+  for (int it = 0; it < 3; ++it) sampler.RunIteration();
+  ExpectKernelMatchesReference(&sampler, ds.posts);
+}
+
+TEST(TopicKernelTest, HandlesEmptyAndRepeatedWordPosts) {
+  // Hand-built corpus hitting the edge cases the synthetic data avoids:
+  // an empty post (len = 0, no word term at all), a post of one word
+  // repeated past kLogAscFactorialSmallCount (lgamma path for the word
+  // term), and a long mixed post (lgamma path for the length denominator).
+  text::PostStore posts;
+  std::vector<text::WordId> empty;
+  std::vector<text::WordId> repeated(12, 3);
+  std::vector<text::WordId> mixed;
+  for (int q = 0; q < 20; ++q) mixed.push_back(q % 5);
+  posts.Add(0, 0, empty);
+  posts.Add(0, 1, repeated);
+  posts.Add(1, 0, mixed);
+  posts.Add(1, 1, {});
+  posts.Finalize(/*min_users=*/2, /*min_time_slices=*/2);
+
+  ColdConfig config;
+  config.num_communities = 2;
+  config.num_topics = 3;
+  config.iterations = 4;
+  config.burn_in = 1;
+  config.seed = 7;
+  config.use_network = false;
+  ColdGibbsSampler sampler(config, posts, nullptr);
+  ASSERT_TRUE(sampler.Init().ok());
+  ExpectKernelMatchesReference(&sampler, posts);
+  for (int it = 0; it < 2; ++it) sampler.RunIteration();
+  ExpectKernelMatchesReference(&sampler, posts);
+}
+
+// ---------------------------------------------------- Sweep equivalence --
+
+TEST(SweepEquivalenceTest, SerialFixedSeedTrajectoriesIdentical) {
+  const auto& ds = TestData();
+  ColdGibbsSampler a(TestModelConfig(), ds.posts, &ds.interactions);
+  ColdGibbsSampler b(TestModelConfig(), ds.posts, &ds.interactions);
+  ASSERT_TRUE(a.Init().ok());
+  ASSERT_TRUE(b.Init().ok());
+  for (int it = 0; it < 4; ++it) {
+    a.RunIteration();
+    b.RunIteration();
+    ASSERT_EQ(a.state().post_topic, b.state().post_topic) << "sweep " << it;
+    ASSERT_EQ(a.state().post_community, b.state().post_community)
+        << "sweep " << it;
+    ASSERT_EQ(a.state().link_src_community, b.state().link_src_community)
+        << "sweep " << it;
+  }
+}
+
+TEST(SweepEquivalenceTest, ParallelFixedSeedTrajectoriesIdentical) {
+  const auto& ds = TestData();
+  // Single node, single worker: the engine's deterministic configuration.
+  engine::EngineOptions options;
+  options.num_nodes = 1;
+  options.threads_per_node = 1;
+  ParallelColdTrainer a(TestModelConfig(), ds.posts, &ds.interactions,
+                        options);
+  ParallelColdTrainer b(TestModelConfig(), ds.posts, &ds.interactions,
+                        options);
+  ASSERT_TRUE(a.Init().ok());
+  ASSERT_TRUE(b.Init().ok());
+  for (int s = 0; s < 3; ++s) {
+    a.RunSuperstep();
+    b.RunSuperstep();
+    ColdState sa = a.StateSnapshot();
+    ColdState sb = b.StateSnapshot();
+    ASSERT_EQ(sa.post_topic, sb.post_topic) << "superstep " << s;
+    ASSERT_EQ(sa.post_community, sb.post_community) << "superstep " << s;
+    ASSERT_EQ(sa.link_src_community, sb.link_src_community)
+        << "superstep " << s;
+  }
+}
+
+// ----------------------------------------------------------- Vocab size --
+
+/// A "training split" whose max word id (4) undershoots the dataset-wide
+/// vocabulary (10 words): exactly the shape that used to under-size
+/// n_kv/phi and make the predictor reject held-out posts.
+text::PostStore LowVocabTrainPosts() {
+  text::PostStore posts;
+  std::vector<text::WordId> w0 = {0, 1, 2};
+  std::vector<text::WordId> w1 = {2, 3, 4, 4};
+  std::vector<text::WordId> w2 = {1, 0, 3};
+  posts.Add(0, 0, w0);
+  posts.Add(1, 1, w1);
+  posts.Add(2, 0, w2);
+  posts.Finalize(/*min_users=*/3, /*min_time_slices=*/2);
+  return posts;
+}
+
+TEST(VocabSizeTest, SerialSamplerUsesConfiguredVocab) {
+  text::PostStore posts = LowVocabTrainPosts();
+  ColdConfig config;
+  config.num_communities = 2;
+  config.num_topics = 2;
+  config.iterations = 6;
+  config.burn_in = 2;
+  config.use_network = false;
+  config.vocab_size = 10;
+  ColdGibbsSampler sampler(config, posts, nullptr);
+  ASSERT_TRUE(sampler.Init().ok());
+  EXPECT_EQ(sampler.state().V(), 10);
+  ASSERT_TRUE(sampler.Train().ok());
+
+  // The predictor built from these estimates must accept a held-out post
+  // using word ids the training split never saw.
+  ColdEstimates estimates = sampler.AveragedEstimates();
+  EXPECT_EQ(estimates.V, 10);
+  ColdPredictor predictor(estimates);
+  std::vector<text::WordId> held_out = {7, 9};
+  EXPECT_TRUE(predictor.ValidateQuery(0, held_out).ok());
+  EXPECT_FALSE(predictor.TopicPosterior(held_out, 0).empty());
+}
+
+TEST(VocabSizeTest, SerialSamplerRejectsUndersizedVocab) {
+  text::PostStore posts = LowVocabTrainPosts();
+  ColdConfig config;
+  config.num_communities = 2;
+  config.num_topics = 2;
+  config.use_network = false;
+  config.vocab_size = 3;  // max word id is 4 -> needs at least 5
+  ColdGibbsSampler sampler(config, posts, nullptr);
+  cold::Status status = sampler.Init();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), cold::StatusCode::kInvalidArgument);
+}
+
+TEST(VocabSizeTest, ParallelTrainerUsesConfiguredVocab) {
+  text::PostStore posts = LowVocabTrainPosts();
+  ColdConfig config;
+  config.num_communities = 2;
+  config.num_topics = 2;
+  config.iterations = 4;
+  config.burn_in = 1;
+  config.use_network = false;
+  config.vocab_size = 10;
+  ParallelColdTrainer trainer(config, posts, nullptr);
+  ASSERT_TRUE(trainer.Init().ok());
+  EXPECT_EQ(trainer.StateSnapshot().V(), 10);
+
+  config.vocab_size = 3;
+  ParallelColdTrainer undersized(config, posts, nullptr);
+  cold::Status status = undersized.Init();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), cold::StatusCode::kInvalidArgument);
+}
+
+TEST(VocabSizeTest, DefaultStillDerivesFromPosts) {
+  text::PostStore posts = LowVocabTrainPosts();
+  ColdConfig config;
+  config.num_communities = 2;
+  config.num_topics = 2;
+  config.use_network = false;
+  ColdGibbsSampler sampler(config, posts, nullptr);
+  ASSERT_TRUE(sampler.Init().ok());
+  EXPECT_EQ(sampler.state().V(), 5);  // max word id 4 + 1
+}
+
+}  // namespace
+}  // namespace cold::core

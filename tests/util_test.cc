@@ -204,6 +204,58 @@ TEST(RandomSamplerTest, LogCategoricalMatchesCategorical) {
   }
 }
 
+TEST(RandomSamplerTest, CategoricalDegenerateWeightsFallBackToUniform) {
+  RandomSampler s(11);
+  // All-zero, all-NaN and +inf-contaminated weights must never index out
+  // of range, and the documented fallback is the uniform distribution.
+  std::vector<double> zeros(4, 0.0);
+  std::vector<double> nans(4, std::numeric_limits<double>::quiet_NaN());
+  std::vector<double> infs = {1.0, std::numeric_limits<double>::infinity(),
+                              1.0, 1.0};
+  std::vector<int> counts(4, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    int a = s.Categorical(zeros);
+    int b = s.Categorical(nans);
+    int c = s.Categorical(infs);
+    ASSERT_GE(a, 0);
+    ASSERT_LT(a, 4);
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, 4);
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, 4);
+    counts[static_cast<size_t>(a)]++;
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[static_cast<size_t>(i)]) / n, 0.25,
+                0.02);
+  }
+}
+
+TEST(RandomSamplerTest, LogCategoricalDegenerateWeightsFallBackToUniform) {
+  RandomSampler s(12);
+  std::vector<double> all_neg_inf(3,
+                                  -std::numeric_limits<double>::infinity());
+  std::vector<double> with_nan = {0.0,
+                                  std::numeric_limits<double>::quiet_NaN(),
+                                  0.0};
+  std::vector<int> counts(3, 0);
+  const int n = 15000;
+  for (int i = 0; i < n; ++i) {
+    int a = s.LogCategorical(all_neg_inf);
+    int b = s.LogCategorical(with_nan);
+    ASSERT_GE(a, 0);
+    ASSERT_LT(a, 3);
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, 3);
+    counts[static_cast<size_t>(a)]++;
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[static_cast<size_t>(i)]) / n,
+                1.0 / 3.0, 0.02);
+  }
+}
+
 TEST(RandomSamplerTest, DirichletSumsToOne) {
   RandomSampler s(7);
   for (int rep = 0; rep < 50; ++rep) {

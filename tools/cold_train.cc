@@ -293,6 +293,9 @@ int main(int argc, char** argv) {
   config.num_topics = args.num_topics;
   config.iterations = args.iterations;
   config.burn_in = config.iterations * 3 / 4;
+  // Dataset-wide vocabulary, so phi/n_kv cover word ids beyond those seen
+  // in whatever subset trains (see ColdConfig::vocab_size).
+  config.vocab_size = static_cast<int>(dataset.vocabulary.size());
   config.rho = 0.5;
   config.alpha = 0.5;
   config.kappa = 10.0;
