@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "data/synthetic.h"
 #include "eval/metrics.h"
 #include "obs/metrics.h"
+#include "serve/json.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -163,6 +165,41 @@ std::vector<double> TimestampCurve(const text::PostStore& test_posts,
     actual.push_back(test_posts.time(d));
   }
   return eval::ToleranceCurve(predicted, actual, max_tolerance);
+}
+
+// --- BENCH_*.json emission --------------------------------------------------
+//
+// Shared by the persistent-result benches (sampler_hotpath,
+// parallel_scaling). These reuse the serving layer's JSON value type, so
+// callers must link cold_serve; benches that never emit JSON never
+// instantiate them and link as before.
+
+inline serve::Json ToJsonArray(const std::vector<double>& values) {
+  serve::Json arr = serve::Json::MakeArray();
+  for (double v : values) arr.Append(v);
+  return arr;
+}
+
+/// Writes `root` to `path` (trailing newline included); logs and returns
+/// false on I/O failure.
+inline bool WriteJsonFile(const serve::Json& root, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << root.Dump() << "\n";
+  return true;
+}
+
+/// Reparses an emitted result file — the first step of every --smoke
+/// validation pass.
+inline cold::Result<serve::Json> LoadJsonFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return cold::Status::IOError("cannot reopen " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return serve::Json::Parse(buffer.str());
 }
 
 /// Prints "name: v1 v2 v3 ..." rows for series output.

@@ -1,0 +1,324 @@
+// Strong-scaling benchmark for the parallel trainer (tentpole of the
+// parallel-scalability PR; DESIGN.md §10).
+//
+// Measures, at two data scales:
+//   - a strong-scaling thread series (1 .. hardware threads): per-superstep
+//     tokens/sec and links/sec plus speedup over the 1-thread run;
+//   - the delta-table scatter vs the legacy shared-atomic mode at the
+//     maximum thread count (the contention + per-token-log A/B);
+//   - the PR 4 serial sampler on the same data, so the parallel numbers are
+//     anchored to the single-core baseline;
+//   - partitioner communication accounting at num_nodes = 4: comm bytes and
+//     cut edges under modulo vs degree-aware greedy placement.
+//
+// Results land as JSON in --out (default BENCH_parallel.json) so runs can
+// be diffed across commits. --smoke shrinks everything to seconds of
+// runtime, re-parses the emitted JSON and fails (exit 1) unless it is
+// well-formed with positive throughput and the greedy partitioner beats
+// modulo on comm bytes — wired up as the `bench_parallel_smoke` ctest.
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "core/parallel_sampler.h"
+#include "serve/json.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace cold;
+
+int HardwareThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// One benchmark scale: dataset size multiplier + superstep counts.
+struct Scale {
+  const char* name;
+  double data_scale;  // multiplies BenchDataConfig user count
+  int supersteps;
+  int partition_supersteps;
+};
+
+struct TrainResult {
+  /// Fastest single superstep — the noise-robust throughput basis on a
+  /// shared machine (slow outliers are scheduler preemption, not sampler
+  /// cost).
+  double min_superstep_seconds = 0.0;
+  engine::EngineStats stats;
+};
+
+TrainResult RunParallel(const core::ColdConfig& config,
+                        const data::SocialDataset& ds,
+                        engine::EngineOptions options) {
+  core::ParallelColdTrainer trainer(config, ds.posts, &ds.interactions,
+                                    options);
+  auto st = trainer.Init();
+  if (!st.ok()) {
+    std::fprintf(stderr, "parallel init failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  TrainResult result;
+  for (int step = 0; step < config.iterations; ++step) {
+    Stopwatch watch;
+    trainer.RunSuperstep();
+    double seconds = watch.ElapsedSeconds();
+    if (step == 0 || seconds < result.min_superstep_seconds) {
+      result.min_superstep_seconds = seconds;
+    }
+  }
+  result.stats = trainer.engine_stats();
+  return result;
+}
+
+serve::Json RunScale(const Scale& scale) {
+  data::SyntheticConfig data_config = bench::BenchDataConfig();
+  data_config.num_users =
+      std::max(20, static_cast<int>(data_config.num_users * scale.data_scale));
+  const data::SocialDataset ds = bench::GenerateBenchData(data_config);
+
+  int64_t tokens = 0;
+  for (text::PostId d = 0; d < ds.posts.num_posts(); ++d) {
+    tokens += ds.posts.length(d);
+  }
+  const int64_t links = ds.interactions.num_edges();
+
+  core::ColdConfig config = bench::BenchColdConfig(8, 12, scale.supersteps);
+  config.burn_in = 0;
+  config.sample_lag = 1;
+
+  bench::PrintHeader(std::string("parallel_scaling: ") + scale.name);
+  std::printf("posts=%d links=%lld tokens=%lld supersteps=%d\n",
+              ds.posts.num_posts(), static_cast<long long>(links),
+              static_cast<long long>(tokens), scale.supersteps);
+
+  serve::Json out = serve::Json::MakeObject();
+  out.Set("name", scale.name);
+  out.Set("num_posts", static_cast<double>(ds.posts.num_posts()));
+  out.Set("num_links", static_cast<double>(links));
+  out.Set("tokens", static_cast<double>(tokens));
+
+  auto rate = [](double step_seconds, int64_t units) {
+    return step_seconds > 0.0 ? static_cast<double>(units) / step_seconds
+                              : 0.0;
+  };
+
+  // --- strong-scaling thread series (delta-table mode) ---
+  const int max_threads = HardwareThreads();
+  serve::Json thread_series = serve::Json::MakeArray();
+  std::vector<double> tokens_per_sec_series;
+  double delta_max_threads_tps = 0.0;
+  for (int threads = 1; threads <= max_threads; ++threads) {
+    engine::EngineOptions options;
+    options.threads_per_node = threads;
+    TrainResult run = RunParallel(config, ds, options);
+    double tps = rate(run.min_superstep_seconds, tokens);
+    double lps = rate(run.min_superstep_seconds, links);
+    tokens_per_sec_series.push_back(tps);
+    delta_max_threads_tps = tps;
+    serve::Json point = serve::Json::MakeObject();
+    point.Set("threads", static_cast<double>(threads));
+    point.Set("tokens_per_sec", tps);
+    point.Set("links_per_sec", lps);
+    point.Set("speedup_vs_1",
+              tokens_per_sec_series[0] > 0.0 ? tps / tokens_per_sec_series[0]
+                                             : 0.0);
+    thread_series.Append(point);
+  }
+  out.Set("threads", thread_series);
+  bench::PrintSeries("tokens/sec", tokens_per_sec_series, "%.0f");
+
+  // --- delta vs legacy shared-atomic A/B at max threads ---
+  // The two trainers alternate superstep-by-superstep so host-wide speed
+  // shifts (shared machine) hit both modes equally; min-of-steps then
+  // filters preemption outliers from each.
+  {
+    engine::EngineOptions delta_options;
+    delta_options.threads_per_node = max_threads;
+    engine::EngineOptions legacy_options = delta_options;
+    legacy_options.legacy_shared_counters = true;
+    core::ParallelColdTrainer delta_trainer(config, ds.posts,
+                                            &ds.interactions, delta_options);
+    core::ParallelColdTrainer legacy_trainer(config, ds.posts,
+                                             &ds.interactions,
+                                             legacy_options);
+    auto st = delta_trainer.Init();
+    if (st.ok()) st = legacy_trainer.Init();
+    if (!st.ok()) {
+      std::fprintf(stderr, "A/B init failed: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+    double delta_min = 0.0;
+    double legacy_min = 0.0;
+    const int reps = std::max(scale.supersteps, 8);
+    for (int rep = 0; rep < reps; ++rep) {
+      Stopwatch delta_watch;
+      delta_trainer.RunSuperstep();
+      double delta_step = delta_watch.ElapsedSeconds();
+      Stopwatch legacy_watch;
+      legacy_trainer.RunSuperstep();
+      double legacy_step = legacy_watch.ElapsedSeconds();
+      if (rep == 0 || delta_step < delta_min) delta_min = delta_step;
+      if (rep == 0 || legacy_step < legacy_min) legacy_min = legacy_step;
+    }
+    double delta_tps = rate(delta_min, tokens);
+    double legacy_tps = rate(legacy_min, tokens);
+    out.Set("delta_tokens_per_sec", delta_tps);
+    out.Set("legacy_tokens_per_sec", legacy_tps);
+    double speedup_vs_legacy = legacy_tps > 0.0 ? delta_tps / legacy_tps : 0.0;
+    out.Set("speedup_vs_legacy", speedup_vs_legacy);
+    std::printf("delta %.0f vs legacy %.0f tokens/sec (%.2fx)\n", delta_tps,
+                legacy_tps, speedup_vs_legacy);
+  }
+
+  // --- PR 4 serial sampler anchor ---
+  {
+    core::ColdGibbsSampler serial(config, ds.posts, &ds.interactions);
+    auto st = serial.Init();
+    if (!st.ok()) {
+      std::fprintf(stderr, "serial init failed: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+    double min_sweep = 0.0;
+    for (int sweep = 0; sweep < scale.supersteps; ++sweep) {
+      Stopwatch watch;
+      serial.RunIteration();
+      double seconds = watch.ElapsedSeconds();
+      if (sweep == 0 || seconds < min_sweep) min_sweep = seconds;
+    }
+    double serial_tps = rate(min_sweep, tokens);
+    out.Set("serial_tokens_per_sec", serial_tps);
+    out.Set("speedup_vs_serial",
+            serial_tps > 0.0 ? delta_max_threads_tps / serial_tps : 0.0);
+    std::printf("serial sampler %.0f tokens/sec\n", serial_tps);
+  }
+
+  // --- partitioner communication accounting at 4 simulated nodes ---
+  {
+    core::ColdConfig pconfig = config;
+    pconfig.iterations = scale.partition_supersteps;
+    auto stats_for = [&](engine::PartitionerKind kind) {
+      engine::EngineOptions options;
+      options.num_nodes = 4;
+      options.partitioner = kind;
+      return RunParallel(pconfig, ds, options).stats;
+    };
+    engine::EngineStats modulo = stats_for(engine::PartitionerKind::kModulo);
+    engine::EngineStats greedy = stats_for(engine::PartitionerKind::kGreedy);
+    serve::Json part = serve::Json::MakeObject();
+    part.Set("modulo_comm_bytes", static_cast<double>(modulo.comm_bytes));
+    part.Set("greedy_comm_bytes", static_cast<double>(greedy.comm_bytes));
+    part.Set("modulo_cut_edges", static_cast<double>(modulo.cut_edges));
+    part.Set("greedy_cut_edges", static_cast<double>(greedy.cut_edges));
+    out.Set("partitioner", part);
+    std::printf("partitioner comm bytes: modulo %lld, greedy %lld\n",
+                static_cast<long long>(modulo.comm_bytes),
+                static_cast<long long>(greedy.comm_bytes));
+  }
+  return out;
+}
+
+/// Smoke validation: the emitted file must parse as JSON with the expected
+/// shape, strictly positive throughput everywhere, and the greedy
+/// partitioner strictly below modulo on comm bytes.
+bool ValidateJson(const std::string& path) {
+  auto parsed = bench::LoadJsonFile(path);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "smoke: invalid JSON: %s\n",
+                 parsed.status().ToString().c_str());
+    return false;
+  }
+  const serve::Json& root = parsed.ValueOrDie();
+  const serve::Json* scales = root.Find("scales");
+  if (scales == nullptr || !scales->is_array() || scales->as_array().empty()) {
+    std::fprintf(stderr, "smoke: missing scales array\n");
+    return false;
+  }
+  for (const serve::Json& scale : scales->as_array()) {
+    const serve::Json* threads = scale.Find("threads");
+    if (threads == nullptr || !threads->is_array() ||
+        threads->as_array().empty()) {
+      std::fprintf(stderr, "smoke: missing threads series\n");
+      return false;
+    }
+    for (const serve::Json& point : threads->as_array()) {
+      const serve::Json* tps = point.Find("tokens_per_sec");
+      if (tps == nullptr || !tps->is_number() || !(tps->as_number() > 0.0)) {
+        std::fprintf(stderr, "smoke: tokens/sec not > 0\n");
+        return false;
+      }
+    }
+    for (const char* key :
+         {"delta_tokens_per_sec", "legacy_tokens_per_sec",
+          "serial_tokens_per_sec", "speedup_vs_legacy"}) {
+      const serve::Json* value = scale.Find(key);
+      if (value == nullptr || !value->is_number() ||
+          !(value->as_number() > 0.0)) {
+        std::fprintf(stderr, "smoke: %s not > 0\n", key);
+        return false;
+      }
+    }
+    const serve::Json* part = scale.Find("partitioner");
+    if (part == nullptr) {
+      std::fprintf(stderr, "smoke: missing partitioner section\n");
+      return false;
+    }
+    const serve::Json* modulo = part->Find("modulo_comm_bytes");
+    const serve::Json* greedy = part->Find("greedy_comm_bytes");
+    if (modulo == nullptr || greedy == nullptr || !modulo->is_number() ||
+        !greedy->is_number() ||
+        !(greedy->as_number() < modulo->as_number())) {
+      std::fprintf(stderr,
+                   "smoke: greedy comm bytes not below modulo comm bytes\n");
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cold;
+  bench::QuietLogs();
+
+  std::string out_path = "BENCH_parallel.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out FILE]\n", argv[0]);
+      return 1;
+    }
+  }
+  bench::PrintHeader("Parallel trainer: strong scaling and partitioning");
+
+  std::vector<Scale> scales;
+  if (smoke) {
+    scales.push_back({"smoke", 0.05, 3, 2});
+  } else {
+    scales.push_back({"small", 0.25, 10, 4});
+    scales.push_back({"medium", 1.0, 5, 2});
+  }
+
+  serve::Json root = serve::Json::MakeObject();
+  root.Set("bench", "parallel_scaling");
+  root.Set("hardware_threads", static_cast<double>(HardwareThreads()));
+  serve::Json scale_array = serve::Json::MakeArray();
+  for (const Scale& scale : scales) scale_array.Append(RunScale(scale));
+  root.Set("scales", scale_array);
+
+  if (!bench::WriteJsonFile(root, out_path)) return 1;
+  std::printf("results written to %s\n", out_path.c_str());
+
+  if (smoke && !ValidateJson(out_path)) return 1;
+  bench::DumpTelemetryIfRequested();
+  return 0;
+}

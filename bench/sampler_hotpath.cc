@@ -126,11 +126,7 @@ KernelResult BenchKernel(core::ColdGibbsSampler* sampler,
   return result;
 }
 
-serve::Json ToJsonArray(const std::vector<double>& values) {
-  serve::Json arr = serve::Json::MakeArray();
-  for (double v : values) arr.Append(v);
-  return arr;
-}
+using bench::ToJsonArray;
 
 /// One benchmark scale: dataset size multiplier + sweep/superstep counts.
 struct Scale {
@@ -248,14 +244,7 @@ serve::Json RunScale(const Scale& scale) {
 /// Smoke validation: the emitted file must parse as JSON with the expected
 /// shape and strictly positive kernel + sweep throughput.
 bool ValidateJson(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "smoke: cannot reopen %s\n", path.c_str());
-    return false;
-  }
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  auto parsed = serve::Json::Parse(buffer.str());
+  auto parsed = bench::LoadJsonFile(path);
   if (!parsed.ok()) {
     std::fprintf(stderr, "smoke: invalid JSON: %s\n",
                  parsed.status().ToString().c_str());
@@ -323,14 +312,7 @@ int main(int argc, char** argv) {
   for (const Scale& scale : scales) scale_array.Append(RunScale(scale));
   root.Set("scales", scale_array);
 
-  {
-    std::ofstream out(out_path);
-    if (!out) {
-      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-      return 1;
-    }
-    out << root.Dump() << "\n";
-  }
+  if (!bench::WriteJsonFile(root, out_path)) return 1;
   std::printf("results written to %s\n", out_path.c_str());
 
   if (smoke && !ValidateJson(out_path)) return 1;

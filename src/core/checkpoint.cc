@@ -571,6 +571,10 @@ cold::Status ParallelColdTrainer::RestoreState(const std::string& payload) {
   COLD_RETURN_NOT_OK(state_->RestoreFrom(snapshot));
   lambda0_ = lambda0;
   supersteps_run_ = supersteps_run;
+  // Scatter draws are keyed by (superstep, chunk); realign the engine's
+  // superstep counter so the resumed run replays the same RNG streams as an
+  // uninterrupted one.
+  EngineSetSuperstepIndex(supersteps_run_);
   return cold::Status::OK();
 }
 

@@ -15,11 +15,15 @@ namespace {
 constexpr size_t kMaxWorkers = 256;
 
 /// Per-superstep throughput telemetry for the parallel trainer, mirroring
-/// the serial sampler's cold/gibbs/* gauges.
+/// the serial sampler's cold/gibbs/* gauges. stale_clamp_total counts every
+/// negative-count clamp in the sampling kernels: nonzero only when the
+/// legacy shared-counter mode races (the delta-table mode reads frozen
+/// counts whose own-contribution exclusion is exact, so it stays at zero).
 struct ParallelMetrics {
   obs::Counter* supersteps;
   obs::Gauge* superstep_seconds;
   obs::Gauge* tokens_per_second;
+  obs::Counter* stale_clamps;
 };
 
 ParallelMetrics& Metrics() {
@@ -27,7 +31,8 @@ ParallelMetrics& Metrics() {
   static ParallelMetrics metrics{
       registry.GetCounter("cold/parallel/supersteps"),
       registry.GetGauge("cold/parallel/superstep_seconds"),
-      registry.GetGauge("cold/parallel/tokens_per_second")};
+      registry.GetGauge("cold/parallel/tokens_per_second"),
+      registry.GetCounter("cold/parallel/stale_clamp_total")};
   return metrics;
 }
 
@@ -43,13 +48,15 @@ class ColdVertexProgram {
 
   ColdVertexProgram(const ColdConfig& config, const text::PostStore& posts,
                     const graph::Digraph* links, ParallelColdState* state,
-                    const Graph* graph, bool use_network, double lambda0)
+                    const Graph* graph, bool use_network, double lambda0,
+                    bool legacy_shared_counters)
       : config_(config),
         posts_(posts),
         links_(links),
         state_(state),
         graph_(graph),
         use_network_(use_network),
+        legacy_(legacy_shared_counters),
         lambda0_(lambda0),
         // Derived prior constants hoisted once — the scatter kernels run per
         // token per superstep and should not re-resolve them.
@@ -58,7 +65,26 @@ class ColdVertexProgram {
         kalpha_(config.num_topics * config.ResolvedAlpha()),
         teps_(posts.num_time_slices() * config.epsilon),
         vbeta_(state->V() * config.beta),
-        scratch_(kMaxWorkers) {}
+        scratch_(kMaxWorkers) {
+    if (legacy_) return;
+    const size_t C = static_cast<size_t>(config.num_communities);
+    const size_t K = static_cast<size_t>(config.num_topics);
+    const size_t T = static_cast<size_t>(posts.num_time_slices());
+    const size_t V = static_cast<size_t>(state->V());
+    comm_factor_.resize(K * C);
+    topic_ck_.resize(C * K);
+    log_nckt_eps_.resize(C * T * K);
+    log_nkv_beta_.resize(V * K);
+    lgamma_nk_vbeta_.resize(K);
+    for (text::PostId d = 0; d < posts_.num_posts(); ++d) {
+      max_post_len_ = std::max(max_post_len_, posts_.length(d));
+    }
+    denom_.resize(static_cast<size_t>(max_post_len_ + 1) * K);
+    if (use_network_) {
+      w_link_.resize(C * C);
+      w_link_in_.resize(C * C);
+    }
+  }
 
   GatherType GatherInit() const { return {}; }
 
@@ -129,14 +155,53 @@ class ColdVertexProgram {
   void Scatter(Graph* g, engine::EdgeId e, engine::WorkerContext* ctx) {
     ColdEdge& ed = g->edge_data(e);
     Scratch& scratch = GetScratch(ctx->worker_index);
+    if (legacy_) {
+      if (ed.type == ColdEdge::Type::kUserTime) {
+        for (text::PostId d : ed.posts) {
+          SamplePostCommunity(d, &scratch, ctx->sampler);
+          SamplePostTopic(d, &scratch, ctx->sampler);
+        }
+      } else if (use_network_) {
+        SampleLink(ed.link, &scratch, ctx->sampler);
+      }
+      return;
+    }
+    int32_t* delta = state_->delta(ctx->worker_index);
     if (ed.type == ColdEdge::Type::kUserTime) {
       for (text::PostId d : ed.posts) {
-        SamplePostCommunity(d, &scratch, ctx->sampler);
-        SamplePostTopic(d, &scratch, ctx->sampler);
+        SamplePostDelta(d, delta, &scratch, ctx->sampler);
       }
     } else if (use_network_) {
-      SampleLink(ed.link, &scratch, ctx->sampler);
+      SampleLinkDelta(ed.link, delta, &scratch, ctx->sampler);
     }
+  }
+
+  /// Delta mode setup, run after apply under the superstep barrier: the
+  /// canonical counters are final for this superstep, so rebuild the
+  /// derived log/lgamma caches from them and make sure every pool worker
+  /// has a delta buffer.
+  void PreScatter(cold::ThreadPool* pool) {
+    if (legacy_) return;
+    state_->EnsureDeltaBuffers(pool->num_threads());
+    RebuildDerivedCaches(pool);
+  }
+
+  /// Superstep-boundary reduction: folds every worker's delta buffer into
+  /// the canonical tables (striped across the pool; each cell is summed
+  /// over workers in fixed order, so the merged counts are deterministic)
+  /// and flushes the per-worker clamp tallies to the registry counter.
+  void PostScatter(cold::ThreadPool* pool) {
+    int64_t clamps = 0;
+    for (Scratch& s : scratch_) {
+      clamps += s.clamps;
+      s.clamps = 0;
+    }
+    if (clamps > 0) Metrics().stale_clamps->Increment(clamps);
+    if (legacy_) return;
+    const size_t n = state_->delta_size();
+    pool->ParallelFor(n, [this](size_t begin, size_t end, size_t) {
+      state_->MergeDeltaRange(begin, end);
+    });
   }
 
   void PostSuperstep(Graph*, int) {}
@@ -171,6 +236,10 @@ class ColdVertexProgram {
     std::vector<double> weights_c;
     std::vector<double> log_weights_k;
     std::vector<std::pair<text::WordId, int>> word_counts;
+    /// Negative-count clamps observed by this worker since the last flush
+    /// (PostScatter). Kept worker-local so the hot path never touches a
+    /// shared counter.
+    int64_t clamps = 0;
   };
 
   Scratch& GetScratch(size_t worker) {
@@ -180,6 +249,85 @@ class ColdVertexProgram {
       s.log_weights_k.resize(static_cast<size_t>(config_.num_topics));
     }
     return s;
+  }
+
+  /// Floors a count at zero, tallying the clamp (stale-count observability;
+  /// see cold/parallel/stale_clamp_total).
+  static double ClampNonNeg(double v, Scratch* scratch) {
+    if (v < 0.0) {
+      scratch->clamps++;
+      return 0.0;
+    }
+    return v;
+  }
+
+  /// \brief Rebuilds the derived-value caches from the canonical counters
+  /// (the parallel analogue of the serial sampler's RebuildDerivedTables).
+  /// Runs under the superstep barrier while the counters are stable; only
+  /// the K*V word-log table is big enough to parallelize.
+  void RebuildDerivedCaches(cold::ThreadPool* pool) {
+    const int C = config_.num_communities;
+    const int K = config_.num_topics;
+    const int T = posts_.num_time_slices();
+    const int V = state_->V();
+    const double epsilon = config_.epsilon;
+    for (int c = 0; c < C; ++c) {
+      for (int k = 0; k < K; ++k) {
+        const double n_ck = state_->r_n_ck(c, k);
+        const double n_c = state_->r_n_c(c);
+        // Transposed [k*C + c]: the community kernel scans c for a fixed k.
+        comm_factor_[static_cast<size_t>(k) * C + c] =
+            (n_ck + alpha_) / ((n_c + kalpha_) * (n_ck + teps_));
+        topic_ck_[static_cast<size_t>(c) * K + k] =
+            std::log(n_ck + alpha_) - std::log(n_ck + teps_);
+        // Transposed [(c*T + t)*K + k]: the topic kernel scans k for a
+        // fixed (c, t).
+        for (int t = 0; t < T; ++t) {
+          log_nckt_eps_[(static_cast<size_t>(c) * T + t) * K + k] =
+              std::log(state_->r_n_ckt(c, k, t) + epsilon);
+        }
+      }
+    }
+    // Transposed [v*K + k]: the word loop adds one contiguous K-row per
+    // token instead of K scattered loads — the hottest reads of the topic
+    // kernel.
+    pool->ParallelFor(static_cast<size_t>(V),
+                      [this, K](size_t begin, size_t end, size_t) {
+                        for (size_t v = begin; v < end; ++v) {
+                          for (int k = 0; k < K; ++k) {
+                            log_nkv_beta_[v * K + k] = std::log(
+                                state_->r_n_kv(k, static_cast<int>(v)) +
+                                config_.beta);
+                          }
+                        }
+                      });
+    // Length-denominator table, transposed [len*K + k]: log ascending
+    // factorial of (n_k + V*beta) over `len` steps, built incrementally so
+    // the whole table costs one log per cell. Makes the per-post length
+    // term a contiguous K-row lookup for every topic except the post's own.
+    for (int k = 0; k < K; ++k) {
+      const double base = state_->r_n_k(k) + vbeta_;
+      lgamma_nk_vbeta_[k] = cold::LGamma(base);
+      double acc = 0.0;
+      denom_[static_cast<size_t>(k)] = 0.0;
+      for (int len = 1; len <= max_post_len_; ++len) {
+        acc += std::log(base + (len - 1));
+        denom_[static_cast<size_t>(len) * K + k] = acc;
+      }
+    }
+    if (use_network_) {
+      const double lambda1 = config_.lambda1;
+      for (int c = 0; c < C; ++c) {
+        for (int c2 = 0; c2 < C; ++c2) {
+          const double n = state_->r_n_cc(c, c2);
+          const double w = (n + lambda1) / (n + lambda0_ + lambda1);
+          // Row-major for the s'|s scan (fixed src community s1), column-
+          // major copy for the s|s' scan (fixed dst community s').
+          w_link_[static_cast<size_t>(c) * C + c2] = w;
+          w_link_in_[static_cast<size_t>(c2) * C + c] = w;
+        }
+      }
+    }
   }
 
   // Eq. (1) with own-contribution exclusion against shared counters.
@@ -198,11 +346,11 @@ class ColdVertexProgram {
       double n_ck = state_->r_n_ck(c, k) - own;
       double n_c = state_->r_n_c(c) - own;
       double n_ckt = state_->r_n_ckt(c, k, t) - own;
-      // Stale counts can transiently dip below zero; clamp.
-      n_ick = std::max(n_ick, 0.0);
-      n_ck = std::max(n_ck, 0.0);
-      n_c = std::max(n_c, 0.0);
-      n_ckt = std::max(n_ckt, 0.0);
+      // Stale counts can transiently dip below zero; clamp (and count).
+      n_ick = ClampNonNeg(n_ick, scratch);
+      n_ck = ClampNonNeg(n_ck, scratch);
+      n_c = ClampNonNeg(n_c, scratch);
+      n_ckt = ClampNonNeg(n_ckt, scratch);
       scratch->weights_c[static_cast<size_t>(c)] =
           (n_ick + rho_) * ((n_ck + alpha_) / (n_c + kalpha_)) *
           ((n_ckt + epsilon) / (n_ck + teps_));
@@ -240,17 +388,17 @@ class ColdVertexProgram {
     // the ascending-factorial loops still collapse to lgamma pairs.
     for (int k = 0; k < K; ++k) {
       int own = (k == k0) ? 1 : 0;
-      double n_ck = std::max<double>(state_->r_n_ck(c, k) - own, 0.0);
-      double n_ckt = std::max<double>(state_->r_n_ckt(c, k, t) - own, 0.0);
+      double n_ck = ClampNonNeg(state_->r_n_ck(c, k) - own, scratch);
+      double n_ckt = ClampNonNeg(state_->r_n_ckt(c, k, t) - own, scratch);
       double lw = std::log(n_ck + alpha_) +
                   std::log((n_ckt + epsilon) / (n_ck + teps_));
       for (const auto& [w, cnt] : scratch->word_counts) {
         double base =
-            std::max<double>(state_->r_n_kv(k, w) - own * cnt, 0.0) + beta;
+            ClampNonNeg(state_->r_n_kv(k, w) - own * cnt, scratch) + beta;
         lw += cold::LogAscendingFactorial(base, cnt);
       }
       double denom =
-          std::max<double>(state_->r_n_k(k) - own * len, 0.0) + vbeta_;
+          ClampNonNeg(state_->r_n_k(k) - own * len, scratch) + vbeta_;
       lw -= cold::LogAscendingFactorial(denom, len);
       scratch->log_weights_k[static_cast<size_t>(k)] = lw;
     }
@@ -283,9 +431,8 @@ class ColdVertexProgram {
     for (int cc = 0; cc < C; ++cc) {
       int own = (cc == s0) ? 1 : 0;
       double n_ic =
-          std::max<double>(state_->r_n_ic(edge.src, cc) - own, 0.0);
-      double n =
-          std::max<double>(state_->r_n_cc(cc, s20) - own, 0.0);
+          ClampNonNeg(state_->r_n_ic(edge.src, cc) - own, scratch);
+      double n = ClampNonNeg(state_->r_n_cc(cc, s20) - own, scratch);
       scratch->weights_c[static_cast<size_t>(cc)] =
           (n_ic + rho_) * (n + lambda1) / (n + lambda0_ + lambda1);
     }
@@ -295,9 +442,9 @@ class ColdVertexProgram {
     for (int cc = 0; cc < C; ++cc) {
       int own = (cc == s20) ? 1 : 0;
       double n_ic =
-          std::max<double>(state_->r_n_ic(edge.dst, cc) - own, 0.0);
+          ClampNonNeg(state_->r_n_ic(edge.dst, cc) - own, scratch);
       int own_pair = (s1 == s0 && cc == s20) ? 1 : 0;
-      double n = std::max<double>(state_->r_n_cc(s1, cc) - own_pair, 0.0);
+      double n = ClampNonNeg(state_->r_n_cc(s1, cc) - own_pair, scratch);
       scratch->weights_c[static_cast<size_t>(cc)] =
           (n_ic + rho_) * (n + lambda1) / (n + lambda0_ + lambda1);
     }
@@ -321,12 +468,192 @@ class ColdVertexProgram {
     }
   }
 
+  // Eqs. (1)+(3) in delta mode. The canonical counters are frozen at their
+  // pre-superstep values, so this post's own contribution sits exactly at
+  // its frozen assignment (c0, k0): exclusion is exact (no clamps can fire)
+  // and every term not involving (c0, k0) comes from the per-superstep
+  // caches instead of live logs. Updates go to the worker's delta buffer.
+  void SamplePostDelta(text::PostId d, int32_t* delta, Scratch* scratch,
+                       cold::RandomSampler* sampler) {
+    const int C = config_.num_communities;
+    const int K = config_.num_topics;
+    const int T = posts_.num_time_slices();
+    const double beta = config_.beta;
+    const double epsilon = config_.epsilon;
+    const int c0 = state_->post_community[static_cast<size_t>(d)];
+    const int k0 = state_->post_topic[static_cast<size_t>(d)];
+    const int t = posts_.time(d);
+    const int len = posts_.length(d);
+    const text::UserId i = posts_.author(d);
+
+    // --- community draw, Eq. (1) ---
+    const double* comm_row = &comm_factor_[static_cast<size_t>(k0) * C];
+    for (int c = 0; c < C; ++c) {
+      scratch->weights_c[static_cast<size_t>(c)] =
+          (state_->r_n_ic(i, c) + rho_) * comm_row[c] *
+          (state_->r_n_ckt(c, k0, t) + epsilon);
+    }
+    {
+      // Own-contribution fixup at c0; frozen counts make the exclusion
+      // exact.
+      double n_ick = ClampNonNeg(state_->r_n_ic(i, c0) - 1, scratch);
+      double n_ck = ClampNonNeg(state_->r_n_ck(c0, k0) - 1, scratch);
+      double n_c = ClampNonNeg(state_->r_n_c(c0) - 1, scratch);
+      double n_ckt = ClampNonNeg(state_->r_n_ckt(c0, k0, t) - 1, scratch);
+      scratch->weights_c[static_cast<size_t>(c0)] =
+          (n_ick + rho_) * ((n_ck + alpha_) / (n_c + kalpha_)) *
+          ((n_ckt + epsilon) / (n_ck + teps_));
+    }
+    const int c1 = sampler->Categorical(scratch->weights_c);
+    if (c1 != c0) {
+      state_->post_community[static_cast<size_t>(d)] =
+          static_cast<int32_t>(c1);
+      delta[state_->dx_n_ic(i, c0)]--;
+      delta[state_->dx_n_ic(i, c1)]++;
+      delta[state_->dx_n_ck(c0, k0)]--;
+      delta[state_->dx_n_ck(c1, k0)]++;
+      delta[state_->dx_n_c(c0)]--;
+      delta[state_->dx_n_c(c1)]++;
+      delta[state_->dx_n_ckt(c0, k0, t)]--;
+      delta[state_->dx_n_ckt(c1, k0, t)]++;
+    }
+
+    // --- topic draw, Eq. (3), conditioned on the fresh community ---
+    // All topics take the cached path first — every read below is a
+    // contiguous K-row — then k0 is overwritten with the live own-excluded
+    // value. (The frozen (c, k) cell contains this post only when the
+    // community draw kept c0; the frozen word/length counts contain it at
+    // k0 always.)
+    posts_.WordCounts(d, &scratch->word_counts);
+    double* lw = scratch->log_weights_k.data();
+    {
+      const double* topic_row = &topic_ck_[static_cast<size_t>(c1) * K];
+      const double* nckt_row =
+          &log_nckt_eps_[(static_cast<size_t>(c1) * T + t) * K];
+      const double* denom_row = &denom_[static_cast<size_t>(len) * K];
+      for (int k = 0; k < K; ++k) {
+        lw[k] = topic_row[k] + nckt_row[k] - denom_row[k];
+      }
+    }
+    for (const auto& [w, cnt] : scratch->word_counts) {
+      if (cnt == 1) {
+        const double* word_row = &log_nkv_beta_[static_cast<size_t>(w) * K];
+        for (int k = 0; k < K; ++k) lw[k] += word_row[k];
+      } else {
+        for (int k = 0; k < K; ++k) {
+          lw[k] += cold::LogAscendingFactorial(state_->r_n_kv(k, w) + beta,
+                                               cnt);
+        }
+      }
+    }
+    {
+      // k0 fixup: recompute the whole term live with this post excluded.
+      double own;
+      if (c1 == c0) {
+        double n_ck = ClampNonNeg(state_->r_n_ck(c1, k0) - 1, scratch);
+        double n_ckt = ClampNonNeg(state_->r_n_ckt(c1, k0, t) - 1, scratch);
+        own = std::log(n_ck + alpha_) +
+              std::log((n_ckt + epsilon) / (n_ck + teps_));
+      } else {
+        own = topic_ck_[static_cast<size_t>(c1) * K + k0] +
+              log_nckt_eps_[(static_cast<size_t>(c1) * T + t) * K + k0];
+      }
+      for (const auto& [w, cnt] : scratch->word_counts) {
+        double base =
+            ClampNonNeg(state_->r_n_kv(k0, w) - cnt, scratch) + beta;
+        own += cold::LogAscendingFactorial(base, cnt);
+      }
+      // Denominator with own words removed: lgamma(n_k + Vbeta) is cached,
+      // leaving a single live lgamma per post.
+      double base = ClampNonNeg(state_->r_n_k(k0) - len, scratch) + vbeta_;
+      own -= lgamma_nk_vbeta_[static_cast<size_t>(k0)] - cold::LGamma(base);
+      lw[k0] = own;
+    }
+    const int k1 = sampler->LogCategorical(scratch->log_weights_k);
+    if (k1 != k0) {
+      state_->post_topic[static_cast<size_t>(d)] = static_cast<int32_t>(k1);
+      // Composes with the community deltas above: the net over both draws
+      // moves the post from (c0, k0) to (c1, k1).
+      delta[state_->dx_n_ck(c1, k0)]--;
+      delta[state_->dx_n_ck(c1, k1)]++;
+      delta[state_->dx_n_ckt(c1, k0, t)]--;
+      delta[state_->dx_n_ckt(c1, k1, t)]++;
+      for (text::WordId w : posts_.words(d)) {
+        delta[state_->dx_n_kv(k0, w)]--;
+        delta[state_->dx_n_kv(k1, w)]++;
+      }
+      delta[state_->dx_n_k(k0)] -= len;
+      delta[state_->dx_n_k(k1)] += len;
+    }
+  }
+
+  // Eq. (2) in delta mode: same alternating conditionals as SampleLink, but
+  // against frozen counts (exact own-exclusion) with the link weight ratio
+  // (n_cc + l1) / (n_cc + l0 + l1) cached per community pair.
+  void SampleLinkDelta(graph::EdgeId link, int32_t* delta, Scratch* scratch,
+                       cold::RandomSampler* sampler) {
+    const int C = config_.num_communities;
+    const double lambda1 = config_.lambda1;
+    const graph::Edge& edge = links_->edge(link);
+    const int s0 = state_->link_src_community[static_cast<size_t>(link)];
+    const int s20 = state_->link_dst_community[static_cast<size_t>(link)];
+
+    // s | s': cached column of incoming-link ratios for fixed s', then the
+    // own-contribution fixup at s0 (exact against frozen counts).
+    const double* w_in = &w_link_in_[static_cast<size_t>(s20) * C];
+    for (int cc = 0; cc < C; ++cc) {
+      scratch->weights_c[static_cast<size_t>(cc)] =
+          (state_->r_n_ic(edge.src, cc) + rho_) * w_in[cc];
+    }
+    {
+      double n_ic = ClampNonNeg(state_->r_n_ic(edge.src, s0) - 1, scratch);
+      double n = ClampNonNeg(state_->r_n_cc(s0, s20) - 1, scratch);
+      scratch->weights_c[static_cast<size_t>(s0)] =
+          (n_ic + rho_) * (n + lambda1) / (n + lambda0_ + lambda1);
+    }
+    const int s1 = sampler->Categorical(scratch->weights_c);
+
+    // s' | s: cached row for fixed s, with fixups at the dst's own n_ic
+    // cell (s20) and — only if the first draw kept s0 — the own n_cc cell.
+    const double* w_out = &w_link_[static_cast<size_t>(s1) * C];
+    for (int cc = 0; cc < C; ++cc) {
+      scratch->weights_c[static_cast<size_t>(cc)] =
+          (state_->r_n_ic(edge.dst, cc) + rho_) * w_out[cc];
+    }
+    {
+      double n_ic = ClampNonNeg(state_->r_n_ic(edge.dst, s20) - 1, scratch);
+      double n = ClampNonNeg(
+          state_->r_n_cc(s1, s20) - (s1 == s0 ? 1 : 0), scratch);
+      scratch->weights_c[static_cast<size_t>(s20)] =
+          (n_ic + rho_) * (n + lambda1) / (n + lambda0_ + lambda1);
+    }
+    const int s21 = sampler->Categorical(scratch->weights_c);
+
+    if (s1 != s0) {
+      state_->link_src_community[static_cast<size_t>(link)] =
+          static_cast<int32_t>(s1);
+      delta[state_->dx_n_ic(edge.src, s0)]--;
+      delta[state_->dx_n_ic(edge.src, s1)]++;
+    }
+    if (s21 != s20) {
+      state_->link_dst_community[static_cast<size_t>(link)] =
+          static_cast<int32_t>(s21);
+      delta[state_->dx_n_ic(edge.dst, s20)]--;
+      delta[state_->dx_n_ic(edge.dst, s21)]++;
+    }
+    if (s1 != s0 || s21 != s20) {
+      delta[state_->dx_n_cc(s0, s20)]--;
+      delta[state_->dx_n_cc(s1, s21)]++;
+    }
+  }
+
   const ColdConfig& config_;
   const text::PostStore& posts_;
   const graph::Digraph* links_;
   ParallelColdState* state_;
   const Graph* graph_;
   bool use_network_;
+  bool legacy_;    // legacy shared-atomic mode (A/B baseline)
   double lambda0_;
   double rho_;     // resolved membership prior
   double alpha_;   // resolved topic prior
@@ -334,6 +661,19 @@ class ColdVertexProgram {
   double teps_;    // T * epsilon
   double vbeta_;   // V * beta
   std::vector<Scratch> scratch_;
+
+  // Delta-mode derived caches, rebuilt once per superstep from the frozen
+  // canonical counters (RebuildDerivedCaches). Layouts are transposed to
+  // put the kernel's scan dimension innermost (see the rebuild comments).
+  int max_post_len_ = 0;
+  std::vector<double> comm_factor_;     // [k*C+c] (n_ck+a)/((n_c+Ka)(n_ck+Te))
+  std::vector<double> topic_ck_;        // [c*K+k] log(n_ck+a) - log(n_ck+Te)
+  std::vector<double> log_nckt_eps_;    // [(c*T+t)*K+k] log(n_ckt+e)
+  std::vector<double> log_nkv_beta_;    // [v*K+k] log(n_kv+b)
+  std::vector<double> lgamma_nk_vbeta_; // [k] lgamma(n_k+Vb)
+  std::vector<double> denom_;           // [len*K+k] log asc. factorial table
+  std::vector<double> w_link_;          // [c*C+c2] (n_cc+l1)/(n_cc+l0+l1)
+  std::vector<double> w_link_in_;       // [c2*C+c] transposed copy
 };
 
 ParallelColdTrainer::ParallelColdTrainer(ColdConfig config,
@@ -461,7 +801,7 @@ cold::Status ParallelColdTrainer::Init() {
 
   program_ = std::make_unique<ColdVertexProgram>(
       config_, posts_, links_, state_.get(), graph_.get(), use_network_,
-      lambda0_);
+      lambda0_, engine_options_.legacy_shared_counters);
   engine_ = std::make_unique<
       engine::GasEngine<ColdVertex, ColdEdge, ColdVertexProgram>>(
       graph_.get(), program_.get(), engine_options_);
@@ -515,6 +855,10 @@ std::vector<cold::RngState> ParallelColdTrainer::EngineSamplerStates() const {
 cold::Status ParallelColdTrainer::EngineRestoreSamplerStates(
     const std::vector<cold::RngState>& states) {
   return engine_->RestoreSamplerStates(states);
+}
+
+void ParallelColdTrainer::EngineSetSuperstepIndex(int64_t index) {
+  engine_->set_superstep_index(index);
 }
 
 ColdEstimates ParallelColdTrainer::Estimates() const {

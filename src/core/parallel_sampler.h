@@ -8,10 +8,18 @@
 // Counter placement follows Alg 2: per-user membership counts n_ic and
 // per-time counts n_ckt are vertex-owned and rebuilt in the gather/apply
 // phases each superstep; the low-dimensional global counters (n_ck, n_kv,
-// n_k, n_cc) are shared aggregates updated during scatter and broadcast at
-// superstep boundaries (the engine accounts that traffic). Scatter draws new
-// assignments with Eqs. (1)-(3) against these slightly-stale counts — the
-// standard approximate-parallel collapsed Gibbs scheme.
+// n_k, n_cc) are shared aggregates broadcast at superstep boundaries (the
+// engine accounts that traffic).
+//
+// Scatter draws new assignments with Eqs. (1)-(3). In the default
+// delta-table mode the canonical counters stay frozen for the whole phase:
+// each worker reads them contention-free, records its +/- updates in a
+// private delta buffer, and the buffers are merged at the superstep
+// boundary — deterministic for a fixed seed regardless of worker count, and
+// free of the fetch_add hot spot. Derived log/lgamma caches are rebuilt
+// once per superstep from the stable counts (DESIGN.md §10). The legacy
+// shared-atomic mode (live counts, per-token logs) remains selectable via
+// EngineOptions::legacy_shared_counters for A/B benchmarking.
 #pragma once
 
 #include <functional>
@@ -70,8 +78,10 @@ class ParallelColdTrainer {
   cold::Status SerializeState(std::string* out) const;
 
   /// \brief Restores state captured by SerializeState(). Requires the same
-  /// dataset, seed, schedule and worker count (each worker owns its own
-  /// deterministic RNG stream); validated before anything takes effect.
+  /// dataset, seed, schedule and worker count (the v1 payload serializes
+  /// per-worker RNG streams; scatter draws are keyed by superstep and
+  /// chunk, so resumed runs are bit-identical at any worker count that
+  /// matches the checkpoint); validated before anything takes effect.
   /// Defined in checkpoint.cc.
   cold::Status RestoreState(const std::string& payload);
 
@@ -110,6 +120,7 @@ class ParallelColdTrainer {
   std::vector<cold::RngState> EngineSamplerStates() const;
   cold::Status EngineRestoreSamplerStates(
       const std::vector<cold::RngState>& states);
+  void EngineSetSuperstepIndex(int64_t index);
 
   ColdConfig config_;
   const text::PostStore& posts_;

@@ -1,5 +1,7 @@
 #include "core/parallel_state.h"
 
+#include <cstring>
+
 namespace cold::core {
 
 namespace {
@@ -7,6 +9,14 @@ std::unique_ptr<std::atomic<int32_t>[]> MakeZeroed(size_t n) {
   auto arr = std::make_unique<std::atomic<int32_t>[]>(n);
   for (size_t i = 0; i < n; ++i) {
     arr[i].store(0, std::memory_order_relaxed);
+  }
+  return arr;
+}
+
+std::unique_ptr<PaddedCount[]> MakeZeroedPadded(size_t n) {
+  auto arr = std::make_unique<PaddedCount[]>(n);
+  for (size_t i = 0; i < n; ++i) {
+    arr[i].value.store(0, std::memory_order_relaxed);
   }
   return arr;
 }
@@ -29,12 +39,55 @@ ParallelColdState::ParallelColdState(int num_users, int num_communities,
   n_ic_ = MakeZeroed(static_cast<size_t>(num_users) * num_communities);
   n_i_ = MakeZeroed(static_cast<size_t>(num_users));
   n_ck_ = MakeZeroed(static_cast<size_t>(num_communities) * num_topics);
-  n_c_ = MakeZeroed(static_cast<size_t>(num_communities));
+  n_c_ = MakeZeroedPadded(static_cast<size_t>(num_communities));
   n_ckt_ = MakeZeroed(static_cast<size_t>(num_communities) * num_topics *
                       num_time_slices);
   n_kv_ = MakeZeroed(static_cast<size_t>(num_topics) * vocab_size);
-  n_k_ = MakeZeroed(static_cast<size_t>(num_topics));
+  n_k_ = MakeZeroedPadded(static_cast<size_t>(num_topics));
   n_cc_ = MakeZeroed(static_cast<size_t>(num_communities) * num_communities);
+
+  off_ic_ = 0;
+  off_ck_ = off_ic_ + static_cast<size_t>(num_users) * num_communities;
+  off_c_ = off_ck_ + static_cast<size_t>(num_communities) * num_topics;
+  off_ckt_ = off_c_ + static_cast<size_t>(num_communities);
+  off_kv_ = off_ckt_ + static_cast<size_t>(num_communities) * num_topics *
+                           num_time_slices;
+  off_k_ = off_kv_ + static_cast<size_t>(num_topics) * vocab_size;
+  off_cc_ = off_k_ + static_cast<size_t>(num_topics);
+  delta_size_ =
+      off_cc_ + static_cast<size_t>(num_communities) * num_communities;
+}
+
+void ParallelColdState::EnsureDeltaBuffers(size_t num_workers) {
+  while (deltas_.size() < num_workers) {
+    auto* raw = static_cast<int32_t*>(::operator new[](
+        delta_size_ * sizeof(int32_t), std::align_val_t{kCacheLineBytes}));
+    std::memset(raw, 0, delta_size_ * sizeof(int32_t));
+    deltas_.emplace_back(raw);
+  }
+}
+
+std::atomic<int32_t>& ParallelColdState::CanonicalAt(size_t idx) {
+  if (idx < off_ck_) return n_ic_[idx - off_ic_];
+  if (idx < off_c_) return n_ck_[idx - off_ck_];
+  if (idx < off_ckt_) return n_c_[idx - off_c_].value;
+  if (idx < off_kv_) return n_ckt_[idx - off_ckt_];
+  if (idx < off_k_) return n_kv_[idx - off_kv_];
+  if (idx < off_cc_) return n_k_[idx - off_k_].value;
+  return n_cc_[idx - off_cc_];
+}
+
+void ParallelColdState::MergeDeltaRange(size_t begin, size_t end) {
+  for (size_t idx = begin; idx < end; ++idx) {
+    int32_t total = 0;
+    for (DeltaBuffer& buf : deltas_) {
+      total += buf[idx];
+      buf[idx] = 0;
+    }
+    if (total != 0) {
+      CanonicalAt(idx).fetch_add(total, std::memory_order_relaxed);
+    }
+  }
 }
 
 ColdState ParallelColdState::ToColdState() const {

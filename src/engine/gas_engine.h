@@ -8,8 +8,19 @@
 //             edges (parallel over vertices);
 //   apply   — per vertex, folds the gathered value into vertex state;
 //   scatter — per edge, may mutate edge state (this is where COLD samples
-//             new latent assignments); parallel over edges with a
-//             deterministic per-worker RNG stream.
+//             new latent assignments); parallel over fixed-size edge chunks
+//             pulled from an atomic cursor (dynamic scheduling kills the
+//             work-skew tail), each chunk drawing from its own RNG stream
+//             keyed by (superstep, chunk) so results are bit-identical
+//             across repeats AND worker counts.
+//
+// Programs may additionally provide two optional phase hooks, detected by
+// duck typing:
+//   void PreScatter(cold::ThreadPool*);   // after apply, before scatter —
+//                                         // e.g. rebuild derived caches
+//   void PostScatter(cold::ThreadPool*);  // after scatter, before comm
+//                                         // accounting — e.g. merge
+//                                         // per-worker delta tables
 //
 // Cluster simulation: vertices are placed on `options.num_nodes` simulated
 // machines by a Partitioner. Phases execute on `num_nodes * threads_per_node`
@@ -44,6 +55,7 @@ struct EngineMetrics {
   obs::Gauge* gather_seconds;
   obs::Gauge* apply_seconds;
   obs::Gauge* scatter_seconds;
+  obs::Gauge* merge_seconds;
   obs::Counter* comm_bytes;
   obs::Counter* supersteps;
   obs::Gauge* cut_edges;
@@ -56,12 +68,23 @@ inline EngineMetrics& GetEngineMetrics() {
       registry.GetGauge("cold/engine/gather_seconds"),
       registry.GetGauge("cold/engine/apply_seconds"),
       registry.GetGauge("cold/engine/scatter_seconds"),
+      registry.GetGauge("cold/engine/merge_seconds"),
       registry.GetCounter("cold/engine/comm_bytes"),
       registry.GetCounter("cold/engine/supersteps"),
       registry.GetGauge("cold/engine/cut_edges"),
       registry.GetGauge("cold/engine/work_skew")};
   return metrics;
 }
+
+/// Detects the optional PreScatter/PostScatter program hooks.
+template <typename Program>
+concept HasPreScatter = requires(Program p, cold::ThreadPool* pool) {
+  p.PreScatter(pool);
+};
+template <typename Program>
+concept HasPostScatter = requires(Program p, cold::ThreadPool* pool) {
+  p.PostScatter(pool);
+};
 
 }  // namespace internal
 
@@ -79,13 +102,28 @@ struct EngineOptions {
   /// Synchronous GAS supersteps (default) or asynchronous sweeps.
   ExecutionMode execution = ExecutionMode::kSync;
   /// Worker threads per simulated node; total threads = num_nodes *
-  /// threads_per_node, capped at hardware concurrency.
+  /// threads_per_node, capped at hardware concurrency unless
+  /// `oversubscribe` is set.
   int threads_per_node = 1;
-  /// Base seed for the per-worker RNG streams.
+  /// Base seed for the per-chunk scatter RNG streams.
   uint64_t seed = 42;
   /// Bytes accounted per cut-edge message (gather result or scattered
   /// assignment); a knob for the communication model, not correctness.
   int64_t bytes_per_edge_message = 16;
+  /// Vertex placement strategy. Greedy (degree-aware LDG) is the default —
+  /// it cuts fewer edges than modulo on clustered graphs; kModulo remains
+  /// for A/B comparisons.
+  PartitionerKind partitioner = PartitionerKind::kGreedy;
+  /// Run num_nodes * threads_per_node real threads even beyond the host's
+  /// hardware concurrency. Results are thread-count-invariant, so this is
+  /// for exercising multi-worker code paths (tests, TSan) on small hosts,
+  /// not for throughput.
+  bool oversubscribe = false;
+  /// Opt back into the pre-delta-table execution: scatter updates shared
+  /// atomic counters live instead of buffering per-worker deltas. Consumed
+  /// by the COLD vertex program (the engine just carries it); kept for
+  /// benchmarking the contention the delta tables remove.
+  bool legacy_shared_counters = false;
 };
 
 /// \brief Engine execution statistics, reset by each Run call.
@@ -94,6 +132,9 @@ struct EngineStats {
   double gather_seconds = 0.0;
   double apply_seconds = 0.0;
   double scatter_seconds = 0.0;
+  /// Time inside the program's PostScatter hook (delta-table merge); a
+  /// subset of scatter_seconds, reported separately for the scaling bench.
+  double merge_seconds = 0.0;
   /// Simulated network traffic: cut-edge messages + aggregator broadcasts.
   int64_t comm_bytes = 0;
   /// Cut edges in the current partitioning (constant per partitioning).
@@ -151,6 +192,19 @@ class GasEngine {
         partitioner_(graph->num_vertices(), options.num_nodes),
         pool_(ComputeThreads(options)) {
     InitSamplers();
+    if (options_.partitioner == PartitionerKind::kGreedy &&
+        options_.num_nodes > 1 && graph_->num_vertices() > 0) {
+      // Edges execute on their source's node, so a vertex's work is the
+      // work of its out-edges.
+      std::vector<int64_t> vertex_work(
+          static_cast<size_t>(graph_->num_vertices()), 0);
+      for (EdgeId e = 0; e < graph_->num_edges(); ++e) {
+        vertex_work[static_cast<size_t>(graph_->src(e))] +=
+            program_->EdgeWorkUnits(e);
+      }
+      partitioner_.SetAssignment(
+          GreedyAssignment(*graph_, options_.num_nodes, vertex_work));
+    }
     ComputePartitionStats();
   }
 
@@ -189,6 +243,13 @@ class GasEngine {
     partitioner_.SetAssignment(std::move(assignment));
     ComputePartitionStats();
   }
+
+  /// \brief Sets the superstep index that keys the per-chunk scatter RNG
+  /// streams. The engine advances it after every scatter; a checkpoint
+  /// restore must reinstall the saved value so resumed supersteps draw from
+  /// the streams an uninterrupted run would have used.
+  void set_superstep_index(int64_t index) { superstep_index_ = index; }
+  int64_t superstep_index() const { return superstep_index_; }
 
   /// \brief Projects the measured execution time onto the simulated
   /// `options.num_nodes`-machine cluster: the busiest node's share of the
@@ -239,31 +300,7 @@ class GasEngine {
   void RunAsyncSweep() {
     COLD_TRACE_SPAN("engine/async_sweep");
     auto& metrics = internal::GetEngineMetrics();
-    double scatter_s = 0.0;
-    {
-      cold::ScopedTimer timer(scatter_s);
-      const int64_t ne = graph_->num_edges();
-      std::atomic<int64_t> cursor{0};
-      constexpr int64_t kChunk = 256;
-      size_t workers = pool_.num_threads();
-      // One long-running task per worker, each pulling chunks dynamically.
-      pool_.ParallelFor(workers, [this, ne, &cursor](size_t begin, size_t end,
-                                                     size_t worker) {
-        (void)begin;
-        (void)end;
-        WorkerContext ctx{&samplers_[worker], worker};
-        while (true) {
-          int64_t start = cursor.fetch_add(kChunk, std::memory_order_relaxed);
-          if (start >= ne) break;
-          int64_t stop = std::min(ne, start + kChunk);
-          for (int64_t e = start; e < stop; ++e) {
-            program_->Scatter(graph_, static_cast<EdgeId>(e), &ctx);
-          }
-        }
-      });
-    }
-    stats_.scatter_seconds += scatter_s;
-    metrics.scatter_seconds->Add(scatter_s);
+    RunScatterPhase(metrics);
     int64_t bytes = 2 * stats_.cut_edges * options_.bytes_per_edge_message;
     stats_.comm_bytes += bytes;
     metrics.comm_bytes->Increment(bytes);
@@ -310,19 +347,7 @@ class GasEngine {
     metrics.apply_seconds->Add(ga * 0.5);
 
     // Scatter.
-    double scatter_s = 0.0;
-    {
-      cold::ScopedTimer timer(scatter_s);
-      size_t ne = static_cast<size_t>(graph_->num_edges());
-      pool_.ParallelFor(ne, [this](size_t begin, size_t end, size_t worker) {
-        WorkerContext ctx{&samplers_[worker], worker};
-        for (size_t e = begin; e < end; ++e) {
-          program_->Scatter(graph_, static_cast<EdgeId>(e), &ctx);
-        }
-      });
-    }
-    stats_.scatter_seconds += scatter_s;
-    metrics.scatter_seconds->Add(scatter_s);
+    RunScatterPhase(metrics);
 
     // Simulated network: every cut edge ships its gather contribution and
     // its scattered assignment; global aggregator state is broadcast to all
@@ -339,11 +364,73 @@ class GasEngine {
   }
 
  private:
+  /// Edges per scatter chunk. Small enough for dynamic scheduling to even
+  /// out skew, large enough that the per-chunk RNG construction is noise.
+  static constexpr int64_t kScatterChunk = 256;
+  /// Chunk RNG streams start far above the legacy per-worker streams
+  /// (1..kMaxWorkers) and the trainer's init stream, so no sequence is
+  /// reused across purposes.
+  static constexpr uint64_t kChunkStreamBase = uint64_t{1} << 32;
+
   static size_t ComputeThreads(const EngineOptions& options) {
     size_t want = static_cast<size_t>(options.num_nodes) *
                   static_cast<size_t>(options.threads_per_node);
+    if (options.oversubscribe) return std::max<size_t>(1, want);
     size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
     return std::max<size_t>(1, std::min(want, hw));
+  }
+
+  /// \brief The scatter phase shared by sync supersteps and async sweeps:
+  /// optional PreScatter hook, chunked dynamic execution over edges, and
+  /// the optional PostScatter hook (timed separately as merge_seconds).
+  ///
+  /// Determinism: chunk boundaries depend only on the edge count and each
+  /// chunk owns RNG stream (superstep * num_chunks + chunk), so the drawn
+  /// assignments are identical no matter which worker ends up executing a
+  /// chunk — repeat runs and different thread counts produce bit-identical
+  /// state (provided the program's own updates commute, as the delta-table
+  /// program's do).
+  void RunScatterPhase(internal::EngineMetrics& metrics) {
+    double scatter_s = 0.0;
+    double merge_s = 0.0;
+    {
+      cold::ScopedTimer timer(scatter_s);
+      if constexpr (internal::HasPreScatter<Program>) {
+        program_->PreScatter(&pool_);
+      }
+      const int64_t ne = graph_->num_edges();
+      const int64_t num_chunks = (ne + kScatterChunk - 1) / kScatterChunk;
+      const uint64_t stream_base =
+          kChunkStreamBase + static_cast<uint64_t>(superstep_index_) *
+                                 static_cast<uint64_t>(num_chunks);
+      std::atomic<int64_t> cursor{0};
+      size_t workers = pool_.num_threads();
+      // One long-running task per worker, each pulling chunks dynamically.
+      pool_.ParallelFor(
+          workers, [this, ne, num_chunks, stream_base, &cursor](
+                       size_t, size_t, size_t worker) {
+            while (true) {
+              int64_t chunk = cursor.fetch_add(1, std::memory_order_relaxed);
+              if (chunk >= num_chunks) break;
+              cold::RandomSampler sampler(
+                  options_.seed, stream_base + static_cast<uint64_t>(chunk));
+              WorkerContext ctx{&sampler, worker};
+              int64_t stop = std::min(ne, (chunk + 1) * kScatterChunk);
+              for (int64_t e = chunk * kScatterChunk; e < stop; ++e) {
+                program_->Scatter(graph_, static_cast<EdgeId>(e), &ctx);
+              }
+            }
+          });
+      if constexpr (internal::HasPostScatter<Program>) {
+        cold::ScopedTimer merge_timer(merge_s);
+        program_->PostScatter(&pool_);
+      }
+    }
+    superstep_index_++;
+    stats_.scatter_seconds += scatter_s;
+    stats_.merge_seconds += merge_s;
+    metrics.scatter_seconds->Add(scatter_s);
+    metrics.merge_seconds->Add(merge_s);
   }
 
   void InitSamplers() {
@@ -385,8 +472,12 @@ class GasEngine {
   EngineOptions options_;
   Partitioner partitioner_;
   cold::ThreadPool pool_;
+  // Legacy per-worker streams. Scatter now draws from per-chunk streams;
+  // these remain only because the v1 checkpoint payload serializes them
+  // (SamplerStates/RestoreSamplerStates keep old checkpoints readable).
   std::vector<cold::RandomSampler> samplers_;
   EngineStats stats_;
+  int64_t superstep_index_ = 0;
 };
 
 }  // namespace cold::engine

@@ -2,12 +2,23 @@
 // accounting for edges that cross partitions.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <numeric>
 #include <vector>
 
 #include "engine/property_graph.h"
 
 namespace cold::engine {
+
+/// \brief Placement strategy for the engine's partitioner.
+enum class PartitionerKind {
+  /// Modulo over vertex ids (GraphLab's random hash placement degenerates
+  /// to this for dense ids). Balanced but locality-blind.
+  kModulo,
+  /// Degree-aware linear deterministic greedy (see GreedyAssignment).
+  kGreedy,
+};
 
 /// \brief Assigns vertices to `num_nodes` simulated machines.
 ///
@@ -42,5 +53,88 @@ class Partitioner {
   int num_nodes_;
   std::vector<int> assignment_;
 };
+
+/// \brief Degree-aware greedy placement: linear deterministic greedy (LDG,
+/// Stanton & Kliot, KDD 2012) with a work-weighted capacity constraint.
+///
+/// Vertices are streamed in descending degree order (hubs pin the layout
+/// before the long tail fills in around them; ties break on the lower id,
+/// so the result is fully deterministic). Each vertex lands on the node
+/// maximizing
+///
+///     |already-placed neighbors on node| * (1 - load(node) / capacity)
+///
+/// with ties broken toward the lighter node. `vertex_work[v]` is the
+/// program-defined work a vertex contributes to its node (e.g. tokens of
+/// the edges it owns); zero-work vertices still count one unit so hub-only
+/// vertices spread instead of piling onto one node. Compared with modulo
+/// placement, this cuts far fewer edges on community-clustered graphs
+/// (follower networks), directly lowering the engine's cut_edges and
+/// comm_bytes accounting.
+template <typename VData, typename EData>
+std::vector<int> GreedyAssignment(const PropertyGraph<VData, EData>& g,
+                                  int num_nodes,
+                                  const std::vector<int64_t>& vertex_work) {
+  const int32_t n = g.num_vertices();
+  std::vector<int> assign(static_cast<size_t>(n), 0);
+  if (num_nodes <= 1 || n == 0) return assign;
+
+  auto work_of = [&vertex_work](VertexId v) -> double {
+    int64_t w = static_cast<size_t>(v) < vertex_work.size()
+                    ? vertex_work[static_cast<size_t>(v)]
+                    : 0;
+    return w > 0 ? static_cast<double>(w) : 1.0;
+  };
+  auto degree_of = [&g](VertexId v) {
+    return g.out_edges(v).size() + g.in_edges(v).size();
+  };
+
+  std::vector<int32_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    size_t da = degree_of(a), db = degree_of(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+
+  double total_work = 0.0;
+  for (int32_t v = 0; v < n; ++v) total_work += work_of(v);
+  // 10% slack over the perfectly balanced share: enough headroom for the
+  // greedy step to honor locality, tight enough to bound work skew.
+  const double capacity = total_work / num_nodes * 1.10 + 1.0;
+
+  std::vector<double> load(static_cast<size_t>(num_nodes), 0.0);
+  std::vector<int32_t> neighbors_on(static_cast<size_t>(num_nodes), 0);
+  for (size_t i = 0; i < assign.size(); ++i) assign[i] = -1;
+
+  for (int32_t v : order) {
+    std::fill(neighbors_on.begin(), neighbors_on.end(), 0);
+    for (EdgeId e : g.out_edges(v)) {
+      int node = assign[static_cast<size_t>(g.dst(e))];
+      if (node >= 0) neighbors_on[static_cast<size_t>(node)]++;
+    }
+    for (EdgeId e : g.in_edges(v)) {
+      int node = assign[static_cast<size_t>(g.src(e))];
+      if (node >= 0) neighbors_on[static_cast<size_t>(node)]++;
+    }
+    int best = 0;
+    double best_score = -1.0;
+    for (int node = 0; node < num_nodes; ++node) {
+      double headroom =
+          1.0 - load[static_cast<size_t>(node)] / capacity;
+      if (headroom < 0.0) headroom = 0.0;
+      double score = neighbors_on[static_cast<size_t>(node)] * headroom;
+      if (score > best_score ||
+          (score == best_score &&
+           load[static_cast<size_t>(node)] < load[static_cast<size_t>(best)])) {
+        best = node;
+        best_score = score;
+      }
+    }
+    assign[static_cast<size_t>(v)] = best;
+    load[static_cast<size_t>(best)] += work_of(v);
+  }
+  return assign;
+}
 
 }  // namespace cold::engine

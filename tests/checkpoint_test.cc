@@ -258,6 +258,47 @@ TEST_F(CheckpointDirTest, ParallelSingleWorkerResumeIsBitIdentical) {
   EXPECT_EQ(actual.psi, expected.psi);
 }
 
+TEST_F(CheckpointDirTest, ParallelMultiWorkerResumeIsBitIdentical) {
+  // Delta-table scatter keys every draw by (superstep, chunk) and merges
+  // counters in fixed per-cell order, so resume is exact even with several
+  // workers (oversubscribed so the path is real on any host).
+  const auto& ds = TestData();
+  const core::ColdConfig config = TestConfig();
+  engine::EngineOptions options;
+  options.num_nodes = 1;
+  options.threads_per_node = 4;
+  options.oversubscribe = true;
+
+  core::ParallelColdTrainer reference(config, ds.posts, &ds.interactions,
+                                      options);
+  ASSERT_TRUE(reference.Init().ok());
+  ASSERT_TRUE(reference.Train().ok());
+  std::string expected;
+  ASSERT_TRUE(reference.SerializeState(&expected).ok());
+
+  core::ParallelColdTrainer first(config, ds.posts, &ds.interactions,
+                                  options);
+  ASSERT_TRUE(first.Init().ok());
+  std::string snapshot;
+  first.SetSuperstepCallback([&](int sweep) {
+    if (sweep == 11) {
+      ASSERT_TRUE(first.SerializeState(&snapshot).ok());
+    }
+  });
+  ASSERT_TRUE(first.Train().ok());
+  ASSERT_FALSE(snapshot.empty());
+
+  core::ParallelColdTrainer resumed(config, ds.posts, &ds.interactions,
+                                    options);
+  ASSERT_TRUE(resumed.Init().ok());
+  ASSERT_TRUE(resumed.RestoreState(snapshot).ok());
+  EXPECT_EQ(resumed.supersteps_run(), 11);
+  ASSERT_TRUE(resumed.Train().ok());
+  std::string actual;
+  ASSERT_TRUE(resumed.SerializeState(&actual).ok());
+  EXPECT_EQ(actual, expected);
+}
+
 TEST_F(CheckpointDirTest, ParallelRestoreKeepsCountersConsistent) {
   // Multi-worker restore cannot promise bit-identity, but the restored
   // counters must still agree with a recount from the assignments.

@@ -189,6 +189,9 @@ TEST(GasEngineTest, CustomPartitionChangesCuts) {
   DegreeProgram program;
   EngineOptions options;
   options.num_nodes = 2;
+  // Pin the locality-blind baseline: the greedy default may already find a
+  // near-contiguous split on a chain.
+  options.partitioner = PartitionerKind::kModulo;
   GasEngine<int, int, DegreeProgram> engine(&g, &program, options);
   int64_t modulo_cuts = engine.stats().cut_edges;
   // Contiguous halves: only the middle edge is cut.

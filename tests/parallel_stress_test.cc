@@ -1,0 +1,102 @@
+// Stress test for the parallel trainer's delta-table scatter: many
+// oversubscribed workers hammering a tiny dataset for hundreds of
+// supersteps. Small data maximizes cross-worker adjacency (every worker
+// touches every counter region), so this is the test that gives TSan the
+// best shot at the merge/freeze protocol — run it under the tsan preset
+// (see README "Testing"). It also re-checks determinism after a long run,
+// where any scheduling-dependent divergence would have compounded.
+#include <gtest/gtest.h>
+
+#include "core/cold.h"
+#include "data/synthetic.h"
+
+namespace cold::core {
+namespace {
+
+const data::SocialDataset& StressData() {
+  static const data::SocialDataset* dataset = [] {
+    data::SyntheticConfig config;
+    config.num_users = 40;
+    config.num_communities = 3;
+    config.num_topics = 4;
+    config.num_time_slices = 6;
+    config.core_words_per_topic = 8;
+    config.background_words = 30;
+    config.posts_per_user = 4.0;
+    config.words_per_post = 6.0;
+    config.follows_per_user = 6;
+    config.seed = 23;
+    data::SyntheticSocialGenerator gen(config);
+    return new data::SocialDataset(std::move(gen.Generate()).ValueOrDie());
+  }();
+  return *dataset;
+}
+
+ColdConfig StressModelConfig() {
+  ColdConfig config;
+  config.num_communities = 3;
+  config.num_topics = 4;
+  config.iterations = 200;
+  config.burn_in = 150;
+  config.seed = 31;
+  config.rho = 0.5;
+  return config;
+}
+
+engine::EngineOptions StressOptions() {
+  engine::EngineOptions options;
+  options.threads_per_node = 8;
+  options.oversubscribe = true;
+  return options;
+}
+
+TEST(ParallelStressTest, ManyWorkersManySuperstepsStayConsistent) {
+  const auto& ds = StressData();
+  ParallelColdTrainer trainer(StressModelConfig(), ds.posts,
+                              &ds.interactions, StressOptions());
+  ASSERT_TRUE(trainer.Init().ok());
+  ASSERT_TRUE(trainer.Train().ok());
+  EXPECT_EQ(trainer.supersteps_run(), 200);
+  ColdState snapshot = trainer.StateSnapshot();
+  auto status = snapshot.CheckInvariants(ds.posts, &ds.interactions, true);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(ParallelStressTest, LongRunStaysDeterministic) {
+  // Divergence from a scheduling race would compound over 200 supersteps;
+  // two oversubscribed 8-worker runs must still agree exactly.
+  const auto& ds = StressData();
+  auto run = [&] {
+    ParallelColdTrainer trainer(StressModelConfig(), ds.posts,
+                                &ds.interactions, StressOptions());
+    EXPECT_TRUE(trainer.Init().ok());
+    EXPECT_TRUE(trainer.Train().ok());
+    return trainer.StateSnapshot();
+  };
+  ColdState a = run();
+  ColdState b = run();
+  EXPECT_EQ(a.post_community, b.post_community);
+  EXPECT_EQ(a.post_topic, b.post_topic);
+  EXPECT_EQ(a.link_src_community, b.link_src_community);
+  EXPECT_EQ(a.link_dst_community, b.link_dst_community);
+}
+
+TEST(ParallelStressTest, LegacySharedCountersSurviveContention) {
+  // The legacy shared-atomic mode is approximate but must stay structurally
+  // sound (no lost or phantom counts) under the same worker pressure.
+  const auto& ds = StressData();
+  ColdConfig config = StressModelConfig();
+  config.iterations = 60;
+  config.burn_in = 40;
+  engine::EngineOptions options = StressOptions();
+  options.legacy_shared_counters = true;
+  ParallelColdTrainer trainer(config, ds.posts, &ds.interactions, options);
+  ASSERT_TRUE(trainer.Init().ok());
+  ASSERT_TRUE(trainer.Train().ok());
+  ColdState snapshot = trainer.StateSnapshot();
+  auto status = snapshot.CheckInvariants(ds.posts, &ds.interactions, true);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+}  // namespace
+}  // namespace cold::core

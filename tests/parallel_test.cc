@@ -300,5 +300,100 @@ TEST(ParallelTrainerTest, AsyncAndSyncReachSimilarFit) {
   EXPECT_NEAR(async_perp, sync_perp, sync_perp * 0.15);
 }
 
+// --- delta-table determinism and observability ----------------------------
+
+TEST(ParallelTrainerTest, MultiWorkerFixedSeedRunsAreBitIdentical) {
+  // Delta mode freezes the canonical counters during scatter and keys every
+  // RNG draw by (superstep, chunk), so repeated runs with the same seed and
+  // worker count -- and runs with DIFFERENT worker counts -- must land on
+  // byte-identical state.
+  const auto& ds = TestData();
+  auto run = [&](int threads) {
+    ColdConfig config = TestModelConfig();
+    config.iterations = 5;
+    config.burn_in = 0;
+    engine::EngineOptions options;
+    options.threads_per_node = threads;
+    options.oversubscribe = true;
+    ParallelColdTrainer trainer(config, ds.posts, &ds.interactions, options);
+    EXPECT_TRUE(trainer.Init().ok());
+    EXPECT_TRUE(trainer.Train().ok());
+    return trainer.StateSnapshot();
+  };
+  ColdState a = run(4);
+  ColdState b = run(4);
+  EXPECT_EQ(a.post_community, b.post_community);
+  EXPECT_EQ(a.post_topic, b.post_topic);
+  EXPECT_EQ(a.link_src_community, b.link_src_community);
+  EXPECT_EQ(a.link_dst_community, b.link_dst_community);
+  // Worker count must not matter either: chunk boundaries depend only on
+  // the edge count, and the per-cell merge order is fixed.
+  ColdState c = run(1);
+  EXPECT_EQ(a.post_community, c.post_community);
+  EXPECT_EQ(a.post_topic, c.post_topic);
+  EXPECT_EQ(a.link_src_community, c.link_src_community);
+  EXPECT_EQ(a.link_dst_community, c.link_dst_community);
+}
+
+TEST(ParallelTrainerTest, StaleClampStaysZeroUnderDeltaMode) {
+  // The delta tables read frozen counts with exact own-contribution
+  // exclusion, so the negative-count clamp in the kernels must never fire.
+  obs::Registry::Enable();
+  auto& registry = obs::Registry::Global();
+  registry.Reset();
+  const auto& ds = TestData();
+  ColdConfig config = TestModelConfig();
+  config.iterations = 5;
+  config.burn_in = 0;
+  engine::EngineOptions options;
+  options.threads_per_node = 4;
+  options.oversubscribe = true;
+  ParallelColdTrainer trainer(config, ds.posts, &ds.interactions, options);
+  ASSERT_TRUE(trainer.Init().ok());
+  ASSERT_TRUE(trainer.Train().ok());
+  EXPECT_EQ(registry.GetCounter("cold/parallel/stale_clamp_total")->Value(),
+            0);
+}
+
+TEST(ParallelTrainerTest, LegacyCountersModeStaysConsistent) {
+  // The pre-delta shared-atomic path stays selectable for A/B runs and must
+  // still produce invariant-clean counters.
+  const auto& ds = TestData();
+  ColdConfig config = TestModelConfig();
+  config.iterations = 4;
+  config.burn_in = 0;
+  engine::EngineOptions options;
+  options.legacy_shared_counters = true;
+  ParallelColdTrainer trainer(config, ds.posts, &ds.interactions, options);
+  ASSERT_TRUE(trainer.Init().ok());
+  ASSERT_TRUE(trainer.Train().ok());
+  ColdState snapshot = trainer.StateSnapshot();
+  auto status = snapshot.CheckInvariants(ds.posts, &ds.interactions, true);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(ParallelTrainerTest, GreedyPartitionerReducesCommBytes) {
+  // On the community-clustered synthetic follower graph the degree-aware
+  // greedy placement must cut fewer edges -- and therefore account fewer
+  // communication bytes -- than locality-blind modulo placement.
+  const auto& ds = TestData();
+  auto stats_for = [&](engine::PartitionerKind kind) {
+    ColdConfig config = TestModelConfig();
+    config.iterations = 2;
+    config.burn_in = 0;
+    engine::EngineOptions options;
+    options.num_nodes = 4;
+    options.partitioner = kind;
+    ParallelColdTrainer trainer(config, ds.posts, &ds.interactions, options);
+    EXPECT_TRUE(trainer.Init().ok());
+    EXPECT_TRUE(trainer.Train().ok());
+    return trainer.engine_stats();
+  };
+  engine::EngineStats modulo = stats_for(engine::PartitionerKind::kModulo);
+  engine::EngineStats greedy = stats_for(engine::PartitionerKind::kGreedy);
+  EXPECT_LT(greedy.cut_edges, modulo.cut_edges);
+  EXPECT_LT(greedy.comm_bytes, modulo.comm_bytes);
+}
+
 }  // namespace
 }  // namespace cold::core

@@ -43,7 +43,8 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <dataset-dir> <model-out> [C=8] [K=12] "
-               "[iterations=150] [--parallel [nodes=4]] "
+               "[iterations=150] [--parallel [nodes=4]] [--threads N] "
+               "[--partitioner modulo|greedy] [--legacy-counters] "
                "[--metrics-out FILE] [--trace] [--checkpoint-dir DIR] "
                "[--checkpoint-every N] [--checkpoint-keep N] [--resume]\n",
                argv0);
@@ -72,6 +73,9 @@ struct Args {
   int iterations = 150;
   bool parallel = false;
   int nodes = 4;
+  int threads_per_node = 1;
+  cold::engine::PartitionerKind partitioner = cold::engine::PartitionerKind::kGreedy;
+  bool legacy_counters = false;
   std::string metrics_out;
   bool trace = false;
   std::string checkpoint_dir;
@@ -96,6 +100,29 @@ bool ParseArgs(int argc, char** argv, Args* args) {
           return false;
         }
       }
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      if (a + 1 >= argc ||
+          !ParsePositiveInt(argv[++a], &args->threads_per_node)) {
+        std::fprintf(stderr, "--threads requires a positive int\n");
+        return false;
+      }
+    } else if (std::strcmp(arg, "--partitioner") == 0) {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "--partitioner requires modulo|greedy\n");
+        return false;
+      }
+      const char* kind = argv[++a];
+      if (std::strcmp(kind, "modulo") == 0) {
+        args->partitioner = cold::engine::PartitionerKind::kModulo;
+      } else if (std::strcmp(kind, "greedy") == 0) {
+        args->partitioner = cold::engine::PartitionerKind::kGreedy;
+      } else {
+        std::fprintf(stderr, "unknown partitioner '%s' (modulo|greedy)\n",
+                     kind);
+        return false;
+      }
+    } else if (std::strcmp(arg, "--legacy-counters") == 0) {
+      args->legacy_counters = true;
     } else if (std::strcmp(arg, "--metrics-out") == 0) {
       if (a + 1 >= argc) {
         std::fprintf(stderr, "--metrics-out requires a file argument\n");
@@ -321,6 +348,9 @@ int main(int argc, char** argv) {
   if (args.parallel) {
     engine::EngineOptions options;
     options.num_nodes = args.nodes;
+    options.threads_per_node = args.threads_per_node;
+    options.partitioner = args.partitioner;
+    options.legacy_shared_counters = args.legacy_counters;
     core::ParallelColdTrainer trainer(config, dataset.posts,
                                       &dataset.interactions, options);
     if (auto st = trainer.Init(); !st.ok()) {
