@@ -22,6 +22,7 @@
 #include "data/synthetic.h"
 #include "eval/metrics.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "serve/json.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -218,8 +219,14 @@ inline void PrintHeader(const std::string& title) {
   std::printf("== %s ==\n", title.c_str());
 }
 
-/// Silences training INFO chatter for clean bench output.
-inline void QuietLogs() { Logger::SetLevel(LogLevel::kWarning); }
+/// Silences training INFO chatter for clean bench output. Every bench
+/// calls this first, so it doubles as the hook point for the COLD_PROFILE
+/// env switch: any bench run can self-profile into folded stacks without
+/// new flags (see src/obs/profiler.h).
+inline void QuietLogs() {
+  Logger::SetLevel(LogLevel::kWarning);
+  obs::StartProfilerFromEnv();
+}
 
 /// \brief Telemetry hook for bench harnesses: when COLD_BENCH_METRICS=FILE
 /// is set, writes a final registry snapshot (JSON) there so bench runs can

@@ -5,6 +5,7 @@
 
 #include "core/gibbs_sampler.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/fault_injector.h"
 #include "util/math_util.h"
 #include "util/stopwatch.h"
@@ -198,6 +199,7 @@ class ColdVertexProgram {
     }
     if (clamps > 0) Metrics().stale_clamps->Increment(clamps);
     if (legacy_) return;
+    COLD_TRACE_SPAN("parallel/merge");
     const size_t n = state_->delta_size();
     pool->ParallelFor(n, [this](size_t begin, size_t end, size_t) {
       state_->MergeDeltaRange(begin, end);
@@ -266,6 +268,7 @@ class ColdVertexProgram {
   /// Runs under the superstep barrier while the counters are stable; only
   /// the K*V word-log table is big enough to parallelize.
   void RebuildDerivedCaches(cold::ThreadPool* pool) {
+    COLD_TRACE_SPAN("parallel/cache_rebuild");
     const int C = config_.num_communities;
     const int K = config_.num_topics;
     const int T = posts_.num_time_slices();

@@ -394,6 +394,7 @@ class GasEngine {
     double scatter_s = 0.0;
     double merge_s = 0.0;
     {
+      COLD_TRACE_SPAN("engine/scatter");
       cold::ScopedTimer timer(scatter_s);
       if constexpr (internal::HasPreScatter<Program>) {
         program_->PreScatter(&pool_);
@@ -409,6 +410,9 @@ class GasEngine {
       pool_.ParallelFor(
           workers, [this, ne, num_chunks, stream_base, &cursor](
                        size_t, size_t, size_t worker) {
+            // One span per worker per superstep: the trace timeline shows
+            // each pool thread's share of the scatter phase.
+            COLD_TRACE_SPAN("engine/scatter_worker");
             while (true) {
               int64_t chunk = cursor.fetch_add(1, std::memory_order_relaxed);
               if (chunk >= num_chunks) break;

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "util/logging.h"
 
@@ -46,6 +47,40 @@ void Histogram::Reset() {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+}
+
+double EstimateQuantile(const std::vector<double>& upper_bounds,
+                        const std::vector<int64_t>& bucket_counts, double q) {
+  int64_t total = 0;
+  for (int64_t c : bucket_counts) total += c;
+  if (total <= 0 || upper_bounds.empty()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  double target = q * static_cast<double>(total);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < bucket_counts.size(); ++i) {
+    int64_t in_bucket = bucket_counts[i];
+    if (in_bucket <= 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      if (i >= upper_bounds.size()) {
+        // Overflow bucket is unbounded; clamp to the last finite edge.
+        return upper_bounds.back();
+      }
+      double lower = i == 0 ? 0.0 : upper_bounds[i - 1];
+      double upper = upper_bounds[i];
+      double into = target - static_cast<double>(cumulative);
+      return lower + (upper - lower) * into / static_cast<double>(in_bucket);
+    }
+    cumulative += in_bucket;
+  }
+  // q == 1 with all mass in earlier buckets, or rounding: last seen edge.
+  return upper_bounds.back();
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  return EstimateQuantile(upper_bounds, bucket_counts, q);
 }
 
 // -------------------------------------------------------------- Registry --
@@ -313,7 +348,14 @@ void DumpJson(const TelemetrySnapshot& snapshot, std::ostream& os) {
     JsonLabels(h.labels, os);
     os << ",\"count\":" << h.count << ",\"sum\":";
     JsonNumber(h.sum, os);
-    os << ",\"buckets\":[";
+    // Empty histograms export null (the JSON spelling of NaN).
+    os << ",\"quantiles\":{\"p50\":";
+    JsonNumber(h.Quantile(0.50), os);
+    os << ",\"p90\":";
+    JsonNumber(h.Quantile(0.90), os);
+    os << ",\"p99\":";
+    JsonNumber(h.Quantile(0.99), os);
+    os << "},\"buckets\":[";
     for (size_t b = 0; b < h.bucket_counts.size(); ++b) {
       if (b > 0) os << ",";
       os << "{\"le\":";
@@ -364,6 +406,17 @@ void DumpPrometheusText(const TelemetrySnapshot& snapshot, std::ostream& os) {
     os << name << "_sum" << PromLabels(h.labels) << " " << PromDouble(h.sum)
        << "\n";
     os << name << "_count" << PromLabels(h.labels) << " " << h.count << "\n";
+    // Summary-style estimated quantiles on a sibling series so dashboards
+    // get p50/p90/p99 without running histogram_quantile() bucket math.
+    // Label values are fixed literals: PromDouble's round-trip precision
+    // would render 0.9 as 0.90000000000000002.
+    constexpr std::pair<double, const char*> kQuantiles[] = {
+        {0.50, "0.5"}, {0.90, "0.9"}, {0.99, "0.99"}};
+    for (const auto& [q, label] : kQuantiles) {
+      os << name << "_quantile"
+         << PromLabels(h.labels, std::string("quantile=\"") + label + "\"")
+         << " " << PromDouble(h.Quantile(q)) << "\n";
+    }
   }
 }
 

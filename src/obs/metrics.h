@@ -140,7 +140,19 @@ struct HistogramSnapshot {
   std::vector<int64_t> bucket_counts;
   int64_t count = 0;
   double sum = 0.0;
+
+  /// Estimated q-quantile (q in [0,1]); see EstimateQuantile.
+  double Quantile(double q) const;
 };
+
+/// \brief Estimates the q-quantile of a bucketed distribution by linear
+/// interpolation inside the bucket containing the target rank (the same
+/// scheme as Prometheus' histogram_quantile). The first bucket's lower
+/// edge is 0; observations in the overflow bucket clamp to the last finite
+/// bound. Returns NaN for an empty histogram. Accuracy is bounded by the
+/// bucket width (a factor of `growth` in the log-scale layout).
+double EstimateQuantile(const std::vector<double>& upper_bounds,
+                        const std::vector<int64_t>& bucket_counts, double q);
 
 /// \brief Point-in-time copy of every registered metric, sorted by name
 /// (then label registration order) for deterministic output.

@@ -1,0 +1,381 @@
+#include "obs/profiler.h"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace cold::obs {
+
+namespace {
+
+// The handler records raw frames only; everything else waits for Stop().
+struct RawSample {
+  int nframes = 0;
+  int tid = 0;
+};
+
+struct ProfilerState {
+  ProfilerOptions options;
+  // frames[i * options.max_frames + j] = frame j of sample i.
+  std::vector<void*> frames;
+  std::vector<RawSample> samples;
+  std::atomic<int64_t> cursor{0};   // slots handed out (may exceed capacity)
+  std::atomic<int64_t> dropped{0};
+  timer_t timer{};
+  bool timer_armed = false;
+  struct sigaction previous_action {};
+};
+
+// Lifetime: allocated by Start(), read by the signal handler while
+// g_active, deleted by Stop() after g_active is cleared and in-flight
+// handlers have drained (SIGPROF is process-CPU-clock driven; once the
+// timer is deleted and the old disposition restored, no new handler can
+// start, and we give stragglers a grace period below).
+std::atomic<bool> g_active{false};
+ProfilerState* g_state = nullptr;
+std::mutex g_session_mutex;  // serializes Start/Stop pairs
+
+// The handler and the trampoline above it appear at the top of every
+// backtrace; they are noise, so we capture into a scratch area and skip
+// them. Two frames covers SampleHandler + the kernel's signal trampoline
+// (__restore_rt) on linux/gcc.
+constexpr int kSkipFrames = 2;
+constexpr int kScratchFrames = 64;
+
+void SampleHandler(int, siginfo_t*, void*) {
+  if (!g_active.load(std::memory_order_acquire)) return;
+  ProfilerState* state = g_state;
+  if (state == nullptr) return;
+  int saved_errno = errno;
+  int64_t slot = state->cursor.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= static_cast<int64_t>(state->options.max_samples)) {
+    state->dropped.fetch_add(1, std::memory_order_relaxed);
+    errno = saved_errno;
+    return;
+  }
+  void* scratch[kScratchFrames];
+  int captured = backtrace(scratch, kScratchFrames);
+  int skip = captured > kSkipFrames ? kSkipFrames : 0;
+  int keep = captured - skip;
+  if (keep > state->options.max_frames) keep = state->options.max_frames;
+  void** dest = state->frames.data() +
+                static_cast<size_t>(slot) * state->options.max_frames;
+  for (int i = 0; i < keep; ++i) dest[i] = scratch[skip + i];
+  RawSample& sample = state->samples[static_cast<size_t>(slot)];
+  sample.nframes = keep;
+  sample.tid = static_cast<int>(syscall(SYS_gettid));
+  errno = saved_errno;
+}
+
+std::string Demangle(const char* mangled) {
+  int status = 0;
+  char* demangled = abi::__cxa_demangle(mangled, nullptr, nullptr, &status);
+  if (status == 0 && demangled != nullptr) {
+    std::string out(demangled);
+    std::free(demangled);
+    return out;
+  }
+  std::free(demangled);
+  return mangled;
+}
+
+// Resolves a return address to a symbol name, or "" when unresolvable.
+// dladdr gives the *containing* symbol; the pc is a return address (one
+// past the call), so subtract 1 to stay inside the caller's function when
+// the call is its last instruction.
+std::string Symbolize(void* pc) {
+  Dl_info info;
+  void* adjusted = static_cast<char*>(pc) - 1;
+  if (dladdr(adjusted, &info) == 0 || info.dli_sname == nullptr) {
+    return std::string();
+  }
+  return Demangle(info.dli_sname);
+}
+
+ProfileReport BuildReport(ProfilerState* state) {
+  ProfileReport report;
+  int64_t handed_out = state->cursor.load(std::memory_order_relaxed);
+  int64_t captured = std::min(
+      handed_out, static_cast<int64_t>(state->options.max_samples));
+  report.dropped = state->dropped.load(std::memory_order_relaxed);
+
+  std::unordered_map<void*, std::string> symbol_cache;
+  auto resolve = [&](void* pc) -> const std::string& {
+    auto it = symbol_cache.find(pc);
+    if (it == symbol_cache.end()) {
+      it = symbol_cache.emplace(pc, Symbolize(pc)).first;
+    }
+    return it->second;
+  };
+
+  std::map<std::string, ProfileSymbolStat> stats;
+  std::vector<const std::string*> names;  // reused per sample, root->leaf
+  for (int64_t i = 0; i < captured; ++i) {
+    const RawSample& sample = state->samples[static_cast<size_t>(i)];
+    if (sample.nframes <= 0) continue;  // handler interrupted mid-write
+    report.samples += 1;
+    report.samples_by_thread[sample.tid] += 1;
+
+    void** frames =
+        state->frames.data() + static_cast<size_t>(i) * state->options.max_frames;
+    names.clear();
+    // Captured leaf-first; fold root-first. Frames dladdr cannot name
+    // (hidden-visibility libm kernels, outlined cold paths) are dropped,
+    // so their time lands on the nearest named ancestor — the convention
+    // used when symbolization is partial. A fully unresolvable stack
+    // folds to "[unknown]".
+    for (int f = sample.nframes - 1; f >= 0; --f) {
+      const std::string& name = resolve(frames[f]);
+      if (!name.empty()) names.push_back(&name);
+    }
+
+    if (names.empty()) {
+      report.folded["[unknown]"] += 1;
+      ProfileSymbolStat& stat = stats["[unknown]"];
+      stat.name = "[unknown]";
+      stat.total += 1;
+      stat.self += 1;
+      continue;
+    }
+    std::string key;
+    std::string last_symbol;  // dedup per-sample for `total`
+    std::map<std::string, bool> seen_on_stack;
+    for (const std::string* name : names) {
+      if (!key.empty()) key += ';';
+      key += *name;
+      if (!seen_on_stack[*name]) {
+        seen_on_stack[*name] = true;
+        ProfileSymbolStat& stat = stats[*name];
+        stat.name = *name;
+        stat.total += 1;
+      }
+      last_symbol = *name;
+    }
+    report.folded[key] += 1;
+    stats[last_symbol].self += 1;
+  }
+
+  report.symbols.reserve(stats.size());
+  for (auto& [name, stat] : stats) report.symbols.push_back(stat);
+  std::sort(report.symbols.begin(), report.symbols.end(),
+            [](const ProfileSymbolStat& a, const ProfileSymbolStat& b) {
+              if (a.self != b.self) return a.self > b.self;
+              if (a.total != b.total) return a.total > b.total;
+              return a.name < b.name;
+            });
+  return report;
+}
+
+}  // namespace
+
+double ProfileReport::AttributedFraction() const {
+  if (samples == 0) return 0.0;
+  int64_t unattributed = 0;
+  for (const auto& [stack, count] : folded) {
+    // The leaf is the segment after the last ';'.
+    size_t pos = stack.rfind(';');
+    std::string leaf = pos == std::string::npos ? stack : stack.substr(pos + 1);
+    if (leaf == "[unknown]") unattributed += count;
+  }
+  return static_cast<double>(samples - unattributed) /
+         static_cast<double>(samples);
+}
+
+void ProfileReport::WriteFolded(std::ostream& os) const {
+  for (const auto& [stack, count] : folded) {
+    os << stack << ' ' << count << '\n';
+  }
+}
+
+void ProfileReport::PrintTop(std::ostream& os, int n) const {
+  os << "profile: " << samples << " samples";
+  if (dropped > 0) os << " (" << dropped << " dropped)";
+  os << ", " << samples_by_thread.size() << " thread(s), "
+     << std::fixed << std::setprecision(1) << AttributedFraction() * 100.0
+     << "% attributed\n";
+  if (samples == 0) return;
+  os << std::setw(8) << "self" << std::setw(8) << "self%" << std::setw(8)
+     << "total" << std::setw(8) << "total%" << "  symbol\n";
+  int rows = 0;
+  for (const ProfileSymbolStat& stat : symbols) {
+    if (rows++ >= n) break;
+    os << std::setw(8) << stat.self << std::setw(7) << std::setprecision(1)
+       << 100.0 * static_cast<double>(stat.self) /
+              static_cast<double>(samples)
+       << '%' << std::setw(8) << stat.total << std::setw(7)
+       << std::setprecision(1)
+       << 100.0 * static_cast<double>(stat.total) /
+              static_cast<double>(samples)
+       << '%' << "  " << stat.name << '\n';
+  }
+  os.unsetf(std::ios_base::floatfield);
+}
+
+cold::Status Profiler::Start(const ProfilerOptions& options) {
+  if (options.sample_hz <= 0 || options.max_samples == 0 ||
+      options.max_frames <= 0 || options.max_frames > kScratchFrames) {
+    return cold::Status::InvalidArgument("bad profiler options");
+  }
+  std::lock_guard<std::mutex> lock(g_session_mutex);
+  if (g_active.load(std::memory_order_acquire)) {
+    return cold::Status::FailedPrecondition("profiler already running");
+  }
+
+  // backtrace's first call may dlopen/malloc (libgcc unwinder init): do it
+  // now, outside the signal handler.
+  void* warm[4];
+  backtrace(warm, 4);
+
+  auto state = std::make_unique<ProfilerState>();
+  state->options = options;
+  state->frames.assign(options.max_samples * options.max_frames, nullptr);
+  state->samples.assign(options.max_samples, RawSample{});
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_sigaction = &SampleHandler;
+  action.sa_flags = SA_SIGINFO | SA_RESTART;
+  sigemptyset(&action.sa_mask);
+  if (sigaction(SIGPROF, &action, &state->previous_action) != 0) {
+    return cold::Status::Internal("sigaction(SIGPROF) failed");
+  }
+
+  struct sigevent event;
+  std::memset(&event, 0, sizeof(event));
+  event.sigev_notify = SIGEV_SIGNAL;
+  event.sigev_signo = SIGPROF;
+  if (timer_create(CLOCK_PROCESS_CPUTIME_ID, &event, &state->timer) != 0) {
+    sigaction(SIGPROF, &state->previous_action, nullptr);
+    return cold::Status::Internal("timer_create failed: " +
+                                  std::string(std::strerror(errno)));
+  }
+  state->timer_armed = true;
+
+  long interval_ns = 1000000000L / options.sample_hz;
+  if (interval_ns < 1) interval_ns = 1;
+  struct itimerspec spec;
+  spec.it_interval.tv_sec = interval_ns / 1000000000L;
+  spec.it_interval.tv_nsec = interval_ns % 1000000000L;
+  spec.it_value = spec.it_interval;
+
+  g_state = state.release();
+  g_active.store(true, std::memory_order_release);
+
+  if (timer_settime(g_state->timer, 0, &spec, nullptr) != 0) {
+    g_active.store(false, std::memory_order_release);
+    timer_delete(g_state->timer);
+    sigaction(SIGPROF, &g_state->previous_action, nullptr);
+    delete g_state;
+    g_state = nullptr;
+    return cold::Status::Internal("timer_settime failed");
+  }
+  return cold::Status::OK();
+}
+
+ProfileReport Profiler::Stop() {
+  std::lock_guard<std::mutex> lock(g_session_mutex);
+  if (!g_active.load(std::memory_order_acquire) || g_state == nullptr) {
+    return ProfileReport{};
+  }
+  ProfilerState* state = g_state;
+  // Disarm first so no new signals fire, then tell in-flight handlers to
+  // bail, then restore the old disposition.
+  struct itimerspec disarm;
+  std::memset(&disarm, 0, sizeof(disarm));
+  timer_settime(state->timer, 0, &disarm, nullptr);
+  g_active.store(false, std::memory_order_release);
+  timer_delete(state->timer);
+  state->timer_armed = false;
+  sigaction(SIGPROF, &state->previous_action, nullptr);
+  // Grace period for a handler that loaded g_state just before g_active
+  // flipped: it only touches the buffers, which stay alive until delete.
+  struct timespec nap = {0, 2000000};  // 2ms
+  nanosleep(&nap, nullptr);
+
+  ProfileReport report = BuildReport(state);
+  g_state = nullptr;
+  delete state;
+  return report;
+}
+
+bool Profiler::running() { return g_active.load(std::memory_order_acquire); }
+
+ProfileScope::ProfileScope(ProfileScopeOptions options)
+    : options_(std::move(options)) {
+  cold::Status status = Profiler::Start(options_.profiler);
+  if (!status.ok()) {
+    COLD_LOG(kWarning) << "profiler not started: " << status.ToString();
+    return;
+  }
+  active_ = true;
+}
+
+ProfileScope::~ProfileScope() {
+  if (!active_) return;
+  ProfileReport report = Profiler::Stop();
+  if (!options_.out_path.empty()) {
+    std::ofstream out(options_.out_path);
+    if (!out) {
+      COLD_LOG(kError) << "cannot write profile to " << options_.out_path;
+    } else {
+      report.WriteFolded(out);
+      COLD_LOG(kInfo) << "profile: " << report.samples << " samples ("
+                      << report.folded.size() << " stacks) -> "
+                      << options_.out_path;
+    }
+  }
+  if (options_.print_top > 0) {
+    report.PrintTop(std::cout, options_.print_top);
+  }
+}
+
+namespace {
+
+ProfileScope* g_env_scope = nullptr;
+
+void StopEnvProfiler() {
+  delete g_env_scope;
+  g_env_scope = nullptr;
+}
+
+}  // namespace
+
+void StartProfilerFromEnv() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* path = std::getenv("COLD_PROFILE");
+    if (path == nullptr || *path == '\0') return;
+    ProfileScopeOptions options;
+    options.out_path = path;
+    if (const char* hz = std::getenv("COLD_PROFILE_HZ")) {
+      int parsed = std::atoi(hz);
+      if (parsed > 0) options.profiler.sample_hz = parsed;
+    }
+    g_env_scope = new ProfileScope(std::move(options));
+    std::atexit(&StopEnvProfiler);
+  });
+}
+
+}  // namespace cold::obs

@@ -1,0 +1,133 @@
+// In-process sampling profiler: a timer_create/SIGPROF-driven backtrace
+// sampler that attributes process CPU time to symbols without external
+// tooling.
+//
+//   obs::ProfileScope profile({.out_path = "prof.folded", .print_top = 15});
+//   TrainModel();  // sampled at ~1kHz of process CPU time
+//   // scope exit: folded stacks written, top-N table printed
+//
+// Design (see DESIGN.md §11):
+//   - A POSIX interval timer on CLOCK_PROCESS_CPUTIME_ID delivers SIGPROF
+//     while the process burns CPU; the kernel routes the signal to a
+//     running thread, so samples land on whichever thread is doing work.
+//   - The handler is async-signal-safe: one relaxed fetch_add reserves a
+//     slot in a preallocated sample buffer, backtrace(3) (pre-warmed at
+//     Start so its lazy libgcc load never happens in the handler) captures
+//     raw program counters, and gettid tags the sample's thread. No
+//     locks, no allocation, no formatting.
+//   - Symbolization (dladdr + __cxa_demangle) runs at Stop(), off the
+//     signal path. Executables are linked with -rdynamic
+//     (CMAKE_ENABLE_EXPORTS) so the binary's own symbols resolve.
+//
+// Output: folded-stack ("flamegraph collapsed") lines `a;b;c <count>` plus
+// a top-N self/total symbol table and per-thread sample counts.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cold::obs {
+
+struct ProfilerOptions {
+  /// Samples per second of process CPU time. Prime by default so the
+  /// sampling clock cannot phase-lock with periodic work.
+  int sample_hz = 997;
+  /// Capacity of the preallocated sample buffer; samples past it are
+  /// counted as dropped, never block.
+  size_t max_samples = size_t{1} << 16;
+  /// Stack frames kept per sample.
+  int max_frames = 32;
+};
+
+/// \brief Flat per-symbol attribution: `self` counts samples whose leaf
+/// frame is this symbol, `total` counts samples with the symbol anywhere
+/// on the stack.
+struct ProfileSymbolStat {
+  std::string name;
+  int64_t self = 0;
+  int64_t total = 0;
+};
+
+/// \brief Aggregated result of one profiling session.
+struct ProfileReport {
+  /// Samples captured into the buffer (excludes dropped).
+  int64_t samples = 0;
+  /// Samples lost to a full buffer.
+  int64_t dropped = 0;
+  /// Folded stacks, root-to-leaf joined with ';', mapped to sample count
+  /// (the flamegraph.pl / speedscope "collapsed" input format). Frames
+  /// that cannot be symbolized (hidden-visibility library internals,
+  /// outlined code) are elided so their time attributes to the nearest
+  /// named ancestor; a fully unresolvable stack folds to "[unknown]".
+  std::map<std::string, int64_t> folded;
+  /// Per-thread sample counts, keyed by kernel tid.
+  std::map<int, int64_t> samples_by_thread;
+  /// Sorted by self (then total) descending.
+  std::vector<ProfileSymbolStat> symbols;
+
+  /// Fraction of samples attributed to a named symbol, i.e. with at least
+  /// one resolvable frame (0.0 for an empty profile).
+  double AttributedFraction() const;
+
+  /// Writes one `stack count` line per folded stack.
+  void WriteFolded(std::ostream& os) const;
+
+  /// Human-readable top-`n` table (self/total counts and percentages).
+  void PrintTop(std::ostream& os, int n) const;
+};
+
+/// \brief Process-wide sampler. One session at a time: Start() while
+/// running fails with FailedPrecondition.
+class Profiler {
+ public:
+  static cold::Status Start(const ProfilerOptions& options = {});
+
+  /// Disarms the timer, restores the previous SIGPROF disposition and
+  /// symbolizes the captured samples. Safe to call when not running
+  /// (returns an empty report).
+  static ProfileReport Stop();
+
+  static bool running();
+};
+
+/// \brief Options for ProfileScope: the profiler knobs plus what to do
+/// with the report at scope exit.
+struct ProfileScopeOptions {
+  ProfilerOptions profiler;
+  /// Folded-stack output file; empty skips the write.
+  std::string out_path;
+  /// Rows of the top-symbol table printed to stdout; 0 prints nothing.
+  int print_top = 0;
+};
+
+/// \brief RAII profiling session: Start() at construction, Stop() +
+/// report emission at destruction. If Start() fails (e.g. a session is
+/// already running) the scope is inert and logs a warning.
+class ProfileScope {
+ public:
+  explicit ProfileScope(ProfileScopeOptions options);
+  ~ProfileScope();
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+  bool active() const { return active_; }
+
+ private:
+  ProfileScopeOptions options_;
+  bool active_ = false;
+};
+
+/// \brief The COLD_PROFILE env switch: when COLD_PROFILE=<path> is set,
+/// starts a process-lifetime profiling session whose folded stacks are
+/// written to <path> at exit (COLD_PROFILE_HZ overrides the sample rate).
+/// Benches call this so any run can self-profile without new flags.
+/// Idempotent; a no-op when the variable is unset.
+void StartProfilerFromEnv();
+
+}  // namespace cold::obs

@@ -1,15 +1,27 @@
 #include "obs/trace.h"
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <mutex>
+#include <ostream>
 
 #include "obs/metrics.h"
+#include "util/logging.h"
 
 namespace cold::obs {
 
 namespace {
 
 thread_local int tls_span_depth = 0;
+
+// Sequential per-thread id, assigned on first span. 1-based so a
+// default-constructed TraceEvent (tid 0) is distinguishable.
+int ThreadTraceId() {
+  static std::atomic<int> next_id{0};
+  thread_local int id = next_id.fetch_add(1, std::memory_order_relaxed) + 1;
+  return id;
+}
 
 std::chrono::steady_clock::time_point ProcessStart() {
   static const auto start = std::chrono::steady_clock::now();
@@ -112,8 +124,65 @@ TraceSpan::~TraceSpan() {
         std::chrono::duration<double>(start_ - ProcessStart()).count();
     event.duration_seconds = seconds;
     event.depth = depth_;
+    event.tid = ThreadTraceId();
     TraceRing::Push(std::move(event));
   }
+}
+
+namespace {
+
+void AppendJsonEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void WriteChromeTrace(const std::vector<TraceEvent>& events,
+                      std::ostream& os) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buf[128];
+  for (const TraceEvent& event : events) {
+    if (!first) os << ',';
+    first = false;
+    std::string name;
+    AppendJsonEscaped(event.name, &name);
+    // ts/dur are microseconds in the Trace Event Format.
+    std::snprintf(buf, sizeof(buf),
+                  "\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,"
+                  "\"tid\":%d,\"args\":{\"depth\":%d}",
+                  event.start_seconds * 1e6, event.duration_seconds * 1e6,
+                  event.tid, event.depth);
+    os << "{\"name\":\"" << name << "\",\"cat\":\"cold\"," << buf << '}';
+  }
+  os << "]}\n";
+}
+
+bool ExportChromeTrace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    COLD_LOG(kError) << "cannot write trace to " << path;
+    return false;
+  }
+  std::vector<TraceEvent> events = TraceRing::Events();
+  WriteChromeTrace(events, out);
+  COLD_LOG(kInfo) << "trace: " << events.size() << " events -> " << path;
+  return out.good();
 }
 
 }  // namespace cold::obs

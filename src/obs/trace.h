@@ -16,6 +16,7 @@
 #pragma once
 
 #include <chrono>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,10 @@ struct TraceEvent {
   double duration_seconds = 0.0;
   /// Nesting depth on the recording thread (outermost span = 1).
   int depth = 0;
+  /// Small sequential id of the recording thread (first thread to record
+  /// a span = 1). Stable for the thread's lifetime; friendlier in trace
+  /// viewers than kernel tids.
+  int tid = 0;
 };
 
 /// \brief Optional process-wide ring buffer of completed spans (newest
@@ -72,5 +77,15 @@ class TraceSpan {
 /// Opens a span covering the rest of the enclosing scope.
 #define COLD_TRACE_SPAN(name) \
   ::cold::obs::TraceSpan COLD_OBS_CONCAT(cold_trace_span_, __LINE__)(name)
+
+/// \brief Serializes events as a Chrome Trace Event ("Trace Event Format")
+/// JSON array of complete ("X") events — loadable in ui.perfetto.dev and
+/// chrome://tracing. Timestamps/durations are microseconds; one viewer
+/// track per recording thread.
+void WriteChromeTrace(const std::vector<TraceEvent>& events, std::ostream& os);
+
+/// \brief Convenience: WriteChromeTrace of the current ring contents to
+/// `path`. Returns false (and logs) when the file cannot be written.
+bool ExportChromeTrace(const std::string& path);
 
 }  // namespace cold::obs

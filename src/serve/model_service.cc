@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <optional>
 #include <sstream>
 #include <unordered_map>
 #include <utility>
@@ -9,12 +10,18 @@
 #include "apps/influence.h"
 #include "core/model_io.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/json.h"
 #include "util/logging.h"
 
 namespace cold::serve {
 
 namespace {
+
+/// Batch size of the request currently handled on this thread, for the
+/// slow-request log (set by HandleDiffusion, consumed by Handle; 0 for
+/// endpoints with no batching notion).
+thread_local int tls_request_batch_size = 0;
 
 /// Per-endpoint request counter + latency histogram + error counter, all
 /// label-addressed members of three metric families.
@@ -161,6 +168,7 @@ std::shared_ptr<const core::ColdPredictor> ModelService::predictor() const {
 HttpResponse ModelService::Handle(const HttpRequest& request) {
   auto start = std::chrono::steady_clock::now();
   const char* endpoint = "unknown";
+  tls_request_batch_size = 0;
   HttpResponse response = Route(request, &endpoint);
   double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -169,6 +177,17 @@ HttpResponse ModelService::Handle(const HttpRequest& request) {
   metrics.requests->Increment();
   metrics.latency->Observe(seconds);
   if (response.status_code >= 400) metrics.errors->Increment();
+  if (options_.slow_request_ms > 0 &&
+      seconds * 1000.0 >= static_cast<double>(options_.slow_request_ms)) {
+    static obs::Counter* slow_requests =
+        obs::Registry::Global().GetCounter("cold/serve/slow_requests");
+    slow_requests->Increment();
+    COLD_LOG(kWarning) << "slow request: " << request.method << " "
+                       << request.path << " took "
+                       << static_cast<int64_t>(seconds * 1000.0)
+                       << "ms (status " << response.status_code
+                       << ", batch_size " << tls_request_batch_size << ")";
+  }
   return response;
 }
 
@@ -187,6 +206,11 @@ HttpResponse ModelService::Route(const HttpRequest& request,
     *endpoint = "metrics";
     if (!is_get) return HttpResponse::Error(405, "use GET");
     return HandleMetrics();
+  }
+  if (path == "/debug/vars") {
+    *endpoint = "debug_vars";
+    if (!is_get) return HttpResponse::Error(405, "use GET");
+    return HandleDebugVars();
   }
   if (path == "/admin/reload") {
     *endpoint = "reload";
@@ -284,6 +308,7 @@ void ModelService::BatchLoop() {
 }
 
 void ModelService::ExecuteBatch(std::vector<PendingDiffusion>* batch) {
+  COLD_TRACE_SPAN("serve/batch");
   ServiceMetrics().batches->Increment();
   ServiceMetrics().batched_requests->Increment(
       static_cast<int64_t>(batch->size()));
@@ -313,6 +338,12 @@ HttpResponse ModelService::HandleDiffusion(const HttpRequest& request) {
   const int64_t gen = generation();
   const auto& est = model->estimates();
 
+  // Sequential request phases as trace spans: emplace ends the previous
+  // phase before the next begins, so the timeline shows parse -> predict
+  // -> serialize back to back on this thread.
+  std::optional<obs::TraceSpan> phase;
+  phase.emplace("serve/parse");
+
   auto parsed = Json::Parse(request.body);
   if (!parsed.ok()) return HttpResponse::FromStatus(parsed.status());
   const Json& body = *parsed;
@@ -339,7 +370,9 @@ HttpResponse ModelService::HandleDiffusion(const HttpRequest& request) {
     }
     candidates.assign(ids->begin(), ids->end());
   }
+  tls_request_batch_size = static_cast<int>(candidates.size());
 
+  phase.emplace("serve/predict");
   std::vector<double> probabilities;
   probabilities.reserve(candidates.size());
   if (options_.batching_enabled) {
@@ -363,6 +396,7 @@ HttpResponse ModelService::HandleDiffusion(const HttpRequest& request) {
     }
   }
 
+  phase.emplace("serve/serialize");
   Json payload = Json::MakeObject();
   if (single) {
     payload.Set("probability", probabilities.front());
@@ -499,6 +533,21 @@ HttpResponse ModelService::HandleMetrics() {
   obs::Registry::Global().DumpPrometheusText(os);
   return HttpResponse::Text(200, os.str(),
                             "text/plain; version=0.0.4; charset=utf-8");
+}
+
+HttpResponse ModelService::HandleDebugVars() {
+  // The full telemetry snapshot as JSON (histograms include estimated
+  // p50/p90/p99), expvar-style, plus a couple of service-level fields.
+  std::ostringstream vars;
+  obs::Registry::Global().DumpJson(vars);
+  std::ostringstream os;
+  os << "{\"generation\":" << generation()
+     << ",\"model_loaded\":" << (predictor() != nullptr ? "true" : "false")
+     << ",\"telemetry\":" << vars.str() << "}";
+  HttpResponse r;
+  r.status_code = 200;
+  r.body = os.str();
+  return r;
 }
 
 HttpResponse ModelService::HandleReload(const HttpRequest& request) {

@@ -8,6 +8,7 @@
 //   GET  /v1/influential_communities  §6.6     top communities per topic
 //   GET  /healthz                     liveness + model dimensions
 //   GET  /metrics                     Prometheus text exposition (src/obs)
+//   GET  /debug/vars                  full JSON telemetry snapshot
 //   POST /admin/reload                atomic snapshot hot-reload
 //
 // Model sharing is a shared_ptr<const ColdPredictor> swapped under a
@@ -59,6 +60,9 @@ struct ModelServiceOptions {
   int batch_wait_us = 200;
   /// Monte-Carlo IC trials for /v1/influential_communities (§6.6).
   int influence_trials = 64;
+  /// Requests slower than this are logged with method/path/latency/batch
+  /// size (the slow-request log); 0 disables it.
+  int slow_request_ms = 0;
 };
 
 class ModelService {
@@ -110,6 +114,7 @@ class ModelService {
   HttpResponse HandleInfluentialCommunities(const HttpRequest& request);
   HttpResponse HandleHealth();
   HttpResponse HandleMetrics();
+  HttpResponse HandleDebugVars();
   HttpResponse HandleReload(const HttpRequest& request);
 
   /// Cache-assisted Eq. (5); never nullptr for validated inputs.

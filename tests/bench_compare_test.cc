@@ -1,0 +1,157 @@
+// Tests for the bench-regression gate's comparison core
+// (tools/bench_compare_lib.h): metric discovery, tolerance bands, the
+// injected-regression case the gate exists for, and missing-metric
+// detection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "bench_compare_lib.h"
+#include "serve/json.h"
+
+namespace cold::bench {
+namespace {
+
+serve::Json ParseOrDie(const std::string& text) {
+  auto parsed = serve::Json::Parse(text);
+  EXPECT_TRUE(parsed.ok()) << text;
+  return std::move(parsed).ValueOrDie();
+}
+
+// A miniature BENCH_*.json in the shape the real benches emit: nested
+// objects, an array of scale points, and a thread series array.
+const char kBaseline[] = R"({
+  "bench": "sampler_hotpath",
+  "scales": [
+    {
+      "num_users": 100,
+      "tokens_per_sec": 1000000.0,
+      "links_per_sec": 50000.0,
+      "threads": [
+        {"threads": 1, "tokens_per_sec": 900000.0},
+        {"threads": 2, "tokens_per_sec": [1500000.0, 1600000.0]}
+      ]
+    }
+  ],
+  "serial_tokens_per_sec": 800000.0,
+  "note_per_sec": "a per_sec key without a numeric value is not a metric"
+})";
+
+TEST(BenchCompareTest, IdenticalFilesPass) {
+  serve::Json baseline = ParseOrDie(kBaseline);
+  serve::Json current = ParseOrDie(kBaseline);
+  CompareResult result = CompareBenchJson(baseline, current, 0.10);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.regressions, 0);
+  EXPECT_EQ(result.missing, 0);
+  // tokens_per_sec (scale), links_per_sec, two thread points, serial.
+  EXPECT_EQ(result.metrics.size(), 5u);
+}
+
+TEST(BenchCompareTest, InjectedTwentyPercentRegressionFails) {
+  serve::Json baseline = ParseOrDie(kBaseline);
+  // Every throughput metric degraded by exactly 20%: with a 10% tolerance
+  // the gate must flag all of them.
+  serve::Json current = ParseOrDie(R"({
+    "bench": "sampler_hotpath",
+    "scales": [
+      {
+        "num_users": 100,
+        "tokens_per_sec": 800000.0,
+        "links_per_sec": 40000.0,
+        "threads": [
+          {"threads": 1, "tokens_per_sec": 720000.0},
+          {"threads": 2, "tokens_per_sec": [1200000.0, 1280000.0]}
+        ]
+      }
+    ],
+    "serial_tokens_per_sec": 640000.0
+  })");
+  CompareResult result = CompareBenchJson(baseline, current, 0.10);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.regressions, 5);
+  EXPECT_EQ(result.missing, 0);
+  for (const MetricDelta& m : result.metrics) {
+    EXPECT_TRUE(m.regression) << m.path;
+    EXPECT_NEAR(m.delta, -0.20, 1e-9) << m.path;
+  }
+  // ...but a 25% tolerance waves the same drop through.
+  EXPECT_TRUE(CompareBenchJson(baseline, current, 0.25).ok());
+}
+
+TEST(BenchCompareTest, DropWithinToleranceAndImprovementsPass) {
+  serve::Json baseline = ParseOrDie(R"({"tokens_per_sec": 1000.0})");
+  // 5% drop under a 10% band: ok.
+  EXPECT_TRUE(CompareBenchJson(baseline, ParseOrDie(R"({"tokens_per_sec": 950.0})"),
+                               0.10)
+                  .ok());
+  // Improvements never fail, whatever the tolerance.
+  EXPECT_TRUE(CompareBenchJson(baseline, ParseOrDie(R"({"tokens_per_sec": 2000.0})"),
+                               0.0)
+                  .ok());
+  // Just past the band: regression.
+  EXPECT_FALSE(CompareBenchJson(baseline,
+                                ParseOrDie(R"({"tokens_per_sec": 899.0})"),
+                                0.10)
+                   .ok());
+}
+
+TEST(BenchCompareTest, MissingMetricFailsTheGate) {
+  serve::Json baseline = ParseOrDie(kBaseline);
+  // The current file silently dropped the thread series and the serial
+  // number — both must be reported missing, not skipped.
+  serve::Json current = ParseOrDie(R"({
+    "scales": [
+      {"tokens_per_sec": 1000000.0, "links_per_sec": 50000.0}
+    ]
+  })");
+  CompareResult result = CompareBenchJson(baseline, current, 0.10);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.regressions, 0);
+  EXPECT_EQ(result.missing, 3);
+}
+
+TEST(BenchCompareTest, ArraySeriesCompareByMax) {
+  // A thread sweep is summarized by its best sustained rate, so a slower
+  // first point with an unchanged peak is not a regression...
+  serve::Json baseline = ParseOrDie(R"({"tokens_per_sec": [100.0, 200.0]})");
+  serve::Json faster_tail = ParseOrDie(R"({"tokens_per_sec": [50.0, 200.0]})");
+  EXPECT_TRUE(CompareBenchJson(baseline, faster_tail, 0.10).ok());
+  // ...while a collapsed peak is.
+  serve::Json collapsed = ParseOrDie(R"({"tokens_per_sec": [100.0, 120.0]})");
+  EXPECT_FALSE(CompareBenchJson(baseline, collapsed, 0.10).ok());
+}
+
+TEST(BenchCompareTest, ZeroBaselinesAndNonNumericNodesAreSkipped) {
+  serve::Json baseline = ParseOrDie(R"({
+    "tokens_per_sec": 0.0,
+    "empty_per_sec": [],
+    "real_per_sec": 10.0
+  })");
+  serve::Json current = ParseOrDie(R"({"real_per_sec": 10.0})");
+  CompareResult result = CompareBenchJson(baseline, current, 0.10);
+  EXPECT_TRUE(result.ok());
+  ASSERT_EQ(result.metrics.size(), 1u);
+  EXPECT_EQ(result.metrics[0].path, "real_per_sec");
+}
+
+TEST(BenchCompareTest, DeltaReportNamesEveryVerdict) {
+  serve::Json baseline =
+      ParseOrDie(R"({"a_per_sec": 100.0, "b_per_sec": 100.0})");
+  serve::Json current = ParseOrDie(R"({"a_per_sec": 10.0})");
+  CompareResult result = CompareBenchJson(baseline, current, 0.10);
+  std::ostringstream os;
+  PrintDeltaReport(result, 0.10, os);
+  std::string report = os.str();
+  EXPECT_NE(report.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(report.find("MISSING"), std::string::npos);
+  EXPECT_NE(report.find("FAIL"), std::string::npos);
+
+  std::ostringstream ok_os;
+  PrintDeltaReport(CompareBenchJson(baseline, baseline, 0.10), 0.10, ok_os);
+  EXPECT_NE(ok_os.str().find("PASS"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cold::bench

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 
 #include "engine/gas_engine.h"
@@ -179,9 +180,17 @@ TEST(GasEngineTest, SimulatedWallDecreasesWithNodes) {
     model.sync_latency_sec = 0.0;
     return engine.SimulatedWallSeconds(model);
   };
-  double t1 = run(1);
-  double t4 = run(4);
-  EXPECT_LT(t4, t1);
+  // The measured wall underlying the simulation is milliseconds of work,
+  // so one preemption on a loaded CI host can flip the comparison; retry
+  // a few times and require a single clean win (a genuine inversion fails
+  // every attempt).
+  bool faster = false;
+  for (int attempt = 0; attempt < 3 && !faster; ++attempt) {
+    double t1 = std::min(run(1), run(1));
+    double t4 = std::min(run(4), run(4));
+    faster = t4 < t1;
+  }
+  EXPECT_TRUE(faster);
 }
 
 TEST(GasEngineTest, CustomPartitionChangesCuts) {

@@ -2,11 +2,14 @@
 
 #include <cctype>
 #include <chrono>
+#include <cmath>
 #include <regex>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "core/cold.h"
 #include "data/synthetic.h"
@@ -334,6 +337,97 @@ TEST(ExportTest, PrometheusTextFormat) {
   EXPECT_NE(text.find("cold_obs_test_prom_hist_count 3"), std::string::npos);
 }
 
+// ------------------------------------------------------------- Quantiles --
+
+TEST(QuantileTest, UniformSingleBucketInterpolatesLinearly) {
+  // 100 observations spread uniformly in (0, 1]: one bucket with bound 1.
+  std::vector<double> bounds = {1.0};
+  std::vector<int64_t> counts = {100, 0};
+  EXPECT_NEAR(EstimateQuantile(bounds, counts, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(EstimateQuantile(bounds, counts, 0.9), 0.9, 1e-12);
+  EXPECT_NEAR(EstimateQuantile(bounds, counts, 0.99), 0.99, 1e-12);
+}
+
+TEST(QuantileTest, MultiBucketRanksLandInTheRightBucket) {
+  // Buckets (0,1], (1,2], (2,4] with 10 / 70 / 20 observations: p50 and
+  // p90 must interpolate inside their containing buckets.
+  std::vector<double> bounds = {1.0, 2.0, 4.0};
+  std::vector<int64_t> counts = {10, 70, 20, 0};
+  // rank 50 is 40 of the 70 observations into (1,2].
+  EXPECT_NEAR(EstimateQuantile(bounds, counts, 0.5), 1.0 + 40.0 / 70.0,
+              1e-12);
+  // rank 90 is 10 of the 20 observations into (2,4].
+  EXPECT_NEAR(EstimateQuantile(bounds, counts, 0.9), 2.0 + 2.0 * 10.0 / 20.0,
+              1e-12);
+  // Everything at or below rank 10 is in the first bucket.
+  EXPECT_LE(EstimateQuantile(bounds, counts, 0.05), 1.0);
+}
+
+TEST(QuantileTest, KnownDistributionAgainstExactQuantiles) {
+  // Feed a real Histogram 1..1000 (exact quantiles known) and check the
+  // log-bucket estimate stays within one bucket's relative width.
+  HistogramOptions options;
+  options.min_upper_bound = 1.0;
+  options.growth = 2.0;
+  options.num_buckets = 12;
+  Histogram hist(options);
+  Registry::Enable();
+  for (int i = 1; i <= 1000; ++i) hist.Observe(static_cast<double>(i));
+  HistogramSnapshot snapshot;
+  snapshot.upper_bounds = hist.upper_bounds();
+  snapshot.bucket_counts = hist.bucket_counts();
+  snapshot.count = hist.count();
+  for (double q : {0.5, 0.9, 0.99}) {
+    double exact = 1000.0 * q;
+    double estimate = snapshot.Quantile(q);
+    // A growth-2 layout bounds the estimate within a factor of 2.
+    EXPECT_GE(estimate, exact / 2.0) << "q=" << q;
+    EXPECT_LE(estimate, exact * 2.0) << "q=" << q;
+  }
+}
+
+TEST(QuantileTest, EmptyHistogramIsNaN) {
+  std::vector<double> bounds = {1.0, 2.0};
+  std::vector<int64_t> counts = {0, 0, 0};
+  EXPECT_TRUE(std::isnan(EstimateQuantile(bounds, counts, 0.5)));
+}
+
+TEST(QuantileTest, OverflowBucketClampsToLastFiniteBound) {
+  // All mass in the overflow bucket: the estimate cannot invent values
+  // beyond the instrumented range, so it clamps to the last finite bound.
+  std::vector<double> bounds = {1.0, 2.0};
+  std::vector<int64_t> counts = {0, 0, 50};
+  EXPECT_DOUBLE_EQ(EstimateQuantile(bounds, counts, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(EstimateQuantile(bounds, counts, 0.99), 2.0);
+}
+
+TEST(QuantileTest, ExportersCarryQuantiles) {
+  auto& registry = Registry::Global();
+  Registry::Enable();
+  Histogram* hist = registry.GetHistogram(
+      "cold/obs_test/quantile_hist", {}, HistogramOptions{1e-3, 2.0, 10});
+  hist->Reset();
+  for (int i = 0; i < 100; ++i) hist->Observe(1e-2);
+
+  std::ostringstream json_os;
+  registry.DumpJson(json_os);
+  std::string json = json_os.str();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.Valid()) << json;
+  EXPECT_NE(json.find("\"quantiles\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p90\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+
+  std::ostringstream prom_os;
+  registry.DumpPrometheusText(prom_os);
+  std::string prom = prom_os.str();
+  EXPECT_NE(prom.find("cold_obs_test_quantile_hist_quantile{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("quantile=\"0.9\""), std::string::npos);
+  EXPECT_NE(prom.find("quantile=\"0.99\""), std::string::npos);
+}
+
 // ----------------------------------------------------------- Trace spans --
 
 TEST(TraceTest, NestedSpansAttributeTimeToTheRightFamily) {
@@ -383,6 +477,82 @@ TEST(TraceTest, RingBufferKeepsNewestEvents) {
   ASSERT_EQ(events.size(), 4u);
   EXPECT_EQ(events.front().name, "e6");
   EXPECT_EQ(events.back().name, "e9");
+}
+
+TEST(TraceTest, ConcurrentPushKeepsRingConsistent) {
+  // Hammer the ring from several threads at a capacity far below the push
+  // count: no crashes/tears, ring stays exactly at capacity, and every
+  // surviving event is one that was actually pushed.
+  constexpr size_t kCapacity = 64;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  TraceRing::Enable(kCapacity);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TraceEvent event;
+        // Built with append (not operator+ chains): GCC 12's -Wrestrict
+        // false-positives on literal + to_string concatenations.
+        event.name = "t";
+        event.name += std::to_string(t);
+        event.name += "/e";
+        event.name += std::to_string(i);
+        event.start_seconds = t * kPerThread + i;
+        TraceRing::Push(std::move(event));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  std::vector<TraceEvent> events = TraceRing::Events();
+  TraceRing::Disable();
+  ASSERT_EQ(events.size(), kCapacity);
+  for (const TraceEvent& event : events) {
+    EXPECT_EQ(event.name[0], 't');
+    EXPECT_NE(event.name.find("/e"), std::string::npos);
+  }
+}
+
+TEST(TraceTest, SpansRecordDistinctThreadIds) {
+  TraceRing::Enable(32);
+  Registry::Enable();
+  {
+    COLD_TRACE_SPAN("obs_test/tid_main");
+  }
+  std::thread worker([] { COLD_TRACE_SPAN("obs_test/tid_worker"); });
+  worker.join();
+  std::vector<TraceEvent> events = TraceRing::Events();
+  TraceRing::Disable();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_GT(events[0].tid, 0);
+  EXPECT_GT(events[1].tid, 0);
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST(TraceTest, ChromeTraceExportIsValidJson) {
+  TraceRing::Enable(16);
+  Registry::Enable();
+  {
+    COLD_TRACE_SPAN("obs_test/chrome \"outer\"");
+    { COLD_TRACE_SPAN("obs_test/chrome_inner"); }
+  }
+  std::vector<TraceEvent> events = TraceRing::Events();
+  TraceRing::Disable();
+  ASSERT_EQ(events.size(), 2u);
+
+  std::ostringstream os;
+  WriteChromeTrace(events, os);
+  std::string json = os.str();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.Valid()) << json;
+  // Chrome Trace Event essentials: complete events with µs timestamps and
+  // the string name escaped.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":"), std::string::npos);
+  EXPECT_NE(json.find("chrome \\\"outer\\\""), std::string::npos);
 }
 
 TEST(TraceTest, DisabledRegistryMakesSpansFree) {

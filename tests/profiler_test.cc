@@ -1,0 +1,192 @@
+// Tests for the SIGPROF sampling profiler (src/obs/profiler.h): session
+// lifecycle, empty profiles, report invariants, and a signal-safety smoke
+// under threaded load with the metrics/trace subsystems running.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <ctime>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace cold::obs {
+namespace {
+
+// TSan intercepts signal delivery and flags SIGPROF handlers that run
+// "async-signal-unsafe" interceptors (backtrace's lazy unwinder state looks
+// racy to it), so the sampling tests only run outside TSan. The pure
+// report/bookkeeping tests still run everywhere.
+#if defined(__SANITIZE_THREAD__)
+constexpr bool kSamplingSupported = false;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr bool kSamplingSupported = false;
+#else
+constexpr bool kSamplingSupported = true;
+#endif
+#else
+constexpr bool kSamplingSupported = true;
+#endif
+
+// CPU-bound work the sampler can land on; returns a value so the loop
+// cannot be optimized away. `seconds` is process CPU time (std::clock),
+// the same clock driving the profiler's timer, so the expected sample
+// count does not depend on how loaded the host is.
+double BurnCpu(double seconds) {
+  const std::clock_t budget =
+      static_cast<std::clock_t>(seconds * CLOCKS_PER_SEC);
+  const std::clock_t start = std::clock();
+  volatile double sink = 0.0;
+  while (true) {
+    for (int i = 1; i < 2000; ++i) {
+      sink = sink + std::sqrt(static_cast<double>(i)) * 1e-9;
+    }
+    if (std::clock() - start >= budget) break;
+  }
+  return sink;
+}
+
+TEST(ProfilerTest, StopWithoutStartIsEmpty) {
+  ASSERT_FALSE(Profiler::running());
+  ProfileReport report = Profiler::Stop();
+  EXPECT_EQ(report.samples, 0);
+  EXPECT_EQ(report.dropped, 0);
+  EXPECT_TRUE(report.folded.empty());
+  EXPECT_DOUBLE_EQ(report.AttributedFraction(), 0.0);
+}
+
+TEST(ProfilerTest, DoubleStartFailsAndFirstSessionSurvives) {
+  if (!kSamplingSupported) GTEST_SKIP() << "sampling disabled under TSan";
+  ASSERT_TRUE(Profiler::Start().ok());
+  EXPECT_TRUE(Profiler::running());
+  Status second = Profiler::Start();
+  EXPECT_FALSE(second.ok());
+  EXPECT_TRUE(Profiler::running());  // the losing Start must not kill it
+  Profiler::Stop();
+  EXPECT_FALSE(Profiler::running());
+}
+
+TEST(ProfilerTest, EmptyProfileReportIsWellFormed) {
+  if (!kSamplingSupported) GTEST_SKIP() << "sampling disabled under TSan";
+  // Start/Stop with (almost) no CPU burned in between: zero or near-zero
+  // samples, and every emitter handles the empty report.
+  ASSERT_TRUE(Profiler::Start().ok());
+  ProfileReport report = Profiler::Stop();
+  EXPECT_GE(report.samples, 0);
+  std::ostringstream folded, top;
+  report.WriteFolded(folded);
+  report.PrintTop(top, 10);  // must not crash on an empty table
+  if (report.samples == 0) {
+    EXPECT_TRUE(folded.str().empty());
+    EXPECT_DOUBLE_EQ(report.AttributedFraction(), 0.0);
+  }
+}
+
+TEST(ProfilerTest, CapturesSamplesFromCpuWork) {
+  if (!kSamplingSupported) GTEST_SKIP() << "sampling disabled under TSan";
+  ProfilerOptions options;
+  options.sample_hz = 997;
+  ASSERT_TRUE(Profiler::Start(options).ok());
+  BurnCpu(0.3);
+  ProfileReport report = Profiler::Stop();
+
+  // 0.3s of CPU at ~1kHz: expect a healthy sample count (loose lower
+  // bound; CI machines stall).
+  EXPECT_GT(report.samples, 20) << "dropped=" << report.dropped;
+
+  // Report invariants: folded counts and per-thread counts both total the
+  // sample count, and the symbol table is sorted by self descending.
+  int64_t folded_total = 0;
+  for (const auto& [stack, count] : report.folded) {
+    EXPECT_FALSE(stack.empty());
+    EXPECT_GT(count, 0);
+    folded_total += count;
+  }
+  EXPECT_EQ(folded_total, report.samples);
+  int64_t thread_total = 0;
+  for (const auto& [tid, count] : report.samples_by_thread) {
+    EXPECT_GT(tid, 0);
+    thread_total += count;
+  }
+  EXPECT_EQ(thread_total, report.samples);
+  for (size_t i = 1; i < report.symbols.size(); ++i) {
+    EXPECT_GE(report.symbols[i - 1].self, report.symbols[i].self);
+  }
+
+  // The burn loop dominates the profile, so most samples must resolve to
+  // named symbols (softer than the 80% end-to-end bar on cold_train
+  // --profile to leave room for sanitizer/runtime frames).
+  EXPECT_GE(report.AttributedFraction(), 0.5)
+      << "samples=" << report.samples;
+}
+
+TEST(ProfilerTest, SignalSafetySmokeUnderThreadedLoad) {
+  if (!kSamplingSupported) GTEST_SKIP() << "sampling disabled under TSan";
+  // Sample while a thread pool burns CPU, the metrics registry takes
+  // lock-free updates and trace spans push into the mutex-guarded ring —
+  // the handler must coexist with all of it (no deadlock, no crash).
+  Registry::Enable();
+  TraceRing::Enable(256);
+  Counter* counter =
+      Registry::Global().GetCounter("cold/profiler_test/smoke_ops");
+  counter->Reset();
+
+  ProfilerOptions options;
+  options.sample_hz = 1999;  // aggressive rate to stress delivery
+  ASSERT_TRUE(Profiler::Start(options).ok());
+  {
+    ThreadPool pool(4);
+    pool.ParallelFor(size_t{4000}, [&](size_t begin, size_t end, size_t) {
+      for (size_t i = begin; i < end; ++i) {
+        COLD_TRACE_SPAN("profiler_test/smoke");
+        volatile double sink = 0.0;
+        for (int j = 1; j < 500; ++j) {
+          sink = sink + std::sqrt(static_cast<double>(j));
+        }
+        counter->Increment();
+      }
+    });
+  }
+  ProfileReport report = Profiler::Stop();
+  TraceRing::Disable();
+
+  // All work completed despite constant signal delivery.
+  EXPECT_EQ(counter->Value(), 4000);
+  EXPECT_GE(report.samples, 0);
+  EXPECT_GE(report.dropped, 0);
+
+  // A fresh session still works after the stress (state fully torn down).
+  ASSERT_TRUE(Profiler::Start().ok());
+  Profiler::Stop();
+}
+
+TEST(ProfilerTest, DropsSamplesBeyondBufferInsteadOfBlocking) {
+  if (!kSamplingSupported) GTEST_SKIP() << "sampling disabled under TSan";
+  // Signal deliveries coalesce while the process is preempted, so one
+  // session on a loaded host can see few deliveries; retry sessions until
+  // an overflow is observed (each burns ~200 timer expirations' worth of
+  // CPU, so all rounds staying under the 8-slot buffer means drop
+  // accounting is broken, not that the host is busy).
+  bool overflowed = false;
+  for (int round = 0; round < 10 && !overflowed; ++round) {
+    ProfilerOptions options;
+    options.sample_hz = 1999;
+    options.max_samples = 8;  // tiny buffer: overflow is the common case
+    ASSERT_TRUE(Profiler::Start(options).ok());
+    BurnCpu(0.1);
+    ProfileReport report = Profiler::Stop();
+    EXPECT_LE(report.samples, 8);
+    overflowed = report.dropped > 0;
+  }
+  EXPECT_TRUE(overflowed);
+}
+
+}  // namespace
+}  // namespace cold::obs

@@ -9,6 +9,8 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -20,6 +22,7 @@
 #include "serve/json.h"
 #include "serve/lru_cache.h"
 #include "serve/model_service.h"
+#include "util/logging.h"
 #include "util/rng.h"
 
 namespace cold::serve {
@@ -371,6 +374,124 @@ TEST_F(ServeTest, MetricsEndpointExposesServeFamilies) {
   EXPECT_NE(text.find("endpoint=\"diffusion\""), std::string::npos);
   EXPECT_NE(text.find("cold_serve_posterior_cache_misses"),
             std::string::npos);
+}
+
+TEST_F(ServeTest, DebugVarsExposesTelemetryWithQuantiles) {
+  StartServer();
+  // Prime the request-latency histograms so quantiles have mass.
+  for (int i = 0; i < 20; ++i) {
+    (void)PostJson("/v1/diffusion",
+                   R"({"publisher": 0, "candidate": 1, "words": [2]})");
+  }
+  auto response = client_.Get("/debug/vars");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status_code, 200);
+  EXPECT_NE(response->headers["content-type"].find("application/json"),
+            std::string::npos);
+  auto body = Json::Parse(response->body);
+  ASSERT_TRUE(body.ok()) << response->body;
+  EXPECT_NE(body->Find("generation"), nullptr);
+  ASSERT_NE(body->Find("model_loaded"), nullptr);
+  EXPECT_TRUE(body->Find("model_loaded")->as_bool());
+
+  // The embedded telemetry dump carries the serve histograms with their
+  // p50/p90/p99 summaries.
+  const Json* telemetry = body->Find("telemetry");
+  ASSERT_NE(telemetry, nullptr);
+  const Json* histograms = telemetry->Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  ASSERT_TRUE(histograms->is_array());
+  bool found_request_seconds = false;
+  for (const Json& hist : histograms->as_array()) {
+    const Json* name = hist.Find("name");
+    ASSERT_NE(name, nullptr);
+    const Json* quantiles = hist.Find("quantiles");
+    ASSERT_NE(quantiles, nullptr) << name->as_string();
+    EXPECT_NE(quantiles->Find("p50"), nullptr);
+    EXPECT_NE(quantiles->Find("p90"), nullptr);
+    EXPECT_NE(quantiles->Find("p99"), nullptr);
+    if (name->as_string() == "cold/serve/request_seconds") {
+      found_request_seconds = true;
+      // 20 requests just landed: the quantiles must be real numbers.
+      EXPECT_TRUE(quantiles->Find("p99")->is_number());
+      EXPECT_GT(quantiles->Find("p99")->as_number(), 0.0);
+    }
+  }
+  EXPECT_TRUE(found_request_seconds);
+}
+
+TEST_F(ServeTest, SlowRequestLogRecordsMethodPathLatencyAndBatchSize) {
+  ModelServiceOptions options;
+  options.slow_request_ms = 1;  // lowest enabled threshold
+  StartServer(options);
+
+  // Capture warning lines; the sink runs serialized so a plain string
+  // under a mutex-free append is safe here.
+  static std::mutex log_mutex;
+  static std::vector<std::string> warnings;
+  {
+    std::lock_guard<std::mutex> lock(log_mutex);
+    warnings.clear();
+  }
+  Logger::SetSink([](LogLevel level, const std::string& line) {
+    std::lock_guard<std::mutex> lock(log_mutex);
+    if (level == LogLevel::kWarning) warnings.push_back(line);
+  });
+
+  // A max-trials influence scan burns well past 1ms of CPU, and a batched
+  // diffusion fan-out records its batch size; at least one of the two must
+  // cross the threshold and the logged line must carry method, path,
+  // latency and batch size.
+  auto slow =
+      client_.Get("/v1/influential_communities?topic=1&n=3&trials=100000");
+  ASSERT_TRUE(slow.ok());
+  EXPECT_EQ(slow->status_code, 200);
+  (void)PostJson("/v1/diffusion",
+                 R"({"publisher": 2, "candidates": [4, 5, 6], "words": [0]})");
+  Logger::SetSink(nullptr);
+
+  std::vector<std::string> captured;
+  {
+    std::lock_guard<std::mutex> lock(log_mutex);
+    captured = warnings;
+  }
+  bool found_slow = false;
+  for (const std::string& line : captured) {
+    if (line.find("slow request") == std::string::npos) continue;
+    found_slow = true;
+    const bool has_method_and_path =
+        line.find("GET /v1/influential_communities") != std::string::npos ||
+        line.find("POST /v1/diffusion") != std::string::npos;
+    EXPECT_TRUE(has_method_and_path) << line;
+    EXPECT_NE(line.find("ms (status"), std::string::npos) << line;
+    EXPECT_NE(line.find("batch_size"), std::string::npos) << line;
+  }
+  EXPECT_TRUE(found_slow) << "no slow-request warning captured";
+
+  // The slow-request counter ticked at least once.
+  EXPECT_GE(obs::Registry::Global()
+                .GetCounter("cold/serve/slow_requests")
+                ->Value(),
+            1);
+}
+
+TEST_F(ServeTest, SlowRequestLogDisabledByDefault) {
+  StartServer();  // slow_request_ms = 0: never logs
+  static std::mutex log_mutex;
+  static bool saw_slow = false;
+  {
+    std::lock_guard<std::mutex> lock(log_mutex);
+    saw_slow = false;
+  }
+  Logger::SetSink([](LogLevel, const std::string& line) {
+    std::lock_guard<std::mutex> lock(log_mutex);
+    if (line.find("slow request") != std::string::npos) saw_slow = true;
+  });
+  auto response = client_.Get("/v1/influential_communities?topic=1&trials=512");
+  ASSERT_TRUE(response.ok());
+  Logger::SetSink(nullptr);
+  std::lock_guard<std::mutex> lock(log_mutex);
+  EXPECT_FALSE(saw_slow);
 }
 
 TEST_F(ServeTest, PosteriorCacheHitsOnRepeatQueries) {

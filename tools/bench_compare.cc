@@ -1,0 +1,96 @@
+// bench_compare — the bench-regression gate's CLI (DESIGN.md §11).
+//
+// Usage: bench_compare <baseline.json> <current.json> [--tolerance 0.10]
+//
+// Diffs every throughput metric (keys containing "per_sec"; arrays reduced
+// to their max) of a fresh BENCH_*.json against a committed baseline and
+// prints a per-metric delta report. Exit codes: 0 = within tolerance,
+// 1 = regression or metric missing from the current file, 2 = usage or
+// unreadable/invalid input. Wired into ctest as bench_regression via
+// tools/bench_regression.sh; run it by hand when updating baselines (see
+// DESIGN.md §11 for the workflow).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench_compare_lib.h"
+#include "serve/json.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <baseline.json> <current.json> [--tolerance F]\n"
+               "  F is the allowed relative throughput drop (default 0.10)\n",
+               argv0);
+  return 2;
+}
+
+bool LoadJson(const char* path, cold::serve::Json* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n", path);
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = cold::serve::Json::Parse(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "bench_compare: %s: %s\n", path,
+                 parsed.status().ToString().c_str());
+    return false;
+  }
+  *out = std::move(parsed).ValueOrDie();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* baseline_path = nullptr;
+  const char* current_path = nullptr;
+  double tolerance = 0.10;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tolerance") == 0) {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      char* end = nullptr;
+      tolerance = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || tolerance < 0.0 ||
+          tolerance >= 1.0) {
+        std::fprintf(stderr, "bench_compare: tolerance must be in [0, 1)\n");
+        return 2;
+      }
+    } else if (baseline_path == nullptr) {
+      baseline_path = argv[i];
+    } else if (current_path == nullptr) {
+      current_path = argv[i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (baseline_path == nullptr || current_path == nullptr) {
+    return Usage(argv[0]);
+  }
+
+  cold::serve::Json baseline, current;
+  if (!LoadJson(baseline_path, &baseline) ||
+      !LoadJson(current_path, &current)) {
+    return 2;
+  }
+
+  cold::bench::CompareResult result =
+      cold::bench::CompareBenchJson(baseline, current, tolerance);
+  if (result.metrics.empty()) {
+    std::fprintf(stderr,
+                 "bench_compare: baseline %s contains no *per_sec metrics\n",
+                 baseline_path);
+    return 2;
+  }
+  cold::bench::PrintDeltaReport(result, tolerance, std::cout);
+  return result.ok() ? 0 : 1;
+}

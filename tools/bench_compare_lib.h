@@ -1,0 +1,189 @@
+// Core of the bench-regression gate (tools/bench_compare.cc, the
+// bench_regression ctest): diffs a fresh BENCH_*.json against a committed
+// baseline with a per-metric tolerance band.
+//
+// Throughput metrics are discovered structurally rather than by schema:
+// any number (or array of numbers, compared by max) under a key containing
+// "per_sec" — which matches tokens_per_sec, links_per_sec,
+// serial_tokens_per_sec, tokens_per_second, ... — is compared at the same
+// JSON path in both files. A metric is a regression when
+//
+//   current < baseline * (1 - tolerance)
+//
+// and missing when the baseline has it but the current file does not (so a
+// bench silently dropping a series also fails the gate). Improvements and
+// extra metrics in the current file never fail. Header-only so the
+// bench_compare_test can drive an injected regression through the exact
+// production comparison.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "serve/json.h"
+
+namespace cold::bench {
+
+/// \brief One compared metric: its JSON path, both values, and the
+/// relative delta ((current - baseline) / baseline).
+struct MetricDelta {
+  std::string path;
+  double baseline = 0.0;
+  double current = 0.0;
+  double delta = 0.0;
+  bool regression = false;
+  /// Present in the baseline, absent (or non-numeric) in the current file.
+  bool missing = false;
+};
+
+struct CompareResult {
+  std::vector<MetricDelta> metrics;
+  int regressions = 0;
+  int missing = 0;
+
+  bool ok() const { return regressions == 0 && missing == 0; }
+};
+
+namespace internal {
+
+inline bool IsThroughputKey(const std::string& key) {
+  return key.find("per_sec") != std::string::npos;
+}
+
+/// A throughput value is a positive number or a non-empty array of
+/// numbers (thread/sweep series), reduced to its max — the series'
+/// noise-robust "best sustained rate" summary.
+inline bool ThroughputValue(const serve::Json& node, double* out) {
+  if (node.is_number()) {
+    *out = node.as_number();
+    return true;
+  }
+  if (node.is_array() && !node.as_array().empty()) {
+    double best = 0.0;
+    for (const serve::Json& item : node.as_array()) {
+      if (!item.is_number()) return false;
+      best = std::max(best, item.as_number());
+    }
+    *out = best;
+    return true;
+  }
+  return false;
+}
+
+/// Returns the node at `path` ("a/b/3/c": object keys and array indices)
+/// or nullptr.
+inline const serve::Json* Lookup(const serve::Json& root,
+                                 const std::string& path) {
+  const serve::Json* node = &root;
+  size_t pos = 0;
+  while (pos < path.size()) {
+    size_t next = path.find('/', pos);
+    if (next == std::string::npos) next = path.size();
+    std::string segment = path.substr(pos, next - pos);
+    pos = next + 1;
+    if (node->is_object()) {
+      node = node->Find(segment);
+    } else if (node->is_array()) {
+      size_t index = 0;
+      if (segment.empty()) return nullptr;
+      for (char c : segment) {
+        if (c < '0' || c > '9') return nullptr;
+        index = index * 10 + static_cast<size_t>(c - '0');
+      }
+      const auto& arr = node->as_array();
+      if (index >= arr.size()) return nullptr;
+      node = &arr[index];
+    } else {
+      return nullptr;
+    }
+    if (node == nullptr) return nullptr;
+  }
+  return node;
+}
+
+/// Depth-first walk of the baseline collecting (path, value) for every
+/// throughput metric. Baselines <= 0 are skipped (a zero rate carries no
+/// tolerance band).
+inline void CollectMetrics(const serve::Json& node, const std::string& path,
+                           std::vector<std::pair<std::string, double>>* out) {
+  if (node.is_object()) {
+    for (const auto& [key, child] : node.as_object()) {
+      std::string child_path = path.empty() ? key : path + "/" + key;
+      double value = 0.0;
+      if (IsThroughputKey(key) && ThroughputValue(child, &value)) {
+        if (value > 0.0) out->emplace_back(child_path, value);
+        continue;
+      }
+      CollectMetrics(child, child_path, out);
+    }
+  } else if (node.is_array()) {
+    const auto& arr = node.as_array();
+    for (size_t i = 0; i < arr.size(); ++i) {
+      CollectMetrics(arr[i], path + "/" + std::to_string(i), out);
+    }
+  }
+}
+
+}  // namespace internal
+
+/// \brief Compares every throughput metric of `baseline` against the same
+/// path in `current`. `tolerance` is the allowed relative drop (0.10 =
+/// 10%).
+inline CompareResult CompareBenchJson(const serve::Json& baseline,
+                                      const serve::Json& current,
+                                      double tolerance) {
+  CompareResult result;
+  std::vector<std::pair<std::string, double>> expected;
+  internal::CollectMetrics(baseline, "", &expected);
+  for (const auto& [path, base_value] : expected) {
+    MetricDelta delta;
+    delta.path = path;
+    delta.baseline = base_value;
+    const serve::Json* node = internal::Lookup(current, path);
+    double current_value = 0.0;
+    if (node == nullptr ||
+        !internal::ThroughputValue(*node, &current_value)) {
+      delta.missing = true;
+      result.missing++;
+    } else {
+      delta.current = current_value;
+      delta.delta = (current_value - base_value) / base_value;
+      delta.regression = current_value < base_value * (1.0 - tolerance);
+      if (delta.regression) result.regressions++;
+    }
+    result.metrics.push_back(std::move(delta));
+  }
+  return result;
+}
+
+/// \brief Human-readable delta report, worst metrics flagged.
+inline void PrintDeltaReport(const CompareResult& result, double tolerance,
+                             std::ostream& os) {
+  os << "bench_compare: " << result.metrics.size() << " metric(s), tolerance "
+     << static_cast<int>(tolerance * 100.0 + 0.5) << "%\n";
+  for (const MetricDelta& m : result.metrics) {
+    char line[512];
+    if (m.missing) {
+      std::snprintf(line, sizeof(line),
+                    "  MISSING    %-56s baseline %.0f, absent in current",
+                    m.path.c_str(), m.baseline);
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "  %-10s %-56s %.0f -> %.0f (%+.1f%%)",
+                    m.regression ? "REGRESSION" : "ok", m.path.c_str(),
+                    m.baseline, m.current, m.delta * 100.0);
+    }
+    os << line << "\n";
+  }
+  if (!result.ok()) {
+    os << "FAIL: " << result.regressions << " regression(s), "
+       << result.missing << " missing metric(s)\n";
+  } else {
+    os << "PASS: no throughput regressions\n";
+  }
+}
+
+}  // namespace cold::bench

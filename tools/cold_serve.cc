@@ -10,9 +10,13 @@
 // serviced ones are answered 503 + Retry-After instead of queueing (0 =
 // accept everything; counted by the serve_shed_total metric).
 //
+// --slow-request-ms N logs any request slower than N ms with its method,
+// path, latency and diffusion batch size (0 disables the log).
+//
 // Endpoints: POST /v1/diffusion, /v1/topic_posterior, /v1/link,
 // /v1/timestamp; GET /v1/influential_communities, /healthz, /metrics
-// (Prometheus); POST /admin/reload. SIGHUP also hot-reloads the snapshot
+// (Prometheus), /debug/vars (JSON telemetry snapshot with estimated
+// latency quantiles); POST /admin/reload. SIGHUP also hot-reloads the snapshot
 // from <model>; SIGINT/SIGTERM drain in-flight requests and exit.
 #include <chrono>
 #include <csignal>
@@ -44,7 +48,7 @@ int Usage(const char* argv0) {
                "usage: %s <model> [--port N=8080] [--workers N=8] "
                "[--cache N=4096] [--no-batching] [--batch-max N=64] "
                "[--batch-wait-us N=200] [--top-communities N=5] "
-               "[--max-inflight N=0]\n",
+               "[--max-inflight N=0] [--slow-request-ms N=0]\n",
                argv0);
   return 2;
 }
@@ -76,6 +80,7 @@ int main(int argc, char** argv) {
   int batch_wait_us = 200;
   int top_communities = 5;
   int max_inflight = 0;
+  int slow_request_ms = 0;
   bool batching = true;
 
   for (int i = 2; i < argc; ++i) {
@@ -99,6 +104,8 @@ int main(int argc, char** argv) {
       if (!next(1, 1 << 20, &top_communities)) return Usage(argv[0]);
     } else if (std::strcmp(arg, "--max-inflight") == 0) {
       if (!next(0, 1 << 20, &max_inflight)) return Usage(argv[0]);
+    } else if (std::strcmp(arg, "--slow-request-ms") == 0) {
+      if (!next(0, 1 << 30, &slow_request_ms)) return Usage(argv[0]);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg);
       return Usage(argv[0]);
@@ -112,6 +119,7 @@ int main(int argc, char** argv) {
   service_options.batching_enabled = batching;
   service_options.max_batch = static_cast<size_t>(batch_max);
   service_options.batch_wait_us = batch_wait_us;
+  service_options.slow_request_ms = slow_request_ms;
 
   serve::ModelService service(service_options);
   if (auto st = service.LoadFromFile(model_path); !st.ok()) {

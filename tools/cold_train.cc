@@ -3,13 +3,22 @@
 //
 // Usage: cold_train <dataset-dir> <model-out> [C=8] [K=12] [iterations=150]
 //                   [--parallel [nodes=4]] [--metrics-out FILE] [--trace]
-//                   [--checkpoint-dir DIR] [--checkpoint-every N]
-//                   [--checkpoint-keep N] [--resume]
+//                   [--trace-out FILE] [--profile] [--profile-out FILE]
+//                   [--oversubscribe] [--checkpoint-dir DIR]
+//                   [--checkpoint-every N] [--checkpoint-keep N] [--resume]
 //
 // --metrics-out writes a JSON array with one telemetry snapshot per sweep
 // (sweep/phase durations, tokens resampled, switch rates, train
 // log-likelihood, engine phase seconds when --parallel); --trace enables
 // the in-memory span ring buffer and prints a span summary after training.
+//
+// Performance observability (DESIGN.md §11): --profile samples the
+// training run with the in-process SIGPROF profiler and prints a top-15
+// symbol table (--profile-out additionally writes folded stacks for
+// flamegraph tooling); --trace-out writes the span timeline as Chrome
+// Trace Event JSON, loadable in ui.perfetto.dev; --oversubscribe lets
+// --parallel run more worker threads than the host has cores (useful for
+// multi-thread traces on small machines).
 //
 // --checkpoint-dir enables durable training checkpoints (atomic write,
 // CRC-verified, keep-last-N rotation) every --checkpoint-every sweeps;
@@ -24,6 +33,7 @@
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -33,6 +43,7 @@
 #include "core/model_io.h"
 #include "data/serialize.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "util/fault_injector.h"
 #include "util/logging.h"
@@ -45,7 +56,9 @@ int Usage(const char* argv0) {
                "usage: %s <dataset-dir> <model-out> [C=8] [K=12] "
                "[iterations=150] [--parallel [nodes=4]] [--threads N] "
                "[--partitioner modulo|greedy] [--legacy-counters] "
-               "[--metrics-out FILE] [--trace] [--checkpoint-dir DIR] "
+               "[--metrics-out FILE] [--trace] [--trace-out FILE] "
+               "[--profile] [--profile-out FILE] [--oversubscribe] "
+               "[--checkpoint-dir DIR] "
                "[--checkpoint-every N] [--checkpoint-keep N] [--resume]\n",
                argv0);
   return 2;
@@ -78,6 +91,10 @@ struct Args {
   bool legacy_counters = false;
   std::string metrics_out;
   bool trace = false;
+  std::string trace_out;
+  bool profile = false;
+  std::string profile_out;
+  bool oversubscribe = false;
   std::string checkpoint_dir;
   int checkpoint_every = 10;
   int checkpoint_keep = 3;
@@ -131,6 +148,23 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->metrics_out = argv[++a];
     } else if (std::strcmp(arg, "--trace") == 0) {
       args->trace = true;
+    } else if (std::strcmp(arg, "--trace-out") == 0) {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "--trace-out requires a file argument\n");
+        return false;
+      }
+      args->trace_out = argv[++a];
+    } else if (std::strcmp(arg, "--profile") == 0) {
+      args->profile = true;
+    } else if (std::strcmp(arg, "--profile-out") == 0) {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "--profile-out requires a file argument\n");
+        return false;
+      }
+      args->profile = true;
+      args->profile_out = argv[++a];
+    } else if (std::strcmp(arg, "--oversubscribe") == 0) {
+      args->oversubscribe = true;
     } else if (std::strcmp(arg, "--checkpoint-dir") == 0) {
       if (a + 1 >= argc) {
         std::fprintf(stderr, "--checkpoint-dir requires a directory\n");
@@ -302,7 +336,7 @@ int main(int argc, char** argv) {
   // otherwise); used by tools/crashloop_train.sh and the recovery tests.
   FaultInjector::Global().ConfigureFromEnv();
 
-  if (args.trace) obs::TraceRing::Enable(8192);
+  if (args.trace || !args.trace_out.empty()) obs::TraceRing::Enable(8192);
 
   auto dataset_result = data::LoadDataset(args.dataset_dir);
   if (!dataset_result.ok()) {
@@ -345,12 +379,24 @@ int main(int argc, char** argv) {
   MetricsSeries series;
   Stopwatch watch;
   core::ColdEstimates estimates;
+
+  // Profiling covers exactly the training phase (load/save excluded so
+  // attribution reflects the hot path, not I/O).
+  std::optional<obs::ProfileScope> profile;
+  if (args.profile) {
+    obs::ProfileScopeOptions popts;
+    popts.out_path = args.profile_out;
+    popts.print_top = 15;
+    profile.emplace(std::move(popts));
+  }
+
   if (args.parallel) {
     engine::EngineOptions options;
     options.num_nodes = args.nodes;
     options.threads_per_node = args.threads_per_node;
     options.partitioner = args.partitioner;
     options.legacy_shared_counters = args.legacy_counters;
+    options.oversubscribe = args.oversubscribe;
     core::ParallelColdTrainer trainer(config, dataset.posts,
                                       &dataset.interactions, options);
     if (auto st = trainer.Init(); !st.ok()) {
@@ -423,6 +469,14 @@ int main(int argc, char** argv) {
     }
     estimates = sampler.AveragedEstimates();
     std::printf("serial training: %.2fs\n", watch.ElapsedSeconds());
+  }
+
+  // End the profiling session (writing/printing its report) before the
+  // post-training bookkeeping below.
+  profile.reset();
+
+  if (!args.trace_out.empty() && !obs::ExportChromeTrace(args.trace_out)) {
+    return 1;
   }
 
   if (!args.metrics_out.empty()) {

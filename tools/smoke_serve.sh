@@ -133,6 +133,36 @@ DIFFUSION_COUNT="$(sed -n \
   || die "diffusion counter ${DIFFUSION_COUNT} < load ${NUM_REQUESTS}"
 echo "  cold_serve_requests{endpoint=\"diffusion\"} = ${DIFFUSION_COUNT} (>= ${NUM_REQUESTS})"
 
+echo "== /debug/vars exposes parseable telemetry with quantiles =="
+curl -s "${BASE}/debug/vars" >"${WORK_DIR}/debug_vars.json" \
+  || die "GET /debug/vars"
+if command -v python3 >/dev/null; then
+  python3 - "${WORK_DIR}/debug_vars.json" <<'PYEOF' || die "/debug/vars invalid"
+import json, sys
+with open(sys.argv[1]) as f:
+    vars = json.load(f)
+assert vars["model_loaded"] is True, "model_loaded not true"
+assert "generation" in vars, "missing generation"
+hists = vars["telemetry"]["histograms"]
+assert hists, "no histograms exported"
+by_name = {h["name"]: h for h in hists}
+latency = by_name["cold/serve/request_seconds"]
+q = latency["quantiles"]
+for key in ("p50", "p90", "p99"):
+    assert key in q, f"missing quantile {key}"
+    assert q[key] is None or q[key] > 0, f"{key} not positive: {q[key]}"
+assert q["p99"] is not None, "p99 null despite load"
+print(f"  request_seconds p50={q['p50']:.6f}s p99={q['p99']:.6f}s")
+PYEOF
+else
+  # No python3: at least assert the endpoint answers with the quantile keys.
+  grep -q '"quantiles"' "${WORK_DIR}/debug_vars.json" \
+    || die "/debug/vars missing quantiles"
+  grep -q '"p99"' "${WORK_DIR}/debug_vars.json" \
+    || die "/debug/vars missing p99"
+  echo "  quantile keys present (python3 unavailable for full parse)"
+fi
+
 echo "== graceful shutdown =="
 kill -TERM "${SERVE_PID}"
 wait "${SERVE_PID}" || die "server exited non-zero"
