@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/gibbs_sampler.h"
+#include "engine/partitioner.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/fault_injector.h"
@@ -198,7 +199,7 @@ class ColdVertexProgram {
       s.clamps = 0;
     }
     if (clamps > 0) Metrics().stale_clamps->Increment(clamps);
-    if (legacy_) return;
+    if (legacy_ || defer_merge_) return;
     COLD_TRACE_SPAN("parallel/merge");
     const size_t n = state_->delta_size();
     pool->ParallelFor(n, [this](size_t begin, size_t end, size_t) {
@@ -207,6 +208,12 @@ class ColdVertexProgram {
   }
 
   void PostSuperstep(Graph*, int) {}
+
+  /// \brief Distributed mode: leave scattered deltas in the per-worker
+  /// buffers at the superstep boundary instead of merging them, so the
+  /// trainer can drain them into the node's exchange payload
+  /// (RunSuperstepSharded). Delta mode only.
+  void set_defer_delta_merge(bool defer) { defer_merge_ = defer; }
 
   /// Bytes of the global aggregator state broadcast each superstep:
   /// n_ck, n_c, n_kv, n_k, n_cc.
@@ -657,6 +664,7 @@ class ColdVertexProgram {
   const Graph* graph_;
   bool use_network_;
   bool legacy_;    // legacy shared-atomic mode (A/B baseline)
+  bool defer_merge_ = false;  // distributed mode: skip the boundary merge
   double lambda0_;
   double rho_;     // resolved membership prior
   double alpha_;   // resolved topic prior
@@ -849,6 +857,134 @@ cold::Status ParallelColdTrainer::Train() {
 void ParallelColdTrainer::RunSuperstep() {
   engine_->RunSuperstep();
   supersteps_run_++;
+}
+
+int64_t ParallelColdTrainer::NumScatterChunks() const {
+  return engine_ != nullptr ? engine_->num_scatter_chunks() : 0;
+}
+
+size_t ParallelColdTrainer::DeltaTableSize() const {
+  return state_ != nullptr ? state_->delta_size() : 0;
+}
+
+std::vector<int32_t> ParallelColdTrainer::ComputeChunkOwners(
+    int num_nodes) const {
+  // Same vertex work model as the engine's greedy placement: each edge's
+  // work units charged to its source vertex.
+  std::vector<int64_t> vertex_work(
+      static_cast<size_t>(graph_->num_vertices()), 0);
+  const int64_t num_edges = graph_->num_edges();
+  for (engine::EdgeId e = 0; e < num_edges; ++e) {
+    vertex_work[static_cast<size_t>(graph_->src(e))] +=
+        program_->EdgeWorkUnits(e);
+  }
+  std::vector<int> vertex_node =
+      engine::GreedyAssignment(*graph_, num_nodes, vertex_work);
+
+  // Lift vertex placement to whole scatter chunks (the RNG-stream unit) by
+  // work-unit plurality over each chunk's edges; ties go to the lowest node
+  // id so every node derives the identical table.
+  const int64_t num_chunks = NumScatterChunks();
+  std::vector<int32_t> owners(static_cast<size_t>(num_chunks), 0);
+  std::vector<int64_t> node_work(static_cast<size_t>(num_nodes), 0);
+  for (int64_t chunk = 0; chunk < num_chunks; ++chunk) {
+    std::fill(node_work.begin(), node_work.end(), 0);
+    const int64_t stop =
+        std::min(num_edges, (chunk + 1) * engine::kScatterChunkEdges);
+    for (int64_t e = chunk * engine::kScatterChunkEdges; e < stop; ++e) {
+      const int node = vertex_node[static_cast<size_t>(graph_->src(e))];
+      // +1 so zero-work edges still vote for their node.
+      node_work[static_cast<size_t>(node)] += program_->EdgeWorkUnits(e) + 1;
+    }
+    int best = 0;
+    for (int n = 1; n < num_nodes; ++n) {
+      if (node_work[static_cast<size_t>(n)] >
+          node_work[static_cast<size_t>(best)]) {
+        best = n;
+      }
+    }
+    owners[static_cast<size_t>(chunk)] = best;
+  }
+  return owners;
+}
+
+cold::Status ParallelColdTrainer::RunSuperstepSharded(
+    const std::vector<uint8_t>& chunk_mask, SuperstepUpdate* out) {
+  if (!initialized_) {
+    return cold::Status::FailedPrecondition(
+        "call Init() before RunSuperstepSharded()");
+  }
+  if (engine_options_.legacy_shared_counters) {
+    return cold::Status::FailedPrecondition(
+        "distributed execution requires the delta-table mode "
+        "(legacy_shared_counters must be off)");
+  }
+  if (static_cast<int64_t>(chunk_mask.size()) != NumScatterChunks()) {
+    return cold::Status::InvalidArgument(
+        "chunk mask covers " + std::to_string(chunk_mask.size()) +
+        " chunks, engine has " + std::to_string(NumScatterChunks()));
+  }
+  prev_post_community_ = state_->post_community;
+  prev_post_topic_ = state_->post_topic;
+  prev_link_src_community_ = state_->link_src_community;
+  prev_link_dst_community_ = state_->link_dst_community;
+
+  program_->set_defer_delta_merge(true);
+  engine_->set_scatter_chunk_mask(&chunk_mask);
+  engine_->RunSuperstep();
+  engine_->set_scatter_chunk_mask(nullptr);
+  program_->set_defer_delta_merge(false);
+
+  state_->DrainDeltas(&out->count_deltas);
+  out->post_updates.clear();
+  out->link_updates.clear();
+  for (size_t d = 0; d < prev_post_community_.size(); ++d) {
+    if (state_->post_community[d] != prev_post_community_[d] ||
+        state_->post_topic[d] != prev_post_topic_[d]) {
+      out->post_updates.push_back({static_cast<int32_t>(d),
+                                   state_->post_community[d],
+                                   state_->post_topic[d]});
+    }
+  }
+  for (size_t l = 0; l < prev_link_src_community_.size(); ++l) {
+    if (state_->link_src_community[l] != prev_link_src_community_[l] ||
+        state_->link_dst_community[l] != prev_link_dst_community_[l]) {
+      out->link_updates.push_back({static_cast<int32_t>(l),
+                                   state_->link_src_community[l],
+                                   state_->link_dst_community[l]});
+    }
+  }
+  return cold::Status::OK();
+}
+
+cold::Status ParallelColdTrainer::ApplyGlobalUpdate(
+    const SuperstepUpdate& update) {
+  if (!initialized_) {
+    return cold::Status::FailedPrecondition(
+        "call Init() before ApplyGlobalUpdate()");
+  }
+  COLD_RETURN_NOT_OK(state_->ApplyDeltaEntries(update.count_deltas));
+  const auto num_posts = static_cast<int32_t>(state_->post_community.size());
+  for (const auto& [d, c, k] : update.post_updates) {
+    if (d < 0 || d >= num_posts || c < 0 || c >= config_.num_communities ||
+        k < 0 || k >= config_.num_topics) {
+      return cold::Status::OutOfRange("post update out of range");
+    }
+    state_->post_community[static_cast<size_t>(d)] = c;
+    state_->post_topic[static_cast<size_t>(d)] = k;
+  }
+  const auto num_links =
+      static_cast<int32_t>(state_->link_src_community.size());
+  for (const auto& [l, s, s2] : update.link_updates) {
+    if (l < 0 || l >= num_links || s < 0 || s >= config_.num_communities ||
+        s2 < 0 || s2 >= config_.num_communities) {
+      return cold::Status::OutOfRange("link update out of range");
+    }
+    state_->link_src_community[static_cast<size_t>(l)] = s;
+    state_->link_dst_community[static_cast<size_t>(l)] = s2;
+  }
+  supersteps_run_++;
+  return cold::Status::OK();
 }
 
 std::vector<cold::RngState> ParallelColdTrainer::EngineSamplerStates() const {

@@ -22,8 +22,12 @@
 // EngineOptions::legacy_shared_counters for A/B benchmarking.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "core/cold_config.h"
 #include "core/cold_estimates.h"
@@ -50,6 +54,18 @@ struct ColdEdge {
   Type type = Type::kUserTime;
   std::vector<text::PostId> posts;  // kUserTime
   graph::EdgeId link = -1;          // kUserUser
+};
+
+/// \brief One node's contribution to a distributed superstep: the sparse
+/// count deltas its owned scatter chunks produced (flat delta-table indices,
+/// see ParallelColdState::dx_n_*) plus the assignment rewrites for its own
+/// edges. Per-cell int32 sums commute, so the union over nodes applied to
+/// replicated frozen state reproduces the single-process superstep exactly
+/// (DESIGN.md §12).
+struct SuperstepUpdate {
+  std::vector<std::pair<uint32_t, int32_t>> count_deltas;
+  std::vector<std::array<int32_t, 3>> post_updates;  // {post, community, topic}
+  std::vector<std::array<int32_t, 3>> link_updates;  // {link, s, s2}
 };
 
 class ColdVertexProgram;  // defined in parallel_sampler.cc
@@ -97,6 +113,42 @@ class ParallelColdTrainer {
   /// \brief Runs a single superstep (one full Gibbs sweep).
   void RunSuperstep();
 
+  // --- distributed execution hooks (src/dist) -----------------------------
+  //
+  // A distributed node replicates the full model state, runs the gather and
+  // apply phases in full (exact recompute from replicated assignments), and
+  // scatters only the chunks it owns. RunSuperstepSharded defers the delta
+  // merge and exports the node's sparse update; after the coordinator merges
+  // all nodes' updates in rank order, ApplyGlobalUpdate installs the merged
+  // result on every node, keeping the replicas in lockstep. Chunk RNG
+  // streams are keyed by (superstep, chunk), so a node scattering exactly
+  // its owned chunks draws bit-identically to the single-process run.
+
+  /// Number of fixed-size scatter chunks (the distributed ownership unit).
+  int64_t NumScatterChunks() const;
+
+  /// Flat delta-table size (bounds the indices in SuperstepUpdate).
+  size_t DeltaTableSize() const;
+
+  /// \brief Deterministic chunk → node assignment: greedy vertex partition
+  /// (PartitionerKind::kGreedy weights) lifted to chunks by work-unit
+  /// plurality of each chunk's edges, ties to the lowest node id. Every
+  /// node computes the identical table. Requires Init().
+  std::vector<int32_t> ComputeChunkOwners(int num_nodes) const;
+
+  /// \brief Runs one superstep scattering only chunks with a nonzero mask
+  /// byte (mask size must equal NumScatterChunks()), leaving the canonical
+  /// counters untouched, and fills `out` with this node's sparse update.
+  /// Does not advance supersteps_run(); pair with ApplyGlobalUpdate.
+  /// Requires delta-table mode (rejects legacy_shared_counters).
+  cold::Status RunSuperstepSharded(const std::vector<uint8_t>& chunk_mask,
+                                   SuperstepUpdate* out);
+
+  /// \brief Installs the merged cluster-wide update (counts + assignment
+  /// rewrites) and advances supersteps_run(). Rewrites for this node's own
+  /// edges are idempotent re-writes of values scatter already stored.
+  cold::Status ApplyGlobalUpdate(const SuperstepUpdate& update);
+
   /// \brief Appendix-A estimates from the current counters.
   ColdEstimates Estimates() const;
 
@@ -137,6 +189,13 @@ class ParallelColdTrainer {
   int supersteps_run_ = 0;
   bool initialized_ = false;
   std::function<void(int)> superstep_callback_;
+
+  // Pre-superstep assignment snapshots used by RunSuperstepSharded to diff
+  // out this node's assignment rewrites.
+  std::vector<int32_t> prev_post_community_;
+  std::vector<int32_t> prev_post_topic_;
+  std::vector<int32_t> prev_link_src_community_;
+  std::vector<int32_t> prev_link_dst_community_;
 };
 
 }  // namespace cold::core

@@ -1,6 +1,7 @@
 #include "core/parallel_state.h"
 
 #include <cstring>
+#include <string>
 
 namespace cold::core {
 
@@ -88,6 +89,34 @@ void ParallelColdState::MergeDeltaRange(size_t begin, size_t end) {
       CanonicalAt(idx).fetch_add(total, std::memory_order_relaxed);
     }
   }
+}
+
+void ParallelColdState::DrainDeltas(
+    std::vector<std::pair<uint32_t, int32_t>>* out) {
+  out->clear();
+  for (size_t idx = 0; idx < delta_size_; ++idx) {
+    int32_t total = 0;
+    for (DeltaBuffer& buf : deltas_) {
+      total += buf[idx];
+      buf[idx] = 0;
+    }
+    if (total != 0) {
+      out->emplace_back(static_cast<uint32_t>(idx), total);
+    }
+  }
+}
+
+cold::Status ParallelColdState::ApplyDeltaEntries(
+    const std::vector<std::pair<uint32_t, int32_t>>& entries) {
+  for (const auto& [idx, delta] : entries) {
+    if (idx >= delta_size_) {
+      return cold::Status::OutOfRange(
+          "delta index " + std::to_string(idx) + " outside the " +
+          std::to_string(delta_size_) + "-cell table");
+    }
+    CanonicalAt(idx).fetch_add(delta, std::memory_order_relaxed);
+  }
+  return cold::Status::OK();
 }
 
 ColdState ParallelColdState::ToColdState() const {

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <memory>
 #include <new>
+#include <utility>
 #include <vector>
 
 #include "core/cold_state.h"
@@ -175,6 +176,19 @@ class ParallelColdState {
   /// is striped across merge tasks or on chunk scheduling during scatter.
   /// Distinct ranges may merge concurrently; ranges must not overlap.
   void MergeDeltaRange(size_t begin, size_t end);
+
+  /// \brief Drains every worker's delta buffer into a sparse ascending
+  /// (flat index, delta) list — the distributed exchange payload — WITHOUT
+  /// touching the canonical tables (the caller installs the cluster-wide
+  /// merge via ApplyDeltaEntries). Cells are summed over workers in fixed
+  /// order and zeroed, preserving the between-superstep all-zero contract.
+  /// Not thread-safe; call between phases.
+  void DrainDeltas(std::vector<std::pair<uint32_t, int32_t>>* out);
+
+  /// \brief Adds sparse count deltas (e.g. the merged cluster-wide update)
+  /// into the canonical tables. Indices past delta_size() are rejected.
+  cold::Status ApplyDeltaEntries(
+      const std::vector<std::pair<uint32_t, int32_t>>& entries);
 
   /// \brief Snapshots everything into a plain ColdState (for estimate
   /// extraction, invariant checks, and checkpoint serialization).

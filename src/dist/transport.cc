@@ -1,0 +1,139 @@
+#include "dist/transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "util/net_io.h"
+
+namespace cold::dist {
+
+namespace {
+
+cold::Status Errno(const std::string& what) {
+  return cold::Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+FdTransport::~FdTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+cold::Status FdTransport::Send(const void* data, size_t size) {
+  COLD_RETURN_NOT_OK(cold::WriteFull(fd_, data, size));
+  bytes_sent_ += static_cast<int64_t>(size);
+  return cold::Status::OK();
+}
+
+cold::Status FdTransport::Recv(void* data, size_t size) {
+  COLD_RETURN_NOT_OK(cold::ReadFull(fd_, data, size));
+  bytes_received_ += static_cast<int64_t>(size);
+  return cold::Status::OK();
+}
+
+cold::Status LoopbackPair(std::unique_ptr<Transport>* a,
+                          std::unique_ptr<Transport>* b) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return Errno("socketpair");
+  }
+  *a = std::make_unique<FdTransport>(fds[0]);
+  *b = std::make_unique<FdTransport>(fds[1]);
+  return cold::Status::OK();
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+cold::Status TcpListener::Listen(uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    cold::Status s = Errno("bind 127.0.0.1:" + std::to_string(port));
+    Close();
+    return s;
+  }
+  if (::listen(fd_, SOMAXCONN) != 0) {
+    cold::Status s = Errno("listen");
+    Close();
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    cold::Status s = Errno("getsockname");
+    Close();
+    return s;
+  }
+  port_ = ntohs(addr.sin_port);
+  return cold::Status::OK();
+}
+
+cold::Result<std::unique_ptr<Transport>> TcpListener::Accept() {
+  if (fd_ < 0) return cold::Status::FailedPrecondition("listener not open");
+  for (;;) {
+    int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) {
+      int one = 1;
+      ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return std::unique_ptr<Transport>(
+          std::make_unique<FdTransport>(client));
+    }
+    if (errno == EINTR) continue;
+    return Errno("accept");
+  }
+}
+
+cold::Result<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
+                                                    uint16_t port,
+                                                    int max_attempts) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return cold::Status::InvalidArgument("cannot parse IPv4 address '" +
+                                         host + "'");
+  }
+  for (int attempt = 0;; ++attempt) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Errno("socket");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return std::unique_ptr<Transport>(std::make_unique<FdTransport>(fd));
+    }
+    int err = errno;
+    ::close(fd);
+    if (err == EINTR) continue;
+    // The coordinator may still be binding; back off and retry refusal.
+    if ((err == ECONNREFUSED || err == ETIMEDOUT) &&
+        attempt + 1 < max_attempts) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      continue;
+    }
+    errno = err;
+    return Errno("connect " + host + ":" + std::to_string(port));
+  }
+}
+
+}  // namespace cold::dist

@@ -1,0 +1,96 @@
+// Byte transports for the distributed trainer (DESIGN.md §12).
+//
+// A Transport moves whole buffers between two training processes. The
+// production flavor is a TCP connection (coordinator listens, workers
+// connect); tests use a socketpair loopback, which exercises the identical
+// frame path — both are just file descriptors under FdTransport, with all
+// EINTR/partial-transfer handling delegated to util/net_io.h (shared with
+// the serving layer).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+namespace cold::dist {
+
+/// \brief A reliable, ordered byte stream to one peer, plus byte counters
+/// feeding the cold/dist/comm_bytes metrics.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends exactly `size` bytes (blocking, EINTR-robust).
+  virtual cold::Status Send(const void* data, size_t size) = 0;
+
+  /// Receives exactly `size` bytes; IOError on EOF.
+  virtual cold::Status Recv(void* data, size_t size) = 0;
+
+  int64_t bytes_sent() const { return bytes_sent_; }
+  int64_t bytes_received() const { return bytes_received_; }
+
+ protected:
+  int64_t bytes_sent_ = 0;
+  int64_t bytes_received_ = 0;
+};
+
+/// \brief Transport over an owned file descriptor (TCP socket or one end of
+/// a socketpair). Closes the fd on destruction.
+class FdTransport : public Transport {
+ public:
+  explicit FdTransport(int fd) : fd_(fd) {}
+  ~FdTransport() override;
+
+  FdTransport(const FdTransport&) = delete;
+  FdTransport& operator=(const FdTransport&) = delete;
+
+  cold::Status Send(const void* data, size_t size) override;
+  cold::Status Recv(void* data, size_t size) override;
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_;
+};
+
+/// \brief Creates a connected in-process pair (AF_UNIX socketpair): bytes
+/// sent on `a` arrive on `b` and vice versa. The loopback transport for
+/// single-machine tests and self-forked local clusters.
+cold::Status LoopbackPair(std::unique_ptr<Transport>* a,
+                          std::unique_ptr<Transport>* b);
+
+/// \brief Listening TCP socket on 127.0.0.1 (the coordinator side).
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens on 127.0.0.1:`port` (0 picks an ephemeral port,
+  /// readable via port() afterwards).
+  cold::Status Listen(uint16_t port);
+
+  /// Accepts one connection (blocking, EINTR-robust).
+  cold::Result<std::unique_ptr<Transport>> Accept();
+
+  void Close();
+
+  uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+/// \brief Connects to `host:port`, retrying connection refusal for roughly
+/// `max_attempts` * 100ms — workers typically race the coordinator's bind.
+cold::Result<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
+                                                    uint16_t port,
+                                                    int max_attempts = 50);
+
+}  // namespace cold::dist

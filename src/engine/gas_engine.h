@@ -88,6 +88,16 @@ concept HasPostScatter = requires(Program p, cold::ThreadPool* pool) {
 
 }  // namespace internal
 
+/// Edges per scatter chunk. Small enough for dynamic scheduling to even
+/// out skew, large enough that the per-chunk RNG construction is noise.
+/// Public (namespace scope) so the distributed layer can compute chunk
+/// ownership that matches the engine's scatter chunking exactly.
+inline constexpr int64_t kScatterChunkEdges = 256;
+/// Chunk RNG streams start far above the legacy per-worker streams
+/// (1..kMaxWorkers) and the trainer's init stream, so no sequence is
+/// reused across purposes.
+inline constexpr uint64_t kChunkStreamBase = uint64_t{1} << 32;
+
 /// \brief Which incident edges the gather phase visits.
 enum class GatherEdges { kNone, kIn, kOut, kAll };
 
@@ -251,6 +261,22 @@ class GasEngine {
   void set_superstep_index(int64_t index) { superstep_index_ = index; }
   int64_t superstep_index() const { return superstep_index_; }
 
+  /// Scatter chunk count for the current graph (the unit of distributed
+  /// work ownership).
+  int64_t num_scatter_chunks() const {
+    return (graph_->num_edges() + kScatterChunkEdges - 1) / kScatterChunkEdges;
+  }
+
+  /// \brief Restricts scatter to chunks with mask[chunk] != 0 (nullptr
+  /// runs them all). The distributed trainer hands each node the chunks it
+  /// owns; masked-out chunks are skipped whole, so the surviving chunks
+  /// draw from exactly the RNG streams — keyed by (superstep, chunk id) —
+  /// that a full single-process run would use. The mask must outlive the
+  /// supersteps run under it and cover num_scatter_chunks() entries.
+  void set_scatter_chunk_mask(const std::vector<uint8_t>* mask) {
+    scatter_chunk_mask_ = mask;
+  }
+
   /// \brief Projects the measured execution time onto the simulated
   /// `options.num_nodes`-machine cluster: the busiest node's share of the
   /// compute plus the communication modeled by `model`. With one node this
@@ -364,14 +390,6 @@ class GasEngine {
   }
 
  private:
-  /// Edges per scatter chunk. Small enough for dynamic scheduling to even
-  /// out skew, large enough that the per-chunk RNG construction is noise.
-  static constexpr int64_t kScatterChunk = 256;
-  /// Chunk RNG streams start far above the legacy per-worker streams
-  /// (1..kMaxWorkers) and the trainer's init stream, so no sequence is
-  /// reused across purposes.
-  static constexpr uint64_t kChunkStreamBase = uint64_t{1} << 32;
-
   static size_t ComputeThreads(const EngineOptions& options) {
     size_t want = static_cast<size_t>(options.num_nodes) *
                   static_cast<size_t>(options.threads_per_node);
@@ -400,7 +418,7 @@ class GasEngine {
         program_->PreScatter(&pool_);
       }
       const int64_t ne = graph_->num_edges();
-      const int64_t num_chunks = (ne + kScatterChunk - 1) / kScatterChunk;
+      const int64_t num_chunks = num_scatter_chunks();
       const uint64_t stream_base =
           kChunkStreamBase + static_cast<uint64_t>(superstep_index_) *
                                  static_cast<uint64_t>(num_chunks);
@@ -416,11 +434,15 @@ class GasEngine {
             while (true) {
               int64_t chunk = cursor.fetch_add(1, std::memory_order_relaxed);
               if (chunk >= num_chunks) break;
+              if (scatter_chunk_mask_ != nullptr &&
+                  (*scatter_chunk_mask_)[static_cast<size_t>(chunk)] == 0) {
+                continue;
+              }
               cold::RandomSampler sampler(
                   options_.seed, stream_base + static_cast<uint64_t>(chunk));
               WorkerContext ctx{&sampler, worker};
-              int64_t stop = std::min(ne, (chunk + 1) * kScatterChunk);
-              for (int64_t e = chunk * kScatterChunk; e < stop; ++e) {
+              int64_t stop = std::min(ne, (chunk + 1) * kScatterChunkEdges);
+              for (int64_t e = chunk * kScatterChunkEdges; e < stop; ++e) {
                 program_->Scatter(graph_, static_cast<EdgeId>(e), &ctx);
               }
             }
@@ -482,6 +504,7 @@ class GasEngine {
   std::vector<cold::RandomSampler> samplers_;
   EngineStats stats_;
   int64_t superstep_index_ = 0;
+  const std::vector<uint8_t>* scatter_chunk_mask_ = nullptr;
 };
 
 }  // namespace cold::engine

@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include "serve/json.h"
+#include "util/net_io.h"
 
 namespace cold::serve {
 
@@ -95,18 +96,10 @@ cold::Status ParseRequestHead(const std::string& head, HttpRequest* out) {
   return cold::Status::OK();
 }
 
+/// Full-transfer sends go through the shared EINTR/partial-write-robust
+/// loop (util/net_io.h, also used by src/dist's frame transport).
 cold::Status WriteAll(int fd, const char* data, size_t size) {
-  size_t sent = 0;
-  while (sent < size) {
-    ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return cold::Status::IOError(std::string("send: ") +
-                                   std::strerror(errno));
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return cold::Status::OK();
+  return cold::WriteFull(fd, data, size);
 }
 
 }  // namespace

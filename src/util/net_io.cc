@@ -1,0 +1,54 @@
+#include "util/net_io.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace cold {
+
+cold::Status WriteFull(int fd, const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = ::send(fd, p + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::write(fd, p + sent, size - sent);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return cold::Status::IOError(std::string("send: ") +
+                                   std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return cold::Status::OK();
+}
+
+cold::Status ReadFull(int fd, void* data, size_t size) {
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < size) {
+    ssize_t n = ::recv(fd, p + got, size - got, 0);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::read(fd, p + got, size - got);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return cold::Status::IOError(std::string("recv: ") +
+                                   std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0) return cold::Status::IOError("connection closed");
+      return cold::Status::IOError(
+          "connection closed mid-transfer (" + std::to_string(got) + " of " +
+          std::to_string(size) + " bytes)");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return cold::Status::OK();
+}
+
+}  // namespace cold

@@ -1,0 +1,27 @@
+// Robust full-transfer socket I/O shared by the serving layer and the
+// distributed trainer: a partial read/write or a signal landing mid-syscall
+// (EINTR) must never be mistaken for completion, progress, or EOF. Both
+// loops retry interrupted syscalls and continue until the requested byte
+// count has moved or a real error (or EOF) occurs.
+#pragma once
+
+#include <cstddef>
+
+#include "util/status.h"
+
+namespace cold {
+
+/// \brief Writes exactly `size` bytes of `data` to `fd`, retrying partial
+/// writes and EINTR. Uses send(MSG_NOSIGNAL) on sockets so a closed peer
+/// surfaces as an IOError (EPIPE) instead of killing the process with
+/// SIGPIPE; falls back to write() for non-socket descriptors.
+cold::Status WriteFull(int fd, const void* data, size_t size);
+
+/// \brief Reads exactly `size` bytes from `fd` into `data`, retrying
+/// partial reads and EINTR. EOF before `size` bytes is an IOError (a
+/// length-prefixed frame or fixed-size header can never legitimately end
+/// early); a cleanly closed connection at byte 0 reports "connection
+/// closed" so callers can distinguish peer shutdown from a torn transfer.
+cold::Status ReadFull(int fd, void* data, size_t size);
+
+}  // namespace cold

@@ -1,0 +1,422 @@
+// Tests for the multi-process distributed trainer (src/dist): wire codec,
+// deterministic chunk ownership, the bit-identity guarantee across node
+// counts (DESIGN.md §12), checkpoint byte-identity, and the node-death /
+// resume drill (fork + SIGKILL, then a negotiated checkpoint resume that
+// must byte-match the uninterrupted run).
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/cold.h"
+#include "data/synthetic.h"
+#include "dist/delta_codec.h"
+#include "dist/dist_trainer.h"
+#include "dist/transport.h"
+#include "util/fault_injector.h"
+
+namespace cold::dist {
+namespace {
+
+data::SyntheticConfig TestDataConfig() {
+  data::SyntheticConfig config;
+  config.num_users = 150;
+  config.num_communities = 4;
+  config.num_topics = 6;
+  config.num_time_slices = 12;
+  config.core_words_per_topic = 12;
+  config.background_words = 60;
+  config.posts_per_user = 10.0;
+  config.words_per_post = 8.0;
+  config.follows_per_user = 8;
+  config.seed = 11;
+  return config;
+}
+
+const data::SocialDataset& TestData() {
+  static const data::SocialDataset* dataset = [] {
+    data::SyntheticSocialGenerator gen(TestDataConfig());
+    return new data::SocialDataset(std::move(gen.Generate()).ValueOrDie());
+  }();
+  return *dataset;
+}
+
+core::ColdConfig TestModelConfig(int iterations = 8) {
+  core::ColdConfig config;
+  config.num_communities = 4;
+  config.num_topics = 6;
+  config.iterations = iterations;
+  config.burn_in = iterations * 3 / 4;
+  config.seed = 17;
+  config.rho = 0.5;
+  return config;
+}
+
+DistConfig TestDistConfig(int num_nodes, int rank, int iterations = 8) {
+  DistConfig config;
+  config.num_nodes = num_nodes;
+  config.node_rank = rank;
+  config.cold = TestModelConfig(iterations);
+  config.engine.threads_per_node = 1;
+  return config;
+}
+
+/// Byte-level equality over the complete model state.
+void ExpectStatesEqual(const core::ColdState& a, const core::ColdState& b) {
+  EXPECT_EQ(a.post_community, b.post_community);
+  EXPECT_EQ(a.post_topic, b.post_topic);
+  EXPECT_EQ(a.link_src_community, b.link_src_community);
+  EXPECT_EQ(a.link_dst_community, b.link_dst_community);
+  EXPECT_EQ(a.n_ic_flat(), b.n_ic_flat());
+  EXPECT_EQ(a.n_i_flat(), b.n_i_flat());
+  EXPECT_EQ(a.n_ck_flat(), b.n_ck_flat());
+  EXPECT_EQ(a.n_c_flat(), b.n_c_flat());
+  EXPECT_EQ(a.n_ckt_flat(), b.n_ckt_flat());
+  EXPECT_EQ(a.n_kv_flat(), b.n_kv_flat());
+  EXPECT_EQ(a.n_k_flat(), b.n_k_flat());
+  EXPECT_EQ(a.n_cc_flat(), b.n_cc_flat());
+}
+
+// ------------------------------------------------------------- codec ----
+
+core::SuperstepUpdate SampleUpdate() {
+  core::SuperstepUpdate update;
+  update.count_deltas = {{0, 1}, {7, -2}, {1u << 20, 3}};
+  update.post_updates = {{4, 1, 2}, {9, 0, 5}};
+  update.link_updates = {{2, 3, 0}};
+  return update;
+}
+
+TEST(DeltaCodecTest, UpdateRoundTrip) {
+  const core::SuperstepUpdate update = SampleUpdate();
+  core::SuperstepUpdate decoded;
+  ASSERT_TRUE(DecodeUpdate(EncodeUpdate(update), &decoded).ok());
+  EXPECT_EQ(decoded.count_deltas, update.count_deltas);
+  EXPECT_EQ(decoded.post_updates, update.post_updates);
+  EXPECT_EQ(decoded.link_updates, update.link_updates);
+}
+
+TEST(DeltaCodecTest, HelloRoundTrip) {
+  HelloPayload hello;
+  hello.rank = 3;
+  hello.num_nodes = 4;
+  hello.seed = 0xdeadbeefcafe;
+  hello.iterations = 150;
+  hello.num_communities = 8;
+  hello.num_topics = 12;
+  hello.threads = 2;
+  hello.data_fingerprint = 0x123456789abcdef0;
+  hello.checkpoint_sweeps = {2, 4, 6};
+  HelloPayload decoded;
+  ASSERT_TRUE(DecodeHello(EncodeHello(hello), &decoded).ok());
+  EXPECT_EQ(decoded.rank, hello.rank);
+  EXPECT_EQ(decoded.seed, hello.seed);
+  EXPECT_EQ(decoded.data_fingerprint, hello.data_fingerprint);
+  EXPECT_EQ(decoded.checkpoint_sweeps, hello.checkpoint_sweeps);
+}
+
+TEST(DeltaCodecTest, TruncatedPayloadRejected) {
+  std::string payload = EncodeUpdate(SampleUpdate());
+  core::SuperstepUpdate decoded;
+  for (size_t cut : {size_t{0}, size_t{4}, payload.size() - 1}) {
+    EXPECT_FALSE(
+        DecodeUpdate(std::string_view(payload).substr(0, cut), &decoded)
+            .ok());
+  }
+  // Trailing garbage is rejected too (exhaustion check).
+  EXPECT_FALSE(DecodeUpdate(payload + "x", &decoded).ok());
+}
+
+TEST(DeltaCodecTest, FrameRoundTripOverLoopback) {
+  std::unique_ptr<Transport> a, b;
+  ASSERT_TRUE(LoopbackPair(&a, &b).ok());
+  const std::string payload = EncodeUpdate(SampleUpdate());
+  ASSERT_TRUE(WriteFrame(a.get(), FrameType::kDelta, 2, 41, payload).ok());
+  auto frame = ReadFrame(b.get());
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->type, FrameType::kDelta);
+  EXPECT_EQ(frame->sender_rank, 2);
+  EXPECT_EQ(frame->superstep, 41u);
+  EXPECT_EQ(frame->payload, payload);
+  EXPECT_GT(a->bytes_sent(), 0);
+  EXPECT_EQ(a->bytes_sent(), b->bytes_received());
+}
+
+TEST(DeltaCodecTest, CorruptedPayloadFailsCrc) {
+  std::unique_ptr<Transport> a, b;
+  ASSERT_TRUE(LoopbackPair(&a, &b).ok());
+  // Hand-build a frame whose CRC field does not match the payload.
+  const std::string payload = "not the bytes the crc covers";
+  auto append32 = [](std::string* out, uint32_t v) {
+    out->append(reinterpret_cast<const char*>(&v), 4);
+  };
+  auto append64 = [](std::string* out, uint64_t v) {
+    out->append(reinterpret_cast<const char*>(&v), 8);
+  };
+  std::string raw;
+  append32(&raw, kWireMagic);
+  append32(&raw, kWireVersion);
+  append32(&raw, static_cast<uint32_t>(FrameType::kDelta));
+  append32(&raw, 1);
+  append64(&raw, 0);
+  append64(&raw, payload.size());
+  append32(&raw, 0xbadc0de);
+  raw += payload;
+  ASSERT_TRUE(a->Send(raw.data(), raw.size()).ok());
+  auto frame = ReadFrame(b.get());
+  EXPECT_FALSE(frame.ok());
+}
+
+TEST(DeltaCodecTest, BadMagicRejected) {
+  std::unique_ptr<Transport> a, b;
+  ASSERT_TRUE(LoopbackPair(&a, &b).ok());
+  std::string raw(36, '\0');
+  ASSERT_TRUE(a->Send(raw.data(), raw.size()).ok());
+  EXPECT_FALSE(ReadFrame(b.get()).ok());
+}
+
+TEST(TransportTest, RecvOnClosedPeerFails) {
+  std::unique_ptr<Transport> a, b;
+  ASSERT_TRUE(LoopbackPair(&a, &b).ok());
+  a.reset();  // closes the peer
+  char byte = 0;
+  EXPECT_FALSE(b->Recv(&byte, 1).ok());
+}
+
+// -------------------------------------------------------- partitioning --
+
+TEST(DistPartitionTest, ChunkOwnersTileTheChunkSpace) {
+  const auto& ds = TestData();
+  core::ParallelColdTrainer trainer(TestModelConfig(), ds.posts,
+                                    &ds.interactions);
+  ASSERT_TRUE(trainer.Init().ok());
+  ASSERT_GT(trainer.NumScatterChunks(), 0);
+  for (int nodes : {1, 2, 4}) {
+    std::vector<int32_t> owners = trainer.ComputeChunkOwners(nodes);
+    ASSERT_EQ(static_cast<int64_t>(owners.size()),
+              trainer.NumScatterChunks());
+    for (int32_t owner : owners) {
+      EXPECT_GE(owner, 0);
+      EXPECT_LT(owner, nodes);
+    }
+  }
+  // Single node owns everything.
+  for (int32_t owner : trainer.ComputeChunkOwners(1)) EXPECT_EQ(owner, 0);
+}
+
+TEST(DistPartitionTest, OwnerTableIsReproducible) {
+  const auto& ds = TestData();
+  core::ParallelColdTrainer a(TestModelConfig(), ds.posts, &ds.interactions);
+  core::ParallelColdTrainer b(TestModelConfig(), ds.posts, &ds.interactions);
+  ASSERT_TRUE(a.Init().ok());
+  ASSERT_TRUE(b.Init().ok());
+  EXPECT_EQ(a.ComputeChunkOwners(3), b.ComputeChunkOwners(3));
+}
+
+// -------------------------------------------------------- determinism ---
+
+/// The tentpole guarantee: for a fixed seed, N distributed processes (here
+/// in-process nodes over loopback) finish with byte-identical state to the
+/// single-process parallel trainer, for every node count.
+TEST(DistTrainerTest, BitIdenticalAcrossNodeCounts) {
+  const auto& ds = TestData();
+  core::ParallelColdTrainer reference(TestModelConfig(), ds.posts,
+                                      &ds.interactions);
+  ASSERT_TRUE(reference.Init().ok());
+  ASSERT_TRUE(reference.Train().ok());
+  const core::ColdState expected = reference.StateSnapshot();
+
+  for (int num_nodes : {1, 2, 4}) {
+    SCOPED_TRACE("num_nodes=" + std::to_string(num_nodes));
+    std::vector<std::unique_ptr<DistTrainer>> owned;
+    std::vector<DistTrainer*> nodes;
+    for (int rank = 0; rank < num_nodes; ++rank) {
+      owned.push_back(std::make_unique<DistTrainer>(
+          TestDistConfig(num_nodes, rank), ds.posts, &ds.interactions));
+      nodes.push_back(owned.back().get());
+    }
+    cold::Status st = DistTrainer::RunLocalCluster(nodes);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    // Every replica — not just rank 0 — must equal the reference.
+    for (int rank = 0; rank < num_nodes; ++rank) {
+      SCOPED_TRACE("rank=" + std::to_string(rank));
+      ExpectStatesEqual(expected, nodes[rank]->StateSnapshot());
+    }
+    EXPECT_EQ(nodes[0]->stats().supersteps_run,
+              TestModelConfig().iterations);
+  }
+}
+
+TEST(DistTrainerTest, RejectsLegacyCounterMode) {
+  const auto& ds = TestData();
+  DistConfig config = TestDistConfig(1, 0);
+  config.engine.legacy_shared_counters = true;
+  DistTrainer trainer(config, ds.posts, &ds.interactions);
+  EXPECT_FALSE(trainer.Run({}).ok());
+}
+
+TEST(DistTrainerTest, RejectsBadPeerCount) {
+  const auto& ds = TestData();
+  DistTrainer trainer(TestDistConfig(3, 1), ds.posts, &ds.interactions);
+  // Rank 1 of 3 needs exactly one transport.
+  EXPECT_FALSE(trainer.Run({}).ok());
+}
+
+// -------------------------------------------------------- checkpoints ---
+
+class DistCheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cold_dist_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string NodeDir(const std::string& run, int rank) const {
+    return (dir_ / run / ("node-" + std::to_string(rank))).string();
+  }
+
+  static std::string Slurp(const std::filesystem::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << path;
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(DistCheckpointTest, CheckpointsByteIdenticalAcrossNodeCounts) {
+  const auto& ds = TestData();
+  for (int num_nodes : {1, 2}) {
+    std::string run_name = "n";
+    run_name += std::to_string(num_nodes);
+    std::vector<std::unique_ptr<DistTrainer>> owned;
+    std::vector<DistTrainer*> nodes;
+    for (int rank = 0; rank < num_nodes; ++rank) {
+      DistConfig config = TestDistConfig(num_nodes, rank, /*iterations=*/6);
+      config.checkpoint.dir = NodeDir(run_name, rank);
+      config.checkpoint.every = 2;
+      owned.push_back(std::make_unique<DistTrainer>(config, ds.posts,
+                                                    &ds.interactions));
+      nodes.push_back(owned.back().get());
+    }
+    cold::Status st = DistTrainer::RunLocalCluster(nodes);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+  // Any rank's checkpoint IS the global state: rank 0 and rank 1 of the
+  // 2-node run match each other and the 1-node run, byte for byte.
+  const std::string name = core::CheckpointManager::FileName(6);
+  auto ckpt = [&](const char* run, int rank) {
+    return Slurp(std::filesystem::path(NodeDir(run, rank)) / name);
+  };
+  const std::string single = ckpt("n1", 0);
+  ASSERT_FALSE(single.empty());
+  EXPECT_EQ(single, ckpt("n2", 0));
+  EXPECT_EQ(single, ckpt("n2", 1));
+}
+
+/// Node-death drill: rank 1 (a forked child process, talking to rank 0
+/// over a pre-forked socketpair) is SIGKILLed by the fault injector after
+/// sweep 4. Rank 0's run must fail (fail-stop), and a full restart with
+/// resume=true must negotiate sweep 4 and finish byte-identical to an
+/// uninterrupted single-process run.
+TEST_F(DistCheckpointTest, KilledNodeResumesBitIdentical) {
+  const auto& ds = TestData();
+  constexpr int kIterations = 10;
+
+  auto make_config = [&](int rank, bool resume) {
+    DistConfig config = TestDistConfig(2, rank, kIterations);
+    config.checkpoint.dir = NodeDir("run", rank);
+    config.checkpoint.every = 2;
+    config.resume = resume;
+    return config;
+  };
+
+  auto run_child = [&](bool resume, bool arm_fault,
+                       std::unique_ptr<Transport> transport) {
+    // Child process: never returns. Exit codes diagnose failures.
+    if (arm_fault &&
+        !FaultInjector::Global().Configure("after_sweep:4").ok()) {
+      ::_exit(7);
+    }
+    DistTrainer trainer(make_config(1, resume), ds.posts, &ds.interactions);
+    std::vector<std::unique_ptr<Transport>> peers;
+    peers.push_back(std::move(transport));
+    ::_exit(trainer.Run(std::move(peers)).ok() ? 0 : 8);
+  };
+
+  // Leg 1: worker dies at sweep 4; the coordinator's run must fail.
+  {
+    std::unique_ptr<Transport> coord_end, worker_end;
+    ASSERT_TRUE(LoopbackPair(&coord_end, &worker_end).ok());
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      coord_end.reset();
+      run_child(/*resume=*/false, /*arm_fault=*/true,
+                std::move(worker_end));
+    }
+    worker_end.reset();
+    DistTrainer coordinator(make_config(0, false), ds.posts,
+                            &ds.interactions);
+    std::vector<std::unique_ptr<Transport>> peers;
+    peers.push_back(std::move(coord_end));
+    cold::Status st = coordinator.Run(std::move(peers));
+    EXPECT_FALSE(st.ok()) << "coordinator must fail when a node dies";
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(wstatus));
+    ASSERT_EQ(WTERMSIG(wstatus), SIGKILL);
+  }
+
+  // Leg 2: full restart with resume; must pick up the common sweep 4.
+  int resumed_sweep = -1;
+  core::ColdState resumed_state(0, 0, 0, 0, 0, 0, 0);
+  {
+    std::unique_ptr<Transport> coord_end, worker_end;
+    ASSERT_TRUE(LoopbackPair(&coord_end, &worker_end).ok());
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      coord_end.reset();
+      run_child(/*resume=*/true, /*arm_fault=*/false,
+                std::move(worker_end));
+    }
+    worker_end.reset();
+    DistTrainer coordinator(make_config(0, true), ds.posts,
+                            &ds.interactions);
+    std::vector<std::unique_ptr<Transport>> peers;
+    peers.push_back(std::move(coord_end));
+    cold::Status st = coordinator.Run(std::move(peers));
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+    ASSERT_TRUE(WIFEXITED(wstatus));
+    ASSERT_EQ(WEXITSTATUS(wstatus), 0);
+    resumed_sweep = coordinator.stats().resumed_sweep;
+    resumed_state = coordinator.StateSnapshot();
+  }
+  EXPECT_EQ(resumed_sweep, 4);
+
+  // Reference: the uninterrupted run (computed last so no pool threads
+  // exist in this process at fork time).
+  core::ParallelColdTrainer reference(TestModelConfig(kIterations),
+                                      ds.posts, &ds.interactions);
+  ASSERT_TRUE(reference.Init().ok());
+  ASSERT_TRUE(reference.Train().ok());
+  ExpectStatesEqual(reference.StateSnapshot(), resumed_state);
+}
+
+}  // namespace
+}  // namespace cold::dist

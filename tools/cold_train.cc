@@ -27,6 +27,20 @@
 // tolerance"). The COLD_FAULT_POINT environment variable (e.g.
 // "after_sweep:25") arms the crash-injection harness used by
 // tools/crashloop_train.sh.
+//
+// Distributed training (DESIGN.md §12): --nodes N runs COLD as N real OS
+// processes exchanging per-superstep deltas over sockets. Without
+// --coordinator the process self-forks N-1 workers over an ephemeral
+// loopback port; with --coordinator HOST:PORT (plus --node-rank R) each
+// rank is launched separately and rank 0 listens on PORT. A fixed seed
+// produces bit-identical models for every node count. --checkpoint-dir
+// gets a per-rank subdirectory (node-<rank>); on --resume the cluster
+// negotiates the newest sweep every node can load. COLD_FAULT_NODE=R
+// restricts COLD_FAULT_POINT to rank R (the node-death drill of
+// tools/distloop_train.sh).
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -42,6 +56,8 @@
 #include "core/cold.h"
 #include "core/model_io.h"
 #include "data/serialize.h"
+#include "dist/dist_trainer.h"
+#include "dist/transport.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
@@ -56,6 +72,7 @@ int Usage(const char* argv0) {
                "usage: %s <dataset-dir> <model-out> [C=8] [K=12] "
                "[iterations=150] [--parallel [nodes=4]] [--threads N] "
                "[--partitioner modulo|greedy] [--legacy-counters] "
+               "[--nodes N [--node-rank R --coordinator HOST:PORT]] "
                "[--metrics-out FILE] [--trace] [--trace-out FILE] "
                "[--profile] [--profile-out FILE] [--oversubscribe] "
                "[--checkpoint-dir DIR] "
@@ -86,6 +103,10 @@ struct Args {
   int iterations = 150;
   bool parallel = false;
   int nodes = 4;
+  /// Real multi-process training: 0 = off, N >= 1 = cluster size.
+  int dist_nodes = 0;
+  int node_rank = -1;
+  std::string coordinator;
   int threads_per_node = 1;
   cold::engine::PartitionerKind partitioner = cold::engine::PartitionerKind::kGreedy;
   bool legacy_counters = false;
@@ -117,6 +138,27 @@ bool ParseArgs(int argc, char** argv, Args* args) {
           return false;
         }
       }
+    } else if (std::strcmp(arg, "--nodes") == 0) {
+      if (a + 1 >= argc || !ParsePositiveInt(argv[++a], &args->dist_nodes)) {
+        std::fprintf(stderr, "--nodes requires a positive int\n");
+        return false;
+      }
+    } else if (std::strcmp(arg, "--node-rank") == 0) {
+      int rank = 0;
+      // Rank 0 is valid, so ParsePositiveInt alone doesn't fit.
+      if (a + 1 >= argc || (std::strcmp(argv[a + 1], "0") != 0 &&
+                            !ParsePositiveInt(argv[a + 1], &rank))) {
+        std::fprintf(stderr, "--node-rank requires a non-negative int\n");
+        return false;
+      }
+      ++a;
+      args->node_rank = rank;
+    } else if (std::strcmp(arg, "--coordinator") == 0) {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "--coordinator requires HOST:PORT\n");
+        return false;
+      }
+      args->coordinator = argv[++a];
     } else if (std::strcmp(arg, "--threads") == 0) {
       if (a + 1 >= argc ||
           !ParsePositiveInt(argv[++a], &args->threads_per_node)) {
@@ -199,6 +241,26 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   }
   if (args->resume && args->checkpoint_dir.empty()) {
     std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
+    return false;
+  }
+  if (args->dist_nodes > 0 && args->parallel) {
+    std::fprintf(stderr, "--nodes (multi-process) and --parallel "
+                 "(single-process) are mutually exclusive\n");
+    return false;
+  }
+  if (args->dist_nodes == 0 &&
+      (args->node_rank >= 0 || !args->coordinator.empty())) {
+    std::fprintf(stderr, "--node-rank/--coordinator require --nodes\n");
+    return false;
+  }
+  if ((args->node_rank >= 0) != !args->coordinator.empty()) {
+    std::fprintf(stderr,
+                 "--node-rank and --coordinator must be given together "
+                 "(omit both for a self-forked local cluster)\n");
+    return false;
+  }
+  if (args->node_rank >= args->dist_nodes && args->node_rank >= 0) {
+    std::fprintf(stderr, "--node-rank must be < --nodes\n");
     return false;
   }
   args->dataset_dir = positional[0];
@@ -325,6 +387,190 @@ void PrintSpanSummary() {
   }
 }
 
+/// Splits "HOST:PORT"; false (with message) on malformed input.
+bool ParseHostPort(const std::string& spec, std::string* host, int* port) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      !ParsePositiveInt(spec.c_str() + colon + 1, port) || *port > 65535) {
+    std::fprintf(stderr, "--coordinator expects HOST:PORT, got '%s'\n",
+                 spec.c_str());
+    return false;
+  }
+  *host = spec.substr(0, colon);
+  return true;
+}
+
+/// \brief Establishes this process's rank and peer transports for --nodes.
+///
+/// Self-fork mode (no --coordinator): rank 0 binds an ephemeral loopback
+/// listener, then forks the workers BEFORE any thread pool exists (fork and
+/// threads don't mix); children connect back over 127.0.0.1. Cluster mode:
+/// rank 0 listens on the given port, workers connect to it. On success
+/// `children` holds the forked worker pids (parent, self-fork mode only).
+bool SetupDistTransports(
+    const Args& args, int* rank,
+    std::vector<std::unique_ptr<cold::dist::Transport>>* peers,
+    std::vector<pid_t>* children) {
+  using cold::dist::TcpConnect;
+  using cold::dist::TcpListener;
+  using cold::dist::Transport;
+  const int n = args.dist_nodes;
+  if (n == 1) {
+    *rank = 0;
+    return true;
+  }
+
+  std::string host = "127.0.0.1";
+  int port = 0;
+  TcpListener listener;
+  if (!args.coordinator.empty()) {
+    if (!ParseHostPort(args.coordinator, &host, &port)) return false;
+    *rank = args.node_rank;
+  } else {
+    // Self-fork: bind first so workers can't race the listener, and flush
+    // stdio so buffered output is not duplicated into every child.
+    if (auto st = listener.Listen(0); !st.ok()) {
+      std::fprintf(stderr, "dist: %s\n", st.ToString().c_str());
+      return false;
+    }
+    port = listener.port();
+    std::fflush(nullptr);
+    *rank = 0;
+    for (int r = 1; r < n; ++r) {
+      pid_t pid = ::fork();
+      if (pid < 0) {
+        std::perror("fork");
+        return false;
+      }
+      if (pid == 0) {
+        *rank = r;
+        children->clear();
+        listener.Close();
+        break;
+      }
+      children->push_back(pid);
+    }
+  }
+
+  if (*rank == 0) {
+    if (!args.coordinator.empty()) {
+      if (auto st = listener.Listen(static_cast<uint16_t>(port)); !st.ok()) {
+        std::fprintf(stderr, "dist: %s\n", st.ToString().c_str());
+        return false;
+      }
+    }
+    for (int r = 1; r < n; ++r) {
+      auto accepted = listener.Accept();
+      if (!accepted.ok()) {
+        std::fprintf(stderr, "dist: %s\n",
+                     accepted.status().ToString().c_str());
+        return false;
+      }
+      peers->push_back(std::move(accepted).ValueOrDie());
+    }
+  } else {
+    auto connected = TcpConnect(host, static_cast<uint16_t>(port));
+    if (!connected.ok()) {
+      std::fprintf(stderr, "dist: %s\n",
+                   connected.status().ToString().c_str());
+      return false;
+    }
+    peers->push_back(std::move(connected).ValueOrDie());
+  }
+  return true;
+}
+
+/// The --nodes execution path: returns the process exit code. Workers and
+/// the coordinator all train; only rank 0 writes the model/metrics and, in
+/// self-fork mode, reaps the workers into the job's exit code.
+int RunDistributed(const Args& args, const cold::core::ColdConfig& config,
+                   const cold::data::SocialDataset& dataset) {
+  using namespace cold;
+  int rank = 0;
+  std::vector<std::unique_ptr<dist::Transport>> peers;
+  std::vector<pid_t> children;
+  if (!SetupDistTransports(args, &rank, &peers, &children)) return 1;
+
+  // COLD_FAULT_NODE confines the armed fault point to one rank (the
+  // kill-one-node drill); every other rank disarms.
+  if (const char* fault_node = std::getenv("COLD_FAULT_NODE")) {
+    if (std::to_string(rank) != fault_node) {
+      FaultInjector::Global().Disarm();
+    }
+  }
+
+  dist::DistConfig dc;
+  dc.num_nodes = args.dist_nodes;
+  dc.node_rank = rank;
+  dc.cold = config;
+  dc.engine.threads_per_node = args.threads_per_node;
+  dc.engine.partitioner = args.partitioner;
+  dc.engine.legacy_shared_counters = args.legacy_counters;
+  dc.engine.oversubscribe = args.oversubscribe;
+  if (!args.checkpoint_dir.empty()) {
+    dc.checkpoint.dir =
+        args.checkpoint_dir + "/node-" + std::to_string(rank);
+    dc.checkpoint.every = args.checkpoint_every;
+    dc.checkpoint.keep_last = args.checkpoint_keep;
+  }
+  dc.resume = args.resume;
+
+  dist::DistTrainer trainer(dc, dataset.posts, &dataset.interactions);
+  MetricsSeries series;
+  if (rank == 0 && !args.metrics_out.empty()) {
+    trainer.SetSuperstepCallback([&](int sweep) { series.Record(sweep); });
+  }
+
+  Stopwatch watch;
+  cold::Status st = trainer.Run(std::move(peers));
+  int exit_code = 0;
+  if (!st.ok()) {
+    std::fprintf(stderr, "dist rank %d: %s\n", rank, st.ToString().c_str());
+    exit_code = 1;
+  } else if (rank == 0) {
+    const dist::DistStats& stats = trainer.stats();
+    if (stats.resumed_sweep >= 0) {
+      std::printf("resumed from sweep %d on all %d nodes\n",
+                  stats.resumed_sweep, args.dist_nodes);
+    }
+    std::printf("distributed training (%d nodes): measured %.2fs, "
+                "%lld comm bytes, %lld/%lld owned chunks on rank 0\n",
+                args.dist_nodes, watch.ElapsedSeconds(),
+                static_cast<long long>(stats.bytes_sent +
+                                       stats.bytes_received),
+                static_cast<long long>(stats.owned_chunks),
+                static_cast<long long>(stats.total_chunks));
+    core::ColdEstimates estimates = trainer.Estimates();
+    if (!args.metrics_out.empty() && !series.WriteTo(args.metrics_out)) {
+      std::fprintf(stderr, "metrics: cannot write %s\n",
+                   args.metrics_out.c_str());
+      exit_code = 1;
+    }
+    if (auto save = core::SaveEstimates(estimates, args.model_out);
+        !save.ok()) {
+      std::fprintf(stderr, "save: %s\n", save.ToString().c_str());
+      exit_code = 1;
+    } else {
+      std::printf("model written to %s (U=%d C=%d K=%d T=%d V=%d)\n",
+                  args.model_out.c_str(), estimates.U, estimates.C,
+                  estimates.K, estimates.T, estimates.V);
+    }
+  }
+
+  // Reap self-forked workers; any failed or killed worker fails the job
+  // (the operator restarts it with --resume).
+  for (pid_t pid : children) {
+    int wstatus = 0;
+    if (::waitpid(pid, &wstatus, 0) < 0 || !WIFEXITED(wstatus) ||
+        WEXITSTATUS(wstatus) != 0) {
+      std::fprintf(stderr, "dist: worker pid %d failed\n",
+                   static_cast<int>(pid));
+      exit_code = 1;
+    }
+  }
+  return exit_code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -388,6 +634,21 @@ int main(int argc, char** argv) {
     popts.out_path = args.profile_out;
     popts.print_top = 15;
     profile.emplace(std::move(popts));
+  }
+
+  if (args.dist_nodes > 0) {
+    // Multi-process path: forks/connects before any thread pool exists and
+    // handles its own checkpointing (per-rank directories), metrics, and
+    // model write. Trace/profile output above still applies to this
+    // process (rank 0 in self-fork mode).
+    int exit_code = RunDistributed(args, config, dataset);
+    profile.reset();
+    if (exit_code == 0 && !args.trace_out.empty() &&
+        !obs::ExportChromeTrace(args.trace_out)) {
+      return 1;
+    }
+    if (args.trace) PrintSpanSummary();
+    return exit_code;
   }
 
   if (args.parallel) {
