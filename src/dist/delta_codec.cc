@@ -1,8 +1,10 @@
 #include "dist/delta_codec.h"
 
+#include <chrono>
 #include <cstring>
 #include <type_traits>
 
+#include "dist/net_fault.h"
 #include "util/fileio.h"
 
 namespace cold::dist {
@@ -49,26 +51,37 @@ cold::Status Truncated(const char* what) {
 
 cold::Status WriteFrame(Transport* transport, FrameType type,
                         int32_t sender_rank, uint64_t superstep,
-                        std::string_view payload) {
-  std::string header;
-  header.reserve(kHeaderBytes);
-  Append(&header, kWireMagic);
-  Append(&header, kWireVersion);
-  Append(&header, static_cast<uint32_t>(type));
-  Append(&header, sender_rank);
-  Append(&header, superstep);
-  Append(&header, static_cast<uint64_t>(payload.size()));
-  Append(&header, cold::Crc32(payload));
-  COLD_RETURN_NOT_OK(transport->Send(header.data(), header.size()));
-  if (!payload.empty()) {
-    COLD_RETURN_NOT_OK(transport->Send(payload.data(), payload.size()));
+                        std::string_view payload, int timeout_ms) {
+  NetFaultInjector::Global().MaybeStall();
+  // One contiguous buffer, one Send: the transport's send mutex then makes
+  // the whole frame atomic against a concurrent heartbeat.
+  std::string wire;
+  wire.reserve(kHeaderBytes + payload.size());
+  Append(&wire, kWireMagic);
+  Append(&wire, kWireVersion);
+  Append(&wire, static_cast<uint32_t>(type));
+  Append(&wire, sender_rank);
+  Append(&wire, superstep);
+  Append(&wire, static_cast<uint64_t>(payload.size()));
+  Append(&wire, cold::Crc32(payload));
+  wire.append(payload);
+  if (type == FrameType::kDelta || type == FrameType::kGlobal) {
+    if (NetFaultInjector::Global().OnDataFrame(superstep, &wire,
+                                               kHeaderBytes) ==
+        NetFaultMode::kDrop) {
+      return cold::Status::OK();  // the frame evaporates on the "wire"
+    }
   }
-  return cold::Status::OK();
+  return transport->SendDeadline(wire.data(), wire.size(), timeout_ms);
 }
 
-cold::Result<Frame> ReadFrame(Transport* transport, uint64_t max_payload) {
+cold::Result<Frame> ReadFrame(Transport* transport, uint64_t max_payload,
+                              int timeout_ms) {
+  // Header and payload share one wall-clock budget.
+  const auto start = std::chrono::steady_clock::now();
   char header[kHeaderBytes];
-  COLD_RETURN_NOT_OK(transport->Recv(header, sizeof(header)));
+  COLD_RETURN_NOT_OK(
+      transport->RecvDeadline(header, sizeof(header), timeout_ms));
   Cursor cursor(std::string_view(header, sizeof(header)));
   uint32_t magic = 0, version = 0, type = 0, crc = 0;
   uint64_t payload_size = 0;
@@ -88,7 +101,7 @@ cold::Result<Frame> ReadFrame(Transport* transport, uint64_t max_payload) {
                                  std::to_string(version));
   }
   if (type < static_cast<uint32_t>(FrameType::kHello) ||
-      type > static_cast<uint32_t>(FrameType::kAbort)) {
+      type > static_cast<uint32_t>(FrameType::kHeartbeat)) {
     return cold::Status::IOError("unknown frame type " +
                                  std::to_string(type));
   }
@@ -100,7 +113,17 @@ cold::Result<Frame> ReadFrame(Transport* transport, uint64_t max_payload) {
   frame.type = static_cast<FrameType>(type);
   frame.payload.resize(payload_size);
   if (payload_size > 0) {
-    COLD_RETURN_NOT_OK(transport->Recv(frame.payload.data(), payload_size));
+    int remaining_ms = timeout_ms;
+    if (timeout_ms >= 0) {
+      auto spent = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+      remaining_ms = spent >= timeout_ms
+                         ? 0
+                         : timeout_ms - static_cast<int>(spent);
+    }
+    COLD_RETURN_NOT_OK(transport->RecvDeadline(frame.payload.data(),
+                                               payload_size, remaining_ms));
   }
   if (cold::Crc32(frame.payload) != crc) {
     return cold::Status::IOError("frame payload CRC mismatch");

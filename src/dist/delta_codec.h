@@ -40,6 +40,8 @@ enum class FrameType : uint32_t {
   kDelta = 3,    // worker -> coordinator: local SuperstepUpdate
   kGlobal = 4,   // coordinator -> worker: merged SuperstepUpdate
   kAbort = 5,    // either direction: unrecoverable error, tear down
+  kHeartbeat = 6,  // either direction: liveness beacon, no payload; never
+                   // touches model state and may interleave with any frame
 };
 
 /// \brief One decoded frame.
@@ -71,15 +73,22 @@ struct WelcomePayload {
   int32_t resume_sweep = -1;
 };
 
-/// \brief Sends one frame (header + CRC'd payload).
+/// \brief Sends one frame (header + CRC'd payload) as a SINGLE transport
+/// send, so concurrent senders (training thread + heartbeat thread) can
+/// never interleave bytes inside a frame. `timeout_ms` bounds the whole
+/// send (kDeadlineExceeded on expiry — the stream is then torn); < 0
+/// blocks. Data frames (kDelta/kGlobal) consult the process-wide
+/// NetFaultInjector, and every frame honors an armed stall.
 cold::Status WriteFrame(Transport* transport, FrameType type,
                         int32_t sender_rank, uint64_t superstep,
-                        std::string_view payload);
+                        std::string_view payload, int timeout_ms = -1);
 
 /// \brief Receives and fully verifies one frame. `max_payload` bounds the
-/// allocation a malformed size field can trigger.
+/// allocation a malformed size field can trigger; `timeout_ms` bounds the
+/// whole frame (header + payload share one budget), < 0 blocks.
 cold::Result<Frame> ReadFrame(Transport* transport,
-                              uint64_t max_payload = uint64_t{1} << 31);
+                              uint64_t max_payload = uint64_t{1} << 31,
+                              int timeout_ms = -1);
 
 std::string EncodeHello(const HelloPayload& hello);
 cold::Status DecodeHello(std::string_view payload, HelloPayload* out);

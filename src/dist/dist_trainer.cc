@@ -1,6 +1,7 @@
 #include "dist/dist_trainer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 #include <utility>
 
@@ -21,6 +22,9 @@ namespace {
 struct DistMetrics {
   obs::Counter* comm_bytes;
   obs::Counter* frames;
+  obs::Counter* heartbeats;
+  obs::Counter* frame_timeouts;
+  obs::Counter* restarts;
   obs::Histogram* barrier_wait_seconds;
   obs::Gauge* superstep;
 };
@@ -30,9 +34,22 @@ DistMetrics& Metrics() {
   static DistMetrics metrics{
       registry.GetCounter("cold/dist/comm_bytes"),
       registry.GetCounter("cold/dist/frames_total"),
+      registry.GetCounter("cold/dist/heartbeats_total"),
+      registry.GetCounter("cold/dist/frame_timeouts_total"),
+      registry.GetCounter("cold/dist/restarts_total"),
       registry.GetHistogram("cold/dist/barrier_wait_seconds"),
       registry.GetGauge("cold/dist/superstep")};
   return metrics;
+}
+
+using LivenessClock = std::chrono::steady_clock;
+
+/// Milliseconds left until `deadline`, clamped at 0.
+int RemainingMs(LivenessClock::time_point deadline) {
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - LivenessClock::now())
+                  .count();
+  return left < 0 ? 0 : static_cast<int>(left);
 }
 
 cold::Status ExpectFrame(const Frame& frame, FrameType want,
@@ -57,9 +74,12 @@ cold::Status ExpectFrame(const Frame& frame, FrameType want,
   return cold::Status::OK();
 }
 
-/// Best-effort abort notification; the peer may already be gone.
+/// Best-effort abort notification; the peer may already be gone, and a
+/// hung peer must not be allowed to wedge our own teardown, so the send is
+/// bounded by a short deadline.
 void SendAbort(Transport* peer, int32_t rank, const std::string& reason) {
-  cold::Status ignored = WriteFrame(peer, FrameType::kAbort, rank, 0, reason);
+  cold::Status ignored = WriteFrame(peer, FrameType::kAbort, rank, 0, reason,
+                                    /*timeout_ms=*/2000);
   (void)ignored;
 }
 
@@ -74,7 +94,106 @@ DistTrainer::DistTrainer(DistConfig config, const text::PostStore& posts,
   config_.engine.num_nodes = 1;
 }
 
-DistTrainer::~DistTrainer() = default;
+DistTrainer::~DistTrainer() { StopHeartbeats(); }
+
+int DistTrainer::FrameTimeoutMs() const {
+  if (config_.heartbeat_timeout_ms <= 0) return -1;
+  return config_.progress_timeout_ms > 0 ? config_.progress_timeout_ms : -1;
+}
+
+cold::Result<Frame> DistTrainer::ReadFrameLive(Transport* transport) {
+  constexpr uint64_t kMaxPayload = uint64_t{1} << 31;
+  if (config_.heartbeat_timeout_ms <= 0) {
+    for (;;) {
+      COLD_ASSIGN_OR_RETURN(Frame frame, ReadFrame(transport, kMaxPayload));
+      if (frame.type != FrameType::kHeartbeat) return frame;
+    }
+  }
+  const bool bounded_progress = config_.progress_timeout_ms > 0;
+  const LivenessClock::time_point progress_deadline =
+      LivenessClock::now() +
+      std::chrono::milliseconds(bounded_progress ? config_.progress_timeout_ms
+                                                 : 0);
+  for (;;) {
+    // The tighter of the two deadlines bounds this wait: silence for
+    // heartbeat_timeout_ms means a dead/hung peer; heartbeats without a
+    // data frame for progress_timeout_ms means a lost frame.
+    int budget = config_.heartbeat_timeout_ms;
+    bool progress_is_tighter = false;
+    if (bounded_progress) {
+      const int left = RemainingMs(progress_deadline);
+      if (left <= budget) {
+        budget = left;
+        progress_is_tighter = true;
+      }
+    }
+    auto frame = ReadFrame(transport, kMaxPayload, budget);
+    if (!frame.ok()) {
+      if (frame.status().code() == cold::StatusCode::kDeadlineExceeded) {
+        Metrics().frame_timeouts->Increment();
+        return progress_is_tighter
+                   ? cold::Status::DeadlineExceeded(
+                         "no data frame within the progress deadline of " +
+                         std::to_string(config_.progress_timeout_ms) +
+                         "ms (peer may have dropped a frame)")
+                   : cold::Status::DeadlineExceeded(
+                         "peer silent past the liveness deadline of " +
+                         std::to_string(config_.heartbeat_timeout_ms) +
+                         "ms (dead or hung)");
+      }
+      return frame.status();
+    }
+    if (frame->type == FrameType::kHeartbeat) continue;
+    return std::move(*frame);
+  }
+}
+
+void DistTrainer::StartHeartbeats(
+    const std::vector<std::unique_ptr<Transport>>& peers) {
+  if (config_.heartbeat_timeout_ms <= 0 || peers.empty() ||
+      heartbeat_thread_.joinable()) {
+    return;
+  }
+  stop_heartbeats_ = false;
+  std::vector<Transport*> targets;
+  targets.reserve(peers.size());
+  for (const auto& peer : peers) targets.push_back(peer.get());
+  heartbeat_thread_ = std::thread([this, targets] {
+    const int32_t rank = config_.node_rank;
+    // `alive` goes false per peer on the first send error (EPIPE after the
+    // peer exits is routine at teardown) so a dead peer is not re-poked
+    // every interval.
+    std::vector<bool> alive(targets.size(), true);
+    for (;;) {
+      for (size_t i = 0; i < targets.size(); ++i) {
+        if (!alive[i]) continue;
+        cold::Status st =
+            WriteFrame(targets[i], FrameType::kHeartbeat, rank, 0, {},
+                       config_.heartbeat_timeout_ms);
+        if (st.ok()) {
+          Metrics().heartbeats->Increment();
+        } else {
+          alive[i] = false;
+        }
+      }
+      std::unique_lock<std::mutex> lock(heartbeat_mutex_);
+      heartbeat_cv_.wait_for(
+          lock, std::chrono::milliseconds(config_.heartbeat_interval_ms),
+          [this] { return stop_heartbeats_; });
+      if (stop_heartbeats_) return;
+    }
+  });
+}
+
+void DistTrainer::StopHeartbeats() {
+  if (!heartbeat_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(heartbeat_mutex_);
+    stop_heartbeats_ = true;
+  }
+  heartbeat_cv_.notify_all();
+  heartbeat_thread_.join();
+}
 
 cold::Status DistTrainer::Validate(size_t num_peers) const {
   if (config_.num_nodes < 1) {
@@ -150,11 +269,19 @@ cold::Status DistTrainer::Handshake(
   self.data_fingerprint = fingerprint_;
   self.checkpoint_sweeps = local_sweeps;
 
+  // Handshake frames flow before heartbeats start, so they are bounded by
+  // the (generous) progress deadline alone: the coordinator answers only
+  // after hearing from every worker, and workers may spend a while
+  // validating local checkpoints first.
+  constexpr uint64_t kMaxPayload = uint64_t{1} << 31;
+  const int handshake_timeout_ms = FrameTimeoutMs();
+
   if (config_.node_rank != 0) {
     Transport* coord = (*peers)[0].get();
     COLD_RETURN_NOT_OK(WriteFrame(coord, FrameType::kHello, self.rank, 0,
-                                  EncodeHello(self)));
-    COLD_ASSIGN_OR_RETURN(Frame frame, ReadFrame(coord));
+                                  EncodeHello(self), handshake_timeout_ms));
+    COLD_ASSIGN_OR_RETURN(
+        Frame frame, ReadFrame(coord, kMaxPayload, handshake_timeout_ms));
     COLD_RETURN_NOT_OK(ExpectFrame(frame, FrameType::kWelcome, 0));
     WelcomePayload welcome;
     COLD_RETURN_NOT_OK(DecodeWelcome(frame.payload, &welcome));
@@ -168,7 +295,9 @@ cold::Status DistTrainer::Handshake(
   std::vector<std::unique_ptr<Transport>> by_rank(peers->size());
   std::vector<HelloPayload> hellos;
   for (auto& peer : *peers) {
-    COLD_ASSIGN_OR_RETURN(Frame frame, ReadFrame(peer.get()));
+    COLD_ASSIGN_OR_RETURN(
+        Frame frame,
+        ReadFrame(peer.get(), kMaxPayload, handshake_timeout_ms));
     COLD_RETURN_NOT_OK(ExpectFrame(frame, FrameType::kHello, 0));
     HelloPayload hello;
     COLD_RETURN_NOT_OK(DecodeHello(frame.payload, &hello));
@@ -219,14 +348,15 @@ cold::Status DistTrainer::Handshake(
   welcome.resume_sweep = *resume_sweep;
   const std::string payload = EncodeWelcome(welcome);
   for (auto& peer : *peers) {
-    COLD_RETURN_NOT_OK(
-        WriteFrame(peer.get(), FrameType::kWelcome, 0, 0, payload));
+    COLD_RETURN_NOT_OK(WriteFrame(peer.get(), FrameType::kWelcome, 0, 0,
+                                  payload, handshake_timeout_ms));
   }
   return cold::Status::OK();
 }
 
 cold::Status DistTrainer::LoadResumeSweep(int32_t resume_sweep) {
   if (resume_sweep < 0) return cold::Status::OK();
+  COLD_TRACE_SPAN("dist/recovery");
   const std::string path =
       checkpoints_->options().dir + "/" +
       core::CheckpointManager::FileName(resume_sweep);
@@ -245,6 +375,7 @@ cold::Status DistTrainer::LoadResumeSweep(int32_t resume_sweep) {
         std::to_string(resume_sweep));
   }
   stats_.resumed_sweep = resume_sweep;
+  Metrics().restarts->Increment();
   COLD_LOG(kInfo) << "dist rank " << config_.node_rank
                  << " resumed from sweep " << resume_sweep;
   return cold::Status::OK();
@@ -263,11 +394,11 @@ cold::Status DistTrainer::ExchangeUpdates(
     Transport* coord = peers[0].get();
     COLD_RETURN_NOT_OK(WriteFrame(coord, FrameType::kDelta,
                                   config_.node_rank, sweep,
-                                  EncodeUpdate(local)));
+                                  EncodeUpdate(local), FrameTimeoutMs()));
     Frame frame;
     {
       cold::ScopedTimer timer(stats_.barrier_wait_seconds);
-      COLD_ASSIGN_OR_RETURN(frame, ReadFrame(coord));
+      COLD_ASSIGN_OR_RETURN(frame, ReadFrameLive(coord));
     }
     COLD_RETURN_NOT_OK(ExpectFrame(frame, FrameType::kGlobal, sweep));
     COLD_RETURN_NOT_OK(DecodeUpdate(frame.payload, global));
@@ -299,7 +430,7 @@ cold::Status DistTrainer::ExchangeUpdates(
     Frame frame;
     {
       cold::ScopedTimer timer(stats_.barrier_wait_seconds);
-      COLD_ASSIGN_OR_RETURN(frame, ReadFrame(peers[r].get()));
+      COLD_ASSIGN_OR_RETURN(frame, ReadFrameLive(peers[r].get()));
     }
     COLD_RETURN_NOT_OK(ExpectFrame(frame, FrameType::kDelta, sweep));
     if (frame.sender_rank != static_cast<int32_t>(r + 1)) {
@@ -327,8 +458,8 @@ cold::Status DistTrainer::ExchangeUpdates(
   }
   const std::string payload = EncodeUpdate(*global);
   for (const auto& peer : peers) {
-    COLD_RETURN_NOT_OK(
-        WriteFrame(peer.get(), FrameType::kGlobal, 0, sweep, payload));
+    COLD_RETURN_NOT_OK(WriteFrame(peer.get(), FrameType::kGlobal, 0, sweep,
+                                  payload, FrameTimeoutMs()));
   }
   Metrics().frames->Increment(static_cast<int64_t>(2 * peers.size()));
   return cold::Status::OK();
@@ -363,8 +494,27 @@ cold::Status DistTrainer::Run(
 
   int32_t resume_sweep = -1;
   COLD_RETURN_NOT_OK(Handshake(&peers, &resume_sweep));
-  COLD_RETURN_NOT_OK(LoadResumeSweep(resume_sweep));
 
+  // Heartbeats start the moment the handshake settles, so even a slow
+  // checkpoint load (below) keeps every peer's liveness deadline fed.
+  StartHeartbeats(peers);
+  cold::Status st = LoadResumeSweep(resume_sweep);
+  if (st.ok()) st = TrainLoop(peers);
+  StopHeartbeats();
+  if (!st.ok() && config_.num_nodes > 1) {
+    // Let the survivors exit promptly (checkpoints intact) instead of
+    // each burning a full liveness deadline discovering the failure.
+    for (const auto& peer : peers) {
+      if (peer != nullptr) {
+        SendAbort(peer.get(), config_.node_rank, st.ToString());
+      }
+    }
+  }
+  return st;
+}
+
+cold::Status DistTrainer::TrainLoop(
+    const std::vector<std::unique_ptr<Transport>>& peers) {
   // Deterministic chunk ownership: every node computes the identical
   // owner table, so the masks tile the chunk space exactly.
   const std::vector<int32_t> owners =

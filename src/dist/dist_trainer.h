@@ -12,23 +12,33 @@
 // seed is bit-identical across node counts, and any node's checkpoint IS
 // the global model state.
 //
-// Failure model: fail-stop. A dead peer surfaces as an IOError on the next
-// frame; the whole job aborts nonzero, and the operator restarts it with
-// --resume. The handshake negotiates the newest checkpoint sweep common to
-// all nodes, so a restart continues bit-identically even when nodes died
-// with rotations one sweep apart.
+// Failure model: fail-stop with active liveness detection (DESIGN.md
+// §12). Every node runs a heartbeat thread that beats each peer every
+// heartbeat_interval_ms; every receive is bounded by two deadlines — a
+// liveness deadline (no frame at all, heartbeats included, for
+// heartbeat_timeout_ms means the peer is dead or hung) and a progress
+// deadline (no DATA frame for progress_timeout_ms means the stream lost a
+// frame even though the peer is alive). A detected failure aborts this
+// node, which broadcasts kAbort so survivors exit promptly with their
+// checkpoints intact; the supervisor (tools/cold_train --nodes) then
+// restarts the job from the newest checkpoint sweep common to all nodes,
+// negotiated by the handshake, so the rerun continues bit-identically.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/checkpoint.h"
 #include "core/cold_config.h"
 #include "core/cold_estimates.h"
 #include "core/parallel_sampler.h"
+#include "dist/delta_codec.h"
 #include "dist/transport.h"
 #include "graph/digraph.h"
 #include "text/post_store.h"
@@ -53,6 +63,18 @@ struct DistConfig {
   core::CheckpointOptions checkpoint;
   /// Negotiate and load the newest checkpoint sweep common to all nodes.
   bool resume = false;
+  /// Heartbeat cadence: every node beats every peer this often so silence
+  /// is always meaningful.
+  int heartbeat_interval_ms = 1000;
+  /// Liveness deadline: a peer that delivers NO frame (heartbeats
+  /// included) for this long is declared dead/hung and the job aborts.
+  /// <= 0 disables the liveness layer entirely: no heartbeat thread and
+  /// unbounded blocking receives (single-node runs need neither).
+  int heartbeat_timeout_ms = 10000;
+  /// Progress deadline: a DATA frame must arrive within this budget even
+  /// while heartbeats keep flowing — a dropped delta on a live connection
+  /// must not deadlock the superstep forever. <= 0 disables.
+  int progress_timeout_ms = 120000;
 };
 
 struct DistStats {
@@ -114,6 +136,24 @@ class DistTrainer {
       const std::vector<std::unique_ptr<Transport>>& peers, uint64_t sweep,
       const core::SuperstepUpdate& local, core::SuperstepUpdate* global);
   cold::Status MaybeCheckpoint(int sweep) const;
+  cold::Status TrainLoop(
+      const std::vector<std::unique_ptr<Transport>>& peers);
+
+  /// Effective per-send deadline for data/handshake frames (-1 when the
+  /// liveness layer is disabled).
+  int FrameTimeoutMs() const;
+
+  /// \brief Receives the next DATA frame, silently consuming heartbeats.
+  /// kDeadlineExceeded when the peer goes silent past the liveness
+  /// deadline or delivers no data frame within the progress deadline
+  /// (each expiry also bumps cold/dist/frame_timeouts_total).
+  cold::Result<Frame> ReadFrameLive(Transport* transport);
+
+  /// Starts/stops the heartbeat thread beating every transport in
+  /// `peers`. Idempotent no-ops when the liveness layer is disabled or
+  /// there are no peers.
+  void StartHeartbeats(const std::vector<std::unique_ptr<Transport>>& peers);
+  void StopHeartbeats();
 
   DistConfig config_;
   const text::PostStore& posts_;
@@ -128,6 +168,12 @@ class DistTrainer {
   // across supersteps.
   std::vector<int32_t> merge_acc_;
   std::vector<uint32_t> merge_touched_;
+
+  // Heartbeat sender (liveness beacons to every peer).
+  std::thread heartbeat_thread_;
+  std::mutex heartbeat_mutex_;
+  std::condition_variable heartbeat_cv_;
+  bool stop_heartbeats_ = false;
 };
 
 }  // namespace cold::dist

@@ -1,0 +1,158 @@
+#include "dist/net_fault.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace cold::dist {
+
+namespace {
+
+/// Strict non-negative integer parse of the whole token.
+bool ParseCount(const std::string& token, uint64_t* out) {
+  if (token.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long n = std::strtoll(token.c_str(), &end, 10);
+  if (errno != 0 || *end != '\0' || n < 0) return false;
+  *out = static_cast<uint64_t>(n);
+  return true;
+}
+
+}  // namespace
+
+NetFaultInjector& NetFaultInjector::Global() {
+  static NetFaultInjector injector;
+  return injector;
+}
+
+cold::Status NetFaultInjector::Configure(const std::string& spec) {
+  Disarm();
+  if (spec.empty()) return cold::Status::OK();
+  std::vector<std::string> parts;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t colon = spec.find(':', pos);
+    if (colon == std::string::npos) colon = spec.size();
+    parts.push_back(spec.substr(pos, colon - pos));
+    pos = colon + 1;
+  }
+  if (parts.size() < 3 || parts.size() > 4) {
+    return cold::Status::InvalidArgument(
+        "net fault spec must be '<mode>:<rank>:<superstep>[:<seed>]', got '" +
+        spec + "'");
+  }
+  NetFaultMode mode;
+  if (parts[0] == "drop") {
+    mode = NetFaultMode::kDrop;
+  } else if (parts[0] == "corrupt") {
+    mode = NetFaultMode::kCorrupt;
+  } else if (parts[0] == "delay") {
+    mode = NetFaultMode::kDelay;
+  } else if (parts[0] == "stall") {
+    mode = NetFaultMode::kStall;
+  } else {
+    return cold::Status::InvalidArgument(
+        "net fault mode must be drop|corrupt|delay|stall, got '" + parts[0] +
+        "'");
+  }
+  uint64_t rank = 0, superstep = 0, seed = 0;
+  if (!ParseCount(parts[1], &rank)) {
+    return cold::Status::InvalidArgument(
+        "net fault rank must be a non-negative integer, got '" + parts[1] +
+        "'");
+  }
+  if (!ParseCount(parts[2], &superstep)) {
+    return cold::Status::InvalidArgument(
+        "net fault superstep must be a non-negative integer, got '" +
+        parts[2] + "'");
+  }
+  if (parts.size() == 4 && !ParseCount(parts[3], &seed)) {
+    return cold::Status::InvalidArgument(
+        "net fault seed must be a non-negative integer, got '" + parts[3] +
+        "'");
+  }
+  mode_ = mode;
+  rank_ = static_cast<int>(rank);
+  superstep_ = superstep;
+  seed_ = seed;
+  fired_ = false;
+  return cold::Status::OK();
+}
+
+void NetFaultInjector::ConfigureFromEnv() {
+  const char* spec = std::getenv("COLD_NET_FAULT");
+  if (spec == nullptr) return;
+  if (auto st = Configure(spec); !st.ok()) {
+    COLD_LOG(kWarning) << "ignoring COLD_NET_FAULT: " << st.ToString();
+  } else if (armed()) {
+    COLD_LOG(kWarning) << "network fault injection armed: " << spec;
+  }
+}
+
+void NetFaultInjector::Disarm() {
+  mode_ = NetFaultMode::kNone;
+  rank_ = -1;
+  superstep_ = 0;
+  seed_ = 0;
+  fired_ = false;
+  stalled_.store(false, std::memory_order_relaxed);
+}
+
+void NetFaultInjector::SetNodeRank(int rank) {
+  if (armed() && rank_ != rank) Disarm();
+}
+
+void NetFaultInjector::MaybeStall() {
+  while (stalled_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::seconds(3600));
+  }
+}
+
+NetFaultMode NetFaultInjector::OnDataFrame(uint64_t superstep,
+                                           std::string* wire,
+                                           size_t header_bytes) {
+  if (!armed() || fired_ || superstep != superstep_) {
+    return NetFaultMode::kNone;
+  }
+  fired_ = true;
+  switch (mode_) {
+    case NetFaultMode::kDrop:
+      COLD_LOG(kWarning) << "net fault: dropping frame of superstep "
+                         << superstep;
+      return NetFaultMode::kDrop;
+    case NetFaultMode::kCorrupt: {
+      // Flip one payload byte so the receiver's CRC check rejects the
+      // frame; fall back to a header byte for an (unexpected) empty
+      // payload.
+      size_t offset = wire->size() > header_bytes
+                          ? header_bytes + seed_ % (wire->size() - header_bytes)
+                          : seed_ % wire->size();
+      (*wire)[offset] = static_cast<char>((*wire)[offset] ^ 0x20);
+      COLD_LOG(kWarning) << "net fault: corrupting byte " << offset
+                         << " of frame of superstep " << superstep;
+      return NetFaultMode::kCorrupt;
+    }
+    case NetFaultMode::kDelay: {
+      const auto delay = std::chrono::milliseconds(500 + seed_ % 1500);
+      COLD_LOG(kWarning) << "net fault: delaying frame of superstep "
+                         << superstep << " by " << delay.count() << "ms";
+      std::this_thread::sleep_for(delay);
+      return NetFaultMode::kDelay;
+    }
+    case NetFaultMode::kStall:
+      COLD_LOG(kWarning) << "net fault: stalling all sends at superstep "
+                         << superstep;
+      stalled_.store(true, std::memory_order_relaxed);
+      MaybeStall();  // never returns while stalled
+      return NetFaultMode::kStall;
+    case NetFaultMode::kNone:
+      break;
+  }
+  return NetFaultMode::kNone;
+}
+
+}  // namespace cold::dist

@@ -1,0 +1,91 @@
+// Network fault injection for the distributed trainer's chaos harness
+// (DESIGN.md §12). A COLD_NET_FAULT-armed process perturbs exactly one
+// data frame (kDelta or kGlobal) on its way out, deterministically by
+// seed, so the chaos loop can replay the same failure and assert the same
+// recovery.
+//
+// Spec grammar:
+//
+//   <mode>:<rank>:<superstep>[:<seed>]
+//
+// where <mode> is one of
+//
+//   drop     silently discard the frame (the peer sees nothing — its
+//            progress deadline, not its liveness deadline, must fire)
+//   corrupt  flip one payload byte (position seed % payload) so the
+//            receiver's CRC check rejects the frame
+//   delay    hold the frame for 500 + seed % 1500 ms before sending
+//   stall    freeze EVERY subsequent send in this process forever,
+//            heartbeats included — a silently hung peer that only the
+//            remote side's liveness deadline can detect
+//
+// and <rank> scopes the fault to one node (see SetNodeRank). The fault
+// fires at most once per process lifetime, on the first matching data
+// frame of the given superstep. An empty spec disarms. The canonical
+// entry point is the COLD_NET_FAULT environment variable, read once by
+// ConfigureFromEnv().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace cold::dist {
+
+enum class NetFaultMode : int {
+  kNone = 0,
+  kDrop,
+  kCorrupt,
+  kDelay,
+  kStall,
+};
+
+class NetFaultInjector {
+ public:
+  NetFaultInjector() = default;
+
+  /// The process-wide injector WriteFrame consults.
+  static NetFaultInjector& Global();
+
+  /// \brief Arms (grammar above) or disarms (spec = "") the injector.
+  /// InvalidArgument on a malformed spec, leaving the injector disarmed.
+  cold::Status Configure(const std::string& spec);
+
+  /// \brief Reads COLD_NET_FAULT; a malformed value logs a warning and
+  /// disarms rather than failing the run.
+  void ConfigureFromEnv();
+
+  void Disarm();
+
+  bool armed() const { return mode_ != NetFaultMode::kNone; }
+
+  /// \brief Narrows the armed fault to this node: disarms unless the
+  /// spec's rank matches. Call once per process after the rank is known.
+  void SetNodeRank(int rank);
+
+  /// \brief Blocks forever iff a stall fault has fired. Call at the top of
+  /// every frame send (heartbeats included) so a stalled process goes
+  /// completely silent instead of half-silent.
+  void MaybeStall();
+
+  /// \brief Consults the injector for one outgoing data frame carrying
+  /// `superstep`, where `wire` is the fully assembled header+payload
+  /// buffer and `header_bytes` its header length. May mutate `wire`
+  /// (corrupt), sleep (delay), or arm the process-wide stall. Returns the
+  /// action the caller must honor: kDrop means "do not send"; everything
+  /// else means "send `wire` as it now stands". Fires at most once.
+  NetFaultMode OnDataFrame(uint64_t superstep, std::string* wire,
+                           size_t header_bytes);
+
+ private:
+  NetFaultMode mode_ = NetFaultMode::kNone;
+  int rank_ = -1;
+  uint64_t superstep_ = 0;
+  uint64_t seed_ = 0;
+  bool fired_ = false;
+  std::atomic<bool> stalled_{false};
+};
+
+}  // namespace cold::dist

@@ -3,12 +3,15 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <random>
 #include <thread>
 
 #include "util/net_io.h"
@@ -17,8 +20,18 @@ namespace cold::dist {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 cold::Status Errno(const std::string& what) {
   return cold::Status::IOError(what + ": " + std::strerror(errno));
+}
+
+/// Milliseconds left until `deadline`, clamped at 0.
+int RemainingMs(Clock::time_point deadline) {
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - Clock::now())
+                  .count();
+  return left < 0 ? 0 : static_cast<int>(left);
 }
 
 }  // namespace
@@ -28,14 +41,34 @@ FdTransport::~FdTransport() {
 }
 
 cold::Status FdTransport::Send(const void* data, size_t size) {
+  std::lock_guard<std::mutex> lock(send_mutex_);
   COLD_RETURN_NOT_OK(cold::WriteFull(fd_, data, size));
-  bytes_sent_ += static_cast<int64_t>(size);
+  bytes_sent_.fetch_add(static_cast<int64_t>(size),
+                        std::memory_order_relaxed);
   return cold::Status::OK();
 }
 
 cold::Status FdTransport::Recv(void* data, size_t size) {
   COLD_RETURN_NOT_OK(cold::ReadFull(fd_, data, size));
-  bytes_received_ += static_cast<int64_t>(size);
+  bytes_received_.fetch_add(static_cast<int64_t>(size),
+                            std::memory_order_relaxed);
+  return cold::Status::OK();
+}
+
+cold::Status FdTransport::SendDeadline(const void* data, size_t size,
+                                       int timeout_ms) {
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  COLD_RETURN_NOT_OK(cold::WriteFullDeadline(fd_, data, size, timeout_ms));
+  bytes_sent_.fetch_add(static_cast<int64_t>(size),
+                        std::memory_order_relaxed);
+  return cold::Status::OK();
+}
+
+cold::Status FdTransport::RecvDeadline(void* data, size_t size,
+                                       int timeout_ms) {
+  COLD_RETURN_NOT_OK(cold::ReadFullDeadline(fd_, data, size, timeout_ms));
+  bytes_received_.fetch_add(static_cast<int64_t>(size),
+                            std::memory_order_relaxed);
   return cold::Status::OK();
 }
 
@@ -88,9 +121,25 @@ cold::Status TcpListener::Listen(uint16_t port) {
   return cold::Status::OK();
 }
 
-cold::Result<std::unique_ptr<Transport>> TcpListener::Accept() {
+cold::Result<std::unique_ptr<Transport>> TcpListener::Accept(int timeout_ms) {
   if (fd_ < 0) return cold::Status::FailedPrecondition("listener not open");
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms < 0 ? 0
+                                                              : timeout_ms);
   for (;;) {
+    if (timeout_ms >= 0) {
+      pollfd pfd{fd_, POLLIN, 0};
+      int ready = ::poll(&pfd, 1, RemainingMs(deadline));
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return Errno("poll");
+      }
+      if (ready == 0) {
+        return cold::Status::DeadlineExceeded(
+            "accept deadline of " + std::to_string(timeout_ms) +
+            "ms expired");
+      }
+    }
     int client = ::accept(fd_, nullptr, nullptr);
     if (client >= 0) {
       int one = 1;
@@ -105,7 +154,7 @@ cold::Result<std::unique_ptr<Transport>> TcpListener::Accept() {
 
 cold::Result<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
                                                     uint16_t port,
-                                                    int max_attempts) {
+                                                    int deadline_ms) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -113,7 +162,17 @@ cold::Result<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
     return cold::Status::InvalidArgument("cannot parse IPv4 address '" +
                                          host + "'");
   }
-  for (int attempt = 0;; ++attempt) {
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(deadline_ms < 0 ? 0
+                                                               : deadline_ms);
+  // Jitter decorrelates the retry storms of N workers racing one
+  // coordinator; the seed mixes in the pid so self-forked siblings spread
+  // out even when they start within the same tick.
+  std::minstd_rand rng(static_cast<uint32_t>(::getpid()) * 2654435761u ^
+                       static_cast<uint32_t>(
+                           Clock::now().time_since_epoch().count()));
+  int backoff_ms = 10;
+  for (;;) {
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) return Errno("socket");
     if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
@@ -125,14 +184,27 @@ cold::Result<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
     int err = errno;
     ::close(fd);
     if (err == EINTR) continue;
-    // The coordinator may still be binding; back off and retry refusal.
-    if ((err == ECONNREFUSED || err == ETIMEDOUT) &&
-        attempt + 1 < max_attempts) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(100));
-      continue;
+    // Transient: the coordinator may still be binding (ECONNREFUSED), or
+    // the network is momentarily unhappy. Anything else is permanent.
+    const bool transient = err == ECONNREFUSED || err == ETIMEDOUT ||
+                           err == EHOSTUNREACH || err == ENETUNREACH;
+    if (!transient || deadline_ms < 0 || Clock::now() >= deadline) {
+      if (transient) {
+        return cold::Status::DeadlineExceeded(
+            "connect " + host + ":" + std::to_string(port) +
+            " gave up after " + std::to_string(deadline_ms) + "ms: " +
+            std::strerror(err));
+      }
+      errno = err;
+      return Errno("connect " + host + ":" + std::to_string(port));
     }
-    errno = err;
-    return Errno("connect " + host + ":" + std::to_string(port));
+    // Full jitter: sleep U(1, backoff), capped by both the exponential
+    // ceiling and the time left before the overall deadline.
+    int cap = std::min(backoff_ms, RemainingMs(deadline));
+    int sleep_ms =
+        cap <= 1 ? 1 : 1 + static_cast<int>(rng() % static_cast<uint32_t>(cap));
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    backoff_ms = std::min(backoff_ms * 2, 1000);
   }
 }
 

@@ -6,10 +6,18 @@
 // frame path — both are just file descriptors under FdTransport, with all
 // EINTR/partial-transfer handling delegated to util/net_io.h (shared with
 // the serving layer).
+//
+// Concurrency: Send/SendDeadline are serialized by an internal mutex, so
+// two threads (the training thread and the heartbeat thread) can emit
+// whole frames on one transport without interleaving bytes, provided each
+// frame is a single Send call. Recv is single-consumer (the training
+// thread only).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 
@@ -29,12 +37,26 @@ class Transport {
   /// Receives exactly `size` bytes; IOError on EOF.
   virtual cold::Status Recv(void* data, size_t size) = 0;
 
-  int64_t bytes_sent() const { return bytes_sent_; }
-  int64_t bytes_received() const { return bytes_received_; }
+  /// \brief Send bounded by `timeout_ms` of wall time for the whole
+  /// transfer; kDeadlineExceeded on expiry (the stream is then torn).
+  /// timeout_ms < 0 blocks like Send.
+  virtual cold::Status SendDeadline(const void* data, size_t size,
+                                    int timeout_ms) = 0;
+
+  /// \brief Recv bounded by `timeout_ms`; same semantics as SendDeadline.
+  virtual cold::Status RecvDeadline(void* data, size_t size,
+                                    int timeout_ms) = 0;
+
+  int64_t bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+  int64_t bytes_received() const {
+    return bytes_received_.load(std::memory_order_relaxed);
+  }
 
  protected:
-  int64_t bytes_sent_ = 0;
-  int64_t bytes_received_ = 0;
+  std::atomic<int64_t> bytes_sent_{0};
+  std::atomic<int64_t> bytes_received_{0};
 };
 
 /// \brief Transport over an owned file descriptor (TCP socket or one end of
@@ -49,11 +71,17 @@ class FdTransport : public Transport {
 
   cold::Status Send(const void* data, size_t size) override;
   cold::Status Recv(void* data, size_t size) override;
+  cold::Status SendDeadline(const void* data, size_t size,
+                            int timeout_ms) override;
+  cold::Status RecvDeadline(void* data, size_t size,
+                            int timeout_ms) override;
 
   int fd() const { return fd_; }
 
  private:
   int fd_;
+  // Serializes whole-frame sends across the training + heartbeat threads.
+  std::mutex send_mutex_;
 };
 
 /// \brief Creates a connected in-process pair (AF_UNIX socketpair): bytes
@@ -75,8 +103,10 @@ class TcpListener {
   /// readable via port() afterwards).
   cold::Status Listen(uint16_t port);
 
-  /// Accepts one connection (blocking, EINTR-robust).
-  cold::Result<std::unique_ptr<Transport>> Accept();
+  /// \brief Accepts one connection (EINTR-robust). `timeout_ms` bounds the
+  /// wait (kDeadlineExceeded on expiry) so a worker that died before
+  /// connecting cannot hang the coordinator; < 0 blocks forever.
+  cold::Result<std::unique_ptr<Transport>> Accept(int timeout_ms = -1);
 
   void Close();
 
@@ -87,10 +117,13 @@ class TcpListener {
   uint16_t port_ = 0;
 };
 
-/// \brief Connects to `host:port`, retrying connection refusal for roughly
-/// `max_attempts` * 100ms — workers typically race the coordinator's bind.
+/// \brief Connects to `host:port` under an overall `deadline_ms` budget,
+/// retrying transient failures (ECONNREFUSED while the coordinator is
+/// still binding, plus ETIMEDOUT/EHOSTUNREACH/ENETUNREACH on flaky
+/// networks) with jittered exponential backoff. kDeadlineExceeded when the
+/// budget expires without a connection.
 cold::Result<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
                                                     uint16_t port,
-                                                    int max_attempts = 50);
+                                                    int deadline_ms = 15000);
 
 }  // namespace cold::dist

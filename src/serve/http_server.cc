@@ -23,6 +23,7 @@ struct ServerMetrics {
   obs::Counter* malformed_requests;
   obs::Counter* dropped_at_shutdown;
   obs::Counter* shed;
+  obs::Counter* write_timeouts;
 };
 
 ServerMetrics& Metrics() {
@@ -31,7 +32,8 @@ ServerMetrics& Metrics() {
       registry.GetCounter("cold/serve/connections"),
       registry.GetCounter("cold/serve/malformed_requests"),
       registry.GetCounter("cold/serve/connections_force_closed"),
-      registry.GetCounter("cold/serve/shed_total")};
+      registry.GetCounter("cold/serve/shed_total"),
+      registry.GetCounter("cold/serve/write_timeouts")};
   return metrics;
 }
 
@@ -110,7 +112,14 @@ void HttpServer::AcceptLoop() {
     timeval tv{};
     tv.tv_sec = options_.idle_timeout_seconds;
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    // A slow-READING client must not pin a worker either: bound writes so
+    // a full send buffer surfaces as kDeadlineExceeded instead of
+    // blocking forever.
+    timeval wtv{};
+    wtv.tv_sec = options_.write_timeout_seconds > 0
+                     ? options_.write_timeout_seconds
+                     : options_.idle_timeout_seconds;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &wtv, sizeof(wtv));
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
@@ -157,7 +166,13 @@ void HttpServer::ServeConnection(int fd) {
     HttpResponse response = handler_(*request);
     bool keep = request->keep_alive() &&
                 !stopping_.load(std::memory_order_acquire);
-    if (!WriteHttpResponse(fd, response, !keep).ok()) break;
+    if (cold::Status wst = WriteHttpResponse(fd, response, !keep);
+        !wst.ok()) {
+      if (wst.code() == cold::StatusCode::kDeadlineExceeded) {
+        Metrics().write_timeouts->Increment();
+      }
+      break;
+    }
     if (!keep) break;
   }
   {

@@ -33,6 +33,10 @@ struct HttpServerOptions {
   size_t num_workers = 8;
   /// Seconds a keep-alive connection may sit idle before being closed.
   int idle_timeout_seconds = 5;
+  /// Seconds a response write may block on a slow-reading client before
+  /// the connection is dropped (SO_SNDTIMEO; counted by
+  /// cold/serve/write_timeouts). 0 reuses idle_timeout_seconds.
+  int write_timeout_seconds = 0;
   /// Seconds Stop() waits for in-flight requests before force-closing.
   int drain_timeout_seconds = 10;
   /// Load shedding: when more than this many connections are already being

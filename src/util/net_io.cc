@@ -1,13 +1,29 @@
 #include "util/net_io.h"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <string>
 
 namespace cold {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Milliseconds left until `deadline`, clamped at 0.
+int RemainingMs(Clock::time_point deadline) {
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - Clock::now())
+                  .count();
+  return left < 0 ? 0 : static_cast<int>(left);
+}
+
+}  // namespace
 
 cold::Status WriteFull(int fd, const void* data, size_t size) {
   const char* p = static_cast<const char*>(data);
@@ -19,6 +35,13 @@ cold::Status WriteFull(int fd, const void* data, size_t size) {
     }
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // A blocking socket only reports EAGAIN when SO_SNDTIMEO expired:
+        // the peer stopped draining its receive window.
+        return cold::Status::DeadlineExceeded(
+            "send timed out (" + std::to_string(sent) + " of " +
+            std::to_string(size) + " bytes)");
+      }
       return cold::Status::IOError(std::string("send: ") +
                                    std::strerror(errno));
     }
@@ -37,6 +60,96 @@ cold::Status ReadFull(int fd, void* data, size_t size) {
     }
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expiry on a blocking socket.
+        return cold::Status::DeadlineExceeded(
+            "recv timed out (" + std::to_string(got) + " of " +
+            std::to_string(size) + " bytes)");
+      }
+      return cold::Status::IOError(std::string("recv: ") +
+                                   std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0) return cold::Status::IOError("connection closed");
+      return cold::Status::IOError(
+          "connection closed mid-transfer (" + std::to_string(got) + " of " +
+          std::to_string(size) + " bytes)");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return cold::Status::OK();
+}
+
+cold::Status WriteFullDeadline(int fd, const void* data, size_t size,
+                               int timeout_ms) {
+  if (timeout_ms < 0) return WriteFull(fd, data, size);
+  const char* p = static_cast<const char*>(data);
+  size_t sent = 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (sent < size) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int wait = RemainingMs(deadline);
+    int ready = ::poll(&pfd, 1, wait);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return cold::Status::IOError(std::string("poll: ") +
+                                   std::strerror(errno));
+    }
+    if (ready == 0) {
+      return cold::Status::DeadlineExceeded(
+          "write deadline of " + std::to_string(timeout_ms) + "ms expired (" +
+          std::to_string(sent) + " of " + std::to_string(size) + " bytes)");
+    }
+    // Writability (or an error condition poll reports as ready) — move
+    // bytes without blocking so one large transfer cannot overrun the
+    // budget inside the syscall.
+    ssize_t n =
+        ::send(fd, p + sent, size - sent, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::write(fd, p + sent, size - sent);
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;  // re-poll; the deadline still bounds the loop
+      }
+      return cold::Status::IOError(std::string("send: ") +
+                                   std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return cold::Status::OK();
+}
+
+cold::Status ReadFullDeadline(int fd, void* data, size_t size,
+                              int timeout_ms) {
+  if (timeout_ms < 0) return ReadFull(fd, data, size);
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (got < size) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int wait = RemainingMs(deadline);
+    int ready = ::poll(&pfd, 1, wait);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return cold::Status::IOError(std::string("poll: ") +
+                                   std::strerror(errno));
+    }
+    if (ready == 0) {
+      return cold::Status::DeadlineExceeded(
+          "read deadline of " + std::to_string(timeout_ms) + "ms expired (" +
+          std::to_string(got) + " of " + std::to_string(size) + " bytes)");
+    }
+    ssize_t n = ::recv(fd, p + got, size - got, MSG_DONTWAIT);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::read(fd, p + got, size - got);
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
       return cold::Status::IOError(std::string("recv: ") +
                                    std::strerror(errno));
     }

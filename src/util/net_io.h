@@ -3,6 +3,18 @@
 // (EINTR) must never be mistaken for completion, progress, or EOF. Both
 // loops retry interrupted syscalls and continue until the requested byte
 // count has moved or a real error (or EOF) occurs.
+//
+// Two families:
+//  - ReadFull/WriteFull: plain blocking transfers. They honor any
+//    SO_RCVTIMEO/SO_SNDTIMEO already set on the socket; an expired socket
+//    timeout surfaces as StatusCode::kDeadlineExceeded so callers can
+//    distinguish a stalled peer from a torn connection.
+//  - ReadFullDeadline/WriteFullDeadline: poll(2)-bounded transfers with an
+//    explicit wall-clock budget for the WHOLE transfer (not per syscall).
+//    The fd's blocking mode is untouched: readiness is awaited with poll
+//    and the data is moved with MSG_DONTWAIT, so these work on fds shared
+//    with plain blocking callers. A deadline of a negative value means
+//    "no deadline" and degenerates to the plain behavior.
 #pragma once
 
 #include <cstddef>
@@ -14,7 +26,8 @@ namespace cold {
 /// \brief Writes exactly `size` bytes of `data` to `fd`, retrying partial
 /// writes and EINTR. Uses send(MSG_NOSIGNAL) on sockets so a closed peer
 /// surfaces as an IOError (EPIPE) instead of killing the process with
-/// SIGPIPE; falls back to write() for non-socket descriptors.
+/// SIGPIPE; falls back to write() for non-socket descriptors. An SO_SNDTIMEO
+/// expiry surfaces as kDeadlineExceeded.
 cold::Status WriteFull(int fd, const void* data, size_t size);
 
 /// \brief Reads exactly `size` bytes from `fd` into `data`, retrying
@@ -22,6 +35,19 @@ cold::Status WriteFull(int fd, const void* data, size_t size);
 /// length-prefixed frame or fixed-size header can never legitimately end
 /// early); a cleanly closed connection at byte 0 reports "connection
 /// closed" so callers can distinguish peer shutdown from a torn transfer.
+/// An SO_RCVTIMEO expiry surfaces as kDeadlineExceeded.
 cold::Status ReadFull(int fd, void* data, size_t size);
+
+/// \brief WriteFull bounded by `timeout_ms` of wall time for the entire
+/// transfer. Returns kDeadlineExceeded when the budget expires with bytes
+/// still unsent (the stream position is then torn — callers must treat the
+/// connection as dead). timeout_ms < 0 waits forever.
+cold::Status WriteFullDeadline(int fd, const void* data, size_t size,
+                               int timeout_ms);
+
+/// \brief ReadFull bounded by `timeout_ms` of wall time for the entire
+/// transfer; same deadline semantics as WriteFullDeadline.
+cold::Status ReadFullDeadline(int fd, void* data, size_t size,
+                              int timeout_ms);
 
 }  // namespace cold

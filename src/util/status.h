@@ -22,6 +22,7 @@ enum class StatusCode : int {
   kNotImplemented = 6,
   kInternal = 7,
   kFailedPrecondition = 8,
+  kDeadlineExceeded = 9,
 };
 
 /// \brief Returns a human-readable name for a status code ("OK",
@@ -66,6 +67,9 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True iff the operation succeeded.

@@ -1,14 +1,16 @@
 // Tests for the multi-process distributed trainer (src/dist): wire codec,
 // deterministic chunk ownership, the bit-identity guarantee across node
-// counts (DESIGN.md §12), checkpoint byte-identity, and the node-death /
+// counts (DESIGN.md §12), checkpoint byte-identity, the node-death /
 // resume drill (fork + SIGKILL, then a negotiated checkpoint resume that
-// must byte-match the uninterrupted run).
+// must byte-match the uninterrupted run), heartbeat liveness detection,
+// and the network fault injector's spec grammar.
 #include <gtest/gtest.h>
 
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -21,7 +23,10 @@
 #include "data/synthetic.h"
 #include "dist/delta_codec.h"
 #include "dist/dist_trainer.h"
+#include "dist/net_fault.h"
 #include "dist/transport.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/fault_injector.h"
 
 namespace cold::dist {
@@ -184,12 +189,91 @@ TEST(DeltaCodecTest, BadMagicRejected) {
   EXPECT_FALSE(ReadFrame(b.get()).ok());
 }
 
+TEST(DeltaCodecTest, HeartbeatFrameRoundTrip) {
+  std::unique_ptr<Transport> a, b;
+  ASSERT_TRUE(LoopbackPair(&a, &b).ok());
+  ASSERT_TRUE(WriteFrame(a.get(), FrameType::kHeartbeat, 3, 0, {}).ok());
+  auto frame = ReadFrame(b.get());
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->type, FrameType::kHeartbeat);
+  EXPECT_EQ(frame->sender_rank, 3);
+  EXPECT_TRUE(frame->payload.empty());
+}
+
 TEST(TransportTest, RecvOnClosedPeerFails) {
   std::unique_ptr<Transport> a, b;
   ASSERT_TRUE(LoopbackPair(&a, &b).ok());
   a.reset();  // closes the peer
   char byte = 0;
   EXPECT_FALSE(b->Recv(&byte, 1).ok());
+}
+
+// -------------------------------------------------------- net faults ----
+
+TEST(NetFaultInjectorTest, ParsesValidSpecsAndDisarmsOnEmpty) {
+  NetFaultInjector injector;
+  EXPECT_TRUE(injector.Configure("drop:1:5").ok());
+  EXPECT_TRUE(injector.armed());
+  EXPECT_TRUE(injector.Configure("corrupt:0:3:42").ok());
+  EXPECT_TRUE(injector.armed());
+  EXPECT_TRUE(injector.Configure("").ok());
+  EXPECT_FALSE(injector.armed());
+}
+
+TEST(NetFaultInjectorTest, RejectsMalformedSpecs) {
+  NetFaultInjector injector;
+  for (const char* spec :
+       {"bogus:1:2", "drop:1", "drop:x:2", "drop:1:y", "drop:1:2:z",
+        "drop:1:2:3:4", "drop:-1:2"}) {
+    SCOPED_TRACE(spec);
+    EXPECT_FALSE(injector.Configure(spec).ok());
+    EXPECT_FALSE(injector.armed());
+  }
+}
+
+TEST(NetFaultInjectorTest, SetNodeRankScopesTheFault) {
+  NetFaultInjector injector;
+  ASSERT_TRUE(injector.Configure("delay:2:5").ok());
+  injector.SetNodeRank(1);  // some other node's fault: disarm
+  EXPECT_FALSE(injector.armed());
+  ASSERT_TRUE(injector.Configure("delay:2:5").ok());
+  injector.SetNodeRank(2);  // ours: stay armed
+  EXPECT_TRUE(injector.armed());
+}
+
+TEST(NetFaultInjectorTest, DropFiresExactlyOnceAtItsSuperstep) {
+  NetFaultInjector injector;
+  ASSERT_TRUE(injector.Configure("drop:0:3").ok());
+  std::string wire(64, 'w');
+  EXPECT_EQ(injector.OnDataFrame(2, &wire, 36), NetFaultMode::kNone);
+  EXPECT_EQ(injector.OnDataFrame(3, &wire, 36), NetFaultMode::kDrop);
+  // One fault spec models ONE failure event; the retry after recovery
+  // must sail through.
+  EXPECT_EQ(injector.OnDataFrame(3, &wire, 36), NetFaultMode::kNone);
+}
+
+TEST(NetFaultInjectorTest, CorruptFlipsExactlyOnePayloadByte) {
+  NetFaultInjector injector;
+  ASSERT_TRUE(injector.Configure("corrupt:0:1:5").ok());
+  const size_t header_bytes = 36;
+  std::string wire(header_bytes, 'h');
+  wire += "payload-bytes";
+  const std::string original = wire;
+  EXPECT_EQ(injector.OnDataFrame(1, &wire, header_bytes),
+            NetFaultMode::kCorrupt);
+  ASSERT_EQ(wire.size(), original.size());
+  size_t diffs = 0;
+  size_t diff_at = 0;
+  for (size_t i = 0; i < wire.size(); ++i) {
+    if (wire[i] != original[i]) {
+      ++diffs;
+      diff_at = i;
+    }
+  }
+  EXPECT_EQ(diffs, 1u);
+  // The flip must land in the payload, never the header: a header flip
+  // would fail magic/length validation instead of exercising the CRC.
+  EXPECT_GE(diff_at, header_bytes);
 }
 
 // -------------------------------------------------------- partitioning --
@@ -254,6 +338,133 @@ TEST(DistTrainerTest, BitIdenticalAcrossNodeCounts) {
     EXPECT_EQ(nodes[0]->stats().supersteps_run,
               TestModelConfig().iterations);
   }
+}
+
+// ----------------------------------------------------------- liveness ---
+
+/// Heartbeats interleave arbitrarily with data frames at a 10ms cadence;
+/// the read path must skip every one of them without desyncing, and the
+/// beacons themselves must never perturb the model (bit-identity vs the
+/// single-process reference is the proof).
+TEST(DistLivenessTest, HeartbeatsFlowWithoutPerturbingTheModel) {
+  const auto& ds = TestData();
+  core::ParallelColdTrainer reference(TestModelConfig(), ds.posts,
+                                      &ds.interactions);
+  ASSERT_TRUE(reference.Init().ok());
+  ASSERT_TRUE(reference.Train().ok());
+
+  obs::Counter* heartbeats =
+      obs::Registry::Global().GetCounter("cold/dist/heartbeats_total");
+  const int64_t beats_before = heartbeats->Value();
+
+  std::vector<std::unique_ptr<DistTrainer>> owned;
+  std::vector<DistTrainer*> nodes;
+  for (int rank = 0; rank < 2; ++rank) {
+    DistConfig config = TestDistConfig(2, rank);
+    config.heartbeat_interval_ms = 10;
+    config.heartbeat_timeout_ms = 30000;
+    owned.push_back(std::make_unique<DistTrainer>(config, ds.posts,
+                                                  &ds.interactions));
+    nodes.push_back(owned.back().get());
+  }
+  cold::Status st = DistTrainer::RunLocalCluster(nodes);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  for (DistTrainer* node : nodes) {
+    ExpectStatesEqual(reference.StateSnapshot(), node->StateSnapshot());
+  }
+  // Every node beats each peer once immediately at startup, so even an
+  // instant run moves the counter.
+  EXPECT_GT(heartbeats->Value(), beats_before);
+}
+
+/// A peer that connects and then never says anything must not wedge the
+/// coordinator: the handshake read is bounded by the progress deadline.
+TEST(DistLivenessTest, SilentPeerTripsTheHandshakeDeadline) {
+  const auto& ds = TestData();
+  std::unique_ptr<Transport> coord_end, silent_end;
+  ASSERT_TRUE(LoopbackPair(&coord_end, &silent_end).ok());
+
+  DistConfig config = TestDistConfig(2, 0);
+  config.heartbeat_timeout_ms = 200;
+  config.progress_timeout_ms = 500;
+  DistTrainer coordinator(config, ds.posts, &ds.interactions);
+  std::vector<std::unique_ptr<Transport>> peers;
+  peers.push_back(std::move(coord_end));
+
+  const auto start = std::chrono::steady_clock::now();
+  cold::Status st = coordinator.Run(std::move(peers));
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded) << st.ToString();
+  EXPECT_GE(elapsed_ms, 400);
+  EXPECT_LT(elapsed_ms, 30000) << "read must not block indefinitely";
+}
+
+/// The acceptance drill's detection half, in-process-assertable form: a
+/// forked worker completes the handshake, trains a couple of sweeps, then
+/// a stall fault freezes every one of its sends — heartbeats included. A
+/// TCP connection this quiet looks perfectly healthy to the kernel;
+/// ONLY the coordinator's liveness deadline can call it dead, and it must
+/// do so within heartbeat_timeout_ms (plus scheduling slack), bumping
+/// cold/dist/frame_timeouts_total on the way out.
+TEST(DistLivenessTest, HungPeerDetectedWithinTheLivenessDeadline) {
+  const auto& ds = TestData();
+
+  auto make_config = [&](int rank) {
+    DistConfig config = TestDistConfig(2, rank);
+    config.heartbeat_interval_ms = 50;
+    config.heartbeat_timeout_ms = 500;
+    config.progress_timeout_ms = 20000;
+    return config;
+  };
+
+  std::unique_ptr<Transport> coord_end, worker_end;
+  ASSERT_TRUE(LoopbackPair(&coord_end, &worker_end).ok());
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    coord_end.reset();
+    if (!NetFaultInjector::Global().Configure("stall:1:2").ok()) ::_exit(7);
+    NetFaultInjector::Global().SetNodeRank(1);
+    DistTrainer worker(make_config(1), ds.posts, &ds.interactions);
+    std::vector<std::unique_ptr<Transport>> peers;
+    peers.push_back(std::move(worker_end));
+    // The stall fires at superstep 2 and never returns; reaching _exit
+    // means the fault failed to arm.
+    cold::Status ignored = worker.Run(std::move(peers));
+    (void)ignored;
+    ::_exit(8);
+  }
+  worker_end.reset();
+
+  obs::Counter* frame_timeouts =
+      obs::Registry::Global().GetCounter("cold/dist/frame_timeouts_total");
+  const int64_t timeouts_before = frame_timeouts->Value();
+
+  DistTrainer coordinator(make_config(0), ds.posts, &ds.interactions);
+  std::vector<std::unique_ptr<Transport>> peers;
+  peers.push_back(std::move(coord_end));
+  const auto start = std::chrono::steady_clock::now();
+  cold::Status st = coordinator.Run(std::move(peers));
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded) << st.ToString();
+  EXPECT_NE(st.ToString().find("liveness deadline"), std::string::npos)
+      << st.ToString();
+  EXPECT_GT(frame_timeouts->Value(), timeouts_before);
+  EXPECT_LT(elapsed_ms, 15000) << "hung peer took too long to detect";
+
+  // The stalled child sleeps forever by design; it is the supervisor's
+  // (here: the test's) job to put it down.
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
 }
 
 TEST(DistTrainerTest, RejectsLegacyCounterMode) {
@@ -381,6 +592,12 @@ TEST_F(DistCheckpointTest, KilledNodeResumesBitIdentical) {
   }
 
   // Leg 2: full restart with resume; must pick up the common sweep 4.
+  // The successful resume is also the observability fixture: it must bump
+  // cold/dist/restarts_total and record a dist/recovery trace span.
+  obs::Counter* restarts =
+      obs::Registry::Global().GetCounter("cold/dist/restarts_total");
+  const int64_t restarts_before = restarts->Value();
+  obs::TraceRing::Enable();
   int resumed_sweep = -1;
   core::ColdState resumed_state(0, 0, 0, 0, 0, 0, 0);
   {
@@ -408,6 +625,14 @@ TEST_F(DistCheckpointTest, KilledNodeResumesBitIdentical) {
     resumed_state = coordinator.StateSnapshot();
   }
   EXPECT_EQ(resumed_sweep, 4);
+  EXPECT_EQ(restarts->Value(), restarts_before + 1);
+  bool saw_recovery_span = false;
+  for (const obs::TraceEvent& event : obs::TraceRing::Events()) {
+    if (event.name == "dist/recovery") saw_recovery_span = true;
+  }
+  obs::TraceRing::Disable();
+  EXPECT_TRUE(saw_recovery_span)
+      << "resume must record a dist/recovery trace span";
 
   // Reference: the uninterrupted run (computed last so no pool threads
   // exist in this process at fork time).

@@ -1,0 +1,272 @@
+// Hostile-socket tests for util/net_io.h over AF_UNIX socketpairs: tiny
+// send buffers forcing partial transfers, EINTR storms landing
+// mid-syscall, peers closing mid-frame, and the poll(2)-bounded deadline
+// variants expiring (or not) on schedule. These are the primitives both
+// the serving layer and the distributed trainer stand on; every loop here
+// must be byte-exact under abuse.
+#include "util/net_io.h"
+
+#include <gtest/gtest.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cold {
+namespace {
+
+/// RAII socketpair; closing one end mid-test is part of the job.
+struct Pair {
+  int a = -1;
+  int b = -1;
+
+  Pair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0); }
+  ~Pair() {
+    CloseA();
+    CloseB();
+  }
+
+  void CloseA() {
+    if (fds_[0] >= 0) ::close(fds_[0]);
+    fds_[0] = -1;
+  }
+  void CloseB() {
+    if (fds_[1] >= 0) ::close(fds_[1]);
+    fds_[1] = -1;
+  }
+  int A() const { return fds_[0]; }
+  int B() const { return fds_[1]; }
+
+ private:
+  int fds_[2] = {-1, -1};
+};
+
+std::string PatternedBytes(size_t size) {
+  std::string data(size, '\0');
+  for (size_t i = 0; i < size; ++i) {
+    data[i] = static_cast<char>((i * 131 + 17) & 0xFF);
+  }
+  return data;
+}
+
+/// Shrinks the kernel buffers so a multi-hundred-KB transfer MUST go
+/// through many partial sends.
+void ShrinkBuffers(int fd) {
+  int tiny = 1;  // the kernel clamps this up to its minimum
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &tiny, sizeof(tiny));
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+}
+
+TEST(NetIoTest, RoundTripExactBytes) {
+  Pair pair;
+  const std::string sent = PatternedBytes(4096);
+  std::thread writer(
+      [&] { EXPECT_TRUE(WriteFull(pair.A(), sent.data(), sent.size()).ok()); });
+  std::string got(sent.size(), '\0');
+  EXPECT_TRUE(ReadFull(pair.B(), got.data(), got.size()).ok());
+  writer.join();
+  EXPECT_EQ(got, sent);
+}
+
+TEST(NetIoTest, PartialWritesWithTinySendBuffer) {
+  Pair pair;
+  ShrinkBuffers(pair.A());
+  ShrinkBuffers(pair.B());
+  const std::string sent = PatternedBytes(512 * 1024);
+  std::string got(sent.size(), '\0');
+  std::thread reader([&] {
+    // Drain in small sips so the writer keeps hitting a full buffer.
+    size_t off = 0;
+    while (off < got.size()) {
+      size_t chunk = std::min<size_t>(1024, got.size() - off);
+      ASSERT_TRUE(ReadFull(pair.B(), got.data() + off, chunk).ok());
+      off += chunk;
+    }
+  });
+  EXPECT_TRUE(WriteFull(pair.A(), sent.data(), sent.size()).ok());
+  reader.join();
+  EXPECT_EQ(got, sent);
+}
+
+// An empty handler: delivery alone interrupts blocking syscalls (the
+// handler is installed WITHOUT SA_RESTART so EINTR actually surfaces).
+void SigusrHandler(int) {}
+
+TEST(NetIoTest, SurvivesEintrStorm) {
+  struct sigaction sa {};
+  sa.sa_handler = SigusrHandler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: we WANT EINTR
+  struct sigaction old {};
+  ASSERT_EQ(sigaction(SIGUSR1, &sa, &old), 0);
+
+  Pair pair;
+  ShrinkBuffers(pair.A());
+  ShrinkBuffers(pair.B());
+  const std::string sent = PatternedBytes(256 * 1024);
+  std::string got(sent.size(), '\0');
+
+  std::atomic<bool> storm{true};
+  pthread_t writer_thread{};
+  std::atomic<bool> writer_ready{false};
+  std::thread writer([&] {
+    writer_thread = pthread_self();
+    writer_ready.store(true);
+    EXPECT_TRUE(WriteFull(pair.A(), sent.data(), sent.size()).ok());
+  });
+  while (!writer_ready.load()) std::this_thread::yield();
+  std::thread stormer([&] {
+    while (storm.load()) {
+      pthread_kill(writer_thread, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+
+  EXPECT_TRUE(ReadFull(pair.B(), got.data(), got.size()).ok());
+  writer.join();
+  storm.store(false);
+  stormer.join();
+  sigaction(SIGUSR1, &old, nullptr);
+  EXPECT_EQ(got, sent);
+}
+
+TEST(NetIoTest, PeerCloseAtByteZeroIsConnectionClosed) {
+  Pair pair;
+  pair.CloseA();
+  char buf[16];
+  cold::Status st = ReadFull(pair.B(), buf, sizeof(buf));
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_NE(st.message().find("connection closed"), std::string::npos);
+  EXPECT_EQ(st.message().find("mid-transfer"), std::string::npos);
+}
+
+TEST(NetIoTest, PeerCloseMidReadReportsPartialTransfer) {
+  Pair pair;
+  const std::string partial = PatternedBytes(100);
+  ASSERT_TRUE(WriteFull(pair.A(), partial.data(), partial.size()).ok());
+  pair.CloseA();
+  std::string buf(256, '\0');
+  cold::Status st = ReadFull(pair.B(), buf.data(), buf.size());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_NE(st.message().find("mid-transfer"), std::string::npos);
+  EXPECT_NE(st.message().find("100 of 256"), std::string::npos);
+}
+
+TEST(NetIoTest, WriteToClosedPeerIsIOErrorNotSigpipe) {
+  Pair pair;
+  pair.CloseB();
+  const std::string data = PatternedBytes(1024);
+  // Without MSG_NOSIGNAL this would kill the process with SIGPIPE.
+  cold::Status st = WriteFull(pair.A(), data.data(), data.size());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+}
+
+TEST(NetIoTest, RecvTimeoutSurfacesAsDeadlineExceeded) {
+  Pair pair;
+  timeval tv{};
+  tv.tv_usec = 50 * 1000;  // 50ms SO_RCVTIMEO
+  ASSERT_EQ(::setsockopt(pair.B(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)),
+            0);
+  char buf[16];
+  cold::Status st = ReadFull(pair.B(), buf, sizeof(buf));
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(NetIoTest, ReadDeadlineExpiresOnSilence) {
+  Pair pair;
+  char buf[16];
+  const auto start = std::chrono::steady_clock::now();
+  cold::Status st = ReadFullDeadline(pair.B(), buf, sizeof(buf), 100);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(elapsed, 90);
+  EXPECT_LT(elapsed, 5000);
+}
+
+TEST(NetIoTest, ReadDeadlineExpiresMidTransfer) {
+  Pair pair;
+  const std::string partial = PatternedBytes(64);
+  ASSERT_TRUE(WriteFull(pair.A(), partial.data(), partial.size()).ok());
+  std::string buf(256, '\0');
+  // 64 bytes arrive instantly, then silence: the WHOLE-transfer budget
+  // must still expire.
+  cold::Status st = ReadFullDeadline(pair.B(), buf.data(), buf.size(), 100);
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(st.message().find("64 of 256"), std::string::npos);
+}
+
+TEST(NetIoTest, ReadDeadlineDeliversDataArrivingInTime) {
+  Pair pair;
+  const std::string sent = PatternedBytes(1024);
+  std::thread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_TRUE(WriteFull(pair.A(), sent.data(), sent.size()).ok());
+  });
+  std::string got(sent.size(), '\0');
+  EXPECT_TRUE(ReadFullDeadline(pair.B(), got.data(), got.size(), 5000).ok());
+  writer.join();
+  EXPECT_EQ(got, sent);
+}
+
+TEST(NetIoTest, WriteDeadlineExpiresAgainstStalledReader) {
+  Pair pair;
+  ShrinkBuffers(pair.A());
+  ShrinkBuffers(pair.B());
+  // Nobody reads B: the write must wedge on a full buffer, then expire.
+  const std::string data = PatternedBytes(4 * 1024 * 1024);
+  cold::Status st =
+      WriteFullDeadline(pair.A(), data.data(), data.size(), 100);
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(NetIoTest, WriteDeadlineCompletesWhenReaderDrains) {
+  Pair pair;
+  ShrinkBuffers(pair.A());
+  ShrinkBuffers(pair.B());
+  const std::string sent = PatternedBytes(256 * 1024);
+  std::string got(sent.size(), '\0');
+  std::thread reader(
+      [&] { EXPECT_TRUE(ReadFull(pair.B(), got.data(), got.size()).ok()); });
+  EXPECT_TRUE(
+      WriteFullDeadline(pair.A(), sent.data(), sent.size(), 30000).ok());
+  reader.join();
+  EXPECT_EQ(got, sent);
+}
+
+TEST(NetIoTest, NegativeTimeoutMeansBlockForever) {
+  Pair pair;
+  const std::string sent = PatternedBytes(2048);
+  std::thread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_TRUE(
+        WriteFullDeadline(pair.A(), sent.data(), sent.size(), -1).ok());
+  });
+  std::string got(sent.size(), '\0');
+  EXPECT_TRUE(ReadFullDeadline(pair.B(), got.data(), got.size(), -1).ok());
+  writer.join();
+  EXPECT_EQ(got, sent);
+}
+
+TEST(NetIoTest, DeadlineVariantsSeePeerClose) {
+  Pair pair;
+  const std::string partial = PatternedBytes(32);
+  ASSERT_TRUE(WriteFull(pair.A(), partial.data(), partial.size()).ok());
+  pair.CloseA();
+  std::string buf(64, '\0');
+  cold::Status st = ReadFullDeadline(pair.B(), buf.data(), buf.size(), 1000);
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_NE(st.message().find("mid-transfer"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cold

@@ -38,18 +38,38 @@
 // negotiates the newest sweep every node can load. COLD_FAULT_NODE=R
 // restricts COLD_FAULT_POINT to rank R (the node-death drill of
 // tools/distloop_train.sh).
+//
+// Self-healing (DESIGN.md §12): every node heartbeats its peers
+// (--heartbeat-interval-ms) and bounds every receive by a liveness
+// deadline (--heartbeat-timeout-ms; silence means a dead or hung peer)
+// plus a progress deadline (--progress-timeout-ms; heartbeats without
+// data mean a lost frame). With --max-restarts K > 0 in self-fork mode
+// the parent becomes a pure supervisor: ALL ranks run as children, and
+// when any child fails the supervisor kills the stragglers, waits out a
+// jittered exponential backoff, and reforks the whole job with --resume
+// semantics forced on, so it continues from the newest checkpoint sweep
+// common to all ranks — bit-identical to an uninterrupted run. The
+// COLD_NET_FAULT environment variable (e.g. "stall:1:6") arms the
+// network chaos layer used by tools/chaosloop_train.sh; injected faults
+// fire on the first attempt only (a fault spec models one failure event,
+// not a permanently broken network).
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
 #include <optional>
+#include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/checkpoint.h"
@@ -57,6 +77,7 @@
 #include "core/model_io.h"
 #include "data/serialize.h"
 #include "dist/dist_trainer.h"
+#include "dist/net_fault.h"
 #include "dist/transport.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
@@ -73,6 +94,8 @@ int Usage(const char* argv0) {
                "[iterations=150] [--parallel [nodes=4]] [--threads N] "
                "[--partitioner modulo|greedy] [--legacy-counters] "
                "[--nodes N [--node-rank R --coordinator HOST:PORT]] "
+               "[--max-restarts K] [--heartbeat-interval-ms N] "
+               "[--heartbeat-timeout-ms N] [--progress-timeout-ms N] "
                "[--metrics-out FILE] [--trace] [--trace-out FILE] "
                "[--profile] [--profile-out FILE] [--oversubscribe] "
                "[--checkpoint-dir DIR] "
@@ -95,6 +118,16 @@ bool ParsePositiveInt(const char* s, int* out) {
   return true;
 }
 
+/// Like ParsePositiveInt but admits 0 (restart budgets and "disable this
+/// deadline" knobs).
+bool ParseNonNegativeInt(const char* s, int* out) {
+  if (s != nullptr && std::strcmp(s, "0") == 0) {
+    *out = 0;
+    return true;
+  }
+  return ParsePositiveInt(s, out);
+}
+
 struct Args {
   std::string dataset_dir;
   std::string model_out;
@@ -107,6 +140,13 @@ struct Args {
   int dist_nodes = 0;
   int node_rank = -1;
   std::string coordinator;
+  /// Self-fork supervision: > 0 turns the parent into a supervisor that
+  /// restarts the whole job from the newest common checkpoint.
+  int max_restarts = 0;
+  /// Liveness knobs (DistConfig mirrors; 0 timeout disables the layer).
+  int heartbeat_interval_ms = 1000;
+  int heartbeat_timeout_ms = 10000;
+  int progress_timeout_ms = 120000;
   int threads_per_node = 1;
   cold::engine::PartitionerKind partitioner = cold::engine::PartitionerKind::kGreedy;
   bool legacy_counters = false;
@@ -153,6 +193,33 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       }
       ++a;
       args->node_rank = rank;
+    } else if (std::strcmp(arg, "--max-restarts") == 0) {
+      if (a + 1 >= argc ||
+          !ParseNonNegativeInt(argv[++a], &args->max_restarts)) {
+        std::fprintf(stderr, "--max-restarts requires a non-negative int\n");
+        return false;
+      }
+    } else if (std::strcmp(arg, "--heartbeat-interval-ms") == 0) {
+      if (a + 1 >= argc ||
+          !ParsePositiveInt(argv[++a], &args->heartbeat_interval_ms)) {
+        std::fprintf(stderr,
+                     "--heartbeat-interval-ms requires a positive int\n");
+        return false;
+      }
+    } else if (std::strcmp(arg, "--heartbeat-timeout-ms") == 0) {
+      if (a + 1 >= argc ||
+          !ParseNonNegativeInt(argv[++a], &args->heartbeat_timeout_ms)) {
+        std::fprintf(stderr,
+                     "--heartbeat-timeout-ms requires a non-negative int\n");
+        return false;
+      }
+    } else if (std::strcmp(arg, "--progress-timeout-ms") == 0) {
+      if (a + 1 >= argc ||
+          !ParseNonNegativeInt(argv[++a], &args->progress_timeout_ms)) {
+        std::fprintf(stderr,
+                     "--progress-timeout-ms requires a non-negative int\n");
+        return false;
+      }
     } else if (std::strcmp(arg, "--coordinator") == 0) {
       if (a + 1 >= argc) {
         std::fprintf(stderr, "--coordinator requires HOST:PORT\n");
@@ -261,6 +328,13 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   }
   if (args->node_rank >= args->dist_nodes && args->node_rank >= 0) {
     std::fprintf(stderr, "--node-rank must be < --nodes\n");
+    return false;
+  }
+  if (args->max_restarts > 0 &&
+      (args->dist_nodes < 2 || !args->coordinator.empty())) {
+    std::fprintf(stderr,
+                 "--max-restarts requires a self-forked cluster "
+                 "(--nodes N >= 2 without --coordinator)\n");
     return false;
   }
   args->dataset_dir = positional[0];
@@ -459,8 +533,14 @@ bool SetupDistTransports(
         return false;
       }
     }
+    // Bound the accept wait: a worker that dies before connecting must
+    // not hang the coordinator forever.
+    const int accept_timeout_ms =
+        args.heartbeat_timeout_ms > 0
+            ? std::max(args.heartbeat_timeout_ms, 10000)
+            : -1;
     for (int r = 1; r < n; ++r) {
-      auto accepted = listener.Accept();
+      auto accepted = listener.Accept(accept_timeout_ms);
       if (!accepted.ok()) {
         std::fprintf(stderr, "dist: %s\n",
                      accepted.status().ToString().c_str());
@@ -480,24 +560,21 @@ bool SetupDistTransports(
   return true;
 }
 
-/// The --nodes execution path: returns the process exit code. Workers and
-/// the coordinator all train; only rank 0 writes the model/metrics and, in
-/// self-fork mode, reaps the workers into the job's exit code.
-int RunDistributed(const Args& args, const cold::core::ColdConfig& config,
-                   const cold::data::SocialDataset& dataset) {
+/// \brief Trains this process's rank to completion and returns its exit
+/// code. Only rank 0 writes the model/metrics. `force_resume` is the
+/// supervisor's restart path: resume semantics on regardless of --resume.
+int RunDistNode(const Args& args, const cold::core::ColdConfig& config,
+                const cold::data::SocialDataset& dataset, int rank,
+                std::vector<std::unique_ptr<cold::dist::Transport>> peers,
+                bool force_resume) {
   using namespace cold;
-  int rank = 0;
-  std::vector<std::unique_ptr<dist::Transport>> peers;
-  std::vector<pid_t> children;
-  if (!SetupDistTransports(args, &rank, &peers, &children)) return 1;
 
-  // COLD_FAULT_NODE confines the armed fault point to one rank (the
-  // kill-one-node drill); every other rank disarms.
-  if (const char* fault_node = std::getenv("COLD_FAULT_NODE")) {
-    if (std::to_string(rank) != fault_node) {
-      FaultInjector::Global().Disarm();
-    }
-  }
+  // Narrow the armed fault entries to this rank (unscoped entries honor
+  // the legacy COLD_FAULT_NODE narrowing), and arm the network chaos
+  // layer from COLD_NET_FAULT.
+  FaultInjector::Global().SetNodeRank(rank);
+  dist::NetFaultInjector::Global().ConfigureFromEnv();
+  dist::NetFaultInjector::Global().SetNodeRank(rank);
 
   dist::DistConfig dc;
   dc.num_nodes = args.dist_nodes;
@@ -513,7 +590,10 @@ int RunDistributed(const Args& args, const cold::core::ColdConfig& config,
     dc.checkpoint.every = args.checkpoint_every;
     dc.checkpoint.keep_last = args.checkpoint_keep;
   }
-  dc.resume = args.resume;
+  dc.resume = args.resume || force_resume;
+  dc.heartbeat_interval_ms = args.heartbeat_interval_ms;
+  dc.heartbeat_timeout_ms = args.heartbeat_timeout_ms;
+  dc.progress_timeout_ms = args.progress_timeout_ms;
 
   dist::DistTrainer trainer(dc, dataset.posts, &dataset.interactions);
   MetricsSeries series;
@@ -556,9 +636,193 @@ int RunDistributed(const Args& args, const cold::core::ColdConfig& config,
                   estimates.K, estimates.T, estimates.V);
     }
   }
+  return exit_code;
+}
 
-  // Reap self-forked workers; any failed or killed worker fails the job
-  // (the operator restarts it with --resume).
+/// \brief Self-healing self-fork mode (--max-restarts > 0): the parent is
+/// a pure supervisor — ALL ranks run as children over a loopback port the
+/// supervisor holds open across attempts. When any child fails, the
+/// stragglers (including a SIGSTOPped hung rank) are SIGKILLed, the
+/// supervisor backs off with jitter, and the whole job is reforked with
+/// resume forced on, continuing from the newest checkpoint sweep common
+/// to all ranks. The restart is bit-identical to an uninterrupted run.
+int RunSupervised(const Args& args, const cold::core::ColdConfig& config,
+                  const cold::data::SocialDataset& dataset) {
+  using cold::dist::TcpConnect;
+  using cold::dist::TcpListener;
+  using cold::dist::Transport;
+  const int n = args.dist_nodes;
+
+  TcpListener listener;
+  if (auto st = listener.Listen(0); !st.ok()) {
+    std::fprintf(stderr, "dist: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const uint16_t port = listener.port();
+  // Bound the coordinator's accept wait: a worker that dies before
+  // connecting must not hang the whole attempt.
+  const int accept_timeout_ms =
+      args.heartbeat_timeout_ms > 0
+          ? std::max(args.heartbeat_timeout_ms, 10000)
+          : -1;
+  std::minstd_rand rng(
+      static_cast<uint32_t>(::getpid()) * 2654435761u ^
+      static_cast<uint32_t>(std::chrono::steady_clock::now()
+                                .time_since_epoch()
+                                .count()));
+
+  for (int attempt = 0;; ++attempt) {
+    std::fflush(nullptr);
+    std::vector<pid_t> children;
+    bool fork_failed = false;
+    for (int r = 0; r < n; ++r) {
+      pid_t pid = ::fork();
+      if (pid < 0) {
+        std::perror("fork");
+        fork_failed = true;
+        break;
+      }
+      if (pid == 0) {
+        // An injected fault models ONE failure event: recovery attempts
+        // run with both chaos layers disarmed, otherwise a fault whose
+        // sweep is revisited after resume would refire forever.
+        if (attempt > 0) {
+          ::unsetenv("COLD_FAULT_POINT");
+          ::unsetenv("COLD_NET_FAULT");
+          cold::FaultInjector::Global().Disarm();
+          cold::dist::NetFaultInjector::Global().Disarm();
+        }
+        std::vector<std::unique_ptr<Transport>> peers;
+        int code = 1;
+        if (r == 0) {
+          bool ok = true;
+          for (int i = 1; i < n; ++i) {
+            auto accepted = listener.Accept(accept_timeout_ms);
+            if (!accepted.ok()) {
+              std::fprintf(stderr, "dist: %s\n",
+                           accepted.status().ToString().c_str());
+              ok = false;
+              break;
+            }
+            peers.push_back(std::move(accepted).ValueOrDie());
+          }
+          if (ok) {
+            code = RunDistNode(args, config, dataset, 0, std::move(peers),
+                               /*force_resume=*/attempt > 0);
+          }
+        } else {
+          listener.Close();
+          auto connected = TcpConnect("127.0.0.1", port);
+          if (!connected.ok()) {
+            std::fprintf(stderr, "dist: %s\n",
+                         connected.status().ToString().c_str());
+          } else {
+            peers.push_back(std::move(connected).ValueOrDie());
+            code = RunDistNode(args, config, dataset, r, std::move(peers),
+                               /*force_resume=*/attempt > 0);
+          }
+        }
+        std::fflush(nullptr);
+        ::_exit(code);
+      }
+      children.push_back(pid);
+    }
+
+    // Reap the attempt. The first failed child condemns the rest:
+    // survivors are already aborting on their own (kAbort broadcast or
+    // liveness deadline), but a SIGSTOPped hung rank never would, so
+    // everything still running is SIGKILLed. Checkpoint writes are
+    // atomic (tmp + rename), so a kill can never tear one.
+    bool all_ok = !fork_failed;
+    bool condemned = fork_failed;
+    std::vector<bool> reaped(children.size(), false);
+    if (condemned) {
+      for (pid_t pid : children) ::kill(pid, SIGKILL);
+    }
+    size_t live = children.size();
+    while (live > 0) {
+      int wstatus = 0;
+      pid_t pid = ::waitpid(-1, &wstatus, 0);
+      if (pid < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      size_t idx = children.size();
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (!reaped[i] && children[i] == pid) idx = i;
+      }
+      if (idx == children.size()) continue;
+      reaped[idx] = true;
+      --live;
+      if (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0) {
+        all_ok = false;
+        if (!condemned) {
+          condemned = true;
+          for (size_t i = 0; i < children.size(); ++i) {
+            if (!reaped[i]) ::kill(children[i], SIGKILL);
+          }
+        }
+      }
+    }
+
+    if (all_ok) {
+      if (attempt > 0) {
+        std::printf("dist: job recovered after %d restart(s)\n", attempt);
+      }
+      return 0;
+    }
+    if (attempt >= args.max_restarts) {
+      std::fprintf(stderr, "dist: restart budget of %d exhausted\n",
+                   args.max_restarts);
+      return 1;
+    }
+
+    // Jittered exponential backoff so restart storms cannot synchronize;
+    // then re-bind the same port to flush any stale half-open connections
+    // out of the listen backlog before the next attempt.
+    const int ceiling_ms = 200 << std::min(attempt, 5);
+    const int sleep_ms =
+        ceiling_ms / 2 +
+        static_cast<int>(rng() % static_cast<uint32_t>(ceiling_ms / 2 + 1));
+    std::fprintf(stderr,
+                 "dist: attempt %d failed; restarting from the newest "
+                 "common checkpoint in %dms (restart %d of %d)\n",
+                 attempt + 1, sleep_ms, attempt + 1, args.max_restarts);
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    listener.Close();
+    cold::Status rebind = cold::Status::OK();
+    for (int tries = 0; tries < 50; ++tries) {
+      rebind = listener.Listen(port);
+      if (rebind.ok()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    if (!rebind.ok()) {
+      std::fprintf(stderr, "dist: cannot re-bind port %u: %s\n",
+                   static_cast<unsigned>(port), rebind.ToString().c_str());
+      return 1;
+    }
+  }
+}
+
+/// The --nodes execution path: returns the process exit code. With
+/// --max-restarts > 0 (self-fork mode) the parent supervises and restarts
+/// the job; otherwise the legacy fail-stop layout runs — the parent IS
+/// rank 0, workers are its children, and any failure fails the whole job
+/// (the operator restarts it with --resume).
+int RunDistributed(const Args& args, const cold::core::ColdConfig& config,
+                   const cold::data::SocialDataset& dataset) {
+  using namespace cold;
+  if (args.max_restarts > 0) return RunSupervised(args, config, dataset);
+
+  int rank = 0;
+  std::vector<std::unique_ptr<dist::Transport>> peers;
+  std::vector<pid_t> children;
+  if (!SetupDistTransports(args, &rank, &peers, &children)) return 1;
+
+  int exit_code = RunDistNode(args, config, dataset, rank, std::move(peers),
+                              /*force_resume=*/false);
+
+  // Reap self-forked workers; any failed or killed worker fails the job.
   for (pid_t pid : children) {
     int wstatus = 0;
     if (::waitpid(pid, &wstatus, 0) < 0 || !WIFEXITED(wstatus) ||
