@@ -1,0 +1,62 @@
+#include "core/alias_table.h"
+
+#include <cmath>
+
+namespace cold::core {
+
+void AliasTable::Build(std::span<const double> weights) {
+  const size_t n = weights.size();
+  accept_.assign(n, 1.0);
+  alias_.resize(n);
+  prob_.resize(n);
+  log_prob_.resize(n);
+  for (size_t i = 0; i < n; ++i) alias_[i] = static_cast<int32_t>(i);
+  if (n == 0) return;
+
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (!(total > 0.0) || !std::isfinite(total)) {
+    const double p = 1.0 / static_cast<double>(n);
+    const double lp = -std::log(static_cast<double>(n));
+    for (size_t i = 0; i < n; ++i) {
+      prob_[i] = p;
+      log_prob_[i] = lp;
+    }
+    return;
+  }
+
+  scaled_.resize(n);
+  small_.clear();
+  large_.clear();
+  const double dn = static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    prob_[i] = weights[i] / total;
+    log_prob_[i] = std::log(prob_[i]);
+    scaled_[i] = prob_[i] * dn;
+    if (scaled_[i] < 1.0) {
+      small_.push_back(static_cast<int32_t>(i));
+    } else {
+      large_.push_back(static_cast<int32_t>(i));
+    }
+  }
+
+  // Vose pairing. Stacks were filled in ascending index order and are
+  // drained LIFO, so the pairing — and therefore every Sample() outcome
+  // for a given RNG state — is a deterministic function of the weights.
+  while (!small_.empty() && !large_.empty()) {
+    const int32_t s = small_.back();
+    small_.pop_back();
+    const int32_t l = large_.back();
+    accept_[static_cast<size_t>(s)] = scaled_[static_cast<size_t>(s)];
+    alias_[static_cast<size_t>(s)] = l;
+    scaled_[static_cast<size_t>(l)] -= 1.0 - scaled_[static_cast<size_t>(s)];
+    if (scaled_[static_cast<size_t>(l)] < 1.0) {
+      large_.pop_back();
+      small_.push_back(l);
+    }
+  }
+  // Leftovers (FP residue near 1.0) keep the accept_ = 1.0 / self-alias
+  // defaults set above.
+}
+
+}  // namespace cold::core

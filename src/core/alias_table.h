@@ -1,0 +1,62 @@
+// Walker/Vose alias tables: O(n) build, O(1) categorical draws.
+//
+// The sparse topic kernel (sparse_topic_kernel.h) serves the slowly-changing
+// dense prior mass of Eq. (3) from one alias table per (community, time)
+// cell, so a proposal draw costs two RNG calls instead of an O(K) CDF scan.
+// Construction is fully deterministic (stacks filled and drained in index
+// order), and Sample() consumes exactly two RNG draws regardless of the
+// outcome — both properties the trainers' bit-identical-replay guarantees
+// rely on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cold::core {
+
+/// \brief Alias-method sampler over a fixed weight vector.
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// \brief (Re)builds the table from non-negative unnormalized weights.
+  /// A degenerate vector (all-zero or non-finite total) builds the uniform
+  /// distribution. Reuses internal storage across rebuilds.
+  void Build(std::span<const double> weights);
+
+  /// \brief Draws an index in [0, size()). Consumes exactly two RNG draws
+  /// (one UniformInt, one Uniform) on every call.
+  int Sample(RandomSampler& rng) const {
+    const uint32_t i =
+        rng.UniformInt(static_cast<uint32_t>(accept_.size()));
+    const double u = rng.Uniform();
+    return u < accept_[i] ? static_cast<int>(i) : alias_[i];
+  }
+
+  /// Normalized probability of index `i` under the built weights.
+  double Probability(int i) const { return prob_[static_cast<size_t>(i)]; }
+
+  /// log(Probability(i)); -inf for zero-weight entries. Precomputed at
+  /// Build() so the MH accept ratio reads it instead of calling std::log.
+  double LogProbability(int i) const {
+    return log_prob_[static_cast<size_t>(i)];
+  }
+
+  size_t size() const { return accept_.size(); }
+  bool empty() const { return accept_.empty(); }
+
+ private:
+  std::vector<double> accept_;  // acceptance threshold per bucket
+  std::vector<int32_t> alias_;  // fallback index per bucket
+  std::vector<double> prob_;    // normalized weights
+  std::vector<double> log_prob_;
+  // Build() scratch, kept to avoid per-rebuild allocation.
+  std::vector<double> scaled_;
+  std::vector<int32_t> small_;
+  std::vector<int32_t> large_;
+};
+
+}  // namespace cold::core

@@ -503,6 +503,12 @@ cold::Status ColdGibbsSampler::RestoreState(const std::string& payload) {
   lambda0_ = lambda0;
   // The derived-value caches are functions of the counters just swapped in.
   RebuildDerivedTables();
+  // Alias tables are derived state too — never serialized. Invalidating
+  // the whole bank here, combined with the sweep-start invalidation in
+  // RunIteration(), makes resume bit-identical on the sparse path: rows
+  // rebuild lazily from the restored counters exactly as they would in an
+  // uninterrupted run.
+  if (sparse_active_) alias_bank_.InvalidateAll();
   accumulated_ = std::move(accumulated);
   num_accumulated_ = num_accumulated;
   iterations_run_ = iterations_run;

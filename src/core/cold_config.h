@@ -18,6 +18,20 @@ enum class LinkSampling {
   kAlternating,
 };
 
+/// \brief How the per-post topic indicator z is drawn in Eq. (3).
+enum class TopicSampling {
+  /// Dense below 32 topics, sparse at or above (where the O(K) scan starts
+  /// to dominate and the alias+MH machinery pays for itself).
+  kAuto,
+  /// Exact O(K * length) scan over every topic (the PR-4 lgamma-collapsed
+  /// kernel).
+  kDense,
+  /// Alias-table proposal from the prior mass plus Metropolis-Hastings
+  /// correction — amortized O(length) per draw, same stationary
+  /// distribution (sparse_topic_kernel.h).
+  kSparse,
+};
+
 /// \brief Full configuration for COLD training.
 ///
 /// Defaults follow §6.5: rho = 50/C, alpha = 50/K, beta = epsilon = 0.01,
@@ -66,6 +80,47 @@ struct ColdConfig {
   int vocab_size = 0;
 
   LinkSampling link_sampling = LinkSampling::kAuto;
+
+  TopicSampling topic_sampling = TopicSampling::kAuto;
+
+  /// Metropolis-Hastings proposals per topic draw on the sparse path.
+  /// Exactness holds for any value >= 1; more steps mix faster per sweep
+  /// at proportionally higher cost.
+  int sparse_mh_steps = 2;
+
+  /// Count changes a community absorbs before its alias rows are marked
+  /// stale and lazily rebuilt; <= 0 derives max(64, 4K). Affects proposal
+  /// quality only, never correctness (the MH step is exact under any
+  /// staleness).
+  int sparse_rebuild_budget = 0;
+
+  /// Fully rebuild the incrementally-refreshed derived log caches every N
+  /// sweeps as drift insurance (each entry is also recomputed exactly on
+  /// every touch, so the rebuild is bit-neutral when no drift exists);
+  /// <= 0 means every 256 sweeps, and the debug build additionally
+  /// asserts the caches match an exact recompute each rebuild.
+  int derived_rebuild_every = 0;
+
+  /// Resolved sparse-path switch: explicit setting, or the kAuto K
+  /// threshold.
+  bool UseSparseTopicSampling() const {
+    switch (topic_sampling) {
+      case TopicSampling::kDense:
+        return false;
+      case TopicSampling::kSparse:
+        return true;
+      case TopicSampling::kAuto:
+        return num_topics >= 32;
+    }
+    return false;
+  }
+  int ResolvedSparseRebuildBudget() const {
+    if (sparse_rebuild_budget > 0) return sparse_rebuild_budget;
+    return num_topics * 4 > 64 ? num_topics * 4 : 64;
+  }
+  int ResolvedDerivedRebuildEvery() const {
+    return derived_rebuild_every > 0 ? derived_rebuild_every : 256;
+  }
 
   /// When true (default), the eta point estimate divides the block's link
   /// count by its expected pair exposure S_c * S_c' (S_c = sum_i pi_ic)

@@ -1,6 +1,7 @@
 #include "core/gibbs_sampler.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 #include "obs/metrics.h"
@@ -115,6 +116,22 @@ cold::Status ColdGibbsSampler::Init() {
   link_src_weights_.resize(static_cast<size_t>(C));
   link_dst_weights_.resize(static_cast<size_t>(C));
 
+  // Sparse topic path setup (before the init sweep so the add/remove
+  // hooks can bump the alias staleness counters). The lgamma table must
+  // cover the largest argument the length term can see: n_k (bounded by
+  // the corpus token count) plus one post length.
+  sparse_active_ = config_.UseSparseTopicSampling();
+  if (sparse_active_) {
+    alias_bank_.Reset(C, posts_.num_time_slices(), K,
+                      config_.ResolvedSparseRebuildBudget());
+    alias_weights_.resize(static_cast<size_t>(K));
+    int max_len = 0;
+    for (text::PostId d = 0; d < posts_.num_posts(); ++d) {
+      max_len = std::max(max_len, posts_.length(d));
+    }
+    lgamma_len_.Build(vocab * config_.beta, posts_.num_tokens() + max_len);
+  }
+
   // Random initialization, counters built incrementally.
   for (text::PostId d = 0; d < posts_.num_posts(); ++d) {
     state_->post_community[static_cast<size_t>(d)] =
@@ -215,6 +232,51 @@ void ColdGibbsSampler::RefreshLinkDerived(int c, int c2) {
       (n + config_.lambda1) / (n + lambda0_ + config_.lambda1);
 }
 
+double ColdGibbsSampler::MaxDerivedTableDrift() const {
+  if (log_nck_alpha_.empty()) return 0.0;
+  const int C = config_.num_communities;
+  const int K = config_.num_topics;
+  const int T = posts_.num_time_slices();
+  const int V = state_->V();
+  const double alpha = config_.ResolvedAlpha();
+  const double epsilon = config_.epsilon;
+  const double beta = config_.beta;
+  const double teps = T * epsilon;
+  const double vbeta = V * beta;
+
+  double drift = 0.0;
+  auto probe = [&drift](double cached, double exact) {
+    drift = std::max(drift, std::abs(cached - exact));
+  };
+  for (int c = 0; c < C; ++c) {
+    for (int k = 0; k < K; ++k) {
+      const size_t ck = static_cast<size_t>(c) * K + k;
+      probe(log_nck_alpha_[ck], std::log(state_->n_ck(c, k) + alpha));
+      probe(log_nck_teps_[ck], std::log(state_->n_ck(c, k) + teps));
+      for (int t = 0; t < T; ++t) {
+        probe(log_nckt_eps_[ck * T + t],
+              std::log(state_->n_ckt(c, k, t) + epsilon));
+      }
+    }
+  }
+  for (int k = 0; k < K; ++k) {
+    for (int v = 0; v < V; ++v) {
+      probe(log_nkv_beta_[static_cast<size_t>(k) * V + v],
+            std::log(state_->n_kv(k, v) + beta));
+    }
+    probe(lgamma_nk_vbeta_[static_cast<size_t>(k)],
+          cold::LGamma(state_->n_k(k) + vbeta));
+  }
+  for (int c = 0; c < C; ++c) {
+    for (int c2 = 0; c2 < C; ++c2) {
+      const double n = state_->n_cc(c, c2);
+      probe(w_link_[static_cast<size_t>(c) * C + c2],
+            (n + config_.lambda1) / (n + lambda0_ + config_.lambda1));
+    }
+  }
+  return drift;
+}
+
 void ColdGibbsSampler::RemovePost(text::PostId d) {
   int c = state_->post_community[static_cast<size_t>(d)];
   int k = state_->post_topic[static_cast<size_t>(d)];
@@ -227,6 +289,7 @@ void ColdGibbsSampler::RemovePost(text::PostId d) {
   for (text::WordId w : posts_.words(d)) state_->n_kv(k, w)--;
   state_->n_k(k) -= posts_.length(d);
   RefreshPostDerived(c, k, posts_.time(d), posts_.words(d));
+  if (sparse_active_) alias_bank_.NoteCommunityUpdate(c);
 }
 
 void ColdGibbsSampler::AddPost(text::PostId d) {
@@ -241,6 +304,7 @@ void ColdGibbsSampler::AddPost(text::PostId d) {
   for (text::WordId w : posts_.words(d)) state_->n_kv(k, w)++;
   state_->n_k(k) += posts_.length(d);
   RefreshPostDerived(c, k, posts_.time(d), posts_.words(d));
+  if (sparse_active_) alias_bank_.NoteCommunityUpdate(c);
 }
 
 void ColdGibbsSampler::SamplePostCommunity(text::PostId d) {
@@ -277,7 +341,10 @@ void ColdGibbsSampler::TopicLogWeights(text::PostId d, int community,
   const int t = posts_.time(d);
   const int len = posts_.length(d);
 
-  posts_.WordCounts(d, &word_counts_);
+  // Distinct (word, count) pairs are precomputed at PostStore::Finalize()
+  // — posts are immutable, so the old per-call O(len^2) dedup was pure
+  // overhead on the hot path.
+  const auto word_pairs = posts_.word_pairs(d);
 
   // Eq. (3) in log space: the n_c denominator is constant across k and
   // dropped. The per-token ascending-factorial loops of the reference
@@ -292,7 +359,7 @@ void ColdGibbsSampler::TopicLogWeights(text::PostId d, int community,
     const size_t ck = ck0 + k;
     double lw = log_nck_alpha_[ck] + log_nckt_eps_[ck * T + t] -
                 log_nck_teps_[ck];
-    for (const auto& [w, cnt] : word_counts_) {
+    for (const auto& [w, cnt] : word_pairs) {
       if (cnt == 1) {
         lw += log_nkv_beta_[static_cast<size_t>(k) * V + w];
       } else {
@@ -306,7 +373,73 @@ void ColdGibbsSampler::TopicLogWeights(text::PostId d, int community,
   }
 }
 
+double ColdGibbsSampler::TopicLogWeightOne(text::PostId d, int community,
+                                           int k) const {
+  const int K = config_.num_topics;
+  const int T = posts_.num_time_slices();
+  const int V = state_->V();
+  const double beta = config_.beta;
+  const int t = posts_.time(d);
+  const size_t ck = static_cast<size_t>(community) * K + k;
+
+  // Same cached-log reads as the dense kernel, for one topic only: the MH
+  // accept step needs exact log-weights at just the current and proposed
+  // topics, so the per-draw cost is O(post length) instead of
+  // O(K * length).
+  double lw = log_nck_alpha_[ck] + log_nckt_eps_[ck * T + t] -
+              log_nck_teps_[ck];
+  for (const auto& [w, cnt] : posts_.word_pairs(d)) {
+    if (cnt == 1) {
+      lw += log_nkv_beta_[static_cast<size_t>(k) * V + w];
+    } else {
+      lw += cold::LogAscendingFactorial(state_->n_kv(k, w) + beta, cnt);
+    }
+  }
+  // Length term via the integer-indexed lgamma table when built (two table
+  // reads); otherwise the dense kernel's cached-base lgamma pair.
+  if (lgamma_len_.built()) {
+    lw -= lgamma_len_.LogAscFactorial(state_->n_k(k), posts_.length(d));
+  } else {
+    lw -= cold::LogAscendingFactorial(
+        state_->n_k(k) + V * beta, posts_.length(d),
+        lgamma_nk_vbeta_[static_cast<size_t>(k)]);
+  }
+  return lw;
+}
+
+void ColdGibbsSampler::FillTopicPriorWeights(int c, int t,
+                                             std::vector<double>* weights) {
+  const int K = config_.num_topics;
+  const int T = posts_.num_time_slices();
+  const double alpha = config_.ResolvedAlpha();
+  const double epsilon = config_.epsilon;
+  const double teps = T * epsilon;
+  weights->resize(static_cast<size_t>(K));
+  for (int k = 0; k < K; ++k) {
+    const double nck = state_->n_ck(c, k);
+    (*weights)[static_cast<size_t>(k)] =
+        (nck + alpha) * (state_->n_ckt(c, k, t) + epsilon) / (nck + teps);
+  }
+}
+
+void ColdGibbsSampler::SamplePostTopicSparse(text::PostId d) {
+  const int c = state_->post_community[static_cast<size_t>(d)];
+  const int t = posts_.time(d);
+  if (alias_bank_.RowDirty(c, t)) {
+    FillTopicPriorWeights(c, t, &alias_weights_);
+    alias_bank_.RebuildRow(c, t, alias_weights_);
+  }
+  const int k0 = state_->post_topic[static_cast<size_t>(d)];
+  state_->post_topic[static_cast<size_t>(d)] = static_cast<int32_t>(
+      MhTopicDraw(alias_bank_.Row(c, t), k0, config_.sparse_mh_steps,
+                  sampler_, [&](int k) { return TopicLogWeightOne(d, c, k); }));
+}
+
 void ColdGibbsSampler::SamplePostTopic(text::PostId d) {
+  if (sparse_active_) {
+    SamplePostTopicSparse(d);
+    return;
+  }
   const int c = state_->post_community[static_cast<size_t>(d)];
   TopicLogWeights(d, c, log_weights_k_);
   state_->post_topic[static_cast<size_t>(d)] =
@@ -411,6 +544,19 @@ void ColdGibbsSampler::SampleLinkAlternating(graph::EdgeId e) {
 
 void ColdGibbsSampler::RunIteration() {
   COLD_TRACE_SPAN("gibbs/sweep");
+  // Drift insurance for the incrementally-refreshed caches: every entry is
+  // a pure function of one counter, so the rebuild is bit-neutral when the
+  // increments are correct — the debug build proves that each time.
+  if (iterations_run_ > 0 &&
+      iterations_run_ % config_.ResolvedDerivedRebuildEvery() == 0) {
+    assert(MaxDerivedTableDrift() == 0.0);
+    RebuildDerivedTables();
+  }
+  // Start every sweep from a fully-invalidated alias bank so the sampler
+  // state at sweep boundaries — where checkpoints are taken — never
+  // depends on staleness carried across sweeps; restore-then-sweep is
+  // therefore bit-identical to an uninterrupted run.
+  if (sparse_active_) alias_bank_.InvalidateAll();
   double post_seconds = 0.0, link_seconds = 0.0;
   int64_t tokens = 0;
   int64_t switched_c = 0, switched_k = 0;

@@ -16,6 +16,7 @@
 #include "core/cold_config.h"
 #include "core/cold_estimates.h"
 #include "core/cold_state.h"
+#include "core/sparse_topic_kernel.h"
 #include "graph/digraph.h"
 #include "text/post_store.h"
 #include "util/rng.h"
@@ -74,6 +75,24 @@ class ColdGibbsSampler {
   void TopicLogWeights(text::PostId d, int community,
                        std::span<double> log_weights) const;
 
+  /// \brief Eq. (3)'s unnormalized log-weight for a *single* topic `k` —
+  /// the O(post length) evaluator the sparse MH accept step uses (the
+  /// dense kernel above is O(K * length) for the full row). Exposed so the
+  /// property tests can pin it against TopicLogWeights to 1e-9. Requires
+  /// Init(); valid whether or not the sparse path is active.
+  double TopicLogWeightOne(text::PostId d, int community, int k) const;
+
+  /// \brief Whether topic draws use the sparse alias+MH path (resolved
+  /// from config at Init()).
+  bool sparse_topic_sampling() const { return sparse_active_; }
+
+  /// \brief Max absolute difference between the incrementally-refreshed
+  /// derived log caches and an exact from-counters recompute. Exactly 0.0
+  /// when the caches are consistent (each refresh evaluates the same
+  /// expression a rebuild would); the debug build asserts this at every
+  /// periodic rebuild, and tests probe it directly.
+  double MaxDerivedTableDrift() const;
+
   /// \brief Point estimates from the *current* sample (Appendix A).
   ColdEstimates EstimatesFromCurrentSample() const;
 
@@ -96,6 +115,10 @@ class ColdGibbsSampler {
   void SamplePost(text::PostId d);
   void SamplePostCommunity(text::PostId d);
   void SamplePostTopic(text::PostId d);
+  void SamplePostTopicSparse(text::PostId d);
+  /// Fills scratch with the Eq. (3) prior mass
+  /// (n_ck+α)(n_ckt+ε)/(n_ck+Tε) for all k — the alias proposal weights.
+  void FillTopicPriorWeights(int c, int t, std::vector<double>* weights);
   void SampleLinkJoint(graph::EdgeId e);
   void SampleLinkAlternating(graph::EdgeId e);
 
@@ -130,7 +153,6 @@ class ColdGibbsSampler {
   std::vector<double> weights_joint_;
   std::vector<double> link_src_weights_;
   std::vector<double> link_dst_weights_;
-  mutable std::vector<std::pair<text::WordId, int>> word_counts_;
 
   // Per-sweep derived-value caches, refreshed incrementally as counters
   // change so the hot kernels read precomputed logs instead of calling
@@ -142,6 +164,18 @@ class ColdGibbsSampler {
   std::vector<double> log_nkv_beta_;     // K*V: log(n_kv + beta)
   std::vector<double> lgamma_nk_vbeta_;  // K: lgamma(n_k + V*beta)
   std::vector<double> w_link_;  // C*C: (n_cc+l1)/(n_cc+l0+l1), Eq. 2
+
+  // Sparse topic path (sparse_topic_kernel.h): per-(c, t) alias proposals
+  // over the prior mass, the integer-indexed lgamma table that makes the
+  // single-topic MH evaluation O(post length), and its weight scratch.
+  // All of it is derived state — rebuilt deterministically from counters,
+  // never serialized — and the bank is invalidated wholesale at every
+  // sweep start so sweep-boundary state (where checkpoints land) is
+  // independent of staleness carried within a sweep.
+  bool sparse_active_ = false;
+  TopicAliasBank alias_bank_;
+  LGammaTable lgamma_len_;
+  std::vector<double> alias_weights_;
 
   std::unique_ptr<ColdEstimates> accumulated_;
   int num_accumulated_ = 0;

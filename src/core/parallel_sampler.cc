@@ -4,11 +4,13 @@
 #include <cmath>
 
 #include "core/gibbs_sampler.h"
+#include "core/sparse_topic_kernel.h"
 #include "engine/partitioner.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/fault_injector.h"
 #include "util/math_util.h"
+#include "util/simd.h"
 #include "util/stopwatch.h"
 
 namespace cold::core {
@@ -85,6 +87,17 @@ class ColdVertexProgram {
     if (use_network_) {
       w_link_.resize(C * C);
       w_link_in_.resize(C * C);
+    }
+    // Sparse topic path: alias rows live only within a superstep (rebuilt
+    // eagerly from the frozen counters in PreScatter, so their content is
+    // independent of worker count), and the integer-indexed lgamma table
+    // serves the single-topic MH evaluations.
+    sparse_ = config.UseSparseTopicSampling();
+    if (sparse_) {
+      sparse_mh_steps_ = config.sparse_mh_steps;
+      alias_bank_.Reset(static_cast<int>(C), static_cast<int>(T),
+                        static_cast<int>(K), /*rebuild_budget=*/1);
+      lgamma_tab_.Build(vbeta_, posts.num_tokens() + max_post_len_);
     }
   }
 
@@ -244,7 +257,6 @@ class ColdVertexProgram {
   struct Scratch {
     std::vector<double> weights_c;
     std::vector<double> log_weights_k;
-    std::vector<std::pair<text::WordId, int>> word_counts;
     /// Negative-count clamps observed by this worker since the last flush
     /// (PostScatter). Kept worker-local so the hot path never touches a
     /// shared counter.
@@ -338,6 +350,27 @@ class ColdVertexProgram {
         }
       }
     }
+    // Sparse path: rebuild every (c, t) alias row from the same frozen
+    // counters. Rows are independent, so the rebuild parallelizes freely
+    // and the result is identical at any worker count.
+    if (sparse_) {
+      pool->ParallelFor(
+          static_cast<size_t>(C) * static_cast<size_t>(T),
+          [this, T, K, epsilon](size_t begin, size_t end, size_t) {
+            std::vector<double> wts(static_cast<size_t>(K));
+            for (size_t r = begin; r < end; ++r) {
+              const int c = static_cast<int>(r / static_cast<size_t>(T));
+              const int t = static_cast<int>(r % static_cast<size_t>(T));
+              for (int k = 0; k < K; ++k) {
+                const double nck = state_->r_n_ck(c, k);
+                wts[static_cast<size_t>(k)] =
+                    (nck + alpha_) *
+                    (state_->r_n_ckt(c, k, t) + epsilon) / (nck + teps_);
+              }
+              alias_bank_.RebuildRow(c, t, wts);
+            }
+          });
+    }
   }
 
   // Eq. (1) with own-contribution exclusion against shared counters.
@@ -391,7 +424,7 @@ class ColdVertexProgram {
     const int t = posts_.time(d);
     const int len = posts_.length(d);
 
-    posts_.WordCounts(d, &scratch->word_counts);
+    const auto word_pairs = posts_.word_pairs(d);
 
     // Same lgamma-collapsed form as the serial TopicLogWeights; here the
     // counters are shared atomics so the log terms are computed live, but
@@ -402,7 +435,7 @@ class ColdVertexProgram {
       double n_ckt = ClampNonNeg(state_->r_n_ckt(c, k, t) - own, scratch);
       double lw = std::log(n_ck + alpha_) +
                   std::log((n_ckt + epsilon) / (n_ck + teps_));
-      for (const auto& [w, cnt] : scratch->word_counts) {
+      for (const auto& [w, cnt] : word_pairs) {
         double base =
             ClampNonNeg(state_->r_n_kv(k, w) - own * cnt, scratch) + beta;
         lw += cold::LogAscendingFactorial(base, cnt);
@@ -529,35 +562,13 @@ class ColdVertexProgram {
     }
 
     // --- topic draw, Eq. (3), conditioned on the fresh community ---
-    // All topics take the cached path first — every read below is a
-    // contiguous K-row — then k0 is overwritten with the live own-excluded
-    // value. (The frozen (c, k) cell contains this post only when the
-    // community draw kept c0; the frozen word/length counts contain it at
-    // k0 always.)
-    posts_.WordCounts(d, &scratch->word_counts);
-    double* lw = scratch->log_weights_k.data();
-    {
-      const double* topic_row = &topic_ck_[static_cast<size_t>(c1) * K];
-      const double* nckt_row =
-          &log_nckt_eps_[(static_cast<size_t>(c1) * T + t) * K];
-      const double* denom_row = &denom_[static_cast<size_t>(len) * K];
-      for (int k = 0; k < K; ++k) {
-        lw[k] = topic_row[k] + nckt_row[k] - denom_row[k];
-      }
-    }
-    for (const auto& [w, cnt] : scratch->word_counts) {
-      if (cnt == 1) {
-        const double* word_row = &log_nkv_beta_[static_cast<size_t>(w) * K];
-        for (int k = 0; k < K; ++k) lw[k] += word_row[k];
-      } else {
-        for (int k = 0; k < K; ++k) {
-          lw[k] += cold::LogAscendingFactorial(state_->r_n_kv(k, w) + beta,
-                                               cnt);
-        }
-      }
-    }
-    {
-      // k0 fixup: recompute the whole term live with this post excluded.
+    // (The frozen (c, k) cell contains this post only when the community
+    // draw kept c0; the frozen word/length counts contain it at k0 always.)
+    const auto word_pairs = posts_.word_pairs(d);
+
+    // Exact own-excluded log-weight at the post's frozen topic k0, all
+    // terms recomputed live against the frozen counters.
+    auto eval_own = [&]() -> double {
       double own;
       if (c1 == c0) {
         double n_ck = ClampNonNeg(state_->r_n_ck(c1, k0) - 1, scratch);
@@ -568,18 +579,75 @@ class ColdVertexProgram {
         own = topic_ck_[static_cast<size_t>(c1) * K + k0] +
               log_nckt_eps_[(static_cast<size_t>(c1) * T + t) * K + k0];
       }
-      for (const auto& [w, cnt] : scratch->word_counts) {
+      for (const auto& [w, cnt] : word_pairs) {
         double base =
             ClampNonNeg(state_->r_n_kv(k0, w) - cnt, scratch) + beta;
         own += cold::LogAscendingFactorial(base, cnt);
       }
-      // Denominator with own words removed: lgamma(n_k + Vbeta) is cached,
-      // leaving a single live lgamma per post.
-      double base = ClampNonNeg(state_->r_n_k(k0) - len, scratch) + vbeta_;
-      own -= lgamma_nk_vbeta_[static_cast<size_t>(k0)] - cold::LGamma(base);
-      lw[k0] = own;
+      if (sparse_) {
+        // Own-excluded denominator via two lgamma-table reads.
+        int64_t nk = state_->r_n_k(k0) - len;
+        if (nk < 0) {
+          scratch->clamps++;
+          nk = 0;
+        }
+        own -= lgamma_tab_.LogAscFactorial(nk, len);
+      } else {
+        // Denominator with own words removed: lgamma(n_k + Vbeta) is
+        // cached, leaving a single live lgamma per post.
+        double base = ClampNonNeg(state_->r_n_k(k0) - len, scratch) + vbeta_;
+        own -=
+            lgamma_nk_vbeta_[static_cast<size_t>(k0)] - cold::LGamma(base);
+      }
+      return own;
+    };
+
+    int k1;
+    if (sparse_) {
+      // Alias + MH: the per-superstep (c, t) alias row proposes from the
+      // prior mass; each accept test evaluates the exact log-weight for
+      // one topic in O(post length) via the frozen cache rows.
+      auto eval_one = [&](int k) -> double {
+        if (k == k0) return eval_own();
+        double v = topic_ck_[static_cast<size_t>(c1) * K + k] +
+                   log_nckt_eps_[(static_cast<size_t>(c1) * T + t) * K + k] -
+                   denom_[static_cast<size_t>(len) * K + k];
+        for (const auto& [w, cnt] : word_pairs) {
+          if (cnt == 1) {
+            v += log_nkv_beta_[static_cast<size_t>(w) * K + k];
+          } else {
+            v += cold::LogAscendingFactorial(state_->r_n_kv(k, w) + beta,
+                                             cnt);
+          }
+        }
+        return v;
+      };
+      k1 = MhTopicDraw(alias_bank_.Row(c1, t), k0, sparse_mh_steps_,
+                       *sampler, eval_one);
+    } else {
+      // Dense scan: all topics take the cached path first — every read is
+      // a contiguous K-row, vectorized (util/simd.h; the AVX2 and scalar
+      // forms are bit-identical) — then k0 is overwritten with the live
+      // own-excluded value.
+      double* lw = scratch->log_weights_k.data();
+      const size_t nk = static_cast<size_t>(K);
+      simd::AddSubRows(&topic_ck_[static_cast<size_t>(c1) * K],
+                       &log_nckt_eps_[(static_cast<size_t>(c1) * T + t) * K],
+                       &denom_[static_cast<size_t>(len) * K], lw, nk);
+      for (const auto& [w, cnt] : word_pairs) {
+        if (cnt == 1) {
+          simd::Accumulate(lw, &log_nkv_beta_[static_cast<size_t>(w) * K],
+                           nk);
+        } else {
+          for (int k = 0; k < K; ++k) {
+            lw[k] += cold::LogAscendingFactorial(state_->r_n_kv(k, w) + beta,
+                                                 cnt);
+          }
+        }
+      }
+      lw[k0] = eval_own();
+      k1 = sampler->LogCategorical(scratch->log_weights_k);
     }
-    const int k1 = sampler->LogCategorical(scratch->log_weights_k);
     if (k1 != k0) {
       state_->post_topic[static_cast<size_t>(d)] = static_cast<int32_t>(k1);
       // Composes with the community deltas above: the net over both draws
@@ -685,6 +753,14 @@ class ColdVertexProgram {
   std::vector<double> denom_;           // [len*K+k] log asc. factorial table
   std::vector<double> w_link_;          // [c*C+c2] (n_cc+l1)/(n_cc+l0+l1)
   std::vector<double> w_link_in_;       // [c2*C+c] transposed copy
+
+  // Sparse topic path (sparse_topic_kernel.h): per-(c, t) alias proposals
+  // rebuilt every superstep from the frozen counters, and the lgamma table
+  // the own-excluded length term reads. Delta mode only.
+  bool sparse_ = false;
+  int sparse_mh_steps_ = 2;
+  TopicAliasBank alias_bank_;
+  LGammaTable lgamma_tab_;
 };
 
 ParallelColdTrainer::ParallelColdTrainer(ColdConfig config,

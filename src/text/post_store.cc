@@ -37,6 +37,21 @@ void PostStore::Finalize(int min_users, int min_time_slices) {
     user_posts_[cursor[static_cast<size_t>(author_[static_cast<size_t>(d)])]++] =
         d;
   }
+  // Precompute the distinct (word, count) pairs per post. The dedup below
+  // must stay byte-for-byte the same as WordCounts() so both produce the
+  // same first-occurrence order (FP summation order in the sampler depends
+  // on it).
+  pair_offsets_.assign(1, 0);
+  pair_offsets_.reserve(static_cast<size_t>(num_posts()) + 1);
+  word_pairs_.reserve(words_.size());
+  std::vector<std::pair<WordId, int>> scratch;
+  for (PostId d = 0; d < num_posts(); ++d) {
+    WordCounts(d, &scratch);
+    word_pairs_.insert(word_pairs_.end(), scratch.begin(), scratch.end());
+    pair_offsets_.push_back(word_pairs_.size());
+  }
+  word_pairs_.shrink_to_fit();
+
   finalized_ = true;
 }
 

@@ -85,6 +85,16 @@ class PostStore {
   /// Gibbs hot path reuses one allocation across the whole sweep.
   void WordCounts(PostId d, std::vector<std::pair<WordId, int>>* out) const;
 
+  /// \brief Precomputed distinct (word, count) pairs of post `d`, in first-
+  /// occurrence order (identical to WordCounts). Posts are immutable after
+  /// Finalize(), so the pairs are built once there and the Gibbs hot path
+  /// reads them with zero per-call work. Requires Finalize().
+  std::span<const std::pair<WordId, int>> word_pairs(PostId d) const {
+    size_t b = pair_offsets_[static_cast<size_t>(d)];
+    size_t e = pair_offsets_[static_cast<size_t>(d) + 1];
+    return {word_pairs_.data() + b, e - b};
+  }
+
  private:
   std::vector<UserId> author_;
   std::vector<TimeSlice> time_;
@@ -93,6 +103,8 @@ class PostStore {
 
   std::vector<PostId> user_posts_;
   std::vector<size_t> user_offsets_;
+  std::vector<std::pair<WordId, int>> word_pairs_;
+  std::vector<size_t> pair_offsets_;
   int num_users_ = 0;
   int num_time_slices_ = 0;
   bool finalized_ = false;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/simd.h"
+
 namespace cold {
 
 Pcg32::Pcg32(uint64_t seed, uint64_t stream) { Seed(seed, stream); }
@@ -112,11 +114,30 @@ int RandomSampler::Categorical(std::span<const double> weights, double total) {
     return static_cast<int>(
         UniformInt(static_cast<uint32_t>(weights.size())));
   }
-  double u = Uniform() * total;
+  const double u01 = Uniform();
+  double u = u01 * total;
   double acc = 0.0;
   for (size_t i = 0; i < weights.size(); ++i) {
     acc += weights[i];
     if (u < acc) return static_cast<int>(i);
+  }
+  // Falling off the end means the caller-supplied total overshoots the
+  // actual mass (stale cached total), not just FP slack: silently returning
+  // the last bucket would give it all the excess probability. `acc` now
+  // holds the internally computed sum, so rescan against it. Conditioned on
+  // the scan having fallen off, u01 * total is uniform on [acc, total), so
+  // the remap below is uniform on [0, acc): the redraw is unbiased without
+  // consuming another RNG draw (which would shift the fixed-seed
+  // trajectories of callers passing exact totals). Reusing u01 * acc
+  // directly would NOT work — u01 is conditioned on landing past the
+  // actual mass, so it would dump everything back onto the tail buckets.
+  if (acc > 0.0 && std::isfinite(acc) && total > acc) {
+    u = (u01 * total - acc) / (total - acc) * acc;
+    double acc2 = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc2 += weights[i];
+      if (u < acc2) return static_cast<int>(i);
+    }
   }
   // Floating-point slack: return the last positive-weight entry.
   for (size_t i = weights.size(); i > 0; --i) {
@@ -127,8 +148,9 @@ int RandomSampler::Categorical(std::span<const double> weights, double total) {
 
 int RandomSampler::LogCategorical(std::span<const double> log_weights) {
   assert(!log_weights.empty());
-  double max_lw = log_weights[0];
-  for (double lw : log_weights) max_lw = std::max(max_lw, lw);
+  // Vectorized max-shift scan (bit-identical to the scalar loop; see
+  // util/simd.h).
+  double max_lw = simd::MaxValue(log_weights.data(), log_weights.size());
   // Non-finite maximum — all -inf (every outcome impossible, e.g.
   // degenerate counters for an unseen author), a +inf entry, or NaN:
   // uniform fallback, mirroring Categorical's guard.

@@ -1,0 +1,142 @@
+#include "util/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define COLD_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define COLD_SIMD_X86 0
+#endif
+
+namespace cold::simd {
+
+namespace {
+
+// --- scalar reference implementations ------------------------------------
+
+void AddSubRowsScalar(const double* a, const double* b, const double* c,
+                      double* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] + b[i] - c[i];
+}
+
+void AccumulateScalar(double* dst, const double* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+double MaxValueScalar(const double* x, std::size_t n) {
+  double m = x[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    if (x[i] > m) m = x[i];
+  }
+  return m;
+}
+
+#if COLD_SIMD_X86
+
+// --- AVX2 implementations -------------------------------------------------
+//
+// Compiled with a per-function target attribute so the translation unit
+// itself needs no -mavx2 (the binary must still run on pre-AVX2 hosts,
+// where Avx2Enabled() routes everything to the scalar paths above).
+
+__attribute__((target("avx2"))) void AddSubRowsAvx2(const double* a,
+                                                    const double* b,
+                                                    const double* c,
+                                                    double* dst,
+                                                    std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d va = _mm256_loadu_pd(a + i);
+    __m256d vb = _mm256_loadu_pd(b + i);
+    __m256d vc = _mm256_loadu_pd(c + i);
+    _mm256_storeu_pd(dst + i, _mm256_sub_pd(_mm256_add_pd(va, vb), vc));
+  }
+  for (; i < n; ++i) dst[i] = a[i] + b[i] - c[i];
+}
+
+__attribute__((target("avx2"))) void AccumulateAvx2(double* dst,
+                                                    const double* src,
+                                                    std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d vd = _mm256_loadu_pd(dst + i);
+    __m256d vs = _mm256_loadu_pd(src + i);
+    _mm256_storeu_pd(dst + i, _mm256_add_pd(vd, vs));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+__attribute__((target("avx2"))) double MaxValueAvx2(const double* x,
+                                                    std::size_t n) {
+  if (n < 8) return MaxValueScalar(x, n);
+  __m256d vmax = _mm256_loadu_pd(x);
+  std::size_t i = 4;
+  for (; i + 4 <= n; i += 4) {
+    vmax = _mm256_max_pd(vmax, _mm256_loadu_pd(x + i));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, vmax);
+  double m = MaxValueScalar(lanes, 4);
+  for (; i < n; ++i) {
+    if (x[i] > m) m = x[i];
+  }
+  return m;
+}
+
+bool DetectAvx2() {
+  if (!__builtin_cpu_supports("avx2")) return false;
+  const char* env = std::getenv("COLD_SIMD");
+  if (env != nullptr &&
+      (std::strcmp(env, "off") == 0 || std::strcmp(env, "scalar") == 0 ||
+       std::strcmp(env, "0") == 0)) {
+    return false;
+  }
+  return true;
+}
+
+#else  // !COLD_SIMD_X86
+
+bool DetectAvx2() { return false; }
+
+#endif
+
+}  // namespace
+
+bool Avx2Enabled() {
+  static const bool enabled = DetectAvx2();
+  return enabled;
+}
+
+const char* DispatchName() { return Avx2Enabled() ? "avx2" : "scalar"; }
+
+void AddSubRows(const double* a, const double* b, const double* c,
+                double* dst, std::size_t n) {
+#if COLD_SIMD_X86
+  if (Avx2Enabled()) {
+    AddSubRowsAvx2(a, b, c, dst, n);
+    return;
+  }
+#endif
+  AddSubRowsScalar(a, b, c, dst, n);
+}
+
+void Accumulate(double* dst, const double* src, std::size_t n) {
+#if COLD_SIMD_X86
+  if (Avx2Enabled()) {
+    AccumulateAvx2(dst, src, n);
+    return;
+  }
+#endif
+  AccumulateScalar(dst, src, n);
+}
+
+double MaxValue(const double* x, std::size_t n) {
+#if COLD_SIMD_X86
+  if (Avx2Enabled()) return MaxValueAvx2(x, n);
+#endif
+  return MaxValueScalar(x, n);
+}
+
+}  // namespace cold::simd

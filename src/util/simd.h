@@ -1,0 +1,36 @@
+// Runtime-dispatched SIMD helpers for the sampler hot paths.
+//
+// The parallel topic kernel spends its time streaming over the PR-5
+// transposed cache rows (contiguous K-length double arrays); these helpers
+// vectorize those scans with AVX2 when the CPU has it and fall back to
+// plain scalar loops otherwise. Only operations whose vector form is
+// bit-identical to the scalar form are offered — elementwise add/sub and
+// max reduction (max is order-insensitive) — so results never depend on
+// which dispatch target ran. Set COLD_SIMD=off to force the scalar path
+// (used by tests to cross-check the dispatch).
+#pragma once
+
+#include <cstddef>
+
+namespace cold::simd {
+
+/// True when the AVX2 paths are active (CPU supports AVX2 and COLD_SIMD
+/// is not "off"/"scalar"/"0"). Decided once per process.
+bool Avx2Enabled();
+
+/// Human-readable dispatch target, "avx2" or "scalar" (for bench JSON).
+const char* DispatchName();
+
+/// dst[i] = a[i] + b[i] - c[i]. Arrays may not alias dst except dst==a.
+void AddSubRows(const double* a, const double* b, const double* c,
+                double* dst, std::size_t n);
+
+/// dst[i] += src[i].
+void Accumulate(double* dst, const double* src, std::size_t n);
+
+/// Max over x[0..n); n must be > 0. Inputs must be NaN-free — vector and
+/// scalar max disagree on NaN propagation (the log-weight rows are finite
+/// by construction, so callers already satisfy this).
+double MaxValue(const double* x, std::size_t n);
+
+}  // namespace cold::simd

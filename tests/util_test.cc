@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <string>
 #include <utility>
@@ -9,6 +11,7 @@
 #include "util/logging.h"
 #include "util/math_util.h"
 #include "util/rng.h"
+#include "util/simd.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -201,6 +204,40 @@ TEST(RandomSamplerTest, LogCategoricalMatchesCategorical) {
   for (int i = 0; i < 3; ++i) {
     EXPECT_NEAR(c1[static_cast<size_t>(i)], c2[static_cast<size_t>(i)],
                 n * 0.02);
+  }
+}
+
+TEST(RandomSamplerTest, CategoricalOvershootingTotalStaysUnbiased) {
+  // Regression: a caller-supplied total larger than the actual mass used to
+  // dump every draw that fell past the CDF scan onto the last
+  // positive-weight bucket (index 2 here would absorb ~0.75 instead of
+  // 0.5). The rescan against the internally accumulated sum must keep the
+  // draw distributed by the normalized weights for any overshoot.
+  std::vector<double> w = {1.0, 1.0, 2.0};  // true total = 4
+  for (double total : {8.0, 400.0}) {
+    RandomSampler s(21);
+    std::vector<int> counts(3, 0);
+    const int n = 30000;
+    for (int i = 0; i < n; ++i) {
+      counts[static_cast<size_t>(s.Categorical(w, total))]++;
+    }
+    EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02)
+        << "total=" << total;
+    EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.25, 0.02)
+        << "total=" << total;
+    EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.50, 0.02)
+        << "total=" << total;
+  }
+}
+
+TEST(RandomSamplerTest, CategoricalExactTotalTrajectoryUnchanged) {
+  // The overshoot fix must not consume extra RNG draws or change results
+  // when the supplied total is correct: same seed, with and without an
+  // explicit (exact) total, must produce the same sequence.
+  std::vector<double> w = {0.5, 2.5, 1.0};
+  RandomSampler a(33), b(33);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_EQ(a.Categorical(w), b.Categorical(w, 4.0)) << "draw " << i;
   }
 }
 
@@ -471,6 +508,73 @@ TEST(LoggerTest, MonotonicSecondsAdvances) {
   double b = Logger::MonotonicSeconds();
   EXPECT_GE(b, a);
   EXPECT_GE(a, 0.0);
+}
+
+// ------------------------------------------------------------- simd ------
+
+TEST(SimdTest, DispatchNameIsKnown) {
+  const std::string name = simd::DispatchName();
+  EXPECT_TRUE(name == "avx2" || name == "scalar") << name;
+  EXPECT_EQ(simd::Avx2Enabled(), name == "avx2");
+}
+
+/// Deterministic pseudo-random fill that doesn't touch the RNG under test.
+std::vector<double> SimdTestVector(size_t n, double lo, double hi,
+                                   uint64_t salt) {
+  std::vector<double> x(n);
+  Pcg32 g(salt, 5);
+  for (size_t i = 0; i < n; ++i) x[i] = lo + (hi - lo) * g.NextDouble();
+  return x;
+}
+
+TEST(SimdTest, AddSubRowsMatchesScalarExactly) {
+  // The vector lanes compute the same a[i] + b[i] - c[i] expression, so the
+  // result must be bit-identical to the scalar loop at every size (tails,
+  // sub-width inputs, empty).
+  for (size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{4}, size_t{7},
+                   size_t{8}, size_t{13}, size_t{32}, size_t{100}}) {
+    auto a = SimdTestVector(n, -50.0, 50.0, 1000 + n);
+    auto b = SimdTestVector(n, -5.0, 5.0, 2000 + n);
+    auto c = SimdTestVector(n, -5.0, 5.0, 3000 + n);
+    std::vector<double> got(n, 0.0);
+    simd::AddSubRows(a.data(), b.data(), c.data(), got.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(got[i], a[i] + b[i] - c[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(SimdTest, AccumulateMatchesScalarExactly) {
+  for (size_t n : {size_t{0}, size_t{1}, size_t{5}, size_t{8}, size_t{21},
+                   size_t{64}}) {
+    auto dst0 = SimdTestVector(n, -10.0, 10.0, 4000 + n);
+    auto src = SimdTestVector(n, -1.0, 1.0, 5000 + n);
+    std::vector<double> got = dst0;
+    simd::Accumulate(got.data(), src.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(got[i], dst0[i] + src[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(SimdTest, MaxValueMatchesStdMaxElement) {
+  for (size_t n : {size_t{1}, size_t{2}, size_t{7}, size_t{8}, size_t{9},
+                   size_t{31}, size_t{200}}) {
+    auto x = SimdTestVector(n, -1e6, 1e6, 6000 + n);
+    EXPECT_EQ(simd::MaxValue(x.data(), n), *std::max_element(x.begin(), x.end()))
+        << "n=" << n;
+  }
+  // -inf entries (log-weights of zero-probability topics) must not confuse
+  // the reduction; an all--inf row must return -inf.
+  std::vector<double> with_ninf = SimdTestVector(40, -100.0, 0.0, 42);
+  const double ninf = -std::numeric_limits<double>::infinity();
+  with_ninf[0] = ninf;
+  with_ninf[17] = ninf;
+  with_ninf[39] = ninf;
+  EXPECT_EQ(simd::MaxValue(with_ninf.data(), with_ninf.size()),
+            *std::max_element(with_ninf.begin(), with_ninf.end()));
+  std::vector<double> all_ninf(16, ninf);
+  EXPECT_EQ(simd::MaxValue(all_ninf.data(), all_ninf.size()), ninf);
 }
 
 }  // namespace

@@ -99,7 +99,8 @@ int Usage(const char* argv0) {
                "[--metrics-out FILE] [--trace] [--trace-out FILE] "
                "[--profile] [--profile-out FILE] [--oversubscribe] "
                "[--checkpoint-dir DIR] "
-               "[--checkpoint-every N] [--checkpoint-keep N] [--resume]\n",
+               "[--checkpoint-every N] [--checkpoint-keep N] [--resume] "
+               "[--topic-sampling auto|dense|sparse] [--sparse-mh-steps N]\n",
                argv0);
   return 2;
 }
@@ -160,6 +161,10 @@ struct Args {
   int checkpoint_every = 10;
   int checkpoint_keep = 3;
   bool resume = false;
+  /// Topic-draw strategy (DESIGN.md §13): auto picks sparse for K >= 32.
+  cold::core::TopicSampling topic_sampling =
+      cold::core::TopicSampling::kAuto;
+  int sparse_mh_steps = 2;
 };
 
 /// Returns false (after printing the offending token) on any unknown flag
@@ -294,6 +299,31 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       }
     } else if (std::strcmp(arg, "--resume") == 0) {
       args->resume = true;
+    } else if (std::strcmp(arg, "--topic-sampling") == 0) {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr,
+                     "--topic-sampling requires auto|dense|sparse\n");
+        return false;
+      }
+      const char* mode = argv[++a];
+      if (std::strcmp(mode, "auto") == 0) {
+        args->topic_sampling = cold::core::TopicSampling::kAuto;
+      } else if (std::strcmp(mode, "dense") == 0) {
+        args->topic_sampling = cold::core::TopicSampling::kDense;
+      } else if (std::strcmp(mode, "sparse") == 0) {
+        args->topic_sampling = cold::core::TopicSampling::kSparse;
+      } else {
+        std::fprintf(stderr,
+                     "unknown topic sampling '%s' (auto|dense|sparse)\n",
+                     mode);
+        return false;
+      }
+    } else if (std::strcmp(arg, "--sparse-mh-steps") == 0) {
+      if (a + 1 >= argc ||
+          !ParsePositiveInt(argv[++a], &args->sparse_mh_steps)) {
+        std::fprintf(stderr, "--sparse-mh-steps requires a positive int\n");
+        return false;
+      }
     } else if (arg[0] == '-' && arg[1] != '\0') {
       std::fprintf(stderr, "unknown flag '%s'\n", arg);
       return false;
@@ -870,6 +900,8 @@ int main(int argc, char** argv) {
   config.rho = 0.5;
   config.alpha = 0.5;
   config.kappa = 10.0;
+  config.topic_sampling = args.topic_sampling;
+  config.sparse_mh_steps = args.sparse_mh_steps;
   if (auto st = config.Validate(); !st.ok()) {
     std::fprintf(stderr, "config: %s\n", st.ToString().c_str());
     return 1;
