@@ -5,7 +5,7 @@
 
 namespace cold::apps {
 
-DiffusionGraph BuildTopicDiffusionGraph(const core::ColdEstimates& estimates,
+DiffusionGraph BuildTopicDiffusionGraph(const core::EstimatesView& estimates,
                                         int topic, double max_edge_prob) {
   const int C = estimates.C;
   DiffusionGraph graph(static_cast<size_t>(C),
@@ -29,7 +29,7 @@ DiffusionGraph BuildTopicDiffusionGraph(const core::ColdEstimates& estimates,
 }
 
 std::vector<CommunityInfluence> RankCommunitiesByInfluence(
-    const core::ColdEstimates& estimates, int topic, int trials,
+    const core::EstimatesView& estimates, int topic, int trials,
     uint64_t seed) {
   DiffusionGraph graph =
       BuildTopicDiffusionGraph(estimates, topic, /*max_edge_prob=*/0.5);

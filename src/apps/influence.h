@@ -12,7 +12,7 @@ namespace cold::apps {
 /// edge weights zeta_kcc' = theta_ck * theta_c'k * eta_cc' (Eq. 4),
 /// optionally rescaled so the maximum edge equals `max_edge_prob` (keeps IC
 /// spreads informative when raw zetas are tiny).
-DiffusionGraph BuildTopicDiffusionGraph(const core::ColdEstimates& estimates,
+DiffusionGraph BuildTopicDiffusionGraph(const core::EstimatesView& estimates,
                                         int topic,
                                         double max_edge_prob = 0.0);
 
@@ -28,7 +28,7 @@ struct CommunityInfluence {
 /// \brief Ranks all communities by single-seed expected IC spread on the
 /// topic's diffusion graph (descending).
 std::vector<CommunityInfluence> RankCommunitiesByInfluence(
-    const core::ColdEstimates& estimates, int topic, int trials,
+    const core::EstimatesView& estimates, int topic, int trials,
     uint64_t seed);
 
 /// \brief Per-user influence degree on a topic: membership-weighted sum of

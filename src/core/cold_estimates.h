@@ -71,4 +71,45 @@ struct ColdEstimates {
   void Scale(double inv_n);
 };
 
+/// \brief Non-owning view over the five parameter arrays.
+///
+/// The serving layer predicts straight out of an mmap'd snapshot arena, so
+/// the prediction code cannot assume the parameters live in std::vectors.
+/// This is the common currency: dims plus raw pointers, with the same
+/// accessor names as ColdEstimates. Implicitly constructible from
+/// ColdEstimates so existing owned-model call sites keep working; whoever
+/// hands out a view is responsible for keeping the backing storage alive.
+struct EstimatesView {
+  int U = 0, C = 0, K = 0, T = 0, V = 0;
+  const double* pi = nullptr;
+  const double* theta = nullptr;
+  const double* eta = nullptr;
+  const double* phi = nullptr;
+  const double* psi = nullptr;
+
+  EstimatesView() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): deliberate implicit bridge.
+  EstimatesView(const ColdEstimates& e)
+      : U(e.U), C(e.C), K(e.K), T(e.T), V(e.V),
+        pi(e.pi.data()), theta(e.theta.data()), eta(e.eta.data()),
+        phi(e.phi.data()), psi(e.psi.data()) {}
+
+  double Pi(int i, int c) const { return pi[static_cast<size_t>(i) * C + c]; }
+  double Theta(int c, int k) const {
+    return theta[static_cast<size_t>(c) * K + k];
+  }
+  double Eta(int c, int c2) const {
+    return eta[static_cast<size_t>(c) * C + c2];
+  }
+  double Phi(int k, int v) const {
+    return phi[static_cast<size_t>(k) * V + v];
+  }
+  double Psi(int k, int c, int t) const {
+    return psi[(static_cast<size_t>(k) * C + c) * T + t];
+  }
+  double Zeta(int k, int c, int c2) const {
+    return Theta(c, k) * Theta(c2, k) * Eta(c, c2);
+  }
+};
+
 }  // namespace cold::core

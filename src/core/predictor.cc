@@ -41,42 +41,50 @@ cold::Status ColdPredictor::ValidateQuery(
     text::UserId author, std::span<const text::WordId> words) const {
   if (!ValidUser(author)) {
     return cold::Status::OutOfRange("user id " + std::to_string(author) +
-                                    " outside [0, " + std::to_string(est_.U) +
+                                    " outside [0, " + std::to_string(view_.U) +
                                     ")");
   }
   for (text::WordId w : words) {
     if (!ValidWord(w)) {
       return cold::Status::OutOfRange("word id " + std::to_string(w) +
                                       " outside [0, " +
-                                      std::to_string(est_.V) + ")");
+                                      std::to_string(view_.V) + ")");
     }
   }
   return cold::Status::OK();
 }
 
-const std::vector<int>& ColdPredictor::TopComm(text::UserId i) const {
-  static const std::vector<int> kEmpty;
-  if (!ValidUser(i)) return kEmpty;
-  return top_comm_[static_cast<size_t>(i)];
+ColdPredictor::ColdPredictor(ColdEstimates estimates, int top_communities)
+    : owned_(std::make_shared<const ColdEstimates>(std::move(estimates))),
+      view_(*owned_),
+      top_communities_(std::min(top_communities, owned_->C)) {
+  auto table = std::make_shared<std::vector<int32_t>>();
+  table->reserve(static_cast<size_t>(owned_->U) * top_communities_);
+  for (int i = 0; i < owned_->U; ++i) {
+    for (int c : owned_->TopCommunitiesForUser(i, top_communities_)) {
+      table->push_back(static_cast<int32_t>(c));
+    }
+  }
+  top_comm_store_ = std::move(table);
+  top_comm_data_ = top_comm_store_->data();
 }
 
-ColdPredictor::ColdPredictor(ColdEstimates estimates, int top_communities)
-    : est_(std::move(estimates)),
-      top_communities_(std::min(top_communities, est_.C)) {
-  top_comm_.resize(static_cast<size_t>(est_.U));
-  for (int i = 0; i < est_.U; ++i) {
-    top_comm_[static_cast<size_t>(i)] =
-        est_.TopCommunitiesForUser(i, top_communities_);
-  }
-}
+ColdPredictor::ColdPredictor(const EstimatesView& view,
+                             std::shared_ptr<const void> keepalive,
+                             std::span<const int32_t> top_comm,
+                             int top_communities)
+    : keepalive_(std::move(keepalive)),
+      view_(view),
+      top_comm_data_(top_comm.data()),
+      top_communities_(std::min(top_communities, view.C)) {}
 
 void ColdPredictor::WordLogLikelihoods(std::span<const text::WordId> words,
                                        std::vector<double>* out) const {
-  out->assign(static_cast<size_t>(est_.K), 0.0);
-  for (int k = 0; k < est_.K; ++k) {
+  out->assign(static_cast<size_t>(view_.K), 0.0);
+  for (int k = 0; k < view_.K; ++k) {
     double lw = 0.0;
     for (text::WordId w : words) {
-      lw += std::log(std::max(est_.Phi(k, w), 1e-300));
+      lw += std::log(std::max(view_.Phi(k, w), 1e-300));
     }
     (*out)[static_cast<size_t>(k)] = lw;
   }
@@ -89,11 +97,11 @@ std::vector<double> ColdPredictor::TopicPosterior(
   std::vector<double> log_w;
   WordLogLikelihoods(words, &log_w);
   // P(k|i) restricted to the author's top communities (Eq. 5).
-  std::vector<double> scores(static_cast<size_t>(est_.K));
-  for (int k = 0; k < est_.K; ++k) {
+  std::vector<double> scores(static_cast<size_t>(view_.K));
+  for (int k = 0; k < view_.K; ++k) {
     double pref = 0.0;
-    for (int c : top_comm_[static_cast<size_t>(author)]) {
-      pref += est_.Pi(author, c) * est_.Theta(c, k);
+    for (int32_t c : TopComm(author)) {
+      pref += view_.Pi(author, c) * view_.Theta(c, k);
     }
     scores[static_cast<size_t>(k)] =
         log_w[static_cast<size_t>(k)] + std::log(std::max(pref, 1e-300));
@@ -105,13 +113,13 @@ std::vector<double> ColdPredictor::TopicPosterior(
 
 double ColdPredictor::TopicInfluence(text::UserId i, text::UserId i2,
                                      int k) const {
-  if (!ValidUser(i) || !ValidUser(i2) || k < 0 || k >= est_.K) return kNaN;
+  if (!ValidUser(i) || !ValidUser(i2) || k < 0 || k >= view_.K) return kNaN;
   double p = 0.0;
-  for (int c : top_comm_[static_cast<size_t>(i)]) {
-    double left = est_.Pi(i, c) * est_.Theta(c, k);
-    for (int c2 : top_comm_[static_cast<size_t>(i2)]) {
+  for (int32_t c : TopComm(i)) {
+    double left = view_.Pi(i, c) * view_.Theta(c, k);
+    for (int32_t c2 : TopComm(i2)) {
       // zeta_kcc' expanded; theta_ck factored out of the inner loop.
-      p += left * est_.Pi(i2, c2) * est_.Theta(c2, k) * est_.Eta(c, c2);
+      p += left * view_.Pi(i2, c2) * view_.Theta(c2, k) * view_.Eta(c, c2);
     }
   }
   return p;
@@ -130,12 +138,12 @@ double ColdPredictor::DiffusionFromPosterior(
     text::UserId i, text::UserId i2,
     std::span<const double> topic_posterior) const {
   if (!ValidUser(i) || !ValidUser(i2) ||
-      topic_posterior.size() != static_cast<size_t>(est_.K)) {
+      topic_posterior.size() != static_cast<size_t>(view_.K)) {
     return kNaN;
   }
   Metrics().diffusion_scores->Increment();
   double p = 0.0;
-  for (int k = 0; k < est_.K; ++k) {
+  for (int k = 0; k < view_.K; ++k) {
     if (topic_posterior[static_cast<size_t>(k)] < 1e-8) continue;
     p += topic_posterior[static_cast<size_t>(k)] * TopicInfluence(i, i2, k);
   }
@@ -146,11 +154,11 @@ double ColdPredictor::LinkProbability(text::UserId i, text::UserId i2) const {
   if (!ValidUser(i) || !ValidUser(i2)) return kNaN;
   Metrics().link_scores->Increment();
   double p = 0.0;
-  for (int c = 0; c < est_.C; ++c) {
-    double pi_ic = est_.Pi(i, c);
+  for (int c = 0; c < view_.C; ++c) {
+    double pi_ic = view_.Pi(i, c);
     if (pi_ic <= 0.0) continue;
-    for (int c2 = 0; c2 < est_.C; ++c2) {
-      p += pi_ic * est_.Pi(i2, c2) * est_.Eta(c, c2);
+    for (int c2 = 0; c2 < view_.C; ++c2) {
+      p += pi_ic * view_.Pi(i2, c2) * view_.Eta(c, c2);
     }
   }
   return p;
@@ -164,15 +172,15 @@ std::vector<double> ColdPredictor::TimestampScores(
   WordLogLikelihoods(words, &log_w);
   double max_lw = *std::max_element(log_w.begin(), log_w.end());
 
-  std::vector<double> scores(static_cast<size_t>(est_.T), 0.0);
-  for (int k = 0; k < est_.K; ++k) {
+  std::vector<double> scores(static_cast<size_t>(view_.T), 0.0);
+  for (int k = 0; k < view_.K; ++k) {
     double word_term = std::exp(log_w[static_cast<size_t>(k)] - max_lw);
     if (word_term < 1e-12) continue;
-    for (int c = 0; c < est_.C; ++c) {
-      double weight = word_term * est_.Pi(author, c) * est_.Theta(c, k);
+    for (int c = 0; c < view_.C; ++c) {
+      double weight = word_term * view_.Pi(author, c) * view_.Theta(c, k);
       if (weight < 1e-15) continue;
-      for (int t = 0; t < est_.T; ++t) {
-        scores[static_cast<size_t>(t)] += weight * est_.Psi(k, c, t);
+      for (int t = 0; t < view_.T; ++t) {
+        scores[static_cast<size_t>(t)] += weight * view_.Psi(k, c, t);
       }
     }
   }
@@ -194,11 +202,11 @@ double ColdPredictor::LogPostProbability(std::span<const text::WordId> words,
   std::vector<double> log_w;
   WordLogLikelihoods(words, &log_w);
   // p(w_d) = sum_k (sum_c pi theta) prod phi, via LSE over k.
-  std::vector<double> terms(static_cast<size_t>(est_.K));
-  for (int k = 0; k < est_.K; ++k) {
+  std::vector<double> terms(static_cast<size_t>(view_.K));
+  for (int k = 0; k < view_.K; ++k) {
     double mix = 0.0;
-    for (int c = 0; c < est_.C; ++c) {
-      mix += est_.Pi(author, c) * est_.Theta(c, k);
+    for (int c = 0; c < view_.C; ++c) {
+      mix += view_.Pi(author, c) * view_.Theta(c, k);
     }
     terms[static_cast<size_t>(k)] =
         log_w[static_cast<size_t>(k)] + std::log(std::max(mix, 1e-300));
@@ -209,7 +217,7 @@ double ColdPredictor::LogPostProbability(std::span<const text::WordId> words,
 std::vector<double> ColdPredictor::FoldInMembership(
     std::span<const FoldInPost> posts, int iterations, double rho) const {
   Metrics().fold_ins->Increment();
-  std::vector<double> pi(static_cast<size_t>(est_.C), 1.0 / est_.C);
+  std::vector<double> pi(static_cast<size_t>(view_.C), 1.0 / view_.C);
   if (posts.empty()) return pi;
 
   // Per-post, per-community evidence e_d(c) = sum_k theta_ck psi_kct
@@ -219,34 +227,34 @@ std::vector<double> ColdPredictor::FoldInMembership(
   for (size_t d = 0; d < posts.size(); ++d) {
     WordLogLikelihoods(posts[d].words, &log_w);
     double max_lw = *std::max_element(log_w.begin(), log_w.end());
-    evidence[d].assign(static_cast<size_t>(est_.C), 0.0);
-    int t = std::clamp<int>(posts[d].time, 0, est_.T - 1);
-    for (int c = 0; c < est_.C; ++c) {
+    evidence[d].assign(static_cast<size_t>(view_.C), 0.0);
+    int t = std::clamp<int>(posts[d].time, 0, view_.T - 1);
+    for (int c = 0; c < view_.C; ++c) {
       double acc = 0.0;
-      for (int k = 0; k < est_.K; ++k) {
-        acc += est_.Theta(c, k) * est_.Psi(k, c, t) *
+      for (int k = 0; k < view_.K; ++k) {
+        acc += view_.Theta(c, k) * view_.Psi(k, c, t) *
                std::exp(log_w[static_cast<size_t>(k)] - max_lw);
       }
       evidence[d][static_cast<size_t>(c)] = std::max(acc, 1e-300);
     }
   }
 
-  std::vector<double> counts(static_cast<size_t>(est_.C));
-  std::vector<double> resp(static_cast<size_t>(est_.C));
+  std::vector<double> counts(static_cast<size_t>(view_.C));
+  std::vector<double> resp(static_cast<size_t>(view_.C));
   for (int it = 0; it < iterations; ++it) {
     std::fill(counts.begin(), counts.end(), 0.0);
     for (size_t d = 0; d < posts.size(); ++d) {
-      for (int c = 0; c < est_.C; ++c) {
+      for (int c = 0; c < view_.C; ++c) {
         resp[static_cast<size_t>(c)] =
             pi[static_cast<size_t>(c)] * evidence[d][static_cast<size_t>(c)];
       }
       cold::NormalizeInPlace(resp);
-      for (int c = 0; c < est_.C; ++c) {
+      for (int c = 0; c < view_.C; ++c) {
         counts[static_cast<size_t>(c)] += resp[static_cast<size_t>(c)];
       }
     }
-    double denom = static_cast<double>(posts.size()) + est_.C * rho;
-    for (int c = 0; c < est_.C; ++c) {
+    double denom = static_cast<double>(posts.size()) + view_.C * rho;
+    for (int c = 0; c < view_.C; ++c) {
       pi[static_cast<size_t>(c)] = (counts[static_cast<size_t>(c)] + rho) / denom;
     }
   }
@@ -256,21 +264,21 @@ std::vector<double> ColdPredictor::FoldInMembership(
 double ColdPredictor::DiffusionProbabilityToNewUser(
     text::UserId publisher, std::span<const double> candidate_pi,
     std::span<const text::WordId> words) const {
-  if (candidate_pi.size() != static_cast<size_t>(est_.C)) return kNaN;
+  if (candidate_pi.size() != static_cast<size_t>(view_.C)) return kNaN;
   std::vector<double> topic_post = TopicPosterior(words, publisher);
   if (topic_post.empty()) return kNaN;
   std::vector<int> candidate_top(
       cold::TopKIndices(candidate_pi, top_communities_));
   double p = 0.0;
-  for (int k = 0; k < est_.K; ++k) {
+  for (int k = 0; k < view_.K; ++k) {
     double pk = topic_post[static_cast<size_t>(k)];
     if (pk < 1e-8) continue;
     double inf = 0.0;
-    for (int c : top_comm_[static_cast<size_t>(publisher)]) {
-      double left = est_.Pi(publisher, c) * est_.Theta(c, k);
+    for (int32_t c : TopComm(publisher)) {
+      double left = view_.Pi(publisher, c) * view_.Theta(c, k);
       for (int c2 : candidate_top) {
         inf += left * candidate_pi[static_cast<size_t>(c2)] *
-               est_.Theta(c2, k) * est_.Eta(c, c2);
+               view_.Theta(c2, k) * view_.Eta(c, c2);
       }
     }
     p += pk * inf;

@@ -2,6 +2,8 @@
 // extracted community-level representation (§5.2, §6.2, §6.3).
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -16,18 +18,38 @@ namespace cold::core {
 /// Construction performs the paper's offline step: pre-collecting each
 /// user's TopComm set (§5.2), so the per-triple online prediction is a
 /// weighted linear combination of O(K |w_d|) cost.
+///
+/// Two backing modes share one prediction path:
+///  - owned: constructed from ColdEstimates (moved into shared storage);
+///    TopComm is computed here, the offline step proper.
+///  - view: constructed over an EstimatesView plus an externally
+///    precomputed TopComm table (e.g. an mmap'd snapshot arena, which bakes
+///    the table in at save time) and a keepalive handle pinning the backing
+///    bytes. Construction is O(1) — no copy, no allocation proportional to
+///    the model — which is what makes serving hot-reload a pointer swap.
+/// Copies are cheap and safe in both modes: the parameter storage is held
+/// by shared_ptr, so views never dangle.
 class ColdPredictor {
  public:
   /// \param top_communities |TopComm(i)|; the paper fixes 5.
   explicit ColdPredictor(ColdEstimates estimates, int top_communities = 5);
 
-  const ColdEstimates& estimates() const { return est_; }
+  /// View mode: predict straight out of caller-owned storage. `top_comm`
+  /// must hold `view.U * min(top_communities, view.C)` entries, row-major
+  /// per user, each row sorted by descending pi (exactly what
+  /// ColdEstimates::TopCommunitiesForUser produces). `keepalive` pins the
+  /// bytes behind both `view` and `top_comm` for this predictor's lifetime.
+  ColdPredictor(const EstimatesView& view,
+                std::shared_ptr<const void> keepalive,
+                std::span<const int32_t> top_comm, int top_communities);
+
+  const EstimatesView& estimates() const { return view_; }
 
   /// \brief True iff `u` indexes a user known to the model.
-  bool ValidUser(text::UserId u) const { return u >= 0 && u < est_.U; }
+  bool ValidUser(text::UserId u) const { return u >= 0 && u < view_.U; }
 
   /// \brief True iff `w` indexes a vocabulary word known to the model.
-  bool ValidWord(text::WordId w) const { return w >= 0 && w < est_.V; }
+  bool ValidWord(text::WordId w) const { return w >= 0 && w < view_.V; }
 
   /// \brief Validates a (author, words) query against the model's
   /// dimensions: OutOfRange naming the offending id on failure.
@@ -86,9 +108,13 @@ class ColdPredictor {
   /// \brief Corpus perplexity exp(-sum_d log p(w_d) / sum_d N_d) (§6.2).
   double Perplexity(const text::PostStore& test_posts) const;
 
-  /// TopComm(i) as precomputed at construction. Sentinel: a static empty
-  /// vector on out-of-range `i`.
-  const std::vector<int>& TopComm(text::UserId i) const;
+  /// TopComm(i) as precomputed at construction (or baked into the snapshot
+  /// arena in view mode). Sentinel: an empty span on out-of-range `i`.
+  std::span<const int32_t> TopComm(text::UserId i) const {
+    if (!ValidUser(i)) return {};
+    return {top_comm_data_ + static_cast<size_t>(i) * top_communities_,
+            static_cast<size_t>(top_communities_)};
+  }
 
   /// \brief A time-stamped bag of words from a user unseen at training
   /// time, for fold-in.
@@ -116,9 +142,16 @@ class ColdPredictor {
   void WordLogLikelihoods(std::span<const text::WordId> words,
                           std::vector<double>* out) const;
 
-  ColdEstimates est_;
-  int top_communities_;
-  std::vector<std::vector<int>> top_comm_;
+  // Owned mode: `owned_` holds the estimates and `top_comm_store_` the
+  // flat TopComm table; view mode: both are null and `keepalive_` pins the
+  // external storage. `view_`/`top_comm_data_` always point at whichever
+  // backing is active — shared_ptr storage keeps them valid across copies.
+  std::shared_ptr<const ColdEstimates> owned_;
+  std::shared_ptr<const std::vector<int32_t>> top_comm_store_;
+  std::shared_ptr<const void> keepalive_;
+  EstimatesView view_;
+  const int32_t* top_comm_data_ = nullptr;
+  int top_communities_ = 0;
 };
 
 }  // namespace cold::core

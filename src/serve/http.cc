@@ -46,7 +46,9 @@ cold::Result<bool> FillFromSocket(int fd, std::string* buffer) {
   }
   if (n == 0) return false;
   if (errno == EAGAIN || errno == EWOULDBLOCK) {
-    return cold::Status::IOError("socket read timeout");
+    // Distinct code so servers can tell an idle-timeout reap apart from a
+    // broken socket (cold/serve/idle_closes).
+    return cold::Status::DeadlineExceeded("socket read timeout");
   }
   return cold::Status::IOError(std::string("recv: ") + std::strerror(errno));
 }
@@ -191,29 +193,22 @@ const char* HttpStatusText(int code) {
   }
 }
 
-cold::Result<HttpRequest> ReadHttpRequest(int fd, std::string* leftover,
-                                          const HttpLimits& limits) {
-  std::string buffer = std::move(*leftover);
-  leftover->clear();
-
-  // Accumulate until the blank line ending the header block.
-  size_t head_end;
-  while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
-    if (buffer.size() > limits.max_header_bytes) {
+cold::Result<HttpParseState> ParseHttpRequest(std::string* buffer,
+                                              HttpRequest* out,
+                                              const HttpLimits& limits) {
+  // Accumulation is the caller's job; this only decides whether the bytes
+  // so far hold a complete (and well-formed, and within-limits) request.
+  size_t head_end = buffer->find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    if (buffer->size() > limits.max_header_bytes) {
       return cold::Status::InvalidArgument("header block too large");
     }
-    COLD_ASSIGN_OR_RETURN(bool more, FillFromSocket(fd, &buffer));
-    if (!more) {
-      if (buffer.empty()) {
-        return cold::Status::NotFound("connection closed");
-      }
-      return cold::Status::InvalidArgument("connection closed mid-request");
-    }
+    return HttpParseState::kNeedMore;
   }
 
   HttpRequest request;
   COLD_RETURN_NOT_OK(
-      ParseRequestHead(buffer.substr(0, head_end + 2), &request));
+      ParseRequestHead(buffer->substr(0, head_end + 2), &request));
 
   if (request.Header("transfer-encoding") != nullptr) {
     return cold::Status::InvalidArgument(
@@ -233,23 +228,43 @@ cold::Result<HttpRequest> ReadHttpRequest(int fd, std::string* leftover,
     body_size = static_cast<size_t>(v);
   }
 
-  size_t body_begin = head_end + 4;
-  while (buffer.size() - body_begin < body_size) {
-    COLD_ASSIGN_OR_RETURN(bool more, FillFromSocket(fd, &buffer));
-    if (!more) {
-      return cold::Status::InvalidArgument("connection closed mid-body");
-    }
+  const size_t body_begin = head_end + 4;
+  if (buffer->size() - body_begin < body_size) {
+    return HttpParseState::kNeedMore;
   }
-  request.body = buffer.substr(body_begin, body_size);
-  // Preserve any pipelined bytes for the next request on this connection.
-  *leftover = buffer.substr(body_begin + body_size);
-  return request;
+  request.body = buffer->substr(body_begin, body_size);
+  // Pipelined bytes of the next request stay in the buffer.
+  buffer->erase(0, body_begin + body_size);
+  *out = std::move(request);
+  return HttpParseState::kComplete;
 }
 
-cold::Status WriteHttpResponse(int fd, const HttpResponse& response,
-                               bool close_connection) {
-  std::string out;
-  out.reserve(response.body.size() + 256);
+cold::Result<HttpRequest> ReadHttpRequest(int fd, std::string* leftover,
+                                          const HttpLimits& limits) {
+  std::string buffer = std::move(*leftover);
+  leftover->clear();
+  while (true) {
+    HttpRequest request;
+    COLD_ASSIGN_OR_RETURN(HttpParseState state,
+                          ParseHttpRequest(&buffer, &request, limits));
+    if (state == HttpParseState::kComplete) {
+      *leftover = std::move(buffer);
+      return request;
+    }
+    COLD_ASSIGN_OR_RETURN(bool more, FillFromSocket(fd, &buffer));
+    if (!more) {
+      if (buffer.empty()) {
+        return cold::Status::NotFound("connection closed");
+      }
+      return cold::Status::InvalidArgument("connection closed mid-request");
+    }
+  }
+}
+
+void AppendHttpResponse(std::string* buffer, const HttpResponse& response,
+                        bool close_connection) {
+  std::string& out = *buffer;
+  out.reserve(out.size() + response.body.size() + 256);
   out += "HTTP/1.1 ";
   out += std::to_string(response.status_code);
   out += ' ';
@@ -269,6 +284,12 @@ cold::Status WriteHttpResponse(int fd, const HttpResponse& response,
   }
   out += "\r\n";
   out += response.body;
+}
+
+cold::Status WriteHttpResponse(int fd, const HttpResponse& response,
+                               bool close_connection) {
+  std::string out;
+  AppendHttpResponse(&out, response, close_connection);
   return WriteAll(fd, out.data(), out.size());
 }
 

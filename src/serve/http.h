@@ -64,15 +64,35 @@ struct HttpLimits {
   size_t max_body_bytes = 4 * 1024 * 1024;
 };
 
+/// \brief Outcome of one incremental parse attempt.
+enum class HttpParseState { kNeedMore, kComplete };
+
+/// \brief Incremental, socket-free request parse over an accumulated
+/// buffer — the event loop's half of the parser; ReadHttpRequest wraps it
+/// with blocking reads. On kComplete `*out` holds the request and its
+/// bytes are erased from the front of `*buffer` (pipelined bytes remain);
+/// on kNeedMore the buffer is untouched. Malformed or over-limit input
+/// yields InvalidArgument with the same messages as ReadHttpRequest.
+cold::Result<HttpParseState> ParseHttpRequest(std::string* buffer,
+                                              HttpRequest* out,
+                                              const HttpLimits& limits = {});
+
 /// \brief Reads one full request from `fd` (blocking). `leftover` carries
 /// bytes read past the end of a previous request on the same connection
 /// (keep-alive pipelining); it is consumed first and refilled.
 ///
 /// Returns NotFound("connection closed") on clean EOF before any bytes of
-/// a request, IOError on socket errors/timeouts mid-request, and
-/// InvalidArgument on malformed or over-limit requests.
+/// a request, DeadlineExceeded on a socket read timeout (SO_RCVTIMEO),
+/// IOError on other socket errors, and InvalidArgument on malformed or
+/// over-limit requests.
 cold::Result<HttpRequest> ReadHttpRequest(int fd, std::string* leftover,
                                           const HttpLimits& limits = {});
+
+/// \brief Serializes `response` onto the end of `*out` — the event loop's
+/// write-buffer path; WriteHttpResponse wraps it with a blocking send.
+/// `close_connection` controls the Connection header.
+void AppendHttpResponse(std::string* out, const HttpResponse& response,
+                        bool close_connection);
 
 /// \brief Serializes and writes `response` to `fd`; `close_connection`
 /// controls the Connection header.

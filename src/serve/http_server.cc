@@ -9,10 +9,16 @@
 
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace cold::serve {
 
@@ -24,6 +30,7 @@ struct ServerMetrics {
   obs::Counter* dropped_at_shutdown;
   obs::Counter* shed;
   obs::Counter* write_timeouts;
+  obs::Counter* idle_closes;
 };
 
 ServerMetrics& Metrics() {
@@ -33,52 +40,58 @@ ServerMetrics& Metrics() {
       registry.GetCounter("cold/serve/malformed_requests"),
       registry.GetCounter("cold/serve/connections_force_closed"),
       registry.GetCounter("cold/serve/shed_total"),
-      registry.GetCounter("cold/serve/write_timeouts")};
+      registry.GetCounter("cold/serve/write_timeouts"),
+      registry.GetCounter("cold/serve/idle_closes")};
   return metrics;
 }
 
-}  // namespace
+/// The PR-2 serving core: accept loop + ThreadPool, one worker pinned per
+/// connection for its lifetime. Kept as the bench baseline and fallback;
+/// the event loop in event_loop.cc is the default.
+class BlockingServerImpl : public HttpServerImpl {
+ public:
+  BlockingServerImpl(HttpServerOptions options, HttpHandler handler)
+      : options_(std::move(options)), handler_(std::move(handler)) {}
 
-HttpServer::HttpServer(HttpServerOptions options, HttpHandler handler)
-    : options_(std::move(options)), handler_(std::move(handler)) {}
+  ~BlockingServerImpl() override { Stop(); }
 
-HttpServer::~HttpServer() { Stop(); }
+  cold::Status Start() override;
+  void Stop() override;
+  int port() const override { return port_; }
+  bool running() const override {
+    return running_.load(std::memory_order_acquire);
+  }
+  int active_connections() const override {
+    return active_connections_.load(std::memory_order_relaxed);
+  }
 
-cold::Status HttpServer::Start() {
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  const HttpServerOptions options_;
+  const HttpHandler handler_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> active_connections_{0};
+
+  std::thread accept_thread_;
+  std::unique_ptr<cold::ThreadPool> pool_;
+
+  // Open connection fds, for force-close at drain timeout.
+  std::mutex conn_mutex_;
+  std::condition_variable conn_cv_;
+  std::unordered_set<int> open_fds_;
+};
+
+cold::Status BlockingServerImpl::Start() {
   if (running_.load()) return cold::Status::FailedPrecondition("already running");
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return cold::Status::IOError(std::string("socket: ") +
-                                 std::strerror(errno));
-  }
-  int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    cold::Status st = cold::Status::IOError(std::string("bind: ") +
-                                            std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return st;
-  }
-  if (::listen(listen_fd_, 128) != 0) {
-    cold::Status st = cold::Status::IOError(std::string("listen: ") +
-                                            std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return st;
-  }
-  socklen_t len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
-      0) {
-    port_ = ntohs(addr.sin_port);
-  }
+  COLD_ASSIGN_OR_RETURN(listen_fd_,
+                        internal::OpenListener(options_.port, &port_));
 
   stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
@@ -88,7 +101,7 @@ cold::Status HttpServer::Start() {
   return cold::Status::OK();
 }
 
-void HttpServer::AcceptLoop() {
+void BlockingServerImpl::AcceptLoop() {
   while (!stopping_.load(std::memory_order_acquire)) {
     pollfd pfd{listen_fd_, POLLIN, 0};
     // Bounded poll so the stopping flag is observed promptly. EINTR is a
@@ -148,7 +161,7 @@ void HttpServer::AcceptLoop() {
   }
 }
 
-void HttpServer::ServeConnection(int fd) {
+void BlockingServerImpl::ServeConnection(int fd) {
   std::string leftover;
   while (!stopping_.load(std::memory_order_acquire)) {
     auto request = ReadHttpRequest(fd, &leftover, options_.limits);
@@ -160,6 +173,9 @@ void HttpServer::ServeConnection(int fd) {
         WriteHttpResponse(
             fd, HttpResponse::Error(400, request.status().message()),
             /*close_connection=*/true);
+      } else if (request.status().code() ==
+                 cold::StatusCode::kDeadlineExceeded) {
+        Metrics().idle_closes->Increment();
       }
       break;
     }
@@ -184,7 +200,7 @@ void HttpServer::ServeConnection(int fd) {
   conn_cv_.notify_all();
 }
 
-void HttpServer::Stop() {
+void BlockingServerImpl::Stop() {
   if (!running_.exchange(false)) return;
   stopping_.store(true, std::memory_order_release);
   if (accept_thread_.joinable()) accept_thread_.join();
@@ -223,6 +239,70 @@ void HttpServer::Stop() {
   }
   pool_.reset();  // Joins workers after the queue drains.
   COLD_LOG(kInfo) << "cold_serve stopped";
+}
+
+}  // namespace
+
+namespace internal {
+
+cold::Result<int> OpenListener(int port, int* bound_port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return cold::Status::IOError(std::string("socket: ") +
+                                 std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    cold::Status st =
+        cold::Status::IOError(std::string("bind: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 512) != 0) {
+    cold::Status st =
+        cold::Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    *bound_port = ntohs(addr.sin_port);
+  }
+  return fd;
+}
+
+std::unique_ptr<HttpServerImpl> MakeBlockingServerImpl(
+    HttpServerOptions options, HttpHandler handler) {
+  return std::make_unique<BlockingServerImpl>(std::move(options),
+                                              std::move(handler));
+}
+
+}  // namespace internal
+
+HttpServer::HttpServer(HttpServerOptions options, HttpHandler handler) {
+  if (options.mode == ServerMode::kBlocking) {
+    impl_ = internal::MakeBlockingServerImpl(std::move(options),
+                                             std::move(handler));
+  } else {
+    impl_ = internal::MakeEpollServerImpl(std::move(options),
+                                          std::move(handler));
+  }
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+cold::Status HttpServer::Start() { return impl_->Start(); }
+void HttpServer::Stop() { impl_->Stop(); }
+int HttpServer::port() const { return impl_->port(); }
+bool HttpServer::running() const { return impl_->running(); }
+int HttpServer::active_connections() const {
+  return impl_->active_connections();
 }
 
 }  // namespace cold::serve

@@ -1,55 +1,85 @@
-// Blocking-socket HTTP/1.1 server for the prediction service: an accept
-// loop feeding per-connection tasks into the existing cold::ThreadPool,
-// keep-alive support, per-endpoint telemetry hooks, and graceful shutdown
-// that drains in-flight requests before returning.
+// HTTP/1.1 server front for the prediction service, with two serving
+// cores behind one facade:
 //
-// Concurrency model: one worker owns a connection for its lifetime
-// (requests on one connection are sequential by HTTP semantics), so the
-// pool size bounds concurrent connections, not concurrent requests. Idle
-// keep-alive connections are bounded by a socket read timeout, so a silent
-// client cannot pin a worker forever.
+//  - kEpoll (default): a non-blocking event loop. The listener thread
+//    accepts and round-robins connections across N reactor threads; each
+//    reactor owns one edge-triggered epoll fd plus the read/write buffers
+//    and parser state machine of every connection assigned to it, so
+//    thousands of keep-alive connections cost two buffers each instead of
+//    a parked thread. Idle connections are reaped on a timer
+//    (cold/serve/idle_closes) and graceful drain flushes in-flight
+//    responses before closing.
+//
+//  - kBlocking (legacy): the PR-2 accept loop + ThreadPool, one worker
+//    pinned per connection. Kept as the bench baseline (bench/serve_load
+//    measures the two cores against each other) and as a fallback.
+//
+// Both cores share the bounded HTTP parser (serve/http.h), the shedding
+// policy (503 + Retry-After straight from the accept path) and the metric
+// names, so the ModelService handler cannot tell them apart.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
-#include <unordered_set>
 
 #include "serve/http.h"
 #include "util/status.h"
-#include "util/thread_pool.h"
 
 namespace cold::serve {
+
+enum class ServerMode {
+  kEpoll,     // Non-blocking event loop (reactor threads).
+  kBlocking,  // Legacy thread-per-connection pool.
+};
 
 /// \brief Server knobs; defaults favor tests (ephemeral port, loopback).
 struct HttpServerOptions {
   /// 0 picks an ephemeral port; read it back via port() after Start().
   int port = 0;
-  /// Worker threads == max concurrent connections.
+  ServerMode mode = ServerMode::kEpoll;
+  /// kBlocking: worker threads == max concurrent connections.
   size_t num_workers = 8;
-  /// Seconds a keep-alive connection may sit idle before being closed.
+  /// kEpoll: reactor threads; 0 sizes to min(hardware threads, 16).
+  int num_reactors = 0;
+  /// Seconds a keep-alive connection may sit idle before being closed
+  /// (reaped by the event loop / SO_RCVTIMEO in blocking mode). Counted
+  /// by cold/serve/idle_closes.
   int idle_timeout_seconds = 5;
   /// Seconds a response write may block on a slow-reading client before
   /// the connection is dropped (SO_SNDTIMEO; counted by
-  /// cold/serve/write_timeouts). 0 reuses idle_timeout_seconds.
+  /// cold/serve/write_timeouts). 0 reuses idle_timeout_seconds. kEpoll
+  /// never blocks on writes; slow readers are bounded by
+  /// max_buffered_out_bytes plus the idle reaper instead.
   int write_timeout_seconds = 0;
   /// Seconds Stop() waits for in-flight requests before force-closing.
   int drain_timeout_seconds = 10;
   /// Load shedding: when more than this many connections are already being
-  /// serviced, new ones are answered straight from the accept loop with
-  /// 503 + Retry-After instead of queueing behind busy workers (0 = no
-  /// shedding). Counted by cold/serve/shed_total.
+  /// serviced, new ones are answered straight from the accept path with
+  /// 503 + Retry-After (0 = no shedding). Counted by cold/serve/shed_total.
   size_t max_inflight_requests = 0;
+  /// kEpoll: cap on a connection's unflushed response bytes; while above
+  /// it, further pipelined requests are left unparsed in the read buffer
+  /// (backpressure on slow readers).
+  size_t max_buffered_out_bytes = 4u << 20;
   HttpLimits limits;
 };
 
 /// \brief The request handler: pure function of the parsed request.
-/// Invoked concurrently from worker threads; must be thread-safe.
+/// Invoked concurrently from worker/reactor threads; must be thread-safe.
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// Internal interface the two serving cores implement.
+class HttpServerImpl {
+ public:
+  virtual ~HttpServerImpl() = default;
+  virtual cold::Status Start() = 0;
+  virtual void Stop() = 0;
+  virtual int port() const = 0;
+  virtual bool running() const = 0;
+  virtual int active_connections() const = 0;
+};
 
 class HttpServer {
  public:
@@ -60,7 +90,7 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// \brief Binds 127.0.0.1:port, starts the accept thread and workers.
+  /// \brief Binds 127.0.0.1:port and starts the serving core.
   cold::Status Start();
 
   /// \brief Graceful shutdown: stops accepting, waits up to
@@ -70,35 +100,29 @@ class HttpServer {
   void Stop();
 
   /// The bound port (valid after a successful Start()).
-  int port() const { return port_; }
+  int port() const;
 
-  bool running() const { return running_.load(std::memory_order_acquire); }
+  bool running() const;
 
   /// Connections currently being serviced (observability/tests).
-  int active_connections() const {
-    return active_connections_.load(std::memory_order_relaxed);
-  }
+  int active_connections() const;
 
  private:
-  void AcceptLoop();
-  void ServeConnection(int fd);
-
-  const HttpServerOptions options_;
-  const HttpHandler handler_;
-
-  int listen_fd_ = -1;
-  int port_ = 0;
-  std::atomic<bool> running_{false};
-  std::atomic<bool> stopping_{false};
-  std::atomic<int> active_connections_{0};
-
-  std::thread accept_thread_;
-  std::unique_ptr<cold::ThreadPool> pool_;
-
-  // Open connection fds, for force-close at drain timeout.
-  std::mutex conn_mutex_;
-  std::condition_variable conn_cv_;
-  std::unordered_set<int> open_fds_;
+  std::unique_ptr<HttpServerImpl> impl_;
 };
+
+namespace internal {
+
+/// \brief Opens, binds and listens on 127.0.0.1:`port` (0 = ephemeral);
+/// returns the fd and writes the bound port to `*bound_port`. Shared by
+/// both serving cores.
+cold::Result<int> OpenListener(int port, int* bound_port);
+
+std::unique_ptr<HttpServerImpl> MakeBlockingServerImpl(
+    HttpServerOptions options, HttpHandler handler);
+std::unique_ptr<HttpServerImpl> MakeEpollServerImpl(HttpServerOptions options,
+                                                    HttpHandler handler);
+
+}  // namespace internal
 
 }  // namespace cold::serve

@@ -1,16 +1,20 @@
-// Bounded, thread-safe LRU cache used by the serving layer to memoize
-// per-(author, words) topic posteriors. A single mutex guards the map and
-// recency list — query-time values are small vectors and lookups are
-// microseconds, so sharding is not worth the complexity at this layer.
+// Bounded, thread-safe LRU caches used by the serving layer to memoize
+// per-(author, words) topic posteriors. LruCache is the single-mutex
+// building block; ShardedLruCache hashes keys across S independent shards
+// so reactor threads hitting the cache concurrently contend on S mutexes
+// instead of one (the epoll core runs handlers on every reactor thread,
+// which made the single global lock the hottest line in the profile).
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 namespace cold::serve {
 
@@ -35,22 +39,24 @@ class LruCache {
   }
 
   /// \brief Inserts/overwrites `key`, evicting the least-recently-used
-  /// entry when full.
-  void Put(const std::string& key, std::shared_ptr<const V> value) {
-    if (capacity_ == 0) return;
+  /// entry when full. Returns true when an entry was evicted to make room.
+  bool Put(const std::string& key, std::shared_ptr<const V> value) {
+    if (capacity_ == 0) return false;
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = index_.find(key);
     if (it != index_.end()) {
       it->second->second = std::move(value);
       order_.splice(order_.begin(), order_, it->second);
-      return;
+      return false;
     }
     order_.emplace_front(key, std::move(value));
     index_[key] = order_.begin();
     if (index_.size() > capacity_) {
       index_.erase(order_.back().first);
       order_.pop_back();
+      return true;
     }
+    return false;
   }
 
   /// \brief Drops every entry (model hot-reload invalidation).
@@ -72,6 +78,56 @@ class LruCache {
   mutable std::mutex mutex_;
   std::list<Entry> order_;  // Front = most recently used.
   std::unordered_map<std::string, typename std::list<Entry>::iterator> index_;
+};
+
+/// \brief S independent LruCache shards behind one interface. A key always
+/// maps to the same shard (std::hash of the key), total capacity is split
+/// evenly, and each shard has its own mutex. ShardOf() is exposed so
+/// callers can attribute hit/miss/eviction metrics to the shard involved.
+template <typename V>
+class ShardedLruCache {
+ public:
+  /// `capacity` == 0 disables caching; `num_shards` is clamped to >= 1.
+  /// Each shard gets ceil(capacity / num_shards) entries so the total is
+  /// never below the requested capacity.
+  ShardedLruCache(size_t capacity, size_t num_shards) {
+    if (num_shards == 0) num_shards = 1;
+    size_t per_shard =
+        capacity == 0 ? 0 : (capacity + num_shards - 1) / num_shards;
+    shards_.reserve(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      shards_.push_back(std::make_unique<LruCache<V>>(per_shard));
+    }
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+
+  size_t ShardOf(const std::string& key) const {
+    return std::hash<std::string>{}(key) % shards_.size();
+  }
+
+  std::shared_ptr<const V> Get(const std::string& key) {
+    return shards_[ShardOf(key)]->Get(key);
+  }
+
+  /// Returns true when the owning shard evicted an entry to make room.
+  bool Put(const std::string& key, std::shared_ptr<const V> value) {
+    return shards_[ShardOf(key)]->Put(key, std::move(value));
+  }
+
+  void Clear() {
+    for (auto& shard : shards_) shard->Clear();
+  }
+
+  size_t size() const {
+    size_t total = 0;
+    for (const auto& shard : shards_) total += shard->size();
+    return total;
+  }
+
+ private:
+  // unique_ptr keeps shards stable and LruCache non-movable (const member).
+  std::vector<std::unique_ptr<LruCache<V>>> shards_;
 };
 
 }  // namespace cold::serve

@@ -1,17 +1,19 @@
 #include "serve/model_service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <optional>
+#include <span>
 #include <sstream>
 #include <unordered_map>
 #include <utility>
 
 #include "apps/influence.h"
 #include "core/model_io.h"
-#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/json.h"
+#include "serve/snapshot_arena.h"
 #include "util/logging.h"
 
 namespace cold::serve {
@@ -51,7 +53,7 @@ const EndpointMetrics& MetricsFor(const char* endpoint) {
   return it->second;
 }
 
-struct CacheMetrics {
+struct ServiceCounters {
   obs::Counter* hits;
   obs::Counter* misses;
   obs::Counter* batches;
@@ -59,11 +61,15 @@ struct CacheMetrics {
   obs::Histogram* batch_size;
   obs::Counter* reloads;
   obs::Counter* reload_failures;
+  /// Duration of the atomic RouterState store — the serving stall a
+  /// hot-reload actually imposes (snapshot load/validate runs beforehand,
+  /// off to the side).
+  obs::Histogram* reload_swap;
 };
 
-CacheMetrics& ServiceMetrics() {
+ServiceCounters& ServiceMetrics() {
   auto& registry = obs::Registry::Global();
-  static CacheMetrics metrics{
+  static ServiceCounters metrics{
       registry.GetCounter("cold/serve/posterior_cache_hits"),
       registry.GetCounter("cold/serve/posterior_cache_misses"),
       registry.GetCounter("cold/serve/batches"),
@@ -72,7 +78,8 @@ CacheMetrics& ServiceMetrics() {
                             {},
                             obs::HistogramOptions{1.0, 2.0, 12}),
       registry.GetCounter("cold/serve/reloads"),
-      registry.GetCounter("cold/serve/reload_failures")};
+      registry.GetCounter("cold/serve/reload_failures"),
+      registry.GetHistogram("cold/serve/reload_swap_seconds")};
   return metrics;
 }
 
@@ -111,7 +118,33 @@ HttpResponse JsonResponse(int code, const Json& payload) {
 
 ModelService::ModelService(ModelServiceOptions options)
     : options_(std::move(options)),
-      posterior_cache_(options_.posterior_cache_capacity) {
+      num_replicas_(std::max(1, options_.num_replicas)) {
+  const size_t shards = std::max<size_t>(1, options_.cache_shards);
+  const size_t per_replica =
+      options_.posterior_cache_capacity == 0
+          ? 0
+          : (options_.posterior_cache_capacity +
+             static_cast<size_t>(num_replicas_) - 1) /
+                static_cast<size_t>(num_replicas_);
+  auto& registry = obs::Registry::Global();
+  caches_.reserve(static_cast<size_t>(num_replicas_));
+  shard_metrics_.reserve(static_cast<size_t>(num_replicas_));
+  for (int r = 0; r < num_replicas_; ++r) {
+    caches_.push_back(std::make_unique<ShardedLruCache<std::vector<double>>>(
+        per_replica, shards));
+    std::vector<ShardMetrics> per_shard;
+    per_shard.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) {
+      obs::Labels labels{{"replica", std::to_string(r)},
+                         {"shard", std::to_string(s)}};
+      per_shard.push_back(
+          ShardMetrics{registry.GetCounter("cold/serve/cache_hits", labels),
+                       registry.GetCounter("cold/serve/cache_misses", labels),
+                       registry.GetCounter("cold/serve/cache_evictions",
+                                           labels)});
+    }
+    shard_metrics_.push_back(std::move(per_shard));
+  }
   if (options_.batching_enabled) {
     batch_thread_ = std::thread([this] { BatchLoop(); });
   }
@@ -132,37 +165,97 @@ cold::Status ModelService::LoadFromFile(const std::string& path) {
   if (path.empty()) {
     return cold::Status::InvalidArgument("no model path configured");
   }
-  auto loaded = core::LoadEstimates(path);
-  if (!loaded.ok()) {
-    ServiceMetrics().reload_failures->Increment();
-    return loaded.status();
+  // All snapshot parsing, validation and predictor construction (TopComm
+  // precollection for COLDEST1) runs before the swap, so serving continues
+  // at full speed during a reload.
+  std::vector<std::shared_ptr<const core::ColdPredictor>> replicas;
+  std::string format;
+  if (core::IsArenaFile(path)) {
+    auto mapped = ArenaSnapshot::Map(path);
+    if (!mapped.ok()) {
+      ServiceMetrics().reload_failures->Increment();
+      return mapped.status();
+    }
+    std::shared_ptr<const ArenaSnapshot> snapshot =
+        std::move(mapped).ValueOrDie();
+    const size_t table_len = static_cast<size_t>(snapshot->view().U) *
+                             static_cast<size_t>(snapshot->top_m());
+    std::span<const int32_t> top_comm(snapshot->top_comm(), table_len);
+    // Every replica is a zero-copy view pinning the same mmap; replica
+    // count buys cache partitioning, not memory.
+    replicas.reserve(static_cast<size_t>(num_replicas_));
+    for (int r = 0; r < num_replicas_; ++r) {
+      replicas.push_back(std::make_shared<const core::ColdPredictor>(
+          snapshot->view(), snapshot, top_comm, snapshot->top_m()));
+    }
+    format = "coldarn1";
+  } else {
+    auto loaded = core::LoadEstimates(path);
+    if (!loaded.ok()) {
+      ServiceMetrics().reload_failures->Increment();
+      return loaded.status();
+    }
+    auto predictor = std::make_shared<const core::ColdPredictor>(
+        std::move(loaded).ValueOrDie(), options_.top_communities);
+    replicas.assign(static_cast<size_t>(num_replicas_), predictor);
+    format = "coldest1";
   }
-  // Predictor construction (TopComm precollection) runs outside the model
-  // lock so serving continues at full speed during a reload.
-  auto predictor = std::make_shared<const core::ColdPredictor>(
-      std::move(loaded).ValueOrDie(), options_.top_communities);
-  SetPredictor(std::move(predictor));
+  InstallReplicas(std::move(replicas), std::move(format));
   COLD_LOG(kInfo) << "cold_serve loaded snapshot " << path << " (generation "
-                  << generation() << ")";
+                  << generation() << ", " << num_replicas_ << " replicas)";
   return cold::Status::OK();
 }
 
 void ModelService::SetPredictor(
     std::shared_ptr<const core::ColdPredictor> predictor) {
-  {
-    std::lock_guard<std::mutex> lock(model_mutex_);
-    model_ = std::move(predictor);
-    generation_.fetch_add(1, std::memory_order_relaxed);
-  }
+  std::vector<std::shared_ptr<const core::ColdPredictor>> replicas(
+      static_cast<size_t>(num_replicas_), std::move(predictor));
+  InstallReplicas(std::move(replicas), "in_memory");
+}
+
+void ModelService::InstallReplicas(
+    std::vector<std::shared_ptr<const core::ColdPredictor>> replicas,
+    std::string format) {
+  std::lock_guard<std::mutex> lock(reload_mutex_);
+  auto next = std::make_shared<RouterState>();
+  next->generation = generation_.load(std::memory_order_relaxed) + 1;
+  next->format = std::move(format);
+  next->replicas = std::move(replicas);
+
+  auto swap_start = std::chrono::steady_clock::now();
+  router_.store(std::move(next), std::memory_order_release);
+  ServiceMetrics().reload_swap->Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    swap_start)
+          .count());
+
+  generation_.fetch_add(1, std::memory_order_relaxed);
   // Posteriors are keyed by generation, so stale entries can never be
   // served; clearing just returns their memory promptly.
-  posterior_cache_.Clear();
+  for (auto& cache : caches_) cache->Clear();
   ServiceMetrics().reloads->Increment();
 }
 
 std::shared_ptr<const core::ColdPredictor> ModelService::predictor() const {
-  std::lock_guard<std::mutex> lock(model_mutex_);
-  return model_;
+  auto current = state();
+  if (current == nullptr || current->replicas.empty()) return nullptr;
+  return current->replicas.front();
+}
+
+int ModelService::ReplicaFor(const RouterState& state, text::UserId author) {
+  if (state.replicas.size() <= 1) return 0;
+  // Home community: the author's strongest membership. TopComm is the
+  // same on every replica (they view one snapshot), so replica 0 answers.
+  auto top = state.replicas.front()->TopComm(author);
+  int home = top.empty() ? 0 : top.front();
+  if (home < 0) home = 0;
+  return home % static_cast<int>(state.replicas.size());
+}
+
+int ModelService::ReplicaForAuthor(text::UserId author) const {
+  auto current = state();
+  if (current == nullptr || current->replicas.empty()) return 0;
+  return ReplicaFor(*current, author);
 }
 
 HttpResponse ModelService::Handle(const HttpRequest& request) {
@@ -246,27 +339,33 @@ HttpResponse ModelService::Route(const HttpRequest& request,
 }
 
 std::shared_ptr<const std::vector<double>> ModelService::PosteriorFor(
-    const core::ColdPredictor& model, int64_t generation, text::UserId author,
-    const std::vector<text::WordId>& words) {
+    const core::ColdPredictor& model, int replica, int64_t generation,
+    text::UserId author, const std::vector<text::WordId>& words) {
   const std::string key = PosteriorKey(generation, author, words);
-  if (auto cached = posterior_cache_.Get(key)) {
+  auto& cache = *caches_[static_cast<size_t>(replica)];
+  const ShardMetrics& shard =
+      shard_metrics_[static_cast<size_t>(replica)][cache.ShardOf(key)];
+  if (auto cached = cache.Get(key)) {
     ServiceMetrics().hits->Increment();
+    shard.hits->Increment();
     return cached;
   }
   ServiceMetrics().misses->Increment();
+  shard.misses->Increment();
   auto posterior = std::make_shared<const std::vector<double>>(
       model.TopicPosterior(words, author));
-  posterior_cache_.Put(key, posterior);
+  if (cache.Put(key, posterior)) shard.evictions->Increment();
   return posterior;
 }
 
 std::future<double> ModelService::EnqueueDiffusion(
     std::shared_ptr<const core::ColdPredictor> model, int64_t generation,
-    text::UserId publisher, text::UserId candidate,
+    int replica, text::UserId publisher, text::UserId candidate,
     std::vector<text::WordId> words) {
   PendingDiffusion pending;
   pending.model = std::move(model);
   pending.generation = generation;
+  pending.replica = replica;
   pending.publisher = publisher;
   pending.candidate = candidate;
   pending.words = std::move(words);
@@ -323,8 +422,10 @@ void ModelService::ExecuteBatch(std::vector<PendingDiffusion>* batch) {
     auto it = drain_posteriors.find(key);
     if (it == drain_posteriors.end()) {
       it = drain_posteriors
-               .emplace(key, PosteriorFor(*item.model, item.generation,
-                                          item.publisher, item.words))
+               .emplace(key,
+                        PosteriorFor(*item.model, item.replica,
+                                     item.generation, item.publisher,
+                                     item.words))
                .first;
     }
     item.promise.set_value(item.model->DiffusionFromPosterior(
@@ -333,10 +434,12 @@ void ModelService::ExecuteBatch(std::vector<PendingDiffusion>* batch) {
 }
 
 HttpResponse ModelService::HandleDiffusion(const HttpRequest& request) {
-  auto model = predictor();
-  if (model == nullptr) return HttpResponse::Error(503, "no model loaded");
-  const int64_t gen = generation();
-  const auto& est = model->estimates();
+  auto current = state();
+  if (current == nullptr || current->replicas.empty()) {
+    return HttpResponse::Error(503, "no model loaded");
+  }
+  const int64_t gen = current->generation;
+  const auto& est = current->replicas.front()->estimates();
 
   // Sequential request phases as trace spans: emplace ends the previous
   // phase before the next begins, so the timeline shows parse -> predict
@@ -354,6 +457,11 @@ HttpResponse ModelService::HandleDiffusion(const HttpRequest& request) {
   if (!word_ids.ok()) return HttpResponse::FromStatus(word_ids.status());
   std::vector<text::WordId> words = ToWordIds(*word_ids);
   auto author = static_cast<text::UserId>(*publisher);
+
+  // All candidates share the author, whose home community picks the
+  // replica (and therefore the posterior cache) for the whole request.
+  const int replica = ReplicaFor(*current, author);
+  const auto& model = current->replicas[static_cast<size_t>(replica)];
 
   // Either one "candidate" or a fan-out "candidates" array.
   std::vector<text::UserId> candidates;
@@ -375,16 +483,21 @@ HttpResponse ModelService::HandleDiffusion(const HttpRequest& request) {
   phase.emplace("serve/predict");
   std::vector<double> probabilities;
   probabilities.reserve(candidates.size());
-  if (options_.batching_enabled) {
+  // Single-candidate requests — the serving hot path — always compute
+  // inline: one cache lookup plus one dot product beats a queue hop, and
+  // the epoll core runs this handler on a reactor thread that must not
+  // park on a future. Fan-outs still amortize Eq. (5) through the batch
+  // thread when batching is on.
+  if (options_.batching_enabled && candidates.size() > 1) {
     std::vector<std::future<double>> futures;
     futures.reserve(candidates.size());
     for (text::UserId candidate : candidates) {
       futures.push_back(
-          EnqueueDiffusion(model, gen, author, candidate, words));
+          EnqueueDiffusion(model, gen, replica, author, candidate, words));
     }
     for (auto& f : futures) probabilities.push_back(f.get());
   } else {
-    auto posterior = PosteriorFor(*model, gen, author, words);
+    auto posterior = PosteriorFor(*model, replica, gen, author, words);
     for (text::UserId candidate : candidates) {
       probabilities.push_back(
           model->DiffusionFromPosterior(author, candidate, *posterior));
@@ -407,9 +520,11 @@ HttpResponse ModelService::HandleDiffusion(const HttpRequest& request) {
 }
 
 HttpResponse ModelService::HandleTopicPosterior(const HttpRequest& request) {
-  auto model = predictor();
-  if (model == nullptr) return HttpResponse::Error(503, "no model loaded");
-  const auto& est = model->estimates();
+  auto current = state();
+  if (current == nullptr || current->replicas.empty()) {
+    return HttpResponse::Error(503, "no model loaded");
+  }
+  const auto& est = current->replicas.front()->estimates();
 
   auto parsed = Json::Parse(request.body);
   if (!parsed.ok()) return HttpResponse::FromStatus(parsed.status());
@@ -418,18 +533,22 @@ HttpResponse ModelService::HandleTopicPosterior(const HttpRequest& request) {
   auto word_ids = parsed->GetIntArray("words", est.V);
   if (!word_ids.ok()) return HttpResponse::FromStatus(word_ids.status());
 
+  auto author_id = static_cast<text::UserId>(*author);
+  const int replica = ReplicaFor(*current, author_id);
   auto posterior =
-      PosteriorFor(*model, generation(), static_cast<text::UserId>(*author),
-                   ToWordIds(*word_ids));
+      PosteriorFor(*current->replicas[static_cast<size_t>(replica)], replica,
+                   current->generation, author_id, ToWordIds(*word_ids));
   Json payload = Json::MakeObject();
   payload.Set("posterior", DoubleArray(*posterior));
   return JsonResponse(200, payload);
 }
 
 HttpResponse ModelService::HandleLink(const HttpRequest& request) {
-  auto model = predictor();
-  if (model == nullptr) return HttpResponse::Error(503, "no model loaded");
-  const auto& est = model->estimates();
+  auto current = state();
+  if (current == nullptr || current->replicas.empty()) {
+    return HttpResponse::Error(503, "no model loaded");
+  }
+  const auto& est = current->replicas.front()->estimates();
 
   auto parsed = Json::Parse(request.body);
   if (!parsed.ok()) return HttpResponse::FromStatus(parsed.status());
@@ -438,17 +557,22 @@ HttpResponse ModelService::HandleLink(const HttpRequest& request) {
   auto target = parsed->GetInt("target", 0, est.U - 1);
   if (!target.ok()) return HttpResponse::FromStatus(target.status());
 
+  auto source_id = static_cast<text::UserId>(*source);
+  const auto& model =
+      current->replicas[static_cast<size_t>(ReplicaFor(*current, source_id))];
   Json payload = Json::MakeObject();
   payload.Set("probability",
-              model->LinkProbability(static_cast<text::UserId>(*source),
+              model->LinkProbability(source_id,
                                      static_cast<text::UserId>(*target)));
   return JsonResponse(200, payload);
 }
 
 HttpResponse ModelService::HandleTimestamp(const HttpRequest& request) {
-  auto model = predictor();
-  if (model == nullptr) return HttpResponse::Error(503, "no model loaded");
-  const auto& est = model->estimates();
+  auto current = state();
+  if (current == nullptr || current->replicas.empty()) {
+    return HttpResponse::Error(503, "no model loaded");
+  }
+  const auto& est = current->replicas.front()->estimates();
 
   auto parsed = Json::Parse(request.body);
   if (!parsed.ok()) return HttpResponse::FromStatus(parsed.status());
@@ -457,9 +581,11 @@ HttpResponse ModelService::HandleTimestamp(const HttpRequest& request) {
   auto word_ids = parsed->GetIntArray("words", est.V);
   if (!word_ids.ok()) return HttpResponse::FromStatus(word_ids.status());
 
+  auto author_id = static_cast<text::UserId>(*author);
+  const auto& model =
+      current->replicas[static_cast<size_t>(ReplicaFor(*current, author_id))];
   std::vector<text::WordId> words = ToWordIds(*word_ids);
-  std::vector<double> scores =
-      model->TimestampScores(words, static_cast<text::UserId>(*author));
+  std::vector<double> scores = model->TimestampScores(words, author_id);
   if (scores.empty()) return HttpResponse::Error(500, "prediction failed");
   int predicted = static_cast<int>(
       std::max_element(scores.begin(), scores.end()) - scores.begin());
@@ -509,15 +635,17 @@ HttpResponse ModelService::HandleInfluentialCommunities(
 }
 
 HttpResponse ModelService::HandleHealth() {
-  auto model = predictor();
+  auto current = state();
   Json payload = Json::MakeObject();
-  if (model == nullptr) {
+  if (current == nullptr || current->replicas.empty()) {
     payload.Set("status", "no_model");
     return JsonResponse(503, payload);
   }
-  const auto& est = model->estimates();
+  const auto& est = current->replicas.front()->estimates();
   payload.Set("status", "ok");
   payload.Set("generation", generation());
+  payload.Set("replicas", static_cast<int64_t>(current->replicas.size()));
+  payload.Set("snapshot_format", current->format);
   Json dims = Json::MakeObject();
   dims.Set("users", est.U);
   dims.Set("communities", est.C);
@@ -538,12 +666,15 @@ HttpResponse ModelService::HandleMetrics() {
 HttpResponse ModelService::HandleDebugVars() {
   // The full telemetry snapshot as JSON (histograms include estimated
   // p50/p90/p99), expvar-style, plus a couple of service-level fields.
+  auto current = state();
   std::ostringstream vars;
   obs::Registry::Global().DumpJson(vars);
   std::ostringstream os;
   os << "{\"generation\":" << generation()
-     << ",\"model_loaded\":" << (predictor() != nullptr ? "true" : "false")
-     << ",\"telemetry\":" << vars.str() << "}";
+     << ",\"model_loaded\":" << (current != nullptr ? "true" : "false")
+     << ",\"replicas\":" << num_replicas_ << ",\"snapshot_format\":\""
+     << (current != nullptr ? current->format : "none")
+     << "\",\"telemetry\":" << vars.str() << "}";
   HttpResponse r;
   r.status_code = 200;
   r.body = os.str();

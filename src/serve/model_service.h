@@ -11,17 +11,28 @@
 //   GET  /debug/vars                  full JSON telemetry snapshot
 //   POST /admin/reload                atomic snapshot hot-reload
 //
-// Model sharing is a shared_ptr<const ColdPredictor> swapped under a
-// mutex: requests pin the snapshot they started with, so a reload never
-// invalidates an in-flight computation and old snapshots free themselves
-// when their last request completes.
+// Replica routing: the service holds R ColdPredictor replicas behind one
+// atomically swapped RouterState. A query is routed by the home community
+// of its author (TopComm(author)[0] mod R), so each replica's posterior
+// cache concentrates on a disjoint slice of the community space instead
+// of all replicas thrashing one global LRU. Each replica's cache is
+// itself sharded (ShardedLruCache) so reactor threads landing on the
+// same replica contend per-shard, not per-cache.
 //
-// Diffusion requests are micro-batched: they queue into a single drain
-// thread that groups the batch by (author, words) so the O(K |w_d|) topic
-// posterior — the expensive half of Eq. (7) — is computed once per post
-// per drain, then fanned out across candidates via DiffusionFromPosterior.
-// A bounded LRU keyed by (generation, author, words) memoizes posteriors
-// across batches for /v1/topic_posterior and repeat traffic.
+// Hot reload is an O(1) generation pointer swap: the new RouterState is
+// fully constructed off to the side (for COLDARN1 arena snapshots the
+// replicas are zero-copy views into one shared mmap), then installed with
+// a single atomic store — cold/serve/reload_swap_seconds measures exactly
+// that store, which is why the p99 reload stall is microseconds. Requests
+// pin the RouterState they loaded, so a reload never invalidates an
+// in-flight computation and old snapshots free themselves when their last
+// request completes.
+//
+// Single-candidate /v1/diffusion — the serving hot path — computes inline
+// on the calling (reactor) thread: one cache-assisted Eq. (5) posterior
+// plus one DiffusionFromPosterior, no queue hop. Multi-candidate fan-outs
+// still micro-batch through the drain thread so the O(K |w_d|) posterior
+// is computed once per post and shared across candidates.
 #pragma once
 
 #include <atomic>
@@ -36,6 +47,7 @@
 #include <vector>
 
 #include "core/predictor.h"
+#include "obs/metrics.h"
 #include "serve/http.h"
 #include "serve/lru_cache.h"
 #include "util/status.h"
@@ -45,14 +57,23 @@ namespace cold::serve {
 struct ModelServiceOptions {
   /// Snapshot reloaded by POST /admin/reload (without a "path" override)
   /// and by SIGHUP in the cold_serve tool. May be empty for in-process
-  /// services constructed from estimates directly.
+  /// services constructed from estimates directly. COLDEST1 and COLDARN1
+  /// files are both accepted (sniffed by magic).
   std::string model_path;
   /// |TopComm(i)| used when constructing predictors (the paper fixes 5).
   int top_communities = 5;
-  /// Entries in the (generation, author, words) -> posterior LRU;
-  /// 0 disables caching.
+  /// Replicas queries are sharded across by home community (clamped to
+  /// >= 1). Arena snapshots share one mmap across all replicas; legacy
+  /// COLDEST1 loads share one predictor.
+  int num_replicas = 1;
+  /// Total entries across each replica's posterior LRU; 0 disables
+  /// caching. The per-replica budget is capacity / num_replicas.
   size_t posterior_cache_capacity = 4096;
-  /// Micro-batching of /v1/diffusion. Disabled, requests compute inline.
+  /// Mutex shards within each replica's posterior cache.
+  size_t cache_shards = 8;
+  /// Micro-batching of multi-candidate /v1/diffusion fan-outs. Disabled,
+  /// requests compute inline. Single-candidate requests always compute
+  /// inline.
   bool batching_enabled = true;
   /// Max requests drained into one batch.
   size_t max_batch = 64;
@@ -74,17 +95,20 @@ class ModelService {
   ModelService(const ModelService&) = delete;
   ModelService& operator=(const ModelService&) = delete;
 
-  /// \brief Loads a COLDEST1 snapshot and swaps it in atomically. On
-  /// failure the previous model keeps serving.
+  /// \brief Loads a snapshot (COLDARN1 arena or legacy COLDEST1, sniffed
+  /// by magic) and swaps it in atomically. On failure the previous model
+  /// keeps serving.
   cold::Status LoadFromFile(const std::string& path);
 
   /// \brief Reloads from options.model_path (the SIGHUP path).
   cold::Status Reload() { return LoadFromFile(options_.model_path); }
 
-  /// \brief Installs an in-memory predictor (tests, examples).
+  /// \brief Installs an in-memory predictor (tests, examples), shared by
+  /// every replica slot.
   void SetPredictor(std::shared_ptr<const core::ColdPredictor> predictor);
 
-  /// \brief The current snapshot; may be nullptr before the first load.
+  /// \brief Replica 0 of the current snapshot; may be nullptr before the
+  /// first load.
   std::shared_ptr<const core::ColdPredictor> predictor() const;
 
   /// Number of successful swaps (initial load counts).
@@ -92,18 +116,42 @@ class ModelService {
     return generation_.load(std::memory_order_relaxed);
   }
 
+  int num_replicas() const { return num_replicas_; }
+
+  /// \brief The replica index author routes to under the current
+  /// snapshot (exposed for router tests); 0 when no model is loaded.
+  int ReplicaForAuthor(text::UserId author) const;
+
   /// \brief The HTTP entry point, safe for concurrent calls; wire this
   /// into HttpServer as the handler.
   HttpResponse Handle(const HttpRequest& request);
 
  private:
+  /// One immutable generation of the service: R predictor replicas over
+  /// one shared snapshot. Swapped wholesale by reloads.
+  struct RouterState {
+    int64_t generation = 0;
+    /// "coldarn1" (mmap arena), "coldest1" (legacy file) or "in_memory".
+    std::string format;
+    std::vector<std::shared_ptr<const core::ColdPredictor>> replicas;
+  };
+
   struct PendingDiffusion {
     std::shared_ptr<const core::ColdPredictor> model;
     int64_t generation = 0;
+    int replica = 0;
     text::UserId publisher = 0;
     text::UserId candidate = 0;
     std::vector<text::WordId> words;
     std::promise<double> promise;
+  };
+
+  /// Per-(replica, shard) cache counters exported as
+  /// cold/serve/cache_{hits,misses,evictions}{replica=..,shard=..}.
+  struct ShardMetrics {
+    obs::Counter* hits;
+    obs::Counter* misses;
+    obs::Counter* evictions;
   };
 
   HttpResponse Route(const HttpRequest& request, const char** endpoint);
@@ -117,27 +165,45 @@ class ModelService {
   HttpResponse HandleDebugVars();
   HttpResponse HandleReload(const HttpRequest& request);
 
-  /// Cache-assisted Eq. (5); never nullptr for validated inputs.
+  std::shared_ptr<const RouterState> state() const {
+    return router_.load(std::memory_order_acquire);
+  }
+
+  /// Builds the next generation around `replicas` and installs it with
+  /// one atomic store (timed by cold/serve/reload_swap_seconds).
+  void InstallReplicas(
+      std::vector<std::shared_ptr<const core::ColdPredictor>> replicas,
+      std::string format);
+
+  static int ReplicaFor(const RouterState& state, text::UserId author);
+
+  /// Cache-assisted Eq. (5) against `replica`'s cache; never nullptr for
+  /// validated inputs.
   std::shared_ptr<const std::vector<double>> PosteriorFor(
-      const core::ColdPredictor& model, int64_t generation,
+      const core::ColdPredictor& model, int replica, int64_t generation,
       text::UserId author, const std::vector<text::WordId>& words);
 
   /// Enqueues one diffusion scoring; the future resolves after a drain.
   std::future<double> EnqueueDiffusion(
       std::shared_ptr<const core::ColdPredictor> model, int64_t generation,
-      text::UserId publisher, text::UserId candidate,
+      int replica, text::UserId publisher, text::UserId candidate,
       std::vector<text::WordId> words);
 
   void BatchLoop();
   void ExecuteBatch(std::vector<PendingDiffusion>* batch);
 
   const ModelServiceOptions options_;
+  const int num_replicas_;
 
-  mutable std::mutex model_mutex_;
-  std::shared_ptr<const core::ColdPredictor> model_;
+  std::atomic<std::shared_ptr<const RouterState>> router_;
   std::atomic<int64_t> generation_{0};
+  /// Serializes reloads (the swap itself is a single atomic store).
+  std::mutex reload_mutex_;
 
-  LruCache<std::vector<double>> posterior_cache_;
+  /// One sharded posterior cache per replica, stable across reloads
+  /// (entries are generation-keyed, so stale hits are impossible).
+  std::vector<std::unique_ptr<ShardedLruCache<std::vector<double>>>> caches_;
+  std::vector<std::vector<ShardMetrics>> shard_metrics_;
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;

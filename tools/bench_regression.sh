@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # bench_regression — end-to-end throughput gate (DESIGN.md §11), wired up
 # as the `bench_regression` ctest: runs the smoke-scale sampler, parallel,
-# and distributed benches, then diffs their fresh JSON against the
+# distributed, and serving benches, then diffs their fresh JSON against the
 # committed baselines in bench/baselines/ with bench_compare.
 #
 # Usage: bench_regression.sh <sampler_bench> <parallel_bench> \
-#                            <dist_bench> <bench_compare> <baseline_dir>
+#                            <dist_bench> <serve_bench> <bench_compare> \
+#                            <baseline_dir>
 #
 # COLD_BENCH_GATE_TOLERANCE (default 0.5) is deliberately loose: smoke
 # scale is seconds of work on whatever machine CI lands on, so the gate is
@@ -17,27 +18,29 @@
 # committing the new files (workflow in DESIGN.md §11).
 set -euo pipefail
 
-if [[ $# -ne 5 ]]; then
-  echo "usage: $0 <sampler_bench> <parallel_bench> <dist_bench> <bench_compare> <baseline_dir>" >&2
+if [[ $# -ne 6 ]]; then
+  echo "usage: $0 <sampler_bench> <parallel_bench> <dist_bench> <serve_bench> <bench_compare> <baseline_dir>" >&2
   exit 2
 fi
 
 SAMPLER_BENCH="$1"
 PARALLEL_BENCH="$2"
 DIST_BENCH="$3"
-BENCH_COMPARE="$4"
-BASELINE_DIR="$5"
+SERVE_BENCH="$4"
+BENCH_COMPARE="$5"
+BASELINE_DIR="$6"
 TOLERANCE="${COLD_BENCH_GATE_TOLERANCE:-0.5}"
 ATTEMPTS="${COLD_BENCH_GATE_ATTEMPTS:-3}"
 
 WORK_DIR="$(mktemp -d /tmp/cold_bench_gate.XXXXXX)"
 trap 'rm -rf "${WORK_DIR}"' EXIT
 
-for f in "${SAMPLER_BENCH}" "${PARALLEL_BENCH}" "${DIST_BENCH}" "${BENCH_COMPARE}"; do
+for f in "${SAMPLER_BENCH}" "${PARALLEL_BENCH}" "${DIST_BENCH}" \
+         "${SERVE_BENCH}" "${BENCH_COMPARE}"; do
   [[ -x "$f" ]] || { echo "FAIL: missing executable $f" >&2; exit 2; }
 done
 for f in "${BASELINE_DIR}/sampler.json" "${BASELINE_DIR}/parallel.json" \
-         "${BASELINE_DIR}/dist.json"; do
+         "${BASELINE_DIR}/dist.json" "${BASELINE_DIR}/serve.json"; do
   [[ -r "$f" ]] || { echo "FAIL: missing baseline $f" >&2; exit 2; }
 done
 
@@ -53,6 +56,8 @@ for attempt in $(seq 1 "${ATTEMPTS}"); do
   "${PARALLEL_BENCH}" --smoke --out "${WORK_DIR}/parallel.json"
   echo "== attempt ${attempt}/${ATTEMPTS}: smoke-scale dist bench =="
   "${DIST_BENCH}" --smoke --out "${WORK_DIR}/dist.json"
+  echo "== attempt ${attempt}/${ATTEMPTS}: smoke-scale serve bench =="
+  "${SERVE_BENCH}" --smoke --out "${WORK_DIR}/serve.json"
 
   STATUS=0
   echo "== gate: sampler vs baseline (tolerance ${TOLERANCE}) =="
@@ -64,6 +69,9 @@ for attempt in $(seq 1 "${ATTEMPTS}"); do
   echo "== gate: dist vs baseline (tolerance ${TOLERANCE}) =="
   "${BENCH_COMPARE}" "${BASELINE_DIR}/dist.json" \
     "${WORK_DIR}/dist.json" --tolerance "${TOLERANCE}" || STATUS=1
+  echo "== gate: serve vs baseline (tolerance ${TOLERANCE}) =="
+  "${BENCH_COMPARE}" "${BASELINE_DIR}/serve.json" \
+    "${WORK_DIR}/serve.json" --tolerance "${TOLERANCE}" || STATUS=1
 
   if [[ "${STATUS}" -eq 0 ]]; then
     echo "PASS: bench regression gate clean (attempt ${attempt})"

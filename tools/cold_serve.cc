@@ -1,10 +1,19 @@
 // cold_serve — the COLD prediction server (the online half of §5.2's
-// offline/online split): loads a COLDEST1 snapshot, builds a
-// ColdPredictor, and serves the JSON inference API over HTTP/1.1.
+// offline/online split): loads a model snapshot (COLDARN1 mmap arena or
+// legacy COLDEST1, sniffed by magic), builds ColdPredictor replicas, and
+// serves the JSON inference API over HTTP/1.1 from an epoll event loop.
 //
-// Usage: cold_serve <model> [--port N] [--workers N] [--cache N]
-//                   [--no-batching] [--batch-max N] [--batch-wait-us N]
+// Usage: cold_serve <model> [--port N] [--reactors N] [--replicas N]
+//                   [--idle-timeout-seconds N] [--blocking] [--workers N]
+//                   [--cache N] [--cache-shards N] [--no-batching]
+//                   [--batch-max N] [--batch-wait-us N]
 //                   [--top-communities N] [--max-inflight N]
+//
+// --reactors picks the event-loop thread count (0 = one per hardware
+// thread, capped at 16); --blocking falls back to the legacy
+// thread-per-connection core sized by --workers. --replicas shards
+// queries across N predictor replicas by the author's home community;
+// arena snapshots share one mmap across all replicas.
 //
 // --max-inflight enables load shedding: connections beyond N concurrently
 // serviced ones are answered 503 + Retry-After instead of queueing (0 =
@@ -45,10 +54,12 @@ void OnSignal(int sig) {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <model> [--port N=8080] [--workers N=8] "
-               "[--cache N=4096] [--no-batching] [--batch-max N=64] "
-               "[--batch-wait-us N=200] [--top-communities N=5] "
-               "[--max-inflight N=0] [--slow-request-ms N=0]\n",
+               "usage: %s <model> [--port N=8080] [--reactors N=0] "
+               "[--replicas N=1] [--idle-timeout-seconds N=5] [--blocking] "
+               "[--workers N=8] [--cache N=4096] [--cache-shards N=8] "
+               "[--no-batching] [--batch-max N=64] [--batch-wait-us N=200] "
+               "[--top-communities N=5] [--max-inflight N=0] "
+               "[--slow-request-ms N=0]\n",
                argv0);
   return 2;
 }
@@ -75,6 +86,11 @@ int main(int argc, char** argv) {
   std::string model_path = argv[1];
   int port = 8080;
   int workers = 8;
+  int reactors = 0;
+  int replicas = 1;
+  int idle_timeout = 5;
+  int cache_shards = 8;
+  bool blocking = false;
   int cache = 4096;
   int batch_max = 64;
   int batch_wait_us = 200;
@@ -92,6 +108,16 @@ int main(int argc, char** argv) {
       if (!next(0, 65535, &port)) return Usage(argv[0]);
     } else if (std::strcmp(arg, "--workers") == 0) {
       if (!next(1, 1024, &workers)) return Usage(argv[0]);
+    } else if (std::strcmp(arg, "--reactors") == 0) {
+      if (!next(0, 1024, &reactors)) return Usage(argv[0]);
+    } else if (std::strcmp(arg, "--replicas") == 0) {
+      if (!next(1, 1024, &replicas)) return Usage(argv[0]);
+    } else if (std::strcmp(arg, "--idle-timeout-seconds") == 0) {
+      if (!next(0, 86400, &idle_timeout)) return Usage(argv[0]);
+    } else if (std::strcmp(arg, "--cache-shards") == 0) {
+      if (!next(1, 4096, &cache_shards)) return Usage(argv[0]);
+    } else if (std::strcmp(arg, "--blocking") == 0) {
+      blocking = true;
     } else if (std::strcmp(arg, "--cache") == 0) {
       if (!next(0, 1 << 24, &cache)) return Usage(argv[0]);
     } else if (std::strcmp(arg, "--no-batching") == 0) {
@@ -115,7 +141,9 @@ int main(int argc, char** argv) {
   serve::ModelServiceOptions service_options;
   service_options.model_path = model_path;
   service_options.top_communities = top_communities;
+  service_options.num_replicas = replicas;
   service_options.posterior_cache_capacity = static_cast<size_t>(cache);
+  service_options.cache_shards = static_cast<size_t>(cache_shards);
   service_options.batching_enabled = batching;
   service_options.max_batch = static_cast<size_t>(batch_max);
   service_options.batch_wait_us = batch_wait_us;
@@ -129,7 +157,11 @@ int main(int argc, char** argv) {
 
   serve::HttpServerOptions server_options;
   server_options.port = port;
+  server_options.mode = blocking ? serve::ServerMode::kBlocking
+                                 : serve::ServerMode::kEpoll;
   server_options.num_workers = static_cast<size_t>(workers);
+  server_options.num_reactors = reactors;
+  server_options.idle_timeout_seconds = idle_timeout;
   server_options.max_inflight_requests = static_cast<size_t>(max_inflight);
   serve::HttpServer server(
       server_options,

@@ -91,6 +91,7 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <dataset-dir> <model-out> [C=8] [K=12] "
+               "[--arena-out PATH] "
                "[iterations=150] [--parallel [nodes=4]] [--threads N] "
                "[--partitioner modulo|greedy] [--legacy-counters] "
                "[--nodes N [--node-rank R --coordinator HOST:PORT]] "
@@ -132,6 +133,9 @@ bool ParseNonNegativeInt(const char* s, int* out) {
 struct Args {
   std::string dataset_dir;
   std::string model_out;
+  /// When non-empty, also write a COLDARN1 mmap-able arena snapshot here
+  /// (the cold_serve zero-copy format).
+  std::string arena_out;
   int num_communities = 8;
   int num_topics = 12;
   int iterations = 150;
@@ -166,6 +170,24 @@ struct Args {
       cold::core::TopicSampling::kAuto;
   int sparse_mh_steps = 2;
 };
+
+
+/// Writes the optional COLDARN1 arena next to the COLDEST1 model when
+/// --arena-out was given. Non-fatal on its own; callers fold the result
+/// into their exit code.
+bool MaybeSaveArena(const Args& args, const cold::core::ColdEstimates& estimates,
+                    int top_communities) {
+  namespace core = cold::core;
+  if (args.arena_out.empty()) return true;
+  if (auto st = core::SaveArenaSnapshot(estimates, top_communities,
+                                        args.arena_out);
+      !st.ok()) {
+    std::fprintf(stderr, "arena: %s\n", st.ToString().c_str());
+    return false;
+  }
+  std::printf("arena snapshot written to %s\n", args.arena_out.c_str());
+  return true;
+}
 
 /// Returns false (after printing the offending token) on any unknown flag
 /// or malformed value.
@@ -299,6 +321,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       }
     } else if (std::strcmp(arg, "--resume") == 0) {
       args->resume = true;
+    } else if (std::strcmp(arg, "--arena-out") == 0) {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "--arena-out requires a path\n");
+        return false;
+      }
+      args->arena_out = argv[++a];
     } else if (std::strcmp(arg, "--topic-sampling") == 0) {
       if (a + 1 >= argc) {
         std::fprintf(stderr,
@@ -664,6 +692,9 @@ int RunDistNode(const Args& args, const cold::core::ColdConfig& config,
       std::printf("model written to %s (U=%d C=%d K=%d T=%d V=%d)\n",
                   args.model_out.c_str(), estimates.U, estimates.C,
                   estimates.K, estimates.T, estimates.V);
+      if (!MaybeSaveArena(args, estimates, config.top_communities)) {
+        exit_code = 1;
+      }
     }
   }
   return exit_code;
@@ -1054,5 +1085,6 @@ int main(int argc, char** argv) {
   std::printf("model written to %s (U=%d C=%d K=%d T=%d V=%d)\n",
               args.model_out.c_str(), estimates.U, estimates.C, estimates.K,
               estimates.T, estimates.V);
+  if (!MaybeSaveArena(args, estimates, config.top_communities)) return 1;
   return 0;
 }

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # End-to-end smoke check for the serving layer:
 #
-#   cold_generate -> cold_train -> cold_serve -> curl every endpoint
+#   cold_generate -> cold_train (--arena-out) -> cold_serve -> curl
 #
-# Exercises the acceptance criteria for the serving PR: N sequential
-# /v1/diffusion POSTs must all return HTTP 200, a hot reload is triggered
-# mid-load (SIGHUP and /admin/reload), and /metrics must report a request
-# count consistent with the load we generated.
+# Drives the epoll serving core over an mmap'd COLDARN1 arena snapshot
+# with two reactors and two replicas: N sequential /v1/diffusion POSTs
+# must all return HTTP 200, a hot reload is triggered mid-load (SIGHUP
+# and /admin/reload), /metrics must report a request count consistent
+# with the load, and the reload swap stall measured by
+# cold/serve/reload_swap_seconds must stay under a generous bound.
 #
 # Usage: tools/smoke_serve.sh [build-dir] [num-requests]
 set -euo pipefail
@@ -38,11 +40,12 @@ echo "== generate + train a small model =="
 "${BUILD_DIR}/tools/cold_generate" "${WORK_DIR}/data" 120 4 6 8 \
   || die "cold_generate"
 "${BUILD_DIR}/tools/cold_train" "${WORK_DIR}/data" "${WORK_DIR}/model.bin" \
-  4 6 40 || die "cold_train"
+  4 6 40 --arena-out "${WORK_DIR}/model.arena" || die "cold_train"
+[[ -s "${WORK_DIR}/model.arena" ]] || die "no arena snapshot written"
 
-echo "== start cold_serve =="
-"${BUILD_DIR}/tools/cold_serve" "${WORK_DIR}/model.bin" --port 0 \
-  >"${SERVE_LOG}" 2>&1 &
+echo "== start cold_serve (epoll, arena snapshot, 2 reactors, 2 replicas) =="
+"${BUILD_DIR}/tools/cold_serve" "${WORK_DIR}/model.arena" --port 0 \
+  --reactors 2 --replicas 2 >"${SERVE_LOG}" 2>&1 &
 SERVE_PID=$!
 
 PORT=""
@@ -143,6 +146,10 @@ with open(sys.argv[1]) as f:
     vars = json.load(f)
 assert vars["model_loaded"] is True, "model_loaded not true"
 assert "generation" in vars, "missing generation"
+assert vars["generation"] >= 2, f"SIGHUP reload never landed: {vars['generation']}"
+assert vars["snapshot_format"] == "coldarn1", \
+    f"not serving from the arena: {vars.get('snapshot_format')}"
+assert vars["replicas"] == 2, f"replica count: {vars.get('replicas')}"
 hists = vars["telemetry"]["histograms"]
 assert hists, "no histograms exported"
 by_name = {h["name"]: h for h in hists}
@@ -153,6 +160,12 @@ for key in ("p50", "p90", "p99"):
     assert q[key] is None or q[key] > 0, f"{key} not positive: {q[key]}"
 assert q["p99"] is not None, "p99 null despite load"
 print(f"  request_seconds p50={q['p50']:.6f}s p99={q['p99']:.6f}s")
+swap = by_name["cold/serve/reload_swap_seconds"]["quantiles"]
+assert swap["p99"] is not None, "no reload swap samples despite SIGHUP"
+# The swap is one atomic pointer store; tens of microseconds even on a
+# loaded box. 10ms is the deliberately generous smoke bound.
+assert swap["p99"] < 0.010, f"reload swap stall too high: {swap['p99']}s"
+print(f"  reload_swap_seconds p99={swap['p99'] * 1e6:.1f}us (bound 10ms)")
 PYEOF
 else
   # No python3: at least assert the endpoint answers with the quantile keys.
